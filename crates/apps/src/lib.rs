@@ -1,0 +1,31 @@
+//! # dmac-apps — the matrix applications of the paper's evaluation
+//!
+//! The five programs of §6 / Appendix A, each expressed in the DMac DSL
+//! with its loop unrolled (one phase tag per iteration) and accompanied by
+//! a plain single-threaded reference implementation used as the
+//! correctness oracle in the integration tests:
+//!
+//! * [`gnmf`] — Gaussian non-negative matrix factorisation (Code 1), the
+//!   paper's running example and the Figure 6 / Figure 10 workload.
+//! * [`pagerank`] — PageRank (Code 2), the Figure 9(a) workload.
+//! * [`cf`] — item-based collaborative filtering (Code 3).
+//! * [`linreg`] — conjugate-gradient linear regression (Code 4).
+//! * [`svd`] — Lanczos SVD (Code 5), including a symmetric tridiagonal
+//!   eigensolver for the final driver-side step.
+//! * [`triangles`] — triangle counting, a §1-style graph-mining workload
+//!   in pure matrix form (extra, not in the paper's evaluation).
+
+pub mod cf;
+pub mod gnmf;
+pub mod linreg;
+pub mod pagerank;
+pub mod svd;
+pub mod triangles;
+pub mod tridiag;
+
+pub use cf::CollaborativeFiltering;
+pub use gnmf::Gnmf;
+pub use linreg::LinearRegression;
+pub use pagerank::PageRank;
+pub use svd::SvdLanczos;
+pub use triangles::TriangleCount;

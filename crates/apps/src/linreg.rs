@@ -1,0 +1,193 @@
+//! Conjugate-gradient linear regression (paper Code 4).
+//!
+//! Solves `(VᵀV + λI) w = Vᵀy` by CG. The loop body's heavy operators are
+//! `V %*% p` and `Vᵀ %*% (V p)`; DMac partitions `V` once for the whole
+//! computation (the Figure 9(b)/10(b) claim), while SystemML-S
+//! repartitions it every iteration. The α/β scalars are driver-side
+//! [`dmac_lang::ScalarExpr`] arithmetic over reduction results.
+
+use dmac_core::engine::ExecReport;
+use dmac_core::{Result, Session};
+use dmac_lang::{Expr, Program};
+use dmac_matrix::BlockedMatrix;
+
+/// Linear-regression configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearRegression {
+    /// Training points (rows of `V`).
+    pub rows: usize,
+    /// Feature dimension (columns of `V`).
+    pub features: usize,
+    /// Sparsity of `V`.
+    pub sparsity: f64,
+    /// Ridge term λ.
+    pub lambda: f64,
+    /// CG iterations.
+    pub iterations: usize,
+}
+
+/// Handles into the built program.
+#[derive(Debug, Clone, Copy)]
+pub struct LinRegProgram {
+    /// The design matrix `V`.
+    pub v: Expr,
+    /// The label vector `y`.
+    pub y: Expr,
+    /// The learned weight vector.
+    pub w: Expr,
+}
+
+impl LinearRegression {
+    /// Build the unrolled CG program; `V` and `y` must be bound.
+    ///
+    /// Mirrors Code 4 exactly, except the initial `w` is zero (the paper's
+    /// `RandomMatrix` start changes nothing about convergence or cost — CG
+    /// iterates on the residual, and a zero start keeps the reference
+    /// oracle simple).
+    pub fn build(&self, p: &mut Program) -> Result<LinRegProgram> {
+        let v = p.load("V", self.rows, self.features, self.sparsity);
+        let y = p.load("y", self.rows, 1, 1.0);
+
+        // r = (Vᵀ y) * -1 ; p0 = r * -1 ; norm_r2 = (r*r).sum
+        let vt_y = p.matmul(v.t(), y)?;
+        let mut r = p.scale_const(vt_y, -1.0)?;
+        let mut dir = p.scale_const(r, -1.0)?;
+        let rr = p.cell_mul(r, r)?;
+        let mut norm_r2 = p.sum(rr)?;
+
+        // w starts at zero: 0 * r.
+        let mut w = p.scale_const(r, 0.0)?;
+
+        for i in 0..self.iterations {
+            p.set_phase(i);
+            // q = Vᵀ (V p) + p λ
+            let vp = p.matmul(v, dir)?;
+            let vtvp = p.matmul(v.t(), vp)?;
+            let pl = p.scale_const(dir, self.lambda)?;
+            let q = p.add(vtvp, pl)?;
+            // α = norm_r2 / (pᵀ q)
+            let ptq_m = p.matmul(dir.t(), q)?;
+            let ptq = p.value(ptq_m)?;
+            let alpha = norm_r2.clone() / ptq;
+            // w = w + p α
+            let step = p.scale(dir, alpha.clone())?;
+            w = p.add(w, step)?;
+            // r = r + q α ; norm_r2' = (r*r).sum ; β = norm_r2'/norm_r2
+            let qa = p.scale(q, alpha)?;
+            r = p.add(r, qa)?;
+            let rr = p.cell_mul(r, r)?;
+            let new_norm = p.sum(rr)?;
+            let beta = new_norm.clone() / norm_r2;
+            norm_r2 = new_norm;
+            // p = -r + p β
+            let neg_r = p.scale_const(r, -1.0)?;
+            let pb = p.scale(dir, beta)?;
+            dir = p.add(neg_r, pb)?;
+        }
+        p.store(w, "w");
+        Ok(LinRegProgram { v, y, w })
+    }
+
+    /// Run on a session.
+    pub fn run(
+        &self,
+        session: &mut Session,
+        v: BlockedMatrix,
+        y: BlockedMatrix,
+    ) -> Result<(ExecReport, LinRegProgram)> {
+        session.bind("V", v)?;
+        session.bind("y", y)?;
+        let mut p = Program::new();
+        let handles = self.build(&mut p)?;
+        let report = session.run(&p)?;
+        Ok((report, handles))
+    }
+
+    /// Plain local CG reference.
+    pub fn reference(&self, v: &BlockedMatrix, y: &BlockedMatrix) -> Result<BlockedMatrix> {
+        let vt = v.transpose();
+        let vt_y = vt.matmul_reference(y)?;
+        let mut r = vt_y.scale(-1.0);
+        let mut dir = r.scale(-1.0);
+        let mut norm_r2 = r.cell_mul(&r)?.sum();
+        let mut w = r.scale(0.0);
+        for _ in 0..self.iterations {
+            let vp = v.matmul_reference(&dir)?;
+            let q = vt.matmul_reference(&vp)?.add(&dir.scale(self.lambda))?;
+            let ptq = dir.transpose().matmul_reference(&q)?.sum();
+            let alpha = norm_r2 / ptq;
+            w = w.add(&dir.scale(alpha))?;
+            r = r.add(&q.scale(alpha))?;
+            let new_norm = r.cell_mul(&r)?.sum();
+            let beta = new_norm / norm_r2;
+            norm_r2 = new_norm;
+            dir = r.scale(-1.0).add(&dir.scale(beta))?;
+        }
+        Ok(w)
+    }
+
+    /// Residual `‖Vw − y‖` of a weight vector.
+    pub fn residual(v: &BlockedMatrix, y: &BlockedMatrix, w: &BlockedMatrix) -> Result<f64> {
+        Ok(v.matmul_reference(w)?.sub(y)?.norm2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LinearRegression {
+        LinearRegression {
+            rows: 60,
+            features: 12,
+            sparsity: 0.4,
+            lambda: 1e-6,
+            iterations: 5,
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference() {
+        let cfg = tiny();
+        let v = dmac_data::uniform_sparse(cfg.rows, cfg.features, cfg.sparsity, 8, 2);
+        let y = dmac_data::dense_random(cfg.rows, 1, 8, 3);
+        let mut session = Session::builder()
+            .workers(3)
+            .local_threads(2)
+            .block_size(8)
+            .build();
+        let (_, handles) = cfg.run(&mut session, v.clone(), y.clone()).unwrap();
+        let got = session.value(handles.w).unwrap();
+        let expect = cfg.reference(&v, &y).unwrap();
+        assert!(dmac_matrix::approx_eq_slice(
+            got.to_dense().data(),
+            expect.to_dense().data(),
+            1e-6
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn cg_reduces_the_residual() {
+        let cfg = LinearRegression {
+            iterations: 10,
+            ..tiny()
+        };
+        let v = dmac_data::uniform_sparse(cfg.rows, cfg.features, cfg.sparsity, 8, 2);
+        let y = dmac_data::dense_random(cfg.rows, 1, 8, 3);
+        let zero = BlockedMatrix::zeros(cfg.features, 1, 8).unwrap();
+        let base = LinearRegression::residual(&v, &y, &zero).unwrap();
+        let w = cfg.reference(&v, &y).unwrap();
+        let res = LinearRegression::residual(&v, &y, &w).unwrap();
+        assert!(res < base, "CG must reduce the residual: {base} -> {res}");
+    }
+
+    #[test]
+    fn program_phases_cover_iterations() {
+        let mut p = Program::new();
+        tiny().build(&mut p).unwrap();
+        let max_phase = p.ops().iter().map(|o| o.phase).max().unwrap();
+        assert_eq!(max_phase, 4);
+        p.validate().unwrap();
+    }
+}

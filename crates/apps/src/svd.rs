@@ -1,0 +1,239 @@
+//! Lanczos SVD (paper Code 5).
+//!
+//! Runs the Lanczos iteration on the Gram matrix `VᵀV`: the distributed
+//! work per step is `w = Vᵀ (V v)` — the same double multiplication as
+//! linear regression, which is why the paper groups them ("The core
+//! computation of SVD is two multiply operators"). The α/β recurrence
+//! builds a `rank × rank` tridiagonal matrix on the driver whose
+//! eigenvalues are the squared singular values of `V`
+//! ([`crate::tridiag::tridiagonal_eigenvalues`]).
+//!
+//! The paper's Code 5 carries two transcription slips (`beta = v.norm(2)`
+//! for `w.norm(2)`, and `vp = w; vc = vp` for `vp = vc; vc = w/β`); we
+//! implement the textbook recurrence, which is unambiguous.
+
+use dmac_core::engine::ExecReport;
+use dmac_core::{Result, Session};
+use dmac_lang::{Expr, Program, ScalarExpr};
+use dmac_matrix::BlockedMatrix;
+
+use crate::tridiag::tridiagonal_eigenvalues;
+
+/// Lanczos SVD configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SvdLanczos {
+    /// Rows of `V`.
+    pub rows: usize,
+    /// Columns of `V` (the Lanczos vectors live in this dimension).
+    pub cols: usize,
+    /// Sparsity of `V`.
+    pub sparsity: f64,
+    /// Number of Lanczos steps = rank of the approximation.
+    pub rank: usize,
+}
+
+/// Handles into the built program.
+#[derive(Debug, Clone)]
+pub struct SvdProgram {
+    /// The input matrix.
+    pub v: Expr,
+    /// Final Lanczos vector (program output anchor).
+    pub last_vec: Expr,
+    /// α scalar of each step.
+    pub alphas: Vec<ScalarExpr>,
+    /// β scalar of each step.
+    pub betas: Vec<ScalarExpr>,
+}
+
+impl SvdLanczos {
+    /// Build the unrolled Lanczos program; `V` must be bound.
+    pub fn build(&self, p: &mut Program) -> Result<SvdProgram> {
+        let v = p.load("V", self.rows, self.cols, self.sparsity);
+        let v0 = p.random("lanczos0", self.cols, 1);
+        let n0 = p.norm2(v0)?;
+        let mut vc = p.scale(v0, ScalarExpr::c(1.0) / n0)?;
+        let mut vp: Option<(Expr, ScalarExpr)> = None; // (v_{i-1}, β_{i-1})
+
+        let mut alphas = Vec::with_capacity(self.rank);
+        let mut betas = Vec::with_capacity(self.rank);
+
+        for i in 0..self.rank {
+            p.set_phase(i);
+            // w = Vᵀ (V vc)
+            let vvc = p.matmul(v, vc)?;
+            let w = p.matmul(v.t(), vvc)?;
+            // α = vcᵀ w
+            let a_m = p.matmul(vc.t(), w)?;
+            let alpha = p.value(a_m)?;
+            // w ← w − α vc − β_{i-1} v_{i-1}
+            let a_vc = p.scale(vc, alpha.clone())?;
+            let mut w2 = p.sub(w, a_vc)?;
+            if let Some((prev, beta_prev)) = vp.clone() {
+                let b_vp = p.scale(prev, beta_prev)?;
+                w2 = p.sub(w2, b_vp)?;
+            }
+            // β = ‖w‖ ; v_{i+1} = w / β
+            let beta = p.norm2(w2)?;
+            let vnext = p.scale(w2, ScalarExpr::c(1.0) / beta.clone())?;
+            alphas.push(alpha);
+            betas.push(beta.clone());
+            vp = Some((vc, beta));
+            vc = vnext;
+        }
+        p.store(vc, "lanczos_last");
+        Ok(SvdProgram {
+            v,
+            last_vec: vc,
+            alphas,
+            betas,
+        })
+    }
+
+    /// Run on a session and return the approximated singular values
+    /// (descending).
+    pub fn run(&self, session: &mut Session, v: BlockedMatrix) -> Result<(ExecReport, Vec<f64>)> {
+        session.bind("V", v)?;
+        let mut p = Program::new();
+        let handles = self.build(&mut p)?;
+        let report = session.run(&p)?;
+        let alphas: Vec<f64> = handles
+            .alphas
+            .iter()
+            .map(|a| session.scalar_value(a))
+            .collect::<Result<_>>()?;
+        let betas: Vec<f64> = handles
+            .betas
+            .iter()
+            .map(|b| session.scalar_value(b))
+            .collect::<Result<_>>()?;
+        Ok((report, Self::singular_values(&alphas, &betas)))
+    }
+
+    /// Singular values from the Lanczos α/β recurrence: square roots of
+    /// the tridiagonal eigenvalues (clamped at zero — tiny negatives are
+    /// floating-point noise).
+    pub fn singular_values(alphas: &[f64], betas: &[f64]) -> Vec<f64> {
+        let n = alphas.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let off: Vec<f64> = betas[..n - 1].to_vec();
+        tridiagonal_eigenvalues(alphas, &off)
+            .into_iter()
+            .map(|l| l.max(0.0).sqrt())
+            .collect()
+    }
+
+    /// Plain local Lanczos reference returning (alphas, betas).
+    pub fn reference(&self, v: &BlockedMatrix, v0: &BlockedMatrix) -> Result<(Vec<f64>, Vec<f64>)> {
+        let vt = v.transpose();
+        let mut vc = v0.scale(1.0 / v0.norm2());
+        let mut prev: Option<(BlockedMatrix, f64)> = None;
+        let mut alphas = Vec::new();
+        let mut betas = Vec::new();
+        for _ in 0..self.rank {
+            let w = vt.matmul_reference(&v.matmul_reference(&vc)?)?;
+            let alpha = vc.transpose().matmul_reference(&w)?.sum();
+            let mut w2 = w.sub(&vc.scale(alpha))?;
+            if let Some((pv, pb)) = &prev {
+                w2 = w2.sub(&pv.scale(*pb))?;
+            }
+            let beta = w2.norm2();
+            let vnext = w2.scale(1.0 / beta);
+            alphas.push(alpha);
+            betas.push(beta);
+            prev = Some((vc, beta));
+            vc = vnext;
+        }
+        Ok((alphas, betas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanczos_recovers_known_singular_values() {
+        // Diagonal-ish matrix with known singular values 4, 2, 1.
+        let v = BlockedMatrix::from_fn(
+            6,
+            3,
+            2,
+            |i, j| {
+                if i == j {
+                    [4.0, 2.0, 1.0][j]
+                } else {
+                    0.0
+                }
+            },
+        )
+        .unwrap();
+        let cfg = SvdLanczos {
+            rows: 6,
+            cols: 3,
+            sparsity: 1.0,
+            rank: 3,
+        };
+        let v0 = dmac_data::dense_random(3, 1, 2, 12);
+        let (a, b) = cfg.reference(&v, &v0).unwrap();
+        let sv = SvdLanczos::singular_values(&a, &b);
+        assert!((sv[0] - 4.0).abs() < 1e-6, "{sv:?}");
+        assert!((sv[1] - 2.0).abs() < 1e-6, "{sv:?}");
+        assert!((sv[2] - 1.0).abs() < 1e-6, "{sv:?}");
+    }
+
+    #[test]
+    fn engine_matches_reference_spectrum() {
+        let cfg = SvdLanczos {
+            rows: 30,
+            cols: 12,
+            sparsity: 0.4,
+            rank: 4,
+        };
+        let v = dmac_data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 21);
+        let mut session = Session::builder()
+            .workers(2)
+            .local_threads(2)
+            .block_size(8)
+            .seed(33)
+            .build();
+        let (_, sv) = cfg.run(&mut session, v.clone()).unwrap();
+        assert_eq!(sv.len(), 4);
+        // The dominant singular value must match a locally-computed
+        // Lanczos with the same starting vector.
+        // Reconstruct v0 exactly as the engine does: the random matrix
+        // "lanczos0" is the second declaration (id 1) in this program.
+        let lanczos0_id = 1;
+        let v0 = BlockedMatrix::from_fn(cfg.cols, 1, 8, |i, j| {
+            dmac_core::engine::random_cell(33, lanczos0_id, i, j)
+        })
+        .unwrap();
+        let (a, b) = cfg.reference(&v, &v0).unwrap();
+        let expect = SvdLanczos::singular_values(&a, &b);
+        for (g, x) in sv.iter().zip(expect.iter()) {
+            assert!(
+                (g - x).abs() < 1e-6 * x.abs().max(1.0),
+                "{sv:?} vs {expect:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_values_are_descending_and_nonnegative() {
+        let cfg = SvdLanczos {
+            rows: 40,
+            cols: 16,
+            sparsity: 0.3,
+            rank: 6,
+        };
+        let v = dmac_data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 4);
+        let v0 = dmac_data::dense_random(cfg.cols, 1, 8, 5);
+        let (a, b) = cfg.reference(&v, &v0).unwrap();
+        let sv = SvdLanczos::singular_values(&a, &b);
+        for w in sv.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(sv.iter().all(|s| *s >= 0.0));
+    }
+}

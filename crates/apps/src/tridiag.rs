@@ -1,0 +1,140 @@
+//! Symmetric tridiagonal eigensolver (the driver-side final step of the
+//! Lanczos SVD, paper Code 5: `triDiag.computeSingularValue()`).
+//!
+//! Implements the implicit-shift QL algorithm (the classic `tql2` routine)
+//! on the diagonal/off-diagonal representation. Eigenvalues of the Lanczos
+//! tridiagonal matrix of `VᵀV` are the squared singular values of `V`.
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `d` and
+/// off-diagonal `e` (`e[i]` couples rows `i` and `i+1`; `e.len() ==
+/// d.len() - 1`). Returned in descending order.
+///
+/// # Panics
+/// Panics if `e.len() + 1 != d.len()` or the QL iteration fails to
+/// converge within 50 sweeps per eigenvalue (does not happen for
+/// well-formed symmetric input).
+pub fn tridiagonal_eigenvalues(d: &[f64], e: &[f64]) -> Vec<f64> {
+    let n = d.len();
+    assert!(n > 0, "empty matrix");
+    assert_eq!(e.len() + 1, n, "off-diagonal length must be n-1");
+    let mut d = d.to_vec();
+    // working copy of the off-diagonal, shifted like tql2 expects
+    let mut e: Vec<f64> = e.iter().copied().chain(std::iter::once(0.0)).collect();
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split at.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "QL failed to converge");
+            // Implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                f = 0.0;
+                let _ = f;
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    d.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_eig_2x2(a: f64, b: f64, c: f64) -> (f64, f64) {
+        // eigenvalues of [[a, b], [b, c]]
+        let t = (a + c) / 2.0;
+        let disc = (((a - c) / 2.0).powi(2) + b * b).sqrt();
+        (t + disc, t - disc)
+    }
+
+    #[test]
+    fn one_by_one() {
+        assert_eq!(tridiagonal_eigenvalues(&[3.5], &[]), vec![3.5]);
+    }
+
+    #[test]
+    fn two_by_two_matches_closed_form() {
+        let (hi, lo) = dense_eig_2x2(2.0, 1.0, -1.0);
+        let got = tridiagonal_eigenvalues(&[2.0, -1.0], &[1.0]);
+        assert!((got[0] - hi).abs() < 1e-12, "{got:?}");
+        assert!((got[1] - lo).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix_returns_sorted_diagonal() {
+        let got = tridiagonal_eigenvalues(&[1.0, 5.0, 3.0], &[0.0, 0.0]);
+        assert_eq!(got, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn toeplitz_tridiagonal_known_spectrum() {
+        // The n×n tridiagonal with diagonal a and off-diagonal b has
+        // eigenvalues a + 2b·cos(kπ/(n+1)).
+        let n = 8;
+        let (a, b) = (2.0, -1.0);
+        let d = vec![a; n];
+        let e = vec![b; n - 1];
+        let got = tridiagonal_eigenvalues(&d, &e);
+        let mut expect: Vec<f64> = (1..=n)
+            .map(|k| a + 2.0 * b * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        expect.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        for (g, x) in got.iter().zip(expect.iter()) {
+            assert!((g - x).abs() < 1e-10, "{got:?} vs {expect:?}");
+        }
+    }
+
+    #[test]
+    fn trace_and_frobenius_are_preserved() {
+        let d = [1.0, -2.0, 0.5, 4.0, 3.0];
+        let e = [0.7, 1.3, -0.2, 2.1];
+        let eig = tridiagonal_eigenvalues(&d, &e);
+        let trace: f64 = d.iter().sum();
+        let eig_sum: f64 = eig.iter().sum();
+        assert!((trace - eig_sum).abs() < 1e-9);
+        let frob2: f64 =
+            d.iter().map(|x| x * x).sum::<f64>() + 2.0 * e.iter().map(|x| x * x).sum::<f64>();
+        let eig2: f64 = eig.iter().map(|x| x * x).sum();
+        assert!((frob2 - eig2).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the local execution engine (§5.3):
+//! block kernels, In-Place vs Buffer aggregation, CSC transforms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use dmac_matrix::{AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor};
+
+fn dense(rows: usize, cols: usize) -> BlockedMatrix {
+    BlockedMatrix::from_fn(rows, cols, 64, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0).unwrap()
+}
+
+fn sparse(rows: usize, cols: usize, every: usize) -> BlockedMatrix {
+    BlockedMatrix::from_triplets(
+        rows,
+        cols,
+        64,
+        (0..rows * cols)
+            .filter(|t| t % every == 0)
+            .map(|t| (t / cols, t % cols, 1.0 + (t % 5) as f64)),
+    )
+    .unwrap()
+}
+
+fn bench_block_multiply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block-multiply");
+    let a = DenseBlock::from_fn(128, 128, |i, j| (i + j) as f64);
+    let b = DenseBlock::from_fn(128, 128, |i, j| (i * j % 7) as f64);
+    g.bench_function("dense128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    let s = CscBlock::from_triplets(
+        128,
+        128,
+        (0..128 * 128)
+            .filter(|t| t % 37 == 0)
+            .map(|t| (t / 128, t % 128, 1.0)),
+    )
+    .unwrap();
+    g.bench_function("sparse128xdense128", |bench| {
+        bench.iter_batched(
+            || DenseBlock::zeros(128, 128),
+            |mut acc| {
+                s.matmul_dense_acc(&b, &mut acc).unwrap();
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("csc-transpose", |bench| {
+        bench.iter(|| black_box(s.transpose()))
+    });
+    g.finish();
+}
+
+fn bench_aggregation_modes(c: &mut Criterion) {
+    // The Figure-7 comparison as a micro-benchmark: multiplication with a
+    // long shared dimension.
+    let mut g = c.benchmark_group("aggregation");
+    g.sample_size(10);
+    let a = dense(128, 1024);
+    let b = dense(1024, 128);
+    let in_place = LocalExecutor::new(4, AggregationMode::InPlace);
+    let buffer = LocalExecutor::new(4, AggregationMode::Buffer);
+    g.bench_function("in-place", |bench| {
+        bench.iter(|| black_box(in_place.matmul(&a, &b).unwrap()))
+    });
+    g.bench_function("buffer", |bench| {
+        bench.iter(|| black_box(buffer.matmul(&a, &b).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_sparse_graph_square(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph-square");
+    g.sample_size(10);
+    let adj = sparse(2048, 2048, 97);
+    let ex = LocalExecutor::new(4, AggregationMode::InPlace);
+    g.bench_function("a_x_a_2048", |bench| {
+        bench.iter(|| black_box(ex.matmul(&adj, &adj).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_multiply,
+    bench_aggregation_modes,
+    bench_sparse_graph_square
+);
+criterion_main!(benches);

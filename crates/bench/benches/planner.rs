@@ -1,0 +1,70 @@
+//! Criterion benchmarks of plan generation itself: Algorithm 1 must stay
+//! cheap relative to execution (it runs on the driver for every program).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+use dmac_apps::{Gnmf, LinearRegression};
+use dmac_core::planner::{plan_program, PlannerConfig};
+use dmac_core::stage;
+use dmac_lang::Program;
+
+fn gnmf_program(iterations: usize) -> Program {
+    let mut p = Program::new();
+    Gnmf {
+        rows: 480_189,
+        cols: 17_770,
+        sparsity: 0.0117,
+        rank: 200,
+        iterations,
+    }
+    .build(&mut p)
+    .unwrap();
+    p
+}
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan-generation");
+    for iters in [1usize, 10, 50] {
+        let p = gnmf_program(iters);
+        g.bench_function(format!("gnmf-{iters}iters-dmac"), |b| {
+            b.iter(|| {
+                black_box(plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap())
+            })
+        });
+    }
+    let p = gnmf_program(10);
+    g.bench_function("gnmf-10iters-systemml", |b| {
+        b.iter(|| {
+            black_box(plan_program(&p, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap())
+        })
+    });
+    let mut lr = Program::new();
+    LinearRegression {
+        rows: 100_000_000,
+        features: 100_000,
+        sparsity: 1e-4,
+        lambda: 1e-6,
+        iterations: 10,
+    }
+    .build(&mut lr)
+    .unwrap();
+    g.bench_function("linreg-10iters-dmac", |b| {
+        b.iter(|| {
+            black_box(plan_program(&lr, &PlannerConfig::default(), 4, &HashMap::new()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_stage_scheduling(c: &mut Criterion) {
+    let p = gnmf_program(20);
+    let planned = plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap();
+    c.bench_function("stage-schedule-gnmf-20iters", |b| {
+        b.iter(|| black_box(stage::schedule(&planned.plan)))
+    });
+}
+
+criterion_group!(benches, bench_plan_generation, bench_stage_scheduling);
+criterion_main!(benches);

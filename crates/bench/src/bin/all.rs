@@ -1,0 +1,22 @@
+//! Run every figure/table harness in sequence (the full reproduction
+//! sweep). Equivalent to running `fig6 fig7 fig8 fig9 fig10 table4
+//! ablation` one after another in the same process.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in [
+        "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "ablation", "twod",
+    ] {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

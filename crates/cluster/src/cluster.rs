@@ -1,0 +1,900 @@
+//! The simulated cluster: configuration, metering, failure injection, and
+//! the communication primitives (`repartition`, `broadcast`) plus the three
+//! distributed multiplication strategies (RMM1, RMM2, CPMM) and the
+//! scheme-aligned cell-wise operators.
+
+// Worker loops index several parallel per-worker structures by id; an
+// iterator would obscure the symmetry.
+#![allow(clippy::needless_range_loop)]
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dmac_matrix::exec::{run_tasks, ResultBufferPool};
+use dmac_matrix::{Block, BlockedMatrix, CscBlock, DenseBlock};
+use parking_lot::Mutex;
+
+use crate::comm::{CommKind, CommStats, NetworkModel, SimClock};
+use crate::dist::{DistMatrix, GridMeta};
+use crate::error::{ClusterError, Result};
+use crate::partition::PartitionScheme;
+
+/// Static configuration of a simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// `N`/`K`: number of workers.
+    pub workers: usize,
+    /// `L`: local threads per worker.
+    pub local_threads: usize,
+    /// Network model converting metered bytes into simulated seconds.
+    pub network: NetworkModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            local_threads: 8,
+            network: NetworkModel::default(),
+        }
+    }
+}
+
+/// A simulated cluster: `N` logical workers, a byte meter, and a simulated
+/// clock. All distributed operators live here as methods.
+///
+/// ```
+/// use dmac_cluster::{Cluster, ClusterConfig, PartitionScheme};
+/// use dmac_matrix::BlockedMatrix;
+///
+/// let mut cl = Cluster::new(ClusterConfig::default());
+/// let m = BlockedMatrix::from_fn(8, 8, 4, |i, j| (i * 8 + j) as f64).unwrap();
+/// let row = cl.load(&m, PartitionScheme::Row);          // free initial load
+/// let col = cl.repartition(&row, PartitionScheme::Col, "m").unwrap();
+/// assert!(cl.comm().shuffle_bytes() > 0);               // metered!
+/// assert_eq!(col.to_blocked().unwrap().to_dense(), m.to_dense());
+/// ```
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    comm: CommStats,
+    clock: SimClock,
+    failed: HashSet<usize>,
+    pool: ResultBufferPool,
+}
+
+impl Cluster {
+    /// Build a cluster from configuration.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        Cluster {
+            config,
+            comm: CommStats::default(),
+            clock: SimClock::default(),
+            failed: HashSet::new(),
+            pool: ResultBufferPool::new(2 * config.local_threads),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Number of workers (the paper's `N`).
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// The communication ledger so far.
+    pub fn comm(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// The simulated clock so far.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Reset meters (between benchmark iterations).
+    pub fn reset_meters(&mut self) {
+        self.comm.clear();
+        self.clock = SimClock::default();
+    }
+
+    /// Mark a worker as failed (failure injection for tests).
+    pub fn fail_worker(&mut self, w: usize) {
+        self.failed.insert(w);
+    }
+
+    /// Bring a failed worker back.
+    pub fn heal_worker(&mut self, w: usize) {
+        self.failed.remove(&w);
+    }
+
+    /// Error if worker `w` is down.
+    pub fn check_worker(&self, w: usize) -> Result<()> {
+        if self.failed.contains(&w) {
+            Err(ClusterError::WorkerLost(w))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_all_workers(&self) -> Result<()> {
+        for w in 0..self.config.workers {
+            self.check_worker(w)?;
+        }
+        Ok(())
+    }
+
+    /// Meter a communication step and charge the network model for it.
+    pub fn charge_comm(&mut self, kind: CommKind, label: impl Into<String>, bytes: u64) {
+        self.comm.record(kind, label, bytes);
+        self.clock
+            .add_comm(self.config.network.transfer_time(bytes));
+    }
+
+    /// Charge measured local compute seconds (max across workers of a step).
+    pub fn charge_compute(&mut self, sec: f64) {
+        self.clock.add_compute(sec);
+    }
+
+    /// Load a local matrix onto the cluster under `scheme`. Loading is not
+    /// metered (the paper's ledger starts after input load, matching
+    /// Figure 6(b) which reports per-iteration traffic).
+    pub fn load(&self, m: &BlockedMatrix, scheme: PartitionScheme) -> DistMatrix {
+        DistMatrix::from_blocked(m, scheme, self.config.workers)
+    }
+
+    fn compat(&self, a: &DistMatrix, b: &DistMatrix) -> Result<()> {
+        if a.workers() != b.workers() {
+            return Err(ClusterError::WorkerCountMismatch(a.workers(), b.workers()));
+        }
+        if a.block_size() != b.block_size() {
+            return Err(ClusterError::BlockGridMismatch {
+                left: a.block_size(),
+                right: b.block_size(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The `partition` extended operator: repartition `m` to a Row or
+    /// Column scheme. Every tile that changes owner is metered as shuffle
+    /// traffic. Repartitioning from Broadcast is a local extract and free.
+    pub fn repartition(
+        &mut self,
+        m: &DistMatrix,
+        target: PartitionScheme,
+        label: &str,
+    ) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        if !target.is_rc() {
+            return Err(ClusterError::SchemeMismatch {
+                expected: PartitionScheme::Row,
+                actual: target,
+                op: "repartition",
+            });
+        }
+        if m.scheme() == target {
+            return Ok(m.clone());
+        }
+        if m.scheme() == PartitionScheme::Broadcast {
+            // Everything is already everywhere: a pure filter.
+            return m.extract_local(target);
+        }
+        let n = self.config.workers;
+        let mut moved: u64 = 0;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        for w in 0..n {
+            for (&(bi, bj), tile) in m.worker_blocks(w) {
+                let dest = target.owner(bi, bj, n).expect("rc target");
+                if dest != w {
+                    moved += tile.actual_bytes() as u64;
+                }
+                stores[dest].insert((bi, bj), Arc::clone(tile));
+            }
+        }
+        self.charge_comm(CommKind::Shuffle, format!("partition({label})"), moved);
+        Ok(DistMatrix::from_parts(*m.meta(), target, stores))
+    }
+
+    /// The `broadcast` extended operator: replicate `m` on every worker.
+    /// Each worker must receive the tiles it does not already hold.
+    pub fn broadcast(&mut self, m: &DistMatrix, label: &str) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        if m.scheme() == PartitionScheme::Broadcast {
+            return Ok(m.clone());
+        }
+        let n = self.config.workers;
+        let mut moved: u64 = 0;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        for w in 0..n {
+            for src in 0..n {
+                for (&k, tile) in m.worker_blocks(src) {
+                    if stores[w].contains_key(&k) {
+                        continue;
+                    }
+                    if src != w {
+                        moved += tile.actual_bytes() as u64;
+                    }
+                    stores[w].insert(k, Arc::clone(tile));
+                }
+            }
+        }
+        self.charge_comm(CommKind::Broadcast, format!("broadcast({label})"), moved);
+        Ok(DistMatrix::from_parts(
+            *m.meta(),
+            PartitionScheme::Broadcast,
+            stores,
+        ))
+    }
+
+    /// Scatter a matrix back into Hash placement. This models SystemML-S
+    /// writing every operator result into its hash-partitioned RDD cache;
+    /// following the paper's cost accounting (which charges repartitions
+    /// on the *input* side only), the movement is **not metered** — a
+    /// deliberate, baseline-favouring simplification documented in
+    /// DESIGN.md.
+    pub fn rehash(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        if m.scheme() == PartitionScheme::Hash {
+            return Ok(m.clone());
+        }
+        let n = self.config.workers;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        for w in 0..n {
+            for (&(bi, bj), tile) in m.worker_blocks(w) {
+                let dest = PartitionScheme::Hash.owner(bi, bj, n).expect("hash owner");
+                stores[dest]
+                    .entry((bi, bj))
+                    .or_insert_with(|| Arc::clone(tile));
+            }
+        }
+        Ok(DistMatrix::from_parts(
+            *m.meta(),
+            PartitionScheme::Hash,
+            stores,
+        ))
+    }
+
+    /// The `transpose` extended operator: local, free.
+    pub fn transpose(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        let t0 = Instant::now();
+        let out = m.transpose_local();
+        self.charge_compute(t0.elapsed().as_secs_f64() / self.config.workers.max(1) as f64);
+        Ok(out)
+    }
+
+    /// The `extract` extended operator: local, free.
+    pub fn extract(&mut self, m: &DistMatrix, target: PartitionScheme) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        m.extract_local(target)
+    }
+
+    /// RMM1 (Figure 2): `A(b) × B(c) → AB(c)`. No communication during
+    /// execution — each worker multiplies the full `A` against its own
+    /// block-columns of `B`.
+    pub fn rmm1(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
+        self.compat(a, b)?;
+        self.require(a, PartitionScheme::Broadcast, "rmm1")?;
+        self.require(b, PartitionScheme::Col, "rmm1")?;
+        self.mm_local(a, b, PartitionScheme::Col)
+    }
+
+    /// RMM2 (Figure 2): `A(r) × B(b) → AB(r)`.
+    pub fn rmm2(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
+        self.compat(a, b)?;
+        self.require(a, PartitionScheme::Row, "rmm2")?;
+        self.require(b, PartitionScheme::Broadcast, "rmm2")?;
+        self.mm_local(a, b, PartitionScheme::Row)
+    }
+
+    fn require(&self, m: &DistMatrix, scheme: PartitionScheme, op: &'static str) -> Result<()> {
+        if m.scheme() != scheme {
+            return Err(ClusterError::SchemeMismatch {
+                expected: scheme,
+                actual: m.scheme(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared RMM body: every result tile is computable on the worker that
+    /// owns it under `out_scheme`, with zero communication.
+    fn mm_local(
+        &mut self,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        out_scheme: PartitionScheme,
+    ) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        if a.cols() != b.rows() {
+            return Err(ClusterError::Matrix(
+                dmac_matrix::MatrixError::DimensionMismatch {
+                    op: "multiply",
+                    left: (a.rows(), a.cols()),
+                    right: (b.rows(), b.cols()),
+                },
+            ));
+        }
+        let n = self.config.workers;
+        let out_meta = GridMeta::new(a.rows(), b.cols(), a.block_size());
+        let kb = a.meta().col_blocks;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let mut max_worker_sec = 0.0f64;
+        for w in 0..n {
+            let t0 = Instant::now();
+            let tasks: Vec<(usize, usize)> = (0..out_meta.row_blocks)
+                .flat_map(|bi| (0..out_meta.col_blocks).map(move |bj| (bi, bj)))
+                .filter(|&(bi, bj)| out_scheme.owner(bi, bj, n) == Some(w))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |(bi, bj)| {
+                let tile = self.mm_block(a, b, w, w, bi, bj, kb, &out_meta)?;
+                Ok::<_, ClusterError>(((bi, bj), tile))
+            });
+            for r in results {
+                let (k, tile) = r?;
+                stores[w].insert(k, tile);
+            }
+            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+        }
+        self.charge_compute(max_worker_sec);
+        Ok(DistMatrix::from_parts(out_meta, out_scheme, stores))
+    }
+
+    /// Compute one result tile `(bi, bj)` of `A·B` from tiles stored on
+    /// workers `wa`/`wb`, using a pooled in-place accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn mm_block(
+        &self,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        wa: usize,
+        wb: usize,
+        bi: usize,
+        bj: usize,
+        kb: usize,
+        out_meta: &GridMeta,
+    ) -> Result<Arc<Block>> {
+        let rows = out_meta.block_rows_of(bi);
+        let cols = out_meta.block_cols_of(bj);
+        let mut acc = self.pool.acquire(rows, cols);
+        for k in 0..kb {
+            let (Some(at), Some(bt)) = (a.block_on(wa, bi, k), b.block_on(wb, k, bj)) else {
+                return Err(ClusterError::Matrix(
+                    dmac_matrix::MatrixError::MalformedSparse(format!(
+                        "missing input tile for result ({bi},{bj}) at k={k}"
+                    )),
+                ));
+            };
+            if at.nnz() == 0 || bt.nnz() == 0 {
+                continue;
+            }
+            at.matmul_acc(bt, &mut acc)?;
+        }
+        let nnz = acc.nnz();
+        let out = if nnz * 2 < rows * cols {
+            let sparse = CscBlock::from_dense(&acc);
+            self.pool.release(acc);
+            Block::Sparse(sparse)
+        } else {
+            Block::Dense(acc)
+        };
+        Ok(Arc::new(out))
+    }
+
+    /// CPMM (Figure 2): `A(c) × B(r) → AB(r|c)`. Each worker computes a
+    /// full-size partial from its slice of the shared dimension; partials
+    /// are then shuffled to the owners under `out_scheme` and aggregated.
+    /// The shuffle of the partial results is CPMM's communication cost
+    /// (the paper charges `N × |AB|` for the output event).
+    pub fn cpmm(
+        &mut self,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        out_scheme: PartitionScheme,
+    ) -> Result<DistMatrix> {
+        self.compat(a, b)?;
+        self.require(a, PartitionScheme::Col, "cpmm")?;
+        self.require(b, PartitionScheme::Row, "cpmm")?;
+        self.check_all_workers()?;
+        if !out_scheme.is_rc() {
+            return Err(ClusterError::SchemeMismatch {
+                expected: PartitionScheme::Row,
+                actual: out_scheme,
+                op: "cpmm",
+            });
+        }
+        if a.cols() != b.rows() {
+            return Err(ClusterError::Matrix(
+                dmac_matrix::MatrixError::DimensionMismatch {
+                    op: "multiply",
+                    left: (a.rows(), a.cols()),
+                    right: (b.rows(), b.cols()),
+                },
+            ));
+        }
+        let n = self.config.workers;
+        let out_meta = GridMeta::new(a.rows(), b.cols(), a.block_size());
+        let kb = a.meta().col_blocks;
+
+        // Phase 1: per-worker partial products over the owned k-slices.
+        let mut partials: Vec<HashMap<(usize, usize), DenseBlock>> = Vec::with_capacity(n);
+        let mut max_worker_sec = 0.0f64;
+        for w in 0..n {
+            let t0 = Instant::now();
+            let my_ks: Vec<usize> = (0..kb).filter(|&k| k % n == w).collect();
+            let tasks: Vec<(usize, usize)> = (0..out_meta.row_blocks)
+                .flat_map(|bi| (0..out_meta.col_blocks).map(move |bj| (bi, bj)))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |(bi, bj)| {
+                let mut acc =
+                    DenseBlock::zeros(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj));
+                let mut touched = false;
+                for &k in &my_ks {
+                    let (Some(at), Some(bt)) = (a.block_on(w, bi, k), b.block_on(w, k, bj)) else {
+                        return Err(ClusterError::Matrix(
+                            dmac_matrix::MatrixError::MalformedSparse(format!(
+                                "cpmm: missing tile at k={k} on worker {w}"
+                            )),
+                        ));
+                    };
+                    if at.nnz() == 0 || bt.nnz() == 0 {
+                        continue;
+                    }
+                    at.matmul_acc(bt, &mut acc)?;
+                    touched = true;
+                }
+                Ok::<_, ClusterError>(((bi, bj), touched.then_some(acc)))
+            });
+            let mut map = HashMap::new();
+            for r in results {
+                let (k, maybe) = r?;
+                if let Some(p) = maybe {
+                    map.insert(k, p);
+                }
+            }
+            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+            partials.push(map);
+        }
+        self.charge_compute(max_worker_sec);
+
+        // Phase 2: shuffle partials to their owners and aggregate in place.
+        let mut moved: u64 = 0;
+        let gathered: Mutex<Vec<HashMap<(usize, usize), DenseBlock>>> =
+            Mutex::new((0..n).map(|_| HashMap::new()).collect());
+        let t0 = Instant::now();
+        for (w, map) in partials.into_iter().enumerate() {
+            for ((bi, bj), p) in map {
+                let dest = out_scheme.owner(bi, bj, n).expect("rc scheme");
+                if dest != w {
+                    moved += p.actual_bytes() as u64;
+                }
+                let mut g = gathered.lock();
+                match g[dest].get_mut(&(bi, bj)) {
+                    Some(acc) => acc.add_assign(&p)?,
+                    None => {
+                        g[dest].insert((bi, bj), p);
+                    }
+                }
+            }
+        }
+        let agg_sec = t0.elapsed().as_secs_f64() / n.max(1) as f64;
+        self.charge_compute(agg_sec);
+        self.charge_comm(CommKind::Shuffle, "cpmm-output", moved);
+
+        // Materialise all owned tiles (zeros where no partial contributed).
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let gathered = gathered.into_inner();
+        for bi in 0..out_meta.row_blocks {
+            for bj in 0..out_meta.col_blocks {
+                let dest = out_scheme.owner(bi, bj, n).expect("rc scheme");
+                let tile = match gathered[dest].get(&(bi, bj)) {
+                    Some(d) => Block::Dense(d.clone()).compact(),
+                    None => Block::zeros(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj)),
+                };
+                stores[dest].insert((bi, bj), Arc::new(tile));
+            }
+        }
+        Ok(DistMatrix::from_parts(out_meta, out_scheme, stores))
+    }
+
+    /// Scheme-aligned element-wise operator: both operands must share the
+    /// same Row/Column/Broadcast scheme; each worker combines its own tiles
+    /// with zero communication.
+    pub fn cellwise(&mut self, a: &DistMatrix, b: &DistMatrix, op: CellOp) -> Result<DistMatrix> {
+        self.compat(a, b)?;
+        self.check_all_workers()?;
+        if a.scheme() != b.scheme() || a.scheme() == PartitionScheme::Hash {
+            return Err(ClusterError::SchemeMismatch {
+                expected: a.scheme(),
+                actual: b.scheme(),
+                op: op.name(),
+            });
+        }
+        if a.rows() != b.rows() || a.cols() != b.cols() {
+            return Err(ClusterError::Matrix(
+                dmac_matrix::MatrixError::DimensionMismatch {
+                    op: op.name(),
+                    left: (a.rows(), a.cols()),
+                    right: (b.rows(), b.cols()),
+                },
+            ));
+        }
+        let n = self.config.workers;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let mut max_worker_sec = 0.0f64;
+        for w in 0..n {
+            let t0 = Instant::now();
+            let tasks: Vec<((usize, usize), Arc<Block>)> = a
+                .worker_blocks(w)
+                .iter()
+                .map(|(&k, t)| (k, Arc::clone(t)))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |((bi, bj), at)| {
+                let Some(bt) = b.block_on(w, bi, bj) else {
+                    return Err(ClusterError::Matrix(
+                        dmac_matrix::MatrixError::MalformedSparse(format!(
+                            "cellwise: tile ({bi},{bj}) missing on worker {w}"
+                        )),
+                    ));
+                };
+                let out = op.apply(&at, bt)?;
+                Ok(((bi, bj), Arc::new(out)))
+            });
+            for r in results {
+                let (k, tile) = r?;
+                stores[w].insert(k, tile);
+            }
+            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+        }
+        self.charge_compute(max_worker_sec);
+        Ok(DistMatrix::from_parts(*a.meta(), a.scheme(), stores))
+    }
+
+    /// Unary per-tile map (scalar multiply, scalar add, arbitrary map);
+    /// local on every worker, keeps the scheme.
+    pub fn map_tiles(
+        &mut self,
+        m: &DistMatrix,
+        f: impl Fn(&Block) -> Block + Sync,
+    ) -> Result<DistMatrix> {
+        self.check_all_workers()?;
+        let n = self.config.workers;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let mut max_worker_sec = 0.0f64;
+        for w in 0..n {
+            let t0 = Instant::now();
+            let tasks: Vec<((usize, usize), Arc<Block>)> = m
+                .worker_blocks(w)
+                .iter()
+                .map(|(&k, t)| (k, Arc::clone(t)))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |(k, tile)| {
+                (k, Arc::new(f(&tile)))
+            });
+            for (k, tile) in results {
+                stores[w].insert(k, tile);
+            }
+            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+        }
+        self.charge_compute(max_worker_sec);
+        Ok(DistMatrix::from_parts(*m.meta(), m.scheme(), stores))
+    }
+
+    /// Distributed reduction: each worker reduces its owned tiles, the
+    /// driver combines the `N` partials (metered as `8·N` shuffle bytes —
+    /// scalars, negligible, but kept honest).
+    pub fn reduce(&mut self, m: &DistMatrix, kind: ReduceKind) -> Result<f64> {
+        self.check_all_workers()?;
+        let n = self.config.workers;
+        let t0 = Instant::now();
+        let mut total = 0.0;
+        if m.scheme() == PartitionScheme::Broadcast {
+            // every worker has everything; reduce once
+            for tile in m.worker_blocks(0).values() {
+                total += kind.fold_tile(tile);
+            }
+        } else {
+            for w in 0..n {
+                for tile in m.worker_blocks(w).values() {
+                    total += kind.fold_tile(tile);
+                }
+            }
+        }
+        self.charge_compute(t0.elapsed().as_secs_f64() / n.max(1) as f64);
+        self.charge_comm(CommKind::Shuffle, "reduce", 8 * n as u64);
+        Ok(kind.finish(total))
+    }
+}
+
+/// The element-wise binary operators of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellOp {
+    /// Matrix addition.
+    Add,
+    /// Matrix subtraction.
+    Sub,
+    /// Cell-wise multiplication (`*` in the paper's programs).
+    Mul,
+    /// Cell-wise division (`/`).
+    Div,
+}
+
+impl CellOp {
+    /// Operator name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellOp::Add => "add",
+            CellOp::Sub => "sub",
+            CellOp::Mul => "cell_mul",
+            CellOp::Div => "cell_div",
+        }
+    }
+
+    /// Apply to a pair of tiles.
+    pub fn apply(self, a: &Block, b: &Block) -> dmac_matrix::Result<Block> {
+        match self {
+            CellOp::Add => a.add(b),
+            CellOp::Sub => a.sub(b),
+            CellOp::Mul => a.cell_mul(b),
+            CellOp::Div => a.cell_div(b),
+        }
+    }
+}
+
+/// Distributed reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// Sum of all cells.
+    Sum,
+    /// Frobenius norm.
+    Norm2,
+}
+
+impl ReduceKind {
+    fn fold_tile(self, tile: &Block) -> f64 {
+        match self {
+            ReduceKind::Sum => tile.sum(),
+            ReduceKind::Norm2 => tile.sum_sq(),
+        }
+    }
+
+    fn finish(self, total: f64) -> f64 {
+        match self {
+            ReduceKind::Sum => total,
+            ReduceKind::Norm2 => total.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            workers: n,
+            local_threads: 2,
+            network: NetworkModel::default(),
+        })
+    }
+
+    fn sample(rows: usize, cols: usize, block: usize) -> BlockedMatrix {
+        BlockedMatrix::from_fn(rows, cols, block, |i, j| ((i * cols + j) % 5) as f64 - 1.0).unwrap()
+    }
+
+    #[test]
+    fn repartition_row_to_col_meters_bytes() {
+        let mut cl = cluster(4);
+        let m = sample(16, 16, 4);
+        let r = cl.load(&m, PartitionScheme::Row);
+        let before = cl.comm().total_bytes();
+        let c = cl.repartition(&r, PartitionScheme::Col, "m").unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.scheme(), PartitionScheme::Col);
+        let moved = cl.comm().total_bytes() - before;
+        // 4x4 grid of 4 workers: each tile moves unless row owner == col owner
+        // (bi%4 == bj%4 on the diagonal): 12 of 16 tiles move.
+        let tile_bytes = m.block_at(0, 0).actual_bytes() as u64;
+        assert_eq!(moved, 12 * tile_bytes);
+        assert_eq!(c.to_blocked().unwrap().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn repartition_same_scheme_is_free() {
+        let mut cl = cluster(4);
+        let m = sample(8, 8, 4);
+        let r = cl.load(&m, PartitionScheme::Row);
+        let r2 = cl.repartition(&r, PartitionScheme::Row, "m").unwrap();
+        assert_eq!(cl.comm().total_bytes(), 0);
+        assert_eq!(r2.scheme(), PartitionScheme::Row);
+    }
+
+    #[test]
+    fn repartition_from_broadcast_is_free_extract() {
+        let mut cl = cluster(2);
+        let m = sample(8, 8, 4);
+        let b = cl.load(&m, PartitionScheme::Broadcast);
+        let r = cl.repartition(&b, PartitionScheme::Row, "m").unwrap();
+        assert_eq!(cl.comm().total_bytes(), 0);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn broadcast_meters_replication_bytes() {
+        let mut cl = cluster(4);
+        let m = sample(16, 16, 4);
+        let r = cl.load(&m, PartitionScheme::Row);
+        let b = cl.broadcast(&r, "m").unwrap();
+        b.validate().unwrap();
+        // every worker needs the 3/4 of tiles it does not hold
+        let total = m.actual_bytes() as u64;
+        assert_eq!(cl.comm().broadcast_bytes(), 3 * total);
+        assert_eq!(b.to_blocked().unwrap().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn rmm1_matches_reference_and_is_comm_free() {
+        let mut cl = cluster(3);
+        let a = sample(10, 8, 4);
+        let b = sample(8, 12, 4);
+        let da = cl.load(&a, PartitionScheme::Broadcast);
+        let db = cl.load(&b, PartitionScheme::Col);
+        let c = cl.rmm1(&da, &db).unwrap();
+        assert_eq!(c.scheme(), PartitionScheme::Col);
+        c.validate().unwrap();
+        assert_eq!(cl.comm().total_bytes(), 0);
+        assert_eq!(
+            c.to_blocked().unwrap().to_dense(),
+            a.matmul_reference(&b).unwrap().to_dense()
+        );
+    }
+
+    #[test]
+    fn rmm2_matches_reference() {
+        let mut cl = cluster(3);
+        let a = sample(10, 8, 4);
+        let b = sample(8, 12, 4);
+        let da = cl.load(&a, PartitionScheme::Row);
+        let db = cl.load(&b, PartitionScheme::Broadcast);
+        let c = cl.rmm2(&da, &db).unwrap();
+        assert_eq!(c.scheme(), PartitionScheme::Row);
+        c.validate().unwrap();
+        assert_eq!(cl.comm().total_bytes(), 0);
+        assert_eq!(
+            c.to_blocked().unwrap().to_dense(),
+            a.matmul_reference(&b).unwrap().to_dense()
+        );
+    }
+
+    #[test]
+    fn rmm_scheme_requirements_enforced() {
+        let mut cl = cluster(2);
+        let a = sample(4, 4, 2);
+        let da = cl.load(&a, PartitionScheme::Row);
+        let db = cl.load(&a, PartitionScheme::Col);
+        assert!(matches!(
+            cl.rmm1(&da, &db),
+            Err(ClusterError::SchemeMismatch { op: "rmm1", .. })
+        ));
+        assert!(matches!(
+            cl.rmm2(&da, &db),
+            Err(ClusterError::SchemeMismatch { op: "rmm2", .. })
+        ));
+    }
+
+    #[test]
+    fn cpmm_matches_reference_both_outputs() {
+        for out in [PartitionScheme::Row, PartitionScheme::Col] {
+            let mut cl = cluster(3);
+            let a = sample(10, 9, 3);
+            let b = sample(9, 7, 3);
+            let da = cl.load(&a, PartitionScheme::Col);
+            let db = cl.load(&b, PartitionScheme::Row);
+            let c = cl.cpmm(&da, &db, out).unwrap();
+            assert_eq!(c.scheme(), out);
+            c.validate().unwrap();
+            assert!(cl.comm().shuffle_bytes() > 0, "cpmm must shuffle partials");
+            assert_eq!(
+                c.to_blocked().unwrap().to_dense(),
+                a.matmul_reference(&b).unwrap().to_dense()
+            );
+        }
+    }
+
+    #[test]
+    fn cellwise_requires_matching_schemes() {
+        let mut cl = cluster(2);
+        let a = sample(6, 6, 3);
+        let da = cl.load(&a, PartitionScheme::Row);
+        let db = cl.load(&a, PartitionScheme::Col);
+        assert!(cl.cellwise(&da, &db, CellOp::Add).is_err());
+        let db2 = cl.load(&a, PartitionScheme::Row);
+        let c = cl.cellwise(&da, &db2, CellOp::Add).unwrap();
+        assert_eq!(cl.comm().total_bytes(), 0);
+        assert_eq!(
+            c.to_blocked().unwrap().to_dense(),
+            a.add(&a).unwrap().to_dense()
+        );
+    }
+
+    #[test]
+    fn cellwise_all_ops_match_local() {
+        let mut cl = cluster(2);
+        let a = sample(6, 6, 3);
+        let b = BlockedMatrix::from_fn(6, 6, 3, |i, j| 1.0 + ((i + j) % 3) as f64).unwrap();
+        let da = cl.load(&a, PartitionScheme::Col);
+        let db = cl.load(&b, PartitionScheme::Col);
+        for (op, expect) in [
+            (CellOp::Add, a.add(&b).unwrap()),
+            (CellOp::Sub, a.sub(&b).unwrap()),
+            (CellOp::Mul, a.cell_mul(&b).unwrap()),
+            (CellOp::Div, a.cell_div(&b).unwrap()),
+        ] {
+            let c = cl.cellwise(&da, &db, op).unwrap();
+            assert_eq!(c.to_blocked().unwrap().to_dense(), expect.to_dense());
+        }
+    }
+
+    #[test]
+    fn map_tiles_scales_everywhere() {
+        let mut cl = cluster(2);
+        let a = sample(4, 4, 2);
+        let da = cl.load(&a, PartitionScheme::Broadcast);
+        let c = cl.map_tiles(&da, |b| b.scale(3.0)).unwrap();
+        c.validate().unwrap();
+        assert_eq!(c.to_blocked().unwrap().to_dense(), a.scale(3.0).to_dense());
+    }
+
+    #[test]
+    fn reduce_sum_and_norm() {
+        let mut cl = cluster(3);
+        let a = sample(5, 5, 2);
+        for scheme in [
+            PartitionScheme::Row,
+            PartitionScheme::Col,
+            PartitionScheme::Broadcast,
+        ] {
+            let d = cl.load(&a, scheme);
+            let s = cl.reduce(&d, ReduceKind::Sum).unwrap();
+            assert!((s - a.sum()).abs() < 1e-9, "scheme {scheme}");
+            let n = cl.reduce(&d, ReduceKind::Norm2).unwrap();
+            assert!((n - a.norm2()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn failed_worker_blocks_operations() {
+        let mut cl = cluster(2);
+        let a = sample(4, 4, 2);
+        let da = cl.load(&a, PartitionScheme::Row);
+        cl.fail_worker(1);
+        assert!(matches!(
+            cl.repartition(&da, PartitionScheme::Col, "a"),
+            Err(ClusterError::WorkerLost(1))
+        ));
+        cl.heal_worker(1);
+        assert!(cl.repartition(&da, PartitionScheme::Col, "a").is_ok());
+    }
+
+    #[test]
+    fn clock_accumulates_comm_time() {
+        let mut cl = Cluster::new(ClusterConfig {
+            workers: 2,
+            local_threads: 1,
+            network: NetworkModel {
+                bandwidth_bytes_per_sec: 1e6,
+                latency_sec: 0.01,
+            },
+        });
+        let a = sample(16, 16, 4);
+        let da = cl.load(&a, PartitionScheme::Row);
+        let _ = cl.broadcast(&da, "a").unwrap();
+        assert!(cl.clock().comm_sec() > 0.0);
+        assert!(cl.clock().comm_fraction() > 0.0);
+    }
+}

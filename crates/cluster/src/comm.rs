@@ -1,0 +1,262 @@
+//! Communication metering and the simulated network.
+//!
+//! Figure 6(b) of the paper plots "amount of data" shuffled per iteration;
+//! §6.2 reports the fraction of execution time spent communicating. To
+//! reproduce both on a single machine, every cluster primitive reports the
+//! bytes it moves to a [`CommStats`] ledger, and a [`NetworkModel`] turns
+//! bytes into simulated seconds on a [`SimClock`].
+
+use std::fmt;
+
+/// What kind of movement a communication event was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// All-to-all repartitioning (the `partition` extended operator, and
+    /// the CPMM output aggregation).
+    Shuffle,
+    /// One-to-all replication (the `broadcast` extended operator).
+    Broadcast,
+}
+
+/// One metered communication step.
+#[derive(Debug, Clone)]
+pub struct CommEvent {
+    /// Shuffle or broadcast.
+    pub kind: CommKind,
+    /// Human-readable tag, e.g. the matrix being moved.
+    pub label: String,
+    /// Bytes that crossed worker boundaries.
+    pub bytes: u64,
+}
+
+/// Ledger of all communication performed on a cluster.
+#[derive(Debug, Default, Clone)]
+pub struct CommStats {
+    events: Vec<CommEvent>,
+    shuffle_bytes: u64,
+    broadcast_bytes: u64,
+}
+
+impl CommStats {
+    /// Record one communication step.
+    pub fn record(&mut self, kind: CommKind, label: impl Into<String>, bytes: u64) {
+        match kind {
+            CommKind::Shuffle => self.shuffle_bytes += bytes,
+            CommKind::Broadcast => self.broadcast_bytes += bytes,
+        }
+        self.events.push(CommEvent {
+            kind,
+            label: label.into(),
+            bytes,
+        });
+    }
+
+    /// Total bytes moved by shuffles (repartition + CPMM aggregation).
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.shuffle_bytes
+    }
+
+    /// Total bytes moved by broadcasts.
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.broadcast_bytes
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.shuffle_bytes + self.broadcast_bytes
+    }
+
+    /// Number of communication steps.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[CommEvent] {
+        &self.events
+    }
+
+    /// Fold another ledger into this one (used to accumulate per-iteration
+    /// stats into a whole-run total).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.shuffle_bytes += other.shuffle_bytes;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.events.extend(other.events.iter().cloned());
+    }
+
+    /// Reset the ledger.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.shuffle_bytes = 0;
+        self.broadcast_bytes = 0;
+    }
+}
+
+impl fmt::Display for CommStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "comm: {:.3} MB shuffled + {:.3} MB broadcast over {} steps",
+            self.shuffle_bytes as f64 / 1e6,
+            self.broadcast_bytes as f64 / 1e6,
+            self.events.len()
+        )
+    }
+}
+
+/// A simple bandwidth/latency network model.
+///
+/// The paper's cluster is gigabit-Ethernet-class hardware (2.6 GHz CPUs,
+/// 48 GB RAM, 2014-era); the default 1 Gbit/s ≈ 125 MB/s with 1 ms per
+/// communication round matches that class of machine. The *shape* of every
+/// experiment is insensitive to the exact constants — they scale every
+/// system's communication term equally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Aggregate deliverable bytes per second during a shuffle/broadcast.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed cost per communication round (scheduling + connection setup).
+    pub latency_sec: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 125.0e6,
+            latency_sec: 1e-3,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// An effectively-infinite network (isolates compute behaviour).
+    pub fn infinite() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            latency_sec: 0.0,
+        }
+    }
+
+    /// Simulated seconds to move `bytes` in one communication round.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// Accumulates simulated wall-clock time: measured local compute plus
+/// modelled network time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimClock {
+    compute_sec: f64,
+    comm_sec: f64,
+}
+
+impl SimClock {
+    /// Add measured local compute seconds (max across workers for a stage).
+    pub fn add_compute(&mut self, sec: f64) {
+        self.compute_sec += sec;
+    }
+
+    /// Add modelled communication seconds.
+    pub fn add_comm(&mut self, sec: f64) {
+        self.comm_sec += sec;
+    }
+
+    /// Compute part of the simulated time.
+    pub fn compute_sec(&self) -> f64 {
+        self.compute_sec
+    }
+
+    /// Communication part of the simulated time.
+    pub fn comm_sec(&self) -> f64 {
+        self.comm_sec
+    }
+
+    /// Total simulated execution time.
+    pub fn total_sec(&self) -> f64 {
+        self.compute_sec + self.comm_sec
+    }
+
+    /// Fraction of total time spent communicating (0 when idle).
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_sec();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.comm_sec / t
+        }
+    }
+
+    /// Merge another clock's time into this one.
+    pub fn merge(&mut self, other: &SimClock) {
+        self.compute_sec += other.compute_sec;
+        self.comm_sec += other.comm_sec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accumulates_by_kind() {
+        let mut s = CommStats::default();
+        s.record(CommKind::Shuffle, "A", 100);
+        s.record(CommKind::Broadcast, "B", 50);
+        s.record(CommKind::Shuffle, "C", 25);
+        assert_eq!(s.shuffle_bytes(), 125);
+        assert_eq!(s.broadcast_bytes(), 50);
+        assert_eq!(s.total_bytes(), 175);
+        assert_eq!(s.event_count(), 3);
+        assert_eq!(s.events()[1].label, "B");
+    }
+
+    #[test]
+    fn merge_and_clear() {
+        let mut a = CommStats::default();
+        a.record(CommKind::Shuffle, "x", 10);
+        let mut b = CommStats::default();
+        b.record(CommKind::Broadcast, "y", 20);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 30);
+        assert_eq!(a.event_count(), 2);
+        a.clear();
+        assert_eq!(a.total_bytes(), 0);
+    }
+
+    #[test]
+    fn network_model_time() {
+        let n = NetworkModel {
+            bandwidth_bytes_per_sec: 100.0,
+            latency_sec: 0.5,
+        };
+        assert_eq!(n.transfer_time(0), 0.0);
+        assert!((n.transfer_time(200) - 2.5).abs() < 1e-12);
+        let inf = NetworkModel::infinite();
+        assert_eq!(inf.transfer_time(1 << 40), 0.0);
+    }
+
+    #[test]
+    fn clock_fractions() {
+        let mut c = SimClock::default();
+        c.add_compute(3.0);
+        c.add_comm(1.0);
+        assert_eq!(c.total_sec(), 4.0);
+        assert_eq!(c.comm_fraction(), 0.25);
+        let mut d = SimClock::default();
+        d.merge(&c);
+        assert_eq!(d.total_sec(), 4.0);
+        assert_eq!(SimClock::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut s = CommStats::default();
+        s.record(CommKind::Shuffle, "A", 2_000_000);
+        let text = s.to_string();
+        assert!(text.contains("2.000 MB"), "{text}");
+    }
+}

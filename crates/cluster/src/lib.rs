@@ -1,0 +1,34 @@
+//! # dmac-cluster — a metered, simulated distributed matrix runtime
+//!
+//! The DMac paper runs on a 4–20 node Spark cluster. This crate replaces
+//! Spark with an **in-process cluster simulator** that preserves exactly
+//! the quantities the paper's evaluation is about:
+//!
+//! * **data placement** — every distributed matrix is partitioned over `N`
+//!   logical workers under one of the paper's schemes (Row, Column,
+//!   Broadcast, plus the Hash placement loaded inputs start with),
+//! * **communication volume** — every block that changes workers is metered
+//!   byte-for-byte in a [`CommStats`] ledger, split into shuffle and
+//!   broadcast traffic,
+//! * **communication time** — a configurable [`NetworkModel`] converts the
+//!   metered bytes into simulated seconds, which the execution engine adds
+//!   to measured local compute time to obtain the reported "execution
+//!   time" (see DESIGN.md §2 for why this reproduces the paper's shape).
+//!
+//! Matrix payloads are shared via [`std::sync::Arc`], so "broadcasting" a
+//! block to all workers inside one OS process does not physically copy it —
+//! the meter still charges the copies the real cluster would make.
+
+pub mod cluster;
+pub mod comm;
+pub mod dist;
+pub mod error;
+pub mod partition;
+pub mod twod;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use comm::{CommEvent, CommKind, CommStats, NetworkModel, SimClock};
+pub use dist::DistMatrix;
+pub use error::{ClusterError, Result};
+pub use partition::PartitionScheme;
+pub use twod::{summa, Dist2d, ProcessGrid};

@@ -1,0 +1,155 @@
+//! Partition schemes and the scheme constraints of paper Table 1.
+//!
+//! DMac adopts three one-dimensional schemes (§3.1): **Row** (`r`) keeps all
+//! elements of a row in one partition, **Column** (`c`) keeps all elements
+//! of a column together, and **Broadcast** (`b`) replicates every element on
+//! every worker. Loaded inputs additionally start in **Hash** placement
+//! (blocks scattered by hash, the way SystemML keeps matrices), which never
+//! satisfies an operator requirement without a repartition.
+//!
+//! The four predicates at the bottom of Table 1 — `EqualB`, `EqualRC`,
+//! `Oppose`, `Contain` — are expressed here and are what the dependency
+//! classifier in `dmac-core` is built on.
+
+use std::fmt;
+
+/// Placement of a distributed matrix across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PartitionScheme {
+    /// Row scheme (`r`): block-rows are distributed over workers.
+    Row,
+    /// Column scheme (`c`): block-columns are distributed over workers.
+    Col,
+    /// Broadcast scheme (`b`): every worker holds the whole matrix.
+    Broadcast,
+    /// Hash placement: blocks scattered by `(bi, bj)` hash — how loaded
+    /// matrices arrive before DMac assigns them a real scheme. Hash is a
+    /// *storage* state, never an operator requirement.
+    Hash,
+}
+
+impl PartitionScheme {
+    /// `EqualB(pi, pj)`: both schemes are Broadcast.
+    pub fn equal_b(self, other: PartitionScheme) -> bool {
+        self == PartitionScheme::Broadcast && other == PartitionScheme::Broadcast
+    }
+
+    /// `EqualRC(pi, pj)`: the same one-dimensional scheme (both Row or both
+    /// Column).
+    pub fn equal_rc(self, other: PartitionScheme) -> bool {
+        self == other && matches!(self, PartitionScheme::Row | PartitionScheme::Col)
+    }
+
+    /// `Oppose(pi, pj)`: one Row and the other Column.
+    pub fn oppose(self, other: PartitionScheme) -> bool {
+        matches!(
+            (self, other),
+            (PartitionScheme::Row, PartitionScheme::Col)
+                | (PartitionScheme::Col, PartitionScheme::Row)
+        )
+    }
+
+    /// `Contain(pi, pj)`: `pi` is Broadcast while `pj` is Row or Column —
+    /// the broadcast copy *contains* every one-dimensional partition.
+    pub fn contain(self, other: PartitionScheme) -> bool {
+        self == PartitionScheme::Broadcast
+            && matches!(other, PartitionScheme::Row | PartitionScheme::Col)
+    }
+
+    /// The complementary one-dimensional scheme (Row ⇄ Col); Broadcast and
+    /// Hash map to themselves. A local transpose turns a `p`-partitioned
+    /// matrix into a `p.flip()`-partitioned transpose.
+    pub fn flip(self) -> PartitionScheme {
+        match self {
+            PartitionScheme::Row => PartitionScheme::Col,
+            PartitionScheme::Col => PartitionScheme::Row,
+            other => other,
+        }
+    }
+
+    /// True for the two one-dimensional schemes.
+    pub fn is_rc(self) -> bool {
+        matches!(self, PartitionScheme::Row | PartitionScheme::Col)
+    }
+
+    /// Short name used in plan dumps — matches the paper's `W1(b)` /
+    /// `V(c)` notation.
+    pub fn short(self) -> &'static str {
+        match self {
+            PartitionScheme::Row => "r",
+            PartitionScheme::Col => "c",
+            PartitionScheme::Broadcast => "b",
+            PartitionScheme::Hash => "h",
+        }
+    }
+
+    /// Which worker owns block `(bi, bj)` of a grid under this scheme.
+    /// Round-robin over block-rows (Row) or block-columns (Col); `None`
+    /// means "every worker" (Broadcast). Hash scatters by a mixed hash.
+    pub fn owner(self, bi: usize, bj: usize, workers: usize) -> Option<usize> {
+        match self {
+            PartitionScheme::Row => Some(bi % workers),
+            PartitionScheme::Col => Some(bj % workers),
+            PartitionScheme::Broadcast => None,
+            PartitionScheme::Hash => Some((bi.wrapping_mul(31).wrapping_add(bj)) % workers),
+        }
+    }
+}
+
+impl fmt::Display for PartitionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::PartitionScheme::*;
+
+    #[test]
+    fn table1_predicates() {
+        assert!(Broadcast.equal_b(Broadcast));
+        assert!(!Row.equal_b(Broadcast));
+
+        assert!(Row.equal_rc(Row));
+        assert!(Col.equal_rc(Col));
+        assert!(!Row.equal_rc(Col));
+        assert!(!Broadcast.equal_rc(Broadcast));
+
+        assert!(Row.oppose(Col));
+        assert!(Col.oppose(Row));
+        assert!(!Row.oppose(Row));
+        assert!(!Broadcast.oppose(Row));
+
+        assert!(Broadcast.contain(Row));
+        assert!(Broadcast.contain(Col));
+        assert!(!Broadcast.contain(Broadcast));
+        assert!(!Row.contain(Col));
+    }
+
+    #[test]
+    fn flip_swaps_row_and_col_only() {
+        assert_eq!(Row.flip(), Col);
+        assert_eq!(Col.flip(), Row);
+        assert_eq!(Broadcast.flip(), Broadcast);
+        assert_eq!(Hash.flip(), Hash);
+    }
+
+    #[test]
+    fn ownership_follows_scheme() {
+        assert_eq!(Row.owner(5, 0, 4), Some(1));
+        assert_eq!(Row.owner(5, 99, 4), Some(1), "row owner ignores bj");
+        assert_eq!(Col.owner(0, 6, 4), Some(2));
+        assert_eq!(Col.owner(99, 6, 4), Some(2), "col owner ignores bi");
+        assert_eq!(Broadcast.owner(3, 3, 4), None);
+        let h = Hash.owner(2, 7, 4).unwrap();
+        assert!(h < 4);
+    }
+
+    #[test]
+    fn short_names_match_paper_notation() {
+        assert_eq!(Row.to_string(), "r");
+        assert_eq!(Col.to_string(), "c");
+        assert_eq!(Broadcast.to_string(), "b");
+    }
+}

@@ -1,0 +1,54 @@
+//! The comparison systems of the paper's evaluation (§6.1, §6.6).
+//!
+//! * **SystemML-S** — "the core techniques of SystemML on Spark", sharing
+//!   DMac's local execution strategy; the only difference is that it plans
+//!   without matrix dependencies. It is realised by
+//!   [`crate::planner::PlannerConfig::systemml_s`]: every operator's inputs
+//!   are repartitioned from the hash-partitioned cache, strategies are
+//!   chosen per-operator.
+//! * **R** — the single-machine in-memory baseline: the same engine on a
+//!   one-worker cluster ([`SystemKind::RLocal`]).
+//! * **ScaLAPACK** — simulated in [`scalapack`]: dense-only block-cyclic
+//!   multiplication (sparse inputs are densified, exactly the behaviour
+//!   Table 4 exposes) with SUMMA-style communication and MPI message
+//!   overhead.
+//! * **SciDB** — simulated in [`scidb`]: chunked array storage that must
+//!   redistribute to ScaLAPACK layout before multiplying, plus DBMS
+//!   query-processing/failure-handling overhead.
+
+pub mod scalapack;
+pub mod scidb;
+
+/// Which system executes a session's programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// DMac: dependency-aware planning (the paper's system).
+    Dmac,
+    /// SystemML-S: dependency-blind planning, same runtime.
+    SystemMlS,
+    /// R: single-node in-memory execution, same kernels.
+    RLocal,
+}
+
+impl SystemKind {
+    /// Display name used by the bench harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Dmac => "DMac",
+            SystemKind::SystemMlS => "SystemML-S",
+            SystemKind::RLocal => "R",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(SystemKind::Dmac.name(), "DMac");
+        assert_eq!(SystemKind::SystemMlS.name(), "SystemML-S");
+        assert_eq!(SystemKind::RLocal.name(), "R");
+    }
+}

@@ -1,0 +1,103 @@
+//! A behavioural simulator of SciDB's linear-algebra path, for Table 4.
+//!
+//! What the paper measures about SciDB (§6.6): its linear algebra is
+//! delegated to ScaLAPACK, but "before performing matrix operations, SciDB
+//! needs to redistribute the data on each computing node to satisfy the
+//! requirement of ScaLAPACK. Meanwhile, SciDB maintains a failure handling
+//! mechanism during the computation, which introduces extra overhead." In
+//! Table 4 SciDB lands ~6.5× slower than raw ScaLAPACK on both sparse and
+//! dense inputs.
+//!
+//! The simulator therefore charges: (1) a full chunk-store → block-cyclic
+//! redistribution of both (densified) inputs, (2) the ScaLAPACK
+//! multiplication itself, (3) a DBMS overhead factor covering query
+//! processing and failure handling, calibrated once against Table 4's
+//! dense ratio and documented in EXPERIMENTS.md.
+
+use dmac_cluster::NetworkModel;
+use dmac_matrix::BlockedMatrix;
+
+use super::scalapack::{self, dense_bytes, ScalapackConfig, SimResult};
+use crate::error::Result;
+
+/// Configuration of the SciDB simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScidbConfig {
+    /// The embedded ScaLAPACK configuration.
+    pub scalapack: ScalapackConfig,
+    /// Multiplier covering query processing + failure handling. The
+    /// paper's Table 4 dense ratio (12m15s / 116s ≈ 6.3) calibrates the
+    /// default.
+    pub dbms_overhead_factor: f64,
+    /// Fixed query setup cost (optimisation, catalog, operator dispatch).
+    pub query_setup_sec: f64,
+}
+
+impl Default for ScidbConfig {
+    fn default() -> Self {
+        ScidbConfig {
+            scalapack: ScalapackConfig::default(),
+            dbms_overhead_factor: 5.0,
+            query_setup_sec: 0.5,
+        }
+    }
+}
+
+/// Simulate `A · B` on SciDB.
+pub fn multiply(a: &BlockedMatrix, b: &BlockedMatrix, cfg: &ScidbConfig) -> Result<SimResult> {
+    // 1. Redistribute chunk storage into block-cyclic layout: every cell
+    //    of both (dense-materialised) inputs crosses the instance
+    //    boundary once.
+    let redist_bytes = dense_bytes(a.rows(), a.cols()) + dense_bytes(b.rows(), b.cols());
+    let net: NetworkModel = cfg.scalapack.network;
+    let redist_sec = net.transfer_time(redist_bytes);
+
+    // 2. The actual multiplication via ScaLAPACK.
+    let inner = scalapack::multiply(a, b, &cfg.scalapack)?;
+
+    // 3. DBMS overheads.
+    let sim_time_sec =
+        cfg.query_setup_sec + redist_sec + inner.sim_time_sec * cfg.dbms_overhead_factor;
+
+    Ok(SimResult {
+        sim_time_sec,
+        comm_bytes: inner.comm_bytes + redist_bytes,
+        result: inner.result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize) -> BlockedMatrix {
+        BlockedMatrix::from_fn(rows, cols, 8, |i, j| ((i * 3 + j) % 4) as f64).unwrap()
+    }
+
+    #[test]
+    fn result_matches_reference() {
+        let a = dense(16, 12);
+        let b = dense(12, 8);
+        let r = multiply(&a, &b, &ScidbConfig::default()).unwrap();
+        assert_eq!(
+            r.result.to_dense(),
+            a.matmul_reference(&b).unwrap().to_dense()
+        );
+    }
+
+    #[test]
+    fn scidb_is_slower_than_raw_scalapack() {
+        let a = dense(64, 64);
+        let b = dense(64, 64);
+        let cfg = ScidbConfig::default();
+        let sci = multiply(&a, &b, &cfg).unwrap();
+        let sca = scalapack::multiply(&a, &b, &cfg.scalapack).unwrap();
+        assert!(
+            sci.sim_time_sec > 2.0 * sca.sim_time_sec,
+            "sci {} vs sca {}",
+            sci.sim_time_sec,
+            sca.sim_time_sec
+        );
+        assert!(sci.comm_bytes > sca.comm_bytes);
+    }
+}

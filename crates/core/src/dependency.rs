@@ -1,0 +1,252 @@
+//! Matrix-dependency classification (paper §3.2, Table 2).
+//!
+//! **Definition 1 (Matrix Dependency).** An input event `In(B, pj, opj)` is
+//! dependent on an output event `Out(A, pi, opi)` if `B = A` or `B = Aᵀ`,
+//! and `Precede(opi, opj)` holds.
+//!
+//! Of the 18 combinations of scheme pairs and transpose relationship, eight
+//! distinct matrix processes suffice (Table 2). Four require communication
+//! (Partition, Transpose-Partition, Broadcast, Transpose-Broadcast); four
+//! are free (Reference, Transpose, Extract, Extract-Transpose).
+
+use dmac_cluster::PartitionScheme;
+
+use crate::event::{InEvent, OutEvent};
+
+/// The eight dependency types of Table 2, named after the matrix process
+/// that satisfies them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DependencyType {
+    /// `A = B`, `Oppose(pi, pj)` — repartition. **Communication.**
+    Partition,
+    /// `A = Bᵀ`, `EqualRC(pi, pj)` — transpose then repartition.
+    /// **Communication.**
+    TransposePartition,
+    /// `A = B`, `Contain(pj, pi)` — broadcast. **Communication.**
+    Broadcast,
+    /// `A = Bᵀ`, `Contain(pj, pi)` — transpose then broadcast.
+    /// **Communication.**
+    TransposeBroadcast,
+    /// `A = B`, `EqualRC(pi, pj) || EqualB(pi, pj)` — direct reuse. Free.
+    Reference,
+    /// `A = Bᵀ`, `Oppose(pi, pj) || EqualB(pi, pj)` — local transpose. Free.
+    Transpose,
+    /// `A = B`, `Contain(pi, pj)` — local filter of a broadcast copy. Free.
+    Extract,
+    /// `A = Bᵀ`, `Contain(pi, pj)` — local filter + local transpose. Free.
+    ExtractTranspose,
+}
+
+impl DependencyType {
+    /// Does satisfying this dependency move data between workers?
+    /// (The paper's two categories: Communication Dependency vs
+    /// Non-Communication Dependency.)
+    pub fn communicates(self) -> bool {
+        matches!(
+            self,
+            DependencyType::Partition
+                | DependencyType::TransposePartition
+                | DependencyType::Broadcast
+                | DependencyType::TransposeBroadcast
+        )
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DependencyType::Partition => "Partition",
+            DependencyType::TransposePartition => "Transpose-Partition",
+            DependencyType::Broadcast => "Broadcast",
+            DependencyType::TransposeBroadcast => "Transpose-Broadcast",
+            DependencyType::Reference => "Reference",
+            DependencyType::Transpose => "Transpose",
+            DependencyType::Extract => "Extract",
+            DependencyType::ExtractTranspose => "Extract-Transpose",
+        }
+    }
+}
+
+/// Classify the dependency between an output event and a later input event
+/// per Table 2. Returns `None` when no dependency exists: different base
+/// matrices, no precedence, a Hash-placed output (which satisfies nothing
+/// without a repartition — callers treat Hash sources as implicit
+/// Partition/Broadcast), or an input requiring Hash (never happens).
+///
+/// ```
+/// use dmac_cluster::PartitionScheme;
+/// use dmac_core::dependency::{classify, DependencyType};
+/// use dmac_core::event::{EventMatrix, InEvent, OutEvent};
+///
+/// // op0 wrote W row-partitioned; op1 reads Wᵀ column-partitioned:
+/// // a free, local Transpose dependency.
+/// let out = OutEvent { matrix: EventMatrix::plain(0), scheme: PartitionScheme::Row, op: 0 };
+/// let inp = InEvent { matrix: EventMatrix::trans(0), scheme: PartitionScheme::Col, op: 1 };
+/// let dep = classify(&out, &inp).unwrap();
+/// assert_eq!(dep, DependencyType::Transpose);
+/// assert!(!dep.communicates());
+/// ```
+pub fn classify(out: &OutEvent, input: &InEvent) -> Option<DependencyType> {
+    if !out.precedes(input) {
+        return None;
+    }
+    let same = input.matrix.same(out.matrix);
+    let trans = input.matrix.transposed_of(out.matrix);
+    if !same && !trans {
+        return None;
+    }
+    let (pi, pj) = (out.scheme, input.scheme);
+    if pi == PartitionScheme::Hash || pj == PartitionScheme::Hash {
+        return None;
+    }
+    let dep = if same {
+        if pi.equal_rc(pj) || pi.equal_b(pj) {
+            DependencyType::Reference
+        } else if pi.oppose(pj) {
+            DependencyType::Partition
+        } else if pj.contain(pi) {
+            DependencyType::Broadcast
+        } else {
+            debug_assert!(pi.contain(pj));
+            DependencyType::Extract
+        }
+    } else {
+        // B = Aᵀ
+        if pi.oppose(pj) || pi.equal_b(pj) {
+            DependencyType::Transpose
+        } else if pi.equal_rc(pj) {
+            DependencyType::TransposePartition
+        } else if pj.contain(pi) {
+            DependencyType::TransposeBroadcast
+        } else {
+            debug_assert!(pi.contain(pj));
+            DependencyType::ExtractTranspose
+        }
+    };
+    Some(dep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventMatrix;
+    use PartitionScheme::{Broadcast as B, Col as C, Row as R};
+
+    fn out(t: bool, p: PartitionScheme) -> OutEvent {
+        OutEvent {
+            matrix: if t {
+                EventMatrix::trans(0)
+            } else {
+                EventMatrix::plain(0)
+            },
+            scheme: p,
+            op: 0,
+        }
+    }
+
+    fn inp(t: bool, p: PartitionScheme) -> InEvent {
+        InEvent {
+            matrix: if t {
+                EventMatrix::trans(0)
+            } else {
+                EventMatrix::plain(0)
+            },
+            scheme: p,
+            op: 1,
+        }
+    }
+
+    /// Exhaustive check of all 18 combinations of Table 2: 9 scheme pairs
+    /// × 2 transpose relationships.
+    #[test]
+    fn all_eighteen_combinations_match_table2() {
+        use DependencyType::*;
+        let cases: Vec<(PartitionScheme, PartitionScheme, bool, DependencyType)> = vec![
+            // same matrix (A = B)
+            (R, R, false, Reference),
+            (C, C, false, Reference),
+            (B, B, false, Reference),
+            (R, C, false, Partition),
+            (C, R, false, Partition),
+            (R, B, false, Broadcast),
+            (C, B, false, Broadcast),
+            (B, R, false, Extract),
+            (B, C, false, Extract),
+            // transposed (B = Aᵀ)
+            (R, C, true, Transpose),
+            (C, R, true, Transpose),
+            (B, B, true, Transpose),
+            (R, R, true, TransposePartition),
+            (C, C, true, TransposePartition),
+            (R, B, true, TransposeBroadcast),
+            (C, B, true, TransposeBroadcast),
+            (B, R, true, ExtractTranspose),
+            (B, C, true, ExtractTranspose),
+        ];
+        assert_eq!(cases.len(), 18);
+        for (pi, pj, transposed, expect) in cases {
+            let o = out(false, pi);
+            let i = inp(transposed, pj);
+            assert_eq!(
+                classify(&o, &i),
+                Some(expect),
+                "Out(A,{pi}) -> In({}, {pj})",
+                if transposed { "At" } else { "A" }
+            );
+        }
+    }
+
+    #[test]
+    fn communication_category_matches_table2() {
+        use DependencyType::*;
+        for (dep, comm) in [
+            (Partition, true),
+            (TransposePartition, true),
+            (Broadcast, true),
+            (TransposeBroadcast, true),
+            (Reference, false),
+            (Transpose, false),
+            (Extract, false),
+            (ExtractTranspose, false),
+        ] {
+            assert_eq!(dep.communicates(), comm, "{}", dep.name());
+        }
+    }
+
+    #[test]
+    fn no_dependency_without_precedence() {
+        let o = OutEvent {
+            matrix: EventMatrix::plain(0),
+            scheme: R,
+            op: 5,
+        };
+        let i = InEvent {
+            matrix: EventMatrix::plain(0),
+            scheme: R,
+            op: 5,
+        };
+        assert_eq!(classify(&o, &i), None);
+    }
+
+    #[test]
+    fn no_dependency_across_matrices() {
+        let o = out(false, R);
+        let mut i = inp(false, R);
+        i.matrix = EventMatrix::plain(9);
+        assert_eq!(classify(&o, &i), None);
+    }
+
+    #[test]
+    fn hash_sources_satisfy_nothing() {
+        let o = out(false, PartitionScheme::Hash);
+        assert_eq!(classify(&o, &inp(false, R)), None);
+        assert_eq!(classify(&o, &inp(true, B)), None);
+    }
+
+    #[test]
+    fn transpose_relation_is_symmetric_in_classification() {
+        // Out(Aᵀ, r) -> In(A, c) is also a Transpose dependency.
+        let o = out(true, R);
+        let i = inp(false, C);
+        assert_eq!(classify(&o, &i), Some(DependencyType::Transpose));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type spanning planning and execution.
+
+use std::fmt;
+
+/// Errors from planning or executing a matrix program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Program-construction/validation error.
+    Lang(dmac_lang::LangError),
+    /// Distributed-runtime error.
+    Cluster(dmac_cluster::ClusterError),
+    /// Local-kernel error.
+    Matrix(dmac_matrix::MatrixError),
+    /// Planner invariant violation.
+    Planner(String),
+    /// Engine invariant violation (plan/runtime mismatch).
+    Engine(String),
+    /// A load referred to a name the session has no binding for.
+    Unbound(String),
+    /// Requested value is not available (expression not part of the last
+    /// run's outputs, or no run has happened).
+    NoValue(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lang(e) => write!(f, "program error: {e}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Matrix(e) => write!(f, "kernel error: {e}"),
+            CoreError::Planner(m) => write!(f, "planner error: {m}"),
+            CoreError::Engine(m) => write!(f, "engine error: {m}"),
+            CoreError::Unbound(n) => write!(f, "no binding for input matrix '{n}'"),
+            CoreError::NoValue(m) => write!(f, "value unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Lang(e) => Some(e),
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dmac_lang::LangError> for CoreError {
+    fn from(e: dmac_lang::LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+impl From<dmac_cluster::ClusterError> for CoreError {
+    fn from(e: dmac_cluster::ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<dmac_matrix::MatrixError> for CoreError {
+    fn from(e: dmac_matrix::MatrixError) -> Self {
+        CoreError::Matrix(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = dmac_lang::LangError::NoOutputs.into();
+        assert!(e.to_string().contains("no outputs"));
+        let e: CoreError = dmac_matrix::MatrixError::InvalidBlockSize(0).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CoreError::Unbound("V".into()).to_string().contains("'V'"));
+    }
+}

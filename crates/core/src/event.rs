@@ -1,0 +1,115 @@
+//! Input/output events (paper §3.1, Table 1).
+//!
+//! An *event* is "an input (output) process of reading (writing) a single
+//! matrix by an operator": `In(A, p, op)` reads matrix `A` under partition
+//! scheme `p`; `Out(A, p, op)` writes it. Events are the endpoints of
+//! matrix dependencies. A reference may be to the transpose of a stored
+//! value (`B = Aᵀ` in Definition 1), so events carry a `transposed` flag
+//! relative to the base matrix value they touch.
+
+use dmac_cluster::PartitionScheme;
+use dmac_lang::MatrixId;
+
+/// The matrix side of an event: which base value, and whether the event is
+/// about its transpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventMatrix {
+    /// The base matrix value.
+    pub id: MatrixId,
+    /// True when the event concerns `Aᵀ` rather than `A`.
+    pub transposed: bool,
+}
+
+impl EventMatrix {
+    /// Untransposed reference to `id`.
+    pub fn plain(id: MatrixId) -> EventMatrix {
+        EventMatrix {
+            id,
+            transposed: false,
+        }
+    }
+
+    /// Transposed reference to `id`.
+    pub fn trans(id: MatrixId) -> EventMatrix {
+        EventMatrix {
+            id,
+            transposed: true,
+        }
+    }
+
+    /// Do two event matrices denote the same data (`A = B`)?
+    pub fn same(self, other: EventMatrix) -> bool {
+        self.id == other.id && self.transposed == other.transposed
+    }
+
+    /// Do they denote each other's transpose (`A = Bᵀ`)?
+    pub fn transposed_of(self, other: EventMatrix) -> bool {
+        self.id == other.id && self.transposed != other.transposed
+    }
+}
+
+/// `In(A, p, op)` — operator `op` requires matrix `A` partitioned `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InEvent {
+    /// What is read.
+    pub matrix: EventMatrix,
+    /// Scheme the operator requires.
+    pub scheme: PartitionScheme,
+    /// Index of the reading operator in the program.
+    pub op: usize,
+}
+
+/// `Out(A, p, op)` — operator `op` produces (or leaves cached) matrix `A`
+/// partitioned `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutEvent {
+    /// What is written.
+    pub matrix: EventMatrix,
+    /// Scheme it is materialised with.
+    pub scheme: PartitionScheme,
+    /// Index of the producing operator.
+    pub op: usize,
+}
+
+impl OutEvent {
+    /// `Precede(op_i, op_j)` — this output happened before the given input
+    /// is consumed.
+    pub fn precedes(&self, input: &InEvent) -> bool {
+        self.op < input.op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_and_transposed_of() {
+        let a = EventMatrix::plain(1);
+        let at = EventMatrix::trans(1);
+        let b = EventMatrix::plain(2);
+        assert!(a.same(a));
+        assert!(!a.same(at));
+        assert!(a.transposed_of(at));
+        assert!(at.transposed_of(a));
+        assert!(!a.transposed_of(b));
+        assert!(!a.same(b));
+    }
+
+    #[test]
+    fn precede_is_strict() {
+        let out = OutEvent {
+            matrix: EventMatrix::plain(0),
+            scheme: PartitionScheme::Row,
+            op: 3,
+        };
+        let later = InEvent {
+            matrix: EventMatrix::plain(0),
+            scheme: PartitionScheme::Row,
+            op: 5,
+        };
+        let same_op = InEvent { op: 3, ..later };
+        assert!(out.precedes(&later));
+        assert!(!out.precedes(&same_op));
+    }
+}

@@ -1,0 +1,43 @@
+//! # dmac-core — matrix-dependency analysis, planning, and execution
+//!
+//! This crate is the reproduction of the DMac paper's primary contribution:
+//!
+//! * [`event`] — input/output *events* (`In(A, p, op)` / `Out(A, p, op)`),
+//!   the vocabulary of §3.
+//! * [`dependency`] — the matrix-dependency classifier: Definition 1 and
+//!   the eight dependency types of Table 2, split into communication and
+//!   non-communication categories.
+//! * [`cost`] — the dependency-oriented cost model of §4.1: input events
+//!   cost `0`, `|A|`, or `N·|A|`; a CPMM output event costs `N·|A|`.
+//! * [`strategy`] — the candidate execution strategies per operator
+//!   (RMM1 / RMM2 / CPMM for multiplication, scheme-aligned strategies for
+//!   cell-wise and unary operators).
+//! * [`plan`] — the execution plan: compute steps plus the five extended
+//!   operators (`partition`, `broadcast`, `transpose`, `reference`,
+//!   `extract`) of §4.2.1.
+//! * [`planner`] — Algorithm 1 with Heuristic 1 (Pull-Up Broadcast) and
+//!   Heuristic 2 (Re-assignment).
+//! * [`stage`] — the traverse-based stage scheduler of §5.2: the plan is
+//!   split into un-interleaved stages whose boundaries are exactly the
+//!   communication operators.
+//! * [`engine`] — executes a staged plan on the simulated cluster,
+//!   reporting per-phase compute/communication statistics.
+//! * [`baselines`] — the systems DMac is compared against: SystemML-S
+//!   (same runtime, dependency-blind planner), single-node R, and the
+//!   ScaLAPACK / SciDB simulators used for Table 4.
+//! * [`session`] — the user-facing facade tying everything together.
+
+pub mod baselines;
+pub mod cost;
+pub mod dependency;
+pub mod engine;
+pub mod error;
+pub mod event;
+pub mod plan;
+pub mod planner;
+pub mod session;
+pub mod stage;
+pub mod strategy;
+
+pub use error::{CoreError, Result};
+pub use session::Session;

@@ -1,0 +1,446 @@
+//! The execution plan: a DAG of materialised matrix instances connected by
+//! compute steps and the five extended operators of §4.2.1.
+//!
+//! A [`PlanNode`] is one *physical* matrix instance: a program value,
+//! possibly transposed, materialised under a concrete partition scheme —
+//! the ellipses of the paper's Figure 3 (`W1(b)`, `W1ᵀV(c)`, …). A
+//! [`PlanStep`] is an edge: either one of the extended operators
+//! (`partition`, `broadcast`, `transpose`, `reference`, `extract`) or a
+//! `compute` step carrying the chosen execution strategy.
+
+use std::fmt::Write as _;
+
+use dmac_cluster::PartitionScheme;
+use dmac_lang::{MatrixId, Program, ScalarId};
+
+use crate::strategy::Strategy;
+
+/// Index of a node in [`Plan::nodes`].
+pub type NodeId = usize;
+
+/// One materialised matrix instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The program value this node holds.
+    pub matrix: MatrixId,
+    /// True when the node physically holds the transpose of that value.
+    pub transposed: bool,
+    /// Partition scheme the node is materialised under.
+    pub scheme: PartitionScheme,
+    /// CPMM outputs start flexible (`r|c`); the Re-assignment heuristic
+    /// pins them. Flexible nodes are finalised to Row if never pinned.
+    pub flexible: bool,
+}
+
+/// One step of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStep {
+    /// `partition`: repartition `src` into `out`'s Row/Column scheme.
+    /// **Communication.**
+    Partition {
+        /// Source node.
+        src: NodeId,
+        /// Destination node (its scheme is the repartition target).
+        out: NodeId,
+        /// Phase tag inherited from the consuming operator.
+        phase: usize,
+    },
+    /// `broadcast`: replicate `src` on every worker. **Communication.**
+    Broadcast {
+        /// Source node.
+        src: NodeId,
+        /// Destination (Broadcast-scheme) node.
+        out: NodeId,
+        /// Phase tag.
+        phase: usize,
+    },
+    /// `transpose`: local transpose with complementary scheme. Free.
+    Transpose {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        out: NodeId,
+        /// Phase tag.
+        phase: usize,
+    },
+    /// `extract`: local filter of a Broadcast copy down to Row/Column. Free.
+    Extract {
+        /// Source (Broadcast) node.
+        src: NodeId,
+        /// Destination node.
+        out: NodeId,
+        /// Phase tag.
+        phase: usize,
+    },
+    /// `reference`: null operation marking direct reuse. Free.
+    Reference {
+        /// Source node.
+        src: NodeId,
+        /// Alias node (same matrix, same scheme).
+        out: NodeId,
+        /// Phase tag.
+        phase: usize,
+    },
+    /// A decomposed program operator executed with a chosen strategy.
+    Compute {
+        /// Index of the operator in the program.
+        op: usize,
+        /// The selected execution strategy.
+        strategy: Strategy,
+        /// Input nodes, in operand order.
+        inputs: Vec<NodeId>,
+        /// Output node (None for reductions).
+        out: Option<NodeId>,
+        /// Output scalar (reductions only).
+        out_scalar: Option<ScalarId>,
+        /// Phase tag (iteration number).
+        phase: usize,
+    },
+}
+
+impl PlanStep {
+    /// Phase tag of the step.
+    pub fn phase(&self) -> usize {
+        match self {
+            PlanStep::Partition { phase, .. }
+            | PlanStep::Broadcast { phase, .. }
+            | PlanStep::Transpose { phase, .. }
+            | PlanStep::Extract { phase, .. }
+            | PlanStep::Reference { phase, .. }
+            | PlanStep::Compute { phase, .. } => *phase,
+        }
+    }
+
+    /// Does this step move data between workers? Partition and Broadcast
+    /// always do; a Compute step does exactly when its strategy's output
+    /// event communicates (CPMM).
+    pub fn is_comm(&self) -> bool {
+        match self {
+            PlanStep::Partition { .. } | PlanStep::Broadcast { .. } => true,
+            PlanStep::Compute { strategy, .. } => strategy.output_communicates(),
+            _ => false,
+        }
+    }
+
+    /// The node this step defines, if any.
+    pub fn out_node(&self) -> Option<NodeId> {
+        match self {
+            PlanStep::Partition { out, .. }
+            | PlanStep::Broadcast { out, .. }
+            | PlanStep::Transpose { out, .. }
+            | PlanStep::Extract { out, .. }
+            | PlanStep::Reference { out, .. } => Some(*out),
+            PlanStep::Compute { out, .. } => *out,
+        }
+    }
+
+    /// The nodes this step reads.
+    pub fn in_nodes(&self) -> Vec<NodeId> {
+        match self {
+            PlanStep::Partition { src, .. }
+            | PlanStep::Broadcast { src, .. }
+            | PlanStep::Transpose { src, .. }
+            | PlanStep::Extract { src, .. }
+            | PlanStep::Reference { src, .. } => vec![*src],
+            PlanStep::Compute { inputs, .. } => inputs.clone(),
+        }
+    }
+}
+
+/// A complete execution plan for one program.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// All materialised matrix instances.
+    pub nodes: Vec<PlanNode>,
+    /// Steps in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Source nodes: `(node, matrix id)` for every load/random input, in
+    /// the placement it starts with.
+    pub sources: Vec<(NodeId, MatrixId)>,
+    /// Output bindings: `(node, program matrix id, optional store name)`.
+    pub outputs: Vec<(NodeId, MatrixId, Option<String>)>,
+}
+
+impl Plan {
+    /// Add a node, returning its id.
+    pub fn add_node(
+        &mut self,
+        matrix: MatrixId,
+        transposed: bool,
+        scheme: PartitionScheme,
+        flexible: bool,
+    ) -> NodeId {
+        self.nodes.push(PlanNode {
+            matrix,
+            transposed,
+            scheme,
+            flexible,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Finalise: any still-flexible CPMM output defaults to Row.
+    pub fn finalize_flexible(&mut self) {
+        for n in &mut self.nodes {
+            if n.flexible {
+                n.scheme = PartitionScheme::Row;
+                n.flexible = false;
+            }
+        }
+    }
+
+    /// Total modelled communication cost of the plan under a cost model:
+    /// sum over comm steps of the moved estimate. Used by planner tests;
+    /// the real metered value comes from execution.
+    pub fn comm_step_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.is_comm()).count()
+    }
+
+    /// Human-readable label of a node, paper-style: `W1t(b)`.
+    pub fn node_label(&self, program: &Program, id: NodeId) -> String {
+        let n = &self.nodes[id];
+        let name = program
+            .decl(n.matrix)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|_| format!("m{}", n.matrix));
+        format!(
+            "{}{}({})",
+            name,
+            if n.transposed { "t" } else { "" },
+            n.scheme.short()
+        )
+    }
+
+    /// Render the plan as Graphviz DOT — the paper's Figure 3 as an
+    /// artifact: matrix instances are ellipses labelled `name(scheme)`,
+    /// edges are operators, communication edges are red/bold, local
+    /// (dependency) edges dashed blue, and nodes are ranked by stage.
+    pub fn to_dot(&self, program: &Program) -> String {
+        use std::fmt::Write as _;
+        let stages = crate::stage::schedule(self);
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph plan {{");
+        let _ = writeln!(s, "  rankdir=TB; node [shape=ellipse, fontsize=10];");
+        for (i, _) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  n{i} [label=\"{}\"];",
+                self.node_label(program, i).replace('"', "'")
+            );
+        }
+        let mut op_counter = 0usize;
+        for step in &self.steps {
+            let (style, label) = match step {
+                PlanStep::Partition { .. } => ("color=red, penwidth=2", "partition".to_string()),
+                PlanStep::Broadcast { .. } => ("color=red, penwidth=2", "broadcast".to_string()),
+                PlanStep::Transpose { .. } => ("color=blue, style=dashed", "transpose".to_string()),
+                PlanStep::Extract { .. } => ("color=blue, style=dashed", "extract".to_string()),
+                PlanStep::Reference { .. } => ("color=blue, style=dashed", "reference".to_string()),
+                PlanStep::Compute { strategy, .. } => ("color=black", strategy.name()),
+            };
+            match step {
+                PlanStep::Compute { inputs, out, .. } => {
+                    let target = match out {
+                        Some(o) => format!("n{o}"),
+                        None => {
+                            // Scalar sinks get a point node.
+                            let id = format!("s{op_counter}");
+                            let _ = writeln!(s, "  {id} [shape=point];");
+                            id
+                        }
+                    };
+                    op_counter += 1;
+                    for input in inputs {
+                        let _ = writeln!(s, "  n{input} -> {target} [label=\"{label}\", {style}];");
+                    }
+                }
+                other => {
+                    if let (Some(src), Some(out)) =
+                        (other.in_nodes().first().copied(), other.out_node())
+                    {
+                        let _ = writeln!(s, "  n{src} -> n{out} [label=\"{label}\", {style}];");
+                    }
+                }
+            }
+        }
+        // Rank nodes by stage (the Figure-3 horizontal bands).
+        for k in 0..stages.count {
+            let members: Vec<String> = stages
+                .node_stage
+                .iter()
+                .enumerate()
+                .filter(|(_, &st)| st == k)
+                .map(|(i, _)| format!("n{i}"))
+                .collect();
+            if members.len() > 1 {
+                let _ = writeln!(s, "  {{ rank=same; {}; }}", members.join("; "));
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// EXPLAIN-style dump of the plan (used by the `plan_explain` example
+    /// and by debugging sessions).
+    pub fn explain(&self, program: &Program) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "plan: {} nodes, {} steps",
+            self.nodes.len(),
+            self.steps.len()
+        );
+        for (i, step) in self.steps.iter().enumerate() {
+            let line = match step {
+                PlanStep::Partition { src, out, .. } => format!(
+                    "partition   {} -> {}",
+                    self.node_label(program, *src),
+                    self.node_label(program, *out)
+                ),
+                PlanStep::Broadcast { src, out, .. } => format!(
+                    "broadcast   {} -> {}",
+                    self.node_label(program, *src),
+                    self.node_label(program, *out)
+                ),
+                PlanStep::Transpose { src, out, .. } => format!(
+                    "transpose   {} -> {}",
+                    self.node_label(program, *src),
+                    self.node_label(program, *out)
+                ),
+                PlanStep::Extract { src, out, .. } => format!(
+                    "extract     {} -> {}",
+                    self.node_label(program, *src),
+                    self.node_label(program, *out)
+                ),
+                PlanStep::Reference { src, out, .. } => format!(
+                    "reference   {} -> {}",
+                    self.node_label(program, *src),
+                    self.node_label(program, *out)
+                ),
+                PlanStep::Compute {
+                    op,
+                    strategy,
+                    inputs,
+                    out,
+                    ..
+                } => {
+                    let ins: Vec<String> = inputs
+                        .iter()
+                        .map(|&n| self.node_label(program, n))
+                        .collect();
+                    let out_s = out
+                        .map(|n| self.node_label(program, n))
+                        .unwrap_or_else(|| "<scalar>".into());
+                    format!(
+                        "compute#{op:<3} {} [{}] -> {}",
+                        strategy.name(),
+                        ins.join(", "),
+                        out_s
+                    )
+                }
+            };
+            let comm = if step.is_comm() { " *comm*" } else { "" };
+            let _ = writeln!(s, "  [{i:>3}] {line}{comm}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_kind_predicates() {
+        let p = PlanStep::Partition {
+            src: 0,
+            out: 1,
+            phase: 0,
+        };
+        assert!(p.is_comm());
+        assert_eq!(p.out_node(), Some(1));
+        assert_eq!(p.in_nodes(), vec![0]);
+
+        let t = PlanStep::Transpose {
+            src: 0,
+            out: 1,
+            phase: 2,
+        };
+        assert!(!t.is_comm());
+        assert_eq!(t.phase(), 2);
+
+        let c = PlanStep::Compute {
+            op: 0,
+            strategy: Strategy::Cpmm,
+            inputs: vec![1, 2],
+            out: Some(3),
+            out_scalar: None,
+            phase: 0,
+        };
+        assert!(c.is_comm(), "CPMM output shuffles");
+        let c2 = PlanStep::Compute {
+            op: 0,
+            strategy: Strategy::Rmm1,
+            inputs: vec![1, 2],
+            out: Some(3),
+            out_scalar: None,
+            phase: 0,
+        };
+        assert!(!c2.is_comm());
+        assert_eq!(c2.in_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn finalize_pins_flexible_to_row() {
+        let mut plan = Plan::default();
+        let n = plan.add_node(0, false, PartitionScheme::Col, true);
+        plan.finalize_flexible();
+        assert_eq!(plan.nodes[n].scheme, PartitionScheme::Row);
+        assert!(!plan.nodes[n].flexible);
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut program = Program::new();
+        let a = program.load("A", 8, 8, 1.0);
+        let b = program.matmul(a, a).unwrap();
+        program.output(b);
+        let planned = crate::planner::plan_program(
+            &program,
+            &crate::planner::PlannerConfig::default(),
+            2,
+            &std::collections::HashMap::new(),
+        )
+        .unwrap();
+        let dot = planned.plan.to_dot(&program);
+        assert!(dot.starts_with("digraph plan {"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'), "{dot}");
+        assert!(dot.contains("A(h)"), "{dot}");
+        assert!(dot.contains("color=red"), "comm edges highlighted: {dot}");
+        assert!(dot.matches("->").count() >= 2, "{dot}");
+    }
+
+    #[test]
+    fn explain_renders_labels() {
+        let mut program = Program::new();
+        let w = program.load("W", 4, 4, 1.0);
+        let x = program.matmul(w.t(), w).unwrap();
+        program.output(x);
+
+        let mut plan = Plan::default();
+        let a = plan.add_node(w.id, true, PartitionScheme::Broadcast, false);
+        let b = plan.add_node(w.id, false, PartitionScheme::Col, false);
+        let c = plan.add_node(x.id, false, PartitionScheme::Col, false);
+        plan.steps.push(PlanStep::Compute {
+            op: 0,
+            strategy: Strategy::Rmm1,
+            inputs: vec![a, b],
+            out: Some(c),
+            out_scalar: None,
+            phase: 0,
+        });
+        let text = plan.explain(&program);
+        assert!(text.contains("Wt(b)"), "{text}");
+        assert!(text.contains("RMM1"), "{text}");
+    }
+}

@@ -1,0 +1,1037 @@
+//! The plan-generation algorithm (paper §4.2, Algorithm 1).
+//!
+//! The planner walks the decomposed operator sequence in program order
+//! (multiplications hoisted among simultaneously-ready operators, §4.2.3).
+//! For each operator it:
+//!
+//! 1. enumerates the candidate strategies ([`crate::strategy::candidates`]),
+//! 2. prices each candidate with the dependency-oriented cost model — an
+//!    input event is free exactly when a Non-Communication dependency
+//!    (Reference / Transpose / Extract / Extract-Transpose) links it to an
+//!    output event already in the `OutputSet`,
+//! 3. commits the `argmin` strategy, emitting the extended operators
+//!    (`partition` / `broadcast` / `transpose` / `extract`) that realise
+//!    each input's dependency,
+//! 4. registers repartitioned copies in the `OutputSet` (Algorithm 1,
+//!    line 19) so later operators reuse them, and
+//! 5. applies **Heuristic 1 (Pull-Up Broadcast)** — when a broadcast
+//!    requirement meets an earlier paid partition of the same matrix, the
+//!    earlier partition is rewritten into a broadcast + extract — and
+//!    **Heuristic 2 (Re-assignment)** — CPMM outputs stay `r|c`-flexible
+//!    until their first consumer pins the scheme that makes it free.
+//!
+//! With `exploit_dependencies = false` the same machinery plans like
+//! **SystemML-S**: every input event is priced and satisfied as if nothing
+//! were reusable (each operator repartitions its inputs from the
+//! hash-partitioned cache), which is exactly the baseline of §6.1.
+
+use std::collections::HashMap;
+
+use dmac_cluster::PartitionScheme;
+use dmac_lang::{MatrixId, MatrixOrigin, MatrixRef, Program};
+
+use crate::cost::CostModel;
+use crate::error::{CoreError, Result};
+use crate::plan::{NodeId, Plan, PlanStep};
+use crate::strategy::{candidates, Candidate, OutScheme};
+
+/// Planner knobs. Defaults reproduce full DMac; the ablation benches and
+/// the SystemML-S baseline flip individual switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerConfig {
+    /// Track matrix dependencies across operators (the paper's core idea).
+    /// `false` plans like SystemML-S.
+    pub exploit_dependencies: bool,
+    /// §4.2.3: hoist ready multiplications in the decomposition order.
+    pub multiplication_first: bool,
+    /// Heuristic 1: Pull-Up Broadcast.
+    pub pull_up_broadcast: bool,
+    /// Heuristic 2: Re-assignment of flexible output schemes.
+    pub re_assignment: bool,
+    /// Allow the CPMM strategy (ablation switch).
+    pub allow_cpmm: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            exploit_dependencies: true,
+            multiplication_first: true,
+            pull_up_broadcast: true,
+            re_assignment: true,
+            allow_cpmm: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// The SystemML-S baseline: same strategies and cost model, no
+    /// dependency tracking, no heuristics.
+    pub fn systemml_s() -> PlannerConfig {
+        PlannerConfig {
+            exploit_dependencies: false,
+            multiplication_first: false,
+            pull_up_broadcast: false,
+            re_assignment: false,
+            allow_cpmm: true,
+        }
+    }
+}
+
+/// Element of the planner's `InputSet` (Algorithm 1, line 22): a paid
+/// input event that Pull-Up Broadcast may later rewrite.
+#[derive(Debug, Clone)]
+struct InputRecord {
+    matrix: MatrixId,
+    scheme: PartitionScheme,
+    cost: u64,
+    /// Index of the `partition` step that satisfied this event, while it
+    /// is still eligible for pull-up.
+    partition_step: Option<usize>,
+}
+
+/// Result of planning: the plan plus the planner's own cost estimate.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// The generated execution plan.
+    pub plan: Plan,
+    /// The planner's estimated total communication (cost-model units:
+    /// worst-case bytes).
+    pub estimated_comm: u64,
+}
+
+/// How a free (non-communication) acquisition would be realised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FreePath {
+    /// Reference dependency: the node itself.
+    Exact(NodeId),
+    /// Re-assignment: pin a flexible node to the required scheme.
+    PinFlexible(NodeId),
+    /// Pin a flexible node to the flipped scheme, then transpose.
+    PinFlexibleTranspose(NodeId),
+    /// Transpose dependency.
+    Transpose(NodeId),
+    /// Extract dependency.
+    Extract(NodeId),
+    /// Extract-Transpose dependency (transpose the broadcast copy, then
+    /// extract).
+    TransposeExtract(NodeId),
+}
+
+/// Generate an execution plan for `program`.
+///
+/// `initial_schemes` gives the placement each load/random starts with
+/// (from the session's cache of previous runs); anything absent starts
+/// Hash-placed, like a freshly loaded RDD.
+pub fn plan_program(
+    program: &Program,
+    cfg: &PlannerConfig,
+    workers: usize,
+    initial_schemes: &HashMap<MatrixId, PartitionScheme>,
+) -> Result<Planned> {
+    plan_with_forced(program, cfg, workers, initial_schemes, None)
+}
+
+/// Like [`plan_program`], but with the strategy of selected operators
+/// *forced* (`forced[op_index] = candidate index` in
+/// [`crate::strategy::candidates`] order). Used by the exhaustive oracle
+/// and by what-if analyses; unlisted operators keep the greedy argmin.
+pub fn plan_with_forced(
+    program: &Program,
+    cfg: &PlannerConfig,
+    workers: usize,
+    initial_schemes: &HashMap<MatrixId, PartitionScheme>,
+    forced: Option<&HashMap<usize, usize>>,
+) -> Result<Planned> {
+    program.validate()?;
+    let mut p = Planner {
+        program,
+        cfg: *cfg,
+        cost: CostModel::new(workers),
+        plan: Plan::default(),
+        avail: HashMap::new(),
+        input_records: Vec::new(),
+        estimated_comm: 0,
+        forced: forced.cloned().unwrap_or_default(),
+    };
+    p.seed_sources(initial_schemes);
+    for &op_idx in &program.planner_order(cfg.multiplication_first) {
+        p.plan_operator(op_idx)?;
+    }
+    p.bind_outputs()?;
+    p.plan.finalize_flexible();
+    Ok(Planned {
+        plan: p.plan,
+        estimated_comm: p.estimated_comm,
+    })
+}
+
+/// Exhaustive planning oracle: enumerate every per-operator strategy
+/// assignment, plan each with the full dependency machinery, and return
+/// the cheapest plan by estimated communication. Exponential in the
+/// number of multi-strategy operators — refuses programs with more than
+/// `max_combinations` assignments. Exists to validate the greedy
+/// Algorithm 1 on small programs (`tests/planner_oracle.rs`).
+pub fn plan_exhaustive(
+    program: &Program,
+    cfg: &PlannerConfig,
+    workers: usize,
+    initial_schemes: &HashMap<MatrixId, PartitionScheme>,
+    max_combinations: usize,
+) -> Result<Planned> {
+    program.validate()?;
+    // Candidate count per operator.
+    let counts: Vec<usize> = program
+        .ops()
+        .iter()
+        .map(|op| candidates(&op.kind, cfg.allow_cpmm).len())
+        .collect();
+    let total: usize = counts
+        .iter()
+        .try_fold(1usize, |acc, &c| {
+            acc.checked_mul(c).filter(|&t| t <= max_combinations)
+        })
+        .ok_or_else(|| {
+            CoreError::Planner(format!(
+                "exhaustive search over {} operators exceeds the {} combination budget",
+                counts.len(),
+                max_combinations
+            ))
+        })?;
+    let mut best: Option<Planned> = None;
+    for mut combo in 0..total {
+        let mut forced = HashMap::new();
+        for (op_idx, &c) in counts.iter().enumerate() {
+            forced.insert(op_idx, combo % c);
+            combo /= c;
+        }
+        let planned = plan_with_forced(program, cfg, workers, initial_schemes, Some(&forced))?;
+        if best
+            .as_ref()
+            .map(|b| planned.estimated_comm < b.estimated_comm)
+            .unwrap_or(true)
+        {
+            best = Some(planned);
+        }
+    }
+    Ok(best.expect("at least one combination"))
+}
+
+struct Planner<'a> {
+    program: &'a Program,
+    cfg: PlannerConfig,
+    cost: CostModel,
+    plan: Plan,
+    /// `OutputSet`: every materialised node per base matrix.
+    avail: HashMap<MatrixId, Vec<NodeId>>,
+    /// `InputSet`: paid input events, for Pull-Up Broadcast.
+    input_records: Vec<InputRecord>,
+    estimated_comm: u64,
+    /// Forced strategy choices (op index -> candidate index).
+    forced: HashMap<usize, usize>,
+}
+
+impl<'a> Planner<'a> {
+    fn seed_sources(&mut self, initial: &HashMap<MatrixId, PartitionScheme>) {
+        for decl in self.program.matrices() {
+            if matches!(decl.origin, MatrixOrigin::Load | MatrixOrigin::Random) {
+                let scheme = initial
+                    .get(&decl.id)
+                    .copied()
+                    .unwrap_or(PartitionScheme::Hash);
+                let node = self.plan.add_node(decl.id, false, scheme, false);
+                self.plan.sources.push((node, decl.id));
+                self.avail.entry(decl.id).or_default().push(node);
+            }
+        }
+    }
+
+    fn size_of(&self, r: &MatrixRef) -> u64 {
+        // |A| is invariant under transposition.
+        self.program
+            .decl(r.id)
+            .map(|d| d.stats.est_bytes())
+            .unwrap_or(0)
+    }
+
+    fn register(&mut self, node: NodeId) {
+        let m = self.plan.nodes[node].matrix;
+        self.avail.entry(m).or_default().push(node);
+    }
+
+    /// Search the `OutputSet` for a node satisfying `(id, transposed, req)`
+    /// through a non-communication dependency.
+    fn find_free(&self, r: &MatrixRef, req: PartitionScheme) -> Option<FreePath> {
+        if !self.cfg.exploit_dependencies {
+            return None;
+        }
+        let nodes = self.avail.get(&r.id)?;
+        let node = |pred: &dyn Fn(&crate::plan::PlanNode) -> bool| {
+            nodes.iter().copied().find(|&n| pred(&self.plan.nodes[n]))
+        };
+        // Reference dependency: exact match (non-flexible).
+        if let Some(n) = node(&|x| !x.flexible && x.transposed == r.transposed && x.scheme == req) {
+            return Some(FreePath::Exact(n));
+        }
+        // Heuristic 2 material: flexible CPMM outputs satisfy either Row
+        // or Column requirement for free once pinned.
+        if self.cfg.re_assignment && req.is_rc() {
+            if let Some(n) = node(&|x| x.flexible && x.transposed == r.transposed) {
+                return Some(FreePath::PinFlexible(n));
+            }
+            if let Some(n) = node(&|x| x.flexible && x.transposed != r.transposed) {
+                return Some(FreePath::PinFlexibleTranspose(n));
+            }
+        }
+        match req {
+            PartitionScheme::Row | PartitionScheme::Col => {
+                // Transpose dependency: opposite handedness, flipped scheme.
+                if let Some(n) =
+                    node(&|x| !x.flexible && x.transposed != r.transposed && x.scheme == req.flip())
+                {
+                    return Some(FreePath::Transpose(n));
+                }
+                // Extract dependency: broadcast copy of the same handedness.
+                if let Some(n) = node(&|x| {
+                    !x.flexible
+                        && x.transposed == r.transposed
+                        && x.scheme == PartitionScheme::Broadcast
+                }) {
+                    return Some(FreePath::Extract(n));
+                }
+                // Extract-Transpose: broadcast copy of the other handedness.
+                if let Some(n) = node(&|x| {
+                    !x.flexible
+                        && x.transposed != r.transposed
+                        && x.scheme == PartitionScheme::Broadcast
+                }) {
+                    return Some(FreePath::TransposeExtract(n));
+                }
+                None
+            }
+            PartitionScheme::Broadcast => {
+                // Transpose dependency on two broadcast copies.
+                node(&|x| {
+                    !x.flexible
+                        && x.transposed != r.transposed
+                        && x.scheme == PartitionScheme::Broadcast
+                })
+                .map(FreePath::Transpose)
+            }
+            PartitionScheme::Hash => None,
+        }
+    }
+
+    /// Price an input event without mutating state.
+    fn probe_cost(&self, r: &MatrixRef, req: Option<PartitionScheme>) -> u64 {
+        let Some(req) = req else { return 0 };
+        let free = self.find_free(r, req).is_some();
+        self.cost.input_cost(req, free, self.size_of(r))
+    }
+
+    /// Any node currently holding `r.id` (prefers handedness match).
+    fn any_node(&self, r: &MatrixRef) -> Result<NodeId> {
+        let nodes = self
+            .avail
+            .get(&r.id)
+            .filter(|v| !v.is_empty())
+            .ok_or(CoreError::Planner(format!(
+                "matrix {} referenced before materialisation",
+                r.id
+            )))?;
+        Ok(nodes
+            .iter()
+            .copied()
+            .find(|&n| self.plan.nodes[n].transposed == r.transposed)
+            .unwrap_or(nodes[0]))
+    }
+
+    /// Acquire an input event: returns the node that satisfies it, emitting
+    /// extended-operator steps and paying communication as needed.
+    fn acquire(
+        &mut self,
+        r: &MatrixRef,
+        req: Option<PartitionScheme>,
+        phase: usize,
+    ) -> Result<NodeId> {
+        let Some(req) = req else {
+            // No scheme requirement (unary/reduce): read any node. A
+            // flexible node is pinned to Row first.
+            let n = self.any_node(r)?;
+            if self.plan.nodes[n].flexible {
+                self.plan.nodes[n].scheme = PartitionScheme::Row;
+                self.plan.nodes[n].flexible = false;
+            }
+            // Handedness is reconciled by the caller for requirement-free
+            // inputs (unary ops run on either handedness; the engine
+            // accounts for it via the node's own flag).
+            return self.materialize_handedness(n, r.transposed, phase);
+        };
+
+        if let Some(path) = self.find_free(r, req) {
+            return Ok(self.realize_free(path, r, req, phase));
+        }
+
+        // Heuristic 1: a broadcast need meets an earlier paid partition of
+        // the same matrix — rewrite that partition into broadcast+extract.
+        if self.cfg.pull_up_broadcast && req == PartitionScheme::Broadcast {
+            if let Some(rec_idx) = self.input_records.iter().position(|rec| {
+                rec.matrix == r.id
+                    && rec.scheme.is_rc()
+                    && rec.cost > 0
+                    && rec.partition_step.is_some()
+            }) {
+                self.pull_up_broadcast(rec_idx)?;
+                if let Some(path) = self.find_free(r, req) {
+                    return Ok(self.realize_free(path, r, req, phase));
+                }
+            }
+        }
+
+        // Pay for the communication dependency.
+        let size = self.size_of(r);
+        let cost = self.cost.input_cost(req, false, size);
+        self.estimated_comm += cost;
+        let src = self.any_node(r)?;
+        let src = self.materialize_handedness(src, r.transposed, phase)?;
+        let out = self.plan.add_node(r.id, r.transposed, req, false);
+        let step = match req {
+            PartitionScheme::Row | PartitionScheme::Col => PlanStep::Partition { src, out, phase },
+            PartitionScheme::Broadcast => PlanStep::Broadcast { src, out, phase },
+            PartitionScheme::Hash => {
+                return Err(CoreError::Planner("hash is never a requirement".into()))
+            }
+        };
+        let step_idx = self.plan.steps.len();
+        self.plan.steps.push(step);
+        // Algorithm 1 line 19: the repartitioned copy joins the OutputSet.
+        if self.cfg.exploit_dependencies {
+            self.register(out);
+        } else {
+            // SystemML-S still needs the node for bookkeeping, but the
+            // find_free fast path is disabled anyway.
+            self.register(out);
+        }
+        // Algorithm 1 line 22: record the input event for Pull-Up Broadcast.
+        self.input_records.push(InputRecord {
+            matrix: r.id,
+            scheme: req,
+            cost,
+            partition_step: req.is_rc().then_some(step_idx),
+        });
+        Ok(out)
+    }
+
+    /// Ensure a node of the wanted handedness exists, transposing locally
+    /// if needed (free).
+    fn materialize_handedness(
+        &mut self,
+        n: NodeId,
+        transposed: bool,
+        phase: usize,
+    ) -> Result<NodeId> {
+        if self.plan.nodes[n].transposed == transposed {
+            return Ok(n);
+        }
+        let node = self.plan.nodes[n].clone();
+        let out = self
+            .plan
+            .add_node(node.matrix, transposed, node.scheme.flip(), false);
+        self.plan
+            .steps
+            .push(PlanStep::Transpose { src: n, out, phase });
+        self.register(out);
+        Ok(out)
+    }
+
+    /// Emit the steps realising a free path; returns the satisfying node.
+    fn realize_free(
+        &mut self,
+        path: FreePath,
+        r: &MatrixRef,
+        req: PartitionScheme,
+        phase: usize,
+    ) -> NodeId {
+        match path {
+            FreePath::Exact(n) => n,
+            FreePath::PinFlexible(n) => {
+                self.plan.nodes[n].scheme = req;
+                self.plan.nodes[n].flexible = false;
+                n
+            }
+            FreePath::PinFlexibleTranspose(n) => {
+                self.plan.nodes[n].scheme = req.flip();
+                self.plan.nodes[n].flexible = false;
+                let out = self.plan.add_node(r.id, r.transposed, req, false);
+                self.plan
+                    .steps
+                    .push(PlanStep::Transpose { src: n, out, phase });
+                self.register(out);
+                out
+            }
+            FreePath::Transpose(n) => {
+                let scheme = self.plan.nodes[n].scheme.flip();
+                let out = self.plan.add_node(r.id, r.transposed, scheme, false);
+                self.plan
+                    .steps
+                    .push(PlanStep::Transpose { src: n, out, phase });
+                self.register(out);
+                out
+            }
+            FreePath::Extract(n) => {
+                let out = self.plan.add_node(r.id, r.transposed, req, false);
+                self.plan
+                    .steps
+                    .push(PlanStep::Extract { src: n, out, phase });
+                self.register(out);
+                out
+            }
+            FreePath::TransposeExtract(n) => {
+                let mid = self
+                    .plan
+                    .add_node(r.id, r.transposed, PartitionScheme::Broadcast, false);
+                self.plan.steps.push(PlanStep::Transpose {
+                    src: n,
+                    out: mid,
+                    phase,
+                });
+                self.register(mid);
+                let out = self.plan.add_node(r.id, r.transposed, req, false);
+                self.plan.steps.push(PlanStep::Extract {
+                    src: mid,
+                    out,
+                    phase,
+                });
+                self.register(out);
+                out
+            }
+        }
+    }
+
+    /// Heuristic 1: rewrite the recorded partition step into
+    /// broadcast + extract of the same source, so the broadcast copy also
+    /// serves the pending broadcast requirement.
+    fn pull_up_broadcast(&mut self, rec_idx: usize) -> Result<()> {
+        let step_idx = self.input_records[rec_idx]
+            .partition_step
+            .expect("checked by caller");
+        let PlanStep::Partition { src, out, phase } = self.plan.steps[step_idx].clone() else {
+            return Err(CoreError::Planner(
+                "pull-up record does not point at a partition step".into(),
+            ));
+        };
+        let src_node = self.plan.nodes[src].clone();
+        let out_node = self.plan.nodes[out].clone();
+        // Broadcast the partition's source, then extract what the original
+        // consumer needed. Handedness of src and out is identical by
+        // construction of `acquire`.
+        debug_assert_eq!(src_node.transposed, out_node.transposed);
+        let b = self.plan.add_node(
+            src_node.matrix,
+            src_node.transposed,
+            PartitionScheme::Broadcast,
+            false,
+        );
+        let replacement = vec![
+            PlanStep::Broadcast { src, out: b, phase },
+            PlanStep::Extract { src: b, out, phase },
+        ];
+        let added = replacement.len() - 1;
+        self.plan.steps.splice(step_idx..=step_idx, replacement);
+        self.register(b);
+        // Cost bookkeeping: the earlier |A| partition became an N·|A|
+        // broadcast; the pending N·|A| broadcast becomes free.
+        let size = self
+            .program
+            .decl(src_node.matrix)
+            .map(|d| d.stats.est_bytes())
+            .unwrap_or(0);
+        self.estimated_comm = self.estimated_comm.saturating_sub(size);
+        self.estimated_comm += self.cost.workers * size;
+        // Fix up stored step indices after the splice.
+        for rec in &mut self.input_records {
+            if let Some(s) = rec.partition_step {
+                if s > step_idx {
+                    rec.partition_step = Some(s + added);
+                } else if s == step_idx {
+                    rec.partition_step = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Which one-dimensional scheme would the next program-order consumer
+    /// of `matrix` like it in? Used by the RMM-tie half of Heuristic 2: a
+    /// multiplication consuming it on the left wants Row (RMM2/CPMM read
+    /// the left operand row-ish), on the right wants Column; a transposed
+    /// reference flips the preference. Non-multiplication consumers have
+    /// no strong preference.
+    fn next_consumer_preference(
+        &self,
+        after_op: usize,
+        matrix: MatrixId,
+    ) -> Option<PartitionScheme> {
+        for op in self.program.ops().iter().filter(|o| o.index > after_op) {
+            if let dmac_lang::OpKind::Binary { op: bin, lhs, rhs } = &op.kind {
+                if !bin.is_matmul() {
+                    if lhs.id == matrix || rhs.id == matrix {
+                        return None;
+                    }
+                    continue;
+                }
+                if lhs.id == matrix {
+                    return Some(if lhs.transposed {
+                        PartitionScheme::Col
+                    } else {
+                        PartitionScheme::Row
+                    });
+                }
+                if rhs.id == matrix {
+                    return Some(if rhs.transposed {
+                        PartitionScheme::Row
+                    } else {
+                        PartitionScheme::Col
+                    });
+                }
+            } else if op.kind.inputs().iter().any(|r| r.id == matrix) {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Plan a single operator: price candidates, commit the argmin.
+    fn plan_operator(&mut self, op_idx: usize) -> Result<()> {
+        let op = &self.program.ops()[op_idx];
+        let kind = op.kind.clone();
+        let phase = op.phase;
+        let inputs = kind.inputs();
+        let cands = candidates(&kind, self.cfg.allow_cpmm);
+        debug_assert!(!cands.is_empty());
+
+        let out_bytes = op
+            .out_matrix
+            .and_then(|m| self.program.decl(m).ok())
+            .map(|d| d.stats.est_bytes())
+            .unwrap_or(0);
+
+        // Equation 1: argmin over candidates (or the forced choice).
+        let mut priced: Vec<(u64, &Candidate)> = Vec::with_capacity(cands.len());
+        for cand in &cands {
+            let mut c = self.cost.output_cost(cand.strategy, out_bytes);
+            for (r, req) in inputs.iter().zip(&cand.inputs) {
+                c += self.probe_cost(r, *req);
+            }
+            priced.push((c, cand));
+        }
+        if let Some(&choice) = self.forced.get(&op_idx) {
+            let cand = cands[choice.min(cands.len() - 1)].clone();
+            self.estimated_comm += self.cost.output_cost(cand.strategy, out_bytes);
+            return self.commit_operator(
+                op_idx,
+                cand,
+                phase,
+                &inputs,
+                op.out_matrix,
+                op.out_scalar,
+            );
+        }
+        let best_cost = priced.iter().map(|(c, _)| *c).min().expect("non-empty");
+        let mut cand = priced
+            .iter()
+            .find(|(c, _)| *c == best_cost)
+            .map(|(_, cand)| (*cand).clone())
+            .expect("non-empty candidates");
+
+        // Heuristic 2 (Re-assignment), RMM-tie half: "when multiplying two
+        // matrices with the same size, like B·Bᵀ, RMM1 and RMM2 can
+        // generate [the] result with different partition scheme while
+        // introducing the same amount of communication cost" — the output
+        // event has multiple values {r|c}, so pick the one the next
+        // consumer of this output wants for free.
+        if self.cfg.re_assignment {
+            let rmm1 = priced
+                .iter()
+                .find(|(_, c)| c.strategy == crate::strategy::Strategy::Rmm1);
+            let rmm2 = priced
+                .iter()
+                .find(|(_, c)| c.strategy == crate::strategy::Strategy::Rmm2);
+            if let (Some((c1, k1)), Some((c2, k2))) = (rmm1, rmm2) {
+                if *c1 == best_cost && *c2 == best_cost {
+                    if let Some(m) = op.out_matrix {
+                        match self.next_consumer_preference(op_idx, m) {
+                            Some(PartitionScheme::Row) => cand = (*k2).clone(),
+                            Some(PartitionScheme::Col) => cand = (*k1).clone(),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        self.estimated_comm += self.cost.output_cost(cand.strategy, out_bytes);
+        self.commit_operator(op_idx, cand, phase, &inputs, op.out_matrix, op.out_scalar)
+    }
+
+    /// Acquire the chosen candidate's inputs, create its output node, and
+    /// emit the compute step. (Output-event cost was already added.)
+    fn commit_operator(
+        &mut self,
+        op_idx: usize,
+        cand: Candidate,
+        phase: usize,
+        inputs: &[MatrixRef],
+        out_matrix: Option<MatrixId>,
+        out_scalar: Option<dmac_lang::ScalarId>,
+    ) -> Result<()> {
+        // Commit: acquire every input.
+        let mut input_nodes = Vec::with_capacity(inputs.len());
+        for (r, req) in inputs.iter().zip(&cand.inputs) {
+            input_nodes.push(self.acquire(r, *req, phase)?);
+        }
+
+        // Create the output node.
+        let out_node = match (&cand.output, out_matrix) {
+            (OutScheme::Scalar, _) | (_, None) => None,
+            (OutScheme::Fixed(s), Some(m)) => {
+                let scheme = if self.cfg.exploit_dependencies {
+                    *s
+                } else {
+                    // SystemML-S stores every operator result back into the
+                    // hash-partitioned cache.
+                    PartitionScheme::Hash
+                };
+                Some(self.plan.add_node(m, false, scheme, false))
+            }
+            (OutScheme::FlexibleRc, Some(m)) => {
+                if !self.cfg.exploit_dependencies {
+                    Some(self.plan.add_node(m, false, PartitionScheme::Hash, false))
+                } else if self.cfg.re_assignment {
+                    Some(self.plan.add_node(m, false, PartitionScheme::Row, true))
+                } else {
+                    Some(self.plan.add_node(m, false, PartitionScheme::Row, false))
+                }
+            }
+            (OutScheme::SameAsInput, Some(m)) => {
+                // The output *value* is the operator applied to the (possibly
+                // transposed) view, so the node itself is never transposed;
+                // it simply inherits the input node's placement.
+                let scheme = self.plan.nodes[input_nodes[0]].scheme;
+                Some(self.plan.add_node(m, false, scheme, false))
+            }
+        };
+        if let Some(n) = out_node {
+            self.register(n);
+        }
+
+        self.plan.steps.push(PlanStep::Compute {
+            op: op_idx,
+            strategy: cand.strategy,
+            inputs: input_nodes,
+            out: out_node,
+            out_scalar,
+            phase,
+        });
+        Ok(())
+    }
+
+    /// Ensure every program output has an untransposed-or-declared node,
+    /// and record the bindings.
+    fn bind_outputs(&mut self) -> Result<()> {
+        for (r, name) in self.program.outputs().to_vec() {
+            let n = self.any_node(&r)?;
+            let n = self.materialize_handedness(
+                n,
+                r.transposed,
+                self.program.ops().last().map(|o| o.phase).unwrap_or(0),
+            )?;
+            self.plan.outputs.push((n, r.id, name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use dmac_lang::Program;
+
+    fn schemes() -> HashMap<MatrixId, PartitionScheme> {
+        HashMap::new()
+    }
+
+    /// One GNMF H-update (Code 1 line 9).
+    fn gnmf_h() -> Program {
+        let mut p = Program::new();
+        let v = p.load("V", 1000, 800, 0.01);
+        let w = p.random("W", 1000, 20);
+        let h = p.random("H", 20, 800);
+        let wt_v = p.matmul(w.t(), v).unwrap();
+        let wt_w = p.matmul(w.t(), w).unwrap();
+        let wt_w_h = p.matmul(wt_w, h).unwrap();
+        let num = p.cell_mul(h, wt_v).unwrap();
+        let h_new = p.cell_div(num, wt_w_h).unwrap();
+        p.store(h_new, "H");
+        p
+    }
+
+    #[test]
+    fn dmac_plans_cost_no_more_than_systemml() {
+        let p = gnmf_h();
+        let dmac = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        let sysml = plan_program(&p, &PlannerConfig::systemml_s(), 4, &schemes()).unwrap();
+        assert!(
+            dmac.estimated_comm <= sysml.estimated_comm,
+            "dmac {} > sysml {}",
+            dmac.estimated_comm,
+            sysml.estimated_comm
+        );
+        assert!(
+            dmac.plan.comm_step_count() < sysml.plan.comm_step_count(),
+            "dmac should need fewer communication steps"
+        );
+    }
+
+    #[test]
+    fn cellwise_chain_reuses_schemes_for_free() {
+        // X = (A + B) * (A + B) pattern: the second op must reuse the
+        // first's scheme with zero extra comm steps.
+        let mut p = Program::new();
+        let a = p.load("A", 100, 100, 0.5);
+        let b = p.load("B", 100, 100, 0.5);
+        let s = p.add(a, b).unwrap();
+        let t = p.cell_mul(s, s).unwrap();
+        let u = p.cell_div(t, s).unwrap();
+        p.output(u);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        // exactly two partitions (A and B once each), nothing else.
+        assert_eq!(
+            planned.plan.comm_step_count(),
+            2,
+            "{}",
+            planned.plan.explain(&p)
+        );
+    }
+
+    #[test]
+    fn transpose_dependency_is_free() {
+        // B = A + A; C = Bᵀ * Bᵀ (cell-wise). The Bᵀ operands must come
+        // from a local transpose of B, not a repartition.
+        let mut p = Program::new();
+        let a = p.load("A", 50, 40, 1.0);
+        let b = p.add(a, a).unwrap();
+        let c = p.cell_mul(b.t(), b.t()).unwrap();
+        p.output(c);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        // one partition for A; everything downstream free.
+        assert_eq!(
+            planned.plan.comm_step_count(),
+            1,
+            "{}",
+            planned.plan.explain(&p)
+        );
+        assert!(planned
+            .plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Transpose { .. })));
+    }
+
+    #[test]
+    fn systemml_repartitions_every_use() {
+        let mut p = Program::new();
+        let a = p.load("A", 100, 100, 1.0);
+        let b = p.add(a, a).unwrap();
+        let c = p.cell_mul(b, b).unwrap();
+        p.output(c);
+        let planned = plan_program(&p, &PlannerConfig::systemml_s(), 4, &schemes()).unwrap();
+        // op1: two partitions of A (same ref twice); op2: two partitions
+        // of B. SystemML-S never reuses.
+        assert_eq!(
+            planned.plan.comm_step_count(),
+            4,
+            "{}",
+            planned.plan.explain(&p)
+        );
+    }
+
+    #[test]
+    fn small_matmul_broadcasts_small_side() {
+        // tiny W (20x20) times large H (20x10000): RMM1 broadcasting the
+        // tiny left side must win.
+        let mut p = Program::new();
+        let w = p.load("W", 20, 20, 1.0);
+        let h = p.load("H", 20, 10000, 1.0);
+        let x = p.matmul(w, h).unwrap();
+        p.output(x);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        let strategies: Vec<Strategy> = planned
+            .plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                PlanStep::Compute { strategy, .. } => Some(*strategy),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strategies,
+            vec![Strategy::Rmm1],
+            "{}",
+            planned.plan.explain(&p)
+        );
+    }
+
+    #[test]
+    fn reassignment_pins_cpmm_output_to_consumer() {
+        // X = Aᵀ %*% A (CPMM wins: both sides large, output tiny)…
+        // then Y = X * X cell-wise. H2 should pin X's scheme so the
+        // cell-wise op is free.
+        let mut p = Program::new();
+        let a = p.load("A", 5000, 30, 1.0);
+        let x = p.matmul(a.t(), a).unwrap();
+        let y = p.cell_mul(x, x).unwrap();
+        p.output(y);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        // comm: one partition of A (the other side is free via transpose)
+        // + the CPMM output shuffle. The cell-wise op adds nothing.
+        let explain = planned.plan.explain(&p);
+        assert!(
+            planned.plan.steps.iter().any(|s| matches!(
+                s,
+                PlanStep::Compute {
+                    strategy: Strategy::Cpmm,
+                    ..
+                }
+            )),
+            "{explain}"
+        );
+        assert_eq!(planned.plan.comm_step_count(), 2, "{explain}");
+        assert!(planned.plan.nodes.iter().all(|n| !n.flexible));
+    }
+
+    #[test]
+    fn pull_up_broadcast_rewrites_partition() {
+        // op1 needs A(r) (cell-wise with B), op2 needs A(b) (it is the
+        // small side of a multiplication with huge C). H1 must rewrite
+        // op1's partition of A into broadcast+extract.
+        let mut p = Program::new();
+        let a = p.load("A", 40, 40, 1.0);
+        let b = p.load("B", 40, 40, 1.0);
+        let c = p.load("C", 40, 100_000, 1.0);
+        let s = p.add(a, b).unwrap(); // A gets partitioned here
+        let m = p.matmul(a, c).unwrap(); // A wants broadcast here
+        let m2 = p.matmul(s, c).unwrap();
+        p.output(m);
+        p.output(m2);
+        let cfg = PlannerConfig {
+            multiplication_first: false, // keep program order so the add is planned first
+            ..PlannerConfig::default()
+        };
+        let planned = plan_program(&p, &cfg, 4, &schemes()).unwrap();
+        let explain = planned.plan.explain(&p);
+        // A must be broadcast exactly once and never partitioned.
+        let a_id = a.id;
+        let partitions_of_a = planned
+            .plan
+            .steps
+            .iter()
+            .filter(|s| match s {
+                PlanStep::Partition { out, .. } => planned.plan.nodes[*out].matrix == a_id,
+                _ => false,
+            })
+            .count();
+        let broadcasts_of_a = planned
+            .plan
+            .steps
+            .iter()
+            .filter(|s| match s {
+                PlanStep::Broadcast { out, .. } => planned.plan.nodes[*out].matrix == a_id,
+                _ => false,
+            })
+            .count();
+        assert_eq!(partitions_of_a, 0, "{explain}");
+        assert_eq!(broadcasts_of_a, 1, "{explain}");
+        // and the extract that replaced the partition exists
+        assert!(
+            planned
+                .plan
+                .steps
+                .iter()
+                .any(|s| matches!(s, PlanStep::Extract { .. })),
+            "{explain}"
+        );
+
+        // Without H1: A is partitioned once and broadcast once.
+        let cfg_off = PlannerConfig {
+            pull_up_broadcast: false,
+            multiplication_first: false,
+            ..PlannerConfig::default()
+        };
+        let planned_off = plan_program(&p, &cfg_off, 4, &schemes()).unwrap();
+        let parts_off = planned_off
+            .plan
+            .steps
+            .iter()
+            .filter(|s| match s {
+                PlanStep::Partition { out, .. } => planned_off.plan.nodes[*out].matrix == a_id,
+                _ => false,
+            })
+            .count();
+        assert_eq!(parts_off, 1);
+        assert!(planned.estimated_comm <= planned_off.estimated_comm);
+    }
+
+    #[test]
+    fn initial_schemes_are_honoured() {
+        // If V is already Column-partitioned from a previous run, using it
+        // under Column must be free.
+        let mut p = Program::new();
+        let v = p.load("V", 100, 100, 1.0);
+        let w = p.load("W", 100, 100, 1.0);
+        let x = p.cell_mul(v, w).unwrap();
+        p.output(x);
+        let mut init = HashMap::new();
+        init.insert(v.id, PartitionScheme::Col);
+        init.insert(w.id, PartitionScheme::Col);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &init).unwrap();
+        assert_eq!(
+            planned.plan.comm_step_count(),
+            0,
+            "{}",
+            planned.plan.explain(&p)
+        );
+        assert_eq!(planned.estimated_comm, 0);
+    }
+
+    #[test]
+    fn unary_and_reduce_are_free() {
+        let mut p = Program::new();
+        let a = p.load("A", 64, 64, 1.0);
+        let s = p.scale_const(a, 0.5).unwrap();
+        let total = p.sum(s).unwrap();
+        let b = p.scale(s, total).unwrap();
+        p.output(b);
+        let planned = plan_program(&p, &PlannerConfig::default(), 4, &schemes()).unwrap();
+        assert_eq!(
+            planned.plan.comm_step_count(),
+            0,
+            "{}",
+            planned.plan.explain(&p)
+        );
+    }
+
+    #[test]
+    fn outputs_bound_for_transposed_refs() {
+        let mut p = Program::new();
+        let a = p.load("A", 10, 20, 1.0);
+        let b = p.add(a, a).unwrap();
+        p.output(b.t());
+        let planned = plan_program(&p, &PlannerConfig::default(), 2, &schemes()).unwrap();
+        assert_eq!(planned.plan.outputs.len(), 1);
+        let (node, mid, _) = &planned.plan.outputs[0];
+        assert_eq!(*mid, b.id);
+        assert!(planned.plan.nodes[*node].transposed);
+    }
+}

@@ -1,0 +1,566 @@
+//! [`Session`]: the user-facing entry point, tying planner, cluster and
+//! engine together — the DMac "driver program" (paper §5.4).
+//!
+//! A session owns a simulated cluster and a persistent environment of
+//! named distributed matrices. Running a program:
+//!
+//! 1. resolves every `load` against the environment (matrices stored by a
+//!    previous run keep their partition schemes — dependency information
+//!    flows *across* programs, which is how iterative algorithms avoid
+//!    repartitioning loop-invariant inputs like PageRank's link matrix),
+//! 2. plans it with the configured system's planner (DMac or SystemML-S),
+//! 3. executes the staged plan, and
+//! 4. persists `store`d outputs back into the environment.
+
+use std::collections::HashMap;
+
+use dmac_cluster::{Cluster, ClusterConfig, DistMatrix, NetworkModel, PartitionScheme};
+use dmac_lang::{Expr, MatrixId, MatrixOrigin, Program};
+use dmac_matrix::BlockedMatrix;
+
+use crate::baselines::SystemKind;
+use crate::engine::{self, ExecReport};
+use crate::error::{CoreError, Result};
+use crate::plan::Plan;
+use crate::planner::{plan_program, PlannerConfig};
+use crate::stage;
+
+/// Builder for [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    workers: usize,
+    local_threads: usize,
+    network: NetworkModel,
+    system: SystemKind,
+    planner: Option<PlannerConfig>,
+    block_size: usize,
+    seed: u64,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            workers: 4,
+            local_threads: 8,
+            network: NetworkModel::default(),
+            system: SystemKind::Dmac,
+            planner: None,
+            block_size: 256,
+            seed: 0xD11AC,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Number of simulated workers (the paper's `N`/`K`).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Local threads per worker (the paper's `L`).
+    pub fn local_threads(mut self, l: usize) -> Self {
+        self.local_threads = l.max(1);
+        self
+    }
+
+    /// Network model for simulated communication time.
+    pub fn network(mut self, n: NetworkModel) -> Self {
+        self.network = n;
+        self
+    }
+
+    /// Which system plans the programs (DMac, SystemML-S, or single-node R).
+    pub fn system(mut self, s: SystemKind) -> Self {
+        self.system = s;
+        self
+    }
+
+    /// Override the planner configuration (ablations). Ignored for
+    /// [`SystemKind::SystemMlS`], which pins its own config.
+    pub fn planner(mut self, cfg: PlannerConfig) -> Self {
+        self.planner = Some(cfg);
+        self
+    }
+
+    /// Square block size used for every matrix in the session.
+    pub fn block_size(mut self, b: usize) -> Self {
+        self.block_size = b.max(1);
+        self
+    }
+
+    /// Seed for `RandomMatrix` generation.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> Session {
+        let (workers, planner) = match self.system {
+            SystemKind::Dmac => (self.workers, self.planner.unwrap_or_default()),
+            SystemKind::SystemMlS => (self.workers, PlannerConfig::systemml_s()),
+            // R: the same engine confined to one worker — communication
+            // disappears, matching the paper's single-machine baseline.
+            SystemKind::RLocal => (1, self.planner.unwrap_or_default()),
+        };
+        Session {
+            cluster: Cluster::new(ClusterConfig {
+                workers,
+                local_threads: self.local_threads,
+                network: self.network,
+            }),
+            planner,
+            system: self.system,
+            block_size: self.block_size,
+            seed: self.seed,
+            env: HashMap::new(),
+            last_values: HashMap::new(),
+            last_scalars: HashMap::new(),
+            last_report: None,
+        }
+    }
+}
+
+/// A DMac session: cluster + environment + planner configuration.
+#[derive(Debug)]
+pub struct Session {
+    cluster: Cluster,
+    planner: PlannerConfig,
+    system: SystemKind,
+    block_size: usize,
+    seed: u64,
+    env: HashMap<String, DistMatrix>,
+    last_values: HashMap<MatrixId, DistMatrix>,
+    last_scalars: HashMap<dmac_lang::ScalarId, f64>,
+    last_report: Option<ExecReport>,
+}
+
+impl Session {
+    /// Start building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session's block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured system kind.
+    pub fn system(&self) -> SystemKind {
+        self.system
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.cluster.workers()
+    }
+
+    /// Access the underlying cluster (meters, failure injection).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Bind a local matrix under `name`, reblocking to the session's block
+    /// size and scattering it hash-partitioned (a freshly loaded RDD).
+    pub fn bind(&mut self, name: &str, m: BlockedMatrix) -> Result<()> {
+        let m = if m.block_size() == self.block_size {
+            m
+        } else {
+            m.reblock(self.block_size)?
+        };
+        let dist = self.cluster.load(&m, PartitionScheme::Hash);
+        self.env.insert(name.to_string(), dist);
+        Ok(())
+    }
+
+    /// Bind an already-distributed matrix (keeps its scheme).
+    pub fn bind_dist(&mut self, name: &str, m: DistMatrix) {
+        self.env.insert(name.to_string(), m);
+    }
+
+    /// Is a name bound?
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.env.contains_key(name)
+    }
+
+    /// Fetch a stored environment matrix as a local blocked matrix.
+    pub fn env_value(&self, name: &str) -> Result<BlockedMatrix> {
+        let d = self
+            .env
+            .get(name)
+            .ok_or_else(|| CoreError::Unbound(name.to_string()))?;
+        Ok(d.to_blocked()?)
+    }
+
+    fn resolve_inputs(
+        &self,
+        program: &Program,
+    ) -> Result<(
+        HashMap<MatrixId, DistMatrix>,
+        HashMap<MatrixId, PartitionScheme>,
+    )> {
+        let mut bindings = HashMap::new();
+        let mut initial = HashMap::new();
+        for decl in program.matrices() {
+            match decl.origin {
+                MatrixOrigin::Load => {
+                    let dist = self
+                        .env
+                        .get(&decl.name)
+                        .ok_or_else(|| CoreError::Unbound(decl.name.clone()))?;
+                    initial.insert(decl.id, dist.scheme());
+                    bindings.insert(decl.id, dist.clone());
+                }
+                MatrixOrigin::Random => {
+                    initial.insert(decl.id, PartitionScheme::Hash);
+                }
+                MatrixOrigin::Op(_) => {}
+            }
+        }
+        Ok((bindings, initial))
+    }
+
+    /// Initial schemes for planning: bound matrices keep their cached
+    /// scheme, unbound ones are assumed Hash-placed. Planning needs no
+    /// data, so unbound loads are fine here (unlike [`Session::run`]).
+    fn initial_schemes(&self, program: &Program) -> HashMap<MatrixId, PartitionScheme> {
+        let mut initial = HashMap::new();
+        for decl in program.matrices() {
+            if matches!(decl.origin, MatrixOrigin::Load | MatrixOrigin::Random) {
+                let scheme = self
+                    .env
+                    .get(&decl.name)
+                    .map(|d| d.scheme())
+                    .unwrap_or(PartitionScheme::Hash);
+                initial.insert(decl.id, scheme);
+            }
+        }
+        initial
+    }
+
+    /// Plan a program without executing it.
+    pub fn plan_only(&self, program: &Program) -> Result<Plan> {
+        let initial = self.initial_schemes(program);
+        Ok(plan_program(program, &self.planner, self.cluster.workers(), &initial)?.plan)
+    }
+
+    /// Plan a program once for repeated execution ([`Session::run_prepared`]).
+    /// The plan is bound to the *current* placements of the session's
+    /// environment; if a later run finds an input under a different
+    /// scheme, `run_prepared` rejects it (re-`prepare` instead).
+    pub fn prepare(&self, program: &Program) -> Result<PreparedProgram> {
+        let initial = self.initial_schemes(program);
+        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        Ok(PreparedProgram {
+            program: program.clone(),
+            planned,
+            initial,
+        })
+    }
+
+    /// Execute a prepared plan against the current environment, skipping
+    /// planning. Fails with [`CoreError::Planner`] if any input's cached
+    /// placement no longer matches what the plan assumed.
+    pub fn run_prepared(&mut self, prep: &PreparedProgram) -> Result<ExecReport> {
+        let (bindings, current) = self.resolve_inputs(&prep.program)?;
+        for (mid, scheme) in &prep.initial {
+            if current.get(mid) != Some(scheme) {
+                let name = prep
+                    .program
+                    .decl(*mid)
+                    .map(|d| d.name.clone())
+                    .unwrap_or_else(|_| format!("m{mid}"));
+                return Err(CoreError::Planner(format!(
+                    "prepared plan is stale: input '{name}' moved from {scheme} to {}; re-prepare",
+                    current
+                        .get(mid)
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "unbound".into())
+                )));
+            }
+        }
+        let (report, outputs) = engine::execute(
+            &mut self.cluster,
+            &prep.program,
+            &prep.planned.plan,
+            &bindings,
+            self.block_size,
+            self.seed,
+            prep.planned.estimated_comm,
+        )?;
+        self.absorb_outputs(&prep.program, outputs);
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// EXPLAIN: render the plan and its stage schedule.
+    pub fn explain(&self, program: &Program) -> Result<String> {
+        let plan = self.plan_only(program)?;
+        Ok(format!(
+            "{}\n{}",
+            plan.explain(program),
+            stage::explain_stages(&plan, program)
+        ))
+    }
+
+    /// Plan and execute a program; persists `store`d outputs.
+    pub fn run(&mut self, program: &Program) -> Result<ExecReport> {
+        let (bindings, initial) = self.resolve_inputs(program)?;
+        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        let (report, outputs) = engine::execute(
+            &mut self.cluster,
+            program,
+            &planned.plan,
+            &bindings,
+            self.block_size,
+            self.seed,
+            planned.estimated_comm,
+        )?;
+        self.absorb_outputs(program, outputs);
+        self.last_report = Some(report.clone());
+        Ok(report)
+    }
+
+    /// Fold a run's outputs into the session: persist `store`d matrices,
+    /// cache improved input placements (DMac only — SystemML-S's cache
+    /// stays hash-partitioned, per the paper), and expose output values.
+    fn absorb_outputs(&mut self, program: &Program, outputs: engine::RunOutputs) {
+        if self.planner.exploit_dependencies {
+            for (mid, dist) in outputs.cached_inputs {
+                if let Ok(decl) = program.decl(mid) {
+                    self.env.insert(decl.name.clone(), dist);
+                }
+            }
+        }
+        for (name, dist) in outputs.stored {
+            self.env.insert(name, dist);
+        }
+        self.last_values = outputs.matrices;
+        self.last_scalars = outputs.scalars;
+    }
+
+    /// A matrix output of the last run, gathered to the driver.
+    pub fn value(&self, e: Expr) -> Result<BlockedMatrix> {
+        let d = self.last_values.get(&e.id).ok_or_else(|| {
+            CoreError::NoValue(format!("matrix {} is not an output of the last run", e.id))
+        })?;
+        let m = d.to_blocked()?;
+        Ok(if e.transposed { m.transpose() } else { m })
+    }
+
+    /// Evaluate a scalar expression against the last run's reduction
+    /// results (the driver-side α/β values of CG and Lanczos).
+    pub fn scalar_value(&self, e: &dmac_lang::ScalarExpr) -> Result<f64> {
+        for dep in e.deps() {
+            if !self.last_scalars.contains_key(&dep) {
+                return Err(CoreError::NoValue(format!(
+                    "scalar {dep} was not produced by the last run"
+                )));
+            }
+        }
+        Ok(e.eval(&|id| self.last_scalars[&id]))
+    }
+
+    /// The report of the last run.
+    pub fn last_report(&self) -> Option<&ExecReport> {
+        self.last_report.as_ref()
+    }
+}
+
+/// A program planned once for repeated execution (see
+/// [`Session::prepare`]).
+#[derive(Debug, Clone)]
+pub struct PreparedProgram {
+    program: Program,
+    planned: crate::planner::Planned,
+    initial: HashMap<MatrixId, PartitionScheme>,
+}
+
+impl PreparedProgram {
+    /// The cached plan.
+    pub fn plan(&self) -> &Plan {
+        &self.planned.plan
+    }
+
+    /// The planner's communication estimate.
+    pub fn estimated_comm(&self) -> u64 {
+        self.planned.estimated_comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> BlockedMatrix {
+        BlockedMatrix::from_fn(rows, cols, 8, |i, j| ((i * cols + j) % 7) as f64 - 3.0).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_cellwise_chain_matches_local() {
+        let mut s = Session::builder()
+            .workers(3)
+            .local_threads(2)
+            .block_size(8)
+            .build();
+        let a = ramp(20, 16);
+        let b = ramp(20, 16);
+        s.bind("A", a.clone()).unwrap();
+        s.bind("B", b.clone()).unwrap();
+
+        let mut p = Program::new();
+        let ea = p.load("A", 20, 16, 1.0);
+        let eb = p.load("B", 20, 16, 1.0);
+        let sum = p.add(ea, eb).unwrap();
+        let prod = p.cell_mul(sum, sum).unwrap();
+        p.output(prod);
+
+        let report = s.run(&p).unwrap();
+        let got = s.value(prod).unwrap();
+        let expect = a.add(&b).unwrap();
+        let expect = expect.cell_mul(&expect).unwrap();
+        assert_eq!(got.to_dense(), expect.to_dense());
+        assert!(report.stage_count >= 1);
+    }
+
+    #[test]
+    fn end_to_end_matmul_matches_local() {
+        let mut s = Session::builder()
+            .workers(4)
+            .local_threads(2)
+            .block_size(8)
+            .build();
+        let a = ramp(24, 16);
+        s.bind("A", a.clone()).unwrap();
+
+        let mut p = Program::new();
+        let ea = p.load("A", 24, 16, 1.0);
+        let g = p.matmul(ea.t(), ea).unwrap(); // gram matrix
+        p.output(g);
+        s.run(&p).unwrap();
+        let got = s.value(g).unwrap();
+        let expect = a.transpose().matmul_reference(&a).unwrap();
+        if let Some(i) =
+            dmac_matrix::approx_eq_slice(got.to_dense().data(), expect.to_dense().data(), 1e-9)
+        {
+            panic!("mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn unbound_load_is_an_error() {
+        let mut s = Session::builder().build();
+        let mut p = Program::new();
+        let a = p.load("NOPE", 4, 4, 1.0);
+        p.output(a);
+        assert!(matches!(s.run(&p), Err(CoreError::Unbound(_))));
+    }
+
+    #[test]
+    fn shape_mismatch_binding_is_an_error() {
+        let mut s = Session::builder().block_size(4).build();
+        s.bind("A", ramp(8, 8)).unwrap();
+        let mut p = Program::new();
+        let a = p.load("A", 9, 9, 1.0); // declared wrong
+        let b = p.scale_const(a, 2.0).unwrap();
+        p.output(b);
+        assert!(matches!(s.run(&p), Err(CoreError::Engine(_))));
+    }
+
+    #[test]
+    fn stored_outputs_persist_with_their_scheme() {
+        let mut s = Session::builder().workers(2).block_size(8).build();
+        s.bind("A", ramp(16, 16)).unwrap();
+        let mut p = Program::new();
+        let a = p.load("A", 16, 16, 1.0);
+        let b = p.add(a, a).unwrap();
+        p.store(b, "B");
+        s.run(&p).unwrap();
+        assert!(s.is_bound("B"));
+        // Second program consuming B under its cached scheme must be free.
+        let mut p2 = Program::new();
+        let eb = p2.load("B", 16, 16, 1.0);
+        let c = p2.cell_mul(eb, eb).unwrap();
+        p2.output(c);
+        let plan = s.plan_only(&p2).unwrap();
+        assert_eq!(plan.comm_step_count(), 0, "{}", plan.explain(&p2));
+    }
+
+    #[test]
+    fn scalars_flow_through_reductions() {
+        let mut s = Session::builder().workers(2).block_size(4).build();
+        s.bind("A", ramp(8, 8)).unwrap();
+        let mut p = Program::new();
+        let a = p.load("A", 8, 8, 1.0);
+        let total = p.sum(a).unwrap();
+        let scaled = p.scale(a, total).unwrap();
+        p.output(scaled);
+        s.run(&p).unwrap();
+        let got = s.value(scaled).unwrap();
+        let local = ramp(8, 8);
+        let expect = local.scale(local.sum());
+        assert_eq!(got.to_dense(), expect.to_dense());
+    }
+
+    #[test]
+    fn random_matrices_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut s = Session::builder()
+                .workers(2)
+                .block_size(4)
+                .seed(seed)
+                .build();
+            let mut p = Program::new();
+            let w = p.random("W", 8, 8);
+            let x = p.add(w, w).unwrap();
+            p.output(x);
+            s.run(&p).unwrap();
+            s.value(x).unwrap().to_dense()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1).data(), run(2).data());
+    }
+
+    #[test]
+    fn rlocal_uses_one_worker_and_no_comm_time() {
+        let mut s = Session::builder()
+            .system(SystemKind::RLocal)
+            .workers(8) // ignored
+            .block_size(8)
+            .build();
+        assert_eq!(s.workers(), 1);
+        s.bind("A", ramp(16, 16)).unwrap();
+        let mut p = Program::new();
+        let a = p.load("A", 16, 16, 1.0);
+        let b = p.matmul(a, a).unwrap();
+        p.output(b);
+        let report = s.run(&p).unwrap();
+        assert_eq!(
+            report.comm.total_bytes(),
+            report
+                .comm
+                .events()
+                .iter()
+                .filter(|e| e.label == "reduce")
+                .map(|e| e.bytes)
+                .sum::<u64>(),
+            "single worker moves no matrix bytes"
+        );
+    }
+
+    #[test]
+    fn transposed_value_retrieval() {
+        let mut s = Session::builder().workers(2).block_size(4).build();
+        s.bind("A", ramp(8, 6)).unwrap();
+        let mut p = Program::new();
+        let a = p.load("A", 8, 6, 1.0);
+        let b = p.add(a, a).unwrap();
+        p.output(b);
+        s.run(&p).unwrap();
+        let vt = s.value(b.t()).unwrap();
+        assert_eq!(vt.rows(), 6);
+        assert_eq!(vt.cols(), 8);
+    }
+}

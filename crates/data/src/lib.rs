@@ -1,0 +1,262 @@
+//! # dmac-data — synthetic dataset generators
+//!
+//! The paper evaluates on Netflix, four web/social graphs (soc-pokec,
+//! cit-Patents, LiveJournal, Wikipedia) and synthetic sparse matrices.
+//! None of those are shippable here, so this crate generates laptop-scale
+//! stand-ins that preserve the *characteristics the evaluation depends
+//! on*: aspect ratio, sparsity, and degree skew. Scale factors are chosen
+//! by the bench harness and recorded in EXPERIMENTS.md.
+//!
+//! * [`uniform_sparse`] — the paper's synthetic generator: "a sparse
+//!   matrix V with d rows and w columns in s sparsity" (§6.1, §6.5).
+//! * [`netflix_like`] — a ratings matrix with Netflix's shape (users ×
+//!   movies ≈ 27:1) and sparsity (≈ 1.17%), values in 1..=5.
+//! * [`powerlaw_graph`] — a Chung-Lu style directed graph with power-law
+//!   out-degrees, returned as a square adjacency matrix; presets mirror
+//!   the four graphs of Table 3 at a configurable scale.
+//! * [`row_normalize`] — turn an adjacency matrix into the row-stochastic
+//!   link matrix PageRank needs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use dmac_matrix::{BlockedMatrix, Result};
+
+/// A named graph preset mirroring Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphPreset {
+    /// Name used in reports.
+    pub name: &'static str,
+    /// Node count of the real dataset.
+    pub real_nodes: usize,
+    /// Edge count of the real dataset.
+    pub real_edges: usize,
+}
+
+/// soc-pokec: 1,632,803 nodes / 30,622,564 edges.
+pub const SOC_POKEC: GraphPreset = GraphPreset {
+    name: "soc-pokec",
+    real_nodes: 1_632_803,
+    real_edges: 30_622_564,
+};
+
+/// cit-Patents: 3,774,768 nodes / 16,518,978 edges.
+pub const CIT_PATENTS: GraphPreset = GraphPreset {
+    name: "cit-Patents",
+    real_nodes: 3_774_768,
+    real_edges: 16_518_978,
+};
+
+/// LiveJournal: 4,847,571 nodes / 68,993,773 edges.
+pub const LIVEJOURNAL: GraphPreset = GraphPreset {
+    name: "LiveJournal",
+    real_nodes: 4_847_571,
+    real_edges: 68_993_773,
+};
+
+/// Wikipedia: 25,942,254 nodes / 601,038,301 edges.
+pub const WIKIPEDIA: GraphPreset = GraphPreset {
+    name: "Wikipedia",
+    real_nodes: 25_942_254,
+    real_edges: 601_038_301,
+};
+
+/// The four graphs of Table 3 in paper order.
+pub const TABLE3_GRAPHS: [GraphPreset; 4] = [SOC_POKEC, CIT_PATENTS, LIVEJOURNAL, WIKIPEDIA];
+
+impl GraphPreset {
+    /// Scaled node/edge counts: nodes divided by `scale`, edges scaled to
+    /// keep the original average degree.
+    pub fn scaled(&self, scale: usize) -> (usize, usize) {
+        let nodes = (self.real_nodes / scale).max(16);
+        let avg_degree = self.real_edges as f64 / self.real_nodes as f64;
+        let edges = (nodes as f64 * avg_degree) as usize;
+        (nodes, edges)
+    }
+}
+
+/// Uniform random sparse matrix: `rows × cols`, expected `sparsity`
+/// fraction of non-zeros with values in `(0, 1]`.
+pub fn uniform_sparse(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    block: usize,
+    seed: u64,
+) -> BlockedMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((rows as f64) * (cols as f64) * sparsity) as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        triplets.push((
+            rng.random_range(0..rows),
+            rng.random_range(0..cols),
+            rng.random_range(0.0f64..1.0) + 1e-9,
+        ));
+    }
+    BlockedMatrix::from_triplets(rows, cols, block, triplets).expect("indices in range")
+}
+
+/// Dense random matrix with entries in `[0, 1)`.
+pub fn dense_random(rows: usize, cols: usize, block: usize, seed: u64) -> BlockedMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.random_range(0.0..1.0))
+        .collect();
+    BlockedMatrix::from_fn(rows, cols, block, |i, j| data[i * cols + j]).expect("block > 0")
+}
+
+/// Netflix-shaped ratings matrix: `users × movies` at Netflix's 27:1
+/// aspect ratio and ≈ 1.17 % density, ratings in 1..=5.
+///
+/// `users` picks the scale; movies = users / 27 (min 8).
+pub fn netflix_like(users: usize, block: usize, seed: u64) -> BlockedMatrix {
+    let movies = (users / 27).max(8);
+    let sparsity = 0.0117;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((users as f64) * (movies as f64) * sparsity) as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        triplets.push((
+            rng.random_range(0..users),
+            rng.random_range(0..movies),
+            rng.random_range(1..=5) as f64,
+        ));
+    }
+    BlockedMatrix::from_triplets(users, movies, block, triplets).expect("indices in range")
+}
+
+/// Chung-Lu style power-law directed graph as a square `nodes × nodes`
+/// adjacency matrix with ≈ `edges` non-zeros. Out-degrees follow a
+/// Zipf-like distribution, reproducing the skew of the paper's social/web
+/// graphs (the source of the block-size deviations in §6.3).
+pub fn powerlaw_graph(nodes: usize, edges: usize, block: usize, seed: u64) -> BlockedMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf weights w_i = 1 / (i + 1)^0.5 give a heavy-tailed degree
+    // distribution while keeping the expected edge count controllable.
+    let weights: Vec<f64> = (0..nodes).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
+    let total: f64 = weights.iter().sum();
+    // cumulative distribution for sampling endpoints
+    let mut cdf = Vec::with_capacity(nodes);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let sample = |rng: &mut StdRng| -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(nodes - 1),
+        }
+    };
+    let mut triplets = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let src = sample(&mut rng);
+        let dst = rng.random_range(0..nodes);
+        if src != dst {
+            triplets.push((src, dst, 1.0));
+        }
+    }
+    BlockedMatrix::from_triplets(nodes, nodes, block, triplets).expect("indices in range")
+}
+
+/// Row-normalise an adjacency matrix into a row-stochastic link matrix
+/// (each non-empty row sums to 1). Rows with no out-edges stay zero
+/// (dangling nodes).
+pub fn row_normalize(adj: &BlockedMatrix) -> Result<BlockedMatrix> {
+    let mut row_sums = vec![0.0f64; adj.rows()];
+    for (i, _, v) in adj.to_triplets() {
+        row_sums[i] += v;
+    }
+    let trips: Vec<(usize, usize, f64)> = adj
+        .to_triplets()
+        .into_iter()
+        .map(|(i, j, v)| (i, j, v / row_sums[i]))
+        .collect();
+    BlockedMatrix::from_triplets(adj.rows(), adj.cols(), adj.block_size(), trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sparse_hits_target_density() {
+        let m = uniform_sparse(200, 100, 0.05, 32, 7);
+        let density = m.nnz() as f64 / (200.0 * 100.0);
+        // duplicates collapse, so observed density is slightly below target
+        assert!(density > 0.04 && density <= 0.05, "density {density}");
+        assert_eq!(m.rows(), 200);
+        assert_eq!(m.cols(), 100);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_sparse(50, 50, 0.1, 16, 9).to_dense();
+        let b = uniform_sparse(50, 50, 0.1, 16, 9).to_dense();
+        assert_eq!(a, b);
+        let c = uniform_sparse(50, 50, 0.1, 16, 10).to_dense();
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn netflix_like_shape_and_values() {
+        let m = netflix_like(540, 64, 3);
+        assert_eq!(m.rows(), 540);
+        assert_eq!(m.cols(), 20);
+        for (_, _, v) in m.to_triplets() {
+            assert!((1.0..=5.0).contains(&v));
+        }
+        let density = m.nnz() as f64 / (540.0 * 20.0);
+        assert!(density > 0.008 && density < 0.013, "density {density}");
+    }
+
+    #[test]
+    fn powerlaw_graph_is_skewed() {
+        let g = powerlaw_graph(500, 5_000, 64, 11);
+        assert_eq!(g.rows(), 500);
+        let mut out_deg = vec![0usize; 500];
+        for (i, _, _) in g.to_triplets() {
+            out_deg[i] += 1;
+        }
+        out_deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = out_deg[..10].iter().sum();
+        let total: usize = out_deg.iter().sum();
+        assert!(
+            top10 as f64 > total as f64 * 0.08,
+            "top-10 nodes should carry a disproportionate share: {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn row_normalize_makes_rows_stochastic() {
+        let g = powerlaw_graph(100, 800, 32, 5);
+        let l = row_normalize(&g).unwrap();
+        let mut sums = vec![0.0f64; 100];
+        for (i, _, v) in l.to_triplets() {
+            sums[i] += v;
+        }
+        for (i, s) in sums.iter().enumerate() {
+            assert!(*s == 0.0 || (s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn presets_scale_preserving_degree() {
+        let (n, e) = LIVEJOURNAL.scaled(100);
+        assert_eq!(n, 48_475);
+        let degree = e as f64 / n as f64;
+        let real_degree = LIVEJOURNAL.real_edges as f64 / LIVEJOURNAL.real_nodes as f64;
+        assert!((degree - real_degree).abs() < 0.1);
+        assert_eq!(TABLE3_GRAPHS.len(), 4);
+    }
+
+    #[test]
+    fn dense_random_fills_range() {
+        let m = dense_random(20, 20, 8, 1);
+        assert!(m.nnz() > 390); // essentially all non-zero
+        for (_, _, v) in m.to_triplets() {
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

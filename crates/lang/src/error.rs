@@ -1,0 +1,72 @@
+//! Errors for program construction.
+
+use std::fmt;
+
+/// Errors raised while building or validating a matrix program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Operand shapes are incompatible for the requested operator.
+    ShapeMismatch {
+        /// Operator name.
+        op: &'static str,
+        /// Left operand shape.
+        left: (usize, usize),
+        /// Right operand shape.
+        right: (usize, usize),
+    },
+    /// A handle refers to a matrix not declared in this program.
+    UnknownMatrix(u32),
+    /// A scalar handle refers to a scalar not produced in this program.
+    UnknownScalar(u32),
+    /// A `.value` extraction was applied to a matrix larger than 1×1.
+    NotScalarShaped {
+        /// The offending shape.
+        shape: (usize, usize),
+    },
+    /// Program has no outputs marked.
+    NoOutputs,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LangError::UnknownMatrix(id) => write!(f, "unknown matrix id {id}"),
+            LangError::UnknownScalar(id) => write!(f, "unknown scalar id {id}"),
+            LangError::NotScalarShaped { shape } => {
+                write!(
+                    f,
+                    ".value requires a 1x1 matrix, got {}x{}",
+                    shape.0, shape.1
+                )
+            }
+            LangError::NoOutputs => write!(f, "program has no outputs"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = LangError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (2, 3),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(LangError::UnknownMatrix(7).to_string().contains('7'));
+        assert!(LangError::NoOutputs.to_string().contains("no outputs"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Expression handles, operators, and scalar expressions.
+
+/// Identifier of a matrix value (SSA: every operator output is a fresh id).
+pub type MatrixId = u32;
+
+/// Identifier of a driver-side scalar produced by a reduction operator.
+pub type ScalarId = u32;
+
+/// A lightweight handle to a matrix value, optionally viewed transposed.
+///
+/// Transposition is *not* an operator in DMac's decomposition — it is a
+/// property of how an operator references its input (the `B = Aᵀ` side of
+/// the dependency definition). `expr.t()` therefore just flips a flag; two
+/// flips cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Expr {
+    /// The underlying matrix value.
+    pub id: MatrixId,
+    /// Whether this handle views the transpose of that value.
+    pub transposed: bool,
+}
+
+impl Expr {
+    /// Handle to matrix `id`, untransposed.
+    pub fn new(id: MatrixId) -> Expr {
+        Expr {
+            id,
+            transposed: false,
+        }
+    }
+
+    /// The transposed view (`W.t` in the paper's programs). `t().t()` is
+    /// the identity.
+    pub fn t(self) -> Expr {
+        Expr {
+            id: self.id,
+            transposed: !self.transposed,
+        }
+    }
+}
+
+/// How an operator refers to one of its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixRef {
+    /// The referenced matrix value.
+    pub id: MatrixId,
+    /// True when the operator consumes the transpose of that value
+    /// (the `B = Aᵀ` case of Definition 1).
+    pub transposed: bool,
+}
+
+impl From<Expr> for MatrixRef {
+    fn from(e: Expr) -> MatrixRef {
+        MatrixRef {
+            id: e.id,
+            transposed: e.transposed,
+        }
+    }
+}
+
+/// The five binary matrix operators supported by DMac (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Matrix multiplication (`%*%`).
+    MatMul,
+    /// Matrix addition (`+`).
+    Add,
+    /// Matrix subtraction (`-`).
+    Sub,
+    /// Cell-wise multiplication (`*`).
+    CellMul,
+    /// Cell-wise division (`/`).
+    CellDiv,
+}
+
+impl BinOp {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::MatMul => "%*%",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::CellMul => "*",
+            BinOp::CellDiv => "/",
+        }
+    }
+
+    /// True for `%*%`.
+    pub fn is_matmul(self) -> bool {
+        self == BinOp::MatMul
+    }
+}
+
+/// Unary operators between a constant/scalar and a matrix (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnaryOp {
+    /// Multiply every cell by a scalar.
+    Scale(ScalarExpr),
+    /// Add a scalar to every cell.
+    AddScalar(ScalarExpr),
+}
+
+impl UnaryOp {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UnaryOp::Scale(_) => "scale",
+            UnaryOp::AddScalar(_) => "add_scalar",
+        }
+    }
+
+    /// The scalar argument.
+    pub fn scalar(&self) -> &ScalarExpr {
+        match self {
+            UnaryOp::Scale(s) | UnaryOp::AddScalar(s) => s,
+        }
+    }
+}
+
+/// Matrix-to-scalar reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum of all cells (`(r * r).sum` in Code 4).
+    Sum,
+    /// Frobenius norm (`v.norm(2)` in Code 5).
+    Norm2,
+    /// Extract the single cell of a 1×1 matrix (`.value` in Code 4).
+    Value,
+}
+
+/// The body of one operator in the decomposed program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// A binary matrix operator producing a matrix.
+    Binary {
+        /// Which operator.
+        op: BinOp,
+        /// Left input reference.
+        lhs: MatrixRef,
+        /// Right input reference.
+        rhs: MatrixRef,
+    },
+    /// A scalar-matrix operator producing a matrix.
+    Unary {
+        /// Which operator (with its scalar argument).
+        op: UnaryOp,
+        /// The matrix input.
+        input: MatrixRef,
+    },
+    /// A reduction producing a driver-side scalar.
+    Reduce {
+        /// Which reduction.
+        op: ReduceOp,
+        /// The matrix input.
+        input: MatrixRef,
+    },
+}
+
+impl OpKind {
+    /// The matrix references this operator reads.
+    pub fn inputs(&self) -> Vec<MatrixRef> {
+        match self {
+            OpKind::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            OpKind::Unary { input, .. } | OpKind::Reduce { input, .. } => vec![*input],
+        }
+    }
+
+    /// Scalars this operator's evaluation depends on.
+    pub fn scalar_deps(&self) -> Vec<ScalarId> {
+        match self {
+            OpKind::Unary { op, .. } => op.scalar().deps(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// True for matrix multiplication (used by the decomposition ordering).
+    pub fn is_matmul(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Binary {
+                op: BinOp::MatMul,
+                ..
+            }
+        )
+    }
+}
+
+/// One operator of the decomposed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operator {
+    /// Position in program order.
+    pub index: usize,
+    /// The operation.
+    pub kind: OpKind,
+    /// Matrix produced (reductions produce a scalar instead).
+    pub out_matrix: Option<MatrixId>,
+    /// Scalar produced by a reduction.
+    pub out_scalar: Option<ScalarId>,
+    /// Phase tag (iteration number for unrolled loops).
+    pub phase: usize,
+}
+
+/// Driver-side scalar expressions: constants, reduction results, and
+/// arithmetic over them. These are evaluated on the driver at run time —
+/// they never touch the cluster beyond the reductions that feed them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A literal constant.
+    Const(f64),
+    /// The value of a reduction operator's output.
+    Ref(ScalarId),
+    /// Sum of two scalars.
+    Add(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Difference.
+    Sub(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Product.
+    Mul(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Quotient.
+    Div(Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Neg(Box<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Constant helper.
+    pub fn c(v: f64) -> ScalarExpr {
+        ScalarExpr::Const(v)
+    }
+
+    /// All reduction outputs this expression reads.
+    pub fn deps(&self) -> Vec<ScalarId> {
+        let mut out = Vec::new();
+        self.collect_deps(&mut out);
+        out
+    }
+
+    fn collect_deps(&self, out: &mut Vec<ScalarId>) {
+        match self {
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Ref(id) => out.push(*id),
+            ScalarExpr::Add(a, b)
+            | ScalarExpr::Sub(a, b)
+            | ScalarExpr::Mul(a, b)
+            | ScalarExpr::Div(a, b) => {
+                a.collect_deps(out);
+                b.collect_deps(out);
+            }
+            ScalarExpr::Neg(a) => a.collect_deps(out),
+        }
+    }
+
+    /// Evaluate given the values of reduction outputs.
+    ///
+    /// # Panics
+    /// Panics if a referenced scalar is missing — programs are validated so
+    /// that reductions always precede their uses.
+    pub fn eval(&self, env: &impl Fn(ScalarId) -> f64) -> f64 {
+        match self {
+            ScalarExpr::Const(v) => *v,
+            ScalarExpr::Ref(id) => env(*id),
+            ScalarExpr::Add(a, b) => a.eval(env) + b.eval(env),
+            ScalarExpr::Sub(a, b) => a.eval(env) - b.eval(env),
+            ScalarExpr::Mul(a, b) => a.eval(env) * b.eval(env),
+            ScalarExpr::Div(a, b) => a.eval(env) / b.eval(env),
+            ScalarExpr::Neg(a) => -a.eval(env),
+        }
+    }
+}
+
+impl std::ops::Add for ScalarExpr {
+    type Output = ScalarExpr;
+    fn add(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for ScalarExpr {
+    type Output = ScalarExpr;
+    fn sub(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for ScalarExpr {
+    type Output = ScalarExpr;
+    fn mul(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for ScalarExpr {
+    type Output = ScalarExpr;
+    fn div(self, rhs: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for ScalarExpr {
+    type Output = ScalarExpr;
+    fn neg(self) -> ScalarExpr {
+        ScalarExpr::Neg(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_flag_cancels() {
+        let e = Expr::new(3);
+        assert!(!e.transposed);
+        assert!(e.t().transposed);
+        assert_eq!(e.t().t(), e);
+    }
+
+    #[test]
+    fn scalar_arithmetic_evaluates() {
+        let alpha = ScalarExpr::Ref(0);
+        let expr = (alpha.clone() * ScalarExpr::c(2.0) + ScalarExpr::c(1.0))
+            / (ScalarExpr::c(4.0) - alpha.clone());
+        let v = expr.eval(&|_| 2.0);
+        assert!((v - 2.5).abs() < 1e-12);
+        assert_eq!(expr.deps(), vec![0, 0]);
+        let neg = -ScalarExpr::c(3.0);
+        assert_eq!(neg.eval(&|_| 0.0), -3.0);
+    }
+
+    #[test]
+    fn opkind_inputs_and_deps() {
+        let k = OpKind::Binary {
+            op: BinOp::MatMul,
+            lhs: Expr::new(0).t().into(),
+            rhs: Expr::new(1).into(),
+        };
+        assert!(k.is_matmul());
+        let ins = k.inputs();
+        assert_eq!(ins.len(), 2);
+        assert!(ins[0].transposed);
+        let u = OpKind::Unary {
+            op: UnaryOp::Scale(ScalarExpr::Ref(5)),
+            input: Expr::new(2).into(),
+        };
+        assert_eq!(u.scalar_deps(), vec![5]);
+        assert!(!u.is_matmul());
+    }
+
+    #[test]
+    fn binop_names() {
+        assert_eq!(BinOp::MatMul.name(), "%*%");
+        assert_eq!(BinOp::CellDiv.name(), "/");
+        assert!(BinOp::MatMul.is_matmul());
+        assert!(!BinOp::Add.is_matmul());
+    }
+}

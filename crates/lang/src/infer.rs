@@ -1,0 +1,161 @@
+//! Worst-case matrix size estimation (paper §5.1).
+//!
+//! The dependency-oriented cost model needs `|A|` — the size of every
+//! (intermediate) matrix — before anything executes. Dimensions propagate
+//! exactly through linear algebra; sparsity is estimated worst-case:
+//!
+//! * multiplication: `s_C = 1` (any cell can be hit),
+//! * other binary operators: `s_C = min(s_A + s_B, 1)` — the union bound
+//!   (the paper prints `Max(sA + sB, 1)`, an obvious typo since the bound
+//!   must not exceed 1),
+//! * unary operators preserve sparsity.
+
+use crate::error::{LangError, Result};
+use crate::expr::BinOp;
+
+/// Static description of a matrix value: shape and estimated sparsity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Estimated fraction of non-zero cells in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+impl MatrixStats {
+    /// Construct, clamping sparsity into `[0, 1]`.
+    pub fn new(rows: usize, cols: usize, sparsity: f64) -> MatrixStats {
+        MatrixStats {
+            rows,
+            cols,
+            sparsity: sparsity.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The transposed stats.
+    pub fn transposed(self) -> MatrixStats {
+        MatrixStats {
+            rows: self.cols,
+            cols: self.rows,
+            sparsity: self.sparsity,
+        }
+    }
+
+    /// Worst-case estimated bytes (`8` bytes per estimated non-zero item) —
+    /// the `|A|` of the paper's cost model.
+    pub fn est_bytes(self) -> u64 {
+        (self.rows as f64 * self.cols as f64 * self.sparsity * 8.0).ceil() as u64
+    }
+
+    /// Shape tuple.
+    pub fn shape(self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Infer the output stats of a binary operator; checks shapes.
+pub fn infer_binary(op: BinOp, a: MatrixStats, b: MatrixStats) -> Result<MatrixStats> {
+    match op {
+        BinOp::MatMul => {
+            if a.cols != b.rows {
+                return Err(LangError::ShapeMismatch {
+                    op: "%*%",
+                    left: a.shape(),
+                    right: b.shape(),
+                });
+            }
+            // Worst case: fully dense output.
+            Ok(MatrixStats::new(a.rows, b.cols, 1.0))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::CellMul | BinOp::CellDiv => {
+            if a.shape() != b.shape() {
+                return Err(LangError::ShapeMismatch {
+                    op: op.name_static(),
+                    left: a.shape(),
+                    right: b.shape(),
+                });
+            }
+            Ok(MatrixStats::new(
+                a.rows,
+                a.cols,
+                (a.sparsity + b.sparsity).min(1.0),
+            ))
+        }
+    }
+}
+
+impl BinOp {
+    fn name_static(self) -> &'static str {
+        match self {
+            BinOp::MatMul => "%*%",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::CellMul => "*",
+            BinOp::CellDiv => "/",
+        }
+    }
+}
+
+/// Unary operators preserve shape and sparsity (worst case: `scale` by zero
+/// still estimated at the input's sparsity; `add_scalar` of a non-zero
+/// constant would densify, which the worst-case estimator conservatively
+/// captures by treating the result as dense).
+pub fn infer_unary(densifies: bool, a: MatrixStats) -> MatrixStats {
+    if densifies {
+        MatrixStats::new(a.rows, a.cols, 1.0)
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shapes_and_dense_output() {
+        let a = MatrixStats::new(10, 20, 0.1);
+        let b = MatrixStats::new(20, 5, 0.2);
+        let c = infer_binary(BinOp::MatMul, a, b).unwrap();
+        assert_eq!(c.shape(), (10, 5));
+        assert_eq!(c.sparsity, 1.0);
+        assert!(infer_binary(BinOp::MatMul, a, a).is_err());
+    }
+
+    #[test]
+    fn cellwise_union_bound() {
+        let a = MatrixStats::new(4, 4, 0.3);
+        let b = MatrixStats::new(4, 4, 0.4);
+        let c = infer_binary(BinOp::Add, a, b).unwrap();
+        assert!((c.sparsity - 0.7).abs() < 1e-12);
+        // saturates at 1
+        let d = MatrixStats::new(4, 4, 0.9);
+        let e = infer_binary(BinOp::CellMul, d, d).unwrap();
+        assert_eq!(e.sparsity, 1.0);
+        assert!(infer_binary(BinOp::Sub, a, MatrixStats::new(5, 4, 0.1)).is_err());
+    }
+
+    #[test]
+    fn unary_preserves_or_densifies() {
+        let a = MatrixStats::new(3, 3, 0.2);
+        assert_eq!(infer_unary(false, a), a);
+        assert_eq!(infer_unary(true, a).sparsity, 1.0);
+    }
+
+    #[test]
+    fn est_bytes_worst_case() {
+        let a = MatrixStats::new(1000, 1000, 0.01);
+        assert_eq!(a.est_bytes(), 80_000);
+        let t = a.transposed();
+        assert_eq!(t.shape(), (1000, 1000));
+        assert_eq!(t.est_bytes(), a.est_bytes());
+    }
+
+    #[test]
+    fn sparsity_is_clamped() {
+        assert_eq!(MatrixStats::new(2, 2, 7.0).sparsity, 1.0);
+        assert_eq!(MatrixStats::new(2, 2, -1.0).sparsity, 0.0);
+    }
+}

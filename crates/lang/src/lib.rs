@@ -1,0 +1,36 @@
+//! # dmac-lang — the matrix-program language of DMac
+//!
+//! DMac exposes an R-like matrix language (paper §5.4, Appendix A): users
+//! write programs over distributed matrices with `%*%` (multiplication),
+//! `*` / `/` (cell-wise), `+` / `-`, transpose (`.t`), scalar operations and
+//! reductions. This crate provides:
+//!
+//! * [`Program`] — a builder producing a straight-line SSA-style sequence of
+//!   [`Operator`]s over matrix values ([`Expr`] handles). Iterative
+//!   algorithms unroll their loops into one program, exactly like the
+//!   paper plans "the whole matrix program"; a *phase* tag attributes each
+//!   operator to its source iteration so per-iteration statistics can be
+//!   reported (Figure 6).
+//! * [`ScalarExpr`] — driver-side scalar values: constants, results of
+//!   matrix reductions (`sum`, `norm`, `.value`), and arithmetic over them
+//!   (the conjugate-gradient α/β of Code 4 are such scalars).
+//! * [`infer`] — dimension and worst-case sparsity propagation (§5.1): a
+//!   multiplication's output is assumed fully dense; other binary operators
+//!   get `min(s_A + s_B, 1)`; unary operators preserve sparsity.
+//! * [`Program::planner_order`] — the decomposition-phase reordering of
+//!   §4.2.3: among simultaneously-ready operators, multiplications are
+//!   scheduled first so that the Pull-Up Broadcast heuristic sees broadcast
+//!   opportunities early.
+
+pub mod error;
+pub mod expr;
+pub mod infer;
+pub mod parser;
+pub mod program;
+
+pub use error::{LangError, Result};
+pub use expr::{
+    BinOp, Expr, MatrixId, MatrixRef, OpKind, Operator, ReduceOp, ScalarExpr, ScalarId, UnaryOp,
+};
+pub use parser::{parse_script, ParseError, ParsedScript};
+pub use program::{MatrixDecl, MatrixOrigin, Program};

@@ -1,0 +1,747 @@
+//! An R-like script frontend for matrix programs (paper §5.4: "we provide
+//! a set of R-Like symbols to represent each matrix operator").
+//!
+//! The accepted language mirrors the paper's code listings:
+//!
+//! ```text
+//! V = load(V, 1000, 800, 0.05)
+//! W = random(W, 1000, 20)
+//! H = random(H, 20, 800)
+//! for (i in 0:9) {
+//!     H = H * (W.t %*% V) / (W.t %*% W %*% H)
+//!     W = W * (V %*% H.t) / (W %*% H %*% H.t)
+//! }
+//! store(W)
+//! store(H)
+//! ```
+//!
+//! * `%*%` is matrix multiplication; `*` and `/` are cell-wise; `+`/`-`
+//!   element-wise; all four share the paper's left-associative reading.
+//! * `X.t` is the transposed view (free, per the Transpose dependency).
+//! * `X.sum`, `X.norm2`, `X.value` are reductions producing driver-side
+//!   scalars; scalars mix freely with matrices (`rank * 0.85`,
+//!   `w + p * alpha`).
+//! * `for (i in a:b) { … }` unrolls the body (the paper plans the whole
+//!   program); each unrolled iteration gets its own phase tag, and the
+//!   loop variable is visible as a numeric constant.
+//! * `output(X)` marks an output; `store(X)` also persists it into the
+//!   session environment under its variable name.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::LangError;
+use crate::expr::{Expr, ScalarExpr};
+use crate::program::Program;
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LangError> for ParseError {
+    fn from(e: LangError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    MatMul, // %*%
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Assign,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // comment to end of line
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '%' => {
+                chars.next();
+                if chars.next() == Some('*') && chars.next() == Some('%') {
+                    out.push((Tok::MatMul, line));
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "expected %*%".into(),
+                    });
+                }
+            }
+            '+' => {
+                chars.next();
+                out.push((Tok::Plus, line));
+            }
+            '-' => {
+                chars.next();
+                out.push((Tok::Minus, line));
+            }
+            '*' => {
+                chars.next();
+                out.push((Tok::Star, line));
+            }
+            '/' => {
+                chars.next();
+                out.push((Tok::Slash, line));
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Assign, line));
+            }
+            '(' => {
+                chars.next();
+                out.push((Tok::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                out.push((Tok::RParen, line));
+            }
+            '{' => {
+                chars.next();
+                out.push((Tok::LBrace, line));
+            }
+            '}' => {
+                chars.next();
+                out.push((Tok::RBrace, line));
+            }
+            ',' => {
+                chars.next();
+                out.push((Tok::Comma, line));
+            }
+            ':' => {
+                chars.next();
+                out.push((Tok::Colon, line));
+            }
+            '.' => {
+                // Either a postfix selector (.t) or part of a number (.5)
+                let mut clone = chars.clone();
+                clone.next();
+                if clone.peek().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                    && !matches!(
+                        out.last(),
+                        Some((Tok::Ident(_) | Tok::RParen | Tok::Number(_), _))
+                    )
+                {
+                    let num = lex_number(&mut chars, line)?;
+                    out.push((Tok::Number(num), line));
+                } else {
+                    chars.next();
+                    out.push((Tok::Dot, line));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let num = lex_number(&mut chars, line)?;
+                out.push((Tok::Number(num), line));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: usize,
+) -> Result<f64, ParseError> {
+    let mut s = String::new();
+    while let Some(&c) = chars.peek() {
+        let exponent_sign = (c == '-' || c == '+') && (s.ends_with('e') || s.ends_with('E'));
+        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || exponent_sign {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s.parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad number literal '{s}'"),
+    })
+}
+
+/// A value during script evaluation: a matrix expression or a driver-side
+/// scalar expression (numbers are `ScalarExpr::Const`).
+#[derive(Debug, Clone)]
+enum Value {
+    Matrix(Expr),
+    Scalar(ScalarExpr),
+}
+
+/// The parser/evaluator: consumes tokens, emits into a [`Program`].
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    program: &'a mut Program,
+    env: HashMap<String, Value>,
+}
+
+/// Result of parsing a script.
+#[derive(Debug)]
+pub struct ParsedScript {
+    /// The assembled program (also contains outputs/stores).
+    pub program: Program,
+    /// Final value of every script variable that names a matrix.
+    pub variables: HashMap<String, Expr>,
+}
+
+/// Parse and evaluate a script into a fresh [`Program`].
+///
+/// ```
+/// let parsed = dmac_lang::parse_script(
+///     "A = load(A, 100, 50, 0.1)\nG = A.t %*% A\noutput(G)\n",
+/// ).unwrap();
+/// assert_eq!(parsed.program.ops().len(), 1);
+/// assert!(parsed.variables.contains_key("G"));
+/// ```
+pub fn parse_script(src: &str) -> Result<ParsedScript, ParseError> {
+    let mut program = Program::new();
+    let toks = lex(src)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        program: &mut program,
+        env: HashMap::new(),
+    };
+    parser.script()?;
+    let variables = parser
+        .env
+        .iter()
+        .filter_map(|(k, v)| match v {
+            Value::Matrix(e) => Some((k.clone(), *e)),
+            Value::Scalar(_) => None,
+        })
+        .collect();
+    Ok(ParsedScript { program, variables })
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            got => Err(self.err(format!("expected {t:?}, got {got:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            got => Err(self.err(format!("expected identifier, got {got:?}"))),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, ParseError> {
+        // Scalar expressions that fold to constants are accepted too.
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            Some(Tok::Ident(name)) => match self.env.get(&name) {
+                Some(Value::Scalar(ScalarExpr::Const(v))) => Ok(*v),
+                _ => Err(self.err(format!("'{name}' is not a numeric constant"))),
+            },
+            got => Err(self.err(format!("expected number, got {got:?}"))),
+        }
+    }
+
+    fn script(&mut self) -> Result<(), ParseError> {
+        while self.peek().is_some() {
+            self.statement()?;
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) if name == "for" => self.for_loop(),
+            Some(Tok::Ident(name)) if name == "output" || name == "store" => {
+                let keyword = self.expect_ident()?;
+                self.expect(Tok::LParen)?;
+                let var = self.expect_ident()?;
+                self.expect(Tok::RParen)?;
+                let value = self
+                    .env
+                    .get(&var)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("unknown variable '{var}'")))?;
+                let Value::Matrix(e) = value else {
+                    return Err(self.err(format!("'{var}' is a scalar, not a matrix")));
+                };
+                if keyword == "store" {
+                    self.program.store(e, &var);
+                } else {
+                    self.program.output(e);
+                }
+                Ok(())
+            }
+            Some(Tok::Ident(_)) => self.assignment(),
+            other => Err(self.err(format!("expected statement, got {other:?}"))),
+        }
+    }
+
+    fn assignment(&mut self) -> Result<(), ParseError> {
+        let name = self.expect_ident()?;
+        self.expect(Tok::Assign)?;
+        let value = self.expression()?;
+        self.env.insert(name, value);
+        Ok(())
+    }
+
+    fn for_loop(&mut self) -> Result<(), ParseError> {
+        self.expect_ident()?; // 'for'
+        self.expect(Tok::LParen)?;
+        let var = self.expect_ident()?;
+        let kw = self.expect_ident()?;
+        if kw != "in" {
+            return Err(self.err("expected 'in'"));
+        }
+        let lo = self.expect_number()? as i64;
+        self.expect(Tok::Colon)?;
+        let hi = self.expect_number()? as i64;
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::LBrace)?;
+        let body_start = self.pos;
+        if lo > hi {
+            return Err(self.err(format!("empty loop range {lo}:{hi}")));
+        }
+        for (phase, i) in (lo..=hi).enumerate() {
+            self.pos = body_start;
+            self.program.set_phase(phase);
+            self.env
+                .insert(var.clone(), Value::Scalar(ScalarExpr::Const(i as f64)));
+            while !matches!(self.peek(), Some(Tok::RBrace)) {
+                if self.peek().is_none() {
+                    return Err(self.err("unterminated loop body"));
+                }
+                self.statement()?;
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        self.env.remove(&var);
+        Ok(())
+    }
+
+    /// expression := term (('+'|'-') term)*
+    fn expression(&mut self) -> Result<Value, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => Tok::Plus,
+                Some(Tok::Minus) => Tok::Minus,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            lhs = self.combine_additive(lhs, rhs, op)?;
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor (('%*%'|'*'|'/') factor)*
+    fn term(&mut self) -> Result<Value, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::MatMul) => Tok::MatMul,
+                Some(Tok::Star) => Tok::Star,
+                Some(Tok::Slash) => Tok::Slash,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor()?;
+            lhs = self.combine_multiplicative(lhs, rhs, op)?;
+        }
+        Ok(lhs)
+    }
+
+    fn combine_additive(&mut self, a: Value, b: Value, op: Tok) -> Result<Value, ParseError> {
+        let line = self.line();
+        let fail = |e: LangError| ParseError {
+            line,
+            message: e.to_string(),
+        };
+        Ok(match (a, b, op) {
+            (Value::Matrix(x), Value::Matrix(y), Tok::Plus) => {
+                Value::Matrix(self.program.add(x, y).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Matrix(y), Tok::Minus) => {
+                Value::Matrix(self.program.sub(x, y).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Scalar(s), Tok::Plus)
+            | (Value::Scalar(s), Value::Matrix(x), Tok::Plus) => {
+                Value::Matrix(self.program.add_scalar(x, s).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Scalar(s), Tok::Minus) => {
+                Value::Matrix(self.program.add_scalar(x, -s).map_err(fail)?)
+            }
+            (Value::Scalar(s), Value::Matrix(x), Tok::Minus) => {
+                // s - X = (-X) + s
+                let neg = self.program.scale_const(x, -1.0).map_err(fail)?;
+                Value::Matrix(self.program.add_scalar(neg, s).map_err(fail)?)
+            }
+            (Value::Scalar(s), Value::Scalar(t), Tok::Plus) => Value::Scalar(s + t),
+            (Value::Scalar(s), Value::Scalar(t), Tok::Minus) => Value::Scalar(s - t),
+            _ => return Err(self.err("invalid additive combination")),
+        })
+    }
+
+    fn combine_multiplicative(&mut self, a: Value, b: Value, op: Tok) -> Result<Value, ParseError> {
+        let line = self.line();
+        let fail = |e: LangError| ParseError {
+            line,
+            message: e.to_string(),
+        };
+        Ok(match (a, b, op) {
+            (Value::Matrix(x), Value::Matrix(y), Tok::MatMul) => {
+                Value::Matrix(self.program.matmul(x, y).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Matrix(y), Tok::Star) => {
+                Value::Matrix(self.program.cell_mul(x, y).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Matrix(y), Tok::Slash) => {
+                Value::Matrix(self.program.cell_div(x, y).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Scalar(s), Tok::Star)
+            | (Value::Scalar(s), Value::Matrix(x), Tok::Star) => {
+                Value::Matrix(self.program.scale(x, s).map_err(fail)?)
+            }
+            (Value::Matrix(x), Value::Scalar(s), Tok::Slash) => Value::Matrix(
+                self.program
+                    .scale(x, ScalarExpr::c(1.0) / s)
+                    .map_err(fail)?,
+            ),
+            (Value::Scalar(s), Value::Scalar(t), Tok::Star) => Value::Scalar(s * t),
+            (Value::Scalar(s), Value::Scalar(t), Tok::Slash) => Value::Scalar(s / t),
+            (_, _, Tok::MatMul) => return Err(self.err("%*% needs two matrices")),
+            _ => return Err(self.err("invalid multiplicative combination")),
+        })
+    }
+
+    /// factor := primary ('.' selector)*
+    fn factor(&mut self) -> Result<Value, ParseError> {
+        let mut v = self.primary()?;
+        while matches!(self.peek(), Some(Tok::Dot)) {
+            self.next();
+            let sel = self.expect_ident()?;
+            v = match (&v, sel.as_str()) {
+                (Value::Matrix(e), "t") => Value::Matrix(e.t()),
+                (Value::Matrix(e), "sum") => {
+                    Value::Scalar(self.program.sum(*e).map_err(ParseError::from)?)
+                }
+                (Value::Matrix(e), "norm2") => {
+                    Value::Scalar(self.program.norm2(*e).map_err(ParseError::from)?)
+                }
+                (Value::Matrix(e), "value") => {
+                    Value::Scalar(self.program.value(*e).map_err(ParseError::from)?)
+                }
+                (Value::Matrix(_), other) => {
+                    return Err(self.err(format!("unknown matrix selector '.{other}'")))
+                }
+                (Value::Scalar(_), other) => {
+                    return Err(self.err(format!("scalars have no selector '.{other}'")))
+                }
+            };
+        }
+        Ok(v)
+    }
+
+    fn primary(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(Value::Scalar(ScalarExpr::Const(n))),
+            Some(Tok::Minus) => {
+                let v = self.primary()?;
+                match v {
+                    Value::Scalar(s) => Ok(Value::Scalar(-s)),
+                    Value::Matrix(e) => Ok(Value::Matrix(
+                        self.program
+                            .scale_const(e, -1.0)
+                            .map_err(ParseError::from)?,
+                    )),
+                }
+            }
+            Some(Tok::LParen) => {
+                let v = self.expression()?;
+                self.expect(Tok::RParen)?;
+                Ok(v)
+            }
+            Some(Tok::Ident(name)) if name == "load" => {
+                self.expect(Tok::LParen)?;
+                let bind = self.expect_ident()?;
+                self.expect(Tok::Comma)?;
+                let rows = self.expect_number()? as usize;
+                self.expect(Tok::Comma)?;
+                let cols = self.expect_number()? as usize;
+                self.expect(Tok::Comma)?;
+                let sparsity = self.expect_number()?;
+                self.expect(Tok::RParen)?;
+                Ok(Value::Matrix(
+                    self.program.load(&bind, rows, cols, sparsity),
+                ))
+            }
+            Some(Tok::Ident(name)) if name == "random" => {
+                self.expect(Tok::LParen)?;
+                let bind = self.expect_ident()?;
+                self.expect(Tok::Comma)?;
+                let rows = self.expect_number()? as usize;
+                self.expect(Tok::Comma)?;
+                let cols = self.expect_number()? as usize;
+                self.expect(Tok::RParen)?;
+                Ok(Value::Matrix(self.program.random(&bind, rows, cols)))
+            }
+            Some(Tok::Ident(name)) => self
+                .env
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| self.err(format!("unknown variable '{name}'"))),
+            got => Err(self.err(format!("expected expression, got {got:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::OpKind;
+
+    #[test]
+    fn parses_gnmf_code1() {
+        let script = r#"
+            # GNMF, paper Code 1
+            V = load(V, 1000, 800, 0.05)
+            W = random(W, 1000, 20)
+            H = random(H, 20, 800)
+            for (i in 0:1) {
+                H = H * (W.t %*% V) / (W.t %*% W %*% H)
+                W = W * (V %*% H.t) / (W %*% H %*% H.t)
+            }
+            store(W)
+            store(H)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        let p = &parsed.program;
+        p.validate().unwrap();
+        // 10 operators per iteration, 2 iterations
+        assert_eq!(p.ops().len(), 20);
+        assert_eq!(p.ops()[0].phase, 0);
+        assert_eq!(p.ops()[10].phase, 1);
+        assert_eq!(p.outputs().len(), 2);
+        assert!(parsed.variables.contains_key("W"));
+        assert!(parsed.variables.contains_key("H"));
+    }
+
+    #[test]
+    fn parses_pagerank_code2() {
+        let script = r#"
+            link = load(link, 100, 100, 0.05)
+            D = load(D, 1, 100, 1.0)
+            rank = random(rank, 1, 100)
+            for (i in 0:9) {
+                rank = (rank %*% link) * 0.85 + D * 0.15
+            }
+            output(rank)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        parsed.program.validate().unwrap();
+        // per iteration: matmul, scale, scale, add = 4 ops
+        assert_eq!(parsed.program.ops().len(), 40);
+    }
+
+    #[test]
+    fn parses_scalar_reductions_and_arithmetic() {
+        let script = r#"
+            A = load(A, 10, 10, 1.0)
+            s = A.sum
+            n = A.norm2
+            B = A * (s / (n + 1.0))
+            C = B - 0.5
+            output(C)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        let reduces = parsed
+            .program
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Reduce { .. }))
+            .count();
+        assert_eq!(reduces, 2);
+        parsed.program.validate().unwrap();
+    }
+
+    #[test]
+    fn value_selector_requires_1x1() {
+        let script = r#"
+            A = load(A, 4, 4, 1.0)
+            v = A.value
+            output(A)
+        "#;
+        let err = parse_script(script).unwrap_err();
+        assert!(err.message.contains("1x1"), "{err}");
+    }
+
+    #[test]
+    fn precedence_matches_paper_listings() {
+        // H * X / Y must parse as (H * X) / Y.
+        let script = r#"
+            H = load(H, 4, 4, 1.0)
+            X = load(X, 4, 4, 1.0)
+            Y = load(Y, 4, 4, 1.0)
+            Z = H * X / Y
+            output(Z)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        let kinds: Vec<&OpKind> = parsed.program.ops().iter().map(|o| &o.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            OpKind::Binary {
+                op: crate::expr::BinOp::CellMul,
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[1],
+            OpKind::Binary {
+                op: crate::expr::BinOp::CellDiv,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn loop_variable_is_a_constant_inside_the_body() {
+        let script = r#"
+            A = load(A, 4, 4, 1.0)
+            for (i in 1:3) {
+                A = A * (i + 1.0)
+            }
+            output(A)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        // three scale ops with constants 2, 3, 4
+        let consts: Vec<f64> = parsed
+            .program
+            .ops()
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Unary {
+                    op: crate::expr::UnaryOp::Scale(s),
+                    ..
+                } => Some(s.eval(&|_| 0.0)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_script("A = load(A, 4, 4, 1.0)\nB = A %*% C\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown variable 'C'"));
+    }
+
+    #[test]
+    fn shape_errors_surface_as_parse_errors() {
+        let err = parse_script("A = load(A, 4, 5, 1.0)\nB = A %*% A\noutput(B)\n").unwrap_err();
+        assert!(err.message.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_negatives() {
+        let script = r#"
+            # leading comment
+            A = load(A, 3, 3, 1.0)  # trailing comment
+            B = -A + 1.5
+            C = B * -2.0
+            output(C)
+        "#;
+        parse_script(script).unwrap().program.validate().unwrap();
+    }
+
+    #[test]
+    fn matmul_of_scalar_is_rejected() {
+        let err = parse_script("A = load(A, 3, 3, 1.0)\nB = A %*% 2.0\noutput(B)\n").unwrap_err();
+        assert!(err.message.contains("two matrices"), "{err}");
+    }
+}

@@ -1,0 +1,401 @@
+//! [`Block`]: the tagged dense/sparse tile the whole system computes on.
+//!
+//! DMac keeps most blocks of a sparse input matrix sparse (CSC) and promotes
+//! to dense where an operation fills the tile in (e.g. products of factor
+//! matrices in GNMF). `Block` centralises that dispatch so the executors and
+//! the distributed runtime never care which representation a tile uses.
+
+use crate::csc::CscBlock;
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+
+/// Density threshold above which [`Block::compact`] converts a sparse block
+/// to dense (CSC stores 12 bytes per item vs. 8 per dense cell, so the
+/// break-even is 2/3; we use 0.5 to also buy the faster dense kernels).
+pub const DENSIFY_THRESHOLD: f64 = 0.5;
+
+/// A single tile of a blocked matrix: dense or CSC-sparse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Dense row-major tile.
+    Dense(DenseBlock),
+    /// Sparse CSC tile.
+    Sparse(CscBlock),
+}
+
+impl Block {
+    /// A zero tile, represented sparsely (zero storage for items).
+    pub fn zeros(rows: usize, cols: usize) -> Block {
+        Block::Sparse(CscBlock::zeros(rows, cols))
+    }
+
+    /// A zero tile, represented densely (for accumulation targets).
+    pub fn dense_zeros(rows: usize, cols: usize) -> Block {
+        Block::Dense(DenseBlock::zeros(rows, cols))
+    }
+
+    /// Rows of the tile.
+    pub fn rows(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.rows(),
+            Block::Sparse(s) => s.rows(),
+        }
+    }
+
+    /// Columns of the tile.
+    pub fn cols(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.cols(),
+            Block::Sparse(s) => s.cols(),
+        }
+    }
+
+    /// Exact number of non-zero cells.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.nnz(),
+            Block::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// True if stored sparsely.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Block::Sparse(_))
+    }
+
+    /// Checked element access.
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        match self {
+            Block::Dense(d) => d.get(i, j),
+            Block::Sparse(s) => s.get(i, j),
+        }
+    }
+
+    /// Bytes this tile would occupy on the wire / in memory with its current
+    /// representation. This is what the cluster's communication meter counts
+    /// when a tile is shuffled or broadcast.
+    pub fn actual_bytes(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.actual_bytes(),
+            Block::Sparse(s) => s.actual_bytes(),
+        }
+    }
+
+    /// View as dense, converting if necessary.
+    pub fn to_dense(&self) -> DenseBlock {
+        match self {
+            Block::Dense(d) => d.clone(),
+            Block::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    /// Pick the cheaper representation for this tile's density: sparse tiles
+    /// denser than [`DENSIFY_THRESHOLD`] become dense; dense tiles sparser
+    /// than half of it become sparse.
+    pub fn compact(self) -> Block {
+        let total = (self.rows() * self.cols()).max(1);
+        let density = self.nnz() as f64 / total as f64;
+        match self {
+            Block::Sparse(s) if density > DENSIFY_THRESHOLD => Block::Dense(s.to_dense()),
+            Block::Dense(ref d) if density < DENSIFY_THRESHOLD / 2.0 => {
+                Block::Sparse(CscBlock::from_dense(d))
+            }
+            other => other,
+        }
+    }
+
+    /// `acc += self · other` dispatching over all four representation
+    /// combinations. The accumulator is always dense (the In-Place strategy
+    /// needs a mutable random-access target).
+    pub fn matmul_acc(&self, other: &Block, acc: &mut DenseBlock) -> Result<()> {
+        match (self, other) {
+            (Block::Dense(a), Block::Dense(b)) => a.matmul_acc(b, acc),
+            (Block::Sparse(a), Block::Dense(b)) => a.matmul_dense_acc(b, acc),
+            (Block::Dense(a), Block::Sparse(b)) => b.rmatmul_dense_acc(a, acc),
+            (Block::Sparse(a), Block::Sparse(b)) => a.matmul_sparse_acc(b, acc),
+        }
+    }
+
+    /// Element-wise binary operation; result is dense unless both operands
+    /// are sparse and the op preserves zero-zero (add/sub do; mul does with
+    /// an intersection, div does not — for simplicity results of sparse
+    /// pairs for add/sub/mul stay sparse via triplet merge).
+    fn zip(&self, other: &Block, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Block> {
+        if self.rows() != other.rows() || self.cols() != other.cols() {
+            return Err(MatrixError::DimensionMismatch {
+                op,
+                left: (self.rows(), self.cols()),
+                right: (other.rows(), other.cols()),
+            });
+        }
+        match (self, other) {
+            (Block::Sparse(a), Block::Sparse(b)) if op != "cell_div" => {
+                // Merge stored items; f must map (0,0) -> 0 for this to be
+                // sound, which holds for add/sub/cell_mul.
+                let mut trips = Vec::with_capacity(a.nnz() + b.nnz());
+                for j in 0..a.cols() {
+                    let mut ra = a.col_range(j).peekable_items(a);
+                    let mut rb = b.col_range(j).peekable_items(b);
+                    loop {
+                        match (ra.peek(), rb.peek()) {
+                            (Some(&(ia, va)), Some(&(ib, vb))) => {
+                                use std::cmp::Ordering::*;
+                                match ia.cmp(&ib) {
+                                    Less => {
+                                        trips.push((ia as usize, j, f(va, 0.0)));
+                                        ra.next();
+                                    }
+                                    Greater => {
+                                        trips.push((ib as usize, j, f(0.0, vb)));
+                                        rb.next();
+                                    }
+                                    Equal => {
+                                        trips.push((ia as usize, j, f(va, vb)));
+                                        ra.next();
+                                        rb.next();
+                                    }
+                                }
+                            }
+                            (Some(&(ia, va)), None) => {
+                                trips.push((ia as usize, j, f(va, 0.0)));
+                                ra.next();
+                            }
+                            (None, Some(&(ib, vb))) => {
+                                trips.push((ib as usize, j, f(0.0, vb)));
+                                rb.next();
+                            }
+                            (None, None) => break,
+                        }
+                    }
+                }
+                Ok(Block::Sparse(CscBlock::from_triplets(
+                    a.rows(),
+                    a.cols(),
+                    trips,
+                )?))
+            }
+            _ => {
+                let a = self.to_dense();
+                let b = other.to_dense();
+                Ok(Block::Dense(a.zip_with(&b, op, f)?))
+            }
+        }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Block) -> Result<Block> {
+        self.zip(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Block) -> Result<Block> {
+        self.zip(other, "sub", |a, b| a - b)
+    }
+
+    /// Cell-wise multiplication.
+    pub fn cell_mul(&self, other: &Block) -> Result<Block> {
+        self.zip(other, "cell_mul", |a, b| a * b)
+    }
+
+    /// Cell-wise division (zero divisor yields zero, see
+    /// [`DenseBlock::cell_div`]).
+    pub fn cell_div(&self, other: &Block) -> Result<Block> {
+        self.zip(other, "cell_div", |a, b| if b == 0.0 { 0.0 } else { a / b })
+    }
+
+    /// Scale by a constant (keeps representation).
+    pub fn scale(&self, c: f64) -> Block {
+        match self {
+            Block::Dense(d) => Block::Dense(d.scale(c)),
+            Block::Sparse(s) => Block::Sparse(s.scale(c)),
+        }
+    }
+
+    /// Add a constant to every cell. Forces dense unless `c == 0`.
+    pub fn add_scalar(&self, c: f64) -> Block {
+        if c == 0.0 {
+            return self.clone();
+        }
+        Block::Dense(self.to_dense().add_scalar(c))
+    }
+
+    /// Map every (stored and implicit-zero) cell through `f`; keeps sparsity
+    /// only if `f(0) == 0`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Block {
+        if f(0.0) == 0.0 {
+            match self {
+                Block::Dense(d) => Block::Dense(d.map(&f)),
+                Block::Sparse(s) => Block::Sparse(s.map_values(&f)),
+            }
+        } else {
+            Block::Dense(self.to_dense().map(&f))
+        }
+    }
+
+    /// Transposed copy (keeps representation).
+    pub fn transpose(&self) -> Block {
+        match self {
+            Block::Dense(d) => Block::Dense(d.transpose()),
+            Block::Sparse(s) => Block::Sparse(s.transpose()),
+        }
+    }
+
+    /// Sum of all cells.
+    pub fn sum(&self) -> f64 {
+        match self {
+            Block::Dense(d) => d.sum(),
+            Block::Sparse(s) => s.sum(),
+        }
+    }
+
+    /// Sum of squares of all cells.
+    pub fn sum_sq(&self) -> f64 {
+        match self {
+            Block::Dense(d) => d.sum_sq(),
+            Block::Sparse(s) => s.sum_sq(),
+        }
+    }
+}
+
+/// Helper: iterate a CSC column range as `(row, value)` pairs with peeking.
+trait PeekableItems {
+    fn peekable_items(self, b: &CscBlock) -> std::iter::Peekable<ColItems<'_>>;
+}
+
+/// Iterator over `(row, value)` items of one CSC column.
+struct ColItems<'a> {
+    block: &'a CscBlock,
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for ColItems<'_> {
+    type Item = (u32, f64);
+    fn next(&mut self) -> Option<(u32, f64)> {
+        let t = self.range.next()?;
+        Some((self.block.row_indices()[t], self.block.values()[t]))
+    }
+}
+
+impl PeekableItems for std::ops::Range<usize> {
+    fn peekable_items(self, b: &CscBlock) -> std::iter::Peekable<ColItems<'_>> {
+        ColItems {
+            block: b,
+            range: self,
+        }
+        .peekable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, v: &[f64]) -> Block {
+        Block::Dense(DenseBlock::from_vec(rows, cols, v.to_vec()).unwrap())
+    }
+
+    fn sparse(rows: usize, cols: usize, t: &[(usize, usize, f64)]) -> Block {
+        Block::Sparse(CscBlock::from_triplets(rows, cols, t.to_vec()).unwrap())
+    }
+
+    #[test]
+    fn mixed_matmul_all_combinations_agree() {
+        let ad = dense(2, 3, &[1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        let as_ = sparse(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+        let bd = dense(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let bs = Block::Sparse(CscBlock::from_dense(&bd.to_dense()));
+        let expect = ad.to_dense().matmul(&bd.to_dense()).unwrap();
+        for a in [&ad, &as_] {
+            for b in [&bd, &bs] {
+                let mut acc = DenseBlock::zeros(2, 2);
+                a.matmul_acc(b, &mut acc).unwrap();
+                assert_eq!(acc, expect, "combination failed");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_add_stays_sparse() {
+        let a = sparse(3, 3, &[(0, 0, 1.0), (2, 2, 2.0)]);
+        let b = sparse(3, 3, &[(0, 0, -1.0), (1, 1, 5.0)]);
+        let c = a.add(&b).unwrap();
+        assert!(c.is_sparse());
+        assert_eq!(c.get(0, 0).unwrap(), 0.0);
+        assert_eq!(c.get(1, 1).unwrap(), 5.0);
+        assert_eq!(c.get(2, 2).unwrap(), 2.0);
+        // cancelled cell dropped from storage
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn sparse_sub_and_cellmul() {
+        let a = sparse(2, 2, &[(0, 0, 3.0), (1, 1, 4.0)]);
+        let b = sparse(2, 2, &[(0, 0, 1.0), (0, 1, 9.0)]);
+        let s = a.sub(&b).unwrap();
+        assert_eq!(s.get(0, 0).unwrap(), 2.0);
+        assert_eq!(s.get(0, 1).unwrap(), -9.0);
+        let m = a.cell_mul(&b).unwrap();
+        assert_eq!(m.get(0, 0).unwrap(), 3.0);
+        assert_eq!(m.get(0, 1).unwrap(), 0.0);
+        assert_eq!(m.get(1, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cell_div_mixed_goes_dense() {
+        let a = sparse(2, 2, &[(0, 0, 4.0)]);
+        let b = dense(2, 2, &[2.0, 1.0, 1.0, 0.0]);
+        let c = a.cell_div(&b).unwrap();
+        assert!(!c.is_sparse());
+        assert_eq!(c.get(0, 0).unwrap(), 2.0);
+        assert_eq!(c.get(1, 1).unwrap(), 0.0); // 0/0 -> 0 by convention
+    }
+
+    #[test]
+    fn compact_densifies_and_sparsifies() {
+        // fully dense sparse block -> dense
+        let full = sparse(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        assert!(!full.compact().is_sparse());
+        // nearly-empty dense block -> sparse
+        let mut d = DenseBlock::zeros(10, 10);
+        d.set(0, 0, 1.0).unwrap();
+        assert!(Block::Dense(d).compact().is_sparse());
+    }
+
+    #[test]
+    fn transpose_and_reductions() {
+        let a = sparse(2, 3, &[(0, 2, 5.0), (1, 0, -1.0)]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 0).unwrap(), 5.0);
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.sum_sq(), 26.0);
+    }
+
+    #[test]
+    fn map_respects_zero_preservation() {
+        let a = sparse(2, 2, &[(0, 0, 2.0)]);
+        let doubled = a.map(|v| v * 2.0);
+        assert!(doubled.is_sparse());
+        let shifted = a.map(|v| v + 1.0);
+        assert!(!shifted.is_sparse());
+        assert_eq!(shifted.get(1, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = dense(1, 2, &[1.0, 2.0]);
+        assert_eq!(a.scale(3.0).get(0, 1).unwrap(), 6.0);
+        assert_eq!(a.add_scalar(1.0).get(0, 0).unwrap(), 2.0);
+        let s = sparse(1, 2, &[(0, 0, 1.0)]);
+        assert!(s.add_scalar(0.0).is_sparse());
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = Block::zeros(2, 2);
+        let b = Block::zeros(3, 3);
+        assert!(a.add(&b).is_err());
+        let mut acc = DenseBlock::zeros(2, 2);
+        assert!(a.matmul_acc(&b, &mut acc).is_err());
+    }
+}

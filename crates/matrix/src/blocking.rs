@@ -1,0 +1,166 @@
+//! Block-size model and automatic chooser (paper §5.3, Equations 2–3).
+//!
+//! DMac partitions every matrix into square `m × m` blocks. The block size
+//! trades memory against parallelism:
+//!
+//! * **Memory** (Equation 2): for an `M × N` matrix of sparsity `S` split
+//!   into `m × n` blocks, the value and row-index arrays are independent of
+//!   the blocking, but every block needs its own column-start-index array,
+//!   so small blocks duplicate `4·N·(M/m)` bytes of pointers:
+//!   `Mem(A) = 4·N·(M/m) + 8·M·N·S` (sparse) or `4·M·N` (dense).
+//! * **Parallelism** (Equation 3): with the In-Place strategy the task count
+//!   equals the result-block count; for the cheapest strategy (RMM) a worker
+//!   holds at least `M·N/(K·m²)` tasks, and each of `L` local threads needs
+//!   one, giving the upper bound `m ≤ sqrt(M·N / (L·K))`.
+//!
+//! [`choose_block_size`] picks the largest block size under the Equation-3
+//! bound, which is what the paper reports DMac doing automatically.
+
+/// Cluster/hardware facts needed to choose a block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingConfig {
+    /// `K`: number of workers in the cluster.
+    pub workers: usize,
+    /// `L`: local threads per worker.
+    pub local_parallelism: usize,
+    /// Smallest block size we will ever choose (guards tiny matrices).
+    pub min_block: usize,
+    /// Largest block size we will ever choose (guards huge matrices).
+    pub max_block: usize,
+}
+
+impl Default for BlockingConfig {
+    fn default() -> Self {
+        BlockingConfig {
+            workers: 4,
+            local_parallelism: 8,
+            min_block: 64,
+            max_block: 1 << 20,
+        }
+    }
+}
+
+/// Equation 3: the upper bound `m ≤ sqrt(M·N / (L·K))` on the block row
+/// (and, since blocks are square, column) size.
+pub fn block_size_upper_bound(m_rows: usize, n_cols: usize, cfg: &BlockingConfig) -> usize {
+    let denom = (cfg.local_parallelism * cfg.workers).max(1);
+    let bound = ((m_rows as f64 * n_cols as f64) / denom as f64).sqrt();
+    bound.floor().max(1.0) as usize
+}
+
+/// Choose the block size for an `M × N` matrix: the largest value under the
+/// Equation-3 bound, clamped to the configured range and to the matrix
+/// dimensions themselves.
+pub fn choose_block_size(m_rows: usize, n_cols: usize, cfg: &BlockingConfig) -> usize {
+    let bound = block_size_upper_bound(m_rows, n_cols, cfg);
+    bound
+        .clamp(cfg.min_block, cfg.max_block)
+        .min(m_rows.max(1))
+        .min(n_cols.max(1))
+        .max(1)
+}
+
+/// Equation 2 (sparse case): analytical bytes for an `M × N` sparsity-`S`
+/// matrix stored as CSC blocks with block row size `m`:
+/// `4·N·ceil(M/m) + 8·M·N·S`.
+pub fn model_sparse_bytes(m_rows: usize, n_cols: usize, sparsity: f64, block: usize) -> f64 {
+    let row_blocks = m_rows.div_ceil(block.max(1));
+    4.0 * n_cols as f64 * row_blocks as f64 + 8.0 * m_rows as f64 * n_cols as f64 * sparsity
+}
+
+/// Equation 2 (dense case): `4·M·N` — the paper models 4-byte dense cells.
+pub fn model_dense_bytes(m_rows: usize, n_cols: usize) -> f64 {
+    4.0 * m_rows as f64 * n_cols as f64
+}
+
+/// Paper §5.3 per-block memory: `Mem(b) = 4n + 8mns` for a sparse `m × n`
+/// block of sparsity `s`, `4mn` for dense.
+pub fn model_block_bytes(m: usize, n: usize, sparsity: f64, sparse: bool) -> f64 {
+    if sparse {
+        4.0 * n as f64 + 8.0 * m as f64 * n as f64 * sparsity
+    } else {
+        4.0 * m as f64 * n as f64
+    }
+}
+
+/// Number of blocks along a dimension of length `len` with block size `m`.
+pub fn blocks_along(len: usize, block: usize) -> usize {
+    len.div_ceil(block.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation3_paper_examples() {
+        // Paper §6.3: 4-node cluster, K = 4, L = 8; thresholds "about 856k,
+        // 289k and 667k respectively for LiveJournal, soc-pokec and
+        // cit-Patents" (square adjacency matrices of side = node count).
+        let cfg = BlockingConfig {
+            workers: 4,
+            local_parallelism: 8,
+            ..Default::default()
+        };
+        let lj = block_size_upper_bound(4_847_571, 4_847_571, &cfg);
+        assert!(
+            (lj as f64 - 856_000.0).abs() / 856_000.0 < 0.01,
+            "lj = {lj}"
+        );
+        let pokec = block_size_upper_bound(1_632_803, 1_632_803, &cfg);
+        assert!(
+            (pokec as f64 - 289_000.0).abs() / 289_000.0 < 0.01,
+            "pokec = {pokec}"
+        );
+        let patents = block_size_upper_bound(3_774_768, 3_774_768, &cfg);
+        assert!(
+            (patents as f64 - 667_000.0).abs() / 667_000.0 < 0.01,
+            "patents = {patents}"
+        );
+    }
+
+    #[test]
+    fn choose_respects_clamps_and_dims() {
+        let cfg = BlockingConfig {
+            workers: 4,
+            local_parallelism: 8,
+            min_block: 64,
+            max_block: 512,
+        };
+        // tiny matrix: clamped to dims
+        assert_eq!(choose_block_size(10, 10, &cfg), 10);
+        // large matrix: clamped to max_block
+        assert_eq!(choose_block_size(1_000_000, 1_000_000, &cfg), 512);
+        // degenerate
+        assert_eq!(choose_block_size(0, 0, &cfg), 1);
+    }
+
+    #[test]
+    fn equation2_pointer_duplication_shrinks_with_block_size() {
+        // LiveJournal-like: memory at m=10k should far exceed memory at the
+        // ideal blocking; the paper quotes ~19GB vs ~6GB.
+        let n = 4_847_571;
+        let s = 68_993_773.0 / (n as f64 * n as f64);
+        let small = model_sparse_bytes(n, n, s, 10_000);
+        let ideal = model_sparse_bytes(n, n, s, 856_000);
+        assert!(small > 3.0 * ideal, "small={small:.3e} ideal={ideal:.3e}");
+        // ideal ≈ 8 * nnz ≈ 0.55 GB + small pointer term
+        assert!(ideal < 0.7e9);
+    }
+
+    #[test]
+    fn block_bytes_model_matches_units() {
+        // dense 100x100 -> 40_000 model bytes
+        assert_eq!(model_block_bytes(100, 100, 1.0, false), 40_000.0);
+        // sparse 100x100 at 1% -> 400 + 800
+        assert_eq!(model_block_bytes(100, 100, 0.01, true), 400.0 + 800.0);
+    }
+
+    #[test]
+    fn blocks_along_rounds_up() {
+        assert_eq!(blocks_along(10, 3), 4);
+        assert_eq!(blocks_along(9, 3), 3);
+        assert_eq!(blocks_along(1, 100), 1);
+        assert_eq!(blocks_along(0, 5), 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! Dense blocks: row-major `f64` tiles.
+//!
+//! A [`DenseBlock`] is the dense half of DMac's block representation
+//! (paper §5.3): "a one-dimensional array is used for dense block". All
+//! kernels are written as straightforward loops with cache-friendly
+//! orderings (i-k-j for multiplication) rather than calling out to BLAS, so
+//! the reproduction is self-contained.
+
+use crate::error::{MatrixError, Result};
+use crate::mem;
+
+/// A dense `rows × cols` tile stored row-major in a single `Vec<f64>`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBlock {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseBlock {
+    /// Create a zero-filled block. Registers the allocation with the global
+    /// memory tracker.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        mem::track_alloc(rows * cols * 8);
+        DenseBlock {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a block from row-major data.
+    ///
+    /// # Errors
+    /// Returns [`MatrixError::DimensionMismatch`] if `data.len() != rows*cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        mem::track_alloc(data.len() * 8);
+        Ok(DenseBlock { rows, cols, data })
+    }
+
+    /// Build a block by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        mem::track_alloc(data.len() * 8);
+        DenseBlock { rows, cols, data }
+    }
+
+    /// Identity-like block: ones on the diagonal, zeros elsewhere.
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major backing storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element access (checked).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Result<f64> {
+        if i >= self.rows || j >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                dims: (self.rows, self.cols),
+            });
+        }
+        Ok(self.data[i * self.cols + j])
+    }
+
+    /// Element access (unchecked in release; debug-asserted).
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Set an element (checked).
+    pub fn set(&mut self, i: usize, j: usize, v: f64) -> Result<()> {
+        if i >= self.rows || j >= self.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (i, j),
+                dims: (self.rows, self.cols),
+            });
+        }
+        self.data[i * self.cols + j] = v;
+        Ok(())
+    }
+
+    /// Number of stored (i.e. all) cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the block has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Count of non-zero entries (exact).
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|v| **v != 0.0).count()
+    }
+
+    /// Bytes of payload this block occupies in memory (`8·m·n`); the paper's
+    /// analytical model (§5.3) charges `4·m·n` because it assumes 4-byte
+    /// floats — see [`crate::blocking::model_dense_bytes`] for the paper's
+    /// formula used in the Figure 8(b) analytics.
+    pub fn actual_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// `self · other`, dense × dense, i-k-j loop order.
+    pub fn matmul(&self, other: &DenseBlock) -> Result<DenseBlock> {
+        if self.cols != other.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "multiply",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let mut out = DenseBlock::zeros(self.rows, other.cols);
+        self.matmul_acc(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `acc += self · other` — the In-Place building block: no intermediate
+    /// allocation, results folded straight into the caller-owned block.
+    pub fn matmul_acc(&self, other: &DenseBlock, acc: &mut DenseBlock) -> Result<()> {
+        if self.cols != other.rows {
+            return Err(MatrixError::DimensionMismatch {
+                op: "multiply",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        if acc.rows != self.rows || acc.cols != other.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "multiply-acc",
+                left: (acc.rows, acc.cols),
+                right: (self.rows, other.cols),
+            });
+        }
+        let n = other.cols;
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let crow = &mut acc.data[i * n..(i + 1) * n];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (c, &b) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aik * b;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Element-wise combine with another block of identical shape.
+    pub fn zip_with(
+        &self,
+        other: &DenseBlock,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<DenseBlock> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op,
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        DenseBlock::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &DenseBlock) -> Result<DenseBlock> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &DenseBlock) -> Result<DenseBlock> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Cell-wise (Hadamard) multiplication.
+    pub fn cell_mul(&self, other: &DenseBlock) -> Result<DenseBlock> {
+        self.zip_with(other, "cell_mul", |a, b| a * b)
+    }
+
+    /// Cell-wise division. Division by zero yields `0.0`, matching the
+    /// GNMF-style update conventions (a zero denominator means a zero
+    /// numerator in well-formed factorization updates).
+    pub fn cell_div(&self, other: &DenseBlock) -> Result<DenseBlock> {
+        self.zip_with(other, "cell_div", |a, b| if b == 0.0 { 0.0 } else { a / b })
+    }
+
+    /// Map every element through `f`.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> DenseBlock {
+        let data = self.data.iter().map(|&v| f(v)).collect();
+        DenseBlock::from_vec(self.rows, self.cols, data).expect("same shape")
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, c: f64) -> DenseBlock {
+        self.map(|v| v * c)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, c: f64) -> DenseBlock {
+        self.map(|v| v + c)
+    }
+
+    /// In-place `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &DenseBlock) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MatrixError::DimensionMismatch {
+                op: "add_assign",
+                left: (self.rows, self.cols),
+                right: (other.rows, other.cols),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseBlock {
+        let mut out = DenseBlock::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of squares (for norms computed across blocks).
+    pub fn sum_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Reset all cells to zero, keeping the allocation (used by the result
+    /// buffer pool when recycling blocks between tasks).
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = 0.0;
+        }
+    }
+
+    /// Reshape the block in place to `rows × cols`, reusing the allocation
+    /// when capacity allows. Contents are zeroed.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        let need = rows * cols;
+        if need > self.data.len() {
+            mem::track_alloc((need - self.data.len()) * 8);
+        }
+        self.data.clear();
+        self.data.resize(need, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+}
+
+impl Drop for DenseBlock {
+    fn drop(&mut self) {
+        mem::track_free(self.data.capacity() * 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(rows: usize, cols: usize, v: &[f64]) -> DenseBlock {
+        DenseBlock::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zeros_and_accessors() {
+        let z = DenseBlock::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert_eq!(z.len(), 6);
+        assert!(!z.is_empty());
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.get(1, 2).unwrap(), 0.0);
+        assert!(z.get(2, 0).is_err());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(DenseBlock::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = b(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = b(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&x).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_dim_mismatch() {
+        let a = DenseBlock::zeros(2, 3);
+        let x = DenseBlock::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&x),
+            Err(MatrixError::DimensionMismatch { op: "multiply", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = DenseBlock::eye(2);
+        let x = b(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut acc = b(2, 2, &[10.0, 10.0, 10.0, 10.0]);
+        a.matmul_acc(&x, &mut acc).unwrap();
+        assert_eq!(acc.data(), &[11.0, 12.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = b(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let c = b(2, 2, &[4.0, 3.0, 2.0, 0.0]);
+        assert_eq!(a.add(&c).unwrap().data(), &[5.0, 5.0, 5.0, 4.0]);
+        assert_eq!(a.sub(&c).unwrap().data(), &[-3.0, -1.0, 1.0, 4.0]);
+        assert_eq!(a.cell_mul(&c).unwrap().data(), &[4.0, 6.0, 6.0, 0.0]);
+        // division by zero yields zero by convention
+        assert_eq!(a.cell_div(&c).unwrap().data(), &[0.25, 2.0 / 3.0, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn scalar_ops_and_reductions() {
+        let a = b(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.sum_sq(), 30.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = b(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn reset_shape_reuses_allocation() {
+        let mut a = DenseBlock::zeros(4, 4);
+        a.set(0, 0, 5.0).unwrap();
+        a.reset_shape(2, 2);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn zip_with_shape_mismatch() {
+        let a = DenseBlock::zeros(2, 2);
+        let c = DenseBlock::zeros(2, 3);
+        assert!(a.add(&c).is_err());
+    }
+}

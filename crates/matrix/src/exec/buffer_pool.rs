@@ -1,0 +1,129 @@
+//! The result buffer pool of Figure 4.
+//!
+//! "A result buffer pool is employed for reusing the inter-thread memory.
+//! It maintains a fixed number of blocks in memory. At the beginning of each
+//! task inside a thread, it acquires a clean block from the result buffer
+//! pool. After the task is finished, the block will be returned to the
+//! pool." (§5.3)
+//!
+//! [`ResultBufferPool`] keeps up to `capacity` recycled dense blocks. An
+//! acquire either reuses a pooled allocation (reshaped and zeroed) or
+//! allocates fresh; a release returns the block for reuse unless the pool is
+//! full, in which case the block is simply dropped.
+
+use parking_lot::Mutex;
+
+use crate::dense::DenseBlock;
+
+/// A bounded pool of reusable dense accumulation blocks.
+#[derive(Debug)]
+pub struct ResultBufferPool {
+    capacity: usize,
+    free: Mutex<Vec<DenseBlock>>,
+    stats: Mutex<PoolStats>,
+}
+
+/// Counters describing pool behaviour (observability for tests/benches).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions satisfied by recycling a pooled block.
+    pub reused: usize,
+    /// Acquisitions that had to allocate a fresh block.
+    pub allocated: usize,
+    /// Releases that returned the block to the pool.
+    pub returned: usize,
+    /// Releases dropped because the pool was full.
+    pub dropped: usize,
+}
+
+impl ResultBufferPool {
+    /// Create a pool holding at most `capacity` recycled blocks. In the
+    /// paper the capacity is "a fixed number of blocks" sized to the local
+    /// parallelism; `LocalExecutor` uses `2 × threads`.
+    pub fn new(capacity: usize) -> Self {
+        ResultBufferPool {
+            capacity,
+            free: Mutex::new(Vec::with_capacity(capacity)),
+            stats: Mutex::new(PoolStats::default()),
+        }
+    }
+
+    /// Acquire a clean `rows × cols` block, recycling a pooled allocation
+    /// when available.
+    pub fn acquire(&self, rows: usize, cols: usize) -> DenseBlock {
+        let recycled = self.free.lock().pop();
+        match recycled {
+            Some(mut b) => {
+                b.reset_shape(rows, cols);
+                self.stats.lock().reused += 1;
+                b
+            }
+            None => {
+                self.stats.lock().allocated += 1;
+                DenseBlock::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Return a block to the pool for reuse.
+    pub fn release(&self, block: DenseBlock) {
+        let mut free = self.free.lock();
+        if free.len() < self.capacity {
+            free.push(block);
+            self.stats.lock().returned += 1;
+        } else {
+            self.stats.lock().dropped += 1;
+        }
+    }
+
+    /// Snapshot the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        *self.stats.lock()
+    }
+
+    /// Number of blocks currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle_reuses_memory() {
+        let pool = ResultBufferPool::new(4);
+        let b1 = pool.acquire(10, 10);
+        assert_eq!(pool.stats().allocated, 1);
+        pool.release(b1);
+        assert_eq!(pool.pooled(), 1);
+        let b2 = pool.acquire(5, 20);
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(b2.rows(), 5);
+        assert_eq!(b2.cols(), 20);
+        assert_eq!(b2.sum(), 0.0, "recycled block must be clean");
+    }
+
+    #[test]
+    fn pool_capacity_is_bounded() {
+        let pool = ResultBufferPool::new(2);
+        for _ in 0..5 {
+            pool.release(DenseBlock::zeros(4, 4));
+        }
+        assert_eq!(pool.pooled(), 2);
+        let s = pool.stats();
+        assert_eq!(s.returned, 2);
+        assert_eq!(s.dropped, 3);
+    }
+
+    #[test]
+    fn recycled_block_is_zeroed_even_after_writes() {
+        let pool = ResultBufferPool::new(1);
+        let mut b = pool.acquire(3, 3);
+        b.set(1, 1, 42.0).unwrap();
+        pool.release(b);
+        let b = pool.acquire(3, 3);
+        assert_eq!(b.at(1, 1), 0.0);
+    }
+}

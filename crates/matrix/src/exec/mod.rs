@@ -1,0 +1,380 @@
+//! The local execution engine (paper §5.3, Figure 4).
+//!
+//! Each DMac worker executes the operators of a stage with:
+//!
+//! * a **task queue** drained by `L` threads ([`pool::run_tasks`]),
+//! * a **result buffer pool** recycling accumulation blocks between tasks
+//!   ([`buffer_pool::ResultBufferPool`]),
+//! * the **In-Place** aggregation strategy for multiplication: the block
+//!   products contributing to one result block are packaged into a single
+//!   task that folds them into one pooled accumulator — no intermediate
+//!   product blocks are ever materialised.
+//!
+//! The paper's Figure 7 compares In-Place against the naive **Buffer**
+//! strategy (materialise all `MA × NA × NB` intermediate block products,
+//! aggregate at the end); [`AggregationMode`] selects between the two so the
+//! experiment can be reproduced.
+
+pub mod buffer_pool;
+pub mod pool;
+
+pub use buffer_pool::{PoolStats, ResultBufferPool};
+pub use pool::run_tasks;
+
+use std::sync::Arc;
+
+use crate::block::Block;
+use crate::blocked::BlockedMatrix;
+use crate::csc::CscBlock;
+use crate::dense::DenseBlock;
+use crate::error::{MatrixError, Result};
+
+/// How block products are aggregated into result blocks during
+/// multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// One task per result block; products folded into a pooled accumulator
+    /// in place (DMac's strategy).
+    InPlace,
+    /// One task per block product; all intermediates buffered, then summed
+    /// (the baseline of Figure 7).
+    Buffer,
+}
+
+/// A multi-threaded local executor for blocked-matrix operations.
+///
+/// ```
+/// use dmac_matrix::{AggregationMode, BlockedMatrix, LocalExecutor};
+///
+/// let a = BlockedMatrix::from_fn(8, 8, 4, |i, j| (i + j) as f64).unwrap();
+/// let ex = LocalExecutor::new(2, AggregationMode::InPlace);
+/// let c = ex.matmul(&a, &a).unwrap();
+/// assert_eq!(c.to_dense(), a.matmul_reference(&a).unwrap().to_dense());
+/// ```
+#[derive(Debug)]
+pub struct LocalExecutor {
+    threads: usize,
+    mode: AggregationMode,
+    pool: ResultBufferPool,
+}
+
+impl LocalExecutor {
+    /// Create an executor with `threads` local threads (the paper's `L`).
+    pub fn new(threads: usize, mode: AggregationMode) -> Self {
+        let threads = threads.max(1);
+        LocalExecutor {
+            threads,
+            mode,
+            pool: ResultBufferPool::new(2 * threads),
+        }
+    }
+
+    /// Local thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured aggregation mode.
+    pub fn mode(&self) -> AggregationMode {
+        self.mode
+    }
+
+    /// Buffer-pool statistics (observability).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// `a · b` with the configured aggregation mode.
+    pub fn matmul(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        if a.cols() != b.rows() || a.block_size() != b.block_size() {
+            return Err(MatrixError::DimensionMismatch {
+                op: "multiply",
+                left: (a.rows(), a.cols()),
+                right: (b.rows(), b.cols()),
+            });
+        }
+        match self.mode {
+            AggregationMode::InPlace => self.matmul_in_place(a, b),
+            AggregationMode::Buffer => self.matmul_buffered(a, b),
+        }
+    }
+
+    /// In-Place multiplication: one task per result block `(bi, bj)`, each
+    /// folding all `k` products into a single pooled accumulator.
+    fn matmul_in_place(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        let tasks: Vec<(usize, usize)> = (0..a.row_blocks())
+            .flat_map(|bi| (0..b.col_blocks()).map(move |bj| (bi, bj)))
+            .collect();
+        let results = run_tasks(self.threads, tasks, |(bi, bj)| -> Result<Arc<Block>> {
+            let rows = a.block_rows_of(bi);
+            let cols = b.block_cols_of(bj);
+            let mut acc = self.pool.acquire(rows, cols);
+            let mut touched = false;
+            for bk in 0..a.col_blocks() {
+                let ab = a.block_at(bi, bk);
+                let bb = b.block_at(bk, bj);
+                if ab.nnz() == 0 || bb.nnz() == 0 {
+                    continue;
+                }
+                ab.matmul_acc(bb, &mut acc)?;
+                touched = true;
+            }
+            // Keep the result sparse when it is; otherwise hand the pooled
+            // accumulator over as the result block.
+            let nnz = if touched { acc.nnz() } else { 0 };
+            let dense_cells = rows * cols;
+            let out = if nnz * 2 < dense_cells {
+                let sparse = CscBlock::from_dense(&acc);
+                self.pool.release(acc);
+                Block::Sparse(sparse)
+            } else {
+                Block::Dense(acc)
+            };
+            Ok(Arc::new(out))
+        });
+        let blocks = results.into_iter().collect::<Result<Vec<_>>>()?;
+        BlockedMatrix::from_blocks(a.rows(), b.cols(), a.block_size(), blocks)
+    }
+
+    /// Buffer multiplication: materialise every `(bi, bk, bj)` product as an
+    /// intermediate dense block, then aggregate. This is intentionally
+    /// memory-hungry; it exists to reproduce Figure 7.
+    fn matmul_buffered(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        // Phase 1: all products.
+        let mut triples = Vec::new();
+        for bi in 0..a.row_blocks() {
+            for bk in 0..a.col_blocks() {
+                for bj in 0..b.col_blocks() {
+                    if a.block_at(bi, bk).nnz() > 0 && b.block_at(bk, bj).nnz() > 0 {
+                        triples.push((bi, bk, bj));
+                    }
+                }
+            }
+        }
+        let products = run_tasks(
+            self.threads,
+            triples,
+            |(bi, bk, bj)| -> Result<((usize, usize), Block)> {
+                let mut acc = DenseBlock::zeros(a.block_rows_of(bi), b.block_cols_of(bj));
+                a.block_at(bi, bk)
+                    .matmul_acc(b.block_at(bk, bj), &mut acc)?;
+                // Intermediates are buffered in their natural (compacted)
+                // representation — the memory cost of this strategy is the
+                // sheer *number* of intermediates held live at once.
+                Ok(((bi, bj), Block::Dense(acc).compact()))
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
+
+        // Phase 2: group the buffered intermediates by result block and sum.
+        let cb = b.col_blocks();
+        let mut groups: Vec<Vec<Block>> = (0..a.row_blocks() * cb).map(|_| Vec::new()).collect();
+        for ((bi, bj), p) in products {
+            groups[bi * cb + bj].push(p);
+        }
+        let tasks: Vec<(usize, Vec<Block>)> = groups.into_iter().enumerate().collect();
+        let results = run_tasks(self.threads, tasks, |(t, group)| -> Result<Arc<Block>> {
+            let (bi, bj) = (t / cb, t % cb);
+            let rows = a.block_rows_of(bi);
+            let cols = b.block_cols_of(bj);
+            let mut acc = DenseBlock::zeros(rows, cols);
+            for p in &group {
+                acc.add_assign(&p.to_dense())?;
+            }
+            Ok(Arc::new(Block::Dense(acc).compact()))
+        });
+        let blocks = results.into_iter().collect::<Result<Vec<_>>>()?;
+        BlockedMatrix::from_blocks(a.rows(), b.cols(), a.block_size(), blocks)
+    }
+
+    /// Parallel element-wise combination of two aligned matrices.
+    pub fn zip(
+        &self,
+        a: &BlockedMatrix,
+        b: &BlockedMatrix,
+        op: &'static str,
+        f: impl Fn(&Block, &Block) -> Result<Block> + Sync,
+    ) -> Result<BlockedMatrix> {
+        if a.rows() != b.rows() || a.cols() != b.cols() || a.block_size() != b.block_size() {
+            return Err(MatrixError::DimensionMismatch {
+                op,
+                left: (a.rows(), a.cols()),
+                right: (b.rows(), b.cols()),
+            });
+        }
+        let tasks: Vec<(usize, usize)> = (0..a.row_blocks())
+            .flat_map(|bi| (0..a.col_blocks()).map(move |bj| (bi, bj)))
+            .collect();
+        let results = run_tasks(self.threads, tasks, |(bi, bj)| -> Result<Arc<Block>> {
+            Ok(Arc::new(f(a.block_at(bi, bj), b.block_at(bi, bj))?))
+        });
+        let blocks = results.into_iter().collect::<Result<Vec<_>>>()?;
+        BlockedMatrix::from_blocks(a.rows(), a.cols(), a.block_size(), blocks)
+    }
+
+    /// Parallel per-block map (unary operators).
+    pub fn map(
+        &self,
+        a: &BlockedMatrix,
+        f: impl Fn(&Block) -> Block + Sync,
+    ) -> Result<BlockedMatrix> {
+        let tasks: Vec<(usize, usize)> = (0..a.row_blocks())
+            .flat_map(|bi| (0..a.col_blocks()).map(move |bj| (bi, bj)))
+            .collect();
+        let results = run_tasks(self.threads, tasks, |(bi, bj)| {
+            Arc::new(f(a.block_at(bi, bj)))
+        });
+        BlockedMatrix::from_blocks(a.rows(), a.cols(), a.block_size(), results)
+    }
+
+    /// Parallel element-wise addition.
+    pub fn add(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        self.zip(a, b, "add", |x, y| x.add(y))
+    }
+
+    /// Parallel element-wise subtraction.
+    pub fn sub(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        self.zip(a, b, "sub", |x, y| x.sub(y))
+    }
+
+    /// Parallel cell-wise multiplication.
+    pub fn cell_mul(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        self.zip(a, b, "cell_mul", |x, y| x.cell_mul(y))
+    }
+
+    /// Parallel cell-wise division.
+    pub fn cell_div(&self, a: &BlockedMatrix, b: &BlockedMatrix) -> Result<BlockedMatrix> {
+        self.zip(a, b, "cell_div", |x, y| x.cell_div(y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: usize, cols: usize, block: usize) -> BlockedMatrix {
+        BlockedMatrix::from_fn(rows, cols, block, |i, j| ((i * cols + j) % 7) as f64 - 3.0).unwrap()
+    }
+
+    fn sparse_rand(rows: usize, cols: usize, block: usize) -> BlockedMatrix {
+        // deterministic pseudo-sparse pattern
+        BlockedMatrix::from_triplets(
+            rows,
+            cols,
+            block,
+            (0..rows * cols)
+                .filter(|t| t % 13 == 0)
+                .map(|t| (t / cols, t % cols, (t % 5) as f64 + 1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn in_place_matches_reference() {
+        let a = seq(13, 9, 4);
+        let b = seq(9, 11, 4);
+        let ex = LocalExecutor::new(4, AggregationMode::InPlace);
+        let c = ex.matmul(&a, &b).unwrap();
+        assert_eq!(c.to_dense(), a.matmul_reference(&b).unwrap().to_dense());
+    }
+
+    #[test]
+    fn buffered_matches_reference() {
+        let a = seq(13, 9, 4);
+        let b = seq(9, 11, 4);
+        let ex = LocalExecutor::new(4, AggregationMode::Buffer);
+        let c = ex.matmul(&a, &b).unwrap();
+        assert_eq!(c.to_dense(), a.matmul_reference(&b).unwrap().to_dense());
+    }
+
+    #[test]
+    fn sparse_inputs_sparse_output() {
+        let a = sparse_rand(40, 40, 8);
+        let b = sparse_rand(40, 40, 8);
+        let ex = LocalExecutor::new(2, AggregationMode::InPlace);
+        let c = ex.matmul(&a, &b).unwrap();
+        let expect = a.matmul_reference(&b).unwrap();
+        assert_eq!(c.to_dense(), expect.to_dense());
+        // the mostly-zero result should be held sparsely
+        assert!(c.iter_blocks().filter(|(_, _, b)| b.is_sparse()).count() > 0);
+    }
+
+    #[test]
+    fn pool_is_exercised_by_in_place_multiply() {
+        let a = sparse_rand(64, 64, 8);
+        let b = sparse_rand(64, 64, 8);
+        let ex = LocalExecutor::new(2, AggregationMode::InPlace);
+        let _ = ex.matmul(&a, &b).unwrap();
+        let s = ex.pool_stats();
+        assert!(s.reused + s.allocated >= 64, "{s:?}");
+        assert!(
+            s.reused > 0,
+            "sparse results must recycle accumulators: {s:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_elementwise_matches_sequential() {
+        let a = seq(10, 12, 5);
+        let b = seq(10, 12, 5);
+        let ex = LocalExecutor::new(4, AggregationMode::InPlace);
+        assert_eq!(
+            ex.add(&a, &b).unwrap().to_dense(),
+            a.add(&b).unwrap().to_dense()
+        );
+        assert_eq!(
+            ex.sub(&a, &b).unwrap().to_dense(),
+            a.sub(&b).unwrap().to_dense()
+        );
+        assert_eq!(
+            ex.cell_mul(&a, &b).unwrap().to_dense(),
+            a.cell_mul(&b).unwrap().to_dense()
+        );
+        assert_eq!(
+            ex.cell_div(&a, &b).unwrap().to_dense(),
+            a.cell_div(&b).unwrap().to_dense()
+        );
+    }
+
+    #[test]
+    fn map_scales_in_parallel() {
+        let a = seq(10, 10, 3);
+        let ex = LocalExecutor::new(4, AggregationMode::InPlace);
+        let c = ex.map(&a, |b| b.scale(2.0)).unwrap();
+        assert_eq!(c.to_dense(), a.scale(2.0).to_dense());
+    }
+
+    #[test]
+    fn dim_mismatch_is_rejected() {
+        let a = seq(4, 4, 2);
+        let b = seq(5, 5, 2);
+        let ex = LocalExecutor::new(2, AggregationMode::InPlace);
+        assert!(ex.matmul(&a, &b).is_err());
+        assert!(ex.add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn in_place_uses_less_memory_than_buffer() {
+        // A multiplication with a long shared dimension: many intermediate
+        // products per result block. Buffer must hold them all; In-Place
+        // holds one accumulator per live task.
+        let a = seq(32, 256, 8);
+        let b = seq(256, 32, 8);
+        let ex_ip = LocalExecutor::new(2, AggregationMode::InPlace);
+        let guard = crate::mem::PeakGuard::start();
+        let c1 = ex_ip.matmul(&a, &b).unwrap();
+        let ip_peak = guard.peak_delta();
+
+        let ex_buf = LocalExecutor::new(2, AggregationMode::Buffer);
+        let guard = crate::mem::PeakGuard::start();
+        let c2 = ex_buf.matmul(&a, &b).unwrap();
+        let buf_peak = guard.peak_delta();
+
+        assert_eq!(c1.to_dense(), c2.to_dense());
+        assert!(
+            buf_peak > ip_peak,
+            "buffer peak {buf_peak} should exceed in-place peak {ip_peak}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! The task queue of Figure 4: a bag of independent tasks drained by `L`
+//! worker threads.
+//!
+//! DMac packages "the meta data of operations which can be executed
+//! independently" into tasks and lets each thread pull from a shared queue.
+//! We reproduce that with a crossbeam channel as the queue and scoped
+//! threads, returning results tagged with their task index so callers can
+//! reassemble ordered output.
+
+use crossbeam::channel;
+
+/// Run `tasks` on `threads` worker threads, applying `f` to each.
+///
+/// Results come back in task order. `f` runs concurrently, so it must be
+/// `Sync`; tasks are handed out through a shared queue exactly like the
+/// paper's task-queue execution flow. With `threads == 1` (or a single
+/// task) the work runs inline on the caller's thread.
+pub fn run_tasks<T, R, F>(threads: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n == 1 {
+        return tasks.into_iter().map(f).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for item in tasks.into_iter().enumerate() {
+        task_tx.send(item).expect("queue open");
+    }
+    drop(task_tx);
+
+    let workers = threads.min(n);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                while let Ok((idx, t)) = task_rx.recv() {
+                    // A panic inside `f` propagates out of the scope; the
+                    // channel disconnects and other workers drain and stop.
+                    let r = f(t);
+                    if res_tx.send((idx, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, r)) = res_rx.recv() {
+            out[idx] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("all tasks ran")).collect()
+    })
+    .expect("worker thread panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<usize> = (0..100).collect();
+        let out = run_tasks(4, tasks, |t| t * 2);
+        assert_eq!(out, (0..100).map(|t| t * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = run_tasks(1, vec![1, 2, 3], |t| t + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let out: Vec<i32> = run_tasks(4, Vec::<i32>::new(), |t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_tasks(8, (0..1000).collect::<Vec<_>>(), |t| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            t
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = run_tasks(16, vec![5, 6], |t| t);
+        assert_eq!(out, vec![5, 6]);
+    }
+}

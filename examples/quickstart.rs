@@ -1,0 +1,54 @@
+//! Quickstart: build a small matrix program, plan it with DMac, run it on
+//! the simulated cluster, and inspect the result and the communication
+//! ledger.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dmac::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-worker cluster, 2 threads per worker, 64-wide blocks.
+    let mut session = Session::builder()
+        .workers(4)
+        .local_threads(2)
+        .block_size(64)
+        .build();
+
+    // Bind an input: a 512x256 sparse matrix at 5% density.
+    let a = dmac::data::uniform_sparse(512, 256, 0.05, 64, 7);
+    session.bind("A", a)?;
+
+    // Express a program: G = Aᵀ·A, S = G * G (cell-wise), out = S / 2.
+    let mut prog = Program::new();
+    let ea = prog.load("A", 512, 256, 0.05);
+    let g = prog.matmul(prog.t(ea), ea)?;
+    let s = prog.cell_mul(g, g)?;
+    let out = prog.scale_const(s, 0.5)?;
+    prog.output(out);
+
+    // Inspect the dependency-aware plan before running.
+    println!("{}", session.explain(&prog)?);
+
+    // Execute.
+    let report = session.run(&prog)?;
+    println!(
+        "ran {} stages; simulated time {:.3}s ({:.0}% communication); {}",
+        report.stage_count,
+        report.sim.total_sec(),
+        report.sim.comm_fraction() * 100.0,
+        report.comm
+    );
+
+    // Pull the result back to the driver.
+    let result = session.value(out)?;
+    println!(
+        "result: {}x{}, {} non-zeros, Frobenius norm {:.3}",
+        result.rows(),
+        result.cols(),
+        result.nnz(),
+        result.norm2()
+    );
+    Ok(())
+}

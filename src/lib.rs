@@ -1,0 +1,70 @@
+//! # dmac — dependency-aware distributed matrix computation
+//!
+//! A from-scratch Rust reproduction of **DMac** (*"Exploiting Matrix
+//! Dependency for Efficient Distributed Matrix Computation"*, SIGMOD 2015).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`matrix`] — local block kernels (dense + CSC sparse), the task-queue /
+//!   buffer-pool / In-Place local execution engine, block-size model.
+//! * [`cluster`] — the simulated distributed runtime: workers, Row/Column/
+//!   Broadcast partition schemes, metered shuffle & broadcast, network model.
+//! * [`lang`] — the R-like matrix-program DSL and operator decomposition.
+//! * [`core`] — the paper's contribution: matrix-dependency analysis, the
+//!   dependency-oriented cost model, the Algorithm-1 planner with its two
+//!   heuristics, stage scheduling, the execution engine, and the baseline
+//!   systems (SystemML-S, single-node R, ScaLAPACK-sim, SciDB-sim).
+//! * [`data`] — synthetic dataset generators standing in for the paper's
+//!   Netflix and graph datasets.
+//! * [`apps`] — the five evaluated applications: GNMF, PageRank, linear
+//!   regression (conjugate gradient), collaborative filtering, and
+//!   SVD/Lanczos.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dmac::prelude::*;
+//!
+//! // A 2-worker cluster with 2 local threads per worker, 8-wide blocks.
+//! let mut session = Session::builder()
+//!     .workers(2)
+//!     .local_threads(2)
+//!     .block_size(8)
+//!     .build();
+//!
+//! // Express a program: X = A · Aᵀ, then scale it.
+//! let mut prog = Program::new();
+//! let a = prog.load("A", 64, 32, 0.2);
+//! let x = prog.matmul(a, prog.t(a)).unwrap();
+//! let y = prog.scale_const(x, 0.5).unwrap();
+//! prog.output(y);
+//!
+//! // Plan with dependency analysis and run on the simulated cluster.
+//! let a_data = dmac::data::uniform_sparse(64, 32, 0.2, 8, 42);
+//! session.bind("A", a_data).unwrap();
+//! let report = session.run(&prog).unwrap();
+//! assert!(report.stage_count >= 1);
+//! let result = session.value(y).unwrap();
+//! assert_eq!(result.rows(), 64);
+//! ```
+
+pub use dmac_apps as apps;
+pub use dmac_cluster as cluster;
+pub use dmac_core as core;
+pub use dmac_data as data;
+pub use dmac_lang as lang;
+pub use dmac_matrix as matrix;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use dmac_apps::{
+        cf::CollaborativeFiltering, gnmf::Gnmf, linreg::LinearRegression, pagerank::PageRank,
+        svd::SvdLanczos, triangles::TriangleCount,
+    };
+    pub use dmac_cluster::{ClusterConfig, CommStats, NetworkModel, PartitionScheme};
+    pub use dmac_core::{
+        baselines::SystemKind, engine::ExecReport, planner::PlannerConfig, Session,
+    };
+    pub use dmac_lang::{Expr, Program};
+    pub use dmac_matrix::{AggregationMode, Block, BlockedMatrix, DenseBlock};
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the integration tests: a straight-line reference
+//! interpreter that evaluates a `dmac-lang` program directly on local
+//! blocked matrices, bypassing the planner and cluster entirely. Every
+//! engine under test must agree with it.
+
+use std::collections::HashMap;
+
+use dmac::lang::{BinOp, MatrixId, MatrixOrigin, OpKind, Program, ReduceOp, ScalarId, UnaryOp};
+use dmac::matrix::BlockedMatrix;
+
+/// Evaluate `program` locally. `bindings` supplies loads by name;
+/// `randoms` supplies random matrices by id (use
+/// [`dmac::core::engine::random_cell`] to match a session's generator).
+pub fn eval_reference(
+    program: &Program,
+    bindings: &HashMap<String, BlockedMatrix>,
+    randoms: &HashMap<MatrixId, BlockedMatrix>,
+) -> HashMap<MatrixId, BlockedMatrix> {
+    let mut values: HashMap<MatrixId, BlockedMatrix> = HashMap::new();
+    let mut scalars: HashMap<ScalarId, f64> = HashMap::new();
+    for decl in program.matrices() {
+        match decl.origin {
+            MatrixOrigin::Load => {
+                let m = bindings
+                    .get(&decl.name)
+                    .unwrap_or_else(|| panic!("missing binding {}", decl.name));
+                values.insert(decl.id, m.clone());
+            }
+            MatrixOrigin::Random => {
+                let m = randoms
+                    .get(&decl.id)
+                    .unwrap_or_else(|| panic!("missing random {}", decl.id));
+                values.insert(decl.id, m.clone());
+            }
+            MatrixOrigin::Op(_) => {}
+        }
+    }
+    let fetch =
+        |values: &HashMap<MatrixId, BlockedMatrix>, r: &dmac::lang::MatrixRef| -> BlockedMatrix {
+            let m = values.get(&r.id).expect("operand defined").clone();
+            if r.transposed {
+                m.transpose()
+            } else {
+                m
+            }
+        };
+    for op in program.ops() {
+        match &op.kind {
+            OpKind::Binary { op: bin, lhs, rhs } => {
+                let a = fetch(&values, lhs);
+                let b = fetch(&values, rhs);
+                let out = match bin {
+                    BinOp::MatMul => a.matmul_reference(&b),
+                    BinOp::Add => a.add(&b),
+                    BinOp::Sub => a.sub(&b),
+                    BinOp::CellMul => a.cell_mul(&b),
+                    BinOp::CellDiv => a.cell_div(&b),
+                }
+                .expect("reference binary op");
+                values.insert(op.out_matrix.unwrap(), out);
+            }
+            OpKind::Unary { op: un, input } => {
+                let a = fetch(&values, input);
+                let out = match un {
+                    UnaryOp::Scale(s) => a.scale(s.eval(&|id| scalars[&id])),
+                    UnaryOp::AddScalar(s) => a.add_scalar(s.eval(&|id| scalars[&id])),
+                };
+                values.insert(op.out_matrix.unwrap(), out);
+            }
+            OpKind::Reduce { op: red, input } => {
+                let a = fetch(&values, input);
+                let v = match red {
+                    ReduceOp::Sum | ReduceOp::Value => a.sum(),
+                    ReduceOp::Norm2 => a.norm2(),
+                };
+                scalars.insert(op.out_scalar.unwrap(), v);
+            }
+        }
+    }
+    values
+}
+
+/// Assert two matrices agree within a tolerance, with a useful message.
+pub fn assert_matrix_eq(got: &BlockedMatrix, expect: &BlockedMatrix, tol: f64, what: &str) {
+    assert_eq!(got.rows(), expect.rows(), "{what}: row count");
+    assert_eq!(got.cols(), expect.cols(), "{what}: col count");
+    if let Some(i) =
+        dmac::matrix::approx_eq_slice(got.to_dense().data(), expect.to_dense().data(), tol)
+    {
+        panic!(
+            "{what}: mismatch at flat index {i}: got {} expected {}",
+            got.to_dense().data()[i],
+            expect.to_dense().data()[i]
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: every system (DMac, SystemML-S, single-node R)
+//! executes the same programs and produces numerics identical to the local
+//! reference interpreter — the planners may move data differently, but
+//! they must never change the answer.
+
+mod common;
+
+use std::collections::HashMap;
+
+use common::{assert_matrix_eq, eval_reference};
+use dmac::core::baselines::SystemKind;
+use dmac::core::Session;
+use dmac::lang::Program;
+use dmac::matrix::BlockedMatrix;
+
+const BLOCK: usize = 8;
+
+fn session(system: SystemKind, workers: usize) -> Session {
+    Session::builder()
+        .system(system)
+        .workers(workers)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .build()
+}
+
+/// A program exercising every operator kind: matmul (all three strategies
+/// become viable at different shapes), cell-wise ops, transpose references,
+/// scalar ops and reductions.
+fn mixed_program() -> (Program, Vec<(dmac::lang::Expr, &'static str)>) {
+    let mut p = Program::new();
+    let a = p.load("A", 24, 16, 0.5);
+    let b = p.load("B", 16, 20, 0.8);
+    let g = p.matmul(a, b).unwrap(); // 24x20
+    let gt_g = p.matmul(g.t(), g).unwrap(); // 20x20
+    let sq = p.cell_mul(gt_g, gt_g).unwrap();
+    let diff = p.sub(sq, gt_g).unwrap();
+    let total = p.sum(diff).unwrap();
+    let scaled = p
+        .scale(diff, dmac::lang::ScalarExpr::c(1.0) / total)
+        .unwrap();
+    let shifted = p
+        .add_scalar(scaled, dmac::lang::ScalarExpr::c(0.5))
+        .unwrap();
+    let ratio = p.cell_div(shifted, sq).unwrap();
+    p.output(g);
+    p.output(ratio);
+    (p, vec![(g, "G"), (ratio, "ratio")])
+}
+
+fn inputs() -> HashMap<String, BlockedMatrix> {
+    let mut m = HashMap::new();
+    m.insert(
+        "A".to_string(),
+        dmac::data::uniform_sparse(24, 16, 0.5, BLOCK, 1),
+    );
+    m.insert("B".to_string(), dmac::data::dense_random(16, 20, BLOCK, 2));
+    m
+}
+
+#[test]
+fn all_systems_agree_on_mixed_program() {
+    let (program, outputs) = mixed_program();
+    let bindings = inputs();
+    let expect = eval_reference(&program, &bindings, &HashMap::new());
+
+    for system in [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal] {
+        for workers in [1usize, 3, 5] {
+            let mut s = session(system, workers);
+            for (name, m) in &bindings {
+                s.bind(name, m.clone()).unwrap();
+            }
+            s.run(&program)
+                .unwrap_or_else(|e| panic!("{system:?}/{workers} workers failed: {e}"));
+            for (expr, label) in &outputs {
+                let got = s.value(*expr).unwrap();
+                assert_matrix_eq(
+                    &got,
+                    &expect[&expr.id],
+                    1e-9,
+                    &format!("{system:?}/{workers}w {label}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dmac_communicates_no_more_than_systemml_on_mixed_program() {
+    let (program, _) = mixed_program();
+    let bindings = inputs();
+    let mut totals = Vec::new();
+    for system in [SystemKind::Dmac, SystemKind::SystemMlS] {
+        let mut s = session(system, 4);
+        for (name, m) in &bindings {
+            s.bind(name, m.clone()).unwrap();
+        }
+        let report = s.run(&program).unwrap();
+        totals.push(report.comm.total_bytes());
+    }
+    assert!(
+        totals[0] <= totals[1],
+        "DMac {} > SystemML-S {}",
+        totals[0],
+        totals[1]
+    );
+}
+
+#[test]
+fn iterative_session_reuses_cached_schemes_across_runs() {
+    // Run the same single-iteration program twice through one session;
+    // the second run must communicate strictly less than the first for
+    // the loop-invariant input (it is already partitioned).
+    let mut s = session(SystemKind::Dmac, 4);
+    let link = dmac::data::uniform_sparse(32, 32, 0.2, BLOCK, 5);
+    s.bind("L", link).unwrap();
+    let mut comms = Vec::new();
+    for _ in 0..2 {
+        let mut p = Program::new();
+        let l = p.load("L", 32, 32, 0.2);
+        let r = p.load("R", 1, 32, 1.0);
+        let walk = p.matmul(r, l).unwrap();
+        p.store(walk, "R2");
+        if !s.is_bound("R") {
+            s.bind(
+                "R",
+                BlockedMatrix::from_fn(1, 32, BLOCK, |_, j| j as f64).unwrap(),
+            )
+            .unwrap();
+        }
+        let report = s.run(&p).unwrap();
+        comms.push(report.comm.total_bytes());
+    }
+    assert!(
+        comms[1] < comms[0],
+        "second run should reuse cached schemes: {} vs {}",
+        comms[1],
+        comms[0]
+    );
+}
+
+#[test]
+fn transposed_heavy_program_agrees() {
+    // Stress transpose references on every operand position.
+    let mut p = Program::new();
+    let a = p.load("A", 12, 18, 1.0);
+    let x = p.matmul(a.t(), a).unwrap(); // 18x18
+    let y = p.matmul(a, x.t()).unwrap(); // 12x18
+    let z = p.cell_mul(y.t(), y.t()).unwrap(); // 18x12
+    p.output(z);
+    let mut bindings = HashMap::new();
+    bindings.insert("A".to_string(), dmac::data::dense_random(12, 18, BLOCK, 9));
+    let expect = eval_reference(&p, &bindings, &HashMap::new());
+
+    let mut s = session(SystemKind::Dmac, 3);
+    s.bind("A", bindings["A"].clone()).unwrap();
+    s.run(&p).unwrap();
+    let got = s.value(z).unwrap();
+    assert_matrix_eq(&got, &expect[&z.id], 1e-9, "transpose-heavy z");
+}

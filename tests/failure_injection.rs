@@ -1,0 +1,99 @@
+//! Failure injection: a lost worker surfaces a typed error from whatever
+//! stage touches it, and the run can be re-executed deterministically
+//! after the worker heals — the simulator-level recovery contract.
+
+use dmac::cluster::{Cluster, ClusterConfig, ClusterError, NetworkModel, PartitionScheme};
+use dmac::core::baselines::SystemKind;
+use dmac::core::{CoreError, Session};
+use dmac::lang::Program;
+use dmac::matrix::BlockedMatrix;
+
+fn sample() -> BlockedMatrix {
+    BlockedMatrix::from_fn(16, 16, 4, |i, j| (i * 16 + j) as f64).unwrap()
+}
+
+#[test]
+fn lost_worker_fails_cluster_primitives_with_typed_error() {
+    let mut cl = Cluster::new(ClusterConfig {
+        workers: 3,
+        local_threads: 1,
+        network: NetworkModel::infinite(),
+    });
+    let d = cl.load(&sample(), PartitionScheme::Row);
+    cl.fail_worker(2);
+    for result in [
+        cl.repartition(&d, PartitionScheme::Col, "m").map(|_| ()),
+        cl.broadcast(&d, "m").map(|_| ()),
+        cl.transpose(&d).map(|_| ()),
+        cl.cpmm(&d, &d, PartitionScheme::Row).map(|_| ()),
+    ] {
+        match result {
+            Err(ClusterError::WorkerLost(2)) => {}
+            Err(ClusterError::SchemeMismatch { .. }) => {} // cpmm checks schemes first
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn session_run_fails_cleanly_and_recovers_after_heal() {
+    let mut s = Session::builder()
+        .system(SystemKind::Dmac)
+        .workers(3)
+        .local_threads(1)
+        .block_size(4)
+        .build();
+    s.bind("A", sample()).unwrap();
+
+    let mut p = Program::new();
+    let a = p.load("A", 16, 16, 1.0);
+    let b = p.matmul(a, a.t()).unwrap();
+    p.output(b);
+
+    // First attempt with a dead worker: typed failure, no panic.
+    s.cluster_mut().fail_worker(1);
+    match s.run(&p) {
+        Err(CoreError::Cluster(ClusterError::WorkerLost(1))) => {}
+        other => panic!("expected WorkerLost(1), got {other:?}"),
+    }
+
+    // Heal and retry: the identical program completes and the result is
+    // exactly what a healthy cluster computes.
+    s.cluster_mut().heal_worker(1);
+    s.run(&p).expect("healed cluster must succeed");
+    let got = s.value(b).unwrap();
+    let m = sample();
+    let expect = m.matmul_reference(&m.transpose()).unwrap();
+    assert_eq!(got.to_dense(), expect.to_dense());
+}
+
+#[test]
+fn failure_mid_session_does_not_corrupt_environment() {
+    let mut s = Session::builder()
+        .workers(2)
+        .local_threads(1)
+        .block_size(4)
+        .build();
+    s.bind("A", sample()).unwrap();
+
+    // Successful first run stores B.
+    let mut p1 = Program::new();
+    let a = p1.load("A", 16, 16, 1.0);
+    let b = p1.add(a, a).unwrap();
+    p1.store(b, "B");
+    s.run(&p1).unwrap();
+
+    // Failed second run must leave B (and A) usable.
+    let mut p2 = Program::new();
+    let eb = p2.load("B", 16, 16, 1.0);
+    let c = p2.matmul(eb, eb).unwrap();
+    p2.output(c);
+    s.cluster_mut().fail_worker(0);
+    assert!(s.run(&p2).is_err());
+    s.cluster_mut().heal_worker(0);
+    s.run(&p2).unwrap();
+    let got = s.value(c).unwrap();
+    let twice = sample().scale(2.0);
+    let expect = twice.matmul_reference(&twice).unwrap();
+    assert_eq!(got.to_dense(), expect.to_dense());
+}

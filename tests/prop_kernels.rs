@@ -1,0 +1,153 @@
+//! Property-based tests of the kernel layer: algebraic identities that
+//! must hold for arbitrary matrices regardless of representation,
+//! blocking, or execution strategy.
+
+use proptest::prelude::*;
+
+use dmac::matrix::{AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor};
+
+/// Strategy: a small dense matrix with entries the generator controls.
+fn dense_matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseBlock> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |v| DenseBlock::from_vec(rows, cols, v).unwrap())
+}
+
+/// Strategy: a sparse triplet list over the given shape.
+fn sparse_triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec(
+        (0..rows, 0..cols, -5.0..5.0f64),
+        0..(rows * cols / 2).max(1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSC round-trip: dense -> CSC -> dense is the identity.
+    #[test]
+    fn csc_round_trip(d in dense_matrix(7, 9)) {
+        let csc = CscBlock::from_dense(&d);
+        prop_assert_eq!(csc.to_dense(), d);
+    }
+
+    /// Double transpose is the identity for CSC blocks.
+    #[test]
+    fn csc_double_transpose(trips in sparse_triplets(8, 6)) {
+        let b = CscBlock::from_triplets(8, 6, trips).unwrap();
+        prop_assert_eq!(b.transpose().transpose(), b);
+    }
+
+    /// Blocked transpose equals dense transpose for any block size.
+    #[test]
+    fn blocked_transpose_matches(d in dense_matrix(9, 7), block in 1usize..10) {
+        let m = BlockedMatrix::from_dense(d.clone(), block).unwrap();
+        prop_assert_eq!(m.transpose().to_dense(), d.transpose());
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ through the blocked kernels.
+    #[test]
+    fn transpose_of_product(a in dense_matrix(5, 6), b in dense_matrix(6, 4), block in 2usize..6) {
+        let ma = BlockedMatrix::from_dense(a, block).unwrap();
+        let mb = BlockedMatrix::from_dense(b, block).unwrap();
+        let lhs = ma.matmul_reference(&mb).unwrap().transpose();
+        let rhs = mb.transpose().matmul_reference(&ma.transpose()).unwrap();
+        prop_assert!(dmac::matrix::approx_eq_slice(
+            lhs.to_dense().data(), rhs.to_dense().data(), 1e-9).is_none());
+    }
+
+    /// Associativity within tolerance: (A·B)·C = A·(B·C).
+    #[test]
+    fn matmul_associativity(
+        a in dense_matrix(4, 5),
+        b in dense_matrix(5, 3),
+        c in dense_matrix(3, 6),
+    ) {
+        let (a, b, c) = (
+            BlockedMatrix::from_dense(a, 2).unwrap(),
+            BlockedMatrix::from_dense(b, 2).unwrap(),
+            BlockedMatrix::from_dense(c, 2).unwrap(),
+        );
+        let lhs = a.matmul_reference(&b).unwrap().matmul_reference(&c).unwrap();
+        let rhs = a.matmul_reference(&b.matmul_reference(&c).unwrap()).unwrap();
+        prop_assert!(dmac::matrix::approx_eq_slice(
+            lhs.to_dense().data(), rhs.to_dense().data(), 1e-9).is_none());
+    }
+
+    /// Distributivity: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_add(
+        a in dense_matrix(4, 5),
+        b in dense_matrix(5, 4),
+        c in dense_matrix(5, 4),
+    ) {
+        let (a, b, c) = (
+            BlockedMatrix::from_dense(a, 3).unwrap(),
+            BlockedMatrix::from_dense(b, 3).unwrap(),
+            BlockedMatrix::from_dense(c, 3).unwrap(),
+        );
+        let lhs = a.matmul_reference(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul_reference(&b).unwrap().add(&a.matmul_reference(&c).unwrap()).unwrap();
+        prop_assert!(dmac::matrix::approx_eq_slice(
+            lhs.to_dense().data(), rhs.to_dense().data(), 1e-9).is_none());
+    }
+
+    /// Both aggregation modes and any thread count produce the reference
+    /// product exactly (same summation order within each result cell path
+    /// differs, so allow tiny tolerance).
+    #[test]
+    fn executors_match_reference(
+        a in dense_matrix(6, 8),
+        b in dense_matrix(8, 5),
+        threads in 1usize..5,
+    ) {
+        let ma = BlockedMatrix::from_dense(a, 3).unwrap();
+        let mb = BlockedMatrix::from_dense(b, 3).unwrap();
+        let expect = ma.matmul_reference(&mb).unwrap().to_dense();
+        for mode in [AggregationMode::InPlace, AggregationMode::Buffer] {
+            let ex = LocalExecutor::new(threads, mode);
+            let got = ex.matmul(&ma, &mb).unwrap().to_dense();
+            prop_assert!(dmac::matrix::approx_eq_slice(got.data(), expect.data(), 1e-9).is_none());
+        }
+    }
+
+    /// Sparse blocked matrices behave identically to their dense image
+    /// under every cell-wise operator.
+    #[test]
+    fn sparse_cellwise_matches_dense(
+        t1 in sparse_triplets(6, 6),
+        t2 in sparse_triplets(6, 6),
+        block in 2usize..5,
+    ) {
+        let a = BlockedMatrix::from_triplets(6, 6, block, t1).unwrap();
+        let b = BlockedMatrix::from_triplets(6, 6, block, t2).unwrap();
+        let (da, db) = (a.to_dense(), b.to_dense());
+        prop_assert_eq!(a.add(&b).unwrap().to_dense(), da.add(&db).unwrap());
+        prop_assert_eq!(a.sub(&b).unwrap().to_dense(), da.sub(&db).unwrap());
+        prop_assert_eq!(a.cell_mul(&b).unwrap().to_dense(), da.cell_mul(&db).unwrap());
+        prop_assert_eq!(a.cell_div(&b).unwrap().to_dense(), da.cell_div(&db).unwrap());
+    }
+
+    /// Reblocking never changes the matrix.
+    #[test]
+    fn reblock_preserves_values(trips in sparse_triplets(10, 8), b1 in 1usize..12, b2 in 1usize..12) {
+        let m = BlockedMatrix::from_triplets(10, 8, b1, trips).unwrap();
+        let r = m.reblock(b2).unwrap();
+        prop_assert_eq!(r.block_size(), b2);
+        prop_assert_eq!(r.to_dense(), m.to_dense());
+    }
+
+    /// The worst-case sparsity estimator is a true upper bound: the actual
+    /// density of a cell-wise result never exceeds min(sa + sb, 1), and a
+    /// product's density never exceeds 1.
+    #[test]
+    fn sparsity_estimate_is_upper_bound(t1 in sparse_triplets(8, 8), t2 in sparse_triplets(8, 8)) {
+        let a = BlockedMatrix::from_triplets(8, 8, 3, t1).unwrap();
+        let b = BlockedMatrix::from_triplets(8, 8, 3, t2).unwrap();
+        let cells = 64.0;
+        let (sa, sb) = (a.nnz() as f64 / cells, b.nnz() as f64 / cells);
+        let sum = a.add(&b).unwrap();
+        prop_assert!(sum.nnz() as f64 / cells <= (sa + sb).min(1.0) + 1e-12);
+        let prod = a.matmul_reference(&b).unwrap();
+        prop_assert!(prod.nnz() as f64 / cells <= 1.0);
+    }
+}

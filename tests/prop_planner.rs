@@ -1,0 +1,157 @@
+//! Property-based tests of the planner + engine: for *arbitrary*
+//! well-formed programs, every system's staged distributed execution must
+//! equal the straight-line local reference, the plan's stage schedule must
+//! satisfy its invariant, and DMac's plan must never use more
+//! communication steps than SystemML-S's.
+
+mod common;
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use common::{assert_matrix_eq, eval_reference};
+use dmac::core::baselines::SystemKind;
+use dmac::core::planner::{plan_program, PlannerConfig};
+use dmac::core::{stage, Session};
+use dmac::lang::{Expr, Program};
+use dmac::matrix::BlockedMatrix;
+
+const BLOCK: usize = 4;
+/// Shape vocabulary: all dims divide into 4-blocks unevenly on purpose.
+const DIMS: [usize; 3] = [6, 10, 14];
+
+/// One random instruction of a generated program.
+#[derive(Debug, Clone)]
+struct OpPick {
+    kind: u8,
+    a: usize,
+    b: usize,
+    t1: bool,
+    t2: bool,
+}
+
+fn op_pick() -> impl Strategy<Value = OpPick> {
+    (0u8..7, 0usize..64, 0usize..64, any::<bool>(), any::<bool>())
+        .prop_map(|(kind, a, b, t1, t2)| OpPick { kind, a, b, t1, t2 })
+}
+
+/// Build a valid straight-line program from random picks: each pick is
+/// applied if a shape-compatible interpretation exists, otherwise skipped.
+/// Returns the program and the final expression (marked as output).
+fn build_program(picks: &[OpPick]) -> (Program, Expr) {
+    let mut p = Program::new();
+    let mut exprs: Vec<Expr> = vec![
+        p.load("A", DIMS[0], DIMS[1], 0.6),
+        p.load("B", DIMS[1], DIMS[2], 0.6),
+        p.load("C", DIMS[0], DIMS[1], 0.6),
+    ];
+    for pick in picks {
+        let a = exprs[pick.a % exprs.len()];
+        let b = exprs[pick.b % exprs.len()];
+        let ea = if pick.t1 { a.t() } else { a };
+        let eb = if pick.t2 { b.t() } else { b };
+        let sa = p.stats_of(ea).unwrap();
+        let sb = p.stats_of(eb).unwrap();
+        let out = match pick.kind {
+            0 if sa.cols == sb.rows => p.matmul(ea, eb).ok(),
+            1 if sa.shape() == sb.shape() => p.add(ea, eb).ok(),
+            2 if sa.shape() == sb.shape() => p.sub(ea, eb).ok(),
+            3 if sa.shape() == sb.shape() => p.cell_mul(ea, eb).ok(),
+            4 if sa.shape() == sb.shape() => p.cell_div(ea, eb).ok(),
+            5 => p.scale_const(ea, 0.5).ok(),
+            6 => {
+                let s = p.sum(ea).unwrap();
+                p.scale(eb, s.clone() / (s + dmac::lang::ScalarExpr::c(1.0)))
+                    .ok()
+            }
+            _ => None,
+        };
+        if let Some(e) = out {
+            exprs.push(e);
+        }
+    }
+    let last = *exprs.last().unwrap();
+    p.output(last);
+    (p, last)
+}
+
+fn bindings() -> HashMap<String, BlockedMatrix> {
+    let mut m = HashMap::new();
+    m.insert(
+        "A".to_string(),
+        dmac::data::uniform_sparse(DIMS[0], DIMS[1], 0.6, BLOCK, 101),
+    );
+    m.insert(
+        "B".to_string(),
+        dmac::data::dense_random(DIMS[1], DIMS[2], BLOCK, 102),
+    );
+    m.insert(
+        "C".to_string(),
+        dmac::data::uniform_sparse(DIMS[0], DIMS[1], 0.6, BLOCK, 103),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Distributed execution of a random program equals the local
+    /// reference interpreter under every system and worker count.
+    #[test]
+    fn random_programs_execute_correctly(
+        picks in proptest::collection::vec(op_pick(), 1..12),
+        workers in 1usize..5,
+        system_idx in 0usize..3,
+    ) {
+        let (program, out) = build_program(&picks);
+        let binds = bindings();
+        let expect = eval_reference(&program, &binds, &HashMap::new());
+        let system = [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal][system_idx];
+        let mut s = Session::builder()
+            .system(system)
+            .workers(workers)
+            .local_threads(2)
+            .block_size(BLOCK)
+            .build();
+        for (name, m) in &binds {
+            s.bind(name, m.clone()).unwrap();
+        }
+        s.run(&program).unwrap();
+        let got = s.value(out).unwrap();
+        let reference = if out.transposed {
+            expect[&out.id].transpose()
+        } else {
+            expect[&out.id].clone()
+        };
+        assert_matrix_eq(&got, &reference, 1e-7, "random program output");
+    }
+
+    /// Every generated plan's stage schedule satisfies the §5.2 invariant:
+    /// communication only at stage boundaries.
+    #[test]
+    fn random_plans_stage_cleanly(picks in proptest::collection::vec(op_pick(), 1..16)) {
+        let (program, _) = build_program(&picks);
+        for cfg in [PlannerConfig::default(), PlannerConfig::systemml_s()] {
+            let planned = plan_program(&program, &cfg, 4, &HashMap::new()).unwrap();
+            let stages = stage::schedule(&planned.plan);
+            prop_assert!(stage::validate(&planned.plan, &stages).is_ok());
+            prop_assert!(planned.plan.nodes.iter().all(|n| !n.flexible));
+        }
+    }
+
+    /// Dependency exploitation never plans more communication steps than
+    /// the dependency-blind baseline on the same program.
+    #[test]
+    fn dmac_never_plans_more_comm_steps(picks in proptest::collection::vec(op_pick(), 1..16)) {
+        let (program, _) = build_program(&picks);
+        let dmac = plan_program(&program, &PlannerConfig::default(), 4, &HashMap::new()).unwrap();
+        let sysml = plan_program(&program, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap();
+        prop_assert!(
+            dmac.plan.comm_step_count() <= sysml.plan.comm_step_count(),
+            "dmac {} > sysml {}",
+            dmac.plan.comm_step_count(),
+            sysml.plan.comm_step_count()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The R-like script frontend, end to end: scripts parsed with
+//! `dmac::lang::parse_script` must execute to exactly the same numerics as
+//! the equivalent programmatically-built programs, and inherit all the
+//! planner's communication behaviour.
+
+use dmac::apps::Gnmf;
+use dmac::core::Session;
+use dmac::lang::parse_script;
+
+const BLOCK: usize = 8;
+
+fn session() -> Session {
+    Session::builder()
+        .workers(3)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .seed(1234)
+        .build()
+}
+
+#[test]
+fn scripted_gnmf_matches_builder_gnmf() {
+    // The script and the builder produce programs with identical operator
+    // sequences, so with the same seed and the same random-matrix ids the
+    // results must be bit-identical.
+    let script = r#"
+        V = load(V, 54, 27, 0.3)
+        W0 = random(W0, 54, 4)
+        H0 = random(H0, 4, 27)
+        H = H0
+        W = W0
+        for (i in 0:2) {
+            H = H * (W.t %*% V) / (W.t %*% W %*% H)
+            W = W * (V %*% H.t) / (W %*% H %*% H.t)
+        }
+        store(W)
+        store(H)
+    "#;
+    let parsed = parse_script(script).unwrap();
+    let v = dmac::data::uniform_sparse(54, 27, 0.3, BLOCK, 77);
+
+    let mut s1 = session();
+    s1.bind("V", v.clone()).unwrap();
+    s1.run(&parsed.program).unwrap();
+    let script_w = s1.value(parsed.variables["W"]).unwrap();
+    let script_h = s1.value(parsed.variables["H"]).unwrap();
+
+    let cfg = Gnmf {
+        rows: 54,
+        cols: 27,
+        sparsity: 0.3,
+        rank: 4,
+        iterations: 3,
+    };
+    let mut s2 = session();
+    let (_, handles) = cfg.run(&mut s2, v).unwrap();
+    let builder_w = s2.value(handles.w).unwrap();
+    let builder_h = s2.value(handles.h).unwrap();
+
+    // Same ids for the random matrices (V=0, W0=1, H0=2 in both), same
+    // seed, same updates -> identical numerics.
+    assert!(
+        dmac::matrix::approx_eq_slice(
+            script_w.to_dense().data(),
+            builder_w.to_dense().data(),
+            1e-9
+        )
+        .is_none(),
+        "script W differs from builder W"
+    );
+    assert!(
+        dmac::matrix::approx_eq_slice(
+            script_h.to_dense().data(),
+            builder_h.to_dense().data(),
+            1e-9
+        )
+        .is_none(),
+        "script H differs from builder H"
+    );
+}
+
+#[test]
+fn scripted_scalar_flow_cg_step() {
+    // A single hand-written CG-flavoured step with dynamic scalars.
+    let script = r#"
+        V = load(V, 30, 10, 0.5)
+        y = load(y, 30, 1, 1.0)
+        r = (V.t %*% y) * -1
+        p = r * -1
+        nr = (r * r).sum
+        q = V.t %*% (V %*% p)
+        alpha = nr / (p.t %*% q).value
+        w = p * alpha
+        store(w)
+    "#;
+    let parsed = parse_script(script).unwrap();
+    let v = dmac::data::uniform_sparse(30, 10, 0.5, BLOCK, 21);
+    let y = dmac::data::dense_random(30, 1, BLOCK, 22);
+
+    let mut s = session();
+    s.bind("V", v.clone()).unwrap();
+    s.bind("y", y.clone()).unwrap();
+    s.run(&parsed.program).unwrap();
+    let got = s.value(parsed.variables["w"]).unwrap();
+
+    // Local reference of the same step.
+    let vt = v.transpose();
+    let r = vt.matmul_reference(&y).unwrap().scale(-1.0);
+    let p = r.scale(-1.0);
+    let nr = r.cell_mul(&r).unwrap().sum();
+    let q = vt
+        .matmul_reference(&v.matmul_reference(&p).unwrap())
+        .unwrap();
+    let ptq = p.transpose().matmul_reference(&q).unwrap().sum();
+    let expect = p.scale(nr / ptq);
+    assert!(
+        dmac::matrix::approx_eq_slice(got.to_dense().data(), expect.to_dense().data(), 1e-9)
+            .is_none()
+    );
+}
+
+#[test]
+fn shipped_example_scripts_parse_and_plan() {
+    for path in [
+        "examples/scripts/gnmf.dmac",
+        "examples/scripts/pagerank.dmac",
+    ] {
+        let src = std::fs::read_to_string(path).unwrap();
+        let parsed = parse_script(&src)
+            .unwrap_or_else(|e| panic!("{path} failed to parse: {e}"));
+        parsed.program.validate().unwrap();
+        // Planning needs no data.
+        let s = Session::builder().workers(4).block_size(256).build();
+        let plan = s.plan_only(&parsed.program).unwrap();
+        assert!(!plan.steps.is_empty(), "{path} produced an empty plan");
+    }
+}
