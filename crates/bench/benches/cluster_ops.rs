@@ -1,9 +1,8 @@
-//! Criterion benchmarks of the distributed primitives: repartition,
-//! broadcast, and the three multiplication strategies of Figure 2.
+//! Benchmarks of the distributed primitives: repartition, broadcast, and
+//! the three multiplication strategies of Figure 2. Runs on the in-tree
+//! harness, no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use dmac_bench::microbench::bench;
 use dmac_cluster::{Cluster, ClusterConfig, NetworkModel, PartitionScheme};
 use dmac_matrix::BlockedMatrix;
 
@@ -19,64 +18,42 @@ fn matrix(rows: usize, cols: usize) -> BlockedMatrix {
     BlockedMatrix::from_fn(rows, cols, 64, |i, j| ((i * 13 + j) % 9) as f64 - 4.0).unwrap()
 }
 
-fn bench_movement(c: &mut Criterion) {
-    let mut g = c.benchmark_group("movement");
+fn main() {
     let m = matrix(1024, 1024);
-    g.bench_function("repartition-r-to-c", |b| {
-        b.iter(|| {
-            let mut cl = cluster();
-            let d = cl.load(&m, PartitionScheme::Row);
-            black_box(cl.repartition(&d, PartitionScheme::Col, "m").unwrap())
-        })
+    bench("movement", "repartition-r-to-c", || {
+        let mut cl = cluster();
+        let d = cl.load(&m, PartitionScheme::Row);
+        cl.repartition(&d, PartitionScheme::Col, "m").unwrap()
     });
-    g.bench_function("broadcast", |b| {
-        b.iter(|| {
-            let mut cl = cluster();
-            let d = cl.load(&m, PartitionScheme::Row);
-            black_box(cl.broadcast(&d, "m").unwrap())
-        })
+    bench("movement", "broadcast", || {
+        let mut cl = cluster();
+        let d = cl.load(&m, PartitionScheme::Row);
+        cl.broadcast(&d, "m").unwrap()
     });
-    g.bench_function("local-transpose", |b| {
-        b.iter(|| {
-            let mut cl = cluster();
-            let d = cl.load(&m, PartitionScheme::Row);
-            black_box(cl.transpose(&d).unwrap())
-        })
+    bench("movement", "local-transpose", || {
+        let mut cl = cluster();
+        let d = cl.load(&m, PartitionScheme::Row);
+        cl.transpose(&d).unwrap()
     });
-    g.finish();
-}
 
-fn bench_multiply_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mm-strategies");
-    g.sample_size(10);
     let a = matrix(512, 512);
     let b = matrix(512, 512);
-    g.bench_function("rmm1", |bench| {
-        bench.iter(|| {
-            let mut cl = cluster();
-            let da = cl.load(&a, PartitionScheme::Broadcast);
-            let db = cl.load(&b, PartitionScheme::Col);
-            black_box(cl.rmm1(&da, &db).unwrap())
-        })
+    bench("mm-strategies", "rmm1", || {
+        let mut cl = cluster();
+        let da = cl.load(&a, PartitionScheme::Broadcast);
+        let db = cl.load(&b, PartitionScheme::Col);
+        cl.rmm1(&da, &db).unwrap()
     });
-    g.bench_function("rmm2", |bench| {
-        bench.iter(|| {
-            let mut cl = cluster();
-            let da = cl.load(&a, PartitionScheme::Row);
-            let db = cl.load(&b, PartitionScheme::Broadcast);
-            black_box(cl.rmm2(&da, &db).unwrap())
-        })
+    bench("mm-strategies", "rmm2", || {
+        let mut cl = cluster();
+        let da = cl.load(&a, PartitionScheme::Row);
+        let db = cl.load(&b, PartitionScheme::Broadcast);
+        cl.rmm2(&da, &db).unwrap()
     });
-    g.bench_function("cpmm", |bench| {
-        bench.iter(|| {
-            let mut cl = cluster();
-            let da = cl.load(&a, PartitionScheme::Col);
-            let db = cl.load(&b, PartitionScheme::Row);
-            black_box(cl.cpmm(&da, &db, PartitionScheme::Row).unwrap())
-        })
+    bench("mm-strategies", "cpmm", || {
+        let mut cl = cluster();
+        let da = cl.load(&a, PartitionScheme::Col);
+        let db = cl.load(&b, PartitionScheme::Row);
+        cl.cpmm(&da, &db, PartitionScheme::Row).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_movement, bench_multiply_strategies);
-criterion_main!(benches);

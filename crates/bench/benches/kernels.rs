@@ -1,9 +1,8 @@
-//! Criterion micro-benchmarks of the local execution engine (§5.3):
-//! block kernels, In-Place vs Buffer aggregation, CSC transforms.
+//! Micro-benchmarks of the local execution engine (§5.3): block kernels,
+//! In-Place vs Buffer aggregation, CSC transforms. Runs on the in-tree
+//! harness (`dmac_bench::microbench`), no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
-
+use dmac_bench::microbench::bench;
 use dmac_matrix::{AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor};
 
 fn dense(rows: usize, cols: usize) -> BlockedMatrix {
@@ -22,13 +21,11 @@ fn sparse(rows: usize, cols: usize, every: usize) -> BlockedMatrix {
     .unwrap()
 }
 
-fn bench_block_multiply(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block-multiply");
+fn main() {
     let a = DenseBlock::from_fn(128, 128, |i, j| (i + j) as f64);
     let b = DenseBlock::from_fn(128, 128, |i, j| (i * j % 7) as f64);
-    g.bench_function("dense128", |bench| {
-        bench.iter(|| black_box(a.matmul(&b).unwrap()))
-    });
+    bench("block-multiply", "dense128", || a.matmul(&b).unwrap());
+
     let s = CscBlock::from_triplets(
         128,
         128,
@@ -37,55 +34,23 @@ fn bench_block_multiply(c: &mut Criterion) {
             .map(|t| (t / 128, t % 128, 1.0)),
     )
     .unwrap();
-    g.bench_function("sparse128xdense128", |bench| {
-        bench.iter_batched(
-            || DenseBlock::zeros(128, 128),
-            |mut acc| {
-                s.matmul_dense_acc(&b, &mut acc).unwrap();
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("block-multiply", "sparse128xdense128", || {
+        let mut acc = DenseBlock::zeros(128, 128);
+        s.matmul_dense_acc(&b, &mut acc).unwrap();
+        acc
     });
-    g.bench_function("csc-transpose", |bench| {
-        bench.iter(|| black_box(s.transpose()))
-    });
-    g.finish();
-}
+    bench("block-multiply", "csc-transpose", || s.transpose());
 
-fn bench_aggregation_modes(c: &mut Criterion) {
     // The Figure-7 comparison as a micro-benchmark: multiplication with a
     // long shared dimension.
-    let mut g = c.benchmark_group("aggregation");
-    g.sample_size(10);
     let a = dense(128, 1024);
     let b = dense(1024, 128);
     let in_place = LocalExecutor::new(4, AggregationMode::InPlace);
     let buffer = LocalExecutor::new(4, AggregationMode::Buffer);
-    g.bench_function("in-place", |bench| {
-        bench.iter(|| black_box(in_place.matmul(&a, &b).unwrap()))
-    });
-    g.bench_function("buffer", |bench| {
-        bench.iter(|| black_box(buffer.matmul(&a, &b).unwrap()))
-    });
-    g.finish();
-}
+    bench("aggregation", "in-place", || in_place.matmul(&a, &b).unwrap());
+    bench("aggregation", "buffer", || buffer.matmul(&a, &b).unwrap());
 
-fn bench_sparse_graph_square(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph-square");
-    g.sample_size(10);
     let adj = sparse(2048, 2048, 97);
     let ex = LocalExecutor::new(4, AggregationMode::InPlace);
-    g.bench_function("a_x_a_2048", |bench| {
-        bench.iter(|| black_box(ex.matmul(&adj, &adj).unwrap()))
-    });
-    g.finish();
+    bench("graph-square", "a_x_a_2048", || ex.matmul(&adj, &adj).unwrap());
 }
-
-criterion_group!(
-    benches,
-    bench_block_multiply,
-    bench_aggregation_modes,
-    bench_sparse_graph_square
-);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
-//! Criterion benchmarks of plan generation itself: Algorithm 1 must stay
-//! cheap relative to execution (it runs on the driver for every program).
+//! Benchmarks of plan generation itself: Algorithm 1 must stay cheap
+//! relative to execution (it runs on the driver for every program). Runs
+//! on the in-tree harness, no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashMap;
-use std::hint::black_box;
 
 use dmac_apps::{Gnmf, LinearRegression};
+use dmac_bench::microbench::bench;
 use dmac_core::planner::{plan_program, PlannerConfig};
 use dmac_core::stage;
 use dmac_lang::Program;
@@ -24,22 +24,18 @@ fn gnmf_program(iterations: usize) -> Program {
     p
 }
 
-fn bench_plan_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("plan-generation");
+fn main() {
     for iters in [1usize, 10, 50] {
         let p = gnmf_program(iters);
-        g.bench_function(format!("gnmf-{iters}iters-dmac"), |b| {
-            b.iter(|| {
-                black_box(plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap())
-            })
+        bench("plan-generation", &format!("gnmf-{iters}iters-dmac"), || {
+            plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap()
         });
     }
     let p = gnmf_program(10);
-    g.bench_function("gnmf-10iters-systemml", |b| {
-        b.iter(|| {
-            black_box(plan_program(&p, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap())
-        })
+    bench("plan-generation", "gnmf-10iters-systemml", || {
+        plan_program(&p, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap()
     });
+
     let mut lr = Program::new();
     LinearRegression {
         rows: 100_000_000,
@@ -50,21 +46,13 @@ fn bench_plan_generation(c: &mut Criterion) {
     }
     .build(&mut lr)
     .unwrap();
-    g.bench_function("linreg-10iters-dmac", |b| {
-        b.iter(|| {
-            black_box(plan_program(&lr, &PlannerConfig::default(), 4, &HashMap::new()).unwrap())
-        })
+    bench("plan-generation", "linreg-10iters-dmac", || {
+        plan_program(&lr, &PlannerConfig::default(), 4, &HashMap::new()).unwrap()
     });
-    g.finish();
-}
 
-fn bench_stage_scheduling(c: &mut Criterion) {
     let p = gnmf_program(20);
     let planned = plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap();
-    c.bench_function("stage-schedule-gnmf-20iters", |b| {
-        b.iter(|| black_box(stage::schedule(&planned.plan)))
+    bench("stage-schedule", "gnmf-20iters", || {
+        stage::schedule(&planned.plan)
     });
 }
-
-criterion_group!(benches, bench_plan_generation, bench_stage_scheduling);
-criterion_main!(benches);

@@ -8,7 +8,7 @@ fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     for bin in [
-        "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "ablation", "twod",
+        "fig6", "fig7", "fig8", "fig9", "fig10", "table4", "ablation", "twod", "faults",
     ] {
         let path = dir.join(bin);
         let status = Command::new(&path)

@@ -16,6 +16,7 @@
 //! | `table4`| Table 4 MM-Sparse / MM-Dense across four systems |
 //! | `ablation` | design-choice ablations (H1, H2, mult-first, CPMM) |
 //! | `twod`  | future-work extension: 1-D vs 2-D block-cyclic + SUMMA |
+//! | `faults` | recovery overhead of mid-run worker loss + retry cost of flaky links |
 //! | `all`   | run everything in sequence |
 
 use std::time::Instant;
@@ -88,6 +89,48 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();
     let v = f();
     (v, t0.elapsed().as_secs_f64())
+}
+
+/// Dependency-free micro-benchmark harness used by the `benches/` targets
+/// (which run with `harness = false`): calibrates an iteration count from
+/// one warm-up call, reports the median of the timed runs. Deliberately
+/// simple — these benches guard against order-of-magnitude regressions,
+/// not single-digit percentages.
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Format a duration in adaptive units.
+    pub fn fmt_time(s: f64) -> String {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            format!("{:.3} µs", s * 1e6)
+        } else {
+            format!("{:.1} ns", s * 1e9)
+        }
+    }
+
+    /// Time `f`, printing `group/name  median <t>`.
+    pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) {
+        black_box(f()); // warm-up
+        let t0 = Instant::now();
+        black_box(f());
+        let single = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.1 / single) as usize).clamp(3, 100);
+        let mut times = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            times.push(t.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let label = format!("{group}/{name}");
+        println!("{label:<36} median {:>12}  ({iters} iters)", fmt_time(median));
+    }
 }
 
 #[cfg(test)]

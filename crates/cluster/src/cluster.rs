@@ -2,6 +2,28 @@
 //! the communication primitives (`repartition`, `broadcast`) plus the three
 //! distributed multiplication strategies (RMM1, RMM2, CPMM) and the
 //! scheme-aligned cell-wise operators.
+//!
+//! ## Logical workers vs physical hosts
+//!
+//! The cluster separates *logical workers* (the `N` partitions every
+//! [`DistMatrix`] and compute loop is keyed on) from *physical hosts* (the
+//! machines that can die). Initially worker `w` runs on host `w`; when a
+//! host is [`Cluster::decommission`]ed after a failure, its logical workers
+//! are remapped round-robin onto the survivors. Because every numeric loop
+//! stays keyed on logical workers, the f64 summation order — and therefore
+//! the bit pattern of every result — is identical before and after
+//! recovery; only the *cost model* changes (surviving hosts now run more
+//! than one logical worker, so their compute time adds up).
+//!
+//! ## Fault handling
+//!
+//! Every primitive enters through `op_entry`, which checks host liveness
+//! *before* any scheme or shape validation — a dead worker always surfaces
+//! as [`ClusterError::WorkerLost`], never as a misleading validation error
+//! — and then gives the seeded [`FaultInjector`] a chance to kill a host.
+//! Metered transfers go through [`Cluster::send`], which retries transient
+//! failures up to the plan's attempt budget, charging wasted bytes to the
+//! retry meter.
 
 // Worker loops index several parallel per-worker structures by id; an
 // iterator would obscure the symmetry.
@@ -12,11 +34,11 @@ use std::time::Instant;
 
 use dmac_matrix::exec::{run_tasks, ResultBufferPool};
 use dmac_matrix::{Block, BlockedMatrix, CscBlock, DenseBlock};
-use parking_lot::Mutex;
 
 use crate::comm::{CommKind, CommStats, NetworkModel, SimClock};
 use crate::dist::{DistMatrix, GridMeta};
 use crate::error::{ClusterError, Result};
+use crate::fault::{FaultEvent, FaultInjector, FaultPlan};
 use crate::partition::PartitionScheme;
 
 /// Static configuration of a simulated cluster.
@@ -59,7 +81,13 @@ pub struct Cluster {
     config: ClusterConfig,
     comm: CommStats,
     clock: SimClock,
+    /// Hosts currently down (includes every decommissioned host).
     failed: HashSet<usize>,
+    /// Hosts permanently removed by recovery; they can never heal.
+    decommissioned: HashSet<usize>,
+    /// `assignment[w]` is the physical host running logical worker `w`.
+    assignment: Vec<usize>,
+    faults: FaultInjector,
     pool: ResultBufferPool,
 }
 
@@ -71,8 +99,18 @@ impl Cluster {
             comm: CommStats::default(),
             clock: SimClock::default(),
             failed: HashSet::new(),
+            decommissioned: HashSet::new(),
+            assignment: (0..config.workers).collect(),
+            faults: FaultInjector::disabled(),
             pool: ResultBufferPool::new(2 * config.local_threads),
         }
+    }
+
+    /// Build a cluster with a fault plan installed.
+    pub fn with_faults(config: ClusterConfig, plan: FaultPlan) -> Cluster {
+        let mut cl = Cluster::new(config);
+        cl.set_fault_plan(plan);
+        cl
     }
 
     /// The cluster configuration.
@@ -80,7 +118,8 @@ impl Cluster {
         &self.config
     }
 
-    /// Number of workers (the paper's `N`).
+    /// Number of logical workers (the paper's `N`). Stable across host
+    /// failures — recovery remaps logical workers, it never shrinks `N`.
     pub fn workers(&self) -> usize {
         self.config.workers
     }
@@ -101,42 +140,188 @@ impl Cluster {
         self.clock = SimClock::default();
     }
 
-    /// Mark a worker as failed (failure injection for tests).
-    pub fn fail_worker(&mut self, w: usize) {
-        self.failed.insert(w);
+    /// Install (or replace) a fault plan; resets the injector's stream and
+    /// log.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultInjector::new(plan);
     }
 
-    /// Bring a failed worker back.
-    pub fn heal_worker(&mut self, w: usize) {
-        self.failed.remove(&w);
+    /// Every fault injected so far, in order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.log()
     }
 
-    /// Error if worker `w` is down.
+    /// The seeded injector (plan inspection, kill counts).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Logical-worker → physical-host assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The physical host currently running logical worker `w`.
+    pub fn host_of(&self, w: usize) -> usize {
+        self.assignment[w]
+    }
+
+    /// Hosts that are up (neither failed nor decommissioned), ascending.
+    pub fn alive_hosts(&self) -> Vec<usize> {
+        (0..self.config.workers)
+            .filter(|h| !self.failed.contains(h))
+            .collect()
+    }
+
+    /// Hosts permanently removed by recovery, ascending.
+    pub fn decommissioned_hosts(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.decommissioned.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of distinct live hosts carrying logical workers (the real
+    /// parallelism after remapping).
+    fn host_parallelism(&self) -> usize {
+        let distinct: HashSet<usize> = self.assignment.iter().copied().collect();
+        distinct.len().max(1)
+    }
+
+    /// Mark a host as failed (failure injection for tests).
+    pub fn fail_worker(&mut self, host: usize) {
+        self.failed.insert(host);
+    }
+
+    /// Bring a failed host back. Decommissioned hosts are gone for good.
+    pub fn heal_worker(&mut self, host: usize) {
+        if !self.decommissioned.contains(&host) {
+            self.failed.remove(&host);
+        }
+    }
+
+    /// Error if the host running logical worker `w` is down.
     pub fn check_worker(&self, w: usize) -> Result<()> {
-        if self.failed.contains(&w) {
-            Err(ClusterError::WorkerLost(w))
+        let host = self.assignment[w];
+        if self.failed.contains(&host) {
+            Err(ClusterError::WorkerLost(host))
         } else {
             Ok(())
         }
     }
 
     fn check_all_workers(&self) -> Result<()> {
-        for w in 0..self.config.workers {
-            self.check_worker(w)?;
+        for &host in &self.assignment {
+            if self.failed.contains(&host) {
+                return Err(ClusterError::WorkerLost(host));
+            }
         }
         Ok(())
     }
 
-    /// Meter a communication step and charge the network model for it.
+    /// Uniform entry guard for every primitive: liveness is checked
+    /// *before* any scheme/shape validation so a dead worker always
+    /// surfaces as [`ClusterError::WorkerLost`] (the error the engine's
+    /// recovery path understands), then the fault injector may take a host
+    /// down at this op.
+    fn op_entry(&mut self, op: &'static str) -> Result<()> {
+        self.check_all_workers()?;
+        let alive = self.alive_hosts();
+        if let Some(victim) = self.faults.draw_op_kill(op, &alive) {
+            self.failed.insert(victim);
+            return Err(ClusterError::WorkerLost(victim));
+        }
+        Ok(())
+    }
+
+    /// Notify the cluster that plan stage `stage` begins. The fault
+    /// injector may kill a host here; the kill is detected by the next
+    /// primitive's liveness check, exactly like an executor loss between
+    /// Spark stages.
+    pub fn begin_stage(&mut self, stage: usize) {
+        let alive = self.alive_hosts();
+        if let Some(victim) = self.faults.draw_stage_kill(stage, &alive) {
+            self.failed.insert(victim);
+        }
+    }
+
+    /// Permanently remove a dead host and remap its logical workers
+    /// round-robin onto the surviving hosts. Returns the remapped logical
+    /// workers (whose in-memory tiles died with the host). Errors with
+    /// [`ClusterError::NoSurvivors`] when no host is left.
+    pub fn decommission(&mut self, host: usize) -> Result<Vec<usize>> {
+        self.failed.insert(host);
+        self.decommissioned.insert(host);
+        let survivors = self.alive_hosts();
+        if survivors.is_empty() {
+            return Err(ClusterError::NoSurvivors);
+        }
+        let mut remapped = Vec::new();
+        for (w, h) in self.assignment.iter_mut().enumerate() {
+            if *h == host {
+                *h = survivors[w % survivors.len()];
+                remapped.push(w);
+            }
+        }
+        Ok(remapped)
+    }
+
+    /// Meter a communication step and charge the network model for it,
+    /// retrying transient send failures up to the fault plan's attempt
+    /// budget. Failed attempts burn wire time and retry bytes; exhausting
+    /// the budget surfaces [`ClusterError::SendFailed`].
+    pub fn send(&mut self, kind: CommKind, label: impl Into<String>, bytes: u64) -> Result<()> {
+        let label = label.into();
+        if bytes == 0 {
+            // Nothing crosses the wire; keep the event for step counting.
+            self.comm.record(kind, label, 0);
+            return Ok(());
+        }
+        let cost = self.config.network.transfer_time(bytes);
+        let attempts = self.faults.max_send_attempts();
+        for attempt in 1..=attempts {
+            // Wire time is spent whether or not the attempt succeeds.
+            self.clock.add_comm(cost);
+            if self.faults.draw_transient_send(&label, attempt) {
+                self.comm.record_retry(bytes);
+                continue;
+            }
+            self.comm.record(kind, label, bytes);
+            return Ok(());
+        }
+        Err(ClusterError::SendFailed { label, attempts })
+    }
+
+    /// Meter a communication step without fault injection (infallible).
+    /// Prefer [`Cluster::send`] inside primitives; this remains for cost
+    /// accounting paths that model aggregate traffic, e.g. the 2D/SUMMA
+    /// comparison module.
     pub fn charge_comm(&mut self, kind: CommKind, label: impl Into<String>, bytes: u64) {
         self.comm.record(kind, label, bytes);
         self.clock
             .add_comm(self.config.network.transfer_time(bytes));
     }
 
+    /// Meter the re-read of durable source data during lineage recovery.
+    pub fn charge_recovery(&mut self, label: impl Into<String>, bytes: u64) -> Result<()> {
+        self.send(CommKind::Recovery, label, bytes)
+    }
+
     /// Charge measured local compute seconds (max across workers of a step).
     pub fn charge_compute(&mut self, sec: f64) {
         self.clock.add_compute(sec);
+    }
+
+    /// Charge per-logical-worker compute seconds: logical workers sharing a
+    /// physical host run sequentially, so each host is charged the *sum* of
+    /// its workers and the clock advances by the slowest host. This is how
+    /// recovery's remapping shows up as compute overhead.
+    fn charge_compute_workers(&mut self, secs: &[f64]) {
+        let mut per_host: HashMap<usize, f64> = HashMap::new();
+        for (w, &s) in secs.iter().enumerate() {
+            *per_host.entry(self.assignment[w]).or_insert(0.0) += s;
+        }
+        let max = per_host.values().fold(0.0f64, |m, &v| m.max(v));
+        self.clock.add_compute(max);
     }
 
     /// Load a local matrix onto the cluster under `scheme`. Loading is not
@@ -168,7 +353,7 @@ impl Cluster {
         target: PartitionScheme,
         label: &str,
     ) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("partition")?;
         if !target.is_rc() {
             return Err(ClusterError::SchemeMismatch {
                 expected: PartitionScheme::Row,
@@ -195,14 +380,14 @@ impl Cluster {
                 stores[dest].insert((bi, bj), Arc::clone(tile));
             }
         }
-        self.charge_comm(CommKind::Shuffle, format!("partition({label})"), moved);
+        self.send(CommKind::Shuffle, format!("partition({label})"), moved)?;
         Ok(DistMatrix::from_parts(*m.meta(), target, stores))
     }
 
     /// The `broadcast` extended operator: replicate `m` on every worker.
     /// Each worker must receive the tiles it does not already hold.
     pub fn broadcast(&mut self, m: &DistMatrix, label: &str) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("broadcast")?;
         if m.scheme() == PartitionScheme::Broadcast {
             return Ok(m.clone());
         }
@@ -222,7 +407,7 @@ impl Cluster {
                 }
             }
         }
-        self.charge_comm(CommKind::Broadcast, format!("broadcast({label})"), moved);
+        self.send(CommKind::Broadcast, format!("broadcast({label})"), moved)?;
         Ok(DistMatrix::from_parts(
             *m.meta(),
             PartitionScheme::Broadcast,
@@ -237,7 +422,7 @@ impl Cluster {
     /// deliberate, baseline-favouring simplification documented in
     /// DESIGN.md.
     pub fn rehash(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("rehash")?;
         if m.scheme() == PartitionScheme::Hash {
             return Ok(m.clone());
         }
@@ -260,16 +445,16 @@ impl Cluster {
 
     /// The `transpose` extended operator: local, free.
     pub fn transpose(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("transpose")?;
         let t0 = Instant::now();
         let out = m.transpose_local();
-        self.charge_compute(t0.elapsed().as_secs_f64() / self.config.workers.max(1) as f64);
+        self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
         Ok(out)
     }
 
     /// The `extract` extended operator: local, free.
     pub fn extract(&mut self, m: &DistMatrix, target: PartitionScheme) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("extract")?;
         m.extract_local(target)
     }
 
@@ -277,6 +462,7 @@ impl Cluster {
     /// execution — each worker multiplies the full `A` against its own
     /// block-columns of `B`.
     pub fn rmm1(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
+        self.op_entry("rmm1")?;
         self.compat(a, b)?;
         self.require(a, PartitionScheme::Broadcast, "rmm1")?;
         self.require(b, PartitionScheme::Col, "rmm1")?;
@@ -285,6 +471,7 @@ impl Cluster {
 
     /// RMM2 (Figure 2): `A(r) × B(b) → AB(r)`.
     pub fn rmm2(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
+        self.op_entry("rmm2")?;
         self.compat(a, b)?;
         self.require(a, PartitionScheme::Row, "rmm2")?;
         self.require(b, PartitionScheme::Broadcast, "rmm2")?;
@@ -310,7 +497,6 @@ impl Cluster {
         b: &DistMatrix,
         out_scheme: PartitionScheme,
     ) -> Result<DistMatrix> {
-        self.check_all_workers()?;
         if a.cols() != b.rows() {
             return Err(ClusterError::Matrix(
                 dmac_matrix::MatrixError::DimensionMismatch {
@@ -324,7 +510,7 @@ impl Cluster {
         let out_meta = GridMeta::new(a.rows(), b.cols(), a.block_size());
         let kb = a.meta().col_blocks;
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
-        let mut max_worker_sec = 0.0f64;
+        let mut secs = vec![0.0f64; n];
         for w in 0..n {
             let t0 = Instant::now();
             let tasks: Vec<(usize, usize)> = (0..out_meta.row_blocks)
@@ -339,9 +525,9 @@ impl Cluster {
                 let (k, tile) = r?;
                 stores[w].insert(k, tile);
             }
-            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+            secs[w] = t0.elapsed().as_secs_f64();
         }
-        self.charge_compute(max_worker_sec);
+        self.charge_compute_workers(&secs);
         Ok(DistMatrix::from_parts(out_meta, out_scheme, stores))
     }
 
@@ -397,10 +583,10 @@ impl Cluster {
         b: &DistMatrix,
         out_scheme: PartitionScheme,
     ) -> Result<DistMatrix> {
+        self.op_entry("cpmm")?;
         self.compat(a, b)?;
         self.require(a, PartitionScheme::Col, "cpmm")?;
         self.require(b, PartitionScheme::Row, "cpmm")?;
-        self.check_all_workers()?;
         if !out_scheme.is_rc() {
             return Err(ClusterError::SchemeMismatch {
                 expected: PartitionScheme::Row,
@@ -423,7 +609,7 @@ impl Cluster {
 
         // Phase 1: per-worker partial products over the owned k-slices.
         let mut partials: Vec<HashMap<(usize, usize), DenseBlock>> = Vec::with_capacity(n);
-        let mut max_worker_sec = 0.0f64;
+        let mut secs = vec![0.0f64; n];
         for w in 0..n {
             let t0 = Instant::now();
             let my_ks: Vec<usize> = (0..kb).filter(|&k| k % n == w).collect();
@@ -457,15 +643,16 @@ impl Cluster {
                     map.insert(k, p);
                 }
             }
-            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+            secs[w] = t0.elapsed().as_secs_f64();
             partials.push(map);
         }
-        self.charge_compute(max_worker_sec);
+        self.charge_compute_workers(&secs);
 
-        // Phase 2: shuffle partials to their owners and aggregate in place.
+        // Phase 2: shuffle partials to their owners and aggregate in
+        // worker order (the fixed order keeps f64 summation deterministic).
         let mut moved: u64 = 0;
-        let gathered: Mutex<Vec<HashMap<(usize, usize), DenseBlock>>> =
-            Mutex::new((0..n).map(|_| HashMap::new()).collect());
+        let mut gathered: Vec<HashMap<(usize, usize), DenseBlock>> =
+            (0..n).map(|_| HashMap::new()).collect();
         let t0 = Instant::now();
         for (w, map) in partials.into_iter().enumerate() {
             for ((bi, bj), p) in map {
@@ -473,22 +660,20 @@ impl Cluster {
                 if dest != w {
                     moved += p.actual_bytes() as u64;
                 }
-                let mut g = gathered.lock();
-                match g[dest].get_mut(&(bi, bj)) {
+                match gathered[dest].get_mut(&(bi, bj)) {
                     Some(acc) => acc.add_assign(&p)?,
                     None => {
-                        g[dest].insert((bi, bj), p);
+                        gathered[dest].insert((bi, bj), p);
                     }
                 }
             }
         }
-        let agg_sec = t0.elapsed().as_secs_f64() / n.max(1) as f64;
+        let agg_sec = t0.elapsed().as_secs_f64() / self.host_parallelism() as f64;
         self.charge_compute(agg_sec);
-        self.charge_comm(CommKind::Shuffle, "cpmm-output", moved);
+        self.send(CommKind::Shuffle, "cpmm-output", moved)?;
 
         // Materialise all owned tiles (zeros where no partial contributed).
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
-        let gathered = gathered.into_inner();
         for bi in 0..out_meta.row_blocks {
             for bj in 0..out_meta.col_blocks {
                 let dest = out_scheme.owner(bi, bj, n).expect("rc scheme");
@@ -506,8 +691,8 @@ impl Cluster {
     /// same Row/Column/Broadcast scheme; each worker combines its own tiles
     /// with zero communication.
     pub fn cellwise(&mut self, a: &DistMatrix, b: &DistMatrix, op: CellOp) -> Result<DistMatrix> {
+        self.op_entry(op.name())?;
         self.compat(a, b)?;
-        self.check_all_workers()?;
         if a.scheme() != b.scheme() || a.scheme() == PartitionScheme::Hash {
             return Err(ClusterError::SchemeMismatch {
                 expected: a.scheme(),
@@ -526,7 +711,7 @@ impl Cluster {
         }
         let n = self.config.workers;
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
-        let mut max_worker_sec = 0.0f64;
+        let mut secs = vec![0.0f64; n];
         for w in 0..n {
             let t0 = Instant::now();
             let tasks: Vec<((usize, usize), Arc<Block>)> = a
@@ -549,9 +734,9 @@ impl Cluster {
                 let (k, tile) = r?;
                 stores[w].insert(k, tile);
             }
-            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+            secs[w] = t0.elapsed().as_secs_f64();
         }
-        self.charge_compute(max_worker_sec);
+        self.charge_compute_workers(&secs);
         Ok(DistMatrix::from_parts(*a.meta(), a.scheme(), stores))
     }
 
@@ -562,10 +747,10 @@ impl Cluster {
         m: &DistMatrix,
         f: impl Fn(&Block) -> Block + Sync,
     ) -> Result<DistMatrix> {
-        self.check_all_workers()?;
+        self.op_entry("map")?;
         let n = self.config.workers;
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
-        let mut max_worker_sec = 0.0f64;
+        let mut secs = vec![0.0f64; n];
         for w in 0..n {
             let t0 = Instant::now();
             let tasks: Vec<((usize, usize), Arc<Block>)> = m
@@ -579,9 +764,9 @@ impl Cluster {
             for (k, tile) in results {
                 stores[w].insert(k, tile);
             }
-            max_worker_sec = max_worker_sec.max(t0.elapsed().as_secs_f64());
+            secs[w] = t0.elapsed().as_secs_f64();
         }
-        self.charge_compute(max_worker_sec);
+        self.charge_compute_workers(&secs);
         Ok(DistMatrix::from_parts(*m.meta(), m.scheme(), stores))
     }
 
@@ -589,7 +774,7 @@ impl Cluster {
     /// driver combines the `N` partials (metered as `8·N` shuffle bytes —
     /// scalars, negligible, but kept honest).
     pub fn reduce(&mut self, m: &DistMatrix, kind: ReduceKind) -> Result<f64> {
-        self.check_all_workers()?;
+        self.op_entry("reduce")?;
         let n = self.config.workers;
         let t0 = Instant::now();
         let mut total = 0.0;
@@ -605,8 +790,8 @@ impl Cluster {
                 }
             }
         }
-        self.charge_compute(t0.elapsed().as_secs_f64() / n.max(1) as f64);
-        self.charge_comm(CommKind::Shuffle, "reduce", 8 * n as u64);
+        self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
+        self.send(CommKind::Shuffle, "reduce", 8 * n as u64)?;
         Ok(kind.finish(total))
     }
 }
@@ -879,6 +1064,162 @@ mod tests {
         ));
         cl.heal_worker(1);
         assert!(cl.repartition(&da, PartitionScheme::Col, "a").is_ok());
+    }
+
+    #[test]
+    fn liveness_is_checked_before_scheme_validation() {
+        // The uniform op_entry guard: even when the arguments are invalid
+        // for the primitive, a dead worker must win and surface WorkerLost.
+        let mut cl = cluster(3);
+        let a = sample(6, 6, 3);
+        let da = cl.load(&a, PartitionScheme::Row); // wrong scheme for cpmm
+        let db = cl.load(&a, PartitionScheme::Row);
+        cl.fail_worker(2);
+        assert!(matches!(
+            cl.cpmm(&da, &db, PartitionScheme::Row),
+            Err(ClusterError::WorkerLost(2))
+        ));
+        assert!(matches!(
+            cl.rmm1(&da, &db),
+            Err(ClusterError::WorkerLost(2))
+        ));
+        assert!(matches!(
+            cl.cellwise(&da, &db, CellOp::Add),
+            Err(ClusterError::WorkerLost(2))
+        ));
+        assert!(matches!(
+            cl.reduce(&da, ReduceKind::Sum),
+            Err(ClusterError::WorkerLost(2))
+        ));
+    }
+
+    #[test]
+    fn decommission_remaps_logical_workers_round_robin() {
+        let mut cl = cluster(4);
+        cl.fail_worker(1);
+        let remapped = cl.decommission(1).unwrap();
+        assert_eq!(remapped, vec![1]);
+        // survivors are [0, 2, 3]; logical worker 1 -> survivors[1 % 3] = 2
+        assert_eq!(cl.assignment(), &[0, 2, 2, 3]);
+        assert_eq!(cl.alive_hosts(), vec![0, 2, 3]);
+        assert_eq!(cl.decommissioned_hosts(), vec![1]);
+        // decommissioned hosts cannot heal
+        cl.heal_worker(1);
+        assert!(matches!(cl.check_worker(1), Ok(())), "remapped to host 2");
+        assert!(!cl.alive_hosts().contains(&1));
+        // a second failure remaps onto the remaining two hosts
+        cl.fail_worker(2);
+        let remapped = cl.decommission(2).unwrap();
+        assert_eq!(remapped, vec![1, 2]);
+        assert_eq!(cl.assignment(), &[0, 3, 0, 3]);
+        // workloads still run, keyed on 4 logical workers
+        let m = sample(8, 8, 2);
+        let r = cl.load(&m, PartitionScheme::Row);
+        let c = cl.repartition(&r, PartitionScheme::Col, "m").unwrap();
+        assert_eq!(c.to_blocked().unwrap().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn decommission_of_last_host_is_no_survivors() {
+        let mut cl = cluster(2);
+        cl.decommission(0).unwrap();
+        assert!(matches!(cl.decommission(1), Err(ClusterError::NoSurvivors)));
+    }
+
+    #[test]
+    fn stage_kill_fires_through_begin_stage() {
+        let mut cl = Cluster::with_faults(
+            ClusterConfig {
+                workers: 3,
+                local_threads: 1,
+                network: NetworkModel::default(),
+            },
+            FaultPlan::kill_stage(1, 42).with_victim(2),
+        );
+        let m = sample(6, 6, 2);
+        let r = cl.load(&m, PartitionScheme::Row);
+        cl.begin_stage(0);
+        assert!(cl.repartition(&r, PartitionScheme::Col, "m").is_ok());
+        cl.begin_stage(1);
+        assert!(matches!(
+            cl.broadcast(&r, "m"),
+            Err(ClusterError::WorkerLost(2))
+        ));
+        assert_eq!(
+            cl.fault_log(),
+            &[FaultEvent::StageKill { stage: 1, host: 2 }]
+        );
+        // one-shot: after decommission the replayed stage does not re-kill
+        cl.decommission(2).unwrap();
+        cl.begin_stage(1);
+        assert!(cl.broadcast(&r, "m").is_ok());
+    }
+
+    #[test]
+    fn transient_send_failures_retry_and_meter_wasted_bytes() {
+        let flaky = |prob: f64, attempts: usize| {
+            Cluster::with_faults(
+                ClusterConfig {
+                    workers: 2,
+                    local_threads: 1,
+                    network: NetworkModel::default(),
+                },
+                FaultPlan {
+                    seed: 5,
+                    transient_send_prob: prob,
+                    max_send_attempts: attempts,
+                    ..FaultPlan::default()
+                },
+            )
+        };
+        // always-failing network exhausts the budget
+        let mut cl = flaky(1.0, 3);
+        let m = sample(8, 8, 4);
+        let r = cl.load(&m, PartitionScheme::Row);
+        match cl.repartition(&r, PartitionScheme::Col, "m") {
+            Err(ClusterError::SendFailed { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected SendFailed, got {other:?}"),
+        }
+        assert_eq!(cl.comm().retry_events(), 3);
+        assert!(cl.comm().retry_bytes() > 0);
+        assert_eq!(cl.comm().shuffle_bytes(), 0, "no goodput recorded");
+        // a merely flaky network eventually succeeds, with retries metered
+        let mut cl = flaky(0.5, 16);
+        let r = cl.load(&m, PartitionScheme::Row);
+        let moved_clean = {
+            let mut clean = flaky(0.0, 1);
+            let rc = clean.load(&m, PartitionScheme::Row);
+            clean.repartition(&rc, PartitionScheme::Col, "m").unwrap();
+            clean.comm().shuffle_bytes()
+        };
+        cl.repartition(&r, PartitionScheme::Col, "m").unwrap();
+        assert_eq!(cl.comm().shuffle_bytes(), moved_clean);
+        assert_eq!(
+            cl.comm().retry_events(),
+            cl.fault_log().len(),
+            "every transient failure is logged"
+        );
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_after_decommission() {
+        // The core recovery invariant: remapping logical workers onto
+        // fewer hosts must not change a single result bit, because every
+        // numeric loop is keyed on logical workers.
+        let run = |decommission: bool| {
+            let mut cl = cluster(4);
+            if decommission {
+                cl.fail_worker(1);
+                cl.decommission(1).unwrap();
+            }
+            let a = sample(12, 9, 3);
+            let b = sample(9, 12, 3);
+            let da = cl.load(&a, PartitionScheme::Col);
+            let db = cl.load(&b, PartitionScheme::Row);
+            let c = cl.cpmm(&da, &db, PartitionScheme::Row).unwrap();
+            c.to_blocked().unwrap().to_dense()
+        };
+        assert_eq!(run(false).data(), run(true).data());
     }
 
     #[test]

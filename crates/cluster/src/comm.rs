@@ -16,6 +16,9 @@ pub enum CommKind {
     Shuffle,
     /// One-to-all replication (the `broadcast` extended operator).
     Broadcast,
+    /// Re-fetching durable source data while rebuilding state lost to a
+    /// worker failure (lineage recovery).
+    Recovery,
 }
 
 /// One metered communication step.
@@ -35,6 +38,9 @@ pub struct CommStats {
     events: Vec<CommEvent>,
     shuffle_bytes: u64,
     broadcast_bytes: u64,
+    recovery_bytes: u64,
+    retry_bytes: u64,
+    retry_events: usize,
 }
 
 impl CommStats {
@@ -43,12 +49,21 @@ impl CommStats {
         match kind {
             CommKind::Shuffle => self.shuffle_bytes += bytes,
             CommKind::Broadcast => self.broadcast_bytes += bytes,
+            CommKind::Recovery => self.recovery_bytes += bytes,
         }
         self.events.push(CommEvent {
             kind,
             label: label.into(),
             bytes,
         });
+    }
+
+    /// Record one failed (and retried) send attempt. The bytes crossed the
+    /// wire and were wasted; they are metered separately from the goodput
+    /// counters so retries never distort the per-kind traffic curves.
+    pub fn record_retry(&mut self, bytes: u64) {
+        self.retry_bytes += bytes;
+        self.retry_events += 1;
     }
 
     /// Total bytes moved by shuffles (repartition + CPMM aggregation).
@@ -61,9 +76,25 @@ impl CommStats {
         self.broadcast_bytes
     }
 
-    /// Total bytes moved.
+    /// Bytes re-read from durable sources during lineage recovery.
+    pub fn recovery_bytes(&self) -> u64 {
+        self.recovery_bytes
+    }
+
+    /// Bytes wasted by transient send failures (retried attempts).
+    pub fn retry_bytes(&self) -> u64 {
+        self.retry_bytes
+    }
+
+    /// Number of send attempts that failed transiently and were retried.
+    pub fn retry_events(&self) -> usize {
+        self.retry_events
+    }
+
+    /// Total goodput bytes moved (shuffle + broadcast + recovery; wasted
+    /// retry bytes are excluded — see [`CommStats::retry_bytes`]).
     pub fn total_bytes(&self) -> u64 {
-        self.shuffle_bytes + self.broadcast_bytes
+        self.shuffle_bytes + self.broadcast_bytes + self.recovery_bytes
     }
 
     /// Number of communication steps.
@@ -81,6 +112,9 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         self.shuffle_bytes += other.shuffle_bytes;
         self.broadcast_bytes += other.broadcast_bytes;
+        self.recovery_bytes += other.recovery_bytes;
+        self.retry_bytes += other.retry_bytes;
+        self.retry_events += other.retry_events;
         self.events.extend(other.events.iter().cloned());
     }
 
@@ -89,6 +123,9 @@ impl CommStats {
         self.events.clear();
         self.shuffle_bytes = 0;
         self.broadcast_bytes = 0;
+        self.recovery_bytes = 0;
+        self.retry_bytes = 0;
+        self.retry_events = 0;
     }
 }
 
@@ -100,7 +137,17 @@ impl fmt::Display for CommStats {
             self.shuffle_bytes as f64 / 1e6,
             self.broadcast_bytes as f64 / 1e6,
             self.events.len()
-        )
+        )?;
+        if self.recovery_bytes > 0 || self.retry_events > 0 {
+            write!(
+                f,
+                " (+{:.3} MB recovery, {:.3} MB over {} retries)",
+                self.recovery_bytes as f64 / 1e6,
+                self.retry_bytes as f64 / 1e6,
+                self.retry_events
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -250,6 +297,28 @@ mod tests {
         d.merge(&c);
         assert_eq!(d.total_sec(), 4.0);
         assert_eq!(SimClock::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recovery_and_retry_counters() {
+        let mut s = CommStats::default();
+        s.record(CommKind::Shuffle, "A", 100);
+        s.record(CommKind::Recovery, "refetch(V)", 40);
+        s.record_retry(25);
+        s.record_retry(25);
+        assert_eq!(s.recovery_bytes(), 40);
+        assert_eq!(s.retry_bytes(), 50);
+        assert_eq!(s.retry_events(), 2);
+        assert_eq!(s.total_bytes(), 140, "retries excluded from goodput");
+        let mut t = CommStats::default();
+        t.merge(&s);
+        assert_eq!(t.recovery_bytes(), 40);
+        assert_eq!(t.retry_events(), 2);
+        t.clear();
+        assert_eq!(t.retry_bytes(), 0);
+        assert_eq!(t.recovery_bytes(), 0);
+        let text = s.to_string();
+        assert!(text.contains("recovery"), "{text}");
     }
 
     #[test]

@@ -178,6 +178,24 @@ impl DistMatrix {
         seen.values().sum()
     }
 
+    /// Simulate losing the in-memory state of the given logical workers
+    /// (their physical host died): every tile they held is dropped.
+    /// Returns the bytes lost; a non-zero return means the matrix is no
+    /// longer complete and must be rebuilt through lineage before use.
+    pub fn drop_workers(&mut self, workers: &[usize]) -> u64 {
+        let mut lost = 0u64;
+        for &w in workers {
+            if w >= self.stores.len() {
+                continue;
+            }
+            for tile in self.stores[w].values() {
+                lost += tile.actual_bytes() as u64;
+            }
+            self.stores[w].clear();
+        }
+        lost
+    }
+
     /// Gather every tile into a local [`BlockedMatrix`] (driver-side
     /// collect; used for result extraction and tests).
     pub fn to_blocked(&self) -> Result<BlockedMatrix> {
@@ -414,6 +432,22 @@ mod tests {
         let total: usize = (0..4).map(|w| d.worker_blocks(w).len()).sum();
         assert_eq!(total, 16);
         assert_eq!(d.to_blocked().unwrap().to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn drop_workers_loses_tiles_and_fails_validation() {
+        let m = sample(8, 8, 2); // 4x4 grid
+        let mut d = DistMatrix::from_blocked(&m, PartitionScheme::Row, 4);
+        let before: usize = (0..4).map(|w| d.worker_blocks(w).len()).sum();
+        let lost = d.drop_workers(&[1]);
+        assert!(lost > 0);
+        assert!(d.worker_blocks(1).is_empty());
+        let after: usize = (0..4).map(|w| d.worker_blocks(w).len()).sum();
+        assert_eq!(before - after, 4, "one block-row of tiles gone");
+        assert!(d.validate().is_err(), "incomplete matrix must not validate");
+        // out-of-range and empty drops are no-ops
+        assert_eq!(d.drop_workers(&[1]), 0);
+        assert_eq!(d.drop_workers(&[99]), 0);
     }
 
     #[test]

@@ -30,6 +30,17 @@ pub enum ClusterError {
         /// Right block size.
         right: usize,
     },
+    /// A communication step kept failing transiently and exhausted its
+    /// attempt budget.
+    SendFailed {
+        /// Label of the communication step.
+        label: String,
+        /// Attempts made before giving up.
+        attempts: usize,
+    },
+    /// Every host is failed or decommissioned: nothing left to reassign
+    /// work to.
+    NoSurvivors,
 }
 
 impl fmt::Display for ClusterError {
@@ -50,6 +61,12 @@ impl fmt::Display for ClusterError {
             ClusterError::WorkerLost(w) => write!(f, "worker {w} is down"),
             ClusterError::BlockGridMismatch { left, right } => {
                 write!(f, "block size mismatch: {left} vs {right}")
+            }
+            ClusterError::SendFailed { label, attempts } => {
+                write!(f, "send '{label}' failed after {attempts} attempts")
+            }
+            ClusterError::NoSurvivors => {
+                write!(f, "no surviving hosts to reassign work to")
             }
         }
     }

@@ -23,6 +23,7 @@ pub mod cluster;
 pub mod comm;
 pub mod dist;
 pub mod error;
+pub mod fault;
 pub mod partition;
 pub mod twod;
 
@@ -30,5 +31,6 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use comm::{CommEvent, CommKind, CommStats, NetworkModel, SimClock};
 pub use dist::DistMatrix;
 pub use error::{ClusterError, Result};
+pub use fault::{FaultEvent, FaultInjector, FaultPlan};
 pub use partition::PartitionScheme;
 pub use twod::{summa, Dist2d, ProcessGrid};

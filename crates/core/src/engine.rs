@@ -17,17 +17,33 @@
 //! simulated clock, attributing the deltas to the step's *phase* (the
 //! iteration tag), which yields the per-iteration accumulated curves of
 //! Figure 6.
+//!
+//! ## Fault tolerance
+//!
+//! Every step executes under an attempt loop. When a step fails with
+//! [`WorkerLost`](dmac_cluster::ClusterError::WorkerLost) — whether the
+//! host died at a stage boundary, at primitive entry, or mid-replay — the
+//! engine hands the failure to [`crate::recovery`]: the host is
+//! decommissioned, lost state is rebuilt through plan lineage, and the
+//! step is re-executed, all without caller intervention. Each loss
+//! consumes one attempt from the [`RecoveryPolicy`] budget; exhausting it
+//! surfaces the typed [`CoreError::RecoveryExhausted`]. The bytes and
+//! simulated seconds spent on failed attempts and recovery are excluded
+//! from the per-phase curves and reported separately in
+//! [`ExecReport::recovery`] (they *are* included in the report's total
+//! clock and ledger — failures cost real time).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use dmac_cluster::cluster::{CellOp, ReduceKind};
-use dmac_cluster::{Cluster, CommStats, DistMatrix, PartitionScheme, SimClock};
+use dmac_cluster::{Cluster, ClusterError, CommStats, DistMatrix, PartitionScheme, SimClock};
 use dmac_lang::{BinOp, MatrixId, MatrixOrigin, OpKind, Program, ReduceOp, ScalarId, UnaryOp};
 use dmac_matrix::BlockedMatrix;
 
 use crate::error::{CoreError, Result};
 use crate::plan::{Plan, PlanStep};
+use crate::recovery::{self, RecoveryPolicy, RecoveryStats};
 use crate::stage;
 
 /// Per-phase (per-iteration) statistics.
@@ -60,18 +76,22 @@ impl PhaseStats {
 pub struct ExecReport {
     /// Full communication ledger of the run.
     pub comm: CommStats,
-    /// Simulated clock: measured compute + modelled network time.
+    /// Simulated clock: measured compute + modelled network time
+    /// (including time lost to failures and recovery).
     pub sim: SimClock,
     /// Real wall-clock seconds the simulation took (all workers run
     /// sequentially in-process, so this exceeds `sim` on multi-worker
     /// configs).
     pub wall_sec: f64,
-    /// Statistics per phase tag (index = phase).
+    /// Statistics per phase tag (index = phase); failure/recovery costs
+    /// are excluded (see [`ExecReport::recovery`]).
     pub per_phase: Vec<PhaseStats>,
     /// Number of stages the plan was scheduled into.
     pub stage_count: usize,
     /// The planner's own communication estimate (cost-model units).
     pub planner_estimate: u64,
+    /// What worker failures cost this run (zeroes on a healthy run).
+    pub recovery: RecoveryStats,
 }
 
 impl ExecReport {
@@ -111,11 +131,197 @@ pub fn random_cell(seed: u64, matrix: MatrixId, i: usize, j: usize) -> f64 {
     (z >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Everything immutable a run (and its recovery) needs: the program, the
+/// plan, durable input bindings, and the lineage maps derived from the
+/// plan (which step produces each node; which nodes are sources).
+pub(crate) struct ExecCtx<'a> {
+    pub program: &'a Program,
+    pub plan: &'a Plan,
+    pub bindings: &'a HashMap<MatrixId, DistMatrix>,
+    pub block_size: usize,
+    pub seed: u64,
+    /// `producer[node]` = index of the plan step producing `node`
+    /// (`None` for source nodes).
+    pub producer: Vec<Option<usize>>,
+    /// Source node → matrix id (durable lineage roots).
+    pub sources: HashMap<usize, MatrixId>,
+    /// Stage of each step (for recovery's re-executed-stage accounting).
+    pub step_stage: Vec<usize>,
+}
+
+/// Materialise a source node: clone its durable binding (`load`) or
+/// regenerate it from the recorded seed (`random`). During recovery the
+/// re-read of a binding is metered as [`CommKind::Recovery`]
+/// (dmac_cluster) traffic — durable storage is remote; regeneration is
+/// free.
+pub(crate) fn seed_source(
+    cluster: &mut Cluster,
+    ctx: &ExecCtx<'_>,
+    node: usize,
+    mid: MatrixId,
+    recovering: bool,
+) -> Result<DistMatrix> {
+    let decl = ctx.program.decl(mid)?;
+    let dist = match decl.origin {
+        MatrixOrigin::Load => {
+            let d = ctx
+                .bindings
+                .get(&mid)
+                .cloned()
+                .ok_or_else(|| CoreError::Unbound(decl.name.clone()))?;
+            if recovering {
+                cluster.charge_recovery(format!("refetch({})", decl.name), d.logical_bytes())?;
+            }
+            d
+        }
+        MatrixOrigin::Random => {
+            let m = BlockedMatrix::from_fn(decl.stats.rows, decl.stats.cols, ctx.block_size, |i, j| {
+                random_cell(ctx.seed, mid, i, j)
+            })?;
+            cluster.load(&m, ctx.plan.nodes[node].scheme)
+        }
+        MatrixOrigin::Op(_) => {
+            return Err(CoreError::Engine(format!(
+                "source node for op-produced matrix {mid}"
+            )))
+        }
+    };
+    if dist.rows() != decl.stats.rows || dist.cols() != decl.stats.cols {
+        return Err(CoreError::Engine(format!(
+            "binding for '{}' is {}x{}, declared {}x{}",
+            decl.name,
+            dist.rows(),
+            dist.cols(),
+            decl.stats.rows,
+            decl.stats.cols
+        )));
+    }
+    Ok(dist)
+}
+
+/// Execute one plan step against the current values. State is only
+/// assigned on success, so a step that fails mid-flight (worker loss,
+/// exhausted send retries) can be re-executed after recovery.
+pub(crate) fn exec_step(
+    cluster: &mut Cluster,
+    ctx: &ExecCtx<'_>,
+    step_idx: usize,
+    values: &mut [Option<DistMatrix>],
+    scalars: &mut HashMap<ScalarId, f64>,
+) -> Result<()> {
+    let plan = ctx.plan;
+    let take = |v: &[Option<DistMatrix>], n: usize| -> Result<DistMatrix> {
+        v[n].clone()
+            .ok_or_else(|| CoreError::Engine(format!("node {n} used before definition")))
+    };
+    match &plan.steps[step_idx] {
+        PlanStep::Partition { src, out, .. } => {
+            let m = take(values, *src)?;
+            let target = plan.nodes[*out].scheme;
+            let label = format!("m{}", plan.nodes[*out].matrix);
+            values[*out] = Some(cluster.repartition(&m, target, &label)?);
+        }
+        PlanStep::Broadcast { src, out, .. } => {
+            let m = take(values, *src)?;
+            let label = format!("m{}", plan.nodes[*out].matrix);
+            values[*out] = Some(cluster.broadcast(&m, &label)?);
+        }
+        PlanStep::Transpose { src, out, .. } => {
+            let m = take(values, *src)?;
+            values[*out] = Some(cluster.transpose(&m)?);
+        }
+        PlanStep::Extract { src, out, .. } => {
+            let m = take(values, *src)?;
+            values[*out] = Some(cluster.extract(&m, plan.nodes[*out].scheme)?);
+        }
+        PlanStep::Reference { src, out, .. } => {
+            values[*out] = Some(take(values, *src)?);
+        }
+        PlanStep::Compute {
+            op,
+            strategy,
+            inputs,
+            out,
+            out_scalar,
+            ..
+        } => {
+            let operator = &ctx.program.ops()[*op];
+            let declared = out.map(|n| plan.nodes[n].scheme);
+            let result = run_compute(
+                cluster,
+                &operator.kind,
+                *strategy,
+                inputs,
+                declared,
+                values,
+                scalars,
+            )?;
+            match result {
+                ComputeResult::Matrix(mut m) => {
+                    let node = *out.as_ref().ok_or_else(|| {
+                        CoreError::Engine(format!("operator {op} produced an unexpected matrix"))
+                    })?;
+                    // SystemML-S stores results back into the hash
+                    // cache; reconcile the physical scheme with the
+                    // plan node's declared scheme.
+                    if plan.nodes[node].scheme == PartitionScheme::Hash
+                        && m.scheme() != PartitionScheme::Hash
+                    {
+                        m = cluster.rehash(&m)?;
+                    }
+                    values[node] = Some(m);
+                }
+                ComputeResult::Scalar(v) => {
+                    let sid = out_scalar.ok_or_else(|| {
+                        CoreError::Engine(format!("operator {op} produced an unexpected scalar"))
+                    })?;
+                    scalars.insert(sid, v);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extract the lost host from a recoverable error, if it is one.
+fn worker_lost(e: &CoreError) -> Option<usize> {
+    match e {
+        CoreError::Cluster(ClusterError::WorkerLost(host)) => Some(*host),
+        _ => None,
+    }
+}
+
+/// Snapshot of every byte counter, for attributing deltas.
+#[derive(Clone, Copy)]
+struct CommSnap {
+    shuffle: u64,
+    broadcast: u64,
+    recovery: u64,
+    retry: u64,
+}
+
+impl CommSnap {
+    fn take(cluster: &Cluster) -> CommSnap {
+        let c = cluster.comm();
+        CommSnap {
+            shuffle: c.shuffle_bytes(),
+            broadcast: c.broadcast_bytes(),
+            recovery: c.recovery_bytes(),
+            retry: c.retry_bytes(),
+        }
+    }
+
+    fn all(&self) -> u64 {
+        self.shuffle + self.broadcast + self.recovery + self.retry
+    }
+}
+
 /// Execute `plan` for `program` on `cluster`.
 ///
 /// `bindings` supplies a distributed matrix for every `load` declaration
 /// (by matrix id); `random` declarations are generated deterministically
-/// from `seed`. The cluster's meters are reset at entry.
+/// from `seed`. The cluster's meters are reset at entry. Worker losses
+/// are recovered transparently within `policy`'s attempt budget.
 pub fn execute(
     cluster: &mut Cluster,
     program: &Program,
@@ -124,48 +330,35 @@ pub fn execute(
     block_size: usize,
     seed: u64,
     planner_estimate: u64,
+    policy: &RecoveryPolicy,
 ) -> Result<(ExecReport, RunOutputs)> {
     cluster.reset_meters();
     let wall_start = Instant::now();
     let stages = stage::schedule(plan);
+
+    let mut producer: Vec<Option<usize>> = vec![None; plan.nodes.len()];
+    for (i, step) in plan.steps.iter().enumerate() {
+        if let Some(out) = step.out_node() {
+            producer[out] = Some(i);
+        }
+    }
+    let ctx = ExecCtx {
+        program,
+        plan,
+        bindings,
+        block_size,
+        seed,
+        producer,
+        sources: plan.sources.iter().copied().collect(),
+        step_stage: stages.step_stage.clone(),
+    };
 
     let mut values: Vec<Option<DistMatrix>> = vec![None; plan.nodes.len()];
     let mut scalars: HashMap<ScalarId, f64> = HashMap::new();
 
     // Seed source nodes.
     for &(node, mid) in &plan.sources {
-        let decl = program.decl(mid)?;
-        let dist = match decl.origin {
-            MatrixOrigin::Load => bindings
-                .get(&mid)
-                .cloned()
-                .ok_or_else(|| CoreError::Unbound(decl.name.clone()))?,
-            MatrixOrigin::Random => {
-                let m = BlockedMatrix::from_fn(
-                    decl.stats.rows,
-                    decl.stats.cols,
-                    block_size,
-                    |i, j| random_cell(seed, mid, i, j),
-                )?;
-                cluster.load(&m, plan.nodes[node].scheme)
-            }
-            MatrixOrigin::Op(_) => {
-                return Err(CoreError::Engine(format!(
-                    "source node for op-produced matrix {mid}"
-                )))
-            }
-        };
-        if dist.rows() != decl.stats.rows || dist.cols() != decl.stats.cols {
-            return Err(CoreError::Engine(format!(
-                "binding for '{}' is {}x{}, declared {}x{}",
-                decl.name,
-                dist.rows(),
-                dist.cols(),
-                decl.stats.rows,
-                decl.stats.cols
-            )));
-        }
-        values[node] = Some(dist);
+        values[node] = Some(seed_source(cluster, &ctx, node, mid, false)?);
     }
 
     // Liveness: drop intermediate values once their last consumer has
@@ -194,85 +387,59 @@ pub fn execute(
     }
 
     let mut per_phase: Vec<PhaseStats> = Vec::new();
-    let take = |v: &Vec<Option<DistMatrix>>, n: usize| -> Result<DistMatrix> {
-        v[n].clone()
-            .ok_or_else(|| CoreError::Engine(format!("node {n} used before definition")))
-    };
+    let mut stats = RecoveryStats::default();
+    let mut attempts_left = policy.max_attempts;
+    let mut current_stage = usize::MAX;
 
     for (step_idx, step) in plan.steps.iter().enumerate() {
-        let comm0 = (
-            cluster.comm().shuffle_bytes(),
-            cluster.comm().broadcast_bytes(),
-        );
-        let clock0 = *cluster.clock();
+        let stage = stages.step_stage[step_idx];
+        if stage != current_stage {
+            current_stage = stage;
+            // Stage boundary: the fault plan may take a host down here.
+            // The loss is detected by the next primitive's liveness check.
+            cluster.begin_stage(stage);
+        }
 
-        match step {
-            PlanStep::Partition { src, out, .. } => {
-                let m = take(&values, *src)?;
-                let target = plan.nodes[*out].scheme;
-                let label = format!("m{}", plan.nodes[*out].matrix);
-                values[*out] = Some(cluster.repartition(&m, target, &label)?);
-            }
-            PlanStep::Broadcast { src, out, .. } => {
-                let m = take(&values, *src)?;
-                let label = format!("m{}", plan.nodes[*out].matrix);
-                values[*out] = Some(cluster.broadcast(&m, &label)?);
-            }
-            PlanStep::Transpose { src, out, .. } => {
-                let m = take(&values, *src)?;
-                values[*out] = Some(cluster.transpose(&m)?);
-            }
-            PlanStep::Extract { src, out, .. } => {
-                let m = take(&values, *src)?;
-                values[*out] = Some(cluster.extract(&m, plan.nodes[*out].scheme)?);
-            }
-            PlanStep::Reference { src, out, .. } => {
-                values[*out] = Some(take(&values, *src)?);
-            }
-            PlanStep::Compute {
-                op,
-                strategy,
-                inputs,
-                out,
-                out_scalar,
-                ..
-            } => {
-                let operator = &program.ops()[*op];
-                let declared = out.map(|n| plan.nodes[n].scheme);
-                let result = run_compute(
-                    cluster,
-                    &operator.kind,
-                    *strategy,
-                    inputs,
-                    declared,
-                    &values,
-                    &scalars,
-                )?;
-                match result {
-                    ComputeResult::Matrix(mut m) => {
-                        let node = *out.as_ref().ok_or_else(|| {
-                            CoreError::Engine(format!(
-                                "operator {op} produced an unexpected matrix"
-                            ))
-                        })?;
-                        // SystemML-S stores results back into the hash
-                        // cache; reconcile the physical scheme with the
-                        // plan node's declared scheme.
-                        if plan.nodes[node].scheme == PartitionScheme::Hash
-                            && m.scheme() != PartitionScheme::Hash
-                        {
-                            m = cluster.rehash(&m)?;
+        let mut comm0 = CommSnap::take(cluster);
+        let mut clock0 = *cluster.clock();
+        loop {
+            match exec_step(cluster, &ctx, step_idx, &mut values, &mut scalars) {
+                Ok(()) => break,
+                Err(e) => {
+                    let Some(mut dead) = worker_lost(&e) else {
+                        return Err(e);
+                    };
+                    // Recover, tolerating further losses mid-recovery as
+                    // long as the attempt budget holds.
+                    loop {
+                        stats.worker_failures += 1;
+                        if attempts_left == 0 {
+                            return Err(CoreError::RecoveryExhausted {
+                                worker: dead,
+                                attempts: policy.max_attempts,
+                            });
                         }
-                        values[node] = Some(m);
+                        attempts_left -= 1;
+                        match recovery::recover(
+                            cluster, &ctx, &mut values, &mut scalars, step_idx, dead, &last_use,
+                            &keep, &mut stats,
+                        ) {
+                            Ok(()) => break,
+                            Err(e2) => match worker_lost(&e2) {
+                                Some(h) => dead = h,
+                                None => return Err(e2),
+                            },
+                        }
                     }
-                    ComputeResult::Scalar(v) => {
-                        let sid = out_scalar.ok_or_else(|| {
-                            CoreError::Engine(format!(
-                                "operator {op} produced an unexpected scalar"
-                            ))
-                        })?;
-                        scalars.insert(sid, v);
-                    }
+                    stats.recovery_rounds += 1;
+                    // Charge the failed attempt + recovery work to the
+                    // recovery meters, then re-baseline so the retried
+                    // step's phase attribution stays clean.
+                    let snap = CommSnap::take(cluster);
+                    stats.recovery_bytes += snap.all() - comm0.all();
+                    stats.recovery_sec += cluster.clock().total_sec() - clock0.total_sec();
+                    comm0 = snap;
+                    clock0 = *cluster.clock();
                 }
             }
         }
@@ -290,13 +457,18 @@ pub fn execute(
             per_phase.resize(phase + 1, PhaseStats::default());
         }
         let p = &mut per_phase[phase];
-        p.shuffle_bytes += cluster.comm().shuffle_bytes() - comm0.0;
-        p.broadcast_bytes += cluster.comm().broadcast_bytes() - comm0.1;
+        let snap = CommSnap::take(cluster);
+        p.shuffle_bytes += snap.shuffle - comm0.shuffle;
+        p.broadcast_bytes += snap.broadcast - comm0.broadcast;
         p.compute_sec += cluster.clock().compute_sec() - clock0.compute_sec();
         p.comm_sec += cluster.clock().comm_sec() - clock0.comm_sec();
     }
 
     // Collect outputs.
+    let take = |v: &Vec<Option<DistMatrix>>, n: usize| -> Result<DistMatrix> {
+        v[n].clone()
+            .ok_or_else(|| CoreError::Engine(format!("node {n} used before definition")))
+    };
     let mut outputs = RunOutputs {
         scalars,
         ..Default::default()
@@ -331,6 +503,7 @@ pub fn execute(
         per_phase,
         stage_count: stages.count,
         planner_estimate,
+        recovery: stats,
     };
     Ok((report, outputs))
 }

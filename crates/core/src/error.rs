@@ -20,6 +20,13 @@ pub enum CoreError {
     /// Requested value is not available (expression not part of the last
     /// run's outputs, or no run has happened).
     NoValue(String),
+    /// Worker losses exhausted the configured recovery attempt budget.
+    RecoveryExhausted {
+        /// Host whose loss could not be recovered.
+        worker: usize,
+        /// The attempt budget that was exhausted.
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +39,10 @@ impl fmt::Display for CoreError {
             CoreError::Engine(m) => write!(f, "engine error: {m}"),
             CoreError::Unbound(n) => write!(f, "no binding for input matrix '{n}'"),
             CoreError::NoValue(m) => write!(f, "value unavailable: {m}"),
+            CoreError::RecoveryExhausted { worker, attempts } => write!(
+                f,
+                "lost worker {worker}: recovery budget of {attempts} attempt(s) exhausted"
+            ),
         }
     }
 }

@@ -22,6 +22,9 @@
 //!   communication operators.
 //! * [`engine`] — executes a staged plan on the simulated cluster,
 //!   reporting per-phase compute/communication statistics.
+//! * [`recovery`] — lineage-based stage recovery: worker losses are
+//!   survived by decommissioning the host, remapping its logical workers,
+//!   and deterministically replaying the producing stages of lost state.
 //! * [`baselines`] — the systems DMac is compared against: SystemML-S
 //!   (same runtime, dependency-blind planner), single-node R, and the
 //!   ScaLAPACK / SciDB simulators used for Table 4.
@@ -35,9 +38,11 @@ pub mod error;
 pub mod event;
 pub mod plan;
 pub mod planner;
+pub mod recovery;
 pub mod session;
 pub mod stage;
 pub mod strategy;
 
 pub use error::{CoreError, Result};
+pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use session::Session;

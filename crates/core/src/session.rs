@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use dmac_cluster::{Cluster, ClusterConfig, DistMatrix, NetworkModel, PartitionScheme};
+use dmac_cluster::{Cluster, ClusterConfig, DistMatrix, FaultPlan, NetworkModel, PartitionScheme};
 use dmac_lang::{Expr, MatrixId, MatrixOrigin, Program};
 use dmac_matrix::BlockedMatrix;
 
@@ -23,6 +23,7 @@ use crate::engine::{self, ExecReport};
 use crate::error::{CoreError, Result};
 use crate::plan::Plan;
 use crate::planner::{plan_program, PlannerConfig};
+use crate::recovery::RecoveryPolicy;
 use crate::stage;
 
 /// Builder for [`Session`].
@@ -35,6 +36,8 @@ pub struct SessionBuilder {
     planner: Option<PlannerConfig>,
     block_size: usize,
     seed: u64,
+    fault_plan: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
 }
 
 impl Default for SessionBuilder {
@@ -47,6 +50,8 @@ impl Default for SessionBuilder {
             planner: None,
             block_size: 256,
             seed: 0xD11AC,
+            fault_plan: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -95,6 +100,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Install a deterministic fault-injection plan on the cluster (see
+    /// [`FaultPlan`]). Without one, nothing ever fails.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Worker losses tolerated per run before
+    /// [`CoreError::RecoveryExhausted`] surfaces. Defaults to 3; `0`
+    /// restores fail-fast behaviour.
+    pub fn recovery_attempts(mut self, n: usize) -> Self {
+        self.recovery = RecoveryPolicy::attempts(n);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let (workers, planner) = match self.system {
@@ -104,16 +124,21 @@ impl SessionBuilder {
             // disappears, matching the paper's single-machine baseline.
             SystemKind::RLocal => (1, self.planner.unwrap_or_default()),
         };
+        let mut cluster = Cluster::new(ClusterConfig {
+            workers,
+            local_threads: self.local_threads,
+            network: self.network,
+        });
+        if let Some(plan) = self.fault_plan {
+            cluster.set_fault_plan(plan);
+        }
         Session {
-            cluster: Cluster::new(ClusterConfig {
-                workers,
-                local_threads: self.local_threads,
-                network: self.network,
-            }),
+            cluster,
             planner,
             system: self.system,
             block_size: self.block_size,
             seed: self.seed,
+            recovery: self.recovery,
             env: HashMap::new(),
             last_values: HashMap::new(),
             last_scalars: HashMap::new(),
@@ -130,6 +155,7 @@ pub struct Session {
     system: SystemKind,
     block_size: usize,
     seed: u64,
+    recovery: RecoveryPolicy,
     env: HashMap<String, DistMatrix>,
     last_values: HashMap<MatrixId, DistMatrix>,
     last_scalars: HashMap<dmac_lang::ScalarId, f64>,
@@ -289,6 +315,7 @@ impl Session {
             self.block_size,
             self.seed,
             prep.planned.estimated_comm,
+            &self.recovery,
         )?;
         self.absorb_outputs(&prep.program, outputs);
         self.last_report = Some(report.clone());
@@ -317,6 +344,7 @@ impl Session {
             self.block_size,
             self.seed,
             planned.estimated_comm,
+            &self.recovery,
         )?;
         self.absorb_outputs(program, outputs);
         self.last_report = Some(report.clone());

@@ -17,10 +17,7 @@
 //! * [`row_normalize`] — turn an adjacency matrix into the row-stochastic
 //!   link matrix PageRank needs.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-use dmac_matrix::{BlockedMatrix, Result};
+use dmac_matrix::{BlockedMatrix, Result, SplitMix64};
 
 /// A named graph preset mirroring Table 3 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,14 +81,14 @@ pub fn uniform_sparse(
     block: usize,
     seed: u64,
 ) -> BlockedMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let target = ((rows as f64) * (cols as f64) * sparsity) as usize;
     let mut triplets = Vec::with_capacity(target);
     for _ in 0..target {
         triplets.push((
-            rng.random_range(0..rows),
-            rng.random_range(0..cols),
-            rng.random_range(0.0f64..1.0) + 1e-9,
+            rng.below(rows),
+            rng.below(cols),
+            rng.next_f64() + 1e-9,
         ));
     }
     BlockedMatrix::from_triplets(rows, cols, block, triplets).expect("indices in range")
@@ -99,9 +96,9 @@ pub fn uniform_sparse(
 
 /// Dense random matrix with entries in `[0, 1)`.
 pub fn dense_random(rows: usize, cols: usize, block: usize, seed: u64) -> BlockedMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let data: Vec<f64> = (0..rows * cols)
-        .map(|_| rng.random_range(0.0..1.0))
+        .map(|_| rng.next_f64())
         .collect();
     BlockedMatrix::from_fn(rows, cols, block, |i, j| data[i * cols + j]).expect("block > 0")
 }
@@ -113,15 +110,18 @@ pub fn dense_random(rows: usize, cols: usize, block: usize, seed: u64) -> Blocke
 pub fn netflix_like(users: usize, block: usize, seed: u64) -> BlockedMatrix {
     let movies = (users / 27).max(8);
     let sparsity = 0.0117;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let target = ((users as f64) * (movies as f64) * sparsity) as usize;
     let mut triplets = Vec::with_capacity(target);
+    // Duplicate cells must be skipped, not summed: a user rates a movie
+    // once, and summed ratings would escape the 1..=5 range.
+    let mut seen = std::collections::HashSet::with_capacity(target);
     for _ in 0..target {
-        triplets.push((
-            rng.random_range(0..users),
-            rng.random_range(0..movies),
-            rng.random_range(1..=5) as f64,
-        ));
+        let (u, m) = (rng.below(users), rng.below(movies));
+        let rating = rng.range_inclusive(1, 5) as f64;
+        if seen.insert((u, m)) {
+            triplets.push((u, m, rating));
+        }
     }
     BlockedMatrix::from_triplets(users, movies, block, triplets).expect("indices in range")
 }
@@ -131,7 +131,7 @@ pub fn netflix_like(users: usize, block: usize, seed: u64) -> BlockedMatrix {
 /// Zipf-like distribution, reproducing the skew of the paper's social/web
 /// graphs (the source of the block-size deviations in §6.3).
 pub fn powerlaw_graph(nodes: usize, edges: usize, block: usize, seed: u64) -> BlockedMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Zipf weights w_i = 1 / (i + 1)^0.5 give a heavy-tailed degree
     // distribution while keeping the expected edge count controllable.
     let weights: Vec<f64> = (0..nodes).map(|i| 1.0 / ((i + 1) as f64).sqrt()).collect();
@@ -143,8 +143,8 @@ pub fn powerlaw_graph(nodes: usize, edges: usize, block: usize, seed: u64) -> Bl
         acc += w / total;
         cdf.push(acc);
     }
-    let sample = |rng: &mut StdRng| -> usize {
-        let u: f64 = rng.random_range(0.0..1.0);
+    let sample = |rng: &mut SplitMix64| -> usize {
+        let u: f64 = rng.next_f64();
         match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
             Ok(i) | Err(i) => i.min(nodes - 1),
         }
@@ -152,7 +152,7 @@ pub fn powerlaw_graph(nodes: usize, edges: usize, block: usize, seed: u64) -> Bl
     let mut triplets = Vec::with_capacity(edges);
     for _ in 0..edges {
         let src = sample(&mut rng);
-        let dst = rng.random_range(0..nodes);
+        let dst = rng.below(nodes);
         if src != dst {
             triplets.push((src, dst, 1.0));
         }

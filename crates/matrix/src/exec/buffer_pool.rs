@@ -11,7 +11,7 @@
 //! allocates fresh; a release returns the block for reuse unless the pool is
 //! full, in which case the block is simply dropped.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::dense::DenseBlock;
 
@@ -51,15 +51,15 @@ impl ResultBufferPool {
     /// Acquire a clean `rows × cols` block, recycling a pooled allocation
     /// when available.
     pub fn acquire(&self, rows: usize, cols: usize) -> DenseBlock {
-        let recycled = self.free.lock().pop();
+        let recycled = self.free.lock().expect("pool lock poisoned").pop();
         match recycled {
             Some(mut b) => {
                 b.reset_shape(rows, cols);
-                self.stats.lock().reused += 1;
+                self.stats.lock().expect("pool lock poisoned").reused += 1;
                 b
             }
             None => {
-                self.stats.lock().allocated += 1;
+                self.stats.lock().expect("pool lock poisoned").allocated += 1;
                 DenseBlock::zeros(rows, cols)
             }
         }
@@ -67,23 +67,23 @@ impl ResultBufferPool {
 
     /// Return a block to the pool for reuse.
     pub fn release(&self, block: DenseBlock) {
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().expect("pool lock poisoned");
         if free.len() < self.capacity {
             free.push(block);
-            self.stats.lock().returned += 1;
+            self.stats.lock().expect("pool lock poisoned").returned += 1;
         } else {
-            self.stats.lock().dropped += 1;
+            self.stats.lock().expect("pool lock poisoned").dropped += 1;
         }
     }
 
     /// Snapshot the pool counters.
     pub fn stats(&self) -> PoolStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("pool lock poisoned")
     }
 
     /// Number of blocks currently pooled.
     pub fn pooled(&self) -> usize {
-        self.free.lock().len()
+        self.free.lock().expect("pool lock poisoned").len()
     }
 }
 

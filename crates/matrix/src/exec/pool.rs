@@ -3,11 +3,12 @@
 //!
 //! DMac packages "the meta data of operations which can be executed
 //! independently" into tasks and lets each thread pull from a shared queue.
-//! We reproduce that with a crossbeam channel as the queue and scoped
-//! threads, returning results tagged with their task index so callers can
+//! We reproduce that with a mutex-guarded queue drained by `std::thread`
+//! scoped workers (no external crates — the workspace builds offline),
+//! returning results tagged with their task index so callers can
 //! reassemble ordered output.
 
-use crossbeam::channel;
+use std::sync::Mutex;
 
 /// Run `tasks` on `threads` worker threads, applying `f` to each.
 ///
@@ -28,38 +29,32 @@ where
     if threads <= 1 || n == 1 {
         return tasks.into_iter().map(f).collect();
     }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for item in tasks.into_iter().enumerate() {
-        task_tx.send(item).expect("queue open");
-    }
-    drop(task_tx);
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
     let workers = threads.min(n);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            s.spawn(move |_| {
-                while let Ok((idx, t)) = task_rx.recv() {
-                    // A panic inside `f` propagates out of the scope; the
-                    // channel disconnects and other workers drain and stop.
-                    let r = f(t);
-                    if res_tx.send((idx, r)).is_err() {
-                        break;
-                    }
-                }
+            s.spawn(|| loop {
+                // Pull the next task under the queue lock, then release the
+                // lock before running `f` so workers execute concurrently.
+                let next = queue.lock().expect("queue poisoned").next();
+                let Some((idx, t)) = next else { break };
+                // A panic inside `f` propagates out of the scope; other
+                // workers finish their current task and the scope re-panics.
+                let r = f(t);
+                *results[idx].lock().expect("result slot poisoned") = Some(r);
             });
         }
-        drop(res_tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((idx, r)) = res_rx.recv() {
-            out[idx] = Some(r);
-        }
-        out.into_iter().map(|r| r.expect("all tasks ran")).collect()
-    })
-    .expect("worker thread panicked")
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("all tasks ran")
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub mod dense;
 pub mod error;
 pub mod exec;
 pub mod mem;
+pub mod rng;
 
 pub use block::Block;
 pub use blocked::BlockedMatrix;
@@ -44,6 +45,7 @@ pub use csc::CscBlock;
 pub use dense::DenseBlock;
 pub use error::{MatrixError, Result};
 pub use exec::{AggregationMode, LocalExecutor};
+pub use rng::SplitMix64;
 
 /// Relative tolerance used by the test helpers when comparing floating-point
 /// matrices produced by different execution orders.

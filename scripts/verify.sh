@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repo verification: offline build, full test suite, and a deterministic
+# fault-recovery smoke test. Exits non-zero on the first failure.
+#
+# Everything here must work without network or registry access — the
+# workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (offline)"
+cargo build --release --workspace --bins --benches
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> fault-recovery smoke (seeded mid-run kill, GNMF)"
+cargo run --release -q -p dmac-bench --bin faults > /dev/null
+
+echo "==> deterministic failure schedule (fixed seed, twice)"
+cargo test -q --test failure_injection fault_schedule_and_results_are_seed_deterministic
+
+echo "verify: OK"

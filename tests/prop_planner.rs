@@ -3,21 +3,27 @@
 //! equal the straight-line local reference, the plan's stage schedule must
 //! satisfy its invariant, and DMac's plan must never use more
 //! communication steps than SystemML-S's.
+//!
+//! Randomness comes from the in-tree [`SplitMix64`] generator with fixed
+//! seeds, so every case is reproducible: a failure message names the case
+//! seed, which can be pinned as an explicit regression test (see
+//! `regression_scale_then_square_single_worker` below).
 
 mod common;
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use common::{assert_matrix_eq, eval_reference};
 use dmac::core::baselines::SystemKind;
 use dmac::core::planner::{plan_program, PlannerConfig};
 use dmac::core::{stage, Session};
 use dmac::lang::{Expr, Program};
-use dmac::matrix::BlockedMatrix;
+use dmac::matrix::{BlockedMatrix, SplitMix64};
 
 const BLOCK: usize = 4;
+/// Base seed for the deterministic random search; per-test streams are
+/// forked by xor so the suites draw independent cases.
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Shape vocabulary: all dims divide into 4-blocks unevenly on purpose.
 const DIMS: [usize; 3] = [6, 10, 14];
 
@@ -31,9 +37,17 @@ struct OpPick {
     t2: bool,
 }
 
-fn op_pick() -> impl Strategy<Value = OpPick> {
-    (0u8..7, 0usize..64, 0usize..64, any::<bool>(), any::<bool>())
-        .prop_map(|(kind, a, b, t1, t2)| OpPick { kind, a, b, t1, t2 })
+fn op_picks(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<OpPick> {
+    let count = rng.range_inclusive(min, max);
+    (0..count)
+        .map(|_| OpPick {
+            kind: rng.below(7) as u8,
+            a: rng.below(64),
+            b: rng.below(64),
+            t1: rng.chance(0.5),
+            t2: rng.chance(0.5),
+        })
+        .collect()
 }
 
 /// Build a valid straight-line program from random picks: each pick is
@@ -93,63 +107,99 @@ fn bindings() -> HashMap<String, BlockedMatrix> {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Distributed execution of a random program equals the local
-    /// reference interpreter under every system and worker count.
-    #[test]
-    fn random_programs_execute_correctly(
-        picks in proptest::collection::vec(op_pick(), 1..12),
-        workers in 1usize..5,
-        system_idx in 0usize..3,
-    ) {
-        let (program, out) = build_program(&picks);
-        let binds = bindings();
-        let expect = eval_reference(&program, &binds, &HashMap::new());
-        let system = [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal][system_idx];
-        let mut s = Session::builder()
-            .system(system)
-            .workers(workers)
-            .local_threads(2)
-            .block_size(BLOCK)
-            .build();
-        for (name, m) in &binds {
-            s.bind(name, m.clone()).unwrap();
-        }
-        s.run(&program).unwrap();
-        let got = s.value(out).unwrap();
-        let reference = if out.transposed {
-            expect[&out.id].transpose()
-        } else {
-            expect[&out.id].clone()
-        };
-        assert_matrix_eq(&got, &reference, 1e-7, "random program output");
+/// Run one generated program on one system/worker-count and compare with
+/// the local reference interpreter.
+fn check_execution(picks: &[OpPick], workers: usize, system: SystemKind, label: &str) {
+    let (program, out) = build_program(picks);
+    let binds = bindings();
+    let expect = eval_reference(&program, &binds, &HashMap::new());
+    let mut s = Session::builder()
+        .system(system)
+        .workers(workers)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .build();
+    for (name, m) in &binds {
+        s.bind(name, m.clone()).unwrap();
     }
+    s.run(&program).unwrap();
+    let got = s.value(out).unwrap();
+    let reference = if out.transposed {
+        expect[&out.id].transpose()
+    } else {
+        expect[&out.id].clone()
+    };
+    assert_matrix_eq(&got, &reference, 1e-7, label);
+}
 
-    /// Every generated plan's stage schedule satisfies the §5.2 invariant:
-    /// communication only at stage boundaries.
-    #[test]
-    fn random_plans_stage_cleanly(picks in proptest::collection::vec(op_pick(), 1..16)) {
+/// Distributed execution of a random program equals the local reference
+/// interpreter under every system and worker count.
+#[test]
+fn random_programs_execute_correctly() {
+    let mut rng = SplitMix64::new(SEED ^ 0);
+    for case in 0..48 {
+        let picks = op_picks(&mut rng, 1, 11);
+        let workers = rng.range_inclusive(1, 4);
+        let system = [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal]
+            [rng.below(3)];
+        check_execution(
+            &picks,
+            workers,
+            system,
+            &format!("random program case {case} ({system:?}, {workers}w)"),
+        );
+    }
+}
+
+/// Recorded regression (found by the random search above): a scale
+/// feeding a self-multiply, re-scaled transposed, on a single worker.
+#[test]
+fn regression_scale_then_square_single_worker() {
+    let picks = [
+        OpPick { kind: 5, a: 0, b: 0, t1: false, t2: false },
+        OpPick { kind: 0, a: 0, b: 0, t1: false, t2: false },
+        OpPick { kind: 0, a: 0, b: 0, t1: false, t2: false },
+        OpPick { kind: 5, a: 0, b: 0, t1: true, t2: false },
+    ];
+    check_execution(&picks, 1, SystemKind::Dmac, "regression: scale/square");
+}
+
+/// Every generated plan's stage schedule satisfies the §5.2 invariant:
+/// communication only at stage boundaries.
+#[test]
+fn random_plans_stage_cleanly() {
+    let mut rng = SplitMix64::new(SEED ^ 1);
+    for case in 0..64 {
+        let picks = op_picks(&mut rng, 1, 15);
         let (program, _) = build_program(&picks);
         for cfg in [PlannerConfig::default(), PlannerConfig::systemml_s()] {
             let planned = plan_program(&program, &cfg, 4, &HashMap::new()).unwrap();
             let stages = stage::schedule(&planned.plan);
-            prop_assert!(stage::validate(&planned.plan, &stages).is_ok());
-            prop_assert!(planned.plan.nodes.iter().all(|n| !n.flexible));
+            assert!(
+                stage::validate(&planned.plan, &stages).is_ok(),
+                "case {case}: stage invariant violated"
+            );
+            assert!(
+                planned.plan.nodes.iter().all(|n| !n.flexible),
+                "case {case}: flexible node survived planning"
+            );
         }
     }
+}
 
-    /// Dependency exploitation never plans more communication steps than
-    /// the dependency-blind baseline on the same program.
-    #[test]
-    fn dmac_never_plans_more_comm_steps(picks in proptest::collection::vec(op_pick(), 1..16)) {
+/// Dependency exploitation never plans more communication steps than the
+/// dependency-blind baseline on the same program.
+#[test]
+fn dmac_never_plans_more_comm_steps() {
+    let mut rng = SplitMix64::new(SEED ^ 2);
+    for case in 0..64 {
+        let picks = op_picks(&mut rng, 1, 15);
         let (program, _) = build_program(&picks);
         let dmac = plan_program(&program, &PlannerConfig::default(), 4, &HashMap::new()).unwrap();
         let sysml = plan_program(&program, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap();
-        prop_assert!(
+        assert!(
             dmac.plan.comm_step_count() <= sysml.plan.comm_step_count(),
-            "dmac {} > sysml {}",
+            "case {case}: dmac {} > sysml {}",
             dmac.plan.comm_step_count(),
             sysml.plan.comm_step_count()
         );
