@@ -189,6 +189,63 @@ mod tests {
         );
     }
 
+    /// GNMF's plan exercises every primitive the flight recorder knows:
+    /// partitions, broadcasts, CPMM, the RMM variants, and cell-wise
+    /// work. The sparse input makes `|A|` a worst-case bound rather than
+    /// exact, but the model must never *undershoot* on the dense
+    /// intermediates, and the trace totals must stay internally
+    /// consistent with the planner's estimate.
+    #[test]
+    fn trace_covers_all_primitives_and_predictions_sum() {
+        let cfg = tiny();
+        let mut session = Session::builder()
+            .workers(4)
+            .local_threads(1)
+            .block_size(8)
+            .seed(77)
+            .build();
+        let v = dmac_data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+        let (report, _) = cfg.run(&mut session, v).unwrap();
+        let trace = &report.trace;
+        assert_eq!(trace.predicted_total(), report.planner_estimate);
+        assert_eq!(trace.stage_count, report.stage_count);
+        assert_eq!(trace.workers, 4);
+        let kinds: std::collections::HashSet<&str> =
+            trace.steps.iter().map(|s| s.kind.as_str()).collect();
+        for expected in ["partition", "broadcast", "transpose", "CPMM"] {
+            assert!(kinds.contains(expected), "trace missing {expected}: {kinds:?}");
+        }
+        // Dense intermediates (the factors and their products) conform
+        // exactly; only the sparse V load may deviate from worst case,
+        // and CPMM sits at or below its N·|AB| bound (here the shared
+        // dimension splits into fewer blocks than workers, so fewer than
+        // N partials actually ship).
+        for t in &trace.steps {
+            if t.label.starts_with("V(") {
+                continue;
+            }
+            if t.kind == "CPMM" {
+                assert!(
+                    t.actual_bytes <= t.predicted_bytes,
+                    "step {} (CPMM {}): {} exceeds the N·|AB| bound {}",
+                    t.step,
+                    t.label,
+                    t.actual_bytes,
+                    t.predicted_bytes
+                );
+            } else {
+                assert_eq!(
+                    t.predicted_bytes, t.actual_bytes,
+                    "step {} ({} {}) on dense data must conform",
+                    t.step, t.kind, t.label
+                );
+            }
+        }
+        // Per-worker traffic is recorded and sums to the wire total.
+        let sent: u64 = trace.sent_per_worker().iter().sum();
+        assert_eq!(sent, trace.wire_total());
+    }
+
     #[test]
     fn iterations_reduce_reconstruction_error() {
         let cfg = Gnmf {

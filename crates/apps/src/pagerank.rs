@@ -166,6 +166,49 @@ mod tests {
         );
     }
 
+    /// With a fully dense link matrix the cost model's worst-case sizes
+    /// are exact, so the flight recorder must show every step's measured
+    /// bytes equal to the planner's prediction — and the per-iteration
+    /// broadcast of the rank vector at `N·|rank|`.
+    #[test]
+    fn dense_run_conforms_to_cost_model_exactly() {
+        let cfg = PageRank {
+            nodes: 32,
+            link_sparsity: 1.0,
+            damping: 0.85,
+            iterations: 2,
+        };
+        let adj = BlockedMatrix::from_fn(cfg.nodes, cfg.nodes, 8, |_, _| 1.0).unwrap();
+        let mut s = Session::builder()
+            .workers(4)
+            .local_threads(1)
+            .block_size(8)
+            .seed(5)
+            .build();
+        let (report, _) = cfg.run(&mut s, &adj).unwrap();
+        let trace = &report.trace;
+        for c in trace.conformance() {
+            assert_eq!(
+                c.predicted, c.actual,
+                "step {} ({} {}) must conform",
+                c.step, c.kind, c.label
+            );
+        }
+        assert_eq!(trace.predicted_total(), report.planner_estimate);
+        let rank_bytes = 8 * cfg.nodes as u64;
+        let broadcasts: Vec<u64> = trace
+            .steps
+            .iter()
+            .filter(|t| t.kind == "broadcast")
+            .map(|t| t.predicted_bytes)
+            .collect();
+        assert_eq!(
+            broadcasts,
+            vec![4 * rank_bytes; cfg.iterations],
+            "one N·|rank| broadcast per iteration"
+        );
+    }
+
     #[test]
     fn ranks_stay_positive_and_bounded() {
         let cfg = tiny();

@@ -1,0 +1,114 @@
+//! Flight-recorder demo + cost-model conformance gate.
+//!
+//! Runs two workloads with the execution tracer on:
+//!
+//! 1. **Dense PageRank** — every matrix is fully dense, so the planner's
+//!    Table 2 worst-case byte formulas (`0` / `|A|` / `N·|A|`) are exact.
+//!    The per-step `(predicted, actual)` pairs must match byte-for-byte;
+//!    any step whose measured bytes exceed its prediction fails the run
+//!    (non-zero exit). `scripts/verify.sh` runs this binary as its
+//!    trace-conformance step.
+//! 2. **Sparse GNMF** — the realistic case: `|A|` is a worst-case density
+//!    estimate, so measured bytes sit at or below prediction per step,
+//!    with CSC index overhead visible where sparse tiles ship. Reported
+//!    for inspection, not gated.
+//!
+//! Both traces are exported as chrome://tracing JSON under
+//! `target/traces/` (open in chrome://tracing or https://ui.perfetto.dev).
+
+use dmac_apps::{Gnmf, PageRank};
+use dmac_bench::{fmt_bytes, header, write_trace};
+use dmac_core::Session;
+use dmac_matrix::BlockedMatrix;
+
+fn session(workers: usize, block: usize) -> Session {
+    Session::builder()
+        .workers(workers)
+        .local_threads(2)
+        .block_size(block)
+        .seed(17)
+        .build()
+}
+
+fn main() {
+    let mut failed = false;
+
+    header("Trace conformance — dense PageRank (Table 2 formulas exact)");
+    let cfg = PageRank {
+        nodes: 64,
+        link_sparsity: 1.0,
+        damping: 0.85,
+        iterations: 3,
+    };
+    let adj = BlockedMatrix::from_fn(cfg.nodes, cfg.nodes, 8, |_, _| 1.0).unwrap();
+    let mut s = session(4, 8);
+    let (report, _) = cfg.run(&mut s, &adj).expect("pagerank run");
+    let trace = &report.trace;
+    print!("{}", trace.conformance_table());
+    println!(
+        "planner estimate {} vs trace predicted {} vs actual {}",
+        fmt_bytes(report.planner_estimate),
+        fmt_bytes(trace.predicted_total()),
+        fmt_bytes(trace.actual_total()),
+    );
+    let over = trace.overshoots();
+    if trace.predicted_total() != report.planner_estimate {
+        println!(
+            "FAIL: per-step predictions ({}) do not sum to the planner estimate ({})",
+            trace.predicted_total(),
+            report.planner_estimate
+        );
+        failed = true;
+    }
+    if !over.is_empty() {
+        for t in &over {
+            println!(
+                "FAIL: step {} ({} {}) measured {} > predicted {}",
+                t.step, t.kind, t.label, t.actual_bytes, t.predicted_bytes
+            );
+        }
+        failed = true;
+    }
+    if trace.actual_total() != trace.predicted_total() {
+        println!(
+            "FAIL: dense run must conform exactly: actual {} != predicted {}",
+            trace.actual_total(),
+            trace.predicted_total()
+        );
+        failed = true;
+    }
+    match write_trace("pagerank_dense", trace) {
+        Ok(p) => println!("trace written to {}", p.display()),
+        Err(e) => println!("trace export skipped: {e}"),
+    }
+
+    header("Trace — sparse GNMF (worst-case model, report only)");
+    let cfg = Gnmf {
+        rows: 256,
+        cols: 128,
+        sparsity: 0.05,
+        rank: 8,
+        iterations: 2,
+    };
+    let v = dmac_data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 32, 5);
+    let mut s = session(4, 32);
+    let (report, _) = cfg.run(&mut s, v).expect("gnmf run");
+    let trace = &report.trace;
+    print!("{}", trace.conformance_table());
+    println!(
+        "pool: {} hits / {} misses, {} outstanding",
+        trace.pool.hits(),
+        trace.pool.misses(),
+        trace.pool.outstanding()
+    );
+    match write_trace("gnmf_sparse", trace) {
+        Ok(p) => println!("trace written to {}", p.display()),
+        Err(e) => println!("trace export skipped: {e}"),
+    }
+
+    if failed {
+        println!("\ntrace conformance FAILED");
+        std::process::exit(1);
+    }
+    println!("\ntrace conformance OK");
+}

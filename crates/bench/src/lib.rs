@@ -91,6 +91,16 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, t0.elapsed().as_secs_f64())
 }
 
+/// Write a flight-recorder trace as chrome://tracing JSON under
+/// `target/traces/<name>.json`, returning the path written.
+pub fn write_trace(name: &str, trace: &dmac_core::Trace) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("traces");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, trace.to_chrome_json())?;
+    Ok(path)
+}
+
 /// Dependency-free micro-benchmark harness used by the `benches/` targets
 /// (which run with `harness = false`): calibrates an iteration count from
 /// one warm-up call, reports the median of the timed runs. Deliberately

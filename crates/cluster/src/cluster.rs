@@ -32,7 +32,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
-use dmac_matrix::exec::{run_tasks, ResultBufferPool};
+use dmac_matrix::exec::{run_tasks, PoolStats, ResultBufferPool};
 use dmac_matrix::{Block, BlockedMatrix, CscBlock, DenseBlock};
 
 use crate::comm::{CommKind, CommStats, NetworkModel, SimClock};
@@ -40,6 +40,7 @@ use crate::dist::{DistMatrix, GridMeta};
 use crate::error::{ClusterError, Result};
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan};
 use crate::partition::PartitionScheme;
+use crate::trace::{OpSpan, TraceBuffer};
 
 /// Static configuration of a simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +90,14 @@ pub struct Cluster {
     assignment: Vec<usize>,
     faults: FaultInjector,
     pool: ResultBufferPool,
+    tracer: TraceBuffer,
+}
+
+/// Snapshot taken when a primitive starts, closed into an [`OpSpan`].
+struct SpanStart {
+    sim0: f64,
+    wall0: Instant,
+    pool0: PoolStats,
 }
 
 impl Cluster {
@@ -103,6 +112,7 @@ impl Cluster {
             assignment: (0..config.workers).collect(),
             faults: FaultInjector::disabled(),
             pool: ResultBufferPool::new(2 * config.local_threads),
+            tracer: TraceBuffer::new(),
         }
     }
 
@@ -134,10 +144,110 @@ impl Cluster {
         &self.clock
     }
 
-    /// Reset meters (between benchmark iterations).
+    /// Reset meters (between benchmark iterations). Drops recorded spans;
+    /// buffer-pool statistics are cumulative and survive (the pool itself
+    /// is a process-lifetime resource).
     pub fn reset_meters(&mut self) {
         self.comm.clear();
         self.clock = SimClock::default();
+        self.tracer.clear();
+    }
+
+    /// Flight-recorder spans recorded since the last [`Cluster::reset_meters`].
+    pub fn spans(&self) -> &[OpSpan] {
+        self.tracer.spans()
+    }
+
+    /// Number of spans recorded so far (cheap high-water mark for callers
+    /// that want to slice the buffer per plan step).
+    pub fn span_count(&self) -> usize {
+        self.tracer.len()
+    }
+
+    /// Re-flag every span from index `from` onward as recovery traffic
+    /// (a failed attempt's partial work is superseded by recovery).
+    pub fn mark_spans_recovery(&mut self, from: usize) {
+        self.tracer.mark_recovery_from(from);
+    }
+
+    /// Enter / leave recovery mode: spans recorded while the flag is set
+    /// are attributed to recovery, not steady-state execution.
+    pub fn set_recovery_mode(&mut self, on: bool) {
+        self.tracer.set_recovery_mode(on);
+    }
+
+    /// Cumulative result-buffer-pool statistics (hits = `reused`,
+    /// misses = `allocated`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Record an externally-measured span (used by accounting-level paths
+    /// such as the 2D/SUMMA comparison module, which charge aggregate
+    /// traffic rather than running a metered primitive).
+    pub fn record_span(
+        &mut self,
+        op: &'static str,
+        label: impl Into<String>,
+        wire_bytes: u64,
+        event_bytes: u64,
+        blocks: usize,
+    ) {
+        let now = self.clock.total_sec();
+        let n = self.config.workers;
+        self.tracer.record(OpSpan {
+            op,
+            label: label.into(),
+            start_sec: now,
+            end_sec: now,
+            wire_bytes,
+            event_bytes,
+            sent: vec![0; n],
+            received: vec![0; n],
+            blocks,
+            ..OpSpan::default()
+        });
+    }
+
+    /// Open a span at the current clocks / pool counters.
+    fn span_open(&self) -> SpanStart {
+        SpanStart {
+            sim0: self.clock.total_sec(),
+            wall0: Instant::now(),
+            pool0: self.pool.stats(),
+        }
+    }
+
+    /// Close a span opened by [`Cluster::span_open`] and record it.
+    #[allow(clippy::too_many_arguments)]
+    fn span_close(
+        &mut self,
+        st: SpanStart,
+        op: &'static str,
+        label: String,
+        wire_bytes: u64,
+        event_bytes: u64,
+        io: Option<(Vec<u64>, Vec<u64>)>,
+        blocks: usize,
+    ) {
+        let p1 = self.pool.stats();
+        let n = self.config.workers;
+        let (sent, received) = io.unwrap_or_else(|| (vec![0; n], vec![0; n]));
+        self.tracer.record(OpSpan {
+            op,
+            label,
+            start_sec: st.sim0,
+            end_sec: self.clock.total_sec(),
+            wall_sec: st.wall0.elapsed().as_secs_f64(),
+            wire_bytes,
+            event_bytes,
+            sent,
+            received,
+            blocks,
+            pool_reused: p1.reused.saturating_sub(st.pool0.reused),
+            pool_allocated: p1.allocated.saturating_sub(st.pool0.allocated),
+            recovery: false,
+        });
     }
 
     /// Install (or replace) a fault plan; resets the injector's stream and
@@ -302,8 +412,28 @@ impl Cluster {
     }
 
     /// Meter the re-read of durable source data during lineage recovery.
+    /// Always recorded as a recovery span, whatever the current mode.
     pub fn charge_recovery(&mut self, label: impl Into<String>, bytes: u64) -> Result<()> {
-        self.send(CommKind::Recovery, label, bytes)
+        let st = self.span_open();
+        let label = label.into();
+        self.send(CommKind::Recovery, label.clone(), bytes)?;
+        let n = self.config.workers;
+        self.tracer.record(OpSpan {
+            op: "refetch",
+            label,
+            start_sec: st.sim0,
+            end_sec: self.clock.total_sec(),
+            wall_sec: st.wall0.elapsed().as_secs_f64(),
+            wire_bytes: bytes,
+            event_bytes: bytes,
+            sent: vec![0; n],
+            received: vec![0; n],
+            blocks: 0,
+            pool_reused: 0,
+            pool_allocated: 0,
+            recovery: true,
+        });
+        Ok(())
     }
 
     /// Charge measured local compute seconds (max across workers of a step).
@@ -354,6 +484,7 @@ impl Cluster {
         label: &str,
     ) -> Result<DistMatrix> {
         self.op_entry("partition")?;
+        let st = self.span_open();
         if !target.is_rc() {
             return Err(ClusterError::SchemeMismatch {
                 expected: PartitionScheme::Row,
@@ -362,25 +493,42 @@ impl Cluster {
             });
         }
         if m.scheme() == target {
+            // No event: the requirement is already satisfied (cost 0).
+            self.span_close(st, "partition", format!("{label} (noop)"), 0, 0, None, 0);
             return Ok(m.clone());
         }
         if m.scheme() == PartitionScheme::Broadcast {
-            // Everything is already everywhere: a pure filter.
-            return m.extract_local(target);
+            // Everything is already everywhere: a pure filter (cost 0).
+            let out = m.extract_local(target)?;
+            let blocks = out.tile_count();
+            self.span_close(st, "partition", format!("{label} (extract)"), 0, 0, None, blocks);
+            return Ok(out);
         }
         let n = self.config.workers;
         let mut moved: u64 = 0;
+        let mut blocks = 0usize;
+        let mut sent = vec![0u64; n];
+        let mut received = vec![0u64; n];
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for (&(bi, bj), tile) in m.worker_blocks(w) {
                 let dest = target.owner(bi, bj, n).expect("rc target");
                 if dest != w {
-                    moved += tile.actual_bytes() as u64;
+                    let b = tile.actual_bytes() as u64;
+                    moved += b;
+                    sent[w] += b;
+                    received[dest] += b;
                 }
+                blocks += 1;
                 stores[dest].insert((bi, bj), Arc::clone(tile));
             }
         }
         self.send(CommKind::Shuffle, format!("partition({label})"), moved)?;
+        // The partition *event* re-keys every tile of `m` (Table 2 charges
+        // |A|); the wire only carries the tiles that change owner.
+        let event = m.logical_bytes();
+        let io = Some((sent, received));
+        self.span_close(st, "partition", label.to_string(), moved, event, io, blocks);
         Ok(DistMatrix::from_parts(*m.meta(), target, stores))
     }
 
@@ -388,11 +536,16 @@ impl Cluster {
     /// Each worker must receive the tiles it does not already hold.
     pub fn broadcast(&mut self, m: &DistMatrix, label: &str) -> Result<DistMatrix> {
         self.op_entry("broadcast")?;
+        let st = self.span_open();
         if m.scheme() == PartitionScheme::Broadcast {
+            self.span_close(st, "broadcast", format!("{label} (noop)"), 0, 0, None, 0);
             return Ok(m.clone());
         }
         let n = self.config.workers;
         let mut moved: u64 = 0;
+        let mut blocks = 0usize;
+        let mut sent = vec![0u64; n];
+        let mut received = vec![0u64; n];
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for src in 0..n {
@@ -401,13 +554,22 @@ impl Cluster {
                         continue;
                     }
                     if src != w {
-                        moved += tile.actual_bytes() as u64;
+                        let b = tile.actual_bytes() as u64;
+                        moved += b;
+                        sent[src] += b;
+                        received[w] += b;
                     }
+                    blocks += 1;
                     stores[w].insert(k, Arc::clone(tile));
                 }
             }
         }
         self.send(CommKind::Broadcast, format!("broadcast({label})"), moved)?;
+        // The broadcast *event* replicates `m` on all N workers (Table 2
+        // charges N·|A|); the wire skips the share each source already has.
+        let event = (n as u64) * m.logical_bytes();
+        let io = Some((sent, received));
+        self.span_close(st, "broadcast", label.to_string(), moved, event, io, blocks);
         Ok(DistMatrix::from_parts(
             *m.meta(),
             PartitionScheme::Broadcast,
@@ -423,19 +585,23 @@ impl Cluster {
     /// DESIGN.md.
     pub fn rehash(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
         self.op_entry("rehash")?;
+        let st = self.span_open();
         if m.scheme() == PartitionScheme::Hash {
             return Ok(m.clone());
         }
         let n = self.config.workers;
+        let mut blocks = 0usize;
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for (&(bi, bj), tile) in m.worker_blocks(w) {
                 let dest = PartitionScheme::Hash.owner(bi, bj, n).expect("hash owner");
+                blocks += 1;
                 stores[dest]
                     .entry((bi, bj))
                     .or_insert_with(|| Arc::clone(tile));
             }
         }
+        self.span_close(st, "rehash", String::new(), 0, 0, None, blocks);
         Ok(DistMatrix::from_parts(
             *m.meta(),
             PartitionScheme::Hash,
@@ -446,16 +612,23 @@ impl Cluster {
     /// The `transpose` extended operator: local, free.
     pub fn transpose(&mut self, m: &DistMatrix) -> Result<DistMatrix> {
         self.op_entry("transpose")?;
+        let st = self.span_open();
         let t0 = Instant::now();
         let out = m.transpose_local();
         self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
+        let blocks = out.tile_count();
+        self.span_close(st, "transpose", String::new(), 0, 0, None, blocks);
         Ok(out)
     }
 
     /// The `extract` extended operator: local, free.
     pub fn extract(&mut self, m: &DistMatrix, target: PartitionScheme) -> Result<DistMatrix> {
         self.op_entry("extract")?;
-        m.extract_local(target)
+        let st = self.span_open();
+        let out = m.extract_local(target)?;
+        let blocks = out.tile_count();
+        self.span_close(st, "extract", String::new(), 0, 0, None, blocks);
+        Ok(out)
     }
 
     /// RMM1 (Figure 2): `A(b) × B(c) → AB(c)`. No communication during
@@ -463,19 +636,27 @@ impl Cluster {
     /// block-columns of `B`.
     pub fn rmm1(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
         self.op_entry("rmm1")?;
+        let st = self.span_open();
         self.compat(a, b)?;
         self.require(a, PartitionScheme::Broadcast, "rmm1")?;
         self.require(b, PartitionScheme::Col, "rmm1")?;
-        self.mm_local(a, b, PartitionScheme::Col)
+        let out = self.mm_local(a, b, PartitionScheme::Col)?;
+        let blocks = out.tile_count();
+        self.span_close(st, "rmm1", String::new(), 0, 0, None, blocks);
+        Ok(out)
     }
 
     /// RMM2 (Figure 2): `A(r) × B(b) → AB(r)`.
     pub fn rmm2(&mut self, a: &DistMatrix, b: &DistMatrix) -> Result<DistMatrix> {
         self.op_entry("rmm2")?;
+        let st = self.span_open();
         self.compat(a, b)?;
         self.require(a, PartitionScheme::Row, "rmm2")?;
         self.require(b, PartitionScheme::Broadcast, "rmm2")?;
-        self.mm_local(a, b, PartitionScheme::Row)
+        let out = self.mm_local(a, b, PartitionScheme::Row)?;
+        let blocks = out.tile_count();
+        self.span_close(st, "rmm2", String::new(), 0, 0, None, blocks);
+        Ok(out)
     }
 
     fn require(&self, m: &DistMatrix, scheme: PartitionScheme, op: &'static str) -> Result<()> {
@@ -603,11 +784,14 @@ impl Cluster {
                 },
             ));
         }
+        let st = self.span_open();
         let n = self.config.workers;
         let out_meta = GridMeta::new(a.rows(), b.cols(), a.block_size());
         let kb = a.meta().col_blocks;
 
         // Phase 1: per-worker partial products over the owned k-slices.
+        // Accumulators come from the result buffer pool and every one is
+        // returned to it below, so CPMM's acquire/release stays balanced.
         let mut partials: Vec<HashMap<(usize, usize), DenseBlock>> = Vec::with_capacity(n);
         let mut secs = vec![0.0f64; n];
         for w in 0..n {
@@ -616,12 +800,14 @@ impl Cluster {
             let tasks: Vec<(usize, usize)> = (0..out_meta.row_blocks)
                 .flat_map(|bi| (0..out_meta.col_blocks).map(move |bj| (bi, bj)))
                 .collect();
+            let pool = &self.pool;
             let results = run_tasks(self.config.local_threads, tasks, |(bi, bj)| {
                 let mut acc =
-                    DenseBlock::zeros(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj));
+                    pool.acquire(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj));
                 let mut touched = false;
                 for &k in &my_ks {
                     let (Some(at), Some(bt)) = (a.block_on(w, bi, k), b.block_on(w, k, bj)) else {
+                        pool.release(acc);
                         return Err(ClusterError::Matrix(
                             dmac_matrix::MatrixError::MalformedSparse(format!(
                                 "cpmm: missing tile at k={k} on worker {w}"
@@ -634,7 +820,12 @@ impl Cluster {
                     at.matmul_acc(bt, &mut acc)?;
                     touched = true;
                 }
-                Ok::<_, ClusterError>(((bi, bj), touched.then_some(acc)))
+                if touched {
+                    Ok::<_, ClusterError>(((bi, bj), Some(acc)))
+                } else {
+                    pool.release(acc);
+                    Ok(((bi, bj), None))
+                }
             });
             let mut map = HashMap::new();
             for r in results {
@@ -651,17 +842,30 @@ impl Cluster {
         // Phase 2: shuffle partials to their owners and aggregate in
         // worker order (the fixed order keeps f64 summation deterministic).
         let mut moved: u64 = 0;
+        let mut event: u64 = 0;
+        let mut sent = vec![0u64; n];
+        let mut received = vec![0u64; n];
         let mut gathered: Vec<HashMap<(usize, usize), DenseBlock>> =
             (0..n).map(|_| HashMap::new()).collect();
         let t0 = Instant::now();
         for (w, map) in partials.into_iter().enumerate() {
             for ((bi, bj), p) in map {
                 let dest = out_scheme.owner(bi, bj, n).expect("rc scheme");
+                let bytes = p.actual_bytes() as u64;
+                // The CPMM output event ships every worker's full-size
+                // partial (Table 2 charges N·|AB|), even the share that
+                // happens to stay local.
+                event += bytes;
                 if dest != w {
-                    moved += p.actual_bytes() as u64;
+                    moved += bytes;
+                    sent[w] += bytes;
+                    received[dest] += bytes;
                 }
                 match gathered[dest].get_mut(&(bi, bj)) {
-                    Some(acc) => acc.add_assign(&p)?,
+                    Some(acc) => {
+                        acc.add_assign(&p)?;
+                        self.pool.release(p);
+                    }
                     None => {
                         gathered[dest].insert((bi, bj), p);
                     }
@@ -684,6 +888,14 @@ impl Cluster {
                 stores[dest].insert((bi, bj), Arc::new(tile));
             }
         }
+        for map in gathered {
+            for (_, d) in map {
+                self.pool.release(d);
+            }
+        }
+        let blocks = out_meta.row_blocks * out_meta.col_blocks;
+        let io = Some((sent, received));
+        self.span_close(st, "cpmm", String::new(), moved, event, io, blocks);
         Ok(DistMatrix::from_parts(out_meta, out_scheme, stores))
     }
 
@@ -692,6 +904,7 @@ impl Cluster {
     /// with zero communication.
     pub fn cellwise(&mut self, a: &DistMatrix, b: &DistMatrix, op: CellOp) -> Result<DistMatrix> {
         self.op_entry(op.name())?;
+        let st = self.span_open();
         self.compat(a, b)?;
         if a.scheme() != b.scheme() || a.scheme() == PartitionScheme::Hash {
             return Err(ClusterError::SchemeMismatch {
@@ -737,6 +950,8 @@ impl Cluster {
             secs[w] = t0.elapsed().as_secs_f64();
         }
         self.charge_compute_workers(&secs);
+        let blocks = stores.iter().map(HashMap::len).sum();
+        self.span_close(st, op.name(), String::new(), 0, 0, None, blocks);
         Ok(DistMatrix::from_parts(*a.meta(), a.scheme(), stores))
     }
 
@@ -748,6 +963,7 @@ impl Cluster {
         f: impl Fn(&Block) -> Block + Sync,
     ) -> Result<DistMatrix> {
         self.op_entry("map")?;
+        let st = self.span_open();
         let n = self.config.workers;
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         let mut secs = vec![0.0f64; n];
@@ -767,6 +983,8 @@ impl Cluster {
             secs[w] = t0.elapsed().as_secs_f64();
         }
         self.charge_compute_workers(&secs);
+        let blocks = stores.iter().map(HashMap::len).sum();
+        self.span_close(st, "map", String::new(), 0, 0, None, blocks);
         Ok(DistMatrix::from_parts(*m.meta(), m.scheme(), stores))
     }
 
@@ -775,23 +993,31 @@ impl Cluster {
     /// scalars, negligible, but kept honest).
     pub fn reduce(&mut self, m: &DistMatrix, kind: ReduceKind) -> Result<f64> {
         self.op_entry("reduce")?;
+        let st = self.span_open();
         let n = self.config.workers;
         let t0 = Instant::now();
         let mut total = 0.0;
+        let mut blocks = 0usize;
         if m.scheme() == PartitionScheme::Broadcast {
             // every worker has everything; reduce once
             for tile in m.worker_blocks(0).values() {
                 total += kind.fold_tile(tile);
+                blocks += 1;
             }
         } else {
             for w in 0..n {
                 for tile in m.worker_blocks(w).values() {
                     total += kind.fold_tile(tile);
+                    blocks += 1;
                 }
             }
         }
         self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
         self.send(CommKind::Shuffle, "reduce", 8 * n as u64)?;
+        // Each worker ships one 8-byte partial to the driver; the cost
+        // model charges reductions nothing (event 0).
+        let io = Some((vec![8u64; n], vec![0u64; n]));
+        self.span_close(st, "reduce", String::new(), 8 * n as u64, 0, io, blocks);
         Ok(kind.finish(total))
     }
 }

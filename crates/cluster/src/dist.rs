@@ -167,6 +167,13 @@ impl DistMatrix {
         seen.values().sum()
     }
 
+    /// Number of stored tiles summed across all workers (counts replicas:
+    /// a Broadcast matrix reports `N ×` the logical tile count). Used by
+    /// the flight recorder as a "blocks touched" measure.
+    pub fn tile_count(&self) -> usize {
+        self.stores.iter().map(HashMap::len).sum()
+    }
+
     /// Exact non-zero count of one logical copy.
     pub fn nnz(&self) -> usize {
         let mut seen: HashMap<(usize, usize), usize> = HashMap::new();

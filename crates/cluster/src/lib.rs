@@ -25,6 +25,7 @@ pub mod dist;
 pub mod error;
 pub mod fault;
 pub mod partition;
+pub mod trace;
 pub mod twod;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -33,4 +34,5 @@ pub use dist::DistMatrix;
 pub use error::{ClusterError, Result};
 pub use fault::{FaultEvent, FaultInjector, FaultPlan};
 pub use partition::PartitionScheme;
+pub use trace::{OpSpan, TraceBuffer};
 pub use twod::{summa, Dist2d, ProcessGrid};

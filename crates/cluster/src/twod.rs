@@ -122,6 +122,8 @@ impl Dist2d {
             }
         }
         cluster.charge_comm(CommKind::Shuffle, "to-block-cyclic", moved);
+        let blocks: usize = stores.iter().map(HashMap::len).sum();
+        cluster.record_span("to-block-cyclic", "2d", moved, moved, blocks);
         Ok(Dist2d {
             meta: *m.meta(),
             grid,
@@ -151,6 +153,8 @@ impl Dist2d {
             }
         }
         cluster.charge_comm(CommKind::Shuffle, "from-block-cyclic", moved);
+        let blocks: usize = stores.iter().map(HashMap::len).sum();
+        cluster.record_span("from-block-cyclic", "2d", moved, moved, blocks);
         Ok(DistMatrix::from_parts(self.meta, scheme, stores))
     }
 
@@ -266,6 +270,7 @@ pub fn summa(cluster: &mut Cluster, a: &Dist2d, b: &Dist2d) -> Result<Dist2d> {
         }
     }
     cluster.charge_comm(CommKind::Broadcast, "summa-panels", panel_bytes);
+    cluster.record_span("summa-panels", "2d", panel_bytes, panel_bytes, 0);
 
     // Local compute: each worker builds the result tiles it owns; tiles of
     // A and B are read from their owners' stores (the panel broadcast

@@ -45,6 +45,7 @@ use crate::error::{CoreError, Result};
 use crate::plan::{Plan, PlanStep};
 use crate::recovery::{self, RecoveryPolicy, RecoveryStats};
 use crate::stage;
+use crate::trace::{StepTrace, Trace};
 
 /// Per-phase (per-iteration) statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -92,6 +93,9 @@ pub struct ExecReport {
     pub planner_estimate: u64,
     /// What worker failures cost this run (zeroes on a healthy run).
     pub recovery: RecoveryStats,
+    /// The flight-recorder trace: per-step spans, predicted vs actual
+    /// cost-model bytes, per-worker traffic, buffer-pool counters.
+    pub trace: Trace,
 }
 
 impl ExecReport {
@@ -387,6 +391,7 @@ pub fn execute(
     }
 
     let mut per_phase: Vec<PhaseStats> = Vec::new();
+    let mut step_traces: Vec<StepTrace> = Vec::with_capacity(plan.steps.len());
     let mut stats = RecoveryStats::default();
     let mut attempts_left = policy.max_attempts;
     let mut current_stage = usize::MAX;
@@ -400,6 +405,11 @@ pub fn execute(
             cluster.begin_stage(stage);
         }
 
+        // Flight recorder: remember where this step's spans start and
+        // when (simulated clock) the step began.
+        let span_from = cluster.span_count();
+        let sim_start = cluster.clock().total_sec();
+
         let mut comm0 = CommSnap::take(cluster);
         let mut clock0 = *cluster.clock();
         loop {
@@ -409,6 +419,12 @@ pub fn execute(
                     let Some(mut dead) = worker_lost(&e) else {
                         return Err(e);
                     };
+                    // The failed attempt's spans (recorded clean) belong
+                    // to recovery, not to the steady-state run; re-flag
+                    // them and record everything until the retry as
+                    // recovery traffic.
+                    cluster.mark_spans_recovery(span_from);
+                    cluster.set_recovery_mode(true);
                     // Recover, tolerating further losses mid-recovery as
                     // long as the attempt budget holds.
                     loop {
@@ -432,6 +448,7 @@ pub fn execute(
                         }
                     }
                     stats.recovery_rounds += 1;
+                    cluster.set_recovery_mode(false);
                     // Charge the failed attempt + recovery work to the
                     // recovery meters, then re-baseline so the retried
                     // step's phase attribution stays clean.
@@ -443,6 +460,38 @@ pub fn execute(
                 }
             }
         }
+
+        // Assemble the step's flight-recorder record from the spans the
+        // cluster primitives emitted while it was in flight (recovery
+        // replays of earlier steps included, flagged).
+        let spans = cluster.spans()[span_from..].to_vec();
+        let (kind, label) = step_identity(plan, program, step);
+        step_traces.push(StepTrace {
+            step: step_idx,
+            stage,
+            phase: step.phase(),
+            kind,
+            label,
+            predicted_bytes: plan.predicted_bytes(step_idx),
+            actual_bytes: spans
+                .iter()
+                .filter(|s| !s.recovery)
+                .map(|s| s.event_bytes)
+                .sum(),
+            wire_bytes: spans
+                .iter()
+                .filter(|s| !s.recovery)
+                .map(|s| s.wire_bytes)
+                .sum(),
+            recovery_wire_bytes: spans
+                .iter()
+                .filter(|s| s.recovery)
+                .map(|s| s.wire_bytes)
+                .sum(),
+            sim_start_sec: sim_start,
+            sim_end_sec: cluster.clock().total_sec(),
+            spans,
+        });
 
         // Release values whose last consumer just ran.
         for n in step.in_nodes() {
@@ -504,8 +553,39 @@ pub fn execute(
         stage_count: stages.count,
         planner_estimate,
         recovery: stats,
+        trace: Trace {
+            workers: cluster.workers(),
+            stage_count: stages.count,
+            steps: step_traces,
+            pool: cluster.pool_stats(),
+        },
     };
     Ok((report, outputs))
+}
+
+/// Flight-recorder identity of a plan step: its kind tag (extended
+/// operator name or compute strategy) and a human-readable label.
+fn step_identity(plan: &Plan, program: &Program, step: &PlanStep) -> (String, String) {
+    match step {
+        PlanStep::Partition { out, .. } => ("partition".into(), plan.node_label(program, *out)),
+        PlanStep::Broadcast { out, .. } => ("broadcast".into(), plan.node_label(program, *out)),
+        PlanStep::Transpose { out, .. } => ("transpose".into(), plan.node_label(program, *out)),
+        PlanStep::Extract { out, .. } => ("extract".into(), plan.node_label(program, *out)),
+        PlanStep::Reference { out, .. } => ("reference".into(), plan.node_label(program, *out)),
+        PlanStep::Compute {
+            strategy,
+            out,
+            out_scalar,
+            ..
+        } => {
+            let label = match (out, out_scalar) {
+                (Some(n), _) => plan.node_label(program, *n),
+                (None, Some(s)) => format!("scalar s{}", s),
+                (None, None) => String::new(),
+            };
+            (strategy.name(), label)
+        }
+    }
 }
 
 enum ComputeResult {

@@ -22,6 +22,10 @@
 //!   communication operators.
 //! * [`engine`] — executes a staged plan on the simulated cluster,
 //!   reporting per-phase compute/communication statistics.
+//! * [`trace`] — the execution flight recorder: low-level cluster spans
+//!   merged into a per-step [`Trace`] whose measured bytes are diffed
+//!   against the planner's Table 2 predictions (`Trace::conformance`),
+//!   exportable as chrome://tracing JSON.
 //! * [`recovery`] — lineage-based stage recovery: worker losses are
 //!   survived by decommissioning the host, remapping its logical workers,
 //!   and deterministically replaying the producing stages of lost state.
@@ -42,7 +46,9 @@ pub mod recovery;
 pub mod session;
 pub mod stage;
 pub mod strategy;
+pub mod trace;
 
 pub use error::{CoreError, Result};
+pub use trace::{Conformance, StepTrace, Trace};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use session::Session;

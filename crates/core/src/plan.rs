@@ -159,6 +159,12 @@ pub struct Plan {
     pub sources: Vec<(NodeId, MatrixId)>,
     /// Output bindings: `(node, program matrix id, optional store name)`.
     pub outputs: Vec<(NodeId, MatrixId, Option<String>)>,
+    /// `predicted[i]` is the planner's cost-model prediction (§4.1 event
+    /// bytes) for `steps[i]`: `0` for non-communication dependencies,
+    /// `|A|` for (transpose-)partition, `N·|A|` for (transpose-)broadcast,
+    /// and `N·|AB|` for a CPMM compute step's output event. Kept parallel
+    /// to `steps`; absent entries (plans built by hand in tests) read as 0.
+    pub predicted: Vec<u64>,
 }
 
 impl Plan {
@@ -177,6 +183,27 @@ impl Plan {
             flexible,
         });
         self.nodes.len() - 1
+    }
+
+    /// Append a step together with its predicted cost-model bytes.
+    pub fn push_step(&mut self, step: PlanStep, predicted_bytes: u64) {
+        // Keep `predicted` aligned even if earlier steps were pushed
+        // directly onto `steps` (hand-built plans in tests).
+        self.predicted.resize(self.steps.len(), 0);
+        self.steps.push(step);
+        self.predicted.push(predicted_bytes);
+    }
+
+    /// The planner's predicted cost-model bytes for `steps[i]` (0 when the
+    /// plan was built without predictions).
+    pub fn predicted_bytes(&self, i: usize) -> u64 {
+        self.predicted.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sum of per-step predictions; equals the planner's `estimated_comm`
+    /// for planner-built plans.
+    pub fn predicted_total(&self) -> u64 {
+        self.predicted.iter().sum()
     }
 
     /// Finalise: any still-flexible CPMM output defaults to Row.

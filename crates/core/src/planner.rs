@@ -403,7 +403,7 @@ impl<'a> Planner<'a> {
             }
         };
         let step_idx = self.plan.steps.len();
-        self.plan.steps.push(step);
+        self.plan.push_step(step, cost);
         // Algorithm 1 line 19: the repartitioned copy joins the OutputSet.
         if self.cfg.exploit_dependencies {
             self.register(out);
@@ -438,8 +438,7 @@ impl<'a> Planner<'a> {
             .plan
             .add_node(node.matrix, transposed, node.scheme.flip(), false);
         self.plan
-            .steps
-            .push(PlanStep::Transpose { src: n, out, phase });
+            .push_step(PlanStep::Transpose { src: n, out, phase }, 0);
         self.register(out);
         Ok(out)
     }
@@ -464,8 +463,7 @@ impl<'a> Planner<'a> {
                 self.plan.nodes[n].flexible = false;
                 let out = self.plan.add_node(r.id, r.transposed, req, false);
                 self.plan
-                    .steps
-                    .push(PlanStep::Transpose { src: n, out, phase });
+                    .push_step(PlanStep::Transpose { src: n, out, phase }, 0);
                 self.register(out);
                 out
             }
@@ -473,16 +471,14 @@ impl<'a> Planner<'a> {
                 let scheme = self.plan.nodes[n].scheme.flip();
                 let out = self.plan.add_node(r.id, r.transposed, scheme, false);
                 self.plan
-                    .steps
-                    .push(PlanStep::Transpose { src: n, out, phase });
+                    .push_step(PlanStep::Transpose { src: n, out, phase }, 0);
                 self.register(out);
                 out
             }
             FreePath::Extract(n) => {
                 let out = self.plan.add_node(r.id, r.transposed, req, false);
                 self.plan
-                    .steps
-                    .push(PlanStep::Extract { src: n, out, phase });
+                    .push_step(PlanStep::Extract { src: n, out, phase }, 0);
                 self.register(out);
                 out
             }
@@ -490,18 +486,24 @@ impl<'a> Planner<'a> {
                 let mid = self
                     .plan
                     .add_node(r.id, r.transposed, PartitionScheme::Broadcast, false);
-                self.plan.steps.push(PlanStep::Transpose {
-                    src: n,
-                    out: mid,
-                    phase,
-                });
+                self.plan.push_step(
+                    PlanStep::Transpose {
+                        src: n,
+                        out: mid,
+                        phase,
+                    },
+                    0,
+                );
                 self.register(mid);
                 let out = self.plan.add_node(r.id, r.transposed, req, false);
-                self.plan.steps.push(PlanStep::Extract {
-                    src: mid,
-                    out,
-                    phase,
-                });
+                self.plan.push_step(
+                    PlanStep::Extract {
+                        src: mid,
+                        out,
+                        phase,
+                    },
+                    0,
+                );
                 self.register(out);
                 out
             }
@@ -532,20 +534,26 @@ impl<'a> Planner<'a> {
             PartitionScheme::Broadcast,
             false,
         );
+        let size = self
+            .program
+            .decl(src_node.matrix)
+            .map(|d| d.stats.est_bytes())
+            .unwrap_or(0);
         let replacement = vec![
             PlanStep::Broadcast { src, out: b, phase },
             PlanStep::Extract { src: b, out, phase },
         ];
         let added = replacement.len() - 1;
         self.plan.steps.splice(step_idx..=step_idx, replacement);
+        // Keep the per-step predictions in lockstep with the splice: the
+        // |A| partition becomes an N·|A| broadcast plus a free extract.
+        self.plan.predicted.resize(self.plan.steps.len() - added, 0);
+        self.plan
+            .predicted
+            .splice(step_idx..=step_idx, vec![self.cost.workers * size, 0]);
         self.register(b);
         // Cost bookkeeping: the earlier |A| partition became an N·|A|
         // broadcast; the pending N·|A| broadcast becomes free.
-        let size = self
-            .program
-            .decl(src_node.matrix)
-            .map(|d| d.stats.est_bytes())
-            .unwrap_or(0);
         self.estimated_comm = self.estimated_comm.saturating_sub(size);
         self.estimated_comm += self.cost.workers * size;
         // Fix up stored step indices after the splice.
@@ -724,14 +732,25 @@ impl<'a> Planner<'a> {
             self.register(n);
         }
 
-        self.plan.steps.push(PlanStep::Compute {
-            op: op_idx,
-            strategy: cand.strategy,
-            inputs: input_nodes,
-            out: out_node,
-            out_scalar,
-            phase,
-        });
+        // The compute step's predicted bytes are its output event's cost
+        // (N·|AB| for CPMM, 0 otherwise) — mirrors the `estimated_comm`
+        // increment the caller already applied.
+        let out_bytes = out_matrix
+            .and_then(|m| self.program.decl(m).ok())
+            .map(|d| d.stats.est_bytes())
+            .unwrap_or(0);
+        let predicted = self.cost.output_cost(cand.strategy, out_bytes);
+        self.plan.push_step(
+            PlanStep::Compute {
+                op: op_idx,
+                strategy: cand.strategy,
+                inputs: input_nodes,
+                out: out_node,
+                out_scalar,
+                phase,
+            },
+            predicted,
+        );
         Ok(())
     }
 
@@ -1020,6 +1039,49 @@ mod tests {
             "{}",
             planned.plan.explain(&p)
         );
+    }
+
+    #[test]
+    fn per_step_predictions_sum_to_estimate() {
+        // The flight recorder diffs per-step predictions against actuals;
+        // the predictions must tile the planner's total estimate exactly,
+        // under both configs and through the pull-up-broadcast rewrite.
+        let progs: Vec<Program> = vec![gnmf_h(), {
+            let mut p = Program::new();
+            let a = p.load("A", 40, 40, 1.0);
+            let b = p.load("B", 40, 40, 1.0);
+            let c = p.load("C", 40, 100_000, 1.0);
+            let s = p.add(a, b).unwrap();
+            let m = p.matmul(a, c).unwrap();
+            let m2 = p.matmul(s, c).unwrap();
+            p.output(m);
+            p.output(m2);
+            p
+        }];
+        for p in &progs {
+            for cfg in [
+                PlannerConfig::default(),
+                PlannerConfig::systemml_s(),
+                PlannerConfig {
+                    multiplication_first: false,
+                    ..PlannerConfig::default()
+                },
+            ] {
+                let planned = plan_program(p, &cfg, 4, &schemes()).unwrap();
+                assert_eq!(planned.plan.predicted.len(), planned.plan.steps.len());
+                assert_eq!(
+                    planned.plan.predicted_total(),
+                    planned.estimated_comm,
+                    "{}",
+                    planned.plan.explain(p)
+                );
+                for (i, step) in planned.plan.steps.iter().enumerate() {
+                    if !step.is_comm() {
+                        assert_eq!(planned.plan.predicted_bytes(i), 0, "step {i} is comm-free");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -395,6 +395,11 @@ impl Session {
     pub fn last_report(&self) -> Option<&ExecReport> {
         self.last_report.as_ref()
     }
+
+    /// The flight-recorder trace of the last run (see [`crate::trace`]).
+    pub fn last_trace(&self) -> Option<&crate::trace::Trace> {
+        self.last_report.as_ref().map(|r| &r.trace)
+    }
 }
 
 /// A program planned once for repeated execution (see

@@ -1,0 +1,493 @@
+//! The execution flight recorder: a per-step [`Trace`] merged from the
+//! cluster's span buffer and diffed against the planner's predictions.
+//!
+//! Every executed plan step contributes a [`StepTrace`] carrying:
+//!
+//! * the planner's **predicted** cost-model bytes for the step (Table 2:
+//!   `0` for non-communication dependencies, `|A|` for partition, `N·|A|`
+//!   for broadcast, `N·|AB|` for a CPMM output event),
+//! * the **actual** event bytes the cluster measured for the same step
+//!   (steady-state only — recovery traffic is attributed separately),
+//! * the physical **wire** bytes the simulated transport shipped, and
+//! * the low-level [`OpSpan`]s (per-worker sent/received, blocks touched,
+//!   buffer-pool activity) the step was assembled from.
+//!
+//! [`Trace::conformance`] returns the per-step `(predicted, actual)`
+//! pairs; for dense workloads the two are equal byte-for-byte, which
+//! `tests/cost_conformance.rs` enforces for every Table 2 dependency
+//! type. `|A|` is a *worst-case* (dense) estimate, so sparse inputs may
+//! deviate in either direction: fewer non-zeros than declared undershoot,
+//! CSC index overhead can overshoot. [`Trace::overshoots`] lists steps
+//! whose actual exceeds predicted — the conformance gate in
+//! `scripts/verify.sh` runs a dense PageRank and requires it to be empty.
+//!
+//! [`Trace::to_chrome_json`] renders the trace in the Trace Event Format
+//! understood by `chrome://tracing` / Perfetto: one complete (`"ph":"X"`)
+//! event per step on a per-stage track, plus one event per span.
+
+use std::fmt::Write as _;
+
+use dmac_cluster::OpSpan;
+use dmac_matrix::exec::PoolStats;
+
+/// Execution record of one plan step.
+#[derive(Debug, Clone, Default)]
+pub struct StepTrace {
+    /// Index of the step in `Plan::steps`.
+    pub step: usize,
+    /// Stage the step executed in.
+    pub stage: usize,
+    /// Phase tag (iteration number).
+    pub phase: usize,
+    /// Step kind: `"partition"`, `"broadcast"`, `"transpose"`,
+    /// `"extract"`, `"reference"`, or the compute strategy name.
+    pub kind: String,
+    /// Human-readable label (node labels, paper-style).
+    pub label: String,
+    /// The planner's predicted cost-model bytes for this step.
+    pub predicted_bytes: u64,
+    /// Measured steady-state event bytes (cost-model units).
+    pub actual_bytes: u64,
+    /// Measured steady-state wire bytes (what the transport shipped).
+    pub wire_bytes: u64,
+    /// Wire bytes attributed to recovery while this step was in flight
+    /// (failed-attempt partial work, lineage replay, source refetch).
+    pub recovery_wire_bytes: u64,
+    /// Simulated clock when the step started.
+    pub sim_start_sec: f64,
+    /// Simulated clock when the step completed.
+    pub sim_end_sec: f64,
+    /// The primitive spans this step was assembled from (includes
+    /// recovery-flagged spans).
+    pub spans: Vec<OpSpan>,
+}
+
+impl StepTrace {
+    /// `actual - predicted` when positive: bytes the cost model failed to
+    /// anticipate.
+    pub fn overshoot_bytes(&self) -> u64 {
+        self.actual_bytes.saturating_sub(self.predicted_bytes)
+    }
+
+    /// Total blocks touched across the step's steady-state spans.
+    pub fn blocks(&self) -> usize {
+        self.spans
+            .iter()
+            .filter(|s| !s.recovery)
+            .map(|s| s.blocks)
+            .sum()
+    }
+}
+
+/// One `(predicted, actual)` byte pair from [`Trace::conformance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conformance {
+    /// Step index.
+    pub step: usize,
+    /// Step kind (see [`StepTrace::kind`]).
+    pub kind: String,
+    /// Human-readable label.
+    pub label: String,
+    /// Planner-predicted cost-model bytes.
+    pub predicted: u64,
+    /// Measured steady-state event bytes.
+    pub actual: u64,
+}
+
+impl Conformance {
+    /// True when the measurement does not exceed the prediction (the cost
+    /// model is an upper bound by construction for dense data).
+    pub fn holds(&self) -> bool {
+        self.actual <= self.predicted
+    }
+}
+
+/// Per-stage aggregate used by the golden snapshot tests.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageSummary {
+    /// Stage index.
+    pub stage: usize,
+    /// Step kinds executed in the stage, in order.
+    pub kinds: Vec<String>,
+    /// Sum of predicted bytes over the stage's steps.
+    pub predicted_bytes: u64,
+    /// Sum of steady-state event bytes.
+    pub actual_bytes: u64,
+    /// Sum of steady-state wire bytes.
+    pub wire_bytes: u64,
+}
+
+/// The merged flight-recorder trace attached to
+/// [`crate::engine::ExecReport`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Number of logical workers the run used.
+    pub workers: usize,
+    /// Number of stages the plan executed as.
+    pub stage_count: usize,
+    /// One record per executed plan step, in execution order.
+    pub steps: Vec<StepTrace>,
+    /// Cumulative result-buffer-pool counters at the end of the run.
+    pub pool: PoolStats,
+}
+
+impl Trace {
+    /// Per-step `(predicted, actual)` cost-model byte pairs, in execution
+    /// order. This is the paper's Table 2 made testable: for each step the
+    /// planner's 0 / `|A|` / `N·|A|` (/ `N·|AB|`) prediction sits next to
+    /// what the cluster measured.
+    pub fn conformance(&self) -> Vec<Conformance> {
+        self.steps
+            .iter()
+            .map(|s| Conformance {
+                step: s.step,
+                kind: s.kind.clone(),
+                label: s.label.clone(),
+                predicted: s.predicted_bytes,
+                actual: s.actual_bytes,
+            })
+            .collect()
+    }
+
+    /// Steps whose measured bytes exceed the prediction (empty on a
+    /// conforming run).
+    pub fn overshoots(&self) -> Vec<&StepTrace> {
+        self.steps
+            .iter()
+            .filter(|s| s.actual_bytes > s.predicted_bytes)
+            .collect()
+    }
+
+    /// Total predicted bytes over all steps (equals the planner's
+    /// `estimated_comm`).
+    pub fn predicted_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.predicted_bytes).sum()
+    }
+
+    /// Total measured steady-state event bytes.
+    pub fn actual_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.actual_bytes).sum()
+    }
+
+    /// Total steady-state wire bytes.
+    pub fn wire_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.wire_bytes).sum()
+    }
+
+    /// Total wire bytes attributed to recovery.
+    pub fn recovery_wire_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.recovery_wire_bytes).sum()
+    }
+
+    /// Bytes sent per worker, summed over steady-state spans.
+    pub fn sent_per_worker(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.workers];
+        for step in &self.steps {
+            for span in step.spans.iter().filter(|s| !s.recovery) {
+                for (w, &b) in span.sent.iter().enumerate() {
+                    if w < v.len() {
+                        v[w] += b;
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Bytes received per worker, summed over steady-state spans.
+    pub fn received_per_worker(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.workers];
+        for step in &self.steps {
+            for span in step.spans.iter().filter(|s| !s.recovery) {
+                for (w, &b) in span.received.iter().enumerate() {
+                    if w < v.len() {
+                        v[w] += b;
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Aggregate the trace per stage (kinds in order, byte totals).
+    pub fn per_stage(&self) -> Vec<StageSummary> {
+        let mut out: Vec<StageSummary> = Vec::with_capacity(self.stage_count);
+        for step in &self.steps {
+            if out.last().map(|s| s.stage) != Some(step.stage) {
+                out.push(StageSummary {
+                    stage: step.stage,
+                    ..StageSummary::default()
+                });
+            }
+            let cur = out.last_mut().expect("just pushed");
+            cur.kinds.push(step.kind.clone());
+            cur.predicted_bytes += step.predicted_bytes;
+            cur.actual_bytes += step.actual_bytes;
+            cur.wire_bytes += step.wire_bytes;
+        }
+        out
+    }
+
+    /// Deterministic textual rendering of the trace's structure: workers,
+    /// stage count, and per stage the step kinds plus predicted / actual /
+    /// wire byte totals. Timing and pool counters are deliberately
+    /// excluded (they vary run to run); everything else is bit-stable for
+    /// a fixed seed, which makes this the golden-snapshot format.
+    pub fn golden_summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "workers={} stages={} steps={}",
+            self.workers,
+            self.stage_count,
+            self.steps.len()
+        );
+        for st in self.per_stage() {
+            let _ = writeln!(
+                s,
+                "stage {:>2}: pred={} actual={} wire={} [{}]",
+                st.stage,
+                st.predicted_bytes,
+                st.actual_bytes,
+                st.wire_bytes,
+                st.kinds.join(",")
+            );
+        }
+        s
+    }
+
+    /// Human-readable conformance table (bench bins, debugging).
+    pub fn conformance_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  {}",
+            "step", "stage", "kind", "predicted", "actual", "wire", "label"
+        );
+        for t in &self.steps {
+            let mark = if t.actual_bytes > t.predicted_bytes {
+                " OVER"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  {}{}",
+                t.step, t.stage, t.kind, t.predicted_bytes, t.actual_bytes, t.wire_bytes, t.label, mark
+            );
+        }
+        let _ = writeln!(
+            s,
+            "total predicted={} actual={} wire={} recovery_wire={}",
+            self.predicted_total(),
+            self.actual_total(),
+            self.wire_total(),
+            self.recovery_wire_total()
+        );
+        s
+    }
+
+    /// Render the trace in the Trace Event Format consumed by
+    /// `chrome://tracing` and Perfetto (`"traceEvents"` array of complete
+    /// `"ph":"X"` events). Timestamps are the *simulated* clock in
+    /// microseconds; each stage gets its own track (`tid`), steps are
+    /// pid 1, their constituent spans pid 2.
+    pub fn to_chrome_json(&self) -> String {
+        let mut s = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut push = |s: &mut String, ev: String| {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push('\n');
+            s.push_str(&ev);
+        };
+        for t in &self.steps {
+            let ts = t.sim_start_sec * 1e6;
+            let dur = ((t.sim_end_sec - t.sim_start_sec) * 1e6).max(0.01);
+            push(
+                &mut s,
+                format!(
+                    "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"step\":{},\"phase\":{},\
+                     \"predicted_bytes\":{},\"actual_bytes\":{},\"wire_bytes\":{},\
+                     \"recovery_wire_bytes\":{}}}}}",
+                    json_str(&format!("{} {}", t.kind, t.label)),
+                    json_str(&t.kind),
+                    ts,
+                    dur,
+                    t.stage,
+                    t.step,
+                    t.phase,
+                    t.predicted_bytes,
+                    t.actual_bytes,
+                    t.wire_bytes,
+                    t.recovery_wire_bytes,
+                ),
+            );
+            for span in &t.spans {
+                let ts = span.start_sec * 1e6;
+                let dur = (span.sim_dur_sec() * 1e6).max(0.01);
+                push(
+                    &mut s,
+                    format!(
+                        "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                         \"pid\":2,\"tid\":{},\"args\":{{\"wire_bytes\":{},\"event_bytes\":{},\
+                         \"blocks\":{},\"pool_reused\":{},\"pool_allocated\":{},\
+                         \"recovery\":{},\"wall_sec\":{:.9}}}}}",
+                        json_str(&if span.label.is_empty() {
+                            span.op.to_string()
+                        } else {
+                            format!("{} {}", span.op, span.label)
+                        }),
+                        json_str(span.op),
+                        ts,
+                        dur,
+                        t.stage,
+                        span.wire_bytes,
+                        span.event_bytes,
+                        span.blocks,
+                        span.pool_reused,
+                        span.pool_allocated,
+                        span.recovery,
+                        span.wall_sec,
+                    ),
+                );
+            }
+        }
+        let _ = write!(
+            s,
+            "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"workers\":{},\"stages\":{},\
+             \"pool_reused\":{},\"pool_allocated\":{},\"pool_returned\":{},\"pool_dropped\":{}}}}}",
+            self.workers,
+            self.stage_count,
+            self.pool.reused,
+            self.pool.allocated,
+            self.pool.returned,
+            self.pool.dropped
+        );
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(stage: usize, kind: &str, pred: u64, actual: u64, wire: u64) -> StepTrace {
+        StepTrace {
+            step: 0,
+            stage,
+            kind: kind.to_string(),
+            label: format!("{kind}-label"),
+            predicted_bytes: pred,
+            actual_bytes: actual,
+            wire_bytes: wire,
+            ..StepTrace::default()
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            workers: 4,
+            stage_count: 2,
+            steps: vec![
+                step(0, "partition", 100, 100, 75),
+                step(0, "RMM1", 0, 0, 0),
+                step(1, "broadcast", 400, 400, 300),
+            ],
+            pool: PoolStats::default(),
+        }
+    }
+
+    #[test]
+    fn conformance_pairs_match_steps() {
+        let t = sample();
+        let c = t.conformance();
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(Conformance::holds));
+        assert_eq!(c[0].predicted, 100);
+        assert_eq!(c[2].actual, 400);
+        assert_eq!(t.predicted_total(), 500);
+        assert_eq!(t.actual_total(), 500);
+        assert_eq!(t.wire_total(), 375);
+        assert!(t.overshoots().is_empty());
+    }
+
+    #[test]
+    fn overshoot_detection() {
+        let mut t = sample();
+        t.steps[0].actual_bytes = 150;
+        let over = t.overshoots();
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].overshoot_bytes(), 50);
+        assert!(!t.conformance()[0].holds());
+    }
+
+    #[test]
+    fn per_stage_aggregates_in_order() {
+        let t = sample();
+        let stages = t.per_stage();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].kinds, vec!["partition", "RMM1"]);
+        assert_eq!(stages[0].predicted_bytes, 100);
+        assert_eq!(stages[1].wire_bytes, 300);
+    }
+
+    #[test]
+    fn golden_summary_is_stable_text() {
+        let t = sample();
+        let s = t.golden_summary();
+        assert!(s.starts_with("workers=4 stages=2 steps=3\n"), "{s}");
+        assert!(s.contains("stage  0: pred=100 actual=100 wire=75 [partition,RMM1]"));
+        assert!(s.contains("stage  1: pred=400 actual=400 wire=300 [broadcast]"));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut t = sample();
+        t.steps[0].spans.push(OpSpan {
+            op: "partition",
+            label: "A \"quoted\"".into(),
+            wire_bytes: 75,
+            event_bytes: 100,
+            ..OpSpan::default()
+        });
+        let j = t.to_chrome_json();
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+        assert!(j.trim_end().ends_with('}'), "{j}");
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\\\"quoted\\\""), "escaping: {j}");
+        assert!(j.contains("\"workers\":4"));
+        // one step event per step + one span event
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
+    }
+
+    #[test]
+    fn json_escaping_covers_controls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -36,6 +36,34 @@ pub struct PoolStats {
     pub dropped: usize,
 }
 
+impl PoolStats {
+    /// Pool hits: acquisitions served by recycling (alias of `reused`).
+    pub fn hits(&self) -> usize {
+        self.reused
+    }
+
+    /// Pool misses: acquisitions that allocated fresh (alias of `allocated`).
+    pub fn misses(&self) -> usize {
+        self.allocated
+    }
+
+    /// Total acquisitions.
+    pub fn acquires(&self) -> usize {
+        self.reused + self.allocated
+    }
+
+    /// Total releases (whether the block was pooled or dropped).
+    pub fn releases(&self) -> usize {
+        self.returned + self.dropped
+    }
+
+    /// Blocks acquired and never released. A balanced workload (every
+    /// accumulator handed back, e.g. a pure-CPMM run) reports 0.
+    pub fn outstanding(&self) -> usize {
+        self.acquires().saturating_sub(self.releases())
+    }
+}
+
 impl ResultBufferPool {
     /// Create a pool holding at most `capacity` recycled blocks. In the
     /// paper the capacity is "a fixed number of blocks" sized to the local

@@ -20,4 +20,10 @@ cargo run --release -q -p dmac-bench --bin faults > /dev/null
 echo "==> deterministic failure schedule (fixed seed, twice)"
 cargo test -q --test failure_injection fault_schedule_and_results_are_seed_deterministic
 
+echo "==> trace conformance (dense PageRank: actual bytes must not exceed predicted)"
+# The trace bin exits non-zero if any step's measured cost-model bytes
+# exceed the planner's Table 2 prediction, or if the dense run is not
+# byte-for-byte exact. Also exports chrome://tracing JSON to target/traces/.
+cargo run --release -q -p dmac-bench --bin trace > /dev/null
+
 echo "verify: OK"

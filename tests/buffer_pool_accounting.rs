@@ -1,0 +1,123 @@
+//! Result-buffer-pool accounting (§5.3): CPMM accumulators are drawn
+//! from the cluster's [`ResultBufferPool`] and every acquired block is
+//! handed back, so (a) repeated CPMM work *reuses* memory instead of
+//! re-allocating, and (b) the acquire/release ledger stays balanced.
+//!
+//! The counters surface through two windows: `Cluster::pool_stats()` for
+//! direct cluster programs, and `Trace::pool` on a session run's report.
+
+use dmac::cluster::{Cluster, ClusterConfig, NetworkModel, PartitionScheme};
+use dmac::matrix::BlockedMatrix;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        workers: 4,
+        local_threads: 2,
+        network: NetworkModel::default(),
+    })
+}
+
+fn dense(r: usize, c: usize) -> BlockedMatrix {
+    BlockedMatrix::from_fn(r, c, 8, |i, j| ((i * c + j) % 7) as f64 + 1.0).unwrap()
+}
+
+#[test]
+fn cpmm_reuses_pooled_blocks_and_stays_balanced() {
+    let mut cl = cluster();
+    // Tall gram: Aᵀ (8×64, Col) × A (64×8, Row), shared dimension split
+    // across 8 blocks — every worker builds full-size partial outputs
+    // from pooled accumulators.
+    let a = dense(64, 8);
+    let at = cl.load(&a.transpose(), PartitionScheme::Col);
+    let ar = cl.load(&a, PartitionScheme::Row);
+
+    let g1 = cl.cpmm(&at, &ar, PartitionScheme::Row).unwrap();
+    let after_first = cl.pool_stats();
+    assert!(after_first.acquires() > 0, "CPMM must draw from the pool");
+    assert_eq!(
+        after_first.outstanding(),
+        0,
+        "every accumulator must be released: {after_first:?}"
+    );
+
+    let g2 = cl.cpmm(&at, &ar, PartitionScheme::Row).unwrap();
+    let after_second = cl.pool_stats();
+    assert!(
+        after_second.hits() >= 1,
+        "second CPMM must reuse blocks returned by the first: {after_second:?}"
+    );
+    assert_eq!(
+        after_second.outstanding(),
+        0,
+        "ledger must stay balanced across runs: {after_second:?}"
+    );
+    // Reuse must not change numerics: recycled blocks are zeroed.
+    assert_eq!(
+        g1.to_blocked().unwrap().to_dense(),
+        g2.to_blocked().unwrap().to_dense()
+    );
+}
+
+#[test]
+fn pool_counters_are_visible_in_the_trace() {
+    use dmac::core::Session;
+    use dmac::lang::Program;
+
+    let mut p = Program::new();
+    let t = p.load("T", 64, 8, 1.0);
+    let gram = p.matmul(t.t(), t).unwrap(); // planner picks CPMM
+    p.output(gram);
+    let mut s = Session::builder()
+        .workers(4)
+        .local_threads(1)
+        .block_size(8)
+        .build();
+    s.bind("T", dense(64, 8)).unwrap();
+    let report = s.run(&p).unwrap();
+    let pool = report.trace.pool;
+    assert!(
+        pool.acquires() > 0,
+        "a CPMM plan must exercise the pool: {pool:?}"
+    );
+    assert!(
+        pool.acquires() == pool.hits() + pool.misses(),
+        "hit/miss split must partition acquires: {pool:?}"
+    );
+    // The CPMM span itself carries the pool delta.
+    let cpmm = report
+        .trace
+        .steps
+        .iter()
+        .find(|st| st.kind == "CPMM")
+        .expect("plan has a CPMM step");
+    let span_acquires: usize = cpmm
+        .spans
+        .iter()
+        .map(|sp| sp.pool_reused + sp.pool_allocated)
+        .sum();
+    assert!(
+        span_acquires > 0,
+        "CPMM span must record its pool activity: {:?}",
+        cpmm.spans
+    );
+}
+
+/// The pool is bounded: flooding it with more releases than capacity
+/// drops the surplus, and `pooled()` never exceeds the configured cap —
+/// the paper's "fixed number of blocks in memory".
+#[test]
+fn repeated_cpmm_keeps_pool_bounded() {
+    let mut cl = cluster();
+    let a = dense(64, 8);
+    let at = cl.load(&a.transpose(), PartitionScheme::Col);
+    let ar = cl.load(&a, PartitionScheme::Row);
+    for _ in 0..5 {
+        cl.cpmm(&at, &ar, PartitionScheme::Row).unwrap();
+    }
+    let s = cl.pool_stats();
+    assert_eq!(s.outstanding(), 0, "balanced after every round: {s:?}");
+    assert!(
+        s.hits() > s.misses(),
+        "steady-state CPMM should mostly recycle: {s:?}"
+    );
+}

@@ -300,6 +300,79 @@ fn fault_schedule_and_results_are_seed_deterministic() {
     }
 }
 
+/// Flight-recorder attribution: everything a failure costs — the failed
+/// attempt's partial work, lineage replays, source refetches — must land
+/// on recovery-flagged spans, leaving the steady-state per-step trace of
+/// a faulty run *identical* to the healthy run's. Without the flagging,
+/// retried steps would double-count their traffic and every conformance
+/// pair downstream of a failure would overshoot.
+#[test]
+fn recovery_traffic_lands_on_recovery_spans_not_steady_state() {
+    let (_, _, healthy) = run_gnmf(None);
+    let steady = |r: &dmac::core::engine::ExecReport| {
+        r.trace
+            .steps
+            .iter()
+            .map(|s| (s.kind.clone(), s.actual_bytes, s.wire_bytes))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        healthy.trace.recovery_wire_total(),
+        0,
+        "healthy run must have no recovery traffic"
+    );
+    assert!(
+        healthy
+            .trace
+            .steps
+            .iter()
+            .flat_map(|s| &s.spans)
+            .all(|sp| !sp.recovery),
+        "healthy run must flag no spans"
+    );
+
+    for stage in 0..healthy.stage_count {
+        let plan = FaultPlan::kill_stage(stage, 0xC0FFEE + stage as u64);
+        let (_, _, faulty) = run_gnmf(Some(plan));
+        assert_eq!(faulty.recovery.worker_failures, 1, "stage {stage}");
+
+        // The failure left recovery-flagged spans carrying real traffic.
+        let flagged: Vec<_> = faulty
+            .trace
+            .steps
+            .iter()
+            .flat_map(|s| &s.spans)
+            .filter(|sp| sp.recovery)
+            .collect();
+        assert!(!flagged.is_empty(), "stage {stage}: no spans flagged");
+        assert!(
+            faulty.trace.recovery_wire_total() > 0,
+            "stage {stage}: recovery wire bytes must be attributed"
+        );
+        // Source refetches are recovery by definition.
+        for sp in faulty.trace.steps.iter().flat_map(|s| &s.spans) {
+            if sp.op == "refetch" {
+                assert!(sp.recovery, "stage {stage}: refetch span not flagged");
+            }
+        }
+
+        // The load-bearing claim: with recovery traffic separated out,
+        // the steady-state trace is bit-for-bit the healthy run's — same
+        // step kinds, same event bytes, same wire bytes. Conformance is
+        // therefore unaffected by failures.
+        assert_eq!(
+            steady(&faulty),
+            steady(&healthy),
+            "stage {stage}: steady-state trace must match the healthy run"
+        );
+        assert_eq!(
+            faulty.trace.actual_total(),
+            healthy.trace.actual_total(),
+            "stage {stage}"
+        );
+    }
+}
+
 #[test]
 fn flaky_network_retries_transparently_and_meters_waste() {
     let plan = FaultPlan::none().with_transient(0.3).with_send_attempts(10);

@@ -1,0 +1,153 @@
+//! Golden-trace snapshots: the flight-recorder summary of GNMF and
+//! PageRank is pinned — stage count, step count, the per-stage sequence
+//! of primitive choices (broadcast/partition/RMM1/RMM2/CPMM/cell-wise),
+//! and the per-stage predicted / actual / wire byte totals.
+//!
+//! These are change detectors for the planner and the runtime at once: a
+//! different strategy choice, a re-ordered stage schedule, a changed cost
+//! formula, or a metering change all show up as a diff against the pinned
+//! text. The summary deliberately excludes timing and pool counters
+//! (nondeterministic across hosts); everything pinned here is bit-stable
+//! for a fixed seed. When a change is *intentional*, re-run with
+//! `--nocapture` on failure and update the constant.
+
+use dmac::apps::{Gnmf, PageRank};
+use dmac::core::Session;
+
+fn session() -> Session {
+    Session::builder()
+        .workers(4)
+        .local_threads(1)
+        .block_size(8)
+        .seed(11)
+        .build()
+}
+
+const PAGERANK_GOLDEN: &str = "\
+workers=4 stages=4 steps=19
+stage  1: pred=3072 actual=3004 wire=1980 [broadcast,partition,RMM1,Unary]
+stage  0: pred=0 actual=0 wire=0 [Unary]
+stage  1: pred=256 actual=256 wire=0 [partition,Cell(c)]
+stage  2: pred=1024 actual=1024 wire=768 [broadcast,RMM1,Unary]
+stage  0: pred=0 actual=0 wire=0 [Unary]
+stage  1: pred=256 actual=256 wire=0 [partition]
+stage  2: pred=0 actual=0 wire=0 [Cell(c)]
+stage  3: pred=1024 actual=1024 wire=768 [broadcast,RMM1,Unary]
+stage  0: pred=0 actual=0 wire=0 [Unary]
+stage  1: pred=256 actual=256 wire=0 [partition]
+stage  3: pred=0 actual=0 wire=0 [Cell(c)]
+";
+
+const GNMF_GOLDEN: &str = "\
+workers=4 stages=9 steps=37
+stage  0: pred=0 actual=0 wire=0 [transpose]
+stage  1: pred=6759 actual=8736 wire=5880 [partition,partition]
+stage  2: pred=8192 actual=8192 wire=6144 [CPMM]
+stage  1: pred=0 actual=0 wire=0 [transpose]
+stage  2: pred=2048 actual=2048 wire=1536 [CPMM]
+stage  3: pred=2048 actual=2048 wire=1536 [broadcast]
+stage  1: pred=2048 actual=2048 wire=0 [partition]
+stage  3: pred=0 actual=0 wire=0 [RMM1]
+stage  2: pred=0 actual=0 wire=0 [Cell(c)]
+stage  3: pred=0 actual=0 wire=0 [Cell(c),transpose]
+stage  4: pred=8192 actual=8192 wire=6144 [broadcast,RMM2,transpose,extract,RMM1]
+stage  5: pred=2048 actual=2048 wire=1536 [broadcast,RMM2]
+stage  4: pred=0 actual=0 wire=0 [Cell(r)]
+stage  5: pred=0 actual=0 wire=0 [Cell(r),transpose]
+stage  6: pred=10240 actual=10240 wire=7680 [CPMM,CPMM,RMM2]
+stage  4: pred=0 actual=0 wire=0 [transpose]
+stage  6: pred=0 actual=0 wire=0 [Cell(r),Cell(r),transpose]
+stage  7: pred=8192 actual=8192 wire=6144 [broadcast,RMM2,transpose,RMM1]
+stage  8: pred=2048 actual=2048 wire=1536 [broadcast,RMM2]
+stage  7: pred=0 actual=0 wire=0 [Cell(r)]
+stage  8: pred=0 actual=0 wire=0 [Cell(r)]
+";
+
+#[test]
+fn pagerank_trace_matches_golden() {
+    let cfg = PageRank {
+        nodes: 32,
+        link_sparsity: 0.25,
+        damping: 0.85,
+        iterations: 3,
+    };
+    let g = dmac::data::powerlaw_graph(cfg.nodes, 128, 8, 3);
+    let mut s = session();
+    let (report, _) = cfg.run(&mut s, &g).unwrap();
+    let got = report.trace.golden_summary();
+    assert_eq!(
+        got, PAGERANK_GOLDEN,
+        "PageRank trace diverged from golden\n--- got ---\n{got}"
+    );
+    // The trace is also reachable through the session facade.
+    assert_eq!(s.last_trace().unwrap().golden_summary(), got);
+}
+
+#[test]
+fn gnmf_trace_matches_golden() {
+    let cfg = Gnmf {
+        rows: 48,
+        cols: 32,
+        sparsity: 0.3,
+        rank: 8,
+        iterations: 2,
+    };
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+    let mut s = session();
+    let (report, _) = cfg.run(&mut s, v).unwrap();
+    let got = report.trace.golden_summary();
+    assert_eq!(
+        got, GNMF_GOLDEN,
+        "GNMF trace diverged from golden\n--- got ---\n{got}"
+    );
+}
+
+/// The golden summary is a pure function of (program, data, seed): two
+/// identical runs must render identical summaries, byte for byte.
+#[test]
+fn golden_summary_is_deterministic_across_runs() {
+    let cfg = Gnmf {
+        rows: 48,
+        cols: 32,
+        sparsity: 0.3,
+        rank: 8,
+        iterations: 2,
+    };
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+    let render = || {
+        let mut s = session();
+        let (report, _) = cfg.run(&mut s, v.clone()).unwrap();
+        report.trace.golden_summary()
+    };
+    assert_eq!(render(), render());
+}
+
+/// Chrome-trace export of a real run produces structurally sound JSON:
+/// balanced braces/brackets, one complete event per step at minimum, and
+/// the per-step byte annotations present.
+#[test]
+fn chrome_export_of_real_run_is_well_formed() {
+    let cfg = PageRank {
+        nodes: 32,
+        link_sparsity: 0.25,
+        damping: 0.85,
+        iterations: 2,
+    };
+    let g = dmac::data::powerlaw_graph(cfg.nodes, 128, 8, 3);
+    let mut s = session();
+    let (report, _) = cfg.run(&mut s, &g).unwrap();
+    let json = report.trace.to_chrome_json();
+    let balance = |open: char, close: char| {
+        json.chars().filter(|&c| c == open).count() == json.chars().filter(|&c| c == close).count()
+    };
+    assert!(balance('{', '}'), "unbalanced braces");
+    assert!(balance('[', ']'), "unbalanced brackets");
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(
+        json.matches("\"ph\":\"X\"").count() >= report.trace.steps.len(),
+        "at least one complete event per step"
+    );
+    assert!(json.contains("\"predicted_bytes\""));
+    assert!(json.contains("\"actual_bytes\""));
+    assert!(json.contains("\"workers\":4"));
+}
