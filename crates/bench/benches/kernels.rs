@@ -3,7 +3,11 @@
 //! harness (`dmac_bench::microbench`), no external benchmark framework.
 
 use dmac_bench::microbench::bench;
-use dmac_matrix::{AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor};
+use dmac_matrix::exec::ResultBufferPool;
+use dmac_matrix::{
+    eval_fused_block, AggregationMode, Block, BlockedMatrix, CscBlock, DenseBlock, FusedOp,
+    LocalExecutor,
+};
 
 fn dense(rows: usize, cols: usize) -> BlockedMatrix {
     BlockedMatrix::from_fn(rows, cols, 64, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0).unwrap()
@@ -25,6 +29,14 @@ fn main() {
     let a = DenseBlock::from_fn(128, 128, |i, j| (i + j) as f64);
     let b = DenseBlock::from_fn(128, 128, |i, j| (i * j % 7) as f64);
     bench("block-multiply", "dense128", || a.matmul(&b).unwrap());
+
+    // Large enough that the k×j panel of `b` no longer fits in L1: this is
+    // where the cache-blocked i-k-j kernel pulls ahead of the naïve sweep.
+    let big_a = DenseBlock::from_fn(512, 512, |i, j| ((i * 3 + j) % 13) as f64 - 6.0);
+    let big_b = DenseBlock::from_fn(512, 512, |i, j| ((i + j * 5) % 9) as f64 - 4.0);
+    bench("block-multiply", "dense512-tiled", || {
+        big_a.matmul(&big_b).unwrap()
+    });
 
     let s = CscBlock::from_triplets(
         128,
@@ -53,4 +65,24 @@ fn main() {
     let adj = sparse(2048, 2048, 97);
     let ex = LocalExecutor::new(4, AggregationMode::InPlace);
     bench("graph-square", "a_x_a_2048", || ex.matmul(&adj, &adj).unwrap());
+
+    // GNMF's hot cell-wise chain `w .* num ./ den` per block: composed ops
+    // materialize one intermediate tile; the fused kernel does one pass.
+    let w = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| (i + j + 1) as f64));
+    let num = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| ((i * j) % 17) as f64));
+    let den = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| ((i + 2 * j) % 5) as f64));
+    bench("cellwise-chain", "unfused-mul-div", || {
+        w.cell_mul(&num).unwrap().cell_div(&den).unwrap()
+    });
+    let pool = ResultBufferPool::new(4);
+    let prog = [
+        FusedOp::Leaf(0),
+        FusedOp::Leaf(1),
+        FusedOp::CellMul,
+        FusedOp::Leaf(2),
+        FusedOp::CellDiv,
+    ];
+    bench("cellwise-chain", "fused-mul-div", || {
+        eval_fused_block(&prog, &[&w, &num, &den], &pool).unwrap()
+    });
 }

@@ -1,0 +1,233 @@
+//! Cell-wise fusion benchmark: GNMF and PageRank with the planner's fusion
+//! pass on vs off.
+//!
+//! For each workload the bin runs the identical program twice (same seed,
+//! same bindings) and compares:
+//!
+//! * wall-clock time,
+//! * blocks materialized by the cell-wise operator family
+//!   (`add`/`sub`/`cell_mul`/`cell_div`/`map`/`fused` spans),
+//! * result-buffer-pool counters,
+//! * the output matrices, bit for bit.
+//!
+//! Results land in `BENCH_fusion.json` (relative to the working directory;
+//! `scripts/verify.sh` runs from the repo root). The bin exits non-zero —
+//! failing `verify.sh` — if fusion changes a single output bit or if GNMF's
+//! cell-wise materializations drop by less than 30%.
+
+use dmac_apps::{Gnmf, PageRank};
+use dmac_bench::{fmt_sec, header, timed, LOCAL_THREADS, WORKERS};
+use dmac_core::engine::ExecReport;
+use dmac_core::planner::PlannerConfig;
+use dmac_core::Session;
+use dmac_data::{powerlaw_graph, uniform_sparse};
+use dmac_matrix::BlockedMatrix;
+
+const BLOCK: usize = 16;
+const SEED: u64 = 11;
+
+/// Primitive spans that materialize cell-wise results.
+const CELLWISE_OPS: [&str; 6] = ["add", "sub", "cell_mul", "cell_div", "map", "fused"];
+
+/// Everything we record about one run of one workload.
+struct RunMetrics {
+    wall_sec: f64,
+    /// Simulated-clock seconds (compute + modelled network).
+    sim_sec: f64,
+    /// Blocks written by cell-wise-family primitive spans.
+    cellwise_blocks: usize,
+    /// Number of cell-wise-family primitive spans.
+    cellwise_spans: usize,
+    pool_reused: usize,
+    pool_allocated: usize,
+    /// Output matrices as raw bit patterns, for exact comparison.
+    outputs: Vec<Vec<u64>>,
+}
+
+fn session(fuse: bool) -> Session {
+    Session::builder()
+        .workers(WORKERS)
+        .local_threads(LOCAL_THREADS)
+        .block_size(BLOCK)
+        .seed(SEED)
+        .planner(PlannerConfig {
+            fuse_cellwise: fuse,
+            ..PlannerConfig::default()
+        })
+        .build()
+}
+
+fn bits(m: &BlockedMatrix) -> Vec<u64> {
+    m.to_dense().data().iter().map(|v| v.to_bits()).collect()
+}
+
+fn cellwise_counts(report: &ExecReport) -> (usize, usize) {
+    let mut blocks = 0;
+    let mut spans = 0;
+    for step in &report.trace.steps {
+        for span in &step.spans {
+            if CELLWISE_OPS.contains(&span.op) {
+                blocks += span.blocks;
+                spans += 1;
+            }
+        }
+    }
+    (blocks, spans)
+}
+
+fn metrics(report: &ExecReport, wall: f64, outputs: Vec<Vec<u64>>) -> RunMetrics {
+    let (cellwise_blocks, cellwise_spans) = cellwise_counts(report);
+    RunMetrics {
+        wall_sec: wall,
+        sim_sec: report.sim.total_sec(),
+        cellwise_blocks,
+        cellwise_spans,
+        pool_reused: report.trace.pool.reused,
+        pool_allocated: report.trace.pool.allocated,
+        outputs,
+    }
+}
+
+fn run_gnmf(fuse: bool) -> RunMetrics {
+    // At this shape the planner's scheme choices line up so *both* update
+    // chains (`h .* num ./ den` and `w .* num ./ den`) fuse; on skinnier
+    // `V` the W-update's cell_mul lands in Column scheme while its
+    // cell_div needs Row, and the mandatory repartition in between rightly
+    // blocks fusion.
+    let cfg = Gnmf {
+        rows: 256,
+        cols: 192,
+        sparsity: 0.1,
+        rank: 16,
+        iterations: 3,
+    };
+    let v = uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, BLOCK, 5);
+    let mut s = session(fuse);
+    let ((report, handles), wall) = timed(|| cfg.run(&mut s, v).expect("gnmf run"));
+    let w = s.value(handles.w).expect("W");
+    let h = s.value(handles.h).expect("H");
+    metrics(&report, wall, vec![bits(&w), bits(&h)])
+}
+
+fn run_pagerank(fuse: bool) -> RunMetrics {
+    let cfg = PageRank {
+        nodes: 256,
+        link_sparsity: 0.05,
+        damping: 0.85,
+        iterations: 5,
+    };
+    let g = powerlaw_graph(cfg.nodes, cfg.nodes * 8, BLOCK, 3);
+    let mut s = session(fuse);
+    let ((report, handles), wall) = timed(|| cfg.run(&mut s, &g).expect("pagerank run"));
+    let rank = s.value(handles.rank).expect("rank");
+    metrics(&report, wall, vec![bits(&rank)])
+}
+
+fn json_run(m: &RunMetrics) -> String {
+    format!(
+        concat!(
+            "{{\"wall_sec\": {:.6}, \"sim_sec\": {:.6}, ",
+            "\"cellwise_blocks\": {}, \"cellwise_spans\": {}, ",
+            "\"pool_reused\": {}, \"pool_allocated\": {}}}"
+        ),
+        m.wall_sec, m.sim_sec, m.cellwise_blocks, m.cellwise_spans, m.pool_reused,
+        m.pool_allocated,
+    )
+}
+
+/// Compare one workload's fused/unfused runs, print the table, and return
+/// its JSON object. Pushes a message into `failures` for each violated gate.
+fn compare(
+    name: &str,
+    unfused: &RunMetrics,
+    fused: &RunMetrics,
+    gate_reduction: bool,
+    failures: &mut Vec<String>,
+) -> String {
+    header(&format!("fusion: {name} (fused vs unfused)"));
+    println!(
+        "  unfused: wall {:>8}  cellwise blocks {:>5} in {:>2} spans  pool reused/alloc {}/{}",
+        fmt_sec(unfused.wall_sec),
+        unfused.cellwise_blocks,
+        unfused.cellwise_spans,
+        unfused.pool_reused,
+        unfused.pool_allocated,
+    );
+    println!(
+        "  fused:   wall {:>8}  cellwise blocks {:>5} in {:>2} spans  pool reused/alloc {}/{}",
+        fmt_sec(fused.wall_sec),
+        fused.cellwise_blocks,
+        fused.cellwise_spans,
+        fused.pool_reused,
+        fused.pool_allocated,
+    );
+
+    let reduction = 1.0 - fused.cellwise_blocks as f64 / unfused.cellwise_blocks.max(1) as f64;
+    println!(
+        "  materialization reduction: {:.1}%{}",
+        reduction * 100.0,
+        if gate_reduction { "  (gate: >=30%)" } else { "" },
+    );
+    if gate_reduction && reduction < 0.30 {
+        failures.push(format!(
+            "{name}: cell-wise materializations dropped only {:.1}% (< 30%)",
+            reduction * 100.0
+        ));
+    }
+
+    let identical = unfused.outputs == fused.outputs;
+    println!(
+        "  outputs: {}",
+        if identical { "bit-identical" } else { "DIVERGED" }
+    );
+    if !identical {
+        failures.push(format!("{name}: fused outputs diverge from unfused"));
+    }
+
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"unfused\": {},\n",
+            "      \"fused\": {},\n",
+            "      \"materialization_reduction\": {:.4},\n",
+            "      \"bit_identical\": {}\n",
+            "    }}"
+        ),
+        name,
+        json_run(unfused),
+        json_run(fused),
+        reduction,
+        identical,
+    )
+}
+
+fn main() {
+    let mut failures = Vec::new();
+
+    let gnmf_unfused = run_gnmf(false);
+    let gnmf_fused = run_gnmf(true);
+    let gnmf_json = compare("gnmf", &gnmf_unfused, &gnmf_fused, true, &mut failures);
+
+    let pr_unfused = run_pagerank(false);
+    let pr_fused = run_pagerank(true);
+    let pr_json = compare("pagerank", &pr_unfused, &pr_fused, false, &mut failures);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workers\": {}, \"local_threads\": {}, \"block\": {},\n",
+            "  \"workloads\": {{\n{},\n{}\n  }}\n",
+            "}}\n"
+        ),
+        WORKERS, LOCAL_THREADS, BLOCK, gnmf_json, pr_json,
+    );
+    std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
+    println!("\nwrote BENCH_fusion.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -955,6 +955,85 @@ impl Cluster {
         Ok(DistMatrix::from_parts(*a.meta(), a.scheme(), stores))
     }
 
+    /// Fused cell-wise expression: evaluates a whole post-order program of
+    /// scheme-aligned cell-wise operators in one pass per tile, producing a
+    /// single output allocation (from the result buffer pool) instead of one
+    /// intermediate [`DistMatrix`] per operator. Exactly like [`Self::cellwise`]
+    /// it is communication-free: the span meters zero wire and event bytes,
+    /// so fusing never changes the cost-model ledger. `label` names the
+    /// subsumed operators for the flight recorder.
+    pub fn fused_cellwise(
+        &mut self,
+        leaves: &[&DistMatrix],
+        prog: &[dmac_matrix::FusedOp],
+        label: &str,
+    ) -> Result<DistMatrix> {
+        self.op_entry("fused")?;
+        let st = self.span_open();
+        dmac_matrix::fused::validate_program(prog, leaves.len())?;
+        let first = leaves.first().ok_or_else(|| {
+            ClusterError::Matrix(dmac_matrix::MatrixError::MalformedSparse(
+                "fused: no operands".into(),
+            ))
+        })?;
+        for m in &leaves[1..] {
+            self.compat(first, m)?;
+            if m.scheme() != first.scheme() || m.scheme() == PartitionScheme::Hash {
+                return Err(ClusterError::SchemeMismatch {
+                    expected: first.scheme(),
+                    actual: m.scheme(),
+                    op: "fused",
+                });
+            }
+            if m.rows() != first.rows() || m.cols() != first.cols() {
+                return Err(ClusterError::Matrix(
+                    dmac_matrix::MatrixError::DimensionMismatch {
+                        op: "fused",
+                        left: (first.rows(), first.cols()),
+                        right: (m.rows(), m.cols()),
+                    },
+                ));
+            }
+        }
+        let n = self.config.workers;
+        let pool = &self.pool;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let mut secs = vec![0.0f64; n];
+        for w in 0..n {
+            let t0 = Instant::now();
+            let tasks: Vec<((usize, usize), Arc<Block>)> = first
+                .worker_blocks(w)
+                .iter()
+                .map(|(&k, t)| (k, Arc::clone(t)))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |((bi, bj), at)| {
+                let mut tiles: Vec<&Block> = Vec::with_capacity(leaves.len());
+                tiles.push(&at);
+                for m in &leaves[1..] {
+                    let Some(t) = m.block_on(w, bi, bj) else {
+                        return Err(ClusterError::Matrix(
+                            dmac_matrix::MatrixError::MalformedSparse(format!(
+                                "fused: tile ({bi},{bj}) missing on worker {w}"
+                            )),
+                        ));
+                    };
+                    tiles.push(t);
+                }
+                let out = dmac_matrix::eval_fused_block(prog, &tiles, pool)?;
+                Ok(((bi, bj), Arc::new(out)))
+            });
+            for r in results {
+                let (k, tile) = r?;
+                stores[w].insert(k, tile);
+            }
+            secs[w] = t0.elapsed().as_secs_f64();
+        }
+        self.charge_compute_workers(&secs);
+        let blocks = stores.iter().map(HashMap::len).sum();
+        self.span_close(st, "fused", label.to_string(), 0, 0, None, blocks);
+        Ok(DistMatrix::from_parts(*first.meta(), first.scheme(), stores))
+    }
+
     /// Unary per-tile map (scalar multiply, scalar add, arbitrary map);
     /// local on every worker, keeps the scheme.
     pub fn map_tiles(

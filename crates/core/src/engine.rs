@@ -42,7 +42,7 @@ use dmac_lang::{BinOp, MatrixId, MatrixOrigin, OpKind, Program, ReduceOp, Scalar
 use dmac_matrix::BlockedMatrix;
 
 use crate::error::{CoreError, Result};
-use crate::plan::{Plan, PlanStep};
+use crate::plan::{FusedInstr, Plan, PlanStep};
 use crate::recovery::{self, RecoveryPolicy, RecoveryStats};
 use crate::stage;
 use crate::trace::{StepTrace, Trace};
@@ -283,6 +283,47 @@ pub(crate) fn exec_step(
                 }
             }
         }
+        PlanStep::FusedCellWise {
+            ops,
+            prog,
+            inputs,
+            out,
+            ..
+        } => {
+            // Resolve the symbolic scalar expressions now (the plan keeps
+            // them symbolic so lineage replay re-reads the live values).
+            let scalar_env = |id: ScalarId| -> f64 { *scalars.get(&id).unwrap_or(&f64::NAN) };
+            let kernel: Vec<dmac_matrix::FusedOp> = prog
+                .iter()
+                .map(|instr| match instr {
+                    FusedInstr::Leaf(i) => dmac_matrix::FusedOp::Leaf(*i),
+                    FusedInstr::Add => dmac_matrix::FusedOp::Add,
+                    FusedInstr::Sub => dmac_matrix::FusedOp::Sub,
+                    FusedInstr::CellMul => dmac_matrix::FusedOp::CellMul,
+                    FusedInstr::CellDiv => dmac_matrix::FusedOp::CellDiv,
+                    FusedInstr::Scale(e) => dmac_matrix::FusedOp::Scale(e.eval(&scalar_env)),
+                    FusedInstr::AddScalar(e) => {
+                        dmac_matrix::FusedOp::AddScalar(e.eval(&scalar_env))
+                    }
+                })
+                .collect();
+            let operands = inputs
+                .iter()
+                .map(|&n| take(values, n))
+                .collect::<Result<Vec<_>>>()?;
+            let refs: Vec<&DistMatrix> = operands.iter().collect();
+            // The span label names the subsumed operators.
+            let subsumed: Vec<&str> = ops
+                .iter()
+                .map(|&o| match &ctx.program.ops()[o].kind {
+                    OpKind::Binary { op, .. } => op.name(),
+                    OpKind::Unary { op, .. } => op.name(),
+                    OpKind::Reduce { .. } => "reduce",
+                })
+                .collect();
+            let label = subsumed.join("+");
+            values[*out] = Some(cluster.fused_cellwise(&refs, &kernel, &label)?);
+        }
     }
     Ok(())
 }
@@ -326,6 +367,7 @@ impl CommSnap {
 /// (by matrix id); `random` declarations are generated deterministically
 /// from `seed`. The cluster's meters are reset at entry. Worker losses
 /// are recovered transparently within `policy`'s attempt budget.
+#[allow(clippy::too_many_arguments)] // flat run-context; Session is the ergonomic entry point
 pub fn execute(
     cluster: &mut Cluster,
     program: &Program,
@@ -585,6 +627,10 @@ fn step_identity(plan: &Plan, program: &Program, step: &PlanStep) -> (String, St
             };
             (strategy.name(), label)
         }
+        PlanStep::FusedCellWise { ops, out, .. } => (
+            format!("Fused({})", ops.len()),
+            plan.node_label(program, *out),
+        ),
     }
 }
 

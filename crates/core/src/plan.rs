@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 
 use dmac_cluster::PartitionScheme;
-use dmac_lang::{MatrixId, Program, ScalarId};
+use dmac_lang::{MatrixId, Program, ScalarExpr, ScalarId};
 
 use crate::strategy::Strategy;
 
@@ -96,6 +96,45 @@ pub enum PlanStep {
         /// Phase tag (iteration number).
         phase: usize,
     },
+    /// A maximal group of scheme-aligned cell-wise operators collapsed
+    /// into one single-pass step: the post-order `prog` is evaluated per
+    /// block over the `inputs` leaves, materialising only the final
+    /// result. Purely local — never communication.
+    FusedCellWise {
+        /// Program operator indices subsumed by the fusion, in plan order.
+        ops: Vec<usize>,
+        /// Post-order expression program over `inputs`.
+        prog: Vec<FusedInstr>,
+        /// Leaf input nodes, in [`FusedInstr::Leaf`] index order.
+        inputs: Vec<NodeId>,
+        /// Output node.
+        out: NodeId,
+        /// Phase tag.
+        phase: usize,
+    },
+}
+
+/// One post-order instruction of a fused cell-wise expression
+/// ([`PlanStep::FusedCellWise`]): `Leaf(i)` pushes the `i`-th fused input,
+/// binary instructions pop two operands, scalar instructions pop one.
+/// Scalar operands stay symbolic ([`ScalarExpr`]) so a fused step can be
+/// replayed from lineage after the driver's reduction values are known.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FusedInstr {
+    /// Push fused input `i`.
+    Leaf(usize),
+    /// Cell-wise addition.
+    Add,
+    /// Cell-wise subtraction.
+    Sub,
+    /// Cell-wise multiplication.
+    CellMul,
+    /// Cell-wise division (0 where the divisor is 0).
+    CellDiv,
+    /// Multiply every cell by a scalar expression.
+    Scale(ScalarExpr),
+    /// Add a scalar expression to every cell.
+    AddScalar(ScalarExpr),
 }
 
 impl PlanStep {
@@ -107,7 +146,8 @@ impl PlanStep {
             | PlanStep::Transpose { phase, .. }
             | PlanStep::Extract { phase, .. }
             | PlanStep::Reference { phase, .. }
-            | PlanStep::Compute { phase, .. } => *phase,
+            | PlanStep::Compute { phase, .. }
+            | PlanStep::FusedCellWise { phase, .. } => *phase,
         }
     }
 
@@ -131,6 +171,7 @@ impl PlanStep {
             | PlanStep::Extract { out, .. }
             | PlanStep::Reference { out, .. } => Some(*out),
             PlanStep::Compute { out, .. } => *out,
+            PlanStep::FusedCellWise { out, .. } => Some(*out),
         }
     }
 
@@ -142,7 +183,9 @@ impl PlanStep {
             | PlanStep::Transpose { src, .. }
             | PlanStep::Extract { src, .. }
             | PlanStep::Reference { src, .. } => vec![*src],
-            PlanStep::Compute { inputs, .. } => inputs.clone(),
+            PlanStep::Compute { inputs, .. } | PlanStep::FusedCellWise { inputs, .. } => {
+                inputs.clone()
+            }
         }
     }
 }
@@ -264,8 +307,16 @@ impl Plan {
                 PlanStep::Extract { .. } => ("color=blue, style=dashed", "extract".to_string()),
                 PlanStep::Reference { .. } => ("color=blue, style=dashed", "reference".to_string()),
                 PlanStep::Compute { strategy, .. } => ("color=black", strategy.name()),
+                PlanStep::FusedCellWise { ops, .. } => {
+                    ("color=black, penwidth=2", format!("Fused({})", ops.len()))
+                }
             };
             match step {
+                PlanStep::FusedCellWise { inputs, out, .. } => {
+                    for input in inputs {
+                        let _ = writeln!(s, "  n{input} -> n{out} [label=\"{label}\", {style}];");
+                    }
+                }
                 PlanStep::Compute { inputs, out, .. } => {
                     let target = match out {
                         Some(o) => format!("n{o}"),
@@ -363,6 +414,24 @@ impl Plan {
                         strategy.name(),
                         ins.join(", "),
                         out_s
+                    )
+                }
+                PlanStep::FusedCellWise {
+                    ops, inputs, out, ..
+                } => {
+                    let ins: Vec<String> = inputs
+                        .iter()
+                        .map(|&n| self.node_label(program, n))
+                        .collect();
+                    format!(
+                        "fused#{:<4} Fused({}) [{}] -> {}",
+                        ops.iter()
+                            .map(|o| o.to_string())
+                            .collect::<Vec<_>>()
+                            .join("+"),
+                        ops.len(),
+                        ins.join(", "),
+                        self.node_label(program, *out)
                     )
                 }
             };

@@ -50,6 +50,10 @@ pub struct PlannerConfig {
     pub re_assignment: bool,
     /// Allow the CPMM strategy (ablation switch).
     pub allow_cpmm: bool,
+    /// Collapse chains of scheme-aligned cell-wise operators into
+    /// single-pass [`PlanStep::FusedCellWise`] steps (purely local; never
+    /// changes communication).
+    pub fuse_cellwise: bool,
 }
 
 impl Default for PlannerConfig {
@@ -60,6 +64,7 @@ impl Default for PlannerConfig {
             pull_up_broadcast: true,
             re_assignment: true,
             allow_cpmm: true,
+            fuse_cellwise: true,
         }
     }
 }
@@ -74,6 +79,7 @@ impl PlannerConfig {
             pull_up_broadcast: false,
             re_assignment: false,
             allow_cpmm: true,
+            fuse_cellwise: false,
         }
     }
 }
@@ -160,10 +166,203 @@ pub fn plan_with_forced(
     }
     p.bind_outputs()?;
     p.plan.finalize_flexible();
+    if cfg.fuse_cellwise {
+        fuse_cellwise_steps(program, &mut p.plan);
+    }
     Ok(Planned {
         plan: p.plan,
         estimated_comm: p.estimated_comm,
     })
+}
+
+/// The fusion pass: after planning (and the pull-up-broadcast /
+/// re-assignment rewrites), collapse maximal groups of scheme-aligned
+/// cell-wise compute steps into single [`PlanStep::FusedCellWise`] steps.
+///
+/// An intermediate is absorbed into its consumer exactly when
+///
+/// * both its producer and the consumer are cell-wise computes
+///   ([`Strategy::CellAligned`] binaries or [`Strategy::UnaryLocal`]
+///   scalar unaries),
+/// * it has exactly one consumer across the whole plan, and
+/// * it is not a program output (outputs must materialise).
+///
+/// Because the contracted edge is a direct node identity, the two steps
+/// are guaranteed scheme-compatible: any scheme change in between would
+/// have been realised by an intervening partition/broadcast step, whose
+/// output node — not the producer's — the consumer would read. All
+/// member steps are communication-free, so fusing moves no bytes and
+/// every per-step prediction stays untouched.
+fn fuse_cellwise_steps(program: &Program, plan: &mut Plan) {
+    use crate::plan::FusedInstr;
+    use crate::strategy::Strategy;
+    use dmac_lang::{BinOp, OpKind, UnaryOp};
+    use std::collections::HashSet;
+
+    // Producer step and plan-wide consumer count per node.
+    let mut producer: Vec<Option<usize>> = vec![None; plan.nodes.len()];
+    let mut consumers = vec![0usize; plan.nodes.len()];
+    for (i, s) in plan.steps.iter().enumerate() {
+        if let Some(o) = s.out_node() {
+            producer[o] = Some(i);
+        }
+        for n in s.in_nodes() {
+            consumers[n] += 1;
+        }
+    }
+    let is_output: HashSet<NodeId> = plan.outputs.iter().map(|&(n, _, _)| n).collect();
+
+    let fusable: Vec<bool> = plan
+        .steps
+        .iter()
+        .map(|s| match s {
+            PlanStep::Compute {
+                op,
+                strategy,
+                out: Some(_),
+                out_scalar: None,
+                ..
+            } => match strategy {
+                Strategy::CellAligned(_) => true,
+                Strategy::UnaryLocal => {
+                    matches!(program.ops()[*op].kind, OpKind::Unary { .. })
+                }
+                _ => false,
+            },
+            _ => false,
+        })
+        .collect();
+
+    // Union fusable steps across contractible producer→consumer edges.
+    let mut comp: Vec<usize> = (0..plan.steps.len()).collect();
+    fn find(comp: &mut [usize], i: usize) -> usize {
+        let mut r = i;
+        while comp[r] != r {
+            r = comp[r];
+        }
+        let mut c = i;
+        while comp[c] != r {
+            let next = comp[c];
+            comp[c] = r;
+            c = next;
+        }
+        r
+    }
+    for (j, s) in plan.steps.iter().enumerate() {
+        if !fusable[j] {
+            continue;
+        }
+        for n in s.in_nodes() {
+            if consumers[n] != 1 || is_output.contains(&n) {
+                continue;
+            }
+            if let Some(i) = producer[n] {
+                if fusable[i] {
+                    let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
+                    comp[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &f) in fusable.iter().enumerate() {
+        if f {
+            let r = find(&mut comp, i);
+            groups.entry(r).or_default().push(i);
+        }
+    }
+
+    // Build one fused step per multi-member group. Within a group every
+    // contracted edge points at a unique consumer, so the member with the
+    // highest plan index is the unique root — by then every leaf exists.
+    let mut fused_at: HashMap<usize, PlanStep> = HashMap::new();
+    let mut absorbed: HashSet<usize> = HashSet::new();
+    for members in groups.into_values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let member_set: HashSet<usize> = members.iter().copied().collect();
+        let root = *members.iter().max().expect("non-empty group");
+        let root_out = plan.steps[root].out_node().expect("fusable steps define a node");
+
+        // Post-order expression program over the group's leaves.
+        let mut ops = members.clone();
+        ops.sort_unstable();
+        let mut leaves: Vec<NodeId> = Vec::new();
+        let mut prog: Vec<FusedInstr> = Vec::new();
+        let mut stack = vec![(root_out, false)];
+        while let Some((node, emitted)) = stack.pop() {
+            let member = producer[node].filter(|i| member_set.contains(i));
+            let Some(i) = member else {
+                let idx = leaves.iter().position(|&l| l == node).unwrap_or_else(|| {
+                    leaves.push(node);
+                    leaves.len() - 1
+                });
+                prog.push(FusedInstr::Leaf(idx));
+                continue;
+            };
+            let PlanStep::Compute { op, inputs, .. } = &plan.steps[i] else {
+                unreachable!("fusable steps are computes");
+            };
+            if emitted {
+                prog.push(match &program.ops()[*op].kind {
+                    OpKind::Binary { op: b, .. } => match b {
+                        BinOp::Add => FusedInstr::Add,
+                        BinOp::Sub => FusedInstr::Sub,
+                        BinOp::CellMul => FusedInstr::CellMul,
+                        BinOp::CellDiv => FusedInstr::CellDiv,
+                        BinOp::MatMul => unreachable!("matmul is never cell-wise"),
+                    },
+                    OpKind::Unary { op: u, .. } => match u {
+                        UnaryOp::Scale(e) => FusedInstr::Scale(e.clone()),
+                        UnaryOp::AddScalar(e) => FusedInstr::AddScalar(e.clone()),
+                    },
+                    OpKind::Reduce { .. } => unreachable!("reductions are not fusable"),
+                });
+            } else {
+                stack.push((node, true));
+                for &input in inputs.iter().rev() {
+                    stack.push((input, false));
+                }
+            }
+        }
+
+        let member_ops: Vec<usize> = ops
+            .iter()
+            .map(|&i| match &plan.steps[i] {
+                PlanStep::Compute { op, .. } => *op,
+                _ => unreachable!("fusable steps are computes"),
+            })
+            .collect();
+        fused_at.insert(
+            root,
+            PlanStep::FusedCellWise {
+                ops: member_ops,
+                prog,
+                inputs: leaves,
+                out: root_out,
+                phase: plan.steps[root].phase(),
+            },
+        );
+        absorbed.extend(members.iter().copied().filter(|&i| i != root));
+    }
+    if fused_at.is_empty() {
+        return;
+    }
+
+    // Rebuild steps/predictions, dropping absorbed members (all comm-free,
+    // so every dropped prediction is 0 and the totals are unchanged).
+    let old_steps = std::mem::take(&mut plan.steps);
+    let old_predicted = std::mem::take(&mut plan.predicted);
+    for (i, step) in old_steps.into_iter().enumerate() {
+        if absorbed.contains(&i) {
+            debug_assert_eq!(old_predicted.get(i).copied().unwrap_or(0), 0);
+            continue;
+        }
+        let step = fused_at.remove(&i).unwrap_or(step);
+        plan.steps.push(step);
+        plan.predicted.push(old_predicted.get(i).copied().unwrap_or(0));
+    }
 }
 
 /// Exhaustive planning oracle: enumerate every per-operator strategy

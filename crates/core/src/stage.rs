@@ -117,6 +117,17 @@ pub fn explain_stages(plan: &Plan, program: &dmac_lang::Program) -> String {
                     );
                     continue;
                 }
+                PlanStep::FusedCellWise { ops, .. } => {
+                    let _ = writeln!(
+                        s,
+                        "  fused   Fused({}) -> {}",
+                        ops.len(),
+                        step.out_node()
+                            .map(|n| plan.node_label(program, n))
+                            .unwrap_or_default()
+                    );
+                    continue;
+                }
             };
             let _ = writeln!(
                 s,

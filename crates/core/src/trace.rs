@@ -261,8 +261,8 @@ impl Trace {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  {}",
-            "step", "stage", "kind", "predicted", "actual", "wire", "label"
+            "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  label",
+            "step", "stage", "kind", "predicted", "actual", "wire"
         );
         for t in &self.steps {
             let mark = if t.actual_bytes > t.predicted_bytes {

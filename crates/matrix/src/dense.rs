@@ -171,17 +171,33 @@ impl DenseBlock {
                 right: (self.rows, other.cols),
             });
         }
+        // Cache-blocked i-k-j: the k×j panel of `other` touched by the two
+        // inner loops is capped at KC×NC cells (256 KiB of f64, L2-resident)
+        // so it is reused across the whole i sweep instead of being
+        // re-streamed from memory for every row. Within one (i, j) cell the
+        // k loop still visits ascending k — panels ascend and k ascends
+        // inside a panel — so the f64 accumulation order (and the result
+        // bit pattern) is identical to the naïve i-k-j loop.
+        const KC: usize = 64;
+        const NC: usize = 512;
         let n = other.cols;
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let crow = &mut acc.data[i * n..(i + 1) * n];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * n..(k + 1) * n];
-                for (c, &b) in crow.iter_mut().zip(brow.iter()) {
-                    *c += aik * b;
+        for k0 in (0..self.cols).step_by(KC) {
+            let k1 = (k0 + KC).min(self.cols);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                for i in 0..self.rows {
+                    let arow = &self.data[i * self.cols + k0..i * self.cols + k1];
+                    let crow = &mut acc.data[i * n + j0..i * n + j1];
+                    for (dk, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let k = k0 + dk;
+                        let brow = &other.data[k * n + j0..k * n + j1];
+                        for (c, &b) in crow.iter_mut().zip(brow.iter()) {
+                            *c += aik * b;
+                        }
+                    }
                 }
             }
         }

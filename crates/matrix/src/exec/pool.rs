@@ -3,17 +3,20 @@
 //!
 //! DMac packages "the meta data of operations which can be executed
 //! independently" into tasks and lets each thread pull from a shared queue.
-//! We reproduce that with a mutex-guarded queue drained by `std::thread`
-//! scoped workers (no external crates — the workspace builds offline),
-//! returning results tagged with their task index so callers can
-//! reassemble ordered output.
+//! We reproduce that with `std::thread` scoped workers (no external crates —
+//! the workspace builds offline). Handout is a single shared atomic index
+//! over a pre-built slot array — one `fetch_add` per task instead of a
+//! contended queue lock — and each worker accumulates `(index, result)`
+//! pairs in a private vector; the caller stitches them back into task order
+//! after the scope joins, so no result slot is ever shared between threads.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Run `tasks` on `threads` worker threads, applying `f` to each.
 ///
 /// Results come back in task order. `f` runs concurrently, so it must be
-/// `Sync`; tasks are handed out through a shared queue exactly like the
+/// `Sync`; tasks are claimed through a shared atomic cursor exactly like the
 /// paper's task-queue execution flow. With `threads == 1` (or a single
 /// task) the work runs inline on the caller's thread.
 pub fn run_tasks<T, R, F>(threads: usize, tasks: Vec<T>, f: F) -> Vec<R>
@@ -29,31 +32,51 @@ where
     if threads <= 1 || n == 1 {
         return tasks.into_iter().map(f).collect();
     }
-    let queue = Mutex::new(tasks.into_iter().enumerate());
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Each slot is locked exactly once, by the worker whose `fetch_add`
+    // claimed its index, so the mutexes are uncontended — they only move
+    // ownership of `T` out of the shared array safely.
+    let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
 
     let workers = threads.min(n);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                // Pull the next task under the queue lock, then release the
-                // lock before running `f` so workers execute concurrently.
-                let next = queue.lock().expect("queue poisoned").next();
-                let Some((idx, t)) = next else { break };
-                // A panic inside `f` propagates out of the scope; other
-                // workers finish their current task and the scope re-panics.
-                let r = f(t);
-                *results[idx].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let t = slots[idx]
+                            .lock()
+                            .expect("task slot poisoned")
+                            .take()
+                            .expect("slot claimed exactly once");
+                        // A panic inside `f` propagates through the join
+                        // below; other workers finish their current task.
+                        local.push((idx, f(t)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("all tasks ran")
-        })
+
+    // Stitch the per-worker runs back into task order.
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for local in per_worker {
+        for (idx, r) in local {
+            out[idx] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("all tasks ran"))
         .collect()
 }
 

@@ -35,6 +35,7 @@ pub mod csc;
 pub mod dense;
 pub mod error;
 pub mod exec;
+pub mod fused;
 pub mod mem;
 pub mod rng;
 
@@ -45,6 +46,7 @@ pub use csc::CscBlock;
 pub use dense::DenseBlock;
 pub use error::{MatrixError, Result};
 pub use exec::{AggregationMode, LocalExecutor};
+pub use fused::{eval_fused_block, FusedOp};
 pub use rng::SplitMix64;
 
 /// Relative tolerance used by the test helpers when comparing floating-point

@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace --bins --benches
 
+echo "==> cargo clippy (workspace, deny warnings)"
+cargo clippy --workspace -- -D warnings
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
@@ -25,5 +28,10 @@ echo "==> trace conformance (dense PageRank: actual bytes must not exceed predic
 # exceed the planner's Table 2 prediction, or if the dense run is not
 # byte-for-byte exact. Also exports chrome://tracing JSON to target/traces/.
 cargo run --release -q -p dmac-bench --bin trace > /dev/null
+
+echo "==> fusion benchmark (GNMF + PageRank fused vs unfused, writes BENCH_fusion.json)"
+# Exits non-zero if a fused run is not bit-identical to the unfused run or
+# if fusion stops cutting GNMF's cell-wise block materializations by >=30%.
+cargo run --release -q -p dmac-bench --bin fusion > /dev/null
 
 echo "verify: OK"

@@ -1,0 +1,203 @@
+//! Property test for the cell-wise fusion pass: for random programs,
+//! shapes, and sparsities, a fused run must be **bit-for-bit identical** to
+//! an unfused run — same output bits, same communication bytes.
+//!
+//! The fused kernel is contracted to apply exactly the per-cell `f64`
+//! operation sequence of the unfused operator chain (including cell_div's
+//! `b == 0 → 0` convention) and to mirror the dense/sparse representation
+//! rules of the `Block` operators, so equality here is exact `==` on the
+//! dense rendering — no tolerance.
+//!
+//! Cases are drawn from the in-tree [`SplitMix64`] generator with fixed
+//! seeds (`tests/prop_kernels.rs` style): every run checks the same
+//! reproducible corpus and a failing case is named by its loop index.
+
+use dmac::core::planner::PlannerConfig;
+use dmac::core::Session;
+use dmac::lang::{Expr, Program, ScalarExpr};
+use dmac::matrix::{BlockedMatrix, DenseBlock, SplitMix64};
+
+const CASES: usize = 32;
+const SEED: u64 = 0xF05E_D11A_C0DE_2024;
+
+/// A random square binding: dense or sparse, entries in [-4, 4).
+fn binding(rng: &mut SplitMix64, n: usize, block: usize) -> BlockedMatrix {
+    if rng.below(2) == 0 {
+        let d = DenseBlock::from_fn(n, n, |_, _| rng_cell(rng));
+        BlockedMatrix::from_dense(d, block).unwrap()
+    } else {
+        let count = rng.below(n * n / 2 + 1);
+        let trips = (0..count)
+            .map(|_| (rng.below(n), rng.below(n), rng.range_f64(-4.0, 4.0)))
+            .collect::<Vec<_>>();
+        BlockedMatrix::from_triplets(n, n, block, trips).unwrap()
+    }
+}
+
+fn rng_cell(rng: &mut SplitMix64) -> f64 {
+    // Mix exact zeros in so cell_div's zero-divisor convention and the
+    // sparse representation rules are exercised.
+    if rng.below(4) == 0 {
+        0.0
+    } else {
+        rng.range_f64(-4.0, 4.0)
+    }
+}
+
+/// Build a random DAG of cell-wise ops (with occasional matmuls that force
+/// communication boundaries through the middle of the expression). Returns
+/// the program and the expressions pinned as outputs.
+fn random_program(rng: &mut SplitMix64, n: usize, leaves: usize) -> (Program, Vec<Expr>) {
+    let mut p = Program::new();
+    let mut pool: Vec<Expr> = (0..leaves)
+        .map(|i| p.load(&format!("L{i}"), n, n, 0.4))
+        .collect();
+    let ops = 3 + rng.below(6);
+    for _ in 0..ops {
+        let a = pool[rng.below(pool.len())];
+        let e = match rng.below(8) {
+            0 => {
+                let b = pool[rng.below(pool.len())];
+                p.add(a, b).unwrap()
+            }
+            1 => {
+                let b = pool[rng.below(pool.len())];
+                p.sub(a, b).unwrap()
+            }
+            2 | 3 => {
+                let b = pool[rng.below(pool.len())];
+                p.cell_mul(a, b).unwrap()
+            }
+            4 => {
+                let b = pool[rng.below(pool.len())];
+                p.cell_div(a, b).unwrap()
+            }
+            5 => p.scale_const(a, rng.range_f64(-2.0, 2.0)).unwrap(),
+            6 => p
+                .add_scalar(a, ScalarExpr::c(rng.range_f64(-1.0, 1.0)))
+                .unwrap(),
+            _ => {
+                // square matrices: matmul is always shape-legal and plants
+                // a communication step in the middle of the DAG
+                let b = pool[rng.below(pool.len())];
+                p.matmul(a, b).unwrap()
+            }
+        };
+        pool.push(e);
+    }
+    // Pin the final expression plus a random mid-DAG node: outputs must
+    // never be absorbed into a fused group, so this exercises the
+    // is-an-output exclusion too.
+    let mut outs = vec![*pool.last().unwrap()];
+    let extra = pool[rng.below(pool.len())];
+    if extra.id != outs[0].id {
+        outs.push(extra);
+    }
+    for e in &outs {
+        p.output(*e);
+    }
+    (p, outs)
+}
+
+fn run_with(
+    fuse: bool,
+    program: &Program,
+    outs: &[Expr],
+    bindings: &[(String, BlockedMatrix)],
+    block: usize,
+) -> (Vec<dmac::matrix::DenseBlock>, u64, u64) {
+    let mut s = Session::builder()
+        .workers(3)
+        .local_threads(2)
+        .block_size(block)
+        .seed(7)
+        .planner(PlannerConfig {
+            fuse_cellwise: fuse,
+            ..PlannerConfig::default()
+        })
+        .build();
+    for (name, m) in bindings {
+        s.bind(name, m.clone()).unwrap();
+    }
+    s.run(program).unwrap();
+    let values = outs.iter().map(|&e| s.value(e).unwrap().to_dense()).collect();
+    let comm = s.cluster_mut().comm().clone();
+    (values, comm.shuffle_bytes(), comm.broadcast_bytes())
+}
+
+/// Fused and unfused runs agree bit-for-bit on every output and meter
+/// identical communication bytes, across random programs/shapes/sparsity.
+#[test]
+fn fused_runs_are_bit_identical_to_unfused() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(SEED ^ case as u64);
+        let n = 6 + rng.below(11); // 6..16
+        let block = rng.range_inclusive(2, n);
+        let leaves = 2 + rng.below(3);
+        let (program, outs) = random_program(&mut rng, n, leaves);
+        let bindings: Vec<(String, BlockedMatrix)> = (0..leaves)
+            .map(|i| (format!("L{i}"), binding(&mut rng, n, block)))
+            .collect();
+
+        let (fused, fsh, fbc) = run_with(true, &program, &outs, &bindings, block);
+        let (unfused, ush, ubc) = run_with(false, &program, &outs, &bindings, block);
+
+        for (k, (f, u)) in fused.iter().zip(unfused.iter()).enumerate() {
+            assert_eq!(
+                f, u,
+                "case {case}: output {k} diverged between fused and unfused"
+            );
+        }
+        assert_eq!(fsh, ush, "case {case}: fusion changed shuffle bytes");
+        assert_eq!(fbc, ubc, "case {case}: fusion changed broadcast bytes");
+    }
+}
+
+/// The flagship GNMF chain `w .* num ./ den` fuses (the fused step actually
+/// appears in the trace) and stays bit-identical.
+#[test]
+fn gnmf_chain_fuses_and_matches() {
+    let mut rng = SplitMix64::new(SEED ^ 0xABCD);
+    let n = 12;
+    let block = 4;
+    let mut p = Program::new();
+    let w = p.load("W", n, n, 1.0);
+    let num = p.load("NUM", n, n, 1.0);
+    let den = p.load("DEN", n, n, 1.0);
+    let prod = p.cell_mul(w, num).unwrap();
+    let upd = p.cell_div(prod, den).unwrap();
+    p.output(upd);
+    let bindings: Vec<(String, BlockedMatrix)> = ["W", "NUM", "DEN"]
+        .iter()
+        .map(|name| (name.to_string(), binding(&mut rng, n, block)))
+        .collect();
+
+    let (fused, ..) = run_with(true, &p, &[upd], &bindings, block);
+    let (unfused, ..) = run_with(false, &p, &[upd], &bindings, block);
+    assert_eq!(fused[0], unfused[0]);
+
+    // the fused step is really in the plan: exactly one Fused(2) kind
+    let mut s = Session::builder()
+        .workers(3)
+        .block_size(block)
+        .seed(7)
+        .build();
+    for (name, m) in &bindings {
+        s.bind(name, m.clone()).unwrap();
+    }
+    let report = s.run(&p).unwrap();
+    let kinds: Vec<&str> = report
+        .trace
+        .steps
+        .iter()
+        .map(|st| st.kind.as_str())
+        .collect();
+    assert!(
+        kinds.contains(&"Fused(2)"),
+        "expected a Fused(2) step, got {kinds:?}"
+    );
+    assert!(
+        !kinds.contains(&"Cell(r)") && !kinds.contains(&"Cell(c)"),
+        "cell-wise steps should be fused away, got {kinds:?}"
+    );
+}
