@@ -213,7 +213,10 @@ mod tests {
         let kinds: std::collections::HashSet<&str> =
             trace.steps.iter().map(|s| s.kind.as_str()).collect();
         for expected in ["partition", "broadcast", "transpose", "CPMM"] {
-            assert!(kinds.contains(expected), "trace missing {expected}: {kinds:?}");
+            assert!(
+                kinds.contains(expected),
+                "trace missing {expected}: {kinds:?}"
+            );
         }
         // Dense intermediates (the factors and their products) conform
         // exactly; only the sparse V load may deviate from worst case,

@@ -59,18 +59,24 @@ fn main() {
     let b = dense(1024, 128);
     let in_place = LocalExecutor::new(4, AggregationMode::InPlace);
     let buffer = LocalExecutor::new(4, AggregationMode::Buffer);
-    bench("aggregation", "in-place", || in_place.matmul(&a, &b).unwrap());
+    bench("aggregation", "in-place", || {
+        in_place.matmul(&a, &b).unwrap()
+    });
     bench("aggregation", "buffer", || buffer.matmul(&a, &b).unwrap());
 
     let adj = sparse(2048, 2048, 97);
     let ex = LocalExecutor::new(4, AggregationMode::InPlace);
-    bench("graph-square", "a_x_a_2048", || ex.matmul(&adj, &adj).unwrap());
+    bench("graph-square", "a_x_a_2048", || {
+        ex.matmul(&adj, &adj).unwrap()
+    });
 
     // GNMF's hot cell-wise chain `w .* num ./ den` per block: composed ops
     // materialize one intermediate tile; the fused kernel does one pass.
     let w = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| (i + j + 1) as f64));
     let num = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| ((i * j) % 17) as f64));
-    let den = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| ((i + 2 * j) % 5) as f64));
+    let den = Block::Dense(DenseBlock::from_fn(256, 256, |i, j| {
+        ((i + 2 * j) % 5) as f64
+    }));
     bench("cellwise-chain", "unfused-mul-div", || {
         w.cell_mul(&num).unwrap().cell_div(&den).unwrap()
     });

@@ -27,9 +27,11 @@ fn gnmf_program(iterations: usize) -> Program {
 fn main() {
     for iters in [1usize, 10, 50] {
         let p = gnmf_program(iters);
-        bench("plan-generation", &format!("gnmf-{iters}iters-dmac"), || {
-            plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap()
-        });
+        bench(
+            "plan-generation",
+            &format!("gnmf-{iters}iters-dmac"),
+            || plan_program(&p, &PlannerConfig::default(), 4, &HashMap::new()).unwrap(),
+        );
     }
     let p = gnmf_program(10);
     bench("plan-generation", "gnmf-10iters-systemml", || {

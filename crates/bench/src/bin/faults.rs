@@ -32,9 +32,16 @@ fn session(workers: usize, plan: Option<FaultPlan>) -> Session {
     b.build()
 }
 
-fn run(cfg: &Gnmf, v: &BlockedMatrix, workers: usize, plan: Option<FaultPlan>) -> (ExecReport, Vec<f64>) {
+fn run(
+    cfg: &Gnmf,
+    v: &BlockedMatrix,
+    workers: usize,
+    plan: Option<FaultPlan>,
+) -> (ExecReport, Vec<f64>) {
     let mut s = session(workers, plan);
-    let (report, handles) = cfg.run(&mut s, v.clone()).expect("run must survive the plan");
+    let (report, handles) = cfg
+        .run(&mut s, v.clone())
+        .expect("run must survive the plan");
     let w = s.value(handles.w).unwrap().to_dense().data().to_vec();
     (report, w)
 }
@@ -52,7 +59,14 @@ fn main() {
     header("Recovery overhead — GNMF, one worker killed mid-run");
     println!(
         "{:>8}{:>12}{:>12}{:>10}{:>14}{:>14}{:>12}{:>10}",
-        "workers", "healthy", "faulty", "slowdown", "total bytes", "rec bytes", "rec time", "replays"
+        "workers",
+        "healthy",
+        "faulty",
+        "slowdown",
+        "total bytes",
+        "rec bytes",
+        "rec time",
+        "replays"
     );
     for workers in [2usize, 4, 8] {
         let (ok, w_ok) = run(&cfg, &v, workers, None);

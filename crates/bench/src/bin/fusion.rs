@@ -18,6 +18,7 @@
 use dmac_apps::{Gnmf, PageRank};
 use dmac_bench::{fmt_sec, header, timed, LOCAL_THREADS, WORKERS};
 use dmac_core::engine::ExecReport;
+use dmac_core::json::JsonObj;
 use dmac_core::planner::PlannerConfig;
 use dmac_core::Session;
 use dmac_data::{powerlaw_graph, uniform_sparse};
@@ -124,15 +125,14 @@ fn run_pagerank(fuse: bool) -> RunMetrics {
 }
 
 fn json_run(m: &RunMetrics) -> String {
-    format!(
-        concat!(
-            "{{\"wall_sec\": {:.6}, \"sim_sec\": {:.6}, ",
-            "\"cellwise_blocks\": {}, \"cellwise_spans\": {}, ",
-            "\"pool_reused\": {}, \"pool_allocated\": {}}}"
-        ),
-        m.wall_sec, m.sim_sec, m.cellwise_blocks, m.cellwise_spans, m.pool_reused,
-        m.pool_allocated,
-    )
+    JsonObj::new()
+        .f64("wall_sec", m.wall_sec)
+        .f64("sim_sec", m.sim_sec)
+        .u64("cellwise_blocks", m.cellwise_blocks as u64)
+        .u64("cellwise_spans", m.cellwise_spans as u64)
+        .u64("pool_reused", m.pool_reused as u64)
+        .u64("pool_allocated", m.pool_allocated as u64)
+        .build()
 }
 
 /// Compare one workload's fused/unfused runs, print the table, and return
@@ -166,7 +166,11 @@ fn compare(
     println!(
         "  materialization reduction: {:.1}%{}",
         reduction * 100.0,
-        if gate_reduction { "  (gate: >=30%)" } else { "" },
+        if gate_reduction {
+            "  (gate: >=30%)"
+        } else {
+            ""
+        },
     );
     if gate_reduction && reduction < 0.30 {
         failures.push(format!(
@@ -178,27 +182,22 @@ fn compare(
     let identical = unfused.outputs == fused.outputs;
     println!(
         "  outputs: {}",
-        if identical { "bit-identical" } else { "DIVERGED" }
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
     );
     if !identical {
         failures.push(format!("{name}: fused outputs diverge from unfused"));
     }
 
-    format!(
-        concat!(
-            "    \"{}\": {{\n",
-            "      \"unfused\": {},\n",
-            "      \"fused\": {},\n",
-            "      \"materialization_reduction\": {:.4},\n",
-            "      \"bit_identical\": {}\n",
-            "    }}"
-        ),
-        name,
-        json_run(unfused),
-        json_run(fused),
-        reduction,
-        identical,
-    )
+    JsonObj::new()
+        .raw("unfused", &json_run(unfused))
+        .raw("fused", &json_run(fused))
+        .f64("materialization_reduction", reduction)
+        .bool("bit_identical", identical)
+        .build()
 }
 
 fn main() {
@@ -212,15 +211,17 @@ fn main() {
     let pr_fused = run_pagerank(true);
     let pr_json = compare("pagerank", &pr_unfused, &pr_fused, false, &mut failures);
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"workers\": {}, \"local_threads\": {}, \"block\": {},\n",
-            "  \"workloads\": {{\n{},\n{}\n  }}\n",
-            "}}\n"
-        ),
-        WORKERS, LOCAL_THREADS, BLOCK, gnmf_json, pr_json,
-    );
+    let workloads = JsonObj::new()
+        .raw("gnmf", &gnmf_json)
+        .raw("pagerank", &pr_json)
+        .build();
+    let mut json = JsonObj::new()
+        .u64("workers", WORKERS as u64)
+        .u64("local_threads", LOCAL_THREADS as u64)
+        .u64("block", BLOCK as u64)
+        .raw("workloads", &workloads)
+        .build();
+    json.push('\n');
     std::fs::write("BENCH_fusion.json", &json).expect("write BENCH_fusion.json");
     println!("\nwrote BENCH_fusion.json");
 

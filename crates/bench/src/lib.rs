@@ -139,7 +139,10 @@ pub mod microbench {
         times.sort_by(f64::total_cmp);
         let median = times[times.len() / 2];
         let label = format!("{group}/{name}");
-        println!("{label:<36} median {:>12}  ({iters} iters)", fmt_time(median));
+        println!(
+            "{label:<36} median {:>12}  ({iters} iters)",
+            fmt_time(median)
+        );
     }
 }
 

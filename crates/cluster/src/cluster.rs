@@ -501,7 +501,15 @@ impl Cluster {
             // Everything is already everywhere: a pure filter (cost 0).
             let out = m.extract_local(target)?;
             let blocks = out.tile_count();
-            self.span_close(st, "partition", format!("{label} (extract)"), 0, 0, None, blocks);
+            self.span_close(
+                st,
+                "partition",
+                format!("{label} (extract)"),
+                0,
+                0,
+                None,
+                blocks,
+            );
             return Ok(out);
         }
         let n = self.config.workers;
@@ -802,8 +810,7 @@ impl Cluster {
                 .collect();
             let pool = &self.pool;
             let results = run_tasks(self.config.local_threads, tasks, |(bi, bj)| {
-                let mut acc =
-                    pool.acquire(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj));
+                let mut acc = pool.acquire(out_meta.block_rows_of(bi), out_meta.block_cols_of(bj));
                 let mut touched = false;
                 for &k in &my_ks {
                     let (Some(at), Some(bt)) = (a.block_on(w, bi, k), b.block_on(w, k, bj)) else {
@@ -1031,7 +1038,11 @@ impl Cluster {
         self.charge_compute_workers(&secs);
         let blocks = stores.iter().map(HashMap::len).sum();
         self.span_close(st, "fused", label.to_string(), 0, 0, None, blocks);
-        Ok(DistMatrix::from_parts(*first.meta(), first.scheme(), stores))
+        Ok(DistMatrix::from_parts(
+            *first.meta(),
+            first.scheme(),
+            stores,
+        ))
     }
 
     /// Unary per-tile map (scalar multiply, scalar add, arbitrary map);

@@ -284,10 +284,7 @@ mod tests {
         assert_eq!(inj.draw_stage_kill(2, &alive), Some(1));
         // one-shot: stage 2 of a replay does not kill again
         assert_eq!(inj.draw_stage_kill(2, &[0, 2]), None);
-        assert_eq!(
-            inj.log(),
-            &[FaultEvent::StageKill { stage: 2, host: 1 }]
-        );
+        assert_eq!(inj.log(), &[FaultEvent::StageKill { stage: 2, host: 1 }]);
     }
 
     #[test]

@@ -103,6 +103,62 @@ impl ExecReport {
     pub fn sim_time_sec(&self) -> f64 {
         self.sim.total_sec()
     }
+
+    /// Render the report as a JSON object: totals, per-phase series,
+    /// recovery and buffer-pool counters, and the trace's byte totals.
+    /// Used by the `dmac-serve` `Stats` response and the bench bins.
+    pub fn to_json(&self) -> String {
+        use crate::json::{arr_of, JsonObj};
+        let phases = arr_of(self.per_phase.iter().map(|p| {
+            JsonObj::new()
+                .f64("compute_sec", p.compute_sec)
+                .f64("comm_sec", p.comm_sec)
+                .u64("shuffle_bytes", p.shuffle_bytes)
+                .u64("broadcast_bytes", p.broadcast_bytes)
+                .build()
+        }));
+        JsonObj::new()
+            .f64("sim_sec", self.sim.total_sec())
+            .f64("compute_sec", self.sim.compute_sec())
+            .f64("comm_sec", self.sim.comm_sec())
+            .f64("wall_sec", self.wall_sec)
+            .u64("stage_count", self.stage_count as u64)
+            .u64("planner_estimate", self.planner_estimate)
+            .u64("shuffle_bytes", self.comm.shuffle_bytes())
+            .u64("broadcast_bytes", self.comm.broadcast_bytes())
+            .u64("recovery_bytes", self.comm.recovery_bytes())
+            .u64("retry_bytes", self.comm.retry_bytes())
+            .raw("per_phase", &phases)
+            .raw(
+                "recovery",
+                &JsonObj::new()
+                    .u64("worker_failures", self.recovery.worker_failures as u64)
+                    .u64("recovery_rounds", self.recovery.recovery_rounds as u64)
+                    .u64("recovery_bytes", self.recovery.recovery_bytes)
+                    .f64("recovery_sec", self.recovery.recovery_sec)
+                    .build(),
+            )
+            .raw(
+                "trace",
+                &JsonObj::new()
+                    .u64("steps", self.trace.steps.len() as u64)
+                    .u64("predicted_bytes", self.trace.predicted_total())
+                    .u64("actual_bytes", self.trace.actual_total())
+                    .u64("wire_bytes", self.trace.wire_total())
+                    .u64("recovery_wire_bytes", self.trace.recovery_wire_total())
+                    .build(),
+            )
+            .raw(
+                "pool",
+                &JsonObj::new()
+                    .u64("reused", self.trace.pool.reused as u64)
+                    .u64("allocated", self.trace.pool.allocated as u64)
+                    .u64("returned", self.trace.pool.returned as u64)
+                    .u64("dropped", self.trace.pool.dropped as u64)
+                    .build(),
+            )
+            .build()
+    }
 }
 
 /// Everything a run produces besides the report.
@@ -179,9 +235,12 @@ pub(crate) fn seed_source(
             d
         }
         MatrixOrigin::Random => {
-            let m = BlockedMatrix::from_fn(decl.stats.rows, decl.stats.cols, ctx.block_size, |i, j| {
-                random_cell(ctx.seed, mid, i, j)
-            })?;
+            let m = BlockedMatrix::from_fn(
+                decl.stats.rows,
+                decl.stats.cols,
+                ctx.block_size,
+                |i, j| random_cell(ctx.seed, mid, i, j),
+            )?;
             cluster.load(&m, ctx.plan.nodes[node].scheme)
         }
         MatrixOrigin::Op(_) => {
@@ -479,8 +538,15 @@ pub fn execute(
                         }
                         attempts_left -= 1;
                         match recovery::recover(
-                            cluster, &ctx, &mut values, &mut scalars, step_idx, dead, &last_use,
-                            &keep, &mut stats,
+                            cluster,
+                            &ctx,
+                            &mut values,
+                            &mut scalars,
+                            step_idx,
+                            dead,
+                            &last_use,
+                            &keep,
+                            &mut stats,
                         ) {
                             Ok(()) => break,
                             Err(e2) => match worker_lost(&e2) {

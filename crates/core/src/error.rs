@@ -17,6 +17,9 @@ pub enum CoreError {
     Engine(String),
     /// A load referred to a name the session has no binding for.
     Unbound(String),
+    /// Two in-flight programs declared a write intent for the same store
+    /// name; admitting both would make the result scheduling-dependent.
+    StoreConflict(String),
     /// Requested value is not available (expression not part of the last
     /// run's outputs, or no run has happened).
     NoValue(String),
@@ -38,6 +41,10 @@ impl fmt::Display for CoreError {
             CoreError::Planner(m) => write!(f, "planner error: {m}"),
             CoreError::Engine(m) => write!(f, "engine error: {m}"),
             CoreError::Unbound(n) => write!(f, "no binding for input matrix '{n}'"),
+            CoreError::StoreConflict(n) => write!(
+                f,
+                "store conflict: another in-flight program is writing matrix '{n}'"
+            ),
             CoreError::NoValue(m) => write!(f, "value unavailable: {m}"),
             CoreError::RecoveryExhausted { worker, attempts } => write!(
                 f,

@@ -40,15 +40,18 @@ pub mod dependency;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod json;
 pub mod plan;
 pub mod planner;
 pub mod recovery;
 pub mod session;
 pub mod stage;
+pub mod store;
 pub mod strategy;
 pub mod trace;
 
 pub use error::{CoreError, Result};
-pub use trace::{Conformance, StepTrace, Trace};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use session::Session;
+pub use store::{SharedStore, StoreStats};
+pub use trace::{Conformance, StepTrace, Trace};

@@ -283,7 +283,9 @@ fn fuse_cellwise_steps(program: &Program, plan: &mut Plan) {
         }
         let member_set: HashSet<usize> = members.iter().copied().collect();
         let root = *members.iter().max().expect("non-empty group");
-        let root_out = plan.steps[root].out_node().expect("fusable steps define a node");
+        let root_out = plan.steps[root]
+            .out_node()
+            .expect("fusable steps define a node");
 
         // Post-order expression program over the group's leaves.
         let mut ops = members.clone();
@@ -361,7 +363,8 @@ fn fuse_cellwise_steps(program: &Program, plan: &mut Plan) {
         }
         let step = fused_at.remove(&i).unwrap_or(step);
         plan.steps.push(step);
-        plan.predicted.push(old_predicted.get(i).copied().unwrap_or(0));
+        plan.predicted
+            .push(old_predicted.get(i).copied().unwrap_or(0));
     }
 }
 

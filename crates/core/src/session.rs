@@ -1,16 +1,21 @@
 //! [`Session`]: the user-facing entry point, tying planner, cluster and
 //! engine together — the DMac "driver program" (paper §5.4).
 //!
-//! A session owns a simulated cluster and a persistent environment of
-//! named distributed matrices. Running a program:
+//! A session owns a simulated cluster and a [`SharedStore`] of named
+//! distributed matrices (its environment). Running a program:
 //!
-//! 1. resolves every `load` against the environment (matrices stored by a
+//! 1. resolves every `load` against the store (matrices stored by a
 //!    previous run keep their partition schemes — dependency information
 //!    flows *across* programs, which is how iterative algorithms avoid
 //!    repartitioning loop-invariant inputs like PageRank's link matrix),
 //! 2. plans it with the configured system's planner (DMac or SystemML-S),
 //! 3. executes the staged plan, and
-//! 4. persists `store`d outputs back into the environment.
+//! 4. persists `store`d outputs back into the store.
+//!
+//! By default each session gets a private store; the service layer
+//! (`dmac-serve`) builds many sessions over one [`SharedStore`] via
+//! [`SessionBuilder::store`], which is what makes named matrices visible
+//! across concurrent client sessions.
 
 use std::collections::HashMap;
 
@@ -25,6 +30,7 @@ use crate::plan::Plan;
 use crate::planner::{plan_program, PlannerConfig};
 use crate::recovery::RecoveryPolicy;
 use crate::stage;
+use crate::store::SharedStore;
 
 /// Builder for [`Session`].
 #[derive(Debug, Clone)]
@@ -38,6 +44,7 @@ pub struct SessionBuilder {
     seed: u64,
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
+    store: Option<SharedStore>,
 }
 
 impl Default for SessionBuilder {
@@ -52,6 +59,7 @@ impl Default for SessionBuilder {
             seed: 0xD11AC,
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
+            store: None,
         }
     }
 }
@@ -115,6 +123,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Back the session's environment with an existing shared store
+    /// instead of a fresh private one. All sessions sharing the store see
+    /// each other's `bind`s and `store`d outputs.
+    pub fn store(mut self, store: SharedStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Build the session.
     pub fn build(self) -> Session {
         let (workers, planner) = match self.system {
@@ -139,7 +155,7 @@ impl SessionBuilder {
             block_size: self.block_size,
             seed: self.seed,
             recovery: self.recovery,
-            env: HashMap::new(),
+            env: self.store.unwrap_or_default(),
             last_values: HashMap::new(),
             last_scalars: HashMap::new(),
             last_report: None,
@@ -147,7 +163,7 @@ impl SessionBuilder {
     }
 }
 
-/// A DMac session: cluster + environment + planner configuration.
+/// A DMac session: cluster + shared matrix store + planner configuration.
 #[derive(Debug)]
 pub struct Session {
     cluster: Cluster,
@@ -156,7 +172,7 @@ pub struct Session {
     block_size: usize,
     seed: u64,
     recovery: RecoveryPolicy,
-    env: HashMap<String, DistMatrix>,
+    env: SharedStore,
     last_values: HashMap<MatrixId, DistMatrix>,
     last_scalars: HashMap<dmac_lang::ScalarId, f64>,
     last_report: Option<ExecReport>,
@@ -197,18 +213,31 @@ impl Session {
             m.reblock(self.block_size)?
         };
         let dist = self.cluster.load(&m, PartitionScheme::Hash);
-        self.env.insert(name.to_string(), dist);
+        self.env.insert(name, dist);
         Ok(())
     }
 
     /// Bind an already-distributed matrix (keeps its scheme).
     pub fn bind_dist(&mut self, name: &str, m: DistMatrix) {
-        self.env.insert(name.to_string(), m);
+        self.env.insert(name, m);
     }
 
     /// Is a name bound?
     pub fn is_bound(&self, name: &str) -> bool {
-        self.env.contains_key(name)
+        self.env.contains(name)
+    }
+
+    /// Drop a named matrix from the store, eagerly releasing its blocks
+    /// (the store's LRU eviction builds on the same release path).
+    /// Returns whether the name was bound.
+    pub fn drop_matrix(&mut self, name: &str) -> bool {
+        self.env.remove(name)
+    }
+
+    /// The store backing this session's environment (shared with other
+    /// sessions when built via [`SessionBuilder::store`]).
+    pub fn shared_store(&self) -> &SharedStore {
+        &self.env
     }
 
     /// Fetch a stored environment matrix as a local blocked matrix.
@@ -237,7 +266,7 @@ impl Session {
                         .get(&decl.name)
                         .ok_or_else(|| CoreError::Unbound(decl.name.clone()))?;
                     initial.insert(decl.id, dist.scheme());
-                    bindings.insert(decl.id, dist.clone());
+                    bindings.insert(decl.id, dist);
                 }
                 MatrixOrigin::Random => {
                     initial.insert(decl.id, PartitionScheme::Hash);
@@ -248,19 +277,30 @@ impl Session {
         Ok((bindings, initial))
     }
 
-    /// Initial schemes for planning: bound matrices keep their cached
-    /// scheme, unbound ones are assumed Hash-placed. Planning needs no
+    /// Initial schemes for planning: bound load inputs keep their cached
+    /// scheme, everything else is assumed Hash-placed. Planning needs no
     /// data, so unbound loads are fine here (unlike [`Session::run`]).
+    ///
+    /// Random matrices are always Hash: the engine generates them fresh
+    /// each run, so a store entry that happens to share a random
+    /// variable's name (GNMF stores `H` over its own `random` input)
+    /// must not leak its scheme into the plan — [`Session::run_prepared`]
+    /// checks staleness against the same Hash assumption.
     fn initial_schemes(&self, program: &Program) -> HashMap<MatrixId, PartitionScheme> {
         let mut initial = HashMap::new();
         for decl in program.matrices() {
-            if matches!(decl.origin, MatrixOrigin::Load | MatrixOrigin::Random) {
-                let scheme = self
-                    .env
-                    .get(&decl.name)
-                    .map(|d| d.scheme())
-                    .unwrap_or(PartitionScheme::Hash);
-                initial.insert(decl.id, scheme);
+            match decl.origin {
+                MatrixOrigin::Load => {
+                    let scheme = self
+                        .env
+                        .scheme_of(&decl.name)
+                        .unwrap_or(PartitionScheme::Hash);
+                    initial.insert(decl.id, scheme);
+                }
+                MatrixOrigin::Random => {
+                    initial.insert(decl.id, PartitionScheme::Hash);
+                }
+                MatrixOrigin::Op(_) => {}
             }
         }
         initial
@@ -358,12 +398,12 @@ impl Session {
         if self.planner.exploit_dependencies {
             for (mid, dist) in outputs.cached_inputs {
                 if let Ok(decl) = program.decl(mid) {
-                    self.env.insert(decl.name.clone(), dist);
+                    self.env.insert(&decl.name, dist);
                 }
             }
         }
         for (name, dist) in outputs.stored {
-            self.env.insert(name, dist);
+            self.env.insert(&name, dist);
         }
         self.last_values = outputs.matrices;
         self.last_scalars = outputs.scalars;
@@ -581,6 +621,51 @@ mod tests {
                 .sum::<u64>(),
             "single worker moves no matrix bytes"
         );
+    }
+
+    #[test]
+    fn storing_over_a_name_releases_the_old_entry() {
+        let mut s = Session::builder().workers(2).block_size(8).build();
+        s.bind("A", ramp(32, 32)).unwrap();
+        let stats0 = s.shared_store().stats();
+        // Re-bind a smaller matrix under the same name: resident bytes
+        // must shrink, not accumulate (the PR-1-era leak).
+        s.bind("A", ramp(8, 8)).unwrap();
+        let stats1 = s.shared_store().stats();
+        assert_eq!(stats1.entries, 1);
+        assert!(stats1.bytes < stats0.bytes, "{stats1:?} vs {stats0:?}");
+        assert_eq!(stats1.replaced, 1);
+        // And drop_matrix releases eagerly too.
+        assert!(s.drop_matrix("A"));
+        assert!(!s.drop_matrix("A"));
+        assert_eq!(s.shared_store().stats().bytes, 0);
+        assert!(!s.is_bound("A"));
+    }
+
+    #[test]
+    fn sessions_share_a_store() {
+        let store = crate::store::SharedStore::new();
+        let mut a = Session::builder()
+            .workers(2)
+            .block_size(8)
+            .store(store.clone())
+            .build();
+        let b = Session::builder()
+            .workers(2)
+            .block_size(8)
+            .store(store)
+            .build();
+        a.bind("A", ramp(16, 16)).unwrap();
+        assert!(b.is_bound("A"));
+        // A program run in session A that stores B is visible in session B.
+        let mut p = Program::new();
+        let ea = p.load("A", 16, 16, 1.0);
+        let sum = p.add(ea, ea).unwrap();
+        p.store(sum, "B");
+        a.run(&p).unwrap();
+        let got = b.env_value("B").unwrap();
+        let local = ramp(16, 16);
+        assert_eq!(got.to_dense(), local.add(&local).unwrap().to_dense());
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! [`SharedStore`]: the named-matrix store extracted from [`crate::session::Session`].
+//!
+//! The original `Session` kept its environment as a private
+//! `HashMap<String, DistMatrix>`: single-owner, unbounded, and with no way
+//! to share matrices between sessions. The service layer (`dmac-serve`)
+//! needs the opposite — many concurrent sessions reading and writing the
+//! same named matrices — so the environment is now a first-class store:
+//!
+//! * **named, immutable entries** — a stored [`DistMatrix`] is never
+//!   mutated in place; `insert` over an existing name *replaces* the entry
+//!   and eagerly releases the old one (the blocks are `Arc`-shared, so the
+//!   tiles are freed the moment the last reader drops them — this fixes
+//!   the unbounded-growth leak of repeated `store`s over one name);
+//! * **pin counts** — an entry pinned by an in-flight program cannot be
+//!   evicted; pins are counted so overlapping readers compose;
+//! * **bytes-based LRU eviction** — an optional capacity bounds the bytes
+//!   of *unpinned* entries; eviction order is strictly deterministic
+//!   (least-recently-used first, name as tie-break) so a serialized replay
+//!   of a request log reproduces the same store states;
+//! * **write-intent claims** — a program that will `store` a name claims
+//!   it at admission; a second in-flight program claiming the same name is
+//!   a *conflict* (its effect would depend on scheduling order, which
+//!   would break replay determinism).
+//!
+//! All operations go through a `Mutex`; the store is cheap to clone
+//! (`Arc`) and is shared between a service's sessions.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use dmac_cluster::DistMatrix;
+
+use crate::error::{CoreError, Result};
+
+/// One stored matrix plus its bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    matrix: DistMatrix,
+    bytes: u64,
+    /// Number of in-flight pins; only 0-pin entries are evictable.
+    pins: u32,
+    /// Logical timestamp of the last touch (monotonic counter, not wall
+    /// time — wall time would make eviction order nondeterministic).
+    last_used: u64,
+}
+
+/// Counters describing a store's lifetime activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Bytes currently resident (logical bytes of one copy per entry).
+    pub bytes: u64,
+    /// Configured capacity (`None` = unbounded).
+    pub capacity: Option<u64>,
+    /// Total inserts (including replacements).
+    pub inserts: u64,
+    /// Inserts that replaced an existing entry (the old entry was eagerly
+    /// released).
+    pub replaced: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries explicitly removed (`drop`).
+    pub dropped: u64,
+    /// Write-intent conflicts rejected.
+    pub conflicts: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<String, Entry>,
+    /// In-flight write intents: name → claim token.
+    claims: HashMap<String, u64>,
+    tick: u64,
+    capacity: Option<u64>,
+    bytes: u64,
+    inserts: u64,
+    replaced: u64,
+    evictions: u64,
+    dropped: u64,
+    conflicts: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, name: &str) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.entries.get_mut(name) {
+            e.last_used = tick;
+        }
+    }
+
+    /// Evict unpinned LRU entries until within capacity. Returns evicted
+    /// names (in eviction order).
+    fn enforce_capacity(&mut self) -> Vec<String> {
+        let Some(cap) = self.capacity else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.bytes > cap {
+            // Deterministic victim: smallest (last_used, name) among
+            // unpinned entries.
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.pins == 0)
+                .min_by(|(an, ae), (bn, be)| {
+                    ae.last_used.cmp(&be.last_used).then_with(|| an.cmp(bn))
+                })
+                .map(|(n, _)| n.clone());
+            let Some(name) = victim else {
+                break; // everything pinned: overshoot rather than deadlock
+            };
+            if let Some(e) = self.entries.remove(&name) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+                evicted.push(name);
+            }
+        }
+        evicted
+    }
+}
+
+/// A shareable, mutex-guarded store of named distributed matrices.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStore {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SharedStore {
+    /// An unbounded store (the default for standalone sessions).
+    pub fn new() -> SharedStore {
+        SharedStore::default()
+    }
+
+    /// A store that evicts unpinned LRU entries beyond `capacity_bytes`.
+    pub fn with_capacity(capacity_bytes: u64) -> SharedStore {
+        let s = SharedStore::default();
+        s.inner.lock().unwrap().capacity = Some(capacity_bytes);
+        s
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned store mutex means a panic mid-update; propagating the
+        // panic is the only sound option for a store meant to be shared.
+        self.inner.lock().expect("matrix store poisoned")
+    }
+
+    /// Insert (or replace) `name`. The old entry, if any, is released
+    /// eagerly; LRU eviction runs afterwards. Returns the names evicted to
+    /// make room.
+    pub fn insert(&self, name: &str, m: DistMatrix) -> Vec<String> {
+        let bytes = m.logical_bytes();
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        g.inserts += 1;
+        let pins = if let Some(old) = g.entries.remove(name) {
+            g.bytes -= old.bytes;
+            g.replaced += 1;
+            old.pins // replacement inherits the readers' pins
+        } else {
+            0
+        };
+        g.bytes += bytes;
+        g.entries.insert(
+            name.to_string(),
+            Entry {
+                matrix: m,
+                bytes,
+                pins,
+                last_used: tick,
+            },
+        );
+        g.enforce_capacity()
+    }
+
+    /// Fetch a clone of the entry (tiles are `Arc`-shared, so this is
+    /// cheap). Bumps the LRU clock.
+    pub fn get(&self, name: &str) -> Option<DistMatrix> {
+        let mut g = self.lock();
+        g.touch(name);
+        g.entries.get(name).map(|e| e.matrix.clone())
+    }
+
+    /// Is `name` resident?
+    pub fn contains(&self, name: &str) -> bool {
+        self.lock().entries.contains_key(name)
+    }
+
+    /// Partition scheme of a resident entry.
+    pub fn scheme_of(&self, name: &str) -> Option<dmac_cluster::PartitionScheme> {
+        self.lock().entries.get(name).map(|e| e.matrix.scheme())
+    }
+
+    /// Remove an entry, releasing its blocks eagerly. Returns whether it
+    /// existed. Pinned entries are removable — pins protect against
+    /// *eviction*, not explicit drops by the owner.
+    pub fn remove(&self, name: &str) -> bool {
+        let mut g = self.lock();
+        match g.entries.remove(name) {
+            Some(e) => {
+                g.bytes -= e.bytes;
+                g.dropped += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pin `names` against eviction (missing names are ignored — a program
+    /// may pin loads that only exist once an earlier queued program has
+    /// stored them).
+    pub fn pin(&self, names: &[String]) {
+        let mut g = self.lock();
+        for n in names {
+            if let Some(e) = g.entries.get_mut(n) {
+                e.pins += 1;
+            }
+        }
+    }
+
+    /// Release pins taken by [`SharedStore::pin`].
+    pub fn unpin(&self, names: &[String]) {
+        let mut g = self.lock();
+        for n in names {
+            if let Some(e) = g.entries.get_mut(n) {
+                e.pins = e.pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Claim write intents for an in-flight program. Fails with
+    /// [`CoreError::StoreConflict`] (claiming nothing) if any name is
+    /// already claimed by a different token.
+    pub fn claim_writes(&self, names: &[String], token: u64) -> Result<()> {
+        let mut g = self.lock();
+        for n in names {
+            if let Some(&owner) = g.claims.get(n) {
+                if owner != token {
+                    g.conflicts += 1;
+                    return Err(CoreError::StoreConflict(n.clone()));
+                }
+            }
+        }
+        for n in names {
+            g.claims.insert(n.clone(), token);
+        }
+        Ok(())
+    }
+
+    /// Release every claim held by `token`.
+    pub fn release_writes(&self, token: u64) {
+        self.lock().claims.retain(|_, &mut t| t != token);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        let g = self.lock();
+        StoreStats {
+            entries: g.entries.len(),
+            bytes: g.bytes,
+            capacity: g.capacity,
+            inserts: g.inserts,
+            replaced: g.replaced,
+            evictions: g.evictions,
+            dropped: g.dropped,
+            conflicts: g.conflicts,
+        }
+    }
+
+    /// Resident entry names, sorted (deterministic listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.lock().entries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmac_cluster::PartitionScheme;
+    use dmac_matrix::BlockedMatrix;
+
+    fn dist(rows: usize, cols: usize) -> DistMatrix {
+        let m = BlockedMatrix::from_fn(rows, cols, 4, |i, j| (i + j) as f64).unwrap();
+        DistMatrix::from_blocked(&m, PartitionScheme::Row, 2)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let s = SharedStore::new();
+        assert!(s.get("A").is_none());
+        s.insert("A", dist(8, 8));
+        assert!(s.contains("A"));
+        assert_eq!(s.scheme_of("A"), Some(PartitionScheme::Row));
+        assert_eq!(s.get("A").unwrap().rows(), 8);
+        assert!(s.remove("A"));
+        assert!(!s.remove("A"));
+        assert_eq!(s.stats().entries, 0);
+        assert_eq!(s.stats().bytes, 0);
+    }
+
+    #[test]
+    fn replacement_releases_old_bytes_eagerly() {
+        let s = SharedStore::new();
+        s.insert("A", dist(16, 16));
+        let big = s.stats().bytes;
+        s.insert("A", dist(8, 8));
+        let small = s.stats().bytes;
+        assert!(small < big, "{small} vs {big}");
+        assert_eq!(s.stats().entries, 1);
+        assert_eq!(s.stats().replaced, 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_bytes_bounded_and_deterministic() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity(2 * one);
+        s.insert("A", dist(8, 8));
+        s.insert("B", dist(8, 8));
+        // Touch A so B is the LRU victim.
+        let _ = s.get("A");
+        let evicted = s.insert("C", dist(8, 8));
+        assert_eq!(evicted, vec!["B".to_string()]);
+        assert!(s.contains("A") && s.contains("C"));
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity(one);
+        s.insert("A", dist(8, 8));
+        s.pin(&["A".to_string()]);
+        let evicted = s.insert("B", dist(8, 8));
+        // A is pinned; B itself is the only unpinned candidate.
+        assert!(!evicted.contains(&"A".to_string()));
+        assert!(s.contains("A"));
+        s.unpin(&["A".to_string()]);
+        let evicted = s.insert("C", dist(8, 8));
+        assert!(evicted.contains(&"A".to_string()), "{evicted:?}");
+    }
+
+    #[test]
+    fn write_claims_detect_conflicts() {
+        let s = SharedStore::new();
+        let w = vec!["W".to_string(), "H".to_string()];
+        s.claim_writes(&w, 1).unwrap();
+        // Same token may re-claim (idempotent for one request).
+        s.claim_writes(&w, 1).unwrap();
+        let err = s.claim_writes(&["H".to_string()], 2).unwrap_err();
+        assert!(matches!(err, CoreError::StoreConflict(n) if n == "H"));
+        assert_eq!(s.stats().conflicts, 1);
+        s.release_writes(1);
+        s.claim_writes(&["H".to_string()], 2).unwrap();
+    }
+
+    #[test]
+    fn shared_clones_see_the_same_entries() {
+        let a = SharedStore::new();
+        let b = a.clone();
+        a.insert("X", dist(8, 8));
+        assert!(b.contains("X"));
+        b.remove("X");
+        assert!(!a.contains("X"));
+    }
+}

@@ -30,6 +30,8 @@ use std::fmt::Write as _;
 use dmac_cluster::OpSpan;
 use dmac_matrix::exec::PoolStats;
 
+use crate::json::{escape as json_str, JsonObj};
+
 /// Execution record of one plan step.
 #[derive(Debug, Clone, Default)]
 pub struct StepTrace {
@@ -99,6 +101,19 @@ impl Conformance {
     /// model is an upper bound by construction for dense data).
     pub fn holds(&self) -> bool {
         self.actual <= self.predicted
+    }
+
+    /// Render the pair as a JSON object (service `Stats` responses, bench
+    /// artifacts).
+    pub fn to_json(&self) -> String {
+        JsonObj::new()
+            .u64("step", self.step as u64)
+            .str("kind", &self.kind)
+            .str("label", &self.label)
+            .u64("predicted", self.predicted)
+            .u64("actual", self.actual)
+            .bool("holds", self.holds())
+            .build()
     }
 }
 
@@ -273,7 +288,14 @@ impl Trace {
             let _ = writeln!(
                 s,
                 "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  {}{}",
-                t.step, t.stage, t.kind, t.predicted_bytes, t.actual_bytes, t.wire_bytes, t.label, mark
+                t.step,
+                t.stage,
+                t.kind,
+                t.predicted_bytes,
+                t.actual_bytes,
+                t.wire_bytes,
+                t.label,
+                mark
             );
         }
         let _ = writeln!(
@@ -369,27 +391,6 @@ impl Trace {
         );
         s
     }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len() + 2);
-    out.push('"');
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -169,10 +169,7 @@ fn prepared_plans_run_and_detect_staleness() {
     s.run_prepared(&prep).unwrap();
     let first = s.value(b).unwrap();
     let m = ramp(16, 16);
-    assert_eq!(
-        first.to_dense(),
-        m.matmul_reference(&m).unwrap().to_dense()
-    );
+    assert_eq!(first.to_dense(), m.matmul_reference(&m).unwrap().to_dense());
 
     // The first run repartitioned A and cached the placement, so the
     // prepared (hash-based) plan is now stale and must be rejected.

@@ -85,11 +85,7 @@ pub fn uniform_sparse(
     let target = ((rows as f64) * (cols as f64) * sparsity) as usize;
     let mut triplets = Vec::with_capacity(target);
     for _ in 0..target {
-        triplets.push((
-            rng.below(rows),
-            rng.below(cols),
-            rng.next_f64() + 1e-9,
-        ));
+        triplets.push((rng.below(rows), rng.below(cols), rng.next_f64() + 1e-9));
     }
     BlockedMatrix::from_triplets(rows, cols, block, triplets).expect("indices in range")
 }
@@ -97,9 +93,7 @@ pub fn uniform_sparse(
 /// Dense random matrix with entries in `[0, 1)`.
 pub fn dense_random(rows: usize, cols: usize, block: usize, seed: u64) -> BlockedMatrix {
     let mut rng = SplitMix64::new(seed);
-    let data: Vec<f64> = (0..rows * cols)
-        .map(|_| rng.next_f64())
-        .collect();
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64()).collect();
     BlockedMatrix::from_fn(rows, cols, block, |i, j| data[i * cols + j]).expect("block > 0")
 }
 

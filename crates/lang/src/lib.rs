@@ -17,6 +17,8 @@
 //! * [`infer`] — dimension and worst-case sparsity propagation (§5.1): a
 //!   multiplication's output is assumed fully dense; other binary operators
 //!   get `min(s_A + s_B, 1)`; unary operators preserve sparsity.
+//! * [`normalize`] — canonical rendering and 64-bit fingerprinting of a
+//!   program: the plan-cache key of the `dmac-serve` service layer.
 //! * [`Program::planner_order`] — the decomposition-phase reordering of
 //!   §4.2.3: among simultaneously-ready operators, multiplications are
 //!   scheduled first so that the Pull-Up Broadcast heuristic sees broadcast
@@ -25,6 +27,7 @@
 pub mod error;
 pub mod expr;
 pub mod infer;
+pub mod normalize;
 pub mod parser;
 pub mod program;
 

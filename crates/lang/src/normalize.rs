@@ -1,0 +1,199 @@
+//! Canonical (normalized) rendering and fingerprinting of a [`Program`].
+//!
+//! Two scripts that decompose to the same operator DAG must produce the
+//! same fingerprint even when they differ in whitespace, comments, or the
+//! names of intermediates and `random` matrices — none of those affect
+//! what the planner or engine does. Everything that *is* semantically
+//! load-bearing stays in the canonical form:
+//!
+//! * `load` names (they address session/store entries),
+//! * shapes and declared sparsities (they drive the cost model),
+//! * the operator sequence with transpose flags and scalar expressions,
+//! * phase tags (per-iteration attribution),
+//! * outputs, including `store` target names (they mutate the store).
+//!
+//! The fingerprint is FNV-1a over the canonical text: no external hashing
+//! dependency, stable across processes and runs — which is what lets a
+//! service build a plan cache keyed by it (`dmac-serve`). It is *not* a
+//! cryptographic hash; collisions are theoretically possible and callers
+//! that cannot tolerate them should compare canonical forms on hit.
+
+use std::fmt::Write as _;
+
+use crate::expr::OpKind;
+use crate::program::{MatrixOrigin, Program};
+
+/// FNV-1a, 64-bit. Shared with `dmac-serve`, which digests golden
+/// trace summaries with it for replay-determinism checks.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Program {
+    /// Canonical textual form of the program (see module docs for what is
+    /// and is not included). Deterministic for a given program.
+    pub fn normalized(&self) -> String {
+        let mut s = String::new();
+        for d in self.matrices() {
+            match d.origin {
+                MatrixOrigin::Load => {
+                    let _ = writeln!(
+                        s,
+                        "L{} {} {}x{} s{:.6}",
+                        d.id, d.name, d.stats.rows, d.stats.cols, d.stats.sparsity
+                    );
+                }
+                MatrixOrigin::Random => {
+                    // Name deliberately omitted: random data depends only
+                    // on the matrix id and the session seed.
+                    let _ = writeln!(s, "R{} {}x{}", d.id, d.stats.rows, d.stats.cols);
+                }
+                MatrixOrigin::Op(_) => {} // derivable from the op list
+            }
+        }
+        for op in self.ops() {
+            let _ = write!(s, "O{} p{} ", op.index, op.phase);
+            match &op.kind {
+                OpKind::Binary { op: b, lhs, rhs } => {
+                    let _ = write!(
+                        s,
+                        "bin {} m{}{} m{}{}",
+                        b.name(),
+                        lhs.id,
+                        if lhs.transposed { "t" } else { "" },
+                        rhs.id,
+                        if rhs.transposed { "t" } else { "" },
+                    );
+                }
+                OpKind::Unary { op: u, input } => {
+                    let _ = write!(
+                        s,
+                        "un {} m{}{} {:?}",
+                        u.name(),
+                        input.id,
+                        if input.transposed { "t" } else { "" },
+                        u.scalar(),
+                    );
+                }
+                OpKind::Reduce { op: r, input } => {
+                    let _ = write!(
+                        s,
+                        "red {:?} m{}{}",
+                        r,
+                        input.id,
+                        if input.transposed { "t" } else { "" },
+                    );
+                }
+            }
+            match (op.out_matrix, op.out_scalar) {
+                (Some(m), _) => {
+                    let _ = writeln!(s, " -> m{m}");
+                }
+                (None, Some(sc)) => {
+                    let _ = writeln!(s, " -> s{sc}");
+                }
+                (None, None) => {
+                    let _ = writeln!(s);
+                }
+            }
+        }
+        for (r, name) in self.outputs() {
+            match name {
+                Some(n) => {
+                    let _ = writeln!(
+                        s,
+                        "store m{}{} {}",
+                        r.id,
+                        if r.transposed { "t" } else { "" },
+                        n
+                    );
+                }
+                None => {
+                    let _ = writeln!(s, "out m{}{}", r.id, if r.transposed { "t" } else { "" });
+                }
+            }
+        }
+        s
+    }
+
+    /// 64-bit fingerprint of [`Program::normalized`].
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.normalized())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_script;
+
+    #[test]
+    fn whitespace_and_comments_do_not_change_the_fingerprint() {
+        let a = parse_script("A = load(A, 8, 8, 1.0)\nB = A %*% A\noutput(B)\n").unwrap();
+        let b = parse_script(
+            "# a comment\nA = load(A, 8, 8, 1.0)\n\n  B  =  A %*% A   # same\noutput(B)\n",
+        )
+        .unwrap();
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+    }
+
+    #[test]
+    fn intermediate_variable_names_do_not_matter() {
+        let a = parse_script("A = load(A, 8, 8, 1.0)\nX = A + A\nY = X * X\noutput(Y)\n").unwrap();
+        let b = parse_script("A = load(A, 8, 8, 1.0)\nP = A + A\nQ = P * P\noutput(Q)\n").unwrap();
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+    }
+
+    #[test]
+    fn random_names_do_not_matter_but_load_names_do() {
+        let a = parse_script("W = random(W, 4, 4)\nX = W + W\noutput(X)\n").unwrap();
+        let b = parse_script("V = random(V, 4, 4)\nX = V + V\noutput(X)\n").unwrap();
+        assert_eq!(a.program.fingerprint(), b.program.fingerprint());
+
+        let c = parse_script("A = load(A, 4, 4, 1.0)\nX = A + A\noutput(X)\n").unwrap();
+        let d = parse_script("B = load(B, 4, 4, 1.0)\nX = B + B\noutput(X)\n").unwrap();
+        assert_ne!(c.program.fingerprint(), d.program.fingerprint());
+    }
+
+    #[test]
+    fn shapes_ops_transposes_and_stores_matter() {
+        let base = parse_script("A = load(A, 8, 8, 1.0)\nB = A %*% A\noutput(B)\n").unwrap();
+        let shape = parse_script("A = load(A, 8, 16, 1.0)\nB = A %*% A.t\noutput(B)\n").unwrap();
+        let op = parse_script("A = load(A, 8, 8, 1.0)\nB = A * A\noutput(B)\n").unwrap();
+        let tr = parse_script("A = load(A, 8, 8, 1.0)\nB = A %*% A.t\noutput(B)\n").unwrap();
+        let st = parse_script("A = load(A, 8, 8, 1.0)\nB = A %*% A\nstore(B)\n").unwrap();
+        let fp = base.program.fingerprint();
+        assert_ne!(fp, shape.program.fingerprint());
+        assert_ne!(fp, op.program.fingerprint());
+        assert_ne!(fp, tr.program.fingerprint());
+        assert_ne!(fp, st.program.fingerprint());
+    }
+
+    #[test]
+    fn sparsity_matters() {
+        let a = parse_script("A = load(A, 8, 8, 0.1)\nB = A + A\noutput(B)\n").unwrap();
+        let b = parse_script("A = load(A, 8, 8, 0.9)\nB = A + A\noutput(B)\n").unwrap();
+        assert_ne!(a.program.fingerprint(), b.program.fingerprint());
+    }
+
+    #[test]
+    fn normalized_is_deterministic() {
+        let src = r#"
+            V = random(V, 32, 24)
+            W = random(W, 32, 4)
+            H = random(H, 4, 24)
+            for (i in 0:2) {
+                H = H * (W.t %*% V) / (W.t %*% W %*% H)
+            }
+            store(H)
+        "#;
+        let a = parse_script(src).unwrap().program.normalized();
+        let b = parse_script(src).unwrap().program.normalized();
+        assert_eq!(a, b);
+        assert!(a.contains("p2"), "phase tags present:\n{a}");
+    }
+}

@@ -75,9 +75,7 @@ where
             out[idx] = Some(r);
         }
     }
-    out.into_iter()
-        .map(|r| r.expect("all tasks ran"))
-        .collect()
+    out.into_iter().map(|r| r.expect("all tasks ran")).collect()
 }
 
 #[cfg(test)]

@@ -252,9 +252,7 @@ pub fn eval_fused_block(
     // KiB total — so no intermediate tile is ever materialized. Each cell
     // still sees exactly the per-element op sequence of the unfused chain.
     const CHUNK: usize = 512;
-    let mut free: Vec<Vec<f64>> = (0..max_depth)
-        .map(|_| Vec::with_capacity(CHUNK))
-        .collect();
+    let mut free: Vec<Vec<f64>> = (0..max_depth).map(|_| Vec::with_capacity(CHUNK)).collect();
     let mut stack: Vec<Slot<'_>> = Vec::with_capacity(max_depth);
     let mut start = 0usize;
     while start < total {
@@ -265,9 +263,11 @@ pub fn eval_fused_block(
                 FusedOp::Add => apply_binary(|a, b| a + b, &mut stack, &mut free),
                 FusedOp::Sub => apply_binary(|a, b| a - b, &mut stack, &mut free),
                 FusedOp::CellMul => apply_binary(|a, b| a * b, &mut stack, &mut free),
-                FusedOp::CellDiv => {
-                    apply_binary(|a, b| if b == 0.0 { 0.0 } else { a / b }, &mut stack, &mut free)
-                }
+                FusedOp::CellDiv => apply_binary(
+                    |a, b| if b == 0.0 { 0.0 } else { a / b },
+                    &mut stack,
+                    &mut free,
+                ),
                 FusedOp::Scale(c) => apply_unary(|a| a * c, &mut stack, &mut free),
                 FusedOp::AddScalar(c) => apply_unary(|a| a + c, &mut stack, &mut free),
             }

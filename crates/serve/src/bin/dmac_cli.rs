@@ -1,0 +1,206 @@
+//! `dmac-cli` — client for a running `dmac-served`.
+//!
+//! ```text
+//! dmac-cli submit   --addr HOST:PORT [--session S] [--deadline-ms N] FILE|-
+//! dmac-cli explain  --addr HOST:PORT [--session S] FILE|-
+//! dmac-cli fetch    --addr HOST:PORT NAME
+//! dmac-cli stats    --addr HOST:PORT
+//! dmac-cli shutdown --addr HOST:PORT
+//! dmac-cli smoke    --addr HOST:PORT [--clients N] [--repeats N]
+//!                   [--min-hit-rate F] [--no-shutdown]
+//! ```
+//!
+//! `smoke` runs the concurrent GNMF/PageRank workload from
+//! `dmac_serve::smoke` — N client threads, plan-cache hit-rate gate,
+//! bit-identity against a serial replay — and exits non-zero on any
+//! failure (how `scripts/verify.sh` gates the service).
+
+use std::io::Read as _;
+
+use dmac_serve::smoke::{run_smoke, SmokeConfig};
+use dmac_serve::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dmac-cli <submit|explain|fetch|stats|shutdown|smoke> --addr HOST:PORT [options]\n\
+         \x20 submit   [--session S] [--deadline-ms N] FILE|-\n\
+         \x20 explain  [--session S] FILE|-\n\
+         \x20 fetch    NAME\n\
+         \x20 smoke    [--clients N] [--repeats N] [--min-hit-rate F] [--no-shutdown]"
+    );
+    std::process::exit(2)
+}
+
+fn take(args: &[String], i: &mut usize) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| usage())
+}
+
+fn read_script(path: &str) -> String {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).expect("read stdin");
+        s
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("dmac-cli: cannot read {path}: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("dmac-cli: {e}");
+    std::process::exit(1)
+}
+
+fn connect(addr: &str) -> Client {
+    if addr.is_empty() {
+        usage();
+    }
+    Client::connect(addr).unwrap_or_else(|e| fail(e))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        usage()
+    };
+
+    let mut addr = String::new();
+    let mut session = "cli".to_string();
+    let mut deadline_ms: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut clients = 8usize;
+    let mut repeats = 4usize;
+    let mut min_hit_rate = 0.5f64;
+    let mut shutdown_at_end = true;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(&args, &mut i),
+            "--session" => session = take(&args, &mut i),
+            "--deadline-ms" => {
+                deadline_ms = Some(take(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--clients" => clients = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--repeats" => repeats = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--min-hit-rate" => {
+                min_hit_rate = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--no-shutdown" => shutdown_at_end = false,
+            "--help" | "-h" => usage(),
+            other => positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    match cmd.as_str() {
+        "submit" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let script = read_script(path);
+            let mut cli = connect(&addr);
+            let res = cli
+                .submit(&session, &script, deadline_ms)
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "request {}: {} plan, {:.6} simulated sec, stored [{}], trace {:016x}",
+                res.request_id,
+                if res.plan_cached { "cached" } else { "fresh" },
+                res.sim_sec,
+                res.stored.join(", "),
+                res.golden_fnv,
+            );
+        }
+        "explain" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let script = read_script(path);
+            let mut cli = connect(&addr);
+            println!(
+                "{}",
+                cli.explain(&session, &script).unwrap_or_else(|e| fail(e))
+            );
+        }
+        "fetch" => {
+            let Some(name) = positional.first() else {
+                usage()
+            };
+            let mut cli = connect(&addr);
+            let (rows, cols, bits) = cli.fetch(name).unwrap_or_else(|e| fail(e));
+            println!("{name}: {rows}x{cols}");
+            for r in 0..rows.min(8) {
+                let row: Vec<String> = (0..cols.min(8))
+                    .map(|c| format!("{:10.4}", f64::from_bits(bits[r * cols + c])))
+                    .collect();
+                println!("  {}", row.join(" "));
+            }
+            if rows > 8 || cols > 8 {
+                println!("  ... ({rows}x{cols} total)");
+            }
+        }
+        "stats" => {
+            let mut cli = connect(&addr);
+            let stats = cli.stats().unwrap_or_else(|e| fail(e));
+            println!("{}", render(&stats));
+        }
+        "shutdown" => {
+            let mut cli = connect(&addr);
+            cli.shutdown().unwrap_or_else(|e| fail(e));
+            println!("server draining");
+        }
+        "smoke" => {
+            if addr.is_empty() {
+                usage();
+            }
+            let cfg = SmokeConfig {
+                addr,
+                clients,
+                repeats,
+                min_hit_rate,
+                shutdown_at_end,
+                ..SmokeConfig::default()
+            };
+            let report = run_smoke(&cfg);
+            println!(
+                "smoke: {} submissions in {:.2}s ({:.1}/s), plan-cache hit rate {:.3}",
+                report.completed, report.wall_sec, report.throughput, report.hit_rate
+            );
+            if report.ok() {
+                println!("smoke: PASS");
+            } else {
+                for f in &report.failures {
+                    eprintln!("smoke FAIL: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Re-render a parsed stats document as JSON text.
+fn render(v: &dmac_serve::Json) -> String {
+    use dmac_serve::Json;
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => dmac_core::json::number(*n),
+        Json::Str(s) => dmac_core::json::escape(s),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{}:{}", dmac_core::json::escape(k), render(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}

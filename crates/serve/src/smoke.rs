@@ -1,0 +1,315 @@
+//! Concurrent smoke workload: N clients hammer a server with GNMF and
+//! PageRank scripts, then every result is checked against a serial
+//! single-`Session` replay — bit for bit.
+//!
+//! Reused by `dmac-cli smoke`, the `serve` bench bin and
+//! `tests/serve_concurrency.rs`. The scripts are **random-only** (no
+//! `load` inputs), which pins the plan-cache behaviour: random data
+//! depends on matrix *ids*, not names, so every client computes
+//! identical matrices under its own store names, and each client's
+//! repeated submissions hit the cache after the first (hit rate
+//! `(repeats-1)/repeats` per script).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dmac_core::{Session, SharedStore};
+use dmac_lang::parse_script;
+
+use crate::client::{Client, ClientError};
+use crate::protocol::code;
+
+/// Smoke workload parameters.
+#[derive(Debug, Clone)]
+pub struct SmokeConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Times each client submits each script.
+    pub repeats: usize,
+    /// Plan-cache hit-rate gate (over the whole run).
+    pub min_hit_rate: f64,
+    /// Must match the server's session settings — the serial replay
+    /// reference is computed locally with these.
+    pub workers: usize,
+    /// See `workers`.
+    pub local_threads: usize,
+    /// See `workers`.
+    pub block_size: usize,
+    /// See `workers`.
+    pub seed: u64,
+    /// Send a `shutdown` at the end and verify the drain.
+    pub shutdown_at_end: bool,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> SmokeConfig {
+        let s = crate::server::ServerConfig::default();
+        SmokeConfig {
+            addr: String::new(),
+            clients: 8,
+            repeats: 4,
+            min_hit_rate: 0.5,
+            workers: s.workers,
+            local_threads: s.local_threads,
+            block_size: s.block_size,
+            seed: s.seed,
+            shutdown_at_end: true,
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Default)]
+pub struct SmokeReport {
+    /// Gate violations and mismatches; empty means the smoke passed.
+    pub failures: Vec<String>,
+    /// Total successful submissions.
+    pub completed: u64,
+    /// Wall seconds for the submission phase.
+    pub wall_sec: f64,
+    /// Server-reported plan-cache hit rate.
+    pub hit_rate: f64,
+    /// Completed submissions per wall second.
+    pub throughput: f64,
+}
+
+impl SmokeReport {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The per-client GNMF script (random-only; store names carry the
+/// client suffix so clients never conflict).
+pub fn gnmf_script(client: usize) -> String {
+    let c = format!("c{client}");
+    format!(
+        "V{c} = random(V{c}, 96, 72)\n\
+         W{c} = random(W{c}, 96, 8)\n\
+         H{c} = random(H{c}, 8, 72)\n\
+         for (i in 0:1) {{\n\
+             H{c} = H{c} * (W{c}.t %*% V{c}) / (W{c}.t %*% W{c} %*% H{c})\n\
+             W{c} = W{c} * (V{c} %*% H{c}.t) / (W{c} %*% H{c} %*% H{c}.t)\n\
+         }}\n\
+         store(W{c})\n\
+         store(H{c})\n"
+    )
+}
+
+/// The per-client PageRank-flavoured script.
+pub fn pagerank_script(client: usize) -> String {
+    let c = format!("c{client}");
+    format!(
+        "link{c} = random(link{c}, 128, 128)\n\
+         rank{c} = random(rank{c}, 1, 128)\n\
+         for (i in 0:4) {{\n\
+             rank{c} = (rank{c} %*% link{c}) * 0.85 + rank{c} * 0.15\n\
+         }}\n\
+         store(rank{c})\n"
+    )
+}
+
+/// Names each client's scripts store, in fetch order.
+pub fn stored_names(client: usize) -> Vec<String> {
+    vec![
+        format!("Wc{client}"),
+        format!("Hc{client}"),
+        format!("rankc{client}"),
+    ]
+}
+
+/// Serial reference: run one client's scripts in a fresh local session
+/// and return the stored matrices' bit patterns, in [`stored_names`]
+/// order.
+pub fn serial_reference(cfg: &SmokeConfig, client: usize) -> Vec<Vec<u64>> {
+    let mut sess = Session::builder()
+        .workers(cfg.workers)
+        .local_threads(cfg.local_threads)
+        .block_size(cfg.block_size)
+        .seed(cfg.seed)
+        .store(SharedStore::new())
+        .build();
+    for script in [gnmf_script(client), pagerank_script(client)] {
+        let parsed = parse_script(&script).expect("smoke script parses");
+        sess.run(&parsed.program).expect("smoke script runs");
+    }
+    stored_names(client)
+        .iter()
+        .map(|n| {
+            let m = sess.env_value(n).expect("stored name bound");
+            m.to_dense().data().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+/// Submit with bounded retries on `busy` (backpressure is expected
+/// under load, not a failure).
+fn submit_retry(
+    client: &mut Client,
+    session: &str,
+    script: &str,
+) -> Result<crate::protocol::ProgramResult, ClientError> {
+    for _ in 0..200 {
+        match client.submit(session, script, None) {
+            Err(ClientError::Server { code: c, .. }) if c == code::BUSY => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            other => return other,
+        }
+    }
+    Err(ClientError::Proto("gave up after 200 busy retries".into()))
+}
+
+/// Run the full smoke: concurrent submissions, hit-rate gate, serial
+/// bit-identity check, optional shutdown + drain check.
+pub fn run_smoke(cfg: &SmokeConfig) -> SmokeReport {
+    let mut report = SmokeReport::default();
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let completed = Mutex::new(0u64);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let failures = &failures;
+            let completed = &completed;
+            let cfg = &cfg;
+            scope.spawn(move || {
+                let mut cli =
+                    match Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(10)) {
+                        Ok(cli) => cli,
+                        Err(e) => {
+                            failures
+                                .lock()
+                                .unwrap()
+                                .push(format!("client {c}: connect failed: {e}"));
+                            return;
+                        }
+                    };
+                let session = format!("smoke-{c}");
+                let scripts = [gnmf_script(c), pagerank_script(c)];
+                let mut goldens: Vec<Option<u64>> = vec![None; scripts.len()];
+                for r in 0..cfg.repeats {
+                    for (si, script) in scripts.iter().enumerate() {
+                        match submit_retry(&mut cli, &session, script) {
+                            Ok(res) => {
+                                *completed.lock().unwrap() += 1;
+                                // Same script, same session → the trace
+                                // digest must never move between repeats.
+                                match goldens[si] {
+                                    None => goldens[si] = Some(res.golden_fnv),
+                                    Some(g) if g != res.golden_fnv => {
+                                        failures.lock().unwrap().push(format!(
+                                            "client {c} script {si} repeat {r}: trace digest \
+                                             changed ({g:016x} -> {:016x})",
+                                            res.golden_fnv
+                                        ));
+                                    }
+                                    Some(_) => {}
+                                }
+                                if r > 0 && !res.plan_cached {
+                                    failures.lock().unwrap().push(format!(
+                                        "client {c} script {si} repeat {r}: expected a plan-cache \
+                                         hit"
+                                    ));
+                                }
+                            }
+                            Err(e) => {
+                                failures
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("client {c} script {si} repeat {r}: {e}"));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    report.wall_sec = start.elapsed().as_secs_f64();
+    report.completed = *completed.lock().unwrap();
+    report.throughput = if report.wall_sec > 0.0 {
+        report.completed as f64 / report.wall_sec
+    } else {
+        0.0
+    };
+    report.failures = failures.into_inner().unwrap();
+
+    // Hit rate + bit-identity checks over one connection.
+    match Client::connect_retry(cfg.addr.as_str(), Duration::from_secs(5)) {
+        Ok(mut cli) => {
+            match cli.stats() {
+                Ok(stats) => {
+                    let rate = stats
+                        .get("plan_cache")
+                        .and_then(|pc| pc.get("hit_rate"))
+                        .and_then(|v| v.as_f64())
+                        .unwrap_or(0.0);
+                    report.hit_rate = rate;
+                    if rate < cfg.min_hit_rate {
+                        report.failures.push(format!(
+                            "plan-cache hit rate {rate:.3} below gate {:.3}",
+                            cfg.min_hit_rate
+                        ));
+                    }
+                }
+                Err(e) => report.failures.push(format!("stats failed: {e}")),
+            }
+
+            // The concurrent run must equal a serial single-session
+            // replay, bit for bit. Client 0's reference doubles for
+            // every client: identical scripts (modulo names) generate
+            // identical data because random cells key on matrix ids.
+            let reference = serial_reference(cfg, 0);
+            for c in 0..cfg.clients {
+                for (ni, name) in stored_names(c).iter().enumerate() {
+                    match cli.fetch(name) {
+                        Ok((_r, _cl, bits)) => {
+                            if bits != reference[ni] {
+                                report.failures.push(format!(
+                                    "matrix '{name}' diverges from the serial replay"
+                                ));
+                            }
+                        }
+                        Err(e) => report.failures.push(format!("fetch '{name}': {e}")),
+                    }
+                }
+            }
+
+            if cfg.shutdown_at_end {
+                if let Err(e) = cli.shutdown() {
+                    report.failures.push(format!("shutdown failed: {e}"));
+                }
+            }
+        }
+        Err(e) => report
+            .failures
+            .push(format!("post-run connect failed: {e}")),
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_parse_and_fingerprints_differ_per_client_but_not_per_repeat() {
+        let a = parse_script(&gnmf_script(0)).unwrap().program;
+        let b = parse_script(&gnmf_script(0)).unwrap().program;
+        let c = parse_script(&gnmf_script(1)).unwrap().program;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Store names differ per client, so fingerprints must too.
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        parse_script(&pagerank_script(3)).unwrap();
+    }
+
+    #[test]
+    fn serial_reference_is_reproducible() {
+        let cfg = SmokeConfig::default();
+        assert_eq!(serial_reference(&cfg, 0), serial_reference(&cfg, 0));
+    }
+}

@@ -1,0 +1,56 @@
+//! Serve roundtrip: start an in-process `dmac-serve` server, submit a
+//! script twice (fresh plan, then plan-cache hit), fetch a stored matrix
+//! over the wire, print the service counters, and drain the server.
+//!
+//! ```sh
+//! cargo run --release --example serve_roundtrip
+//! ```
+//!
+//! The same server is normally run as a standalone process
+//! (`dmac-served`) and driven with `dmac-cli` — see "Run as a server" in
+//! the README.
+
+use dmac::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bind an ephemeral port; `addr()` reports what the OS picked.
+    let server = Server::start(ServerConfig::default())?;
+    let addr = server.addr().to_string();
+    println!("server listening on {addr}");
+
+    let script = "A = random(A, 64, 48)\n\
+                  G = A.t %*% A\n\
+                  store(G)\n";
+
+    let mut cli = Client::connect(&addr)?;
+    for _ in 0..2 {
+        let res = cli.submit("demo", script, None)?;
+        println!(
+            "request {}: {} plan, stored [{}], trace {:016x}",
+            res.request_id,
+            if res.plan_cached { "cached" } else { "fresh" },
+            res.stored.join(", "),
+            res.golden_fnv,
+        );
+    }
+
+    // `store(G)` published into the shared store; any connection (and any
+    // session) can fetch it.
+    let (rows, cols, bits) = cli.fetch("G")?;
+    let corner = f64::from_bits(bits[0]);
+    println!("fetched G: {rows}x{cols}, G[0,0] = {corner:.4}");
+
+    let stats = cli.stats()?;
+    let hits = stats
+        .get("plan_cache")
+        .and_then(|pc| pc.get("hits"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    println!("plan-cache hits: {hits}");
+
+    // Drain: stop admitting, finish in-flight work, exit.
+    cli.shutdown()?;
+    server.wait();
+    println!("server drained");
+    Ok(())
+}

@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release (offline)"
 cargo build --release --workspace --bins --benches
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo clippy (workspace, deny warnings)"
 cargo clippy --workspace -- -D warnings
 
@@ -33,5 +36,29 @@ echo "==> fusion benchmark (GNMF + PageRank fused vs unfused, writes BENCH_fusio
 # Exits non-zero if a fused run is not bit-identical to the unfused run or
 # if fusion stops cutting GNMF's cell-wise block materializations by >=30%.
 cargo run --release -q -p dmac-bench --bin fusion > /dev/null
+
+echo "==> dmac-serve smoke (server + 8 concurrent dmac-cli clients)"
+# Starts dmac-served on a free port, then dmac-cli smoke runs 8 client
+# threads submitting GNMF/PageRank scripts. The smoke exits non-zero if
+# the plan-cache hit rate is below 50%, any result diverges bit-wise
+# from a serial single-Session replay, or the drain is not clean.
+PORT_FILE=$(mktemp)
+rm -f "$PORT_FILE"
+./target/release/dmac-served --port-file "$PORT_FILE" > /dev/null &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "dmac-served did not come up" >&2; kill "$SERVED_PID" 2>/dev/null; exit 1; }
+./target/release/dmac-cli smoke --addr "$(cat "$PORT_FILE")" --clients 8 --repeats 4 --min-hit-rate 0.5
+# The smoke ends with a shutdown request; the server must drain and exit 0.
+wait "$SERVED_PID"
+rm -f "$PORT_FILE"
+
+echo "==> dmac-serve throughput benchmark (1/4/8 clients, writes BENCH_serve.json)"
+# Exits non-zero if any scale fails the smoke checks or the plan-cache
+# hit rate drops below 50%.
+cargo run --release -q -p dmac-bench --bin serve > /dev/null
 
 echo "verify: OK"

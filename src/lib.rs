@@ -54,6 +54,7 @@ pub use dmac_core as core;
 pub use dmac_data as data;
 pub use dmac_lang as lang;
 pub use dmac_matrix as matrix;
+pub use dmac_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -67,4 +68,5 @@ pub mod prelude {
     };
     pub use dmac_lang::{Expr, Program};
     pub use dmac_matrix::{AggregationMode, Block, BlockedMatrix, DenseBlock};
+    pub use dmac_serve::{Client, Server, ServerConfig};
 }

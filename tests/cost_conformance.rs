@@ -84,10 +84,7 @@ fn partition_costs_size_and_broadcast_costs_n_times_size() {
     let link = p.load("link", 64, 64, 1.0);
     let out = p.matmul(rank, link).unwrap();
     p.output(out);
-    let trace = run(
-        &p,
-        &[("rank", dense(1, 64, 1)), ("link", dense(64, 64, 2))],
-    );
+    let trace = run(&p, &[("rank", dense(1, 64, 1)), ("link", dense(64, 64, 2))]);
     assert_exact(&trace);
     assert_eq!(
         predicted_of(&trace, "broadcast"),
@@ -122,7 +119,11 @@ fn reference_and_transpose_cost_zero() {
     let mut free_steps = 0;
     for s in &trace.steps {
         if free_kinds.contains(&s.kind.as_str()) {
-            assert_eq!(s.predicted_bytes, 0, "{} {} must predict 0", s.kind, s.label);
+            assert_eq!(
+                s.predicted_bytes, 0,
+                "{} {} must predict 0",
+                s.kind, s.label
+            );
             assert_eq!(s.actual_bytes, 0, "{} {} must measure 0", s.kind, s.label);
             free_steps += 1;
         }

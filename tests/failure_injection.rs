@@ -156,7 +156,10 @@ fn failure_mid_session_does_not_corrupt_environment() {
 #[test]
 fn gnmf_survives_a_kill_at_every_stage_bit_for_bit() {
     let (w_ok, h_ok, healthy) = run_gnmf(None);
-    assert!(!healthy.recovery.any(), "healthy run must report no failures");
+    assert!(
+        !healthy.recovery.any(),
+        "healthy run must report no failures"
+    );
     assert!(healthy.stage_count > 2, "sweep needs stages to kill at");
 
     for stage in 0..healthy.stage_count {
@@ -217,12 +220,7 @@ fn pagerank_survives_a_kill_at_every_stage_bit_for_bit() {
     let handles = cfg.build(&mut p).unwrap();
     let r0 = cfg.initial_rank(&handles, 8, 5).unwrap();
     let reference = cfg.reference(&link, r0).unwrap();
-    assert!(dmac::matrix::approx_eq_slice(
-        &rank_ok,
-        reference.to_dense().data(),
-        1e-9
-    )
-    .is_none());
+    assert!(dmac::matrix::approx_eq_slice(&rank_ok, reference.to_dense().data(), 1e-9).is_none());
 
     for stage in 0..stage_count {
         let (rank, rec, _) = run(Some(FaultPlan::kill_stage(stage, 0xBEEF + stage as u64)));

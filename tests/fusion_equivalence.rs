@@ -120,7 +120,10 @@ fn run_with(
         s.bind(name, m.clone()).unwrap();
     }
     s.run(program).unwrap();
-    let values = outs.iter().map(|&e| s.value(e).unwrap().to_dense()).collect();
+    let values = outs
+        .iter()
+        .map(|&e| s.value(e).unwrap().to_dense())
+        .collect();
     let comm = s.cluster_mut().comm().clone();
     (values, comm.shuffle_bytes(), comm.broadcast_bytes())
 }

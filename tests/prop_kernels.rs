@@ -6,14 +6,18 @@
 //! seeds, so every run checks the same (reproducible) corpus and a failing
 //! case can be named by its loop index.
 
-use dmac::matrix::{AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor, SplitMix64};
+use dmac::matrix::{
+    AggregationMode, BlockedMatrix, CscBlock, DenseBlock, LocalExecutor, SplitMix64,
+};
 
 const CASES: usize = 64;
 const SEED: u64 = 0x6B45_52E7_11D0_37C1;
 
 /// A small dense matrix with entries in [-10, 10).
 fn dense(rng: &mut SplitMix64, rows: usize, cols: usize) -> DenseBlock {
-    let v: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(-10.0, 10.0)).collect();
+    let v: Vec<f64> = (0..rows * cols)
+        .map(|_| rng.range_f64(-10.0, 10.0))
+        .collect();
     DenseBlock::from_vec(rows, cols, v).unwrap()
 }
 
@@ -81,12 +85,10 @@ fn transpose_of_product() {
         let mb = BlockedMatrix::from_dense(b, block).unwrap();
         let lhs = ma.matmul_reference(&mb).unwrap().transpose();
         let rhs = mb.transpose().matmul_reference(&ma.transpose()).unwrap();
-        assert!(dmac::matrix::approx_eq_slice(
-            lhs.to_dense().data(),
-            rhs.to_dense().data(),
-            1e-9
-        )
-        .is_none());
+        assert!(
+            dmac::matrix::approx_eq_slice(lhs.to_dense().data(), rhs.to_dense().data(), 1e-9)
+                .is_none()
+        );
     }
 }
 
@@ -98,14 +100,18 @@ fn matmul_associativity() {
         let a = BlockedMatrix::from_dense(dense(&mut rng, 4, 5), 2).unwrap();
         let b = BlockedMatrix::from_dense(dense(&mut rng, 5, 3), 2).unwrap();
         let c = BlockedMatrix::from_dense(dense(&mut rng, 3, 6), 2).unwrap();
-        let lhs = a.matmul_reference(&b).unwrap().matmul_reference(&c).unwrap();
-        let rhs = a.matmul_reference(&b.matmul_reference(&c).unwrap()).unwrap();
-        assert!(dmac::matrix::approx_eq_slice(
-            lhs.to_dense().data(),
-            rhs.to_dense().data(),
-            1e-9
-        )
-        .is_none());
+        let lhs = a
+            .matmul_reference(&b)
+            .unwrap()
+            .matmul_reference(&c)
+            .unwrap();
+        let rhs = a
+            .matmul_reference(&b.matmul_reference(&c).unwrap())
+            .unwrap();
+        assert!(
+            dmac::matrix::approx_eq_slice(lhs.to_dense().data(), rhs.to_dense().data(), 1e-9)
+                .is_none()
+        );
     }
 }
 
@@ -123,12 +129,10 @@ fn matmul_distributes_over_add() {
             .unwrap()
             .add(&a.matmul_reference(&c).unwrap())
             .unwrap();
-        assert!(dmac::matrix::approx_eq_slice(
-            lhs.to_dense().data(),
-            rhs.to_dense().data(),
-            1e-9
-        )
-        .is_none());
+        assert!(
+            dmac::matrix::approx_eq_slice(lhs.to_dense().data(), rhs.to_dense().data(), 1e-9)
+                .is_none()
+        );
     }
 }
 
@@ -163,8 +167,14 @@ fn sparse_cellwise_matches_dense() {
         let (da, db) = (a.to_dense(), b.to_dense());
         assert_eq!(a.add(&b).unwrap().to_dense(), da.add(&db).unwrap());
         assert_eq!(a.sub(&b).unwrap().to_dense(), da.sub(&db).unwrap());
-        assert_eq!(a.cell_mul(&b).unwrap().to_dense(), da.cell_mul(&db).unwrap());
-        assert_eq!(a.cell_div(&b).unwrap().to_dense(), da.cell_div(&db).unwrap());
+        assert_eq!(
+            a.cell_mul(&b).unwrap().to_dense(),
+            da.cell_mul(&db).unwrap()
+        );
+        assert_eq!(
+            a.cell_div(&b).unwrap().to_dense(),
+            da.cell_div(&db).unwrap()
+        );
     }
 }
 

@@ -140,8 +140,7 @@ fn random_programs_execute_correctly() {
     for case in 0..48 {
         let picks = op_picks(&mut rng, 1, 11);
         let workers = rng.range_inclusive(1, 4);
-        let system = [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal]
-            [rng.below(3)];
+        let system = [SystemKind::Dmac, SystemKind::SystemMlS, SystemKind::RLocal][rng.below(3)];
         check_execution(
             &picks,
             workers,
@@ -156,10 +155,34 @@ fn random_programs_execute_correctly() {
 #[test]
 fn regression_scale_then_square_single_worker() {
     let picks = [
-        OpPick { kind: 5, a: 0, b: 0, t1: false, t2: false },
-        OpPick { kind: 0, a: 0, b: 0, t1: false, t2: false },
-        OpPick { kind: 0, a: 0, b: 0, t1: false, t2: false },
-        OpPick { kind: 5, a: 0, b: 0, t1: true, t2: false },
+        OpPick {
+            kind: 5,
+            a: 0,
+            b: 0,
+            t1: false,
+            t2: false,
+        },
+        OpPick {
+            kind: 0,
+            a: 0,
+            b: 0,
+            t1: false,
+            t2: false,
+        },
+        OpPick {
+            kind: 0,
+            a: 0,
+            b: 0,
+            t1: false,
+            t2: false,
+        },
+        OpPick {
+            kind: 5,
+            a: 0,
+            b: 0,
+            t1: true,
+            t2: false,
+        },
     ];
     check_execution(&picks, 1, SystemKind::Dmac, "regression: scale/square");
 }
@@ -196,7 +219,8 @@ fn dmac_never_plans_more_comm_steps() {
         let picks = op_picks(&mut rng, 1, 15);
         let (program, _) = build_program(&picks);
         let dmac = plan_program(&program, &PlannerConfig::default(), 4, &HashMap::new()).unwrap();
-        let sysml = plan_program(&program, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap();
+        let sysml =
+            plan_program(&program, &PlannerConfig::systemml_s(), 4, &HashMap::new()).unwrap();
         assert!(
             dmac.plan.comm_step_count() <= sysml.plan.comm_step_count(),
             "case {case}: dmac {} > sysml {}",

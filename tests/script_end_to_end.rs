@@ -126,8 +126,7 @@ fn shipped_example_scripts_parse_and_plan() {
         "examples/scripts/pagerank.dmac",
     ] {
         let src = std::fs::read_to_string(path).unwrap();
-        let parsed = parse_script(&src)
-            .unwrap_or_else(|e| panic!("{path} failed to parse: {e}"));
+        let parsed = parse_script(&src).unwrap_or_else(|e| panic!("{path} failed to parse: {e}"));
         parsed.program.validate().unwrap();
         // Planning needs no data.
         let s = Session::builder().workers(4).block_size(256).build();

@@ -1,0 +1,280 @@
+//! dmac-serve end-to-end: concurrent clients must produce results
+//! byte-identical to serial single-`Session` runs, the plan cache must
+//! hit, conflicting writers must be rejected, and shutdown must drain.
+
+use std::net::TcpStream;
+
+use dmac::core::{Session, SharedStore};
+use dmac::lang::normalize::fnv1a;
+use dmac::lang::parse_script;
+use dmac::serve::protocol::{code, read_frame, write_frame, Request, Response};
+use dmac::serve::smoke::{gnmf_script, pagerank_script, run_smoke, SmokeConfig};
+use dmac::serve::{Client, Server, ServerConfig};
+
+/// A script with a unique store name — pipelined same-session
+/// submissions of it queue up instead of conflicting.
+fn unique_script(tag: usize) -> String {
+    format!(
+        "B{tag} = random(B{tag}, 64, 64)\n\
+         C{tag} = B{tag} %*% B{tag}\n\
+         store(C{tag})\n"
+    )
+}
+
+fn test_server(pool: usize) -> Server {
+    Server::start(ServerConfig {
+        pool,
+        ..ServerConfig::default()
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn concurrent_clients_match_serial_session_bit_for_bit() {
+    let server = test_server(4);
+    let cfg = SmokeConfig {
+        addr: server.addr().to_string(),
+        clients: 4,
+        repeats: 3,
+        min_hit_rate: 0.5,
+        shutdown_at_end: true,
+        ..SmokeConfig::default()
+    };
+    let report = run_smoke(&cfg);
+    assert!(
+        report.ok(),
+        "smoke failures:\n{}",
+        report.failures.join("\n")
+    );
+    assert_eq!(report.completed, 4 * 3 * 2);
+    assert!(report.hit_rate >= 0.5, "hit rate {}", report.hit_rate);
+    // run_smoke sent shutdown; wait() returning proves the drain ends.
+    server.wait();
+}
+
+#[test]
+fn server_traces_equal_a_local_session_run() {
+    let server = test_server(2);
+    let mut cli = Client::connect(server.addr()).expect("connect");
+
+    let script = gnmf_script(0);
+    let res = cli.submit("solo", &script, None).expect("submit");
+    assert!(!res.plan_cached);
+    assert_eq!(res.stored, vec!["Hc0".to_string(), "Wc0".to_string()]);
+
+    // The same script in a plain local Session must produce the exact
+    // same execution trace (digested) and simulated time.
+    let defaults = ServerConfig::default();
+    let mut sess = Session::builder()
+        .workers(defaults.workers)
+        .local_threads(defaults.local_threads)
+        .block_size(defaults.block_size)
+        .seed(defaults.seed)
+        .store(SharedStore::new())
+        .build();
+    let program = parse_script(&script).unwrap().program;
+    let local = sess.run(&program).expect("local run");
+    assert_eq!(res.golden_fnv, fnv1a(&local.trace.golden_summary()));
+    // sim_sec blends modelled comm with *measured* compute, so it is
+    // informational, not replay-stable — only sanity-check it.
+    assert!(res.sim_sec > 0.0 && local.sim.total_sec() > 0.0);
+
+    // Second submission: cached plan, identical trace.
+    let res2 = cli.submit("solo", &script, None).expect("resubmit");
+    assert!(res2.plan_cached);
+    assert_eq!(res2.golden_fnv, res.golden_fnv);
+
+    // PageRank interleaved in another session doesn't disturb it.
+    let mut other = Client::connect(server.addr()).expect("connect");
+    other
+        .submit("other", &pagerank_script(1), None)
+        .expect("pagerank");
+    let res3 = cli.submit("solo", &script, None).expect("resubmit");
+    assert_eq!(res3.golden_fnv, res.golden_fnv);
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn concurrent_store_writers_conflict() {
+    // One executor: a burst of same-session jobs keeps it busy, so the
+    // claim taken by the first `store(X...)` submission is still held
+    // when the second one is admitted microseconds later.
+    let server = test_server(1);
+
+    let mut burst = TcpStream::connect(server.addr()).expect("connect");
+    for i in 0..4 {
+        let req = Request::Submit {
+            session: "burst".into(),
+            script: unique_script(100 + i),
+            deadline_ms: None,
+        };
+        write_frame(&mut burst, &req.to_json()).unwrap();
+    }
+
+    let mut pipelined = TcpStream::connect(server.addr()).expect("connect");
+    for session in ["w1", "w2"] {
+        let req = Request::Submit {
+            session: session.into(),
+            script: "Xs = random(Xs, 16, 16)\nYs = Xs + Xs\nstore(Ys)\n".into(),
+            deadline_ms: None,
+        };
+        write_frame(&mut pipelined, &req.to_json()).unwrap();
+    }
+
+    // Two responses, in whatever order they complete: exactly one
+    // result and one `conflict` error.
+    let mut kinds = Vec::new();
+    for _ in 0..2 {
+        let payload = read_frame(&mut pipelined).unwrap().expect("response");
+        match Response::from_json(&payload).unwrap() {
+            Response::Result(_) => kinds.push("ok"),
+            Response::Error { code: c, .. } => {
+                assert_eq!(c, code::CONFLICT);
+                kinds.push("conflict");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    kinds.sort();
+    assert_eq!(kinds, ["conflict", "ok"]);
+
+    // Drain the burst responses, then stop.
+    for _ in 0..4 {
+        read_frame(&mut burst).unwrap().expect("burst response");
+    }
+    write_frame(&mut pipelined, &Request::Shutdown.to_json()).unwrap();
+    read_frame(&mut pipelined).unwrap().expect("shutdown ack");
+    server.wait();
+}
+
+#[test]
+fn protocol_errors_and_backpressure_reject_cleanly() {
+    let server = Server::start(ServerConfig {
+        pool: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+
+    // Garbage frame → proto error, connection stays usable.
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut raw, "not json").unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("response");
+    match Response::from_json(&payload).unwrap() {
+        Response::Error { code: c, .. } => assert_eq!(c, code::PROTO),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Parse failure → parse error.
+    write_frame(
+        &mut raw,
+        &Request::Submit {
+            session: "s".into(),
+            script: "A = random(".into(),
+            deadline_ms: None,
+        }
+        .to_json(),
+    )
+    .unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("response");
+    match Response::from_json(&payload).unwrap() {
+        Response::Error { code: c, .. } => assert_eq!(c, code::PARSE),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Saturate: queue_cap 1 + pool 1, so a fast pipelined burst must
+    // draw at least one `busy` (all jobs share one session, so none
+    // run concurrently and the queue genuinely fills).
+    let mut results = 0;
+    let mut busy = 0;
+    let burst = 12;
+    for i in 0..burst {
+        write_frame(
+            &mut raw,
+            &Request::Submit {
+                session: "s".into(),
+                script: unique_script(200 + i),
+                deadline_ms: None,
+            }
+            .to_json(),
+        )
+        .unwrap();
+    }
+    for _ in 0..burst {
+        let payload = read_frame(&mut raw).unwrap().expect("response");
+        match Response::from_json(&payload).unwrap() {
+            Response::Result(_) => results += 1,
+            Response::Error { code: c, .. } => {
+                assert_eq!(c, code::BUSY);
+                busy += 1;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(results + busy, burst);
+    assert!(results >= 1, "at least one job must run");
+    assert!(busy >= 1, "queue of 1 must reject part of a burst of 12");
+
+    // Fetch of a missing matrix → unbound.
+    let mut cli = Client::connect(server.addr()).expect("connect");
+    match cli.fetch("nope") {
+        Err(dmac::serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::UNBOUND)
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // A 0 ms deadline on a queued job → deadline rejection.
+    match cli.submit("s", &gnmf_script(8), Some(0)) {
+        Err(dmac::serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::DEADLINE)
+        }
+        Ok(_) => {} // raced to execution before the check — acceptable
+        other => panic!("unexpected {other:?}"),
+    }
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected() {
+    let server = test_server(2);
+    let mut cli = Client::connect(server.addr()).expect("connect");
+    cli.submit("s", &pagerank_script(0), None).expect("submit");
+    server.shutdown_now();
+    match cli.submit("s", &pagerank_script(0), None) {
+        Err(dmac::serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::SHUTTING_DOWN)
+        }
+        Err(dmac::serve::ClientError::Io(_)) | Err(dmac::serve::ClientError::Proto(_)) => {
+            // The drain may already have closed the socket.
+        }
+        Ok(_) => panic!("submission accepted after shutdown"),
+    }
+    server.wait();
+}
+
+#[test]
+fn explain_matches_local_explain() {
+    let server = test_server(1);
+    let mut cli = Client::connect(server.addr()).expect("connect");
+    let script = pagerank_script(2);
+    let remote = cli.explain("s", &script).expect("explain");
+
+    let defaults = ServerConfig::default();
+    let sess = Session::builder()
+        .workers(defaults.workers)
+        .local_threads(defaults.local_threads)
+        .block_size(defaults.block_size)
+        .seed(defaults.seed)
+        .build();
+    let program = parse_script(&script).unwrap().program;
+    let local = sess.explain(&program).expect("local explain");
+    assert_eq!(remote, local);
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
