@@ -1,0 +1,801 @@
+//! Independent plan-invariant verifier.
+//!
+//! Re-derives, from scratch and along a code path entirely separate from
+//! `dmac_core::cost`, everything the planner claims about a plan:
+//!
+//! * the **Table-2 dependency type** of every non-compute step and the
+//!   §4.1 cost-model bytes that type implies (free → 0, partition →
+//!   `|A|`, broadcast → `N·|A|`, CPMM output → `N·|AB|`), asserting
+//!   **exact** per-step and total agreement with the planner's
+//!   predictions and `estimated_comm`;
+//! * **scheme compatibility** of every compute step's inputs against the
+//!   candidate table ([`dmac_core::strategy::candidates`]);
+//! * structural legality of every extended operator (partition targets
+//!   Row/Col, extract reads a broadcast copy, transpose flips handedness
+//!   and scheme, pulled-up broadcast+extract pairs are well-formed);
+//! * plan well-formedness: nodes defined before use and at most once, no
+//!   leftover flexible nodes, every program operator planned exactly
+//!   once, outputs bound with the right handedness;
+//! * the §5.2 **stage invariant**: stages are separated only by
+//!   partition/broadcast (or CPMM-shuffle) boundaries.
+//!
+//! Installed behind `dmac_core::verifyhook`, the verifier runs on every
+//! debug-build `Session::{plan, prepare, run}`, so any drift between the
+//! planner's bookkeeping and its emitted plans fails loudly.
+
+use std::collections::HashMap;
+
+use dmac_cluster::PartitionScheme;
+use dmac_core::plan::{FusedInstr, Plan, PlanStep};
+use dmac_core::planner::{Planned, PlannerConfig};
+use dmac_core::stage;
+use dmac_core::strategy::{candidates, OutScheme, Strategy};
+use dmac_lang::{BinOp, MatrixId, OpKind, Program};
+
+/// What the verifier concluded (returned on success for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Steps checked.
+    pub steps: usize,
+    /// Steps classified as communication.
+    pub comm_steps: usize,
+    /// Independently recomputed total communication bytes.
+    pub recomputed_comm: u64,
+    /// Number of §5.2 stages.
+    pub stages: usize,
+}
+
+/// The Table-2 dependency type of a non-compute plan step, re-derived
+/// from the step's endpoint nodes alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DepType {
+    Reference,
+    Transpose,
+    Extract,
+    Partition,
+    TransposePartition,
+    Broadcast,
+    TransposeBroadcast,
+}
+
+impl DepType {
+    fn name(self) -> &'static str {
+        match self {
+            DepType::Reference => "Reference",
+            DepType::Transpose => "Transpose",
+            DepType::Extract => "Extract",
+            DepType::Partition => "Partition",
+            DepType::TransposePartition => "TransposePartition",
+            DepType::Broadcast => "Broadcast",
+            DepType::TransposeBroadcast => "TransposeBroadcast",
+        }
+    }
+
+    /// §4.1: the event bytes this dependency type costs.
+    fn bytes(self, size: u64, workers: u64) -> u64 {
+        match self {
+            DepType::Reference | DepType::Transpose | DepType::Extract => 0,
+            DepType::Partition | DepType::TransposePartition => size,
+            DepType::Broadcast | DepType::TransposeBroadcast => workers * size,
+        }
+    }
+}
+
+/// Verify every invariant of a planner-produced [`Planned`]. Returns a
+/// summary on success and a message naming the violated invariant (`Vxx`)
+/// and step on failure.
+pub fn verify_planned(
+    program: &Program,
+    planned: &Planned,
+    cfg: &PlannerConfig,
+    workers: usize,
+) -> Result<VerifySummary, String> {
+    let v = Verifier {
+        program,
+        plan: &planned.plan,
+        cfg,
+        workers: workers as u64,
+    };
+    v.run(planned.estimated_comm)
+}
+
+struct Verifier<'a> {
+    program: &'a Program,
+    plan: &'a Plan,
+    cfg: &'a PlannerConfig,
+    workers: u64,
+}
+
+impl<'a> Verifier<'a> {
+    /// `|A|` — worst-case bytes of a program matrix, recomputed from the
+    /// declared stats (8 bytes per estimated non-zero; transposition
+    /// invariant). Deliberately not `dmac_core::cost`.
+    fn size(&self, m: MatrixId) -> Result<u64, String> {
+        let d = self
+            .program
+            .decl(m)
+            .map_err(|e| format!("V01: plan references unknown matrix {m}: {e}"))?;
+        let s = d.stats;
+        Ok((s.rows as f64 * s.cols as f64 * s.sparsity * 8.0).ceil() as u64)
+    }
+
+    fn run(&self, estimated_comm: u64) -> Result<VerifySummary, String> {
+        self.check_nodes()?;
+        self.check_definitions()?;
+        let recomputed = self.check_steps()?;
+        self.check_op_coverage()?;
+        self.check_outputs()?;
+        let stages = self.check_stages()?;
+
+        // V02: totals. The per-step predictions must tile the planner's
+        // own estimate, and our independent recomputation must agree with
+        // both, byte for byte.
+        let predicted_total = self.plan.predicted_total();
+        if predicted_total != estimated_comm {
+            return Err(format!(
+                "V02: per-step predictions sum to {predicted_total} but the planner \
+                 estimated {estimated_comm}"
+            ));
+        }
+        if recomputed != estimated_comm {
+            return Err(format!(
+                "V02: independent cost recomputation gives {recomputed} bytes but the \
+                 planner estimated {estimated_comm}"
+            ));
+        }
+
+        Ok(VerifySummary {
+            steps: self.plan.steps.len(),
+            comm_steps: self.plan.steps.iter().filter(|s| s.is_comm()).count(),
+            recomputed_comm: recomputed,
+            stages,
+        })
+    }
+
+    /// V03: no flexible nodes survive finalisation; every node's matrix
+    /// exists; Hash never appears transposed (sources are untransposed and
+    /// nothing transposes *into* Hash placement).
+    fn check_nodes(&self) -> Result<(), String> {
+        for (i, n) in self.plan.nodes.iter().enumerate() {
+            if n.flexible {
+                return Err(format!(
+                    "V03: node {i} ({}) is still flexible after finalisation",
+                    self.plan.node_label(self.program, i)
+                ));
+            }
+            self.size(n.matrix)?;
+        }
+        Ok(())
+    }
+
+    /// V04: every node is defined exactly once (as a source or as exactly
+    /// one step's output) and every step reads only already-defined nodes.
+    fn check_definitions(&self) -> Result<(), String> {
+        let mut defined = vec![false; self.plan.nodes.len()];
+        for &(n, m) in &self.plan.sources {
+            let node = self
+                .plan
+                .nodes
+                .get(n)
+                .ok_or_else(|| format!("V04: source entry references missing node {n}"))?;
+            if node.matrix != m {
+                return Err(format!(
+                    "V04: source entry says node {n} holds matrix {m} but the node \
+                     holds matrix {}",
+                    node.matrix
+                ));
+            }
+            if node.transposed {
+                return Err(format!("V04: source node {n} is transposed"));
+            }
+            defined[n] = true;
+        }
+        for (i, step) in self.plan.steps.iter().enumerate() {
+            for r in step.in_nodes() {
+                if !defined.get(r).copied().unwrap_or(false) {
+                    return Err(format!("V04: step {i} reads node {r} before it is defined"));
+                }
+            }
+            if let Some(out) = step.out_node() {
+                if out >= self.plan.nodes.len() {
+                    return Err(format!("V04: step {i} defines missing node {out}"));
+                }
+                if defined[out] {
+                    return Err(format!("V04: step {i} redefines node {out}"));
+                }
+                defined[out] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-step structural checks + independent cost recomputation.
+    /// Returns the recomputed total.
+    fn check_steps(&self) -> Result<u64, String> {
+        let mut total = 0u64;
+        for (i, step) in self.plan.steps.iter().enumerate() {
+            let expect = match step {
+                PlanStep::Partition { src, out, .. }
+                | PlanStep::Broadcast { src, out, .. }
+                | PlanStep::Transpose { src, out, .. }
+                | PlanStep::Extract { src, out, .. }
+                | PlanStep::Reference { src, out, .. } => {
+                    let dep = self.classify_extended(i, step, *src, *out)?;
+                    dep.bytes(self.size(self.plan.nodes[*src].matrix)?, self.workers)
+                }
+                PlanStep::Compute {
+                    op,
+                    strategy,
+                    inputs,
+                    out,
+                    out_scalar,
+                    ..
+                } => self.check_compute(i, *op, *strategy, inputs, *out, *out_scalar)?,
+                PlanStep::FusedCellWise {
+                    ops,
+                    prog,
+                    inputs,
+                    out,
+                    ..
+                } => {
+                    self.check_fused(i, ops, prog, inputs, *out)?;
+                    0
+                }
+            };
+            let predicted = self.plan.predicted_bytes(i);
+            if predicted != expect {
+                return Err(format!(
+                    "V05: step {i} predicted {predicted} bytes, independent recomputation \
+                     gives {expect}"
+                ));
+            }
+            total += expect;
+        }
+        Ok(total)
+    }
+
+    /// Classify an extended-operator step into its Table-2 dependency type
+    /// from its endpoint nodes, and check the step kind actually matches
+    /// that classification.
+    fn classify_extended(
+        &self,
+        i: usize,
+        step: &PlanStep,
+        src: usize,
+        out: usize,
+    ) -> Result<DepType, String> {
+        let s = &self.plan.nodes[src];
+        let o = &self.plan.nodes[out];
+        if s.matrix != o.matrix {
+            return Err(format!(
+                "V06: step {i} relates different matrices {} and {}",
+                s.matrix, o.matrix
+            ));
+        }
+        let flipped = s.transposed != o.transposed;
+        let dep = match step {
+            PlanStep::Reference { .. } => {
+                if flipped || s.scheme != o.scheme {
+                    return Err(format!(
+                        "V06: step {i} reference must preserve handedness and scheme \
+                         ({} -> {})",
+                        self.plan.node_label(self.program, src),
+                        self.plan.node_label(self.program, out)
+                    ));
+                }
+                DepType::Reference
+            }
+            PlanStep::Transpose { .. } => {
+                if !flipped || o.scheme != s.scheme.flip() {
+                    return Err(format!(
+                        "V06: step {i} transpose must flip handedness and scheme \
+                         ({} -> {})",
+                        self.plan.node_label(self.program, src),
+                        self.plan.node_label(self.program, out)
+                    ));
+                }
+                DepType::Transpose
+            }
+            PlanStep::Extract { .. } => {
+                if s.scheme != PartitionScheme::Broadcast || !o.scheme.is_rc() || flipped {
+                    return Err(format!(
+                        "V06: step {i} extract must filter a broadcast copy of the same \
+                         handedness down to Row/Col ({} -> {})",
+                        self.plan.node_label(self.program, src),
+                        self.plan.node_label(self.program, out)
+                    ));
+                }
+                DepType::Extract
+            }
+            PlanStep::Partition { .. } => {
+                if !o.scheme.is_rc() {
+                    return Err(format!(
+                        "V06: step {i} partition targets {}, not Row/Col",
+                        o.scheme
+                    ));
+                }
+                if flipped {
+                    DepType::TransposePartition
+                } else {
+                    DepType::Partition
+                }
+            }
+            PlanStep::Broadcast { .. } => {
+                if o.scheme != PartitionScheme::Broadcast {
+                    return Err(format!(
+                        "V06: step {i} broadcast targets {}, not Broadcast",
+                        o.scheme
+                    ));
+                }
+                if flipped {
+                    DepType::TransposeBroadcast
+                } else {
+                    DepType::Broadcast
+                }
+            }
+            _ => unreachable!("classify_extended is only called on extended operators"),
+        };
+        // The planner always reconciles handedness locally before paying a
+        // communication step, so the transpose-flavoured paid types must
+        // never be emitted.
+        if matches!(
+            dep,
+            DepType::TransposePartition | DepType::TransposeBroadcast
+        ) {
+            return Err(format!(
+                "V06: step {i} is a {} — the planner must transpose locally first",
+                dep.name()
+            ));
+        }
+        Ok(dep)
+    }
+
+    /// Check a compute step against the candidate table; returns its
+    /// independently recomputed output-event bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn check_compute(
+        &self,
+        i: usize,
+        op_idx: usize,
+        strategy: Strategy,
+        inputs: &[usize],
+        out: Option<usize>,
+        out_scalar: Option<dmac_lang::ScalarId>,
+    ) -> Result<u64, String> {
+        let op = self
+            .program
+            .ops()
+            .get(op_idx)
+            .ok_or_else(|| format!("V07: step {i} computes unknown operator {op_idx}"))?;
+        let cands = candidates(&op.kind, self.cfg.allow_cpmm);
+        let cand = cands
+            .iter()
+            .find(|c| c.strategy == strategy)
+            .ok_or_else(|| {
+                format!(
+                    "V07: step {i} uses strategy {} which is not a candidate for \
+                     operator {op_idx}",
+                    strategy.name()
+                )
+            })?;
+
+        // V08: input events — arity, operand identity, handedness, and
+        // scheme compatibility with the strategy's requirements.
+        let refs = op.kind.inputs();
+        if refs.len() != inputs.len() || cand.inputs.len() != inputs.len() {
+            return Err(format!(
+                "V08: step {i} has {} input nodes for a {}-operand operator",
+                inputs.len(),
+                refs.len()
+            ));
+        }
+        for (k, (r, (&n, req))) in refs.iter().zip(inputs.iter().zip(&cand.inputs)).enumerate() {
+            let node = &self.plan.nodes[n];
+            if node.matrix != r.id {
+                return Err(format!(
+                    "V08: step {i} input {k} holds matrix {} but the operator reads {}",
+                    node.matrix, r.id
+                ));
+            }
+            if node.transposed != r.transposed {
+                return Err(format!(
+                    "V08: step {i} input {k} ({}) has the wrong handedness",
+                    self.plan.node_label(self.program, n)
+                ));
+            }
+            if let Some(req) = req {
+                if node.scheme != *req {
+                    return Err(format!(
+                        "V08: step {i} input {k} ({}) does not satisfy the {} \
+                         requirement of {}",
+                        self.plan.node_label(self.program, n),
+                        req,
+                        strategy.name()
+                    ));
+                }
+            }
+        }
+
+        // V09: output event.
+        if out_scalar != op.out_scalar {
+            return Err(format!(
+                "V09: step {i} scalar binding {:?} does not match operator {op_idx}'s {:?}",
+                out_scalar, op.out_scalar
+            ));
+        }
+        match (&cand.output, out) {
+            (OutScheme::Scalar, None) => {}
+            (OutScheme::Scalar, Some(_)) => {
+                return Err(format!("V09: step {i} reduction defines a matrix node"));
+            }
+            (_, None) => {
+                if op.out_matrix.is_some() {
+                    return Err(format!("V09: step {i} drops its matrix output"));
+                }
+            }
+            (shape, Some(n)) => {
+                let node = &self.plan.nodes[n];
+                let m = op.out_matrix.ok_or_else(|| {
+                    format!("V09: step {i} defines a node for a matrix-less operator")
+                })?;
+                if node.matrix != m || node.transposed {
+                    return Err(format!(
+                        "V09: step {i} output node ({}) must hold matrix {m} untransposed",
+                        self.plan.node_label(self.program, n)
+                    ));
+                }
+                let ok = match shape {
+                    OutScheme::Fixed(s) => {
+                        if self.cfg.exploit_dependencies {
+                            node.scheme == *s
+                        } else {
+                            // SystemML-S writes results back to the
+                            // hash-partitioned cache.
+                            node.scheme == PartitionScheme::Hash
+                        }
+                    }
+                    // A CPMM output is pinned (by a consumer or by
+                    // finalisation) to one of its two free schemes.
+                    OutScheme::FlexibleRc => {
+                        if self.cfg.exploit_dependencies {
+                            node.scheme.is_rc()
+                        } else {
+                            node.scheme == PartitionScheme::Hash
+                        }
+                    }
+                    OutScheme::SameAsInput => node.scheme == self.plan.nodes[inputs[0]].scheme,
+                    OutScheme::Scalar => unreachable!("handled above"),
+                };
+                if !ok {
+                    return Err(format!(
+                        "V09: step {i} output ({}) has an illegal scheme for {}",
+                        self.plan.node_label(self.program, n),
+                        strategy.name()
+                    ));
+                }
+            }
+        }
+
+        // §4.1: only CPMM's output event communicates, at N·|AB|.
+        match strategy {
+            Strategy::Cpmm => {
+                let m = op
+                    .out_matrix
+                    .ok_or_else(|| format!("V09: step {i} CPMM without a matrix output"))?;
+                Ok(self.workers * self.size(m)?)
+            }
+            _ => Ok(0),
+        }
+    }
+
+    /// V10: fused cell-wise steps are local, scheme-aligned, and replay a
+    /// well-formed post-order program whose members are all cell-wise.
+    fn check_fused(
+        &self,
+        i: usize,
+        ops: &[usize],
+        prog: &[FusedInstr],
+        inputs: &[usize],
+        out: usize,
+    ) -> Result<(), String> {
+        if ops.len() < 2 {
+            return Err(format!("V10: step {i} fuses fewer than two operators"));
+        }
+        let out_scheme = self.plan.nodes[out].scheme;
+        for &n in inputs {
+            if self.plan.nodes[n].scheme != out_scheme {
+                return Err(format!(
+                    "V10: step {i} fused leaf ({}) is not aligned with its output ({})",
+                    self.plan.node_label(self.program, n),
+                    self.plan.node_label(self.program, out)
+                ));
+            }
+        }
+        let mut cellwise = 0usize;
+        for &o in ops {
+            let op = self
+                .program
+                .ops()
+                .get(o)
+                .ok_or_else(|| format!("V10: step {i} fuses unknown operator {o}"))?;
+            let is_cellwise = match &op.kind {
+                OpKind::Binary { op: b, .. } => *b != BinOp::MatMul,
+                OpKind::Unary { .. } => true,
+                OpKind::Reduce { .. } => false,
+            };
+            if !is_cellwise {
+                return Err(format!(
+                    "V10: step {i} fuses operator {o}, which is not cell-wise"
+                ));
+            }
+            cellwise += 1;
+        }
+        // The last fused member produces the step's output.
+        let root = *ops.last().expect("checked non-empty");
+        if self.program.ops()[root].out_matrix != Some(self.plan.nodes[out].matrix) {
+            return Err(format!(
+                "V10: step {i} output node holds a matrix no fused member produces"
+            ));
+        }
+        // Replay the post-order program symbolically: every Leaf index in
+        // range, stack never underflows, exactly one value remains, and
+        // the instruction count matches the member count.
+        let mut depth = 0usize;
+        let mut instr_ops = 0usize;
+        for instr in prog {
+            match instr {
+                FusedInstr::Leaf(k) => {
+                    if *k >= inputs.len() {
+                        return Err(format!("V10: step {i} leaf {k} out of range"));
+                    }
+                    depth += 1;
+                }
+                FusedInstr::Add | FusedInstr::Sub | FusedInstr::CellMul | FusedInstr::CellDiv => {
+                    if depth < 2 {
+                        return Err(format!("V10: step {i} fused program underflows"));
+                    }
+                    depth -= 1;
+                    instr_ops += 1;
+                }
+                FusedInstr::Scale(_) | FusedInstr::AddScalar(_) => {
+                    if depth < 1 {
+                        return Err(format!("V10: step {i} fused program underflows"));
+                    }
+                    instr_ops += 1;
+                }
+            }
+        }
+        if depth != 1 {
+            return Err(format!(
+                "V10: step {i} fused program leaves {depth} values on the stack"
+            ));
+        }
+        if instr_ops != cellwise {
+            return Err(format!(
+                "V10: step {i} fused program has {instr_ops} operator instructions for \
+                 {cellwise} members"
+            ));
+        }
+        Ok(())
+    }
+
+    /// V11: every program operator is planned exactly once, across plain
+    /// compute steps and fused groups.
+    fn check_op_coverage(&self) -> Result<(), String> {
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for step in &self.plan.steps {
+            match step {
+                PlanStep::Compute { op, .. } => *seen.entry(*op).or_insert(0) += 1,
+                PlanStep::FusedCellWise { ops, .. } => {
+                    for &o in ops {
+                        *seen.entry(o).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for idx in 0..self.program.ops().len() {
+            match seen.get(&idx).copied().unwrap_or(0) {
+                1 => {}
+                0 => return Err(format!("V11: operator {idx} was never planned")),
+                n => return Err(format!("V11: operator {idx} planned {n} times")),
+            }
+        }
+        if let Some(&idx) = seen.keys().find(|&&idx| idx >= self.program.ops().len()) {
+            return Err(format!("V11: plan computes nonexistent operator {idx}"));
+        }
+        Ok(())
+    }
+
+    /// V12: every program output is bound to a node holding that matrix
+    /// with the requested handedness.
+    fn check_outputs(&self) -> Result<(), String> {
+        for (r, name) in self.program.outputs() {
+            let found = self.plan.outputs.iter().any(|(n, m, bound_name)| {
+                *m == r.id
+                    && self.plan.nodes[*n].matrix == r.id
+                    && self.plan.nodes[*n].transposed == r.transposed
+                    && bound_name == name
+            });
+            if !found {
+                return Err(format!(
+                    "V12: program output (matrix {}, transposed {}) is not bound",
+                    r.id, r.transposed
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// V13: the §5.2 stage invariant — communication steps are exactly the
+    /// stage boundaries.
+    fn check_stages(&self) -> Result<usize, String> {
+        let stages = stage::schedule(self.plan);
+        stage::validate(self.plan, &stages)
+            .map_err(|i| format!("V13: stage invariant violated at step {i}"))?;
+        Ok(stages.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmac_core::planner::{plan_program, plan_with_forced};
+    use std::collections::HashMap as Map;
+
+    fn gnmf_h() -> Program {
+        let mut p = Program::new();
+        let v = p.load("V", 1000, 800, 0.01);
+        let w = p.random("W", 1000, 20);
+        let h = p.random("H", 20, 800);
+        let wt_v = p.matmul(w.t(), v).unwrap();
+        let wt_w = p.matmul(w.t(), w).unwrap();
+        let wt_w_h = p.matmul(wt_w, h).unwrap();
+        let num = p.cell_mul(h, wt_v).unwrap();
+        let h_new = p.cell_div(num, wt_w_h).unwrap();
+        p.store(h_new, "H");
+        p
+    }
+
+    #[test]
+    fn gnmf_verifies_under_all_configs() {
+        let p = gnmf_h();
+        for cfg in [
+            PlannerConfig::default(),
+            PlannerConfig::systemml_s(),
+            PlannerConfig {
+                pull_up_broadcast: false,
+                ..PlannerConfig::default()
+            },
+            PlannerConfig {
+                fuse_cellwise: false,
+                ..PlannerConfig::default()
+            },
+            PlannerConfig {
+                allow_cpmm: false,
+                ..PlannerConfig::default()
+            },
+        ] {
+            let planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+            let s = verify_planned(&p, &planned, &cfg, 4)
+                .unwrap_or_else(|m| panic!("{m}\n{}", planned.plan.explain(&p)));
+            assert_eq!(s.steps, planned.plan.steps.len());
+            assert_eq!(s.recomputed_comm, planned.estimated_comm);
+        }
+    }
+
+    #[test]
+    fn forced_strategies_verify() {
+        // Force each matmul strategy for the first operator; the verifier
+        // must agree with whatever plan comes out.
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        for choice in 0..3 {
+            let mut forced = Map::new();
+            forced.insert(0, choice);
+            let planned = plan_with_forced(&p, &cfg, 4, &Map::new(), Some(&forced)).unwrap();
+            verify_planned(&p, &planned, &cfg, 4)
+                .unwrap_or_else(|m| panic!("choice {choice}: {m}\n{}", planned.plan.explain(&p)));
+        }
+    }
+
+    #[test]
+    fn tampered_prediction_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        let comm_idx = planned
+            .plan
+            .steps
+            .iter()
+            .position(|s| s.is_comm())
+            .expect("gnmf plan communicates");
+        planned.plan.predicted[comm_idx] += 1;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V05"), "{err}");
+    }
+
+    #[test]
+    fn tampered_total_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        planned.estimated_comm += 1;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V02"), "{err}");
+    }
+
+    #[test]
+    fn tampered_scheme_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        // Flip the scheme of some compute input node: scheme compatibility
+        // (V08) or a structural extended-operator check (V06) must trip.
+        let victim = planned
+            .plan
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                PlanStep::Compute { inputs, .. } => inputs.first().copied(),
+                _ => None,
+            })
+            .expect("plan has computes");
+        let old = planned.plan.nodes[victim].scheme;
+        planned.plan.nodes[victim].scheme = old.flip();
+        if old.is_rc() {
+            let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+            assert!(
+                err.contains("V06") || err.contains("V08"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_operator_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig {
+            fuse_cellwise: false,
+            ..PlannerConfig::default()
+        };
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        let idx = planned
+            .plan
+            .steps
+            .iter()
+            .position(|s| matches!(s, PlanStep::Compute { .. }))
+            .unwrap();
+        planned.plan.steps.remove(idx);
+        planned.plan.predicted.remove(idx);
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        // Removing a compute breaks coverage (V11) — or definition order
+        // (V04) if a later step read its output.
+        assert!(err.contains("V11") || err.contains("V04"), "{err}");
+    }
+
+    #[test]
+    fn unbound_output_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        planned.plan.outputs.clear();
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V12"), "{err}");
+    }
+
+    #[test]
+    fn leftover_flexible_node_is_caught() {
+        let mut p = Program::new();
+        let a = p.load("A", 5000, 30, 1.0);
+        let x = p.matmul(a.t(), a).unwrap();
+        p.output(x);
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        if let Some(n) = planned.plan.nodes.iter().position(|n| n.scheme.is_rc()) {
+            planned.plan.nodes[n].flexible = true;
+            let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+            assert!(err.contains("V03"), "{err}");
+        }
+    }
+}

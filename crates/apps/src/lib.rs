@@ -15,6 +15,8 @@
 //! * [`triangles`] — triangle counting, a §1-style graph-mining workload
 //!   in pure matrix form (extra, not in the paper's evaluation).
 
+#![forbid(unsafe_code)]
+
 pub mod cf;
 pub mod gnmf;
 pub mod linreg;

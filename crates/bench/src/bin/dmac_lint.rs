@@ -1,0 +1,245 @@
+//! `dmac-lint` — the static-analysis gate `scripts/verify.sh` runs.
+//!
+//! Sweeps every application program in `dmac-apps` plus every script
+//! under `examples/scripts/` through the `dmac-analyze` lints, then
+//! re-verifies each planner output with the independent plan-invariant
+//! verifier under several planner configurations (full DMac,
+//! SystemML-S, CPMM off) and — for GNMF and PageRank — with each of
+//! the three multiplication strategies *forced* on their first matmul.
+//!
+//! Exit status is non-zero if any program produces an error-severity
+//! diagnostic or any plan fails verification; warnings are printed but
+//! do not fail the gate.
+
+use std::collections::HashMap;
+
+use dmac_analyze::{lint_program, lint_script, verify_planned, Severity};
+use dmac_apps::{
+    CollaborativeFiltering, Gnmf, LinearRegression, PageRank, SvdLanczos, TriangleCount,
+};
+use dmac_core::planner::{plan_program, plan_with_forced, PlannerConfig};
+use dmac_lang::{BinOp, OpKind, Program};
+
+const WORKERS: usize = 8;
+
+/// Build each evaluation program at small-but-representative sizes.
+fn app_programs() -> Vec<(&'static str, Program)> {
+    let mut out = Vec::new();
+
+    let mut p = Program::new();
+    Gnmf {
+        rows: 2_700,
+        cols: 100,
+        sparsity: 0.0117,
+        rank: 16,
+        iterations: 3,
+    }
+    .build(&mut p)
+    .map(|h| {
+        p.store(h.w, "W");
+        p.store(h.h, "H");
+    })
+    .expect("gnmf");
+    out.push(("gnmf", p));
+
+    let mut p = Program::new();
+    PageRank {
+        nodes: 4_000,
+        link_sparsity: 0.001,
+        damping: 0.85,
+        iterations: 3,
+    }
+    .build(&mut p)
+    .map(|h| p.store(h.rank, "rank"))
+    .expect("pagerank");
+    out.push(("pagerank", p));
+
+    let mut p = Program::new();
+    CollaborativeFiltering {
+        items: 1_000,
+        users: 4_000,
+        sparsity: 0.01,
+    }
+    .build(&mut p)
+    .map(|_| ())
+    .expect("cf");
+    out.push(("cf", p));
+
+    let mut p = Program::new();
+    LinearRegression {
+        rows: 3_000,
+        features: 100,
+        sparsity: 0.05,
+        lambda: 0.01,
+        iterations: 3,
+    }
+    .build(&mut p)
+    .map(|_| ())
+    .expect("linreg");
+    out.push(("linreg", p));
+
+    let mut p = Program::new();
+    SvdLanczos {
+        rows: 2_000,
+        cols: 400,
+        sparsity: 0.01,
+        rank: 4,
+    }
+    .build(&mut p)
+    .map(|_| ())
+    .expect("svd");
+    out.push(("svd", p));
+
+    let mut p = Program::new();
+    TriangleCount {
+        nodes: 2_000,
+        sparsity: 0.002,
+    }
+    .build(&mut p)
+    .map(|_| ())
+    .expect("triangles");
+    out.push(("triangles", p));
+
+    out
+}
+
+fn planner_configs() -> Vec<(&'static str, PlannerConfig)> {
+    vec![
+        ("dmac", PlannerConfig::default()),
+        ("systemml-s", PlannerConfig::systemml_s()),
+        (
+            "no-cpmm",
+            PlannerConfig {
+                allow_cpmm: false,
+                ..PlannerConfig::default()
+            },
+        ),
+        (
+            "no-pullup",
+            PlannerConfig {
+                pull_up_broadcast: false,
+                ..PlannerConfig::default()
+            },
+        ),
+        (
+            "no-fuse",
+            PlannerConfig {
+                fuse_cellwise: false,
+                ..PlannerConfig::default()
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+
+    // ---- Part 1: lint the checked-in example scripts ----------------
+    let script_dir = std::path::Path::new("examples/scripts");
+    let mut scripts: Vec<_> = std::fs::read_dir(script_dir)
+        .unwrap_or_else(|e| {
+            eprintln!("dmac-lint: cannot read {}: {e}", script_dir.display());
+            std::process::exit(1);
+        })
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dmac"))
+        .collect();
+    scripts.sort();
+    println!("== scripts ({} found) ==", scripts.len());
+    for path in &scripts {
+        let src = std::fs::read_to_string(path).expect("read script");
+        let report = lint_script(&src);
+        for d in &report.diagnostics {
+            println!("  {}: {}", path.display(), d.headline());
+            match d.severity {
+                Severity::Error => failures += 1,
+                _ => warnings += 1,
+            }
+        }
+        println!(
+            "  {:<40} {}",
+            path.display().to_string(),
+            if report.has_errors() { "FAIL" } else { "ok" }
+        );
+    }
+
+    // ---- Part 2: lint + verify every application program ------------
+    let configs = planner_configs();
+    println!("\n== applications ==");
+    for (name, program) in app_programs() {
+        let diags = lint_program(&program);
+        for d in &diags {
+            println!("  {name}: {}", d.headline());
+            match d.severity {
+                Severity::Error => failures += 1,
+                _ => warnings += 1,
+            }
+        }
+        for (cname, cfg) in &configs {
+            match plan_program(&program, cfg, WORKERS, &HashMap::new()) {
+                Ok(planned) => match verify_planned(&program, &planned, cfg, WORKERS) {
+                    Ok(s) => println!(
+                        "  {name:<12} {cname:<12} verified: {} steps, {} comm, {} stages, {} bytes",
+                        s.steps, s.comm_steps, s.stages, s.recomputed_comm
+                    ),
+                    Err(m) => {
+                        println!("  {name:<12} {cname:<12} VERIFY FAIL: {m}");
+                        failures += 1;
+                    }
+                },
+                Err(e) => {
+                    println!("  {name:<12} {cname:<12} PLAN FAIL: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    // ---- Part 3: forced multiplication strategies -------------------
+    println!("\n== forced strategies (GNMF + PageRank, first matmul) ==");
+    for (name, program) in app_programs()
+        .into_iter()
+        .filter(|(n, _)| *n == "gnmf" || *n == "pagerank")
+    {
+        let first_matmul = program
+            .ops()
+            .iter()
+            .position(|op| {
+                matches!(
+                    op.kind,
+                    OpKind::Binary {
+                        op: BinOp::MatMul,
+                        ..
+                    }
+                )
+            })
+            .expect("app has a matmul");
+        let cfg = PlannerConfig::default();
+        for choice in 0..3usize {
+            let mut forced = HashMap::new();
+            forced.insert(first_matmul, choice);
+            match plan_with_forced(&program, &cfg, WORKERS, &HashMap::new(), Some(&forced)) {
+                Ok(planned) => match verify_planned(&program, &planned, &cfg, WORKERS) {
+                    Ok(s) => println!(
+                        "  {name:<12} choice {choice} verified: {} bytes over {} comm steps",
+                        s.recomputed_comm, s.comm_steps
+                    ),
+                    Err(m) => {
+                        println!("  {name:<12} choice {choice} VERIFY FAIL: {m}");
+                        failures += 1;
+                    }
+                },
+                Err(e) => {
+                    println!("  {name:<12} choice {choice} PLAN FAIL: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    println!("\ndmac-lint: {failures} failure(s), {warnings} warning(s)");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

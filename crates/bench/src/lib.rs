@@ -19,6 +19,8 @@
 //! | `faults` | recovery overhead of mid-run worker loss + retry cost of flaky links |
 //! | `all`   | run everything in sequence |
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use dmac_core::baselines::SystemKind;

@@ -19,6 +19,8 @@
 //! block to all workers inside one OS process does not physically copy it —
 //! the meter still charges the copies the real cluster would make.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod comm;
 pub mod dist;

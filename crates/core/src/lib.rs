@@ -34,6 +34,8 @@
 //!   ScaLAPACK / SciDB simulators used for Table 4.
 //! * [`session`] — the user-facing facade tying everything together.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod cost;
 pub mod dependency;
@@ -49,6 +51,7 @@ pub mod stage;
 pub mod store;
 pub mod strategy;
 pub mod trace;
+pub mod verifyhook;
 
 pub use error::{CoreError, Result};
 pub use recovery::{RecoveryPolicy, RecoveryStats};

@@ -306,10 +306,14 @@ impl Session {
         initial
     }
 
-    /// Plan a program without executing it.
+    /// Plan a program without executing it. In debug builds, any
+    /// installed plan verifier (see [`crate::verifyhook`]) re-checks the
+    /// plan's invariants before it is returned.
     pub fn plan_only(&self, program: &Program) -> Result<Plan> {
         let initial = self.initial_schemes(program);
-        Ok(plan_program(program, &self.planner, self.cluster.workers(), &initial)?.plan)
+        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
+        Ok(planned.plan)
     }
 
     /// Plan a program once for repeated execution ([`Session::run_prepared`]).
@@ -319,6 +323,7 @@ impl Session {
     pub fn prepare(&self, program: &Program) -> Result<PreparedProgram> {
         let initial = self.initial_schemes(program);
         let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
         Ok(PreparedProgram {
             program: program.clone(),
             planned,
@@ -376,6 +381,7 @@ impl Session {
     pub fn run(&mut self, program: &Program) -> Result<ExecReport> {
         let (bindings, initial) = self.resolve_inputs(program)?;
         let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
         let (report, outputs) = engine::execute(
             &mut self.cluster,
             program,

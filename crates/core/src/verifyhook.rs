@@ -1,0 +1,51 @@
+//! Debug-build plan verification hook.
+//!
+//! `dmac-analyze` implements an independent plan-invariant verifier, but
+//! `dmac-core` cannot depend on it (the analyzer depends on core's plan
+//! types). Instead, core exposes a process-wide function-pointer slot:
+//! binaries and tests that link the analyzer call
+//! `dmac_analyze::install_session_verifier()` once at startup, and every
+//! [`crate::Session`] plan construction in a **debug build** re-checks the
+//! planner's output against the independent recomputation before the plan
+//! is used. Release builds skip the hook entirely; the service and CLI
+//! invoke the verifier explicitly where they want it regardless of build
+//! profile.
+
+use std::sync::OnceLock;
+
+use dmac_lang::Program;
+
+use crate::error::CoreError;
+use crate::planner::{Planned, PlannerConfig};
+
+/// An independent verifier: inspects a planned program and returns a
+/// human-readable description of the first violated invariant, if any.
+pub type PlanVerifier = fn(&Program, &Planned, &PlannerConfig, usize) -> Result<(), String>;
+
+static PLAN_VERIFIER: OnceLock<PlanVerifier> = OnceLock::new();
+
+/// Install the process-wide plan verifier. The first installation wins;
+/// later calls are no-ops (the verifier is stateless, so racing installs
+/// of the same function are harmless).
+pub fn install_plan_verifier(f: PlanVerifier) {
+    let _ = PLAN_VERIFIER.set(f);
+}
+
+/// Run the installed verifier (debug builds only). A violation surfaces
+/// as [`CoreError::Planner`] so planning fails loudly instead of
+/// executing a plan whose predictions the verifier could not reproduce.
+pub(crate) fn check(
+    program: &Program,
+    planned: &Planned,
+    cfg: &PlannerConfig,
+    workers: usize,
+) -> Result<(), CoreError> {
+    if !cfg!(debug_assertions) {
+        return Ok(());
+    }
+    if let Some(f) = PLAN_VERIFIER.get() {
+        f(program, planned, cfg, workers)
+            .map_err(|m| CoreError::Planner(format!("plan verifier: {m}")))?;
+    }
+    Ok(())
+}

@@ -17,6 +17,8 @@
 //! * [`row_normalize`] — turn an adjacency matrix into the row-stochastic
 //!   link matrix PageRank needs.
 
+#![forbid(unsafe_code)]
+
 use dmac_matrix::{BlockedMatrix, Result, SplitMix64};
 
 /// A named graph preset mirroring Table 3 of the paper.

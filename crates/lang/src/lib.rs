@@ -24,6 +24,8 @@
 //!   scheduled first so that the Pull-Up Broadcast heuristic sees broadcast
 //!   opportunities early.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod expr;
 pub mod infer;
@@ -35,5 +37,5 @@ pub use error::{LangError, Result};
 pub use expr::{
     BinOp, Expr, MatrixId, MatrixRef, OpKind, Operator, ReduceOp, ScalarExpr, ScalarId, UnaryOp,
 };
-pub use parser::{parse_script, ParseError, ParsedScript};
+pub use parser::{parse_script, ParseError, ParsedScript, Span};
 pub use program::{MatrixDecl, MatrixOrigin, Program};

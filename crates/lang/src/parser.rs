@@ -34,13 +34,61 @@ use crate::error::LangError;
 use crate::expr::{Expr, ScalarExpr};
 use crate::program::Program;
 
+/// A source location: 1-based line plus the half-open byte range
+/// `[start, end)` into the original script text. Byte offsets survive the
+/// loop-unrolling re-parse unchanged, so diagnostics from any unrolled
+/// iteration point back at the single source statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// 1-based column of `start` within its line, given the source text.
+    pub fn column(&self, src: &str) -> usize {
+        let line_start = src[..self.start.min(src.len())]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        src[line_start..self.start.min(src.len())].chars().count() + 1
+    }
+
+    /// The full text of the line containing `start`.
+    pub fn line_text<'a>(&self, src: &'a str) -> &'a str {
+        let at = self.start.min(src.len());
+        let line_start = src[..at].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(src.len());
+        &src[line_start..line_end]
+    }
+}
+
 /// Parse errors with position information.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// 1-based line of the offending token.
     pub line: usize,
+    /// Exact byte range of the offending token, when known.
+    pub span: Option<Span>,
     /// Explanation.
     pub message: String,
+}
+
+impl ParseError {
+    fn at(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            line: span.line,
+            span: Some(span),
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -55,6 +103,7 @@ impl From<LangError> for ParseError {
     fn from(e: LangError) -> Self {
         ParseError {
             line: 0,
+            span: None,
             message: e.to_string(),
         }
     }
@@ -79,11 +128,16 @@ enum Tok {
     Dot,
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+fn lex(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
     let mut out = Vec::new();
     let mut line = 1usize;
-    let mut chars = src.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = src.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        let one = |line: usize| Span {
+            line,
+            start: at,
+            end: at + c.len_utf8(),
+        };
         match c {
             '\n' => {
                 line += 1;
@@ -94,7 +148,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             '#' => {
                 // comment to end of line
-                for c in chars.by_ref() {
+                for (_, c) in chars.by_ref() {
                     if c == '\n' {
                         line += 1;
                         break;
@@ -103,97 +157,87 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             '%' => {
                 chars.next();
-                if chars.next() == Some('*') && chars.next() == Some('%') {
-                    out.push((Tok::MatMul, line));
+                if matches!(chars.next(), Some((_, '*'))) && matches!(chars.next(), Some((_, '%')))
+                {
+                    out.push((
+                        Tok::MatMul,
+                        Span {
+                            line,
+                            start: at,
+                            end: at + 3,
+                        },
+                    ));
                 } else {
-                    return Err(ParseError {
-                        line,
-                        message: "expected %*%".into(),
-                    });
+                    return Err(ParseError::at("expected %*%", one(line)));
                 }
             }
-            '+' => {
+            '+' | '-' | '*' | '/' | '=' | '(' | ')' | '{' | '}' | ',' | ':' => {
                 chars.next();
-                out.push((Tok::Plus, line));
-            }
-            '-' => {
-                chars.next();
-                out.push((Tok::Minus, line));
-            }
-            '*' => {
-                chars.next();
-                out.push((Tok::Star, line));
-            }
-            '/' => {
-                chars.next();
-                out.push((Tok::Slash, line));
-            }
-            '=' => {
-                chars.next();
-                out.push((Tok::Assign, line));
-            }
-            '(' => {
-                chars.next();
-                out.push((Tok::LParen, line));
-            }
-            ')' => {
-                chars.next();
-                out.push((Tok::RParen, line));
-            }
-            '{' => {
-                chars.next();
-                out.push((Tok::LBrace, line));
-            }
-            '}' => {
-                chars.next();
-                out.push((Tok::RBrace, line));
-            }
-            ',' => {
-                chars.next();
-                out.push((Tok::Comma, line));
-            }
-            ':' => {
-                chars.next();
-                out.push((Tok::Colon, line));
+                let t = match c {
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '=' => Tok::Assign,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ',' => Tok::Comma,
+                    _ => Tok::Colon,
+                };
+                out.push((t, one(line)));
             }
             '.' => {
                 // Either a postfix selector (.t) or part of a number (.5)
                 let mut clone = chars.clone();
                 clone.next();
-                if clone.peek().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                if clone
+                    .peek()
+                    .map(|&(_, c)| c.is_ascii_digit())
+                    .unwrap_or(false)
                     && !matches!(
                         out.last(),
                         Some((Tok::Ident(_) | Tok::RParen | Tok::Number(_), _))
                     )
                 {
-                    let num = lex_number(&mut chars, line)?;
-                    out.push((Tok::Number(num), line));
+                    let (num, span) = lex_number(&mut chars, line, src.len())?;
+                    out.push((Tok::Number(num), span));
                 } else {
                     chars.next();
-                    out.push((Tok::Dot, line));
+                    out.push((Tok::Dot, one(line)));
                 }
             }
             c if c.is_ascii_digit() => {
-                let num = lex_number(&mut chars, line)?;
-                out.push((Tok::Number(num), line));
+                let (num, span) = lex_number(&mut chars, line, src.len())?;
+                out.push((Tok::Number(num), span));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&c) = chars.peek() {
+                let mut end = at;
+                while let Some(&(i, c)) = chars.peek() {
                     if c.is_alphanumeric() || c == '_' {
                         s.push(c);
+                        end = i + c.len_utf8();
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                out.push((Tok::Ident(s), line));
+                out.push((
+                    Tok::Ident(s),
+                    Span {
+                        line,
+                        start: at,
+                        end,
+                    },
+                ));
             }
             other => {
-                return Err(ParseError {
-                    line,
-                    message: format!("unexpected character '{other}'"),
-                })
+                return Err(ParseError::at(
+                    format!("unexpected character '{other}'"),
+                    one(line),
+                ))
             }
         }
     }
@@ -201,23 +245,30 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
 }
 
 fn lex_number(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
     line: usize,
-) -> Result<f64, ParseError> {
+    src_len: usize,
+) -> Result<(f64, Span), ParseError> {
     let mut s = String::new();
-    while let Some(&c) = chars.peek() {
+    let mut start = src_len;
+    let mut end = src_len;
+    while let Some(&(i, c)) = chars.peek() {
         let exponent_sign = (c == '-' || c == '+') && (s.ends_with('e') || s.ends_with('E'));
         if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || exponent_sign {
+            if s.is_empty() {
+                start = i;
+            }
             s.push(c);
+            end = i + c.len_utf8();
             chars.next();
         } else {
             break;
         }
     }
-    s.parse().map_err(|_| ParseError {
-        line,
-        message: format!("bad number literal '{s}'"),
-    })
+    let span = Span { line, start, end };
+    s.parse()
+        .map(|n| (n, span))
+        .map_err(|_| ParseError::at(format!("bad number literal '{s}'"), span))
 }
 
 /// A value during script evaluation: a matrix expression or a driver-side
@@ -230,10 +281,20 @@ enum Value {
 
 /// The parser/evaluator: consumes tokens, emits into a [`Program`].
 struct Parser<'a> {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
     program: &'a mut Program,
     env: HashMap<String, Value>,
+    /// Per-operator source span, parallel to `program.ops()`: the span of
+    /// the statement (or finer construct) that emitted the operator.
+    op_spans: Vec<Option<Span>>,
+    /// Spans of the second `.t` in a consecutive `.t.t` chain (which
+    /// cancels silently inside `Expr::t`, so only the parser can see it).
+    redundant_transposes: Vec<Span>,
+    /// Last assignment span + "read since assigned" flag per variable.
+    assigns: HashMap<String, (Span, bool)>,
+    /// Assignments overwritten (or left dangling) without ever being read.
+    dead_stores: Vec<(String, Span)>,
 }
 
 /// Result of parsing a script.
@@ -243,6 +304,15 @@ pub struct ParsedScript {
     pub program: Program,
     /// Final value of every script variable that names a matrix.
     pub variables: HashMap<String, Expr>,
+    /// Per-operator statement span, parallel to `program.ops()`.
+    pub op_spans: Vec<Option<Span>>,
+    /// Spans of syntactically redundant transposes (`A.t.t`), which cancel
+    /// inside `Expr::t` and therefore never reach the operator list.
+    pub redundant_transposes: Vec<Span>,
+    /// Variables assigned but never read before re-assignment or EOF
+    /// (excluding loop variables and stored/output variables), with the
+    /// span of the dead assignment.
+    pub dead_stores: Vec<(String, Span)>,
 }
 
 /// Parse and evaluate a script into a fresh [`Program`].
@@ -262,17 +332,43 @@ pub fn parse_script(src: &str) -> Result<ParsedScript, ParseError> {
         pos: 0,
         program: &mut program,
         env: HashMap::new(),
+        op_spans: Vec::new(),
+        redundant_transposes: Vec::new(),
+        assigns: HashMap::new(),
+        dead_stores: Vec::new(),
     };
     parser.script()?;
-    let variables = parser
-        .env
+    let Parser {
+        env,
+        op_spans,
+        mut redundant_transposes,
+        assigns,
+        mut dead_stores,
+        ..
+    } = parser;
+    let variables = env
         .iter()
         .filter_map(|(k, v)| match v {
             Value::Matrix(e) => Some((k.clone(), *e)),
             Value::Scalar(_) => None,
         })
         .collect();
-    Ok(ParsedScript { program, variables })
+    // Flush assignments that were never read before EOF.
+    for (name, (span, read)) in assigns {
+        if !read && !dead_stores.iter().any(|(n, s)| *n == name && *s == span) {
+            dead_stores.push((name, span));
+        }
+    }
+    dead_stores.sort_by_key(|(n, s)| (s.start, n.clone()));
+    redundant_transposes.sort_by_key(|s| s.start);
+    redundant_transposes.dedup();
+    Ok(ParsedScript {
+        program,
+        variables,
+        op_spans,
+        redundant_transposes,
+        dead_stores,
+    })
 }
 
 impl Parser<'_> {
@@ -280,11 +376,15 @@ impl Parser<'_> {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
 
-    fn line(&self) -> usize {
+    /// Span of the current token (clamped to the last token at EOF).
+    fn span(&self) -> Option<Span> {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, s)| *s)
+    }
+
+    fn line(&self) -> usize {
+        self.span().map(|s| s.line).unwrap_or(0)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -296,7 +396,26 @@ impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> ParseError {
         ParseError {
             line: self.line(),
+            span: self.span(),
             message: message.into(),
+        }
+    }
+
+    /// Record that `name` was (re-)assigned at `span`; an unread previous
+    /// assignment becomes a dead store.
+    fn note_assign(&mut self, name: &str, span: Option<Span>) {
+        let Some(span) = span else { return };
+        if let Some((old, read)) = self.assigns.insert(name.to_string(), (span, false)) {
+            if !read && !self.dead_stores.iter().any(|(n, s)| n == name && *s == old) {
+                self.dead_stores.push((name.to_string(), old));
+            }
+        }
+    }
+
+    /// Record that `name`'s current value was consumed.
+    fn note_read(&mut self, name: &str) {
+        if let Some(e) = self.assigns.get_mut(name) {
+            e.1 = true;
         }
     }
 
@@ -319,7 +438,11 @@ impl Parser<'_> {
         match self.next() {
             Some(Tok::Number(n)) => Ok(n),
             Some(Tok::Ident(name)) => match self.env.get(&name) {
-                Some(Value::Scalar(ScalarExpr::Const(v))) => Ok(*v),
+                Some(Value::Scalar(ScalarExpr::Const(v))) => {
+                    let v = *v;
+                    self.note_read(&name);
+                    Ok(v)
+                }
                 _ => Err(self.err(format!("'{name}' is not a numeric constant"))),
             },
             got => Err(self.err(format!("expected number, got {got:?}"))),
@@ -334,21 +457,34 @@ impl Parser<'_> {
     }
 
     fn statement(&mut self) -> Result<(), ParseError> {
+        let stmt_span = self.span();
+        let r = self.statement_inner();
+        // Tag every operator the statement emitted with its span. Nested
+        // statements (loop bodies) have already tagged theirs.
+        while self.op_spans.len() < self.program.ops().len() {
+            self.op_spans.push(stmt_span);
+        }
+        r
+    }
+
+    fn statement_inner(&mut self) -> Result<(), ParseError> {
         match self.peek() {
             Some(Tok::Ident(name)) if name == "for" => self.for_loop(),
             Some(Tok::Ident(name)) if name == "output" || name == "store" => {
                 let keyword = self.expect_ident()?;
                 self.expect(Tok::LParen)?;
+                let var_span = self.span();
                 let var = self.expect_ident()?;
                 self.expect(Tok::RParen)?;
-                let value = self
-                    .env
-                    .get(&var)
-                    .cloned()
-                    .ok_or_else(|| self.err(format!("unknown variable '{var}'")))?;
+                let value = self.env.get(&var).cloned().ok_or_else(|| ParseError {
+                    line: var_span.map(|s| s.line).unwrap_or(0),
+                    span: var_span,
+                    message: format!("unknown variable '{var}'"),
+                })?;
                 let Value::Matrix(e) = value else {
                     return Err(self.err(format!("'{var}' is a scalar, not a matrix")));
                 };
+                self.note_read(&var);
                 if keyword == "store" {
                     self.program.store(e, &var);
                 } else {
@@ -362,9 +498,11 @@ impl Parser<'_> {
     }
 
     fn assignment(&mut self) -> Result<(), ParseError> {
+        let name_span = self.span();
         let name = self.expect_ident()?;
         self.expect(Tok::Assign)?;
         let value = self.expression()?;
+        self.note_assign(&name, name_span);
         self.env.insert(name, value);
         Ok(())
     }
@@ -412,9 +550,10 @@ impl Parser<'_> {
                 Some(Tok::Minus) => Tok::Minus,
                 _ => break,
             };
+            let op_span = self.span();
             self.next();
             let rhs = self.term()?;
-            lhs = self.combine_additive(lhs, rhs, op)?;
+            lhs = self.combine_additive(lhs, rhs, op, op_span)?;
         }
         Ok(lhs)
     }
@@ -429,17 +568,28 @@ impl Parser<'_> {
                 Some(Tok::Slash) => Tok::Slash,
                 _ => break,
             };
+            let op_span = self.span();
             self.next();
             let rhs = self.factor()?;
-            lhs = self.combine_multiplicative(lhs, rhs, op)?;
+            lhs = self.combine_multiplicative(lhs, rhs, op, op_span)?;
         }
         Ok(lhs)
     }
 
-    fn combine_additive(&mut self, a: Value, b: Value, op: Tok) -> Result<Value, ParseError> {
-        let line = self.line();
+    fn combine_additive(
+        &mut self,
+        a: Value,
+        b: Value,
+        op: Tok,
+        at: Option<Span>,
+    ) -> Result<Value, ParseError> {
+        // Blame the operator token, not whatever happens to follow the
+        // expression (shape errors would otherwise point past the line).
+        let span = at.or_else(|| self.span());
+        let line = span.map(|s| s.line).unwrap_or_else(|| self.line());
         let fail = |e: LangError| ParseError {
             line,
+            span,
             message: e.to_string(),
         };
         Ok(match (a, b, op) {
@@ -467,10 +617,18 @@ impl Parser<'_> {
         })
     }
 
-    fn combine_multiplicative(&mut self, a: Value, b: Value, op: Tok) -> Result<Value, ParseError> {
-        let line = self.line();
+    fn combine_multiplicative(
+        &mut self,
+        a: Value,
+        b: Value,
+        op: Tok,
+        at: Option<Span>,
+    ) -> Result<Value, ParseError> {
+        let span = at.or_else(|| self.span());
+        let line = span.map(|s| s.line).unwrap_or_else(|| self.line());
         let fail = |e: LangError| ParseError {
             line,
+            span,
             message: e.to_string(),
         };
         Ok(match (a, b, op) {
@@ -502,11 +660,21 @@ impl Parser<'_> {
     /// factor := primary ('.' selector)*
     fn factor(&mut self) -> Result<Value, ParseError> {
         let mut v = self.primary()?;
+        let mut last_was_t = false;
         while matches!(self.peek(), Some(Tok::Dot)) {
             self.next();
+            let sel_span = self.span();
             let sel = self.expect_ident()?;
+            let is_t = matches!((&v, sel.as_str()), (Value::Matrix(_), "t"));
             v = match (&v, sel.as_str()) {
-                (Value::Matrix(e), "t") => Value::Matrix(e.t()),
+                (Value::Matrix(e), "t") => {
+                    if last_was_t {
+                        if let Some(s) = sel_span {
+                            self.redundant_transposes.push(s);
+                        }
+                    }
+                    Value::Matrix(e.t())
+                }
                 (Value::Matrix(e), "sum") => {
                     Value::Scalar(self.program.sum(*e).map_err(ParseError::from)?)
                 }
@@ -523,11 +691,13 @@ impl Parser<'_> {
                     return Err(self.err(format!("scalars have no selector '.{other}'")))
                 }
             };
+            last_was_t = is_t;
         }
         Ok(v)
     }
 
     fn primary(&mut self) -> Result<Value, ParseError> {
+        let at = self.span();
         match self.next() {
             Some(Tok::Number(n)) => Ok(Value::Scalar(ScalarExpr::Const(n))),
             Some(Tok::Minus) => {
@@ -570,11 +740,15 @@ impl Parser<'_> {
                 self.expect(Tok::RParen)?;
                 Ok(Value::Matrix(self.program.random(&bind, rows, cols)))
             }
-            Some(Tok::Ident(name)) => self
-                .env
-                .get(&name)
-                .cloned()
-                .ok_or_else(|| self.err(format!("unknown variable '{name}'"))),
+            Some(Tok::Ident(name)) => {
+                let v = self.env.get(&name).cloned().ok_or_else(|| ParseError {
+                    line: at.map(|s| s.line).unwrap_or(0),
+                    span: at,
+                    message: format!("unknown variable '{name}'"),
+                })?;
+                self.note_read(&name);
+                Ok(v)
+            }
             got => Err(self.err(format!("expected expression, got {got:?}"))),
         }
     }
@@ -743,5 +917,59 @@ mod tests {
     fn matmul_of_scalar_is_rejected() {
         let err = parse_script("A = load(A, 3, 3, 1.0)\nB = A %*% 2.0\noutput(B)\n").unwrap_err();
         assert!(err.message.contains("two matrices"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_byte_spans() {
+        let src = "A = load(A, 4, 4, 1.0)\nB = A %*% C\n";
+        let err = parse_script(src).unwrap_err();
+        let span = err.span.expect("unknown-variable errors have spans");
+        assert_eq!(&src[span.start..span.end], "C");
+        assert_eq!(span.line, 2);
+        assert_eq!(span.column(src), 11);
+        assert_eq!(span.line_text(src), "B = A %*% C");
+    }
+
+    #[test]
+    fn op_spans_cover_every_operator() {
+        let src =
+            "A = load(A, 4, 4, 1.0)\nB = A + A\nfor (i in 0:2) {\n  B = B * A\n}\noutput(B)\n";
+        let parsed = parse_script(src).unwrap();
+        assert_eq!(parsed.op_spans.len(), parsed.program.ops().len());
+        // All three unrolled iterations point at the single source line.
+        let body: Vec<&str> = parsed.op_spans[1..]
+            .iter()
+            .map(|s| s.unwrap().line_text(src).trim())
+            .collect();
+        assert_eq!(body, vec!["B = B * A"; 3]);
+    }
+
+    #[test]
+    fn redundant_transpose_is_recorded_even_though_it_cancels() {
+        let src = "A = load(A, 4, 4, 1.0)\nB = A.t.t %*% A\noutput(B)\n";
+        let parsed = parse_script(src).unwrap();
+        assert_eq!(parsed.redundant_transposes.len(), 1);
+        let s = parsed.redundant_transposes[0];
+        assert_eq!(s.line, 2);
+        assert_eq!(&src[s.start..s.end], "t");
+        // And it indeed cancelled: the matmul sees A un-transposed.
+        assert_eq!(parsed.program.ops().len(), 1);
+    }
+
+    #[test]
+    fn dead_stores_are_recorded() {
+        // First X is clobbered unread; Y dangles unread at EOF.
+        let src = "A = load(A, 4, 4, 1.0)\nX = A + A\nX = A * A\nY = A - A\noutput(X)\n";
+        let parsed = parse_script(src).unwrap();
+        let names: Vec<&str> = parsed.dead_stores.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["X", "Y"]);
+        assert_eq!(parsed.dead_stores[0].1.line, 2);
+        assert_eq!(parsed.dead_stores[1].1.line, 4);
+        // Re-assignment that reads its own previous value is not dead.
+        let src2 = "A = load(A, 4, 4, 1.0)\nX = A + A\nX = X * A\noutput(X)\n";
+        assert!(parse_script(src2).unwrap().dead_stores.is_empty());
+        // Loop variables are not dead stores.
+        let src3 = "A = load(A, 4, 4, 1.0)\nfor (i in 0:1) {\n  A = A + A\n}\noutput(A)\n";
+        assert!(parse_script(src3).unwrap().dead_stores.is_empty());
     }
 }

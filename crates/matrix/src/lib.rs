@@ -28,6 +28,8 @@
 //! Everything here is deliberately dependency-light: plain `Vec<f64>`
 //! kernels, no BLAS, so the reproduction is self-contained and portable.
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod blocked;
 pub mod blocking;

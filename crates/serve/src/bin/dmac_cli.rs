@@ -3,12 +3,19 @@
 //! ```text
 //! dmac-cli submit   --addr HOST:PORT [--session S] [--deadline-ms N] FILE|-
 //! dmac-cli explain  --addr HOST:PORT [--session S] FILE|-
+//! dmac-cli lint     [--addr HOST:PORT] [--json] FILE|-
 //! dmac-cli fetch    --addr HOST:PORT NAME
 //! dmac-cli stats    --addr HOST:PORT
 //! dmac-cli shutdown --addr HOST:PORT
 //! dmac-cli smoke    --addr HOST:PORT [--clients N] [--repeats N]
 //!                   [--min-hit-rate F] [--no-shutdown]
 //! ```
+//!
+//! `lint` runs the `dmac-analyze` checks without planning or executing
+//! anything. With no `--addr` it lints locally (full caret rendering);
+//! with `--addr` it asks the server, exercising the same admission
+//! checks `submit` runs. Exit status is 1 when any diagnostic has
+//! error severity.
 //!
 //! `smoke` runs the concurrent GNMF/PageRank workload from
 //! `dmac_serve::smoke` — N client threads, plan-cache hit-rate gate,
@@ -22,9 +29,10 @@ use dmac_serve::Client;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dmac-cli <submit|explain|fetch|stats|shutdown|smoke> --addr HOST:PORT [options]\n\
+        "usage: dmac-cli <submit|explain|lint|fetch|stats|shutdown|smoke> --addr HOST:PORT [options]\n\
          \x20 submit   [--session S] [--deadline-ms N] FILE|-\n\
          \x20 explain  [--session S] FILE|-\n\
+         \x20 lint     [--json] FILE|-   (lints locally when --addr is omitted)\n\
          \x20 fetch    NAME\n\
          \x20 smoke    [--clients N] [--repeats N] [--min-hit-rate F] [--no-shutdown]"
     );
@@ -75,6 +83,7 @@ fn main() {
     let mut repeats = 4usize;
     let mut min_hit_rate = 0.5f64;
     let mut shutdown_at_end = true;
+    let mut json_out = false;
 
     let mut i = 1;
     while i < args.len() {
@@ -90,6 +99,7 @@ fn main() {
                 min_hit_rate = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--no-shutdown" => shutdown_at_end = false,
+            "--json" => json_out = true,
             "--help" | "-h" => usage(),
             other => positional.push(other.to_string()),
         }
@@ -125,6 +135,20 @@ fn main() {
                 "{}",
                 cli.explain(&session, &script).unwrap_or_else(|e| fail(e))
             );
+        }
+        "lint" => {
+            let Some(path) = positional.first() else {
+                usage()
+            };
+            let script = read_script(path);
+            let ok = if addr.is_empty() {
+                lint_local(&script, json_out)
+            } else {
+                lint_remote(&mut connect(&addr), &script, json_out)
+            };
+            if !ok {
+                std::process::exit(1);
+            }
         }
         "fetch" => {
             let Some(name) = positional.first() else {
@@ -181,6 +205,57 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// Lint locally via `dmac-analyze`; returns false on error diagnostics.
+fn lint_local(script: &str, json_out: bool) -> bool {
+    let report = dmac_analyze::lint_script(script);
+    if json_out {
+        let items: Vec<String> = report.diagnostics.iter().map(|d| d.to_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render(script));
+        }
+        if report.diagnostics.is_empty() {
+            println!("lint: clean");
+        }
+    }
+    !report.has_errors()
+}
+
+/// Lint through a running server; returns the server's `ok` verdict.
+fn lint_remote(cli: &mut Client, script: &str, json_out: bool) -> bool {
+    let (ok, diags) = cli.lint(script).unwrap_or_else(|e| fail(e));
+    if json_out {
+        let items: Vec<String> = diags.iter().map(wire_diag_json).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for d in &diags {
+            println!("{}", d.headline());
+        }
+        if diags.is_empty() {
+            println!("lint: clean");
+        }
+    }
+    ok
+}
+
+/// Re-encode a wire diagnostic as one JSON object.
+fn wire_diag_json(d: &dmac_serve::protocol::WireDiagnostic) -> String {
+    let mut o = dmac_core::json::JsonObj::new()
+        .str("severity", &d.severity)
+        .str("code", &d.code);
+    if let Some(line) = d.line {
+        o = o.u64("line", line);
+    }
+    if let Some(start) = d.start {
+        o = o.u64("start", start);
+    }
+    if let Some(end) = d.end {
+        o = o.u64("end", end);
+    }
+    o.str("message", &d.message).build()
 }
 
 /// Re-render a parsed stats document as JSON text.

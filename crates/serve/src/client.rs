@@ -5,7 +5,7 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{read_frame, write_frame, ProgramResult, Request, Response};
+use crate::protocol::{read_frame, write_frame, ProgramResult, Request, Response, WireDiagnostic};
 
 /// Client-side failures.
 #[derive(Debug)]
@@ -105,11 +105,33 @@ impl Client {
 
     /// EXPLAIN a script.
     pub fn explain(&mut self, session: &str, script: &str) -> Result<String> {
+        self.explain_full(session, script).map(|(text, _)| text)
+    }
+
+    /// EXPLAIN a script, also returning the analyzer's advisory
+    /// diagnostics (warnings/infos — errors reject the request).
+    pub fn explain_full(
+        &mut self,
+        session: &str,
+        script: &str,
+    ) -> Result<(String, Vec<WireDiagnostic>)> {
         match self.request(&Request::Explain {
             session: session.into(),
             script: script.into(),
         })? {
-            Response::Explain { text } => Ok(text),
+            Response::Explain { text, diagnostics } => Ok((text, diagnostics)),
+            other => Err(ClientError::Proto(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Lint a script server-side without planning or executing it.
+    /// Returns `(ok, diagnostics)`; `ok` is false when any diagnostic
+    /// has error severity.
+    pub fn lint(&mut self, script: &str) -> Result<(bool, Vec<WireDiagnostic>)> {
+        match self.request(&Request::Lint {
+            script: script.into(),
+        })? {
+            Response::Lint { ok, diagnostics } => Ok((ok, diagnostics)),
             other => Err(ClientError::Proto(format!("unexpected response {other:?}"))),
         }
     }

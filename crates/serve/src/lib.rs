@@ -18,6 +18,8 @@
 //! Binaries: `dmac-served` (the server) and `dmac-cli` (submit /
 //! explain / fetch / stats / shutdown / smoke).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod client;
 pub mod jsonin;

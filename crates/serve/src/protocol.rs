@@ -17,7 +17,7 @@
 use std::io::{self, Read, Write};
 
 use crate::jsonin::Json;
-use dmac_core::json::{JsonArr, JsonObj};
+use dmac_core::json::{arr_of, JsonArr, JsonObj};
 
 /// Hard cap on frame size (64 MiB): a corrupt length prefix must not
 /// look like a 4 GiB allocation.
@@ -81,6 +81,12 @@ pub enum Request {
         /// DMac script text.
         script: String,
     },
+    /// Run the static analyzer over a script without planning or
+    /// executing it; returns every diagnostic.
+    Lint {
+        /// DMac script text.
+        script: String,
+    },
     /// Fetch a matrix from the shared store, bit-exact.
     FetchMatrix {
         /// Store name.
@@ -115,6 +121,10 @@ impl Request {
                 .str("session", session)
                 .str("script", script)
                 .build(),
+            Request::Lint { script } => JsonObj::new()
+                .str("type", "lint")
+                .str("script", script)
+                .build(),
             Request::FetchMatrix { name } => JsonObj::new()
                 .str("type", "fetch")
                 .str("name", name)
@@ -147,6 +157,9 @@ impl Request {
                 session: str_field("session")?,
                 script: str_field("script")?,
             }),
+            "lint" => Ok(Request::Lint {
+                script: str_field("script")?,
+            }),
             "fetch" => Ok(Request::FetchMatrix {
                 name: str_field("name")?,
             }),
@@ -176,6 +189,67 @@ pub mod code {
     pub const UNBOUND: &str = "unbound";
     /// Malformed frame or request object.
     pub const PROTO: &str = "proto";
+    /// Script was rejected at admission by the static analyzer
+    /// (error-severity diagnostics beyond plain parse failures).
+    pub const LINT: &str = "lint";
+}
+
+/// A diagnostic as decoded from the wire (the JSON shape of
+/// `dmac_analyze::Diagnostic::to_json`). The server encodes analyzer
+/// diagnostics; clients get this schema-tolerant mirror.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDiagnostic {
+    /// `"error"`, `"warning"` or `"info"`.
+    pub severity: String,
+    /// Stable diagnostic code (`E001` …).
+    pub code: String,
+    /// 1-based source line, when the diagnostic has a span.
+    pub line: Option<u64>,
+    /// Byte span start, when present.
+    pub start: Option<u64>,
+    /// Byte span end, when present.
+    pub end: Option<u64>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    /// One-line human rendering, matching the analyzer's `headline`.
+    pub fn headline(&self) -> String {
+        match self.line {
+            Some(l) => format!(
+                "{}[{}]: {} (line {l})",
+                self.severity, self.code, self.message
+            ),
+            None => format!("{}[{}]: {}", self.severity, self.code, self.message),
+        }
+    }
+
+    fn from_json(v: &Json) -> WireDiagnostic {
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        WireDiagnostic {
+            severity: s("severity"),
+            code: s("code"),
+            line: v.get("line").and_then(Json::as_u64),
+            start: v.get("start").and_then(Json::as_u64),
+            end: v.get("end").and_then(Json::as_u64),
+            message: s("message"),
+        }
+    }
+}
+
+/// Decode a `"diagnostics"` array field (absent → empty, so old servers
+/// remain compatible with new clients).
+fn decode_diagnostics(v: &Json) -> Vec<WireDiagnostic> {
+    v.get("diagnostics")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().map(WireDiagnostic::from_json).collect())
+        .unwrap_or_default()
 }
 
 /// A server → client response, as decoded by the client.
@@ -187,6 +261,16 @@ pub enum Response {
     Explain {
         /// Rendered plan + stage schedule.
         text: String,
+        /// Analyzer warnings/infos for the script (errors would have
+        /// rejected the request instead).
+        diagnostics: Vec<WireDiagnostic>,
+    },
+    /// Lint results.
+    Lint {
+        /// True when no error-severity diagnostics were found.
+        ok: bool,
+        /// Every diagnostic, errors first.
+        diagnostics: Vec<WireDiagnostic>,
     },
     /// A fetched matrix.
     Matrix {
@@ -275,6 +359,11 @@ impl Response {
                     .and_then(Json::as_str)
                     .ok_or("missing text")?
                     .to_string(),
+                diagnostics: decode_diagnostics(&v),
+            }),
+            "lint" => Ok(Response::Lint {
+                ok: v.get("ok").and_then(Json::as_bool).ok_or("missing ok")?,
+                diagnostics: decode_diagnostics(&v),
             }),
             "matrix" => {
                 let bits = v
@@ -342,11 +431,23 @@ pub fn encode_result(
         .build()
 }
 
-/// Encode an EXPLAIN response (server side).
-pub fn encode_explain(text: &str) -> String {
+/// Encode an EXPLAIN response (server side). `diag_json` holds
+/// pre-encoded diagnostic objects (`dmac_analyze::Diagnostic::to_json`).
+pub fn encode_explain(text: &str, diag_json: &[String]) -> String {
     JsonObj::new()
         .str("type", "explain")
         .str("text", text)
+        .raw("diagnostics", &arr_of(diag_json.iter().cloned()))
+        .build()
+}
+
+/// Encode a lint response (server side). `diag_json` as in
+/// [`encode_explain`].
+pub fn encode_lint(ok: bool, diag_json: &[String]) -> String {
+    JsonObj::new()
+        .str("type", "lint")
+        .bool("ok", ok)
+        .raw("diagnostics", &arr_of(diag_json.iter().cloned()))
         .build()
 }
 
@@ -393,6 +494,9 @@ mod tests {
             },
             Request::Explain {
                 session: "s1".into(),
+                script: "A = random(A, 4, 4)\noutput(A)\n".into(),
+            },
+            Request::Lint {
                 script: "A = random(A, 4, 4)\noutput(A)\n".into(),
             },
             Request::FetchMatrix { name: "H".into() },
@@ -446,6 +550,43 @@ mod tests {
                 assert_eq!(got, bits);
                 assert_eq!(rows, 2);
             }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lint_and_explain_responses_round_trip_diagnostics() {
+        let d1 = "{\"severity\":\"warning\",\"code\":\"W101\",\"line\":2,\"start\":23,\
+                  \"end\":24,\"message\":\"dead store\"}"
+            .to_string();
+        let d2 =
+            "{\"severity\":\"error\",\"code\":\"E004\",\"message\":\"no outputs\"}".to_string();
+        match Response::from_json(&encode_lint(false, &[d2.clone(), d1.clone()])).unwrap() {
+            Response::Lint { ok, diagnostics } => {
+                assert!(!ok);
+                assert_eq!(diagnostics.len(), 2);
+                assert_eq!(diagnostics[0].severity, "error");
+                assert_eq!(diagnostics[0].code, "E004");
+                assert_eq!(diagnostics[0].line, None);
+                assert_eq!(diagnostics[1].code, "W101");
+                assert_eq!(diagnostics[1].line, Some(2));
+                assert_eq!(diagnostics[1].start, Some(23));
+                assert!(diagnostics[1].headline().contains("(line 2)"));
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        match Response::from_json(&encode_explain("plan text", &[d1])).unwrap() {
+            Response::Explain { text, diagnostics } => {
+                assert_eq!(text, "plan text");
+                assert_eq!(diagnostics.len(), 1);
+                assert_eq!(diagnostics[0].message, "dead store");
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Old servers omit the diagnostics field entirely; decode must
+        // tolerate that.
+        match Response::from_json("{\"type\":\"explain\",\"text\":\"t\"}").unwrap() {
+            Response::Explain { diagnostics, .. } => assert!(diagnostics.is_empty()),
             other => panic!("wrong response: {other:?}"),
         }
     }

@@ -48,11 +48,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use dmac_analyze::{lint_script, Diagnostic};
 use dmac_core::json::{arr_of, JsonArr, JsonObj};
 use dmac_core::{CoreError, Session, SharedStore};
 use dmac_lang::normalize::fnv1a;
 use dmac_lang::program::MatrixOrigin;
-use dmac_lang::{parse_script, Program};
+use dmac_lang::Program;
 
 use crate::cache::{cache_key, PlanCache};
 use crate::protocol::{self, code, read_frame, write_frame, Request};
@@ -125,6 +126,7 @@ struct Counters {
     completed: u64,
     exec_errors: u64,
     rejected_parse: u64,
+    rejected_lint: u64,
     rejected_busy: u64,
     rejected_conflict: u64,
     rejected_deadline: u64,
@@ -189,6 +191,8 @@ pub struct Server {
 impl Server {
     /// Bind, spawn the accept loop and the executor pool, return.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        // Debug builds re-verify every plan the sessions produce.
+        dmac_analyze::install_session_verifier();
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -360,6 +364,31 @@ fn send(out: &Arc<Mutex<TcpStream>>, payload: &str) {
     }
 }
 
+/// Encode diagnostics for the wire.
+fn diag_json(diags: &[Diagnostic]) -> Vec<String> {
+    diags.iter().map(Diagnostic::to_json).collect()
+}
+
+/// Human-readable one-liner for an error response: the error-severity
+/// headlines, semicolon-joined (falls back to everything when a caller
+/// passes only warnings).
+fn lint_summary(diags: &[Diagnostic]) -> String {
+    let errors: Vec<String> = diags
+        .iter()
+        .filter(|d| d.severity == dmac_analyze::Severity::Error)
+        .map(Diagnostic::headline)
+        .collect();
+    if errors.is_empty() {
+        diags
+            .iter()
+            .map(Diagnostic::headline)
+            .collect::<Vec<_>>()
+            .join("; ")
+    } else {
+        errors.join("; ")
+    }
+}
+
 fn err_code(e: &CoreError) -> &'static str {
     match e {
         CoreError::Unbound(_) => code::UNBOUND,
@@ -508,18 +537,34 @@ fn connection_loop(mut reader: TcpStream, out: Arc<Mutex<TcpStream>>, state: Arc
                 deadline_ms,
             } => handle_submit(&state, &out, session, &script, deadline_ms),
             Request::Explain { session, script } => {
-                let resp = match parse_script(&script) {
-                    Ok(parsed) => {
+                let report = lint_script(&script);
+                let resp = match (&report.parsed, report.has_errors()) {
+                    (None, _) => {
+                        protocol::encode_error(code::PARSE, &lint_summary(&report.diagnostics))
+                    }
+                    (Some(_), true) => {
+                        protocol::encode_error(code::LINT, &lint_summary(&report.diagnostics))
+                    }
+                    (Some(parsed), false) => {
                         let sess = state.session(&session);
                         let sess = sess.lock().unwrap();
                         match sess.explain(&parsed.program) {
-                            Ok(text) => protocol::encode_explain(&text),
+                            // Warnings and infos ride along with the plan.
+                            Ok(text) => {
+                                protocol::encode_explain(&text, &diag_json(&report.diagnostics))
+                            }
                             Err(e) => protocol::encode_error(err_code(&e), &e.to_string()),
                         }
                     }
-                    Err(e) => protocol::encode_error(code::PARSE, &e.to_string()),
                 };
                 send(&out, &resp);
+            }
+            Request::Lint { script } => {
+                let report = lint_script(&script);
+                send(
+                    &out,
+                    &protocol::encode_lint(!report.has_errors(), &diag_json(&report.diagnostics)),
+                );
             }
             Request::FetchMatrix { name } => {
                 let resp = match state.store.get(&name) {
@@ -540,8 +585,12 @@ fn connection_loop(mut reader: TcpStream, out: Arc<Mutex<TcpStream>>, state: Arc
             }
             Request::Stats => send(&out, &stats_json(&state)),
             Request::Shutdown => {
-                begin_shutdown(&state);
+                // Ack before flipping the flag: once the drain starts it
+                // closes lingering connections, which can race ahead of a
+                // not-yet-written reply and the client then sees a bare
+                // connection close instead of its Ok.
                 send(&out, &protocol::encode_ok());
+                begin_shutdown(&state);
             }
         }
     }
@@ -554,13 +603,28 @@ fn handle_submit(
     script: &str,
     deadline_ms: Option<u64>,
 ) {
-    let parsed = match parse_script(script) {
-        Ok(p) => p,
-        Err(e) => {
+    // Admission lint: parse failures keep their dedicated code; any
+    // other error-severity diagnostic rejects before planning. Warnings
+    // and infos never block a submit.
+    let report = lint_script(script);
+    let parsed = match (report.parsed, report.diagnostics) {
+        (None, diags) => {
             state.counters.lock().unwrap().rejected_parse += 1;
-            send(out, &protocol::encode_error(code::PARSE, &e.to_string()));
+            send(
+                out,
+                &protocol::encode_error(code::PARSE, &lint_summary(&diags)),
+            );
             return;
         }
+        (Some(_), diags) if dmac_analyze::has_errors(&diags) => {
+            state.counters.lock().unwrap().rejected_lint += 1;
+            send(
+                out,
+                &protocol::encode_error(code::LINT, &lint_summary(&diags)),
+            );
+            return;
+        }
+        (Some(p), _) => p,
     };
     let id = state.next_id.fetch_add(1, Ordering::SeqCst);
 
@@ -659,6 +723,7 @@ fn stats_json(state: &State) -> String {
         .u64("completed", c.completed)
         .u64("exec_errors", c.exec_errors)
         .u64("rejected_parse", c.rejected_parse)
+        .u64("rejected_lint", c.rejected_lint)
         .u64("rejected_busy", c.rejected_busy)
         .u64("rejected_conflict", c.rejected_conflict)
         .u64("rejected_deadline", c.rejected_deadline)

@@ -20,6 +20,14 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> static analysis gate (lints + independent plan verification)"
+# dmac-lint lints every shipped .dmac script and every crates/apps
+# program, then re-verifies each planner output (5 planner configs +
+# all three forced multiplication strategies for GNMF/PageRank) with
+# the independent plan-invariant verifier. Exits non-zero on any
+# error-severity diagnostic or verifier disagreement.
+cargo run --release -q -p dmac-bench --bin dmac-lint > /dev/null
+
 echo "==> fault-recovery smoke (seeded mid-run kill, GNMF)"
 cargo run --release -q -p dmac-bench --bin faults > /dev/null
 

@@ -14,6 +14,9 @@
 //!   dependency-oriented cost model, the Algorithm-1 planner with its two
 //!   heuristics, stage scheduling, the execution engine, and the baseline
 //!   systems (SystemML-S, single-node R, ScaLAPACK-sim, SciDB-sim).
+//! * [`analyze`] — static analysis: program lints over the DSL AST and an
+//!   independent plan-invariant verifier that re-derives Table-2 dependency
+//!   types and per-step communication from scratch.
 //! * [`data`] — synthetic dataset generators standing in for the paper's
 //!   Netflix and graph datasets.
 //! * [`apps`] — the five evaluated applications: GNMF, PageRank, linear
@@ -48,6 +51,9 @@
 //! assert_eq!(result.rows(), 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use dmac_analyze as analyze;
 pub use dmac_apps as apps;
 pub use dmac_cluster as cluster;
 pub use dmac_core as core;
@@ -58,6 +64,7 @@ pub use dmac_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use dmac_analyze::{lint_program, lint_script, verify_planned, Diagnostic, Severity};
     pub use dmac_apps::{
         cf::CollaborativeFiltering, gnmf::Gnmf, linreg::LinearRegression, pagerank::PageRank,
         svd::SvdLanczos, triangles::TriangleCount,

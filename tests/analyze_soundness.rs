@@ -1,0 +1,237 @@
+//! Soundness of the analyzer, property-style: over seeded random
+//! scripts, (a) anything the analyzer passes must parse, plan, and
+//! execute successfully — with the independent plan-invariant verifier
+//! installed, so every one of those plans is also re-audited — and
+//! (b) anything the analyzer rejects with a shape error must also be
+//! rejected by the frontend proper (no lint-only false alarms).
+
+use dmac::analyze::{code, lint_script, Severity};
+use dmac::core::Session;
+use dmac::lang::parse_script;
+use dmac::matrix::SplitMix64;
+
+const BLOCK: usize = 4;
+const CASES: u64 = 32;
+
+/// Tracked variable: name and current shape.
+#[derive(Clone)]
+struct Var {
+    name: String,
+    rows: usize,
+    cols: usize,
+}
+
+/// Generate one random script; returns the source plus the load
+/// bindings `(name, rows, cols, sparsity)` the runtime needs.
+fn random_script(seed: u64) -> (String, Vec<(String, usize, usize, f64)>) {
+    let mut rng = SplitMix64::new(seed);
+    let dims = [6usize, 8, 10, 12];
+    let dim = |rng: &mut SplitMix64| dims[(rng.next_u64() % dims.len() as u64) as usize];
+
+    let mut src = String::new();
+    let mut vars: Vec<Var> = Vec::new();
+    let mut loads = Vec::new();
+
+    let n_loads = 2 + (rng.next_u64() % 2) as usize;
+    for i in 0..n_loads {
+        let (r, c) = (dim(&mut rng), dim(&mut rng));
+        let sp = [0.4, 0.7, 1.0][(rng.next_u64() % 3) as usize];
+        let name = format!("M{i}");
+        src.push_str(&format!("{name} = load({name}, {r}, {c}, {sp})\n"));
+        loads.push((name.clone(), r, c, sp));
+        vars.push(Var {
+            name,
+            rows: r,
+            cols: c,
+        });
+    }
+
+    let n_ops = 3 + (rng.next_u64() % 5) as usize;
+    for i in 0..n_ops {
+        let out = format!("X{i}");
+        let pick = |rng: &mut SplitMix64, vars: &[Var]| -> (Var, bool) {
+            let v = vars[(rng.next_u64() % vars.len() as u64) as usize].clone();
+            let t = rng.next_u64().is_multiple_of(4);
+            (v, t)
+        };
+        let shape = |v: &Var, t: bool| {
+            if t {
+                (v.cols, v.rows)
+            } else {
+                (v.rows, v.cols)
+            }
+        };
+        let sfx = |t: bool| if t { ".t" } else { "" };
+        match rng.next_u64() % 3 {
+            0 => {
+                // Matrix multiply. Half the time the right operand is
+                // chosen blindly (so inner dimensions conform only by
+                // luck of the seed); otherwise we search for one that
+                // conforms, keeping the pass rate non-vacuous.
+                let (a, ta) = pick(&mut rng, &vars);
+                let (ar, ac) = shape(&a, ta);
+                let (b, tb) = if rng.next_u64().is_multiple_of(2) {
+                    pick(&mut rng, &vars)
+                } else {
+                    let found = vars.iter().find_map(|v| {
+                        if v.rows == ac {
+                            Some((v.clone(), false))
+                        } else if v.cols == ac {
+                            Some((v.clone(), true))
+                        } else {
+                            None
+                        }
+                    });
+                    match found {
+                        Some(f) => f,
+                        None => pick(&mut rng, &vars),
+                    }
+                };
+                let (br, bc) = shape(&b, tb);
+                src.push_str(&format!(
+                    "{out} = {}{} %*% {}{}\n",
+                    a.name,
+                    sfx(ta),
+                    b.name,
+                    sfx(tb)
+                ));
+                if ac != br {
+                    break; // the frontend stops at the first shape error
+                }
+                vars.push(Var {
+                    name: out,
+                    rows: ar,
+                    cols: bc,
+                });
+            }
+            1 => {
+                // Cell-wise op — shapes must match exactly. Half the
+                // time reuse the left operand, which always conforms.
+                let (a, ta) = pick(&mut rng, &vars);
+                let (b, tb) = if rng.next_u64().is_multiple_of(2) {
+                    (a.clone(), ta)
+                } else {
+                    pick(&mut rng, &vars)
+                };
+                let op = if rng.next_u64().is_multiple_of(2) {
+                    "+"
+                } else {
+                    "*"
+                };
+                src.push_str(&format!(
+                    "{out} = {}{} {op} {}{}\n",
+                    a.name,
+                    sfx(ta),
+                    b.name,
+                    sfx(tb)
+                ));
+                let (ar, ac) = shape(&a, ta);
+                if (ar, ac) != shape(&b, tb) {
+                    break;
+                }
+                vars.push(Var {
+                    name: out,
+                    rows: ar,
+                    cols: ac,
+                });
+            }
+            _ => {
+                // Scale by a constant — always shape-safe.
+                let (a, ta) = pick(&mut rng, &vars);
+                let (ar, ac) = shape(&a, ta);
+                src.push_str(&format!("{out} = {}{} * 1.5\n", a.name, sfx(ta)));
+                vars.push(Var {
+                    name: out,
+                    rows: ar,
+                    cols: ac,
+                });
+            }
+        }
+    }
+    let last = &vars.last().unwrap().name;
+    src.push_str(&format!("store({last})\n"));
+    (src, loads)
+}
+
+#[test]
+fn analyzer_verdicts_are_sound() {
+    // Install the plan verifier so every accepted program's plan is
+    // independently re-audited during `Session::run` (debug builds).
+    dmac::analyze::install_session_verifier();
+
+    let (mut passed, mut rejected) = (0usize, 0usize);
+    for seed in 0..CASES {
+        let (src, loads) = random_script(0xD11A_C000 + seed);
+        let report = lint_script(&src);
+
+        if report.has_errors() {
+            rejected += 1;
+            // Every analyzer rejection here must be a shape error (the
+            // generator never emits undefined names or empty programs),
+            // and the frontend proper must agree.
+            let err = report
+                .diagnostics
+                .iter()
+                .find(|d| d.severity == Severity::Error)
+                .unwrap();
+            assert_eq!(
+                err.code,
+                code::SHAPE_MISMATCH,
+                "seed {seed}: unexpected rejection {err:?}\n{src}"
+            );
+            assert!(
+                parse_script(&src).is_err(),
+                "seed {seed}: analyzer rejected but frontend accepted\n{src}"
+            );
+            continue;
+        }
+
+        // Analyzer-passed: the script must run end to end.
+        passed += 1;
+        let parsed = report.parsed.as_ref().expect("no errors => parsed");
+        let mut session = Session::builder()
+            .workers(3)
+            .local_threads(2)
+            .block_size(BLOCK)
+            .seed(seed)
+            .build();
+        for (name, rows, cols, sp) in &loads {
+            let m = dmac::data::uniform_sparse(*rows, *cols, *sp, BLOCK, 1000 + *rows as u64);
+            session.bind(name, m).unwrap();
+        }
+        session
+            .run(&parsed.program)
+            .unwrap_or_else(|e| panic!("seed {seed}: analyzer passed but run failed: {e}\n{src}"));
+    }
+
+    // The seeded generator must exercise both verdicts, or the property
+    // test is vacuous.
+    assert!(passed >= 5, "only {passed}/{CASES} scripts passed");
+    assert!(rejected >= 5, "only {rejected}/{CASES} scripts rejected");
+}
+
+#[test]
+fn analyzer_warnings_do_not_block_execution() {
+    // A script full of advisory lints (dead store, redundant transpose,
+    // trivial identity, loop-invariant) must still execute.
+    let src = r#"
+        A = load(A, 8, 8, 1.0)
+        B = A.t.t
+        C = B * 1
+        D = A + A
+        D = C %*% A
+        store(D)
+    "#;
+    let report = lint_script(src);
+    assert!(!report.has_errors(), "{:?}", report.diagnostics);
+    assert!(
+        report.diagnostics.len() >= 3,
+        "expected several warnings, got {:?}",
+        report.diagnostics
+    );
+    let mut session = Session::builder().workers(2).block_size(BLOCK).build();
+    session
+        .bind("A", dmac::data::uniform_sparse(8, 8, 1.0, BLOCK, 7))
+        .unwrap();
+    session.run(&report.parsed.unwrap().program).unwrap();
+}
