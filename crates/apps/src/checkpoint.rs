@@ -1,0 +1,37 @@
+//! Shared plumbing for the checkpointed iterative drivers.
+//!
+//! The unrolled programs in [`crate::gnmf`] and [`crate::pagerank`] run a
+//! whole algorithm as one plan. Their checkpointed siblings instead run
+//! *one iteration per program*, store the evolving state under stable
+//! names, and publish a durable snapshot of the store at every phase
+//! boundary ([`dmac_core::Session::checkpoint`]). When the process dies —
+//! or a deterministic crash is injected through
+//! [`dmac_cluster::CrashPoint`] — a restarted driver recovers the latest
+//! valid snapshot from disk and resumes from the phase it recorded,
+//! instead of replaying the full lineage from iteration 0.
+//!
+//! The contract both drivers uphold: a crashed-and-resumed run produces
+//! **bit-for-bit** the same final state as an uninterrupted run, because
+//! the on-disk codec preserves values and per-worker placement exactly
+//! and the engine is deterministic given identical inputs and schemes.
+
+/// Outcome of a checkpointed driver run (see `Gnmf::run_checkpointed`
+/// and `PageRank::run_checkpointed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointedRun {
+    /// Completed iterations found in the recovered snapshot; `0` means
+    /// the driver started (or restarted) from scratch.
+    pub resumed_from: usize,
+    /// Iterations this process actually executed
+    /// (`total - resumed_from`).
+    pub ran_iterations: usize,
+    /// Snapshot sequence number of the final published checkpoint.
+    pub final_snapshot: u64,
+}
+
+impl CheckpointedRun {
+    /// Did this run skip work thanks to a recovered snapshot?
+    pub fn resumed(&self) -> bool {
+        self.resumed_from > 0
+    }
+}

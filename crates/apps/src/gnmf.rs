@@ -17,6 +17,14 @@ use dmac_core::{Result, Session};
 use dmac_lang::{Expr, Program};
 use dmac_matrix::BlockedMatrix;
 
+use crate::checkpoint::CheckpointedRun;
+
+/// Store names the checkpointed GNMF driver snapshots at every phase
+/// boundary. `V` rides along so its cached partition scheme (and the
+/// free re-checkpoint content addressing grants unchanged matrices)
+/// survives a restart.
+pub const GNMF_CHECKPOINT_NAMES: [&str; 3] = ["V", "W", "H"];
+
 /// GNMF configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct Gnmf {
@@ -72,6 +80,95 @@ impl Gnmf {
         p.store(w, "W");
         p.store(h, "H");
         Ok(GnmfProgram { v, w0, h0, w, h })
+    }
+
+    /// Build the init program of the checkpointed driver: generate the
+    /// random factors and store them under `"W"` / `"H"`. The identity
+    /// scale keeps the stored outputs op-produced; multiplying by `1.0`
+    /// is bit-exact, so the factors match [`Gnmf::initial_factors`] for
+    /// the same seed and matrix ids.
+    pub fn build_init(&self, p: &mut Program) -> Result<(Expr, Expr)> {
+        let w0 = p.random("W0", self.rows, self.rank);
+        let h0 = p.random("H0", self.rank, self.cols);
+        let w = p.scale_const(w0, 1.0)?;
+        let h = p.scale_const(h0, 1.0)?;
+        p.store(w, "W");
+        p.store(h, "H");
+        Ok((w0, h0))
+    }
+
+    /// Build the per-iteration program of the checkpointed driver: load
+    /// `V`, `W`, `H` from the store, apply one multiplicative update
+    /// (same operator order as the unrolled [`Gnmf::build`]), and store
+    /// the new factors back under the same names.
+    pub fn build_step(&self, p: &mut Program) -> Result<()> {
+        let v = p.load("V", self.rows, self.cols, self.sparsity);
+        let w = p.load("W", self.rows, self.rank, 1.0);
+        let h = p.load("H", self.rank, self.cols, 1.0);
+        // H = H * (Wt %*% V) / (Wt %*% W %*% H)
+        let wt_v = p.matmul(w.t(), v)?;
+        let wt_w = p.matmul(w.t(), w)?;
+        let wt_w_h = p.matmul(wt_w, h)?;
+        let h_num = p.cell_mul(h, wt_v)?;
+        let h_new = p.cell_div(h_num, wt_w_h)?;
+        // W = W * (V %*% Ht) / (W %*% H %*% Ht)
+        let v_ht = p.matmul(v, h_new.t())?;
+        let h_ht = p.matmul(h_new, h_new.t())?;
+        let w_h_ht = p.matmul(w, h_ht)?;
+        let w_num = p.cell_mul(w, v_ht)?;
+        let w_new = p.cell_div(w_num, w_h_ht)?;
+        p.store(w_new, "W");
+        p.store(h_new, "H");
+        Ok(())
+    }
+
+    /// Run GNMF one iteration at a time, checkpointing `V`/`W`/`H` at
+    /// every phase boundary. If the session's store holds a recovered
+    /// snapshot (the caller ran [`dmac_core::SharedStore::recover`] on a
+    /// disk-backed store before building the session), the driver resumes
+    /// from the recorded phase instead of replaying from iteration 0; a
+    /// missing or invalid snapshot degrades to a full fresh run. `v` is
+    /// only bound on a fresh start — a resumed run reads it back from the
+    /// snapshot. Final factors are read with `session.env_value("W")` /
+    /// `env_value("H")` (a fully-recovered run may execute no program at
+    /// all, so `Session::value` handles would dangle).
+    pub fn run_checkpointed(
+        &self,
+        session: &mut Session,
+        v: &BlockedMatrix,
+    ) -> Result<CheckpointedRun> {
+        let names: Vec<String> = GNMF_CHECKPOINT_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let store = session.shared_store().clone();
+        let start = match store.latest_snapshot() {
+            Some((_, phase))
+                if phase as usize <= self.iterations && names.iter().all(|n| store.contains(n)) =>
+            {
+                phase as usize
+            }
+            _ => {
+                session.bind("V", v.clone())?;
+                let mut init = Program::new();
+                self.build_init(&mut init)?;
+                session.run(&init)?;
+                session.checkpoint(&names, 0)?;
+                0
+            }
+        };
+        let mut step = Program::new();
+        self.build_step(&mut step)?;
+        for i in start..self.iterations {
+            session.run(&step)?;
+            session.checkpoint(&names, (i + 1) as u64)?;
+        }
+        let (final_snapshot, _) = store.latest_snapshot().unwrap_or((0, 0));
+        Ok(CheckpointedRun {
+            resumed_from: start,
+            ran_iterations: self.iterations - start,
+            final_snapshot,
+        })
     }
 
     /// Run GNMF on a session; `v` is bound and the program executed.

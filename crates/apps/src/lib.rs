@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cf;
+pub mod checkpoint;
 pub mod gnmf;
 pub mod linreg;
 pub mod pagerank;
@@ -26,6 +27,7 @@ pub mod triangles;
 pub mod tridiag;
 
 pub use cf::CollaborativeFiltering;
+pub use checkpoint::CheckpointedRun;
 pub use gnmf::Gnmf;
 pub use linreg::LinearRegression;
 pub use pagerank::PageRank;

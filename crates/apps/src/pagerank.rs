@@ -12,6 +12,14 @@ use dmac_core::{Result, Session};
 use dmac_lang::{Expr, Program};
 use dmac_matrix::BlockedMatrix;
 
+use crate::checkpoint::CheckpointedRun;
+
+/// Store names the checkpointed PageRank driver snapshots at every phase
+/// boundary. The loop-invariant `link` and `D` ride along so their
+/// cached schemes restore on recovery (content addressing makes their
+/// re-checkpoint free — the blobs already exist).
+pub const PAGERANK_CHECKPOINT_NAMES: [&str; 3] = ["link", "D", "rank"];
+
 /// PageRank configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PageRank {
@@ -52,6 +60,80 @@ impl PageRank {
         }
         p.store(rank, "rank");
         Ok(PageRankProgram { link, rank0, rank })
+    }
+
+    /// Build the init program of the checkpointed driver: generate the
+    /// random initial rank vector and store it under `"rank"` (identity
+    /// scale keeps it op-produced; `× 1.0` is bit-exact).
+    pub fn build_init(&self, p: &mut Program) -> Result<Expr> {
+        let rank0 = p.random("rank0", 1, self.nodes);
+        let rank = p.scale_const(rank0, 1.0)?;
+        p.store(rank, "rank");
+        Ok(rank0)
+    }
+
+    /// Build the per-iteration program of the checkpointed driver: one
+    /// damped walk step, reading and storing `"rank"`.
+    pub fn build_step(&self, p: &mut Program) -> Result<()> {
+        let link = p.load("link", self.nodes, self.nodes, self.link_sparsity);
+        let d = p.load("D", 1, self.nodes, 1.0);
+        let rank = p.load("rank", 1, self.nodes, 1.0);
+        let walk = p.matmul(rank, link)?;
+        let damped = p.scale_const(walk, self.damping)?;
+        let teleport = p.scale_const(d, 1.0 - self.damping)?;
+        let next = p.add(damped, teleport)?;
+        p.store(next, "rank");
+        Ok(())
+    }
+
+    /// Run PageRank one iteration at a time, checkpointing
+    /// `link`/`D`/`rank` at every phase boundary. Resumes from a
+    /// recovered snapshot when the session's store holds one (see
+    /// `Gnmf::run_checkpointed` for the recovery contract); otherwise
+    /// binds the row-normalised `adjacency` and starts fresh. Read the
+    /// final vector with `session.env_value("rank")`.
+    pub fn run_checkpointed(
+        &self,
+        session: &mut Session,
+        adjacency: &BlockedMatrix,
+    ) -> Result<CheckpointedRun> {
+        let names: Vec<String> = PAGERANK_CHECKPOINT_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let store = session.shared_store().clone();
+        let start = match store.latest_snapshot() {
+            Some((_, phase))
+                if phase as usize <= self.iterations && names.iter().all(|n| store.contains(n)) =>
+            {
+                phase as usize
+            }
+            _ => {
+                let link = dmac_data::row_normalize(adjacency)?;
+                session.bind("link", link)?;
+                let d = BlockedMatrix::from_fn(1, self.nodes, session.block_size(), |_, _| {
+                    1.0 / self.nodes as f64
+                })?;
+                session.bind("D", d)?;
+                let mut init = Program::new();
+                self.build_init(&mut init)?;
+                session.run(&init)?;
+                session.checkpoint(&names, 0)?;
+                0
+            }
+        };
+        let mut step = Program::new();
+        self.build_step(&mut step)?;
+        for i in start..self.iterations {
+            session.run(&step)?;
+            session.checkpoint(&names, (i + 1) as u64)?;
+        }
+        let (final_snapshot, _) = store.latest_snapshot().unwrap_or((0, 0));
+        Ok(CheckpointedRun {
+            resumed_from: start,
+            ran_iterations: self.iterations - start,
+            final_snapshot,
+        })
     }
 
     /// Run on a session with a given adjacency matrix (row-normalised

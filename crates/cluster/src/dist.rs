@@ -98,6 +98,48 @@ impl DistMatrix {
         }
     }
 
+    /// Rebuild a matrix from explicitly placed tiles, preserving the
+    /// exact physical layout a previous run produced (the disk tier's
+    /// decode path). Each tile is `(worker, bi, bj, tile)`; a `None`
+    /// worker replicates the tile on every worker (Broadcast). The
+    /// result is [`DistMatrix::validate`]d, so torn or mislabelled
+    /// serialisations are rejected rather than silently accepted.
+    pub fn from_placed_tiles(
+        rows: usize,
+        cols: usize,
+        block: usize,
+        scheme: PartitionScheme,
+        workers: usize,
+        tiles: impl IntoIterator<Item = (Option<usize>, usize, usize, Arc<Block>)>,
+    ) -> Result<DistMatrix> {
+        let meta = GridMeta::new(rows, cols, block);
+        let mut stores = vec![HashMap::new(); workers.max(1)];
+        for (w, bi, bj, tile) in tiles {
+            match w {
+                Some(w) => {
+                    let store = stores.get_mut(w).ok_or_else(|| {
+                        ClusterError::Matrix(dmac_matrix::MatrixError::MalformedSparse(format!(
+                            "tile ({bi},{bj}) placed on worker {w} of {workers}"
+                        )))
+                    })?;
+                    store.insert((bi, bj), tile);
+                }
+                None => {
+                    for store in stores.iter_mut() {
+                        store.insert((bi, bj), Arc::clone(&tile));
+                    }
+                }
+            }
+        }
+        let d = DistMatrix {
+            meta,
+            scheme,
+            stores,
+        };
+        d.validate()?;
+        Ok(d)
+    }
+
     /// Build directly from per-worker stores (used by cluster primitives).
     pub(crate) fn from_parts(
         meta: GridMeta,

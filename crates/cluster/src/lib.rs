@@ -34,7 +34,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use comm::{CommEvent, CommKind, CommStats, NetworkModel, SimClock};
 pub use dist::DistMatrix;
 pub use error::{ClusterError, Result};
-pub use fault::{FaultEvent, FaultInjector, FaultPlan};
+pub use fault::{CrashPoint, FaultEvent, FaultInjector, FaultPlan};
 pub use partition::PartitionScheme;
 pub use trace::{OpSpan, TraceBuffer};
 pub use twod::{summa, Dist2d, ProcessGrid};

@@ -146,6 +146,10 @@ impl ExecReport {
                     .u64("actual_bytes", self.trace.actual_total())
                     .u64("wire_bytes", self.trace.wire_total())
                     .u64("recovery_wire_bytes", self.trace.recovery_wire_total())
+                    .u64("spills", self.trace.spill.spills)
+                    .u64("spill_bytes", self.trace.spill.spill_bytes)
+                    .u64("loads", self.trace.spill.loads)
+                    .u64("load_bytes", self.trace.spill.load_bytes)
                     .build(),
             )
             .raw(
@@ -666,6 +670,9 @@ pub fn execute(
             stage_count: stages.count,
             steps: step_traces,
             pool: cluster.pool_stats(),
+            // The session fills this in after absorbing outputs; the
+            // engine itself never touches the store's disk tier.
+            spill: Default::default(),
         },
     };
     Ok((report, outputs))

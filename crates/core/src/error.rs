@@ -30,6 +30,21 @@ pub enum CoreError {
         /// The attempt budget that was exhausted.
         attempts: usize,
     },
+    /// Pinned entries alone exceed the store's byte budget: eviction
+    /// cannot get back under capacity without violating a pin, so the
+    /// overshoot is reported instead of being swallowed silently.
+    StoreOverCommit {
+        /// Resident bytes after evicting/spilling everything unpinned.
+        resident: u64,
+        /// The configured byte budget.
+        capacity: u64,
+    },
+    /// Disk-tier failure: I/O error, torn file, or checksum mismatch.
+    Disk(String),
+    /// The deterministic crash injector fired at a durability boundary
+    /// (the process model "died"; on-disk state is whatever the
+    /// half-finished operation left behind).
+    InjectedCrash(dmac_cluster::CrashPoint),
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +65,14 @@ impl fmt::Display for CoreError {
                 f,
                 "lost worker {worker}: recovery budget of {attempts} attempt(s) exhausted"
             ),
+            CoreError::StoreOverCommit { resident, capacity } => write!(
+                f,
+                "store over-commit: {resident} pinned bytes resident against a budget of {capacity}"
+            ),
+            CoreError::Disk(m) => write!(f, "disk tier error: {m}"),
+            CoreError::InjectedCrash(p) => {
+                write!(f, "injected crash at durability point '{p}'")
+            }
         }
     }
 }

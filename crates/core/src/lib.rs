@@ -29,6 +29,10 @@
 //! * [`recovery`] — lineage-based stage recovery: worker losses are
 //!   survived by decommissioning the host, remapping its logical workers,
 //!   and deterministically replaying the producing stages of lost state.
+//! * [`disk`] — the durable tier under the store: content-addressed
+//!   checksummed blob files, snapshot manifests with an atomically-swapped
+//!   `CURRENT` pointer, compaction, and a deterministic crash injector for
+//!   every durability boundary.
 //! * [`baselines`] — the systems DMac is compared against: SystemML-S
 //!   (same runtime, dependency-blind planner), single-node R, and the
 //!   ScaLAPACK / SciDB simulators used for Table 4.
@@ -39,6 +43,7 @@
 pub mod baselines;
 pub mod cost;
 pub mod dependency;
+pub mod disk;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -53,8 +58,9 @@ pub mod strategy;
 pub mod trace;
 pub mod verifyhook;
 
+pub use disk::{CompactionReport, DiskTier, Manifest, ManifestEntry};
 pub use error::{CoreError, Result};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use session::Session;
 pub use store::{SharedStore, StoreStats};
-pub use trace::{Conformance, StepTrace, Trace};
+pub use trace::{Conformance, SpillTraffic, StepTrace, Trace};

@@ -54,6 +54,15 @@ pub struct PlannerConfig {
     /// single-pass [`PlanStep::FusedCellWise`] steps (purely local; never
     /// changes communication).
     pub fuse_cellwise: bool,
+    /// Only fuse a chain whose root output spans at least this many
+    /// blocks. On tiny grids the fused interpreter's per-call overhead
+    /// exceeds the saved materialisations and fusion *loses* wall time,
+    /// so small chains keep their plain cell-wise steps.
+    pub fusion_min_blocks: usize,
+    /// Block size used to translate matrix shapes into block counts for
+    /// the threshold. [`crate::session::SessionBuilder::build`] overwrites
+    /// this with the session's block size.
+    pub fusion_block: usize,
 }
 
 impl Default for PlannerConfig {
@@ -65,6 +74,8 @@ impl Default for PlannerConfig {
             re_assignment: true,
             allow_cpmm: true,
             fuse_cellwise: true,
+            fusion_min_blocks: 32,
+            fusion_block: 256,
         }
     }
 }
@@ -80,6 +91,8 @@ impl PlannerConfig {
             re_assignment: false,
             allow_cpmm: true,
             fuse_cellwise: false,
+            fusion_min_blocks: 32,
+            fusion_block: 256,
         }
     }
 }
@@ -167,7 +180,7 @@ pub fn plan_with_forced(
     p.bind_outputs()?;
     p.plan.finalize_flexible();
     if cfg.fuse_cellwise {
-        fuse_cellwise_steps(program, &mut p.plan);
+        fuse_cellwise_steps(program, &mut p.plan, cfg);
     }
     Ok(Planned {
         plan: p.plan,
@@ -193,7 +206,12 @@ pub fn plan_with_forced(
 /// output node — not the producer's — the consumer would read. All
 /// member steps are communication-free, so fusing moves no bytes and
 /// every per-step prediction stays untouched.
-fn fuse_cellwise_steps(program: &Program, plan: &mut Plan) {
+///
+/// Groups whose root output spans fewer than
+/// [`PlannerConfig::fusion_min_blocks`] blocks are left unfused: with so
+/// few tiles the fused interpreter's dispatch overhead outweighs the
+/// saved materialisations (the BENCH_fusion regression on tiny inputs).
+fn fuse_cellwise_steps(program: &Program, plan: &mut Plan, cfg: &PlannerConfig) {
     use crate::plan::FusedInstr;
     use crate::strategy::Strategy;
     use dmac_lang::{BinOp, OpKind, UnaryOp};
@@ -286,6 +304,19 @@ fn fuse_cellwise_steps(program: &Program, plan: &mut Plan) {
         let root_out = plan.steps[root]
             .out_node()
             .expect("fusable steps define a node");
+        // Size gate: skip chains over grids too small to amortise the
+        // fused interpreter.
+        let blocks = program
+            .decl(plan.nodes[root_out].matrix)
+            .map(|d| {
+                let block = cfg.fusion_block.max(1);
+                dmac_matrix::blocking::blocks_along(d.stats.rows, block)
+                    * dmac_matrix::blocking::blocks_along(d.stats.cols, block)
+            })
+            .unwrap_or(0);
+        if blocks < cfg.fusion_min_blocks {
+            continue;
+        }
 
         // Post-order expression program over the group's leaves.
         let mut ops = members.clone();

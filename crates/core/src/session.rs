@@ -133,19 +133,26 @@ impl SessionBuilder {
 
     /// Build the session.
     pub fn build(self) -> Session {
-        let (workers, planner) = match self.system {
+        let (workers, mut planner) = match self.system {
             SystemKind::Dmac => (self.workers, self.planner.unwrap_or_default()),
             SystemKind::SystemMlS => (self.workers, PlannerConfig::systemml_s()),
             // R: the same engine confined to one worker — communication
             // disappears, matching the paper's single-machine baseline.
             SystemKind::RLocal => (1, self.planner.unwrap_or_default()),
         };
+        // The fusion threshold is measured in blocks, so the planner
+        // needs the session's block size to translate matrix shapes.
+        planner.fusion_block = self.block_size;
         let mut cluster = Cluster::new(ClusterConfig {
             workers,
             local_threads: self.local_threads,
             network: self.network,
         });
+        let env = self.store.unwrap_or_default();
         if let Some(plan) = self.fault_plan {
+            // Durability crash points live in the store's disk tier;
+            // stage/op kills live in the cluster. One plan arms both.
+            env.arm_crashes(&plan);
             cluster.set_fault_plan(plan);
         }
         Session {
@@ -155,7 +162,7 @@ impl SessionBuilder {
             block_size: self.block_size,
             seed: self.seed,
             recovery: self.recovery,
-            env: self.store.unwrap_or_default(),
+            env,
             last_values: HashMap::new(),
             last_scalars: HashMap::new(),
             last_report: None,
@@ -213,13 +220,14 @@ impl Session {
             m.reblock(self.block_size)?
         };
         let dist = self.cluster.load(&m, PartitionScheme::Hash);
-        self.env.insert(name, dist);
+        self.env.insert(name, dist)?;
         Ok(())
     }
 
     /// Bind an already-distributed matrix (keeps its scheme).
-    pub fn bind_dist(&mut self, name: &str, m: DistMatrix) {
-        self.env.insert(name, m);
+    pub fn bind_dist(&mut self, name: &str, m: DistMatrix) -> Result<()> {
+        self.env.insert(name, m)?;
+        Ok(())
     }
 
     /// Is a name bound?
@@ -335,6 +343,7 @@ impl Session {
     /// planning. Fails with [`CoreError::Planner`] if any input's cached
     /// placement no longer matches what the plan assumed.
     pub fn run_prepared(&mut self, prep: &PreparedProgram) -> Result<ExecReport> {
+        let spill0 = self.env.spill_traffic();
         let (bindings, current) = self.resolve_inputs(&prep.program)?;
         for (mid, scheme) in &prep.initial {
             if current.get(mid) != Some(scheme) {
@@ -362,7 +371,9 @@ impl Session {
             prep.planned.estimated_comm,
             &self.recovery,
         )?;
-        self.absorb_outputs(&prep.program, outputs);
+        let mut report = report;
+        self.absorb_outputs(&prep.program, outputs)?;
+        report.trace.spill = self.env.spill_traffic().since(&spill0);
         self.last_report = Some(report.clone());
         Ok(report)
     }
@@ -379,6 +390,7 @@ impl Session {
 
     /// Plan and execute a program; persists `store`d outputs.
     pub fn run(&mut self, program: &Program) -> Result<ExecReport> {
+        let spill0 = self.env.spill_traffic();
         let (bindings, initial) = self.resolve_inputs(program)?;
         let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
         crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
@@ -392,27 +404,40 @@ impl Session {
             planned.estimated_comm,
             &self.recovery,
         )?;
-        self.absorb_outputs(program, outputs);
+        let mut report = report;
+        self.absorb_outputs(program, outputs)?;
+        report.trace.spill = self.env.spill_traffic().since(&spill0);
         self.last_report = Some(report.clone());
         Ok(report)
+    }
+
+    /// Publish a durable snapshot of the named store entries at `phase`
+    /// (see [`SharedStore::checkpoint`]). Iterative drivers call this at
+    /// phase boundaries so a crashed run resumes from the snapshot
+    /// instead of replaying its full lineage.
+    pub fn checkpoint(&self, names: &[String], phase: u64) -> Result<u64> {
+        self.env.checkpoint(names, phase)
     }
 
     /// Fold a run's outputs into the session: persist `store`d matrices,
     /// cache improved input placements (DMac only — SystemML-S's cache
     /// stays hash-partitioned, per the paper), and expose output values.
-    fn absorb_outputs(&mut self, program: &Program, outputs: engine::RunOutputs) {
+    /// Store inserts may displace entries to disk; an over-commit or disk
+    /// failure there surfaces as the run's error.
+    fn absorb_outputs(&mut self, program: &Program, outputs: engine::RunOutputs) -> Result<()> {
         if self.planner.exploit_dependencies {
             for (mid, dist) in outputs.cached_inputs {
                 if let Ok(decl) = program.decl(mid) {
-                    self.env.insert(&decl.name, dist);
+                    self.env.insert(&decl.name, dist)?;
                 }
             }
         }
         for (name, dist) in outputs.stored {
-            self.env.insert(&name, dist);
+            self.env.insert(&name, dist)?;
         }
         self.last_values = outputs.matrices;
         self.last_scalars = outputs.scalars;
+        Ok(())
     }
 
     /// A matrix output of the last run, gathered to the driver.

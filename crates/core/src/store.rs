@@ -13,10 +13,23 @@
 //!   the unbounded-growth leak of repeated `store`s over one name);
 //! * **pin counts** — an entry pinned by an in-flight program cannot be
 //!   evicted; pins are counted so overlapping readers compose;
-//! * **bytes-based LRU eviction** — an optional capacity bounds the bytes
-//!   of *unpinned* entries; eviction order is strictly deterministic
+//! * **bytes-based LRU displacement** — an optional capacity bounds the
+//!   *resident* bytes; over budget, the least-recently-used unpinned entry
+//!   is **spilled** to the disk tier (when one is attached) or evicted
+//!   (when not). Victim order is strictly deterministic
 //!   (least-recently-used first, name as tie-break) so a serialized replay
-//!   of a request log reproduces the same store states;
+//!   of a request log reproduces the same store states. When pinned
+//!   entries alone exceed the budget, the overshoot is a typed
+//!   [`CoreError::StoreOverCommit`] error and an `over_commits` counter
+//!   tick — never a silent overshoot;
+//! * **durable tier** — with a [`DiskTier`] attached, spilled entries
+//!   become content-addressed checksummed blobs and reload transparently
+//!   on `get`; [`SharedStore::checkpoint`] publishes a snapshot manifest
+//!   and [`SharedStore::recover`] re-populates a fresh store from the
+//!   latest valid one as cheap spilled stubs. A blob that fails its
+//!   checksum on reload is *dropped* (counted in `load_failures`) and
+//!   `get` reports the name as absent — callers fall back to lineage
+//!   replay, exactly as for a never-stored name;
 //! * **write-intent claims** — a program that will `store` a name claims
 //!   it at admission; a second in-flight program claiming the same name is
 //!   a *conflict* (its effect would depend on scheduling order, which
@@ -25,31 +38,59 @@
 //! All operations go through a `Mutex`; the store is cheap to clone
 //! (`Arc`) and is shared between a service's sessions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
-use dmac_cluster::DistMatrix;
+use dmac_cluster::{DistMatrix, FaultPlan, PartitionScheme};
 
+use crate::disk::{self, DiskTier, ManifestEntry};
 use crate::error::{CoreError, Result};
+use crate::trace::SpillTraffic;
+
+/// Where an entry's tiles currently live.
+#[derive(Debug)]
+enum Payload {
+    /// Tiles are in RAM.
+    Resident(DistMatrix),
+    /// Tiles live in a verified disk blob; the stub keeps what planning
+    /// needs (`scheme_of`) without touching disk.
+    Spilled {
+        hash: String,
+        payload_bytes: u64,
+        scheme: PartitionScheme,
+    },
+}
 
 /// One stored matrix plus its bookkeeping.
 #[derive(Debug)]
 struct Entry {
-    matrix: DistMatrix,
+    payload: Payload,
+    /// Logical RAM bytes of one copy (counts toward the budget only
+    /// while resident).
     bytes: u64,
-    /// Number of in-flight pins; only 0-pin entries are evictable.
+    /// Number of in-flight pins; only 0-pin entries are displaceable.
     pins: u32,
     /// Logical timestamp of the last touch (monotonic counter, not wall
     /// time — wall time would make eviction order nondeterministic).
     last_used: u64,
 }
 
+impl Entry {
+    fn resident_bytes(&self) -> u64 {
+        match self.payload {
+            Payload::Resident(_) => self.bytes,
+            Payload::Spilled { .. } => 0,
+        }
+    }
+}
+
 /// Counters describing a store's lifetime activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Entries currently resident.
+    /// Entries currently present (resident + spilled).
     pub entries: usize,
-    /// Bytes currently resident (logical bytes of one copy per entry).
+    /// Bytes currently resident in RAM (logical bytes, one copy each).
     pub bytes: u64,
     /// Configured capacity (`None` = unbounded).
     pub capacity: Option<u64>,
@@ -58,12 +99,33 @@ pub struct StoreStats {
     /// Inserts that replaced an existing entry (the old entry was eagerly
     /// released).
     pub replaced: u64,
-    /// Entries evicted by the LRU policy.
+    /// Entries evicted outright (no disk tier attached).
     pub evictions: u64,
     /// Entries explicitly removed (`drop`).
     pub dropped: u64,
     /// Write-intent conflicts rejected.
     pub conflicts: u64,
+    /// Entries currently spilled (stub in RAM, tiles on disk).
+    pub spilled: usize,
+    /// Logical bytes of currently spilled entries.
+    pub spilled_bytes: u64,
+    /// Resident→disk displacements (spill events; deduplicated blob
+    /// writes still count as a spill, but write no bytes).
+    pub spills: u64,
+    /// Blob bytes physically written by spills and checkpoints.
+    pub spill_bytes: u64,
+    /// Disk→resident reloads.
+    pub loads: u64,
+    /// Blob bytes read back by reloads.
+    pub load_bytes: u64,
+    /// Spilled entries dropped because their blob failed verification
+    /// (callers then fall back to lineage replay).
+    pub load_failures: u64,
+    /// Times displacement could not reach the budget because every
+    /// remaining resident entry was pinned.
+    pub over_commits: u64,
+    /// Snapshot manifests published by this store.
+    pub snapshots: u64,
 }
 
 #[derive(Debug, Default)]
@@ -71,6 +133,9 @@ struct Inner {
     entries: HashMap<String, Entry>,
     /// In-flight write intents: name → claim token.
     claims: HashMap<String, u64>,
+    disk: Option<Arc<DiskTier>>,
+    /// Latest snapshot `(seq, phase)` published or recovered.
+    last_snapshot: Option<(u64, u64)>,
     tick: u64,
     capacity: Option<u64>,
     bytes: u64,
@@ -79,6 +144,13 @@ struct Inner {
     evictions: u64,
     dropped: u64,
     conflicts: u64,
+    spills: u64,
+    spill_bytes: u64,
+    loads: u64,
+    load_bytes: u64,
+    load_failures: u64,
+    over_commits: u64,
+    snapshots: u64,
 }
 
 impl Inner {
@@ -90,34 +162,75 @@ impl Inner {
         }
     }
 
-    /// Evict unpinned LRU entries until within capacity. Returns evicted
-    /// names (in eviction order).
-    fn enforce_capacity(&mut self) -> Vec<String> {
-        let Some(cap) = self.capacity else {
-            return Vec::new();
+    /// Write `name`'s tiles to the disk tier (content-addressed, so an
+    /// already-present blob costs nothing) and swap the entry to a stub.
+    fn spill(&mut self, name: &str) -> Result<()> {
+        let disk = self.disk.clone().expect("spill requires a disk tier");
+        let (payload, scheme, bytes) = {
+            let e = self.entries.get(name).expect("spill victim exists");
+            let Payload::Resident(m) = &e.payload else {
+                return Ok(());
+            };
+            (disk::encode_dist(m), m.scheme(), e.bytes)
         };
-        let mut evicted = Vec::new();
+        let hash = format!("{:016x}", disk::fnv1a_bytes(&payload));
+        let plen = payload.len() as u64;
+        if !disk.verify_blob(&hash, plen) {
+            // Crash/IO errors propagate *before* the in-RAM swap: the
+            // "process" died, leaving the entry resident and the disk
+            // holding whatever the torn write left.
+            disk.put_blob(&payload)?;
+            self.spill_bytes += plen;
+        }
+        self.spills += 1;
+        self.bytes -= bytes;
+        let e = self.entries.get_mut(name).expect("spill victim exists");
+        e.payload = Payload::Spilled {
+            hash,
+            payload_bytes: plen,
+            scheme,
+        };
+        Ok(())
+    }
+
+    /// Displace unpinned LRU entries until resident bytes fit the
+    /// budget: spill when a disk tier is attached, evict otherwise.
+    /// Returns the displaced names in order. When only pinned entries
+    /// remain and the budget is still exceeded, fails with
+    /// [`CoreError::StoreOverCommit`] (and counts it) instead of
+    /// overshooting silently.
+    fn enforce_capacity(&mut self) -> Result<Vec<String>> {
+        let Some(cap) = self.capacity else {
+            return Ok(Vec::new());
+        };
+        let mut displaced = Vec::new();
         while self.bytes > cap {
             // Deterministic victim: smallest (last_used, name) among
-            // unpinned entries.
+            // unpinned resident entries.
             let victim = self
                 .entries
                 .iter()
-                .filter(|(_, e)| e.pins == 0)
+                .filter(|(_, e)| e.pins == 0 && matches!(e.payload, Payload::Resident(_)))
                 .min_by(|(an, ae), (bn, be)| {
                     ae.last_used.cmp(&be.last_used).then_with(|| an.cmp(bn))
                 })
                 .map(|(n, _)| n.clone());
             let Some(name) = victim else {
-                break; // everything pinned: overshoot rather than deadlock
+                self.over_commits += 1;
+                return Err(CoreError::StoreOverCommit {
+                    resident: self.bytes,
+                    capacity: cap,
+                });
             };
-            if let Some(e) = self.entries.remove(&name) {
+            if self.disk.is_some() {
+                self.spill(&name)?;
+            } else if let Some(e) = self.entries.remove(&name) {
                 self.bytes -= e.bytes;
                 self.evictions += 1;
-                evicted.push(name);
             }
+            displaced.push(name);
         }
-        evicted
+        Ok(displaced)
     }
 }
 
@@ -133,11 +246,29 @@ impl SharedStore {
         SharedStore::default()
     }
 
-    /// A store that evicts unpinned LRU entries beyond `capacity_bytes`.
+    /// A store that displaces unpinned LRU entries beyond `capacity_bytes`.
     pub fn with_capacity(capacity_bytes: u64) -> SharedStore {
         let s = SharedStore::default();
         s.inner.lock().unwrap().capacity = Some(capacity_bytes);
         s
+    }
+
+    /// An unbounded store backed by a durable data directory.
+    pub fn with_disk(dir: impl AsRef<Path>) -> Result<SharedStore> {
+        let s = SharedStore::default();
+        s.inner.lock().unwrap().disk = Some(Arc::new(DiskTier::open(dir)?));
+        Ok(s)
+    }
+
+    /// A bounded store whose displaced entries spill to `dir` instead of
+    /// being dropped — the working set may exceed `capacity_bytes`.
+    pub fn with_capacity_and_disk(
+        capacity_bytes: u64,
+        dir: impl AsRef<Path>,
+    ) -> Result<SharedStore> {
+        let s = SharedStore::with_disk(dir)?;
+        s.inner.lock().unwrap().capacity = Some(capacity_bytes);
+        Ok(s)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -146,17 +277,37 @@ impl SharedStore {
         self.inner.lock().expect("matrix store poisoned")
     }
 
+    /// The attached disk tier, if any (the service layer uses it to
+    /// persist plan scripts next to the matrix blobs).
+    pub fn disk(&self) -> Option<Arc<DiskTier>> {
+        self.lock().disk.clone()
+    }
+
+    /// Forward a [`FaultPlan`]'s crash point to the disk tier's
+    /// deterministic crash injector. No-op without a disk tier.
+    pub fn arm_crashes(&self, plan: &FaultPlan) {
+        if let Some(d) = self.lock().disk.clone() {
+            d.arm_crashes(plan);
+        }
+    }
+
     /// Insert (or replace) `name`. The old entry, if any, is released
-    /// eagerly; LRU eviction runs afterwards. Returns the names evicted to
-    /// make room.
-    pub fn insert(&self, name: &str, m: DistMatrix) -> Vec<String> {
+    /// eagerly; LRU displacement runs afterwards. Returns the names
+    /// spilled or evicted to make room.
+    ///
+    /// # Errors
+    /// [`CoreError::StoreOverCommit`] when pinned entries alone exceed
+    /// the byte budget (the new entry *is* kept — the error reports the
+    /// overshoot rather than losing data); disk-tier errors when a spill
+    /// fails.
+    pub fn insert(&self, name: &str, m: DistMatrix) -> Result<Vec<String>> {
         let bytes = m.logical_bytes();
         let mut g = self.lock();
         g.tick += 1;
         let tick = g.tick;
         g.inserts += 1;
         let pins = if let Some(old) = g.entries.remove(name) {
-            g.bytes -= old.bytes;
+            g.bytes -= old.resident_bytes();
             g.replaced += 1;
             old.pins // replacement inherits the readers' pins
         } else {
@@ -166,7 +317,7 @@ impl SharedStore {
         g.entries.insert(
             name.to_string(),
             Entry {
-                matrix: m,
+                payload: Payload::Resident(m),
                 bytes,
                 pins,
                 last_used: tick,
@@ -176,31 +327,73 @@ impl SharedStore {
     }
 
     /// Fetch a clone of the entry (tiles are `Arc`-shared, so this is
-    /// cheap). Bumps the LRU clock.
+    /// cheap). Bumps the LRU clock. A spilled entry is reloaded from its
+    /// blob first; a blob that fails verification drops the entry and
+    /// returns `None` (the caller's lineage fallback handles the rest).
     pub fn get(&self, name: &str) -> Option<DistMatrix> {
         let mut g = self.lock();
         g.touch(name);
-        g.entries.get(name).map(|e| e.matrix.clone())
+        let (hash, plen) = match &g.entries.get(name)?.payload {
+            Payload::Resident(m) => return Some(m.clone()),
+            Payload::Spilled {
+                hash,
+                payload_bytes,
+                ..
+            } => (hash.clone(), *payload_bytes),
+        };
+        let disk = g.disk.clone()?;
+        match disk.get_blob(&hash).and_then(|p| disk::decode_dist(&p)) {
+            Ok(m) => {
+                g.loads += 1;
+                g.load_bytes += plen;
+                let e = g.entries.get_mut(name).expect("stub present");
+                e.payload = Payload::Resident(m.clone());
+                let bytes = e.bytes;
+                g.bytes += bytes;
+                // Reloading may displace colder entries. An over-commit
+                // here is counted by enforce_capacity; `get` still hands
+                // back the loaded matrix.
+                let _ = g.enforce_capacity();
+                Some(m)
+            }
+            Err(_) => {
+                g.load_failures += 1;
+                g.entries.remove(name);
+                None
+            }
+        }
     }
 
-    /// Is `name` resident?
+    /// Is `name` present (resident or spilled)?
     pub fn contains(&self, name: &str) -> bool {
         self.lock().entries.contains_key(name)
     }
 
-    /// Partition scheme of a resident entry.
-    pub fn scheme_of(&self, name: &str) -> Option<dmac_cluster::PartitionScheme> {
-        self.lock().entries.get(name).map(|e| e.matrix.scheme())
+    /// Is `name` currently spilled to disk?
+    pub fn is_spilled(&self, name: &str) -> bool {
+        matches!(
+            self.lock().entries.get(name).map(|e| &e.payload),
+            Some(Payload::Spilled { .. })
+        )
+    }
+
+    /// Partition scheme of an entry. Works for spilled entries without
+    /// touching disk — plan-cache keys depend on it.
+    pub fn scheme_of(&self, name: &str) -> Option<PartitionScheme> {
+        self.lock().entries.get(name).map(|e| match &e.payload {
+            Payload::Resident(m) => m.scheme(),
+            Payload::Spilled { scheme, .. } => *scheme,
+        })
     }
 
     /// Remove an entry, releasing its blocks eagerly. Returns whether it
     /// existed. Pinned entries are removable — pins protect against
-    /// *eviction*, not explicit drops by the owner.
+    /// *displacement*, not explicit drops by the owner.
     pub fn remove(&self, name: &str) -> bool {
         let mut g = self.lock();
         match g.entries.remove(name) {
             Some(e) => {
-                g.bytes -= e.bytes;
+                g.bytes -= e.resident_bytes();
                 g.dropped += 1;
                 true
             }
@@ -208,9 +401,9 @@ impl SharedStore {
         }
     }
 
-    /// Pin `names` against eviction (missing names are ignored — a program
-    /// may pin loads that only exist once an earlier queued program has
-    /// stored them).
+    /// Pin `names` against displacement (missing names are ignored — a
+    /// program may pin loads that only exist once an earlier queued
+    /// program has stored them).
     pub fn pin(&self, names: &[String]) {
         let mut g = self.lock();
         for n in names {
@@ -254,9 +447,156 @@ impl SharedStore {
         self.lock().claims.retain(|_, &mut t| t != token);
     }
 
+    /// Publish a snapshot of `names` at `phase`: every member's tiles
+    /// are made durable (content addressing skips unchanged matrices),
+    /// a manifest is written and `CURRENT` swapped to it, then garbage
+    /// from superseded snapshots is compacted away. Returns the new
+    /// snapshot's sequence number.
+    ///
+    /// # Errors
+    /// Requires a disk tier; fails on unknown names and propagates disk
+    /// and injected-crash errors (after which on-disk state is whatever
+    /// the interrupted boundary left — by construction either the old or
+    /// the new snapshot is still fully recoverable).
+    pub fn checkpoint(&self, names: &[String], phase: u64) -> Result<u64> {
+        let mut g = self.lock();
+        let Some(disk) = g.disk.clone() else {
+            return Err(CoreError::Disk(
+                "checkpoint requires a store with a disk tier".into(),
+            ));
+        };
+        let mut sorted: Vec<&String> = names.iter().collect();
+        sorted.sort();
+        sorted.dedup();
+        // Stage payloads first (immutable pass), then write (counter pass).
+        let mut staged: Vec<(String, Option<Vec<u8>>, ManifestEntry)> = Vec::new();
+        for name in sorted {
+            let e = g
+                .entries
+                .get(name)
+                .ok_or_else(|| CoreError::Unbound(name.clone()))?;
+            match &e.payload {
+                Payload::Resident(m) => {
+                    let payload = disk::encode_dist(m);
+                    let entry = ManifestEntry {
+                        name: name.clone(),
+                        hash: format!("{:016x}", disk::fnv1a_bytes(&payload)),
+                        bytes: payload.len() as u64,
+                        logical_bytes: e.bytes,
+                        scheme: m.scheme(),
+                    };
+                    staged.push((name.clone(), Some(payload), entry));
+                }
+                Payload::Spilled {
+                    hash,
+                    payload_bytes,
+                    scheme,
+                } => {
+                    let entry = ManifestEntry {
+                        name: name.clone(),
+                        hash: hash.clone(),
+                        bytes: *payload_bytes,
+                        logical_bytes: e.bytes,
+                        scheme: *scheme,
+                    };
+                    staged.push((name.clone(), None, entry));
+                }
+            }
+        }
+        let mut entries = Vec::with_capacity(staged.len());
+        for (_, payload, entry) in staged {
+            if let Some(payload) = payload {
+                if !disk.verify_blob(&entry.hash, entry.bytes) {
+                    disk.put_blob(&payload)?;
+                    g.spill_bytes += entry.bytes;
+                }
+            }
+            entries.push(entry);
+        }
+        let seq = disk.publish("checkpoint", phase, entries)?;
+        g.snapshots += 1;
+        g.last_snapshot = Some((seq, phase));
+        // Blobs of live spilled stubs must survive compaction even when
+        // they are not part of this snapshot.
+        let stubs: HashSet<String> = g
+            .entries
+            .values()
+            .filter_map(|e| match &e.payload {
+                Payload::Spilled { hash, .. } => Some(hash.clone()),
+                Payload::Resident(_) => None,
+            })
+            .collect();
+        disk.compact(&stubs, seq.saturating_sub(1))?;
+        Ok(seq)
+    }
+
+    /// Re-populate this store from the latest fully-valid snapshot on
+    /// the attached disk tier. Entries come back as cheap spilled stubs
+    /// (tiles load on first `get`). Returns the recovered names, sorted;
+    /// empty when no usable snapshot exists.
+    pub fn recover(&self) -> Result<Vec<String>> {
+        let mut g = self.lock();
+        let Some(disk) = g.disk.clone() else {
+            return Err(CoreError::Disk(
+                "recover requires a store with a disk tier".into(),
+            ));
+        };
+        let Some(manifest) = disk.load_latest()? else {
+            return Ok(Vec::new());
+        };
+        let mut names = Vec::new();
+        for e in &manifest.entries {
+            g.tick += 1;
+            let tick = g.tick;
+            if let Some(old) = g.entries.remove(&e.name) {
+                g.bytes -= old.resident_bytes();
+            }
+            g.entries.insert(
+                e.name.clone(),
+                Entry {
+                    payload: Payload::Spilled {
+                        hash: e.hash.clone(),
+                        payload_bytes: e.bytes,
+                        scheme: e.scheme,
+                    },
+                    bytes: e.logical_bytes,
+                    pins: 0,
+                    last_used: tick,
+                },
+            );
+            names.push(e.name.clone());
+        }
+        g.last_snapshot = Some((manifest.seq, manifest.phase));
+        names.sort();
+        Ok(names)
+    }
+
+    /// `(seq, phase)` of the latest snapshot published or recovered.
+    pub fn latest_snapshot(&self) -> Option<(u64, u64)> {
+        self.lock().last_snapshot
+    }
+
+    /// Cumulative RAM↔disk traffic counters, as the trace's spill
+    /// channel type (sessions diff two snapshots to attribute a run's
+    /// share — see [`crate::trace::SpillTraffic::since`]).
+    pub fn spill_traffic(&self) -> SpillTraffic {
+        let g = self.lock();
+        SpillTraffic {
+            spills: g.spills,
+            spill_bytes: g.spill_bytes,
+            loads: g.loads,
+            load_bytes: g.load_bytes,
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> StoreStats {
         let g = self.lock();
+        let (spilled, spilled_bytes) = g
+            .entries
+            .values()
+            .filter(|e| matches!(e.payload, Payload::Spilled { .. }))
+            .fold((0usize, 0u64), |(n, b), e| (n + 1, b + e.bytes));
         StoreStats {
             entries: g.entries.len(),
             bytes: g.bytes,
@@ -266,10 +606,20 @@ impl SharedStore {
             evictions: g.evictions,
             dropped: g.dropped,
             conflicts: g.conflicts,
+            spilled,
+            spilled_bytes,
+            spills: g.spills,
+            spill_bytes: g.spill_bytes,
+            loads: g.loads,
+            load_bytes: g.load_bytes,
+            load_failures: g.load_failures,
+            over_commits: g.over_commits,
+            snapshots: g.snapshots,
         }
     }
 
-    /// Resident entry names, sorted (deterministic listings).
+    /// Present entry names (resident and spilled), sorted (deterministic
+    /// listings).
     pub fn names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.lock().entries.keys().cloned().collect();
         v.sort();
@@ -280,8 +630,19 @@ impl SharedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmac_cluster::PartitionScheme;
+    use dmac_cluster::{CrashPoint, PartitionScheme};
     use dmac_matrix::BlockedMatrix;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("dmac-store-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     fn dist(rows: usize, cols: usize) -> DistMatrix {
         let m = BlockedMatrix::from_fn(rows, cols, 4, |i, j| (i + j) as f64).unwrap();
@@ -292,7 +653,7 @@ mod tests {
     fn insert_get_remove_roundtrip() {
         let s = SharedStore::new();
         assert!(s.get("A").is_none());
-        s.insert("A", dist(8, 8));
+        s.insert("A", dist(8, 8)).unwrap();
         assert!(s.contains("A"));
         assert_eq!(s.scheme_of("A"), Some(PartitionScheme::Row));
         assert_eq!(s.get("A").unwrap().rows(), 8);
@@ -305,9 +666,9 @@ mod tests {
     #[test]
     fn replacement_releases_old_bytes_eagerly() {
         let s = SharedStore::new();
-        s.insert("A", dist(16, 16));
+        s.insert("A", dist(16, 16)).unwrap();
         let big = s.stats().bytes;
-        s.insert("A", dist(8, 8));
+        s.insert("A", dist(8, 8)).unwrap();
         let small = s.stats().bytes;
         assert!(small < big, "{small} vs {big}");
         assert_eq!(s.stats().entries, 1);
@@ -318,11 +679,11 @@ mod tests {
     fn lru_eviction_is_bytes_bounded_and_deterministic() {
         let one = dist(8, 8).logical_bytes();
         let s = SharedStore::with_capacity(2 * one);
-        s.insert("A", dist(8, 8));
-        s.insert("B", dist(8, 8));
+        s.insert("A", dist(8, 8)).unwrap();
+        s.insert("B", dist(8, 8)).unwrap();
         // Touch A so B is the LRU victim.
         let _ = s.get("A");
-        let evicted = s.insert("C", dist(8, 8));
+        let evicted = s.insert("C", dist(8, 8)).unwrap();
         assert_eq!(evicted, vec!["B".to_string()]);
         assert!(s.contains("A") && s.contains("C"));
         assert_eq!(s.stats().evictions, 1);
@@ -332,15 +693,37 @@ mod tests {
     fn pinned_entries_survive_eviction_pressure() {
         let one = dist(8, 8).logical_bytes();
         let s = SharedStore::with_capacity(one);
-        s.insert("A", dist(8, 8));
+        s.insert("A", dist(8, 8)).unwrap();
         s.pin(&["A".to_string()]);
-        let evicted = s.insert("B", dist(8, 8));
+        let evicted = s.insert("B", dist(8, 8)).unwrap();
         // A is pinned; B itself is the only unpinned candidate.
         assert!(!evicted.contains(&"A".to_string()));
         assert!(s.contains("A"));
         s.unpin(&["A".to_string()]);
-        let evicted = s.insert("C", dist(8, 8));
+        let evicted = s.insert("C", dist(8, 8)).unwrap();
         assert!(evicted.contains(&"A".to_string()), "{evicted:?}");
+    }
+
+    #[test]
+    fn over_commit_is_a_typed_error_not_a_silent_overshoot() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity(one);
+        s.insert("A", dist(8, 8)).unwrap();
+        s.pin(&["A".to_string()]);
+        // Replacing A with a larger matrix inherits the pin; nothing is
+        // displaceable, so the overshoot must surface as a typed error.
+        let err = s.insert("A", dist(16, 16)).unwrap_err();
+        let CoreError::StoreOverCommit { resident, capacity } = err else {
+            panic!("expected StoreOverCommit, got {err}");
+        };
+        assert!(resident > capacity);
+        assert_eq!(s.stats().over_commits, 1);
+        // The entry was kept — the error reports, it does not destroy.
+        assert_eq!(s.get("A").unwrap().rows(), 16);
+        // Unpinning clears the condition on the next insert.
+        s.unpin(&["A".to_string()]);
+        let displaced = s.insert("B", dist(8, 8)).unwrap();
+        assert_eq!(displaced, vec!["A".to_string()]);
     }
 
     #[test]
@@ -361,9 +744,119 @@ mod tests {
     fn shared_clones_see_the_same_entries() {
         let a = SharedStore::new();
         let b = a.clone();
-        a.insert("X", dist(8, 8));
+        a.insert("X", dist(8, 8)).unwrap();
         assert!(b.contains("X"));
         b.remove("X");
         assert!(!a.contains("X"));
+    }
+
+    #[test]
+    fn spill_instead_of_evict_and_transparent_reload() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity_and_disk(2 * one, temp_dir("spill")).unwrap();
+        s.insert("A", dist(8, 8)).unwrap();
+        s.insert("B", dist(8, 8)).unwrap();
+        let _ = s.get("A");
+        let displaced = s.insert("C", dist(8, 8)).unwrap();
+        assert_eq!(displaced, vec!["B".to_string()]);
+        // Spilled, not dropped: still present, scheme still known.
+        assert!(s.contains("B"));
+        assert!(s.is_spilled("B"));
+        assert_eq!(s.scheme_of("B"), Some(PartitionScheme::Row));
+        let st = s.stats();
+        assert_eq!((st.spills, st.evictions, st.spilled), (1, 0, 1));
+        assert!(st.spill_bytes > 0);
+        // Reload is transparent and bit-exact.
+        let healthy = dist(8, 8).to_blocked().unwrap().to_dense();
+        let b = s.get("B").unwrap();
+        assert_eq!(b.to_blocked().unwrap().to_dense(), healthy);
+        assert!(!s.is_spilled("B"));
+        let st = s.stats();
+        assert_eq!(st.loads, 1);
+        assert!(st.load_bytes > 0);
+        // Loading B displaced the coldest resident entry to stay in budget.
+        assert!(s.stats().bytes <= 2 * one);
+    }
+
+    #[test]
+    fn corrupt_spill_blob_degrades_to_absent() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity_and_disk(one, temp_dir("corrupt")).unwrap();
+        s.insert("A", dist(8, 8)).unwrap();
+        s.insert("B", dist(8, 8)).unwrap(); // spills A
+        assert!(s.is_spilled("A"));
+        // Corrupt every blob on disk.
+        let disk = s.disk().unwrap();
+        for entry in std::fs::read_dir(disk.root().join("blocks")).unwrap() {
+            let p = entry.unwrap().path();
+            let bytes = std::fs::read(&p).unwrap();
+            std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        // get() detects the damage, drops the entry, reports absence —
+        // exactly what lineage-replay fallback expects.
+        assert!(s.get("A").is_none());
+        assert!(!s.contains("A"));
+        assert_eq!(s.stats().load_failures, 1);
+    }
+
+    #[test]
+    fn checkpoint_recover_roundtrip_is_bit_exact() {
+        let dir = temp_dir("ckpt");
+        let s = SharedStore::with_disk(&dir).unwrap();
+        s.insert("W", dist(16, 8)).unwrap();
+        s.insert("H", dist(8, 12)).unwrap();
+        let names = vec!["W".to_string(), "H".to_string()];
+        let seq = s.checkpoint(&names, 3).unwrap();
+        assert_eq!(s.latest_snapshot(), Some((seq, 3)));
+        assert_eq!(s.stats().snapshots, 1);
+
+        // A fresh store over the same directory recovers both names.
+        let r = SharedStore::with_disk(&dir).unwrap();
+        let recovered = r.recover().unwrap();
+        assert_eq!(recovered, vec!["H".to_string(), "W".to_string()]);
+        assert_eq!(r.latest_snapshot(), Some((seq, 3)));
+        assert!(r.is_spilled("W") && r.is_spilled("H"));
+        assert_eq!(r.scheme_of("W"), Some(PartitionScheme::Row));
+        let w0 = s.get("W").unwrap().to_blocked().unwrap().to_dense();
+        let w1 = r.get("W").unwrap().to_blocked().unwrap().to_dense();
+        assert_eq!(w0, w1, "recovered W must be bit-for-bit identical");
+    }
+
+    #[test]
+    fn recheckpointing_unchanged_matrices_writes_nothing() {
+        let dir = temp_dir("dedup");
+        let s = SharedStore::with_disk(&dir).unwrap();
+        s.insert("W", dist(16, 8)).unwrap();
+        let names = vec!["W".to_string()];
+        s.checkpoint(&names, 1).unwrap();
+        let written = s.stats().spill_bytes;
+        assert!(written > 0);
+        s.checkpoint(&names, 2).unwrap();
+        assert_eq!(
+            s.stats().spill_bytes,
+            written,
+            "content addressing skips unchanged blobs"
+        );
+    }
+
+    #[test]
+    fn crash_during_checkpoint_preserves_previous_snapshot() {
+        let dir = temp_dir("crash");
+        let s = SharedStore::with_disk(&dir).unwrap();
+        s.insert("W", dist(16, 8)).unwrap();
+        let names = vec!["W".to_string()];
+        let seq1 = s.checkpoint(&names, 1).unwrap();
+        // Arm a crash between blob write and manifest publish, change W,
+        // and try to checkpoint again.
+        s.insert("W", dist(16, 16)).unwrap();
+        s.arm_crashes(&FaultPlan::crash(CrashPoint::BeforeManifestPublish, 0));
+        let err = s.checkpoint(&names, 2).unwrap_err();
+        assert!(matches!(err, CoreError::InjectedCrash(_)));
+        // A restarted store sees the *old* snapshot, fully intact.
+        let r = SharedStore::with_disk(&dir).unwrap();
+        assert_eq!(r.recover().unwrap(), vec!["W".to_string()]);
+        assert_eq!(r.latest_snapshot(), Some((seq1, 1)));
+        assert_eq!(r.get("W").unwrap().rows(), 16);
+        assert_eq!(r.get("W").unwrap().cols(), 8, "pre-crash W");
     }
 }

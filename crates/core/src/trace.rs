@@ -117,6 +117,41 @@ impl Conformance {
     }
 }
 
+/// The trace's third byte channel: traffic between the store's RAM tier
+/// and its disk tier attributed to one run (checkpoint writes, spills
+/// under memory pressure, and reloads of spilled inputs). Metered at the
+/// run level rather than per step because spills happen while the session
+/// resolves inputs and absorbs outputs, not inside the engine's stages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillTraffic {
+    /// Resident→disk displacement events.
+    pub spills: u64,
+    /// Blob bytes physically written (content addressing makes rewrites
+    /// of unchanged matrices free).
+    pub spill_bytes: u64,
+    /// Disk→resident reload events.
+    pub loads: u64,
+    /// Blob bytes read back.
+    pub load_bytes: u64,
+}
+
+impl SpillTraffic {
+    /// Bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.spill_bytes + self.load_bytes
+    }
+
+    /// Difference of two cumulative counter snapshots (`self - earlier`).
+    pub fn since(&self, earlier: &SpillTraffic) -> SpillTraffic {
+        SpillTraffic {
+            spills: self.spills - earlier.spills,
+            spill_bytes: self.spill_bytes - earlier.spill_bytes,
+            loads: self.loads - earlier.loads,
+            load_bytes: self.load_bytes - earlier.load_bytes,
+        }
+    }
+}
+
 /// Per-stage aggregate used by the golden snapshot tests.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageSummary {
@@ -144,6 +179,10 @@ pub struct Trace {
     pub steps: Vec<StepTrace>,
     /// Cumulative result-buffer-pool counters at the end of the run.
     pub pool: PoolStats,
+    /// Store↔disk traffic attributed to this run (the third channel,
+    /// next to steady-state and recovery bytes). All zero without a
+    /// disk-backed store.
+    pub spill: SpillTraffic,
 }
 
 impl Trace {
@@ -268,6 +307,11 @@ impl Trace {
                 st.kinds.join(",")
             );
         }
+        let _ = writeln!(
+            s,
+            "spill: spills={} spill_bytes={} loads={} load_bytes={}",
+            self.spill.spills, self.spill.spill_bytes, self.spill.loads, self.spill.load_bytes
+        );
         s
     }
 
@@ -300,11 +344,13 @@ impl Trace {
         }
         let _ = writeln!(
             s,
-            "total predicted={} actual={} wire={} recovery_wire={}",
+            "total predicted={} actual={} wire={} recovery_wire={} spill={} load={}",
             self.predicted_total(),
             self.actual_total(),
             self.wire_total(),
-            self.recovery_wire_total()
+            self.recovery_wire_total(),
+            self.spill.spill_bytes,
+            self.spill.load_bytes
         );
         s
     }
@@ -381,13 +427,18 @@ impl Trace {
         let _ = write!(
             s,
             "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"workers\":{},\"stages\":{},\
-             \"pool_reused\":{},\"pool_allocated\":{},\"pool_returned\":{},\"pool_dropped\":{}}}}}",
+             \"pool_reused\":{},\"pool_allocated\":{},\"pool_returned\":{},\"pool_dropped\":{},\
+             \"spills\":{},\"spill_bytes\":{},\"loads\":{},\"load_bytes\":{}}}}}",
             self.workers,
             self.stage_count,
             self.pool.reused,
             self.pool.allocated,
             self.pool.returned,
-            self.pool.dropped
+            self.pool.dropped,
+            self.spill.spills,
+            self.spill.spill_bytes,
+            self.spill.loads,
+            self.spill.load_bytes
         );
         s
     }
@@ -420,6 +471,7 @@ mod tests {
                 step(1, "broadcast", 400, 400, 300),
             ],
             pool: PoolStats::default(),
+            spill: SpillTraffic::default(),
         }
     }
 
@@ -464,6 +516,34 @@ mod tests {
         assert!(s.starts_with("workers=4 stages=2 steps=3\n"), "{s}");
         assert!(s.contains("stage  0: pred=100 actual=100 wire=75 [partition,RMM1]"));
         assert!(s.contains("stage  1: pred=400 actual=400 wire=300 [broadcast]"));
+        assert!(
+            s.ends_with("spill: spills=0 spill_bytes=0 loads=0 load_bytes=0\n"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn spill_channel_is_summarised_and_diffable() {
+        let mut t = sample();
+        t.spill = SpillTraffic {
+            spills: 2,
+            spill_bytes: 1000,
+            loads: 1,
+            load_bytes: 400,
+        };
+        assert!(t
+            .golden_summary()
+            .contains("spill: spills=2 spill_bytes=1000 loads=1 load_bytes=400"));
+        assert!(t.to_chrome_json().contains("\"spill_bytes\":1000"));
+        let earlier = SpillTraffic {
+            spills: 1,
+            spill_bytes: 600,
+            loads: 0,
+            load_bytes: 0,
+        };
+        let delta = t.spill.since(&earlier);
+        assert_eq!(delta.spills, 1);
+        assert_eq!(delta.total_bytes(), 800);
     }
 
     #[test]

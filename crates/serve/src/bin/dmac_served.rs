@@ -4,7 +4,7 @@
 //! dmac-served [--addr HOST:PORT] [--port-file PATH] [--pool N]
 //!             [--queue N] [--workers N] [--local-threads N]
 //!             [--block N] [--seed N] [--store-cap BYTES]
-//!             [--plan-cache N]
+//!             [--plan-cache N] [--data-dir PATH]
 //! ```
 //!
 //! Binds (port 0 picks a free port), optionally writes the actual
@@ -17,7 +17,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dmac-served [--addr HOST:PORT] [--port-file PATH] [--pool N] [--queue N]\n\
          \x20                 [--workers N] [--local-threads N] [--block N] [--seed N]\n\
-         \x20                 [--store-cap BYTES] [--plan-cache N]"
+         \x20                 [--store-cap BYTES] [--plan-cache N] [--data-dir PATH]"
     );
     std::process::exit(2)
 }
@@ -49,6 +49,7 @@ fn main() {
             "--seed" => cfg.seed = take_num(&args, &mut i),
             "--store-cap" => cfg.store_capacity = Some(take_num(&args, &mut i)),
             "--plan-cache" => cfg.plan_cache_cap = take_num(&args, &mut i),
+            "--data-dir" => cfg.data_dir = Some(take(&args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -81,6 +81,12 @@ pub struct ServerConfig {
     pub store_capacity: Option<u64>,
     /// Plan cache entry bound.
     pub plan_cache_cap: usize,
+    /// Durable data directory (`None` = in-memory only). With a
+    /// directory, the store spills under capacity pressure instead of
+    /// dropping, every completed `store` is checkpointed, submitted
+    /// scripts are persisted, and a restarted server recovers its named
+    /// matrices and re-warms its plan cache from disk.
+    pub data_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +101,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             store_capacity: None,
             plan_cache_cap: 128,
+            data_dir: None,
         }
     }
 }
@@ -104,6 +111,9 @@ struct Job {
     id: u64,
     session: String,
     program: Program,
+    /// Original script text, persisted to the disk tier on plan-cache
+    /// misses so a restarted server can re-warm the cache.
+    script: String,
     /// Ordering footprint: load + store names, plus a session marker so
     /// same-session jobs never reorder.
     names: BTreeSet<String>,
@@ -133,10 +143,27 @@ struct Counters {
     rejected_shutdown: u64,
 }
 
+/// Startup-recovery facts and runtime durability counters, reported by
+/// the `stats` request.
+#[derive(Debug, Default)]
+struct DurabilityInfo {
+    /// Store entries recovered from the latest valid snapshot.
+    recovered: usize,
+    /// Plans re-prepared from persisted scripts at startup.
+    plans_warmed: usize,
+    /// Snapshots published for completed `store` jobs (also the phase
+    /// counter those snapshots are tagged with).
+    checkpoints: AtomicU64,
+    /// Checkpoint or script-persist failures (the job itself still
+    /// succeeds — durability degrades, results don't).
+    persist_errors: AtomicU64,
+}
+
 struct State {
     cfg: ServerConfig,
     store: SharedStore,
     cache: PlanCache,
+    durability: DurabilityInfo,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     queue: Mutex<Queue>,
     queue_cv: Condvar,
@@ -196,13 +223,44 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let store = match cfg.store_capacity {
-            Some(b) => SharedStore::with_capacity(b),
-            None => SharedStore::new(),
+        let durable = |e: CoreError| std::io::Error::other(e.to_string());
+        let store = match (&cfg.data_dir, cfg.store_capacity) {
+            (Some(dir), Some(b)) => SharedStore::with_capacity_and_disk(b, dir).map_err(durable)?,
+            (Some(dir), None) => SharedStore::with_disk(dir).map_err(durable)?,
+            (None, Some(b)) => SharedStore::with_capacity(b),
+            (None, None) => SharedStore::new(),
         };
+        // Restart recovery: named tenant matrices come back as spilled
+        // stubs from the latest valid snapshot (torn or corrupt files
+        // fall back to an older snapshot, or to an empty store); the
+        // plan cache is re-warmed from the persisted scripts against
+        // the recovered placements.
+        let mut durability = DurabilityInfo::default();
+        let cache = PlanCache::new(cfg.plan_cache_cap);
+        if let Some(disk) = store.disk() {
+            durability.recovered = store.recover().map_err(durable)?.len();
+            let warm = Session::builder()
+                .workers(cfg.workers)
+                .local_threads(cfg.local_threads)
+                .block_size(cfg.block_size)
+                .seed(cfg.seed)
+                .store(store.clone())
+                .build();
+            for script in disk.list_plans() {
+                let Ok(parsed) = dmac_lang::parse_script(&script) else {
+                    continue;
+                };
+                let key = cache_key(&parsed.program, &store);
+                if let Ok(p) = warm.prepare(&parsed.program) {
+                    cache.insert(key, Arc::new(p));
+                    durability.plans_warmed += 1;
+                }
+            }
+        }
         let state = Arc::new(State {
-            cache: PlanCache::new(cfg.plan_cache_cap),
+            cache,
             store,
+            durability,
             sessions: Mutex::new(HashMap::new()),
             queue: Mutex::new(Queue::default()),
             queue_cv: Condvar::new(),
@@ -304,6 +362,9 @@ fn accept_loop(listener: TcpListener, state: Arc<State>) {
     for h in workers {
         let _ = h.join();
     }
+    // Parting snapshot: the drained store's final state is what a
+    // restarted server recovers.
+    checkpoint_store(&state);
     // Unblock connection readers and join them.
     for (stream, _) in &conns {
         let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -438,6 +499,7 @@ fn execute_job(state: &State, job: &Job) {
             Ok(p) => {
                 let p = Arc::new(p);
                 state.cache.insert(key.clone(), Arc::clone(&p));
+                persist_script(state, fp, &job.script);
                 (p, false)
             }
             Err(e) => {
@@ -461,6 +523,7 @@ fn execute_job(state: &State, job: &Job) {
                 Ok(p) => {
                     let p = Arc::new(p);
                     state.cache.insert(key, Arc::clone(&p));
+                    persist_script(state, fp, &job.script);
                     match sess.run_prepared(&p) {
                         Ok(r) => r,
                         Err(e) => {
@@ -492,6 +555,9 @@ fn execute_job(state: &State, job: &Job) {
     *state.last_conformance.lock().unwrap() = Some(conf);
 
     state.store.release_writes(job.id);
+    if !job.store_names.is_empty() {
+        checkpoint_store(state);
+    }
     state.counters.lock().unwrap().completed += 1;
     state.push_recent(recent_entry(job.id, &job.session, fp, plan_cached, "ok"));
     send(
@@ -505,6 +571,40 @@ fn execute_job(state: &State, job: &Job) {
             &report_json,
         ),
     );
+}
+
+/// Persist a submitted script alongside its plan-cache insert so a
+/// restarted server can re-warm the cache. Failure degrades durability,
+/// never the job.
+fn persist_script(state: &State, fp: u64, script: &str) {
+    if let Some(disk) = state.store.disk() {
+        if disk.put_plan(fp, script).is_err() {
+            state
+                .durability
+                .persist_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Publish a durable snapshot of every named store entry (content
+/// addressing makes unchanged entries free). Called after each job that
+/// stored matrices, and once more at drain.
+fn checkpoint_store(state: &State) {
+    if state.store.disk().is_none() {
+        return;
+    }
+    let names = state.store.names();
+    if names.is_empty() {
+        return;
+    }
+    let phase = state.durability.checkpoints.fetch_add(1, Ordering::SeqCst) + 1;
+    if state.store.checkpoint(&names, phase).is_err() {
+        state
+            .durability
+            .persist_errors
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn finish_err(state: &State, job: &Job, fp: u64, e: &CoreError) {
@@ -658,6 +758,7 @@ fn handle_submit(
         id,
         session,
         program: parsed.program,
+        script: script.to_string(),
         names,
         store_names,
         deadline,
@@ -744,7 +845,16 @@ fn stats_json(state: &State) -> String {
             .u64("replaced", store.replaced)
             .u64("evictions", store.evictions)
             .u64("dropped", store.dropped)
-            .u64("conflicts", store.conflicts);
+            .u64("conflicts", store.conflicts)
+            .u64("spilled", store.spilled as u64)
+            .u64("spilled_bytes", store.spilled_bytes)
+            .u64("spills", store.spills)
+            .u64("spill_bytes", store.spill_bytes)
+            .u64("loads", store.loads)
+            .u64("load_bytes", store.load_bytes)
+            .u64("load_failures", store.load_failures)
+            .u64("over_commits", store.over_commits)
+            .u64("snapshots", store.snapshots);
         o = match store.capacity {
             Some(cap) => o.u64("capacity", cap),
             None => o.raw("capacity", "null"),
@@ -754,6 +864,29 @@ fn stats_json(state: &State) -> String {
             names = names.str(&n);
         }
         o.raw("names", &names.build()).build()
+    };
+    let durability = match &state.cfg.data_dir {
+        Some(dir) => {
+            let mut o = JsonObj::new()
+                .bool("enabled", true)
+                .str("data_dir", dir)
+                .u64("recovered", state.durability.recovered as u64)
+                .u64("plans_warmed", state.durability.plans_warmed as u64)
+                .u64(
+                    "checkpoints",
+                    state.durability.checkpoints.load(Ordering::Relaxed),
+                )
+                .u64(
+                    "persist_errors",
+                    state.durability.persist_errors.load(Ordering::Relaxed),
+                );
+            o = match state.store.latest_snapshot() {
+                Some((seq, phase)) => o.u64("snapshot_seq", seq).u64("snapshot_phase", phase),
+                None => o.raw("snapshot_seq", "null").raw("snapshot_phase", "null"),
+            };
+            o.build()
+        }
+        None => JsonObj::new().bool("enabled", false).build(),
     };
 
     JsonObj::new()
@@ -768,6 +901,7 @@ fn stats_json(state: &State) -> String {
         .raw("counters", &counters)
         .raw("plan_cache", &plan_cache)
         .raw("store", &store_obj)
+        .raw("durability", &durability)
         .raw("recent", &recent)
         .raw("last_report", &last_report)
         .raw("last_conformance", &last_conf)

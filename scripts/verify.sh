@@ -41,9 +41,23 @@ echo "==> trace conformance (dense PageRank: actual bytes must not exceed predic
 cargo run --release -q -p dmac-bench --bin trace > /dev/null
 
 echo "==> fusion benchmark (GNMF + PageRank fused vs unfused, writes BENCH_fusion.json)"
-# Exits non-zero if a fused run is not bit-identical to the unfused run or
-# if fusion stops cutting GNMF's cell-wise block materializations by >=30%.
+# Exits non-zero if any run is not bit-identical to the unfused run, if
+# fusion stops cutting GNMF's cell-wise block materializations by >=30%,
+# or if the fusion_min_blocks threshold fails to skip the tiny workload.
 cargo run --release -q -p dmac-bench --bin fusion > /dev/null
+
+echo "==> durability crash matrix (checkpoint/recover at every injected crash point)"
+# Deterministic crashes at all 8 snapshot/compaction/recovery boundaries
+# for GNMF and PageRank; recovered runs must be bit-for-bit identical.
+# Corrupt/torn blobs must degrade to an older snapshot or lineage replay,
+# and dmac-served must recover tenants + plan cache across restarts.
+cargo test -q --test durability_recovery --test serve_restart
+
+echo "==> spill benchmark (halved RAM budget + snapshot resume, writes BENCH_spill.json)"
+# Exits non-zero if the squeezed run fails to spill/reload (or drops
+# entries), if snapshot resume is not cheaper than full lineage replay,
+# or if either path changes a single output bit.
+cargo run --release -q -p dmac-bench --bin spill > /dev/null
 
 echo "==> dmac-serve smoke (server + 8 concurrent dmac-cli clients)"
 # Starts dmac-served on a free port, then dmac-cli smoke runs 8 client

@@ -113,6 +113,10 @@ fn run_with(
         .seed(7)
         .planner(PlannerConfig {
             fuse_cellwise: fuse,
+            // The corpus is deliberately tiny; disable the block-count
+            // threshold so fusion actually fires (its wall-time rationale
+            // is irrelevant to bit-identity).
+            fusion_min_blocks: 1,
             ..PlannerConfig::default()
         })
         .build();
@@ -184,6 +188,10 @@ fn gnmf_chain_fuses_and_matches() {
         .workers(3)
         .block_size(block)
         .seed(7)
+        .planner(PlannerConfig {
+            fusion_min_blocks: 1,
+            ..PlannerConfig::default()
+        })
         .build();
     for (name, m) in &bindings {
         s.bind(name, m.clone()).unwrap();
@@ -203,4 +211,52 @@ fn gnmf_chain_fuses_and_matches() {
         !kinds.contains(&"Cell(r)") && !kinds.contains(&"Cell(c)"),
         "cell-wise steps should be fused away, got {kinds:?}"
     );
+}
+
+/// With the default planner, chains whose output spans fewer blocks
+/// than `fusion_min_blocks` are left unfused (fusing them costs more in
+/// per-step overhead than the skipped materialisations save) — and the
+/// result is still the same bits.
+#[test]
+fn default_threshold_skips_tiny_chains() {
+    let mut rng = SplitMix64::new(SEED ^ 0x7EA1);
+    let n = 12;
+    let block = 4; // 3×3 = 9 blocks, far under the default threshold
+    let mut p = Program::new();
+    let w = p.load("W", n, n, 1.0);
+    let num = p.load("NUM", n, n, 1.0);
+    let den = p.load("DEN", n, n, 1.0);
+    let prod = p.cell_mul(w, num).unwrap();
+    let upd = p.cell_div(prod, den).unwrap();
+    p.output(upd);
+    let bindings: Vec<(String, BlockedMatrix)> = ["W", "NUM", "DEN"]
+        .iter()
+        .map(|name| (name.to_string(), binding(&mut rng, n, block)))
+        .collect();
+
+    assert!(PlannerConfig::default().fuse_cellwise);
+    let mut s = Session::builder()
+        .workers(3)
+        .block_size(block)
+        .seed(7)
+        .build();
+    for (name, m) in &bindings {
+        s.bind(name, m.clone()).unwrap();
+    }
+    let report = s.run(&p).unwrap();
+    let kinds: Vec<&str> = report
+        .trace
+        .steps
+        .iter()
+        .map(|st| st.kind.as_str())
+        .collect();
+    assert!(
+        !kinds.iter().any(|k| k.starts_with("Fused")),
+        "tiny chain must not fuse under the default threshold: {kinds:?}"
+    );
+    let with_threshold = s.value(upd).unwrap().to_dense();
+
+    // Forcing fusion on the same chain yields the same bits.
+    let (fused, ..) = run_with(true, &p, &[upd], &bindings, block);
+    assert_eq!(fused[0], with_threshold);
 }
