@@ -1,0 +1,138 @@
+//! Real-cluster smoke gate: GNMF and PageRank on **4 real
+//! `dmac-workerd` processes** over local TCP sockets, checked against
+//! the in-process simulator oracle.
+//!
+//! This is the verify.sh gate for the physical transport backend. It
+//! exits non-zero if:
+//!
+//! * worker processes fail to launch or die mid-run,
+//! * any result differs by a single bit from the simulator run,
+//! * any step ships a payload byte count over the sockets that differs
+//!   from the simulator's metered wire bytes,
+//! * shutdown is not clean (a worker had to be killed), or
+//! * any child process is left behind after shutdown (leak check via
+//!   `/proc/self/task/*/children`).
+
+use dmac_apps::{Gnmf, PageRank};
+use dmac_bench::{fmt_bytes, header};
+use dmac_cluster::SocketOptions;
+use dmac_core::engine::ExecReport;
+use dmac_core::Session;
+use dmac_matrix::BlockedMatrix;
+
+const WORKERS: usize = 4;
+const BLOCK: usize = 16;
+
+fn session(socket: bool) -> Session {
+    let b = Session::builder()
+        .workers(WORKERS)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .seed(11);
+    if socket {
+        b.socket_transport(SocketOptions::default())
+            .try_build()
+            .expect("4 dmac-workerd processes must launch")
+    } else {
+        b.build()
+    }
+}
+
+fn bits(m: BlockedMatrix) -> Vec<u64> {
+    m.to_dense().data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Every step's socket payload must equal the simulator's metered wire
+/// bytes; returns the total for the report line.
+fn check_steps(name: &str, report: &ExecReport) -> u64 {
+    let mut total = 0;
+    for st in &report.trace.steps {
+        assert_eq!(
+            st.transport_bytes, st.wire_bytes,
+            "{name} step {} ({}): socket shipped {}, simulator metered {}",
+            st.step, st.kind, st.transport_bytes, st.wire_bytes
+        );
+        total += st.transport_bytes;
+    }
+    total
+}
+
+/// Run one app on both backends; returns (socket report, bytes shipped).
+fn check_app(
+    name: &str,
+    run: impl Fn(&mut Session) -> (ExecReport, Vec<u64>),
+) -> (ExecReport, u64) {
+    let mut sim = session(false);
+    let (_, want) = run(&mut sim);
+
+    let mut sock = session(true);
+    assert!(sock.transport_is_physical());
+    let (report, got) = run(&mut sock);
+    assert_eq!(got, want, "{name}: socket result diverged from simulator");
+    let shipped = check_steps(name, &report);
+    sock.shutdown_transport()
+        .unwrap_or_else(|e| panic!("{name}: workers leaked past shutdown: {e}"));
+    (report, shipped)
+}
+
+/// Any process still parented to us after shutdown is a leaked worker.
+fn assert_no_child_processes() {
+    let mut children = Vec::new();
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for t in tasks.flatten() {
+            let path = t.path().join("children");
+            if let Ok(list) = std::fs::read_to_string(path) {
+                children.extend(list.split_whitespace().map(String::from));
+            }
+        }
+    }
+    if !children.is_empty() {
+        eprintln!("leaked child processes after shutdown: {children:?}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    header("Real-cluster smoke — 4 dmac-workerd processes, byte-exact vs simulator");
+
+    let gnmf = Gnmf {
+        rows: 96,
+        cols: 64,
+        sparsity: 0.1,
+        rank: 8,
+        iterations: 3,
+    };
+    let v = dmac_data::uniform_sparse(gnmf.rows, gnmf.cols, gnmf.sparsity, BLOCK, 5);
+    let (report, shipped) = check_app("gnmf", |s| {
+        let (report, h) = gnmf.run(s, v.clone()).expect("gnmf run");
+        let out = bits(s.value(h.w).unwrap());
+        (report, out)
+    });
+    println!(
+        "gnmf     {} steps, {} over real sockets, bit-exact",
+        report.trace.steps.len(),
+        fmt_bytes(shipped)
+    );
+
+    let nodes = 96;
+    let g = dmac_data::powerlaw_graph(nodes, 900, BLOCK, 5);
+    let pagerank = PageRank {
+        nodes,
+        link_sparsity: 900.0 / (nodes as f64 * nodes as f64),
+        damping: 0.85,
+        iterations: 4,
+    };
+    let (report, shipped) = check_app("pagerank", |s| {
+        let (report, h) = pagerank.run(s, &g).expect("pagerank run");
+        let out = bits(s.value(h.rank).unwrap());
+        (report, out)
+    });
+    println!(
+        "pagerank {} steps, {} over real sockets, bit-exact",
+        report.trace.steps.len(),
+        fmt_bytes(shipped)
+    );
+
+    assert_no_child_processes();
+    println!("cluster smoke: OK (clean shutdown, no leaked workers)");
+}

@@ -39,8 +39,12 @@ use crate::comm::{CommKind, CommStats, NetworkModel, SimClock};
 use crate::dist::{DistMatrix, GridMeta};
 use crate::error::{ClusterError, Result};
 use crate::fault::{FaultEvent, FaultInjector, FaultPlan};
+use crate::kernels;
 use crate::partition::PartitionScheme;
 use crate::trace::{OpSpan, TraceBuffer};
+use crate::transport::{
+    MoveItem, PartialDesc, SimTransport, TileTransform, Transport, TransportStats, UnaryTileOp,
+};
 
 /// Static configuration of a simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +95,11 @@ pub struct Cluster {
     faults: FaultInjector,
     pool: ResultBufferPool,
     tracer: TraceBuffer,
+    /// Physical execution backend mirroring every primitive (see
+    /// [`crate::transport`]). The engine always consumes the in-process
+    /// oracle's values; the transport's state is shadow state proven
+    /// byte-equal after each op.
+    transport: Box<dyn Transport>,
 }
 
 /// Snapshot taken when a primitive starts, closed into an [`OpSpan`].
@@ -113,6 +122,7 @@ impl Cluster {
             faults: FaultInjector::disabled(),
             pool: ResultBufferPool::new(2 * config.local_threads),
             tracer: TraceBuffer::new(),
+            transport: Box::new(SimTransport::new()),
         }
     }
 
@@ -121,6 +131,51 @@ impl Cluster {
         let mut cl = Cluster::new(config);
         cl.set_fault_plan(plan);
         cl
+    }
+
+    /// Build a cluster over an explicit transport backend (e.g. a real
+    /// multi-process [`crate::transport::socket::SocketTransport`]).
+    pub fn with_transport(config: ClusterConfig, transport: Box<dyn Transport>) -> Cluster {
+        let mut cl = Cluster::new(config);
+        cl.transport = transport;
+        let assignment = cl.assignment.clone();
+        cl.transport.set_assignment(&assignment);
+        cl
+    }
+
+    /// The transport backend's cumulative counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// Name of the active transport backend (`"sim"`, `"socket"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
+    }
+
+    /// Whether the backend runs real worker processes.
+    pub fn transport_is_physical(&self) -> bool {
+        self.transport.is_physical()
+    }
+
+    /// Gather `m` from the transport's *physical* stores, bypassing the
+    /// oracle — the end-to-end proof that worker state matches. `None`
+    /// on the in-process backend, which has no stores of its own.
+    pub fn gather_physical(&mut self, m: &DistMatrix) -> Result<Option<DistMatrix>> {
+        self.transport.gather(m)
+    }
+
+    /// Test hook: hard-kill a host's worker process without marking it
+    /// dead (detection must flow through the liveness machinery).
+    /// Returns false on backends with no processes.
+    pub fn debug_kill_host(&mut self, host: usize) -> bool {
+        self.transport.debug_kill_host(host)
+    }
+
+    /// Gracefully stop the transport's worker processes. Errors if a
+    /// child had to be killed (leak detection for smoke gates).
+    pub fn shutdown_transport(&mut self) -> Result<()> {
+        self.transport.shutdown()
     }
 
     /// The cluster configuration.
@@ -240,6 +295,7 @@ impl Cluster {
             end_sec: self.clock.total_sec(),
             wall_sec: st.wall0.elapsed().as_secs_f64(),
             wire_bytes,
+            transport_bytes: 0,
             event_bytes,
             sent,
             received,
@@ -334,6 +390,12 @@ impl Cluster {
     /// recovery path understands), then the fault injector may take a host
     /// down at this op.
     fn op_entry(&mut self, op: &'static str) -> Result<()> {
+        // Real backends detect death organically (closed connections,
+        // stale heartbeats); fold those hosts into the same failure path
+        // an injected fault uses.
+        for host in self.transport.poll_liveness() {
+            self.failed.insert(host);
+        }
         self.check_all_workers()?;
         let alive = self.alive_hosts();
         if let Some(victim) = self.faults.draw_op_kill(op, &alive) {
@@ -372,7 +434,25 @@ impl Cluster {
                 remapped.push(w);
             }
         }
+        self.transport.host_down(host);
+        let assignment = self.assignment.clone();
+        self.transport.set_assignment(&assignment);
         Ok(remapped)
+    }
+
+    /// Assert a transport receipt against the oracle's metered bytes and
+    /// stamp the physical payload onto the span just recorded.
+    fn mirror_receipt(&mut self, op: &'static str, wire_bytes: u64, payload: u64) -> Result<()> {
+        if payload != wire_bytes {
+            return Err(ClusterError::TransportConformance {
+                op,
+                detail: format!(
+                    "transport shipped {payload} payload bytes, oracle metered {wire_bytes}"
+                ),
+            });
+        }
+        self.tracer.annotate_last_transport(payload);
+        Ok(())
     }
 
     /// Meter a communication step and charge the network model for it,
@@ -425,6 +505,7 @@ impl Cluster {
             end_sec: self.clock.total_sec(),
             wall_sec: st.wall0.elapsed().as_secs_f64(),
             wire_bytes: bytes,
+            transport_bytes: 0,
             event_bytes: bytes,
             sent: vec![0; n],
             received: vec![0; n],
@@ -510,6 +591,11 @@ impl Cluster {
                 None,
                 blocks,
             );
+            let moves = local_keep_moves(&out);
+            let payload =
+                self.transport
+                    .move_tiles("partition", m, &out, TileTransform::None, &moves)?;
+            self.mirror_receipt("partition", 0, payload)?;
             return Ok(out);
         }
         let n = self.config.workers;
@@ -517,6 +603,7 @@ impl Cluster {
         let mut blocks = 0usize;
         let mut sent = vec![0u64; n];
         let mut received = vec![0u64; n];
+        let mut moves: Vec<MoveItem> = Vec::new();
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for (&(bi, bj), tile) in m.worker_blocks(w) {
@@ -528,6 +615,13 @@ impl Cluster {
                     received[dest] += b;
                 }
                 blocks += 1;
+                moves.push(MoveItem {
+                    src_w: w,
+                    dest_w: dest,
+                    bi,
+                    bj,
+                    metered: dest != w,
+                });
                 stores[dest].insert((bi, bj), Arc::clone(tile));
             }
         }
@@ -537,7 +631,12 @@ impl Cluster {
         let event = m.logical_bytes();
         let io = Some((sent, received));
         self.span_close(st, "partition", label.to_string(), moved, event, io, blocks);
-        Ok(DistMatrix::from_parts(*m.meta(), target, stores))
+        let out = DistMatrix::from_parts(*m.meta(), target, stores);
+        let payload =
+            self.transport
+                .move_tiles("partition", m, &out, TileTransform::None, &moves)?;
+        self.mirror_receipt("partition", moved, payload)?;
+        Ok(out)
     }
 
     /// The `broadcast` extended operator: replicate `m` on every worker.
@@ -554,6 +653,7 @@ impl Cluster {
         let mut blocks = 0usize;
         let mut sent = vec![0u64; n];
         let mut received = vec![0u64; n];
+        let mut moves: Vec<MoveItem> = Vec::new();
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for src in 0..n {
@@ -568,6 +668,13 @@ impl Cluster {
                         received[w] += b;
                     }
                     blocks += 1;
+                    moves.push(MoveItem {
+                        src_w: src,
+                        dest_w: w,
+                        bi: k.0,
+                        bj: k.1,
+                        metered: src != w,
+                    });
                     stores[w].insert(k, Arc::clone(tile));
                 }
             }
@@ -578,11 +685,12 @@ impl Cluster {
         let event = (n as u64) * m.logical_bytes();
         let io = Some((sent, received));
         self.span_close(st, "broadcast", label.to_string(), moved, event, io, blocks);
-        Ok(DistMatrix::from_parts(
-            *m.meta(),
-            PartitionScheme::Broadcast,
-            stores,
-        ))
+        let out = DistMatrix::from_parts(*m.meta(), PartitionScheme::Broadcast, stores);
+        let payload =
+            self.transport
+                .move_tiles("broadcast", m, &out, TileTransform::None, &moves)?;
+        self.mirror_receipt("broadcast", moved, payload)?;
+        Ok(out)
     }
 
     /// Scatter a matrix back into Hash placement. This models SystemML-S
@@ -599,22 +707,31 @@ impl Cluster {
         }
         let n = self.config.workers;
         let mut blocks = 0usize;
+        let mut moves: Vec<MoveItem> = Vec::new();
         let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
         for w in 0..n {
             for (&(bi, bj), tile) in m.worker_blocks(w) {
                 let dest = PartitionScheme::Hash.owner(bi, bj, n).expect("hash owner");
                 blocks += 1;
-                stores[dest]
-                    .entry((bi, bj))
-                    .or_insert_with(|| Arc::clone(tile));
+                if let std::collections::hash_map::Entry::Vacant(e) = stores[dest].entry((bi, bj)) {
+                    e.insert(Arc::clone(tile));
+                    moves.push(MoveItem {
+                        src_w: w,
+                        dest_w: dest,
+                        bi,
+                        bj,
+                        metered: false,
+                    });
+                }
             }
         }
         self.span_close(st, "rehash", String::new(), 0, 0, None, blocks);
-        Ok(DistMatrix::from_parts(
-            *m.meta(),
-            PartitionScheme::Hash,
-            stores,
-        ))
+        let out = DistMatrix::from_parts(*m.meta(), PartitionScheme::Hash, stores);
+        let payload = self
+            .transport
+            .move_tiles("rehash", m, &out, TileTransform::None, &moves)?;
+        self.mirror_receipt("rehash", 0, payload)?;
+        Ok(out)
     }
 
     /// The `transpose` extended operator: local, free.
@@ -626,6 +743,11 @@ impl Cluster {
         self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
         let blocks = out.tile_count();
         self.span_close(st, "transpose", String::new(), 0, 0, None, blocks);
+        let moves = local_keep_moves(m);
+        let payload =
+            self.transport
+                .move_tiles("transpose", m, &out, TileTransform::Transpose, &moves)?;
+        self.mirror_receipt("transpose", 0, payload)?;
         Ok(out)
     }
 
@@ -636,6 +758,11 @@ impl Cluster {
         let out = m.extract_local(target)?;
         let blocks = out.tile_count();
         self.span_close(st, "extract", String::new(), 0, 0, None, blocks);
+        let moves = local_keep_moves(&out);
+        let payload = self
+            .transport
+            .move_tiles("extract", m, &out, TileTransform::None, &moves)?;
+        self.mirror_receipt("extract", 0, payload)?;
         Ok(out)
     }
 
@@ -651,6 +778,8 @@ impl Cluster {
         let out = self.mm_local(a, b, PartitionScheme::Col)?;
         let blocks = out.tile_count();
         self.span_close(st, "rmm1", String::new(), 0, 0, None, blocks);
+        self.transport.run_mm("rmm1", a, b, &out)?;
+        self.mirror_receipt("rmm1", 0, 0)?;
         Ok(out)
     }
 
@@ -664,6 +793,8 @@ impl Cluster {
         let out = self.mm_local(a, b, PartitionScheme::Row)?;
         let blocks = out.tile_count();
         self.span_close(st, "rmm2", String::new(), 0, 0, None, blocks);
+        self.transport.run_mm("rmm2", a, b, &out)?;
+        self.mirror_receipt("rmm2", 0, 0)?;
         Ok(out)
     }
 
@@ -852,6 +983,7 @@ impl Cluster {
         let mut event: u64 = 0;
         let mut sent = vec![0u64; n];
         let mut received = vec![0u64; n];
+        let mut descs: Vec<PartialDesc> = Vec::new();
         let mut gathered: Vec<HashMap<(usize, usize), DenseBlock>> =
             (0..n).map(|_| HashMap::new()).collect();
         let t0 = Instant::now();
@@ -863,6 +995,13 @@ impl Cluster {
                 // partial (Table 2 charges N·|AB|), even the share that
                 // happens to stay local.
                 event += bytes;
+                descs.push(PartialDesc {
+                    bi,
+                    bj,
+                    src_w: w,
+                    dest_w: dest,
+                    bytes,
+                });
                 if dest != w {
                     moved += bytes;
                     sent[w] += bytes;
@@ -903,7 +1042,10 @@ impl Cluster {
         let blocks = out_meta.row_blocks * out_meta.col_blocks;
         let io = Some((sent, received));
         self.span_close(st, "cpmm", String::new(), moved, event, io, blocks);
-        Ok(DistMatrix::from_parts(out_meta, out_scheme, stores))
+        let out = DistMatrix::from_parts(out_meta, out_scheme, stores);
+        let payload = self.transport.run_cpmm(a, b, &out, &descs)?;
+        self.mirror_receipt("cpmm", moved, payload)?;
+        Ok(out)
     }
 
     /// Scheme-aligned element-wise operator: both operands must share the
@@ -959,7 +1101,10 @@ impl Cluster {
         self.charge_compute_workers(&secs);
         let blocks = stores.iter().map(HashMap::len).sum();
         self.span_close(st, op.name(), String::new(), 0, 0, None, blocks);
-        Ok(DistMatrix::from_parts(*a.meta(), a.scheme(), stores))
+        let out = DistMatrix::from_parts(*a.meta(), a.scheme(), stores);
+        self.transport.run_cell(op, a, b, &out)?;
+        self.mirror_receipt(op.name(), 0, 0)?;
+        Ok(out)
     }
 
     /// Fused cell-wise expression: evaluates a whole post-order program of
@@ -1038,20 +1183,26 @@ impl Cluster {
         self.charge_compute_workers(&secs);
         let blocks = stores.iter().map(HashMap::len).sum();
         self.span_close(st, "fused", label.to_string(), 0, 0, None, blocks);
-        Ok(DistMatrix::from_parts(
-            *first.meta(),
-            first.scheme(),
-            stores,
-        ))
+        let out = DistMatrix::from_parts(*first.meta(), first.scheme(), stores);
+        self.transport.run_fused(prog, leaves, &out)?;
+        self.mirror_receipt("fused", 0, 0)?;
+        Ok(out)
     }
 
-    /// Unary per-tile map (scalar multiply, scalar add, arbitrary map);
-    /// local on every worker, keeps the scheme.
+    /// Unary per-tile map (arbitrary closure); local on every worker,
+    /// keeps the scheme. Closures cannot travel over a wire, so this is
+    /// rejected on physical transports — use [`Cluster::unary`] for the
+    /// mirrorable scalar operators.
     pub fn map_tiles(
         &mut self,
         m: &DistMatrix,
         f: impl Fn(&Block) -> Block + Sync,
     ) -> Result<DistMatrix> {
+        if self.transport.is_physical() {
+            return Err(ClusterError::Unsupported(
+                "map_tiles closures cannot be mirrored on a physical transport; use Cluster::unary",
+            ));
+        }
         self.op_entry("map")?;
         let st = self.span_open();
         let n = self.config.workers;
@@ -1078,38 +1229,96 @@ impl Cluster {
         Ok(DistMatrix::from_parts(*m.meta(), m.scheme(), stores))
     }
 
-    /// Distributed reduction: each worker reduces its owned tiles, the
-    /// driver combines the `N` partials (metered as `8·N` shuffle bytes —
-    /// scalars, negligible, but kept honest).
+    /// Unary per-tile scalar operator ([`UnaryTileOp`]): the mirrorable
+    /// subset of [`Cluster::map_tiles`]. Local on every worker, keeps the
+    /// scheme, works on every transport backend.
+    pub fn unary(&mut self, m: &DistMatrix, op: UnaryTileOp) -> Result<DistMatrix> {
+        self.op_entry("map")?;
+        let st = self.span_open();
+        let n = self.config.workers;
+        let mut stores: Vec<HashMap<(usize, usize), Arc<Block>>> = vec![HashMap::new(); n];
+        let mut secs = vec![0.0f64; n];
+        for w in 0..n {
+            let t0 = Instant::now();
+            let tasks: Vec<((usize, usize), Arc<Block>)> = m
+                .worker_blocks(w)
+                .iter()
+                .map(|(&k, t)| (k, Arc::clone(t)))
+                .collect();
+            let results = run_tasks(self.config.local_threads, tasks, |(k, tile)| {
+                (k, Arc::new(op.apply(&tile)))
+            });
+            for (k, tile) in results {
+                stores[w].insert(k, tile);
+            }
+            secs[w] = t0.elapsed().as_secs_f64();
+        }
+        self.charge_compute_workers(&secs);
+        let blocks = stores.iter().map(HashMap::len).sum();
+        self.span_close(st, "map", op.name().to_string(), 0, 0, None, blocks);
+        let out = DistMatrix::from_parts(*m.meta(), m.scheme(), stores);
+        self.transport.run_unary(op, m, &out)?;
+        self.mirror_receipt("map", 0, 0)?;
+        Ok(out)
+    }
+
+    /// Distributed reduction: each worker folds its owned tiles in sorted
+    /// key order into one partial; the driver combines the `N` partials in
+    /// ascending worker order (metered as `8·N` shuffle bytes — scalars,
+    /// negligible, but kept honest). The fixed fold orders make the result
+    /// bit-reproducible, which is what lets a physical backend prove its
+    /// partials equal the oracle's.
     pub fn reduce(&mut self, m: &DistMatrix, kind: ReduceKind) -> Result<f64> {
         self.op_entry("reduce")?;
         let st = self.span_open();
         let n = self.config.workers;
         let t0 = Instant::now();
-        let mut total = 0.0;
+        let broadcast = m.scheme() == PartitionScheme::Broadcast;
+        let mut partials = vec![0.0f64; n];
         let mut blocks = 0usize;
-        if m.scheme() == PartitionScheme::Broadcast {
-            // every worker has everything; reduce once
-            for tile in m.worker_blocks(0).values() {
-                total += kind.fold_tile(tile);
-                blocks += 1;
+        for w in 0..n {
+            // Under Broadcast every worker has everything; only worker 0's
+            // fold enters the total.
+            if broadcast && w != 0 {
+                continue;
             }
-        } else {
-            for w in 0..n {
-                for tile in m.worker_blocks(w).values() {
-                    total += kind.fold_tile(tile);
-                    blocks += 1;
-                }
-            }
+            let store = m.worker_blocks(w);
+            let mut keys: Vec<(usize, usize)> = store.keys().copied().collect();
+            keys.sort_unstable();
+            blocks += keys.len();
+            partials[w] =
+                kernels::reduce_shard(kind, keys.iter().map(|k| &**store.get(k).expect("own key")));
         }
+        let total = kernels::reduce_combine(broadcast, &partials);
         self.charge_compute(t0.elapsed().as_secs_f64() / self.host_parallelism() as f64);
         self.send(CommKind::Shuffle, "reduce", 8 * n as u64)?;
         // Each worker ships one 8-byte partial to the driver; the cost
         // model charges reductions nothing (event 0).
         let io = Some((vec![8u64; n], vec![0u64; n]));
         self.span_close(st, "reduce", String::new(), 8 * n as u64, 0, io, blocks);
+        let wire = self.transport.run_reduce(kind, m, &partials)?;
+        self.mirror_receipt("reduce", 8 * n as u64, wire)?;
         Ok(kind.finish(total))
     }
+}
+
+/// Unmetered same-worker move list covering every tile of `v`, keyed in
+/// `v`'s coordinates. Mirrors the communication-free local primitives
+/// (transpose, extract) whose outputs stay where their inputs were.
+fn local_keep_moves(v: &DistMatrix) -> Vec<MoveItem> {
+    let mut moves = Vec::new();
+    for w in 0..v.workers() {
+        for &(bi, bj) in v.worker_blocks(w).keys() {
+            moves.push(MoveItem {
+                src_w: w,
+                dest_w: w,
+                bi,
+                bj,
+                metered: false,
+            });
+        }
+    }
+    moves
 }
 
 /// The element-wise binary operators of §3.1.
@@ -1157,14 +1366,17 @@ pub enum ReduceKind {
 }
 
 impl ReduceKind {
-    fn fold_tile(self, tile: &Block) -> f64 {
+    /// Raw per-tile contribution (before [`ReduceKind::finish`]). Public
+    /// so the worker daemon folds tiles with the identical operation.
+    pub fn fold_tile(self, tile: &Block) -> f64 {
         match self {
             ReduceKind::Sum => tile.sum(),
             ReduceKind::Norm2 => tile.sum_sq(),
         }
     }
 
-    fn finish(self, total: f64) -> f64 {
+    /// Finalize the combined raw total.
+    pub fn finish(self, total: f64) -> f64 {
         match self {
             ReduceKind::Sum => total,
             ReduceKind::Norm2 => total.sqrt(),

@@ -7,12 +7,22 @@
 //! [`crate::cluster`]) charges the bytes the real copies would cost.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dmac_matrix::{Block, BlockedMatrix};
 
 use crate::error::{ClusterError, Result};
 use crate::partition::PartitionScheme;
+
+/// Process-global counter behind [`DistMatrix::rid`]. Every materialised
+/// distributed value gets a fresh identity; clones share it (they are the
+/// same value). Transport backends key worker-side tile stores on rids.
+static NEXT_RID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_rid() -> u64 {
+    NEXT_RID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Geometry of a block grid (shared by all per-worker stores).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +78,9 @@ impl GridMeta {
 pub struct DistMatrix {
     meta: GridMeta,
     scheme: PartitionScheme,
+    /// Process-unique identity of this materialisation (see
+    /// [`DistMatrix::rid`]).
+    rid: u64,
     /// `stores[w]` maps block coordinates to the tiles worker `w` holds.
     stores: Vec<HashMap<(usize, usize), Arc<Block>>>,
 }
@@ -94,6 +107,7 @@ impl DistMatrix {
         DistMatrix {
             meta,
             scheme,
+            rid: fresh_rid(),
             stores,
         }
     }
@@ -134,6 +148,7 @@ impl DistMatrix {
         let d = DistMatrix {
             meta,
             scheme,
+            rid: fresh_rid(),
             stores,
         };
         d.validate()?;
@@ -149,6 +164,7 @@ impl DistMatrix {
         DistMatrix {
             meta,
             scheme,
+            rid: fresh_rid(),
             stores,
         }
     }
@@ -156,6 +172,16 @@ impl DistMatrix {
     /// The grid geometry.
     pub fn meta(&self) -> &GridMeta {
         &self.meta
+    }
+
+    /// Process-unique identity of this materialisation. Every
+    /// construction site (`load`, a primitive's output, a recovery
+    /// replay) mints a fresh rid; [`Clone`] shares it because a clone *is*
+    /// the same value. Transport backends key worker-side tile stores on
+    /// `(rid, logical worker)` so a replayed value never aliases stale
+    /// physical state from before a failure.
+    pub fn rid(&self) -> u64 {
+        self.rid
     }
 
     /// Total rows.
@@ -291,6 +317,7 @@ impl DistMatrix {
         DistMatrix {
             meta,
             scheme,
+            rid: fresh_rid(),
             stores,
         }
     }
@@ -329,6 +356,7 @@ impl DistMatrix {
         Ok(DistMatrix {
             meta: self.meta,
             scheme: target,
+            rid: fresh_rid(),
             stores,
         })
     }

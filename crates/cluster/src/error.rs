@@ -41,6 +41,21 @@ pub enum ClusterError {
     /// Every host is failed or decommissioned: nothing left to reassign
     /// work to.
     NoSurvivors,
+    /// The physical transport backend diverged from the simulator oracle:
+    /// payload bytes, shard checksums, or partial sets did not match.
+    /// Non-recoverable by design — a conformance breach is a bug, not a
+    /// fault.
+    TransportConformance {
+        /// The primitive that was being mirrored.
+        op: &'static str,
+        /// What diverged.
+        detail: String,
+    },
+    /// A wire-protocol violation talking to a worker process (malformed
+    /// frame, unexpected reply, handshake failure, I/O error).
+    Protocol(String),
+    /// The operation cannot run on the selected transport backend.
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -67,6 +82,16 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::NoSurvivors => {
                 write!(f, "no surviving hosts to reassign work to")
+            }
+            ClusterError::TransportConformance { op, detail } => {
+                write!(
+                    f,
+                    "transport diverged from simulator oracle in {op}: {detail}"
+                )
+            }
+            ClusterError::Protocol(msg) => write!(f, "transport protocol error: {msg}"),
+            ClusterError::Unsupported(what) => {
+                write!(f, "unsupported on this transport backend: {what}")
             }
         }
     }

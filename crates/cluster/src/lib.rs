@@ -26,8 +26,12 @@ pub mod comm;
 pub mod dist;
 pub mod error;
 pub mod fault;
+pub mod json;
+pub mod jsonin;
+pub mod kernels;
 pub mod partition;
 pub mod trace;
+pub mod transport;
 pub mod twod;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -37,4 +41,6 @@ pub use error::{ClusterError, Result};
 pub use fault::{CrashPoint, FaultEvent, FaultInjector, FaultPlan};
 pub use partition::PartitionScheme;
 pub use trace::{OpSpan, TraceBuffer};
+pub use transport::socket::{SocketOptions, SocketTransport};
+pub use transport::{SimTransport, Transport, TransportStats, UnaryTileOp};
 pub use twod::{summa, Dist2d, ProcessGrid};

@@ -48,6 +48,12 @@ pub struct OpSpan {
     pub wall_sec: f64,
     /// Bytes the simulated transport shipped (goodput, excludes retries).
     pub wire_bytes: u64,
+    /// Metered payload bytes the *physical* transport backend reported
+    /// for this primitive. On the in-process backend this echoes
+    /// `wire_bytes`; on the socket backend it is measured from the real
+    /// tiles workers shipped, and the cluster asserts it equals
+    /// `wire_bytes` (the conformance invariant).
+    pub transport_bytes: u64,
     /// The operation's size in cost-model event units (Table 2).
     pub event_bytes: u64,
     /// Bytes sent per (logical) worker.
@@ -106,6 +112,17 @@ impl TraceBuffer {
     /// All spans recorded so far, in execution order.
     pub fn spans(&self) -> &[OpSpan] {
         &self.spans
+    }
+
+    /// Stamp the most recently recorded span with the physical
+    /// transport's metered payload bytes. The cluster mirrors a primitive
+    /// onto the transport *after* closing its span (the simulator's
+    /// numbers are final by then), so the annotation always targets the
+    /// span just recorded.
+    pub fn annotate_last_transport(&mut self, bytes: u64) {
+        if let Some(s) = self.spans.last_mut() {
+            s.transport_bytes = bytes;
+        }
     }
 
     /// Number of spans recorded so far.

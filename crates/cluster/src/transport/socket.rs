@@ -1,0 +1,1287 @@
+//! The real multi-process backend: a coordinator embedded in the session
+//! process driving `dmac-workerd` children over TCP.
+//!
+//! ## Topology and membership
+//!
+//! The coordinator binds `127.0.0.1:0` (the OS assigns the port), spawns
+//! one worker process per physical host, and each worker connects back
+//! and introduces itself with a `hello` frame — a star topology, no
+//! worker-to-worker links. Cross-host tile movement is relayed through
+//! the coordinator (`collect` from the source host, `install` to the
+//! destination), which keeps the failure model tractable: a SIGKILLed
+//! worker can never wedge a peer mid-transfer, only its own coordinator
+//! connection, which is exactly where liveness is watched.
+//!
+//! ## Liveness
+//!
+//! Each worker heartbeats every `heartbeat_ms` from a dedicated thread,
+//! so beats keep arriving while the worker is busy computing. The
+//! coordinator marks a host dead when its connection closes or errors,
+//! its process is reaped, or no heartbeat has been seen for
+//! `liveness_timeout_ms` — and surfaces it as
+//! [`ClusterError::WorkerLost`], the same error injected faults produce,
+//! so the engine's lineage-recovery path handles real process death
+//! with no new code.
+//!
+//! ## Metering and conformance
+//!
+//! Payload is metered per *logical* move (a tile whose logical owner
+//! changes is charged even when both workers share a host — matching the
+//! simulator's logical ledger), from the byte sizes workers report.
+//! After every mirrored primitive the destination value is *sealed*:
+//! each host reports canonical per-shard checksums
+//! ([`wire::shard_checksum`]) that must equal the oracle's, so state
+//! divergence is caught at the primitive that caused it.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dmac_matrix::{Block, FusedOp};
+
+use crate::cluster::{CellOp, ReduceKind};
+use crate::dist::{fresh_rid, DistMatrix};
+use crate::error::{ClusterError, Result};
+use crate::json::{JsonArr, JsonObj};
+use crate::jsonin::Json;
+use crate::partition::PartitionScheme;
+use crate::transport::frame::{write_frame, MAX_FRAME};
+use crate::transport::wire;
+use crate::transport::{
+    MoveItem, PartialDesc, TileTransform, Transport, TransportStats, UnaryTileOp,
+};
+
+/// One coordinator-relayed tile, in source coordinates:
+/// `(src_w, dest_w, bi, bj)`.
+type RelayItem = (usize, usize, usize, usize);
+
+/// Tuning knobs for the socket backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketOptions {
+    /// Worker heartbeat period (milliseconds).
+    pub heartbeat_ms: u64,
+    /// A host with no heartbeat for this long is declared dead.
+    pub liveness_timeout_ms: u64,
+    /// Test hook: SIGKILL host `.0`'s process when the `.1`-th mirrored
+    /// primitive begins, *without* marking it dead — detection must flow
+    /// through the organic liveness machinery.
+    pub kill_host_after_ops: Option<(usize, u64)>,
+}
+
+impl Default for SocketOptions {
+    fn default() -> Self {
+        SocketOptions {
+            heartbeat_ms: 100,
+            liveness_timeout_ms: 2000,
+            kill_host_after_ops: None,
+        }
+    }
+}
+
+/// Incremental frame decoder over a non-blocking-ish stream. Buffers
+/// partial frames internally, so a read timeout can never desynchronise
+/// the stream — the next call resumes where the last left off.
+#[derive(Debug, Default)]
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// `Ok(Some(frame))` when a complete frame is available, `Ok(None)`
+    /// when the read timed out at whatever boundary, `Err` when the
+    /// connection closed or broke.
+    fn next(&mut self, stream: &mut TcpStream) -> io::Result<Option<String>> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME as usize {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame of {len} bytes exceeds limit"),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+                    let text = String::from_utf8(body).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8")
+                    })?;
+                    return Ok(Some(text));
+                }
+            }
+            let mut tmp = [0u8; 64 * 1024];
+            match stream.read(&mut tmp) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    child: Child,
+    last_hb: Instant,
+    alive: bool,
+}
+
+/// Locate the `dmac-workerd` binary: `DMAC_WORKERD` env override, then
+/// next to the current executable, then its parent directory (test
+/// executables live in `target/debug/deps/`, the bin one level up).
+pub fn locate_workerd() -> Result<PathBuf> {
+    if let Ok(p) = std::env::var("DMAC_WORKERD") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(ClusterError::Protocol(format!(
+            "DMAC_WORKERD points at {}, which does not exist",
+            p.display()
+        )));
+    }
+    let exe =
+        std::env::current_exe().map_err(|e| ClusterError::Protocol(format!("current_exe: {e}")))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    if let Some(d) = exe.parent() {
+        dirs.push(d.to_path_buf());
+        if let Some(p) = d.parent() {
+            dirs.push(p.to_path_buf());
+        }
+    }
+    let name = format!("dmac-workerd{}", std::env::consts::EXE_SUFFIX);
+    for d in &dirs {
+        let cand = d.join(&name);
+        if cand.is_file() {
+            return Ok(cand);
+        }
+    }
+    // Last resort: cargo places hashed copies (`dmac_workerd-<hash>`) in
+    // the `deps/` dir next to test executables even when the unhashed
+    // uplift copy is absent. The same name can also be a libtest-harness
+    // build of the bin target, so probe each candidate (newest first) and
+    // accept only one that identifies itself as the daemon.
+    let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for d in &dirs {
+        let Ok(entries) = std::fs::read_dir(d.join("deps")) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let Some(stem) = p.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !stem.starts_with("dmac_workerd-") || stem.contains('.') {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            if !meta.is_file() {
+                continue;
+            }
+            let t = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            candidates.push((t, p));
+        }
+    }
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    for (_, p) in candidates {
+        let probe = std::process::Command::new(&p)
+            .arg("--probe")
+            .stdin(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .output();
+        if let Ok(out) = probe {
+            if out.status.success() && out.stdout.starts_with(b"dmac-workerd") {
+                return Ok(p);
+            }
+        }
+    }
+    Err(ClusterError::Protocol(
+        "dmac-workerd binary not found (build it, or set DMAC_WORKERD)".into(),
+    ))
+}
+
+/// The coordinator side of the real cluster backend.
+#[derive(Debug)]
+pub struct SocketTransport {
+    conns: Vec<Conn>,
+    assignment: Vec<usize>,
+    known: HashSet<u64>,
+    stats: TransportStats,
+    opts: SocketOptions,
+    ops_done: u64,
+    /// Hosts whose death has already been surfaced (via poll or
+    /// [`Transport::host_down`]); never reported again.
+    reported: HashSet<usize>,
+    shut: bool,
+}
+
+impl SocketTransport {
+    /// Spawn `workers` worker processes and complete membership: bind
+    /// port 0, launch children pointed back at the assigned port, and
+    /// wait for every `hello`.
+    pub fn launch(workers: usize, opts: SocketOptions) -> Result<SocketTransport> {
+        let bin = locate_workerd()?;
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ClusterError::Protocol(format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Protocol(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ClusterError::Protocol(format!("nonblocking: {e}")))?;
+
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(workers);
+        for h in 0..workers {
+            let child = Command::new(&bin)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--host-id")
+                .arg(h.to_string())
+                .arg("--heartbeat-ms")
+                .arg(opts.heartbeat_ms.to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .map_err(|e| {
+                    // Don't leak already-spawned siblings on a failed launch.
+                    for c in children.iter_mut().flatten() {
+                        c.kill().ok();
+                        c.wait().ok();
+                    }
+                    ClusterError::Protocol(format!("spawn {}: {e}", bin.display()))
+                })?;
+            children.push(Some(child));
+        }
+
+        let kill_all = |children: &mut Vec<Option<Child>>| {
+            for c in children.iter_mut().flatten() {
+                c.kill().ok();
+                c.wait().ok();
+            }
+        };
+
+        let deadline = Instant::now() + Duration::from_secs(15);
+        let mut slots: Vec<Option<(TcpStream, FrameReader)>> = (0..workers).map(|_| None).collect();
+        let mut accepted = 0usize;
+        while accepted < workers {
+            if Instant::now() > deadline {
+                kill_all(&mut children);
+                return Err(ClusterError::Protocol(format!(
+                    "membership timed out: {accepted}/{workers} workers registered"
+                )));
+            }
+            for c in children.iter_mut().flatten() {
+                if let Ok(Some(status)) = c.try_wait() {
+                    kill_all(&mut children);
+                    return Err(ClusterError::Protocol(format!(
+                        "worker exited during startup ({status})"
+                    )));
+                }
+            }
+            let (stream, _) = match listener.accept() {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(ClusterError::Protocol(format!("accept: {e}")));
+                }
+            };
+            stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(250)))
+                .ok();
+            let mut stream = stream;
+            let mut reader = FrameReader::default();
+            let hello = loop {
+                if Instant::now() > deadline {
+                    kill_all(&mut children);
+                    return Err(ClusterError::Protocol("hello timed out".into()));
+                }
+                match reader.next(&mut stream) {
+                    Ok(Some(t)) => break t,
+                    Ok(None) => continue,
+                    Err(e) => {
+                        kill_all(&mut children);
+                        return Err(ClusterError::Protocol(format!("hello read: {e}")));
+                    }
+                }
+            };
+            let host = Json::parse(&hello)
+                .ok()
+                .filter(|j| j.get("t").and_then(Json::as_str) == Some("hello"))
+                .and_then(|j| j.get("host").and_then(Json::as_u64))
+                .map(|h| h as usize);
+            match host {
+                Some(h) if h < workers && slots[h].is_none() => {
+                    slots[h] = Some((stream, reader));
+                    accepted += 1;
+                }
+                _ => {
+                    kill_all(&mut children);
+                    return Err(ClusterError::Protocol(format!("bad hello frame: {hello}")));
+                }
+            }
+        }
+
+        let now = Instant::now();
+        let conns = slots
+            .into_iter()
+            .zip(children.iter_mut())
+            .map(|(slot, child)| {
+                let (stream, reader) = slot.expect("all slots filled");
+                Conn {
+                    stream,
+                    reader,
+                    child: child.take().expect("child present"),
+                    last_hb: now,
+                    alive: true,
+                }
+            })
+            .collect();
+        Ok(SocketTransport {
+            conns,
+            assignment: (0..workers).collect(),
+            known: HashSet::new(),
+            stats: TransportStats::default(),
+            opts,
+            ops_done: 0,
+            reported: HashSet::new(),
+            shut: false,
+        })
+    }
+
+    fn mark_dead(conn: &mut Conn) {
+        conn.alive = false;
+        conn.child.kill().ok();
+        conn.child.wait().ok();
+    }
+
+    /// Send one command and wait for its reply, tolerating interleaved
+    /// heartbeats and watching the liveness deadline.
+    fn request(&mut self, host: usize, cmd: &str) -> Result<Json> {
+        let liveness = Duration::from_millis(self.opts.liveness_timeout_ms);
+        let stats = &mut self.stats;
+        let conn = &mut self.conns[host];
+        if !conn.alive {
+            return Err(ClusterError::WorkerLost(host));
+        }
+        if write_frame(&mut conn.stream, cmd).is_err() {
+            Self::mark_dead(conn);
+            return Err(ClusterError::WorkerLost(host));
+        }
+        stats.frames += 1;
+        stats.frame_bytes += cmd.len() as u64 + 4;
+        loop {
+            match conn.reader.next(&mut conn.stream) {
+                Ok(Some(text)) => {
+                    stats.frames += 1;
+                    stats.frame_bytes += text.len() as u64 + 4;
+                    let Ok(j) = Json::parse(&text) else {
+                        Self::mark_dead(conn);
+                        return Err(ClusterError::Protocol(format!(
+                            "unparseable reply from host {host}"
+                        )));
+                    };
+                    match j.get("t").and_then(Json::as_str) {
+                        Some("hb") => {
+                            conn.last_hb = Instant::now();
+                            stats.heartbeats += 1;
+                        }
+                        Some("err") => {
+                            let msg = j
+                                .get("msg")
+                                .and_then(Json::as_str)
+                                .unwrap_or("unknown")
+                                .to_string();
+                            return Err(ClusterError::Protocol(format!("host {host}: {msg}")));
+                        }
+                        _ => return Ok(j),
+                    }
+                }
+                Ok(None) => {
+                    if matches!(conn.child.try_wait(), Ok(Some(_)))
+                        || conn.last_hb.elapsed() > liveness
+                    {
+                        Self::mark_dead(conn);
+                        return Err(ClusterError::WorkerLost(host));
+                    }
+                }
+                Err(_) => {
+                    Self::mark_dead(conn);
+                    return Err(ClusterError::WorkerLost(host));
+                }
+            }
+        }
+    }
+
+    fn expect_ok(&mut self, host: usize, cmd: &str) -> Result<()> {
+        let reply = self.request(host, cmd)?;
+        match reply.get("t").and_then(Json::as_str) {
+            Some("ok") => Ok(()),
+            other => Err(ClusterError::Protocol(format!(
+                "host {host}: expected ok, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Count one mirrored primitive; fire the SIGKILL test hook when its
+    /// moment arrives.
+    fn op_tick(&mut self) {
+        self.ops_done += 1;
+        if let Some((h, at)) = self.opts.kill_host_after_ops {
+            if self.ops_done == at && h < self.conns.len() {
+                // SIGKILL, on purpose *without* marking the host dead:
+                // the liveness machinery must notice on its own.
+                self.conns[h].child.kill().ok();
+            }
+        }
+    }
+
+    /// Distinct live hosts with their logical workers, ascending.
+    fn hosts_with_ws(&self) -> Vec<(usize, Vec<usize>)> {
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (w, &h) in self.assignment.iter().enumerate() {
+            map.entry(h).or_default().push(w);
+        }
+        map.into_iter().collect()
+    }
+
+    /// Ship a batch of encoded tiles to a host as one or more `install`
+    /// frames (split to respect the frame ceiling).
+    fn install_tiles(&mut self, host: usize, rid: u64, tiles: &[String]) -> Result<()> {
+        let budget = (MAX_FRAME / 2) as usize;
+        let mut batch: Vec<&String> = Vec::new();
+        let mut size = 0usize;
+        let flush = |me: &mut Self, batch: &mut Vec<&String>| -> Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            let mut arr = JsonArr::new();
+            for t in batch.iter() {
+                arr = arr.raw(t);
+            }
+            let cmd = JsonObj::new()
+                .str("t", "install")
+                .u64("rid", rid)
+                .raw("tiles", &arr.build())
+                .build();
+            batch.clear();
+            me.expect_ok(host, &cmd)
+        };
+        for t in tiles {
+            if size + t.len() > budget && !batch.is_empty() {
+                flush(self, &mut batch)?;
+                size = 0;
+            }
+            size += t.len();
+            batch.push(t);
+        }
+        flush(self, &mut batch)
+    }
+
+    /// Verify a value's physical shards against the oracle, host by host.
+    fn seal_check(&mut self, op: &'static str, value: &DistMatrix) -> Result<()> {
+        for (host, ws) in self.hosts_with_ws() {
+            let mut ws_arr = JsonArr::new();
+            for &w in &ws {
+                ws_arr = ws_arr.u64(w as u64);
+            }
+            let cmd = JsonObj::new()
+                .str("t", "seal")
+                .u64("rid", value.rid())
+                .raw("ws", &ws_arr.build())
+                .build();
+            let reply = self.request(host, &cmd)?;
+            let shards = wire::field_arr(&reply, "shards").map_err(ClusterError::Protocol)?;
+            for shard in shards {
+                let w = wire::field_usize(shard, "w").map_err(ClusterError::Protocol)?;
+                let n = wire::field_usize(shard, "n").map_err(ClusterError::Protocol)?;
+                let x = wire::field_str(shard, "x")
+                    .ok()
+                    .and_then(wire::parse_hex_u64)
+                    .ok_or_else(|| ClusterError::Protocol("bad seal checksum".into()))?;
+                if w >= value.workers() {
+                    return Err(ClusterError::Protocol(format!(
+                        "seal for unknown worker {w}"
+                    )));
+                }
+                let oracle = value.worker_blocks(w);
+                let oracle_sum = wire::shard_checksum(oracle.iter().map(|(&k, t)| (k, &**t)));
+                if n != oracle.len() || x != oracle_sum {
+                    return Err(ClusterError::TransportConformance {
+                        op,
+                        detail: format!(
+                            "shard of worker {w} on host {host} diverged \
+                             ({n} tiles, checksum {x:016x}; oracle {} tiles, {oracle_sum:016x})",
+                            oracle.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Relay tiles of `rid` between hosts through the coordinator:
+    /// `collect` from the source, re-key/transform, `install` at the
+    /// destination. Returns the decoded source-tile sizes, in item order.
+    fn relay(
+        &mut self,
+        rid_in: u64,
+        rid_out: u64,
+        transform: TileTransform,
+        src_host: usize,
+        dest_host: usize,
+        items: &[RelayItem],
+    ) -> Result<Vec<u64>> {
+        let mut item_arr = JsonArr::new();
+        for &(src_w, _, bi, bj) in items {
+            item_arr = item_arr.raw(
+                &JsonObj::new()
+                    .u64("w", src_w as u64)
+                    .u64("bi", bi as u64)
+                    .u64("bj", bj as u64)
+                    .build(),
+            );
+        }
+        let cmd = JsonObj::new()
+            .str("t", "collect")
+            .u64("rid", rid_in)
+            .raw("items", &item_arr.build())
+            .build();
+        let reply = self.request(src_host, &cmd)?;
+        let tiles = wire::field_arr(&reply, "tiles").map_err(ClusterError::Protocol)?;
+        if tiles.len() != items.len() {
+            return Err(ClusterError::Protocol(format!(
+                "collect returned {} tiles for {} items",
+                tiles.len(),
+                items.len()
+            )));
+        }
+        let mut bytes = Vec::with_capacity(items.len());
+        let mut encoded = Vec::with_capacity(items.len());
+        for (t, &(_, dest_w, bi, bj)) in tiles.iter().zip(items) {
+            let (_, tbi, tbj, block) = wire::decode_tile(t).map_err(ClusterError::Protocol)?;
+            if (tbi, tbj) != (bi, bj) {
+                return Err(ClusterError::Protocol(
+                    "collect returned tiles out of order".into(),
+                ));
+            }
+            bytes.push(block.actual_bytes() as u64);
+            let (di, dj) = transform.dest_key(bi, bj);
+            encoded.push(wire::encode_tile(dest_w, di, dj, &transform.apply(&block)));
+        }
+        self.install_tiles(dest_host, rid_out, &encoded)?;
+        Ok(bytes)
+    }
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn is_physical(&self) -> bool {
+        true
+    }
+
+    fn set_assignment(&mut self, assignment: &[usize]) {
+        // A remap means previously installed placements are stale: a
+        // surviving matrix's logical shard may now live on a different
+        // physical host. Forget every rid so the next use re-installs
+        // shards under the new assignment (unmetered, like any install).
+        if self.assignment != assignment {
+            self.known.clear();
+        }
+        self.assignment = assignment.to_vec();
+    }
+
+    fn ensure_resident(&mut self, m: &DistMatrix) -> Result<()> {
+        if self.known.contains(&m.rid()) {
+            return Ok(());
+        }
+        let mut per_host: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut bytes = 0u64;
+        for w in 0..m.workers() {
+            let host = self.assignment[w];
+            for (&(bi, bj), tile) in m.worker_blocks(w) {
+                bytes += tile.actual_bytes() as u64;
+                per_host
+                    .entry(host)
+                    .or_default()
+                    .push(wire::encode_tile(w, bi, bj, tile));
+            }
+        }
+        for (host, tiles) in per_host {
+            self.install_tiles(host, m.rid(), &tiles)?;
+        }
+        self.known.insert(m.rid());
+        self.stats.install_bytes += bytes;
+        Ok(())
+    }
+
+    fn move_tiles(
+        &mut self,
+        op: &'static str,
+        src: &DistMatrix,
+        dest: &DistMatrix,
+        transform: TileTransform,
+        moves: &[MoveItem],
+    ) -> Result<u64> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(src)?;
+        let tr_name = match transform {
+            TileTransform::None => "none",
+            TileTransform::Transpose => "transpose",
+        };
+        // Same-host moves run as worker-local copies; cross-host moves
+        // are relayed. Either way the *logical* metering below is
+        // identical to the oracle's.
+        let mut local: BTreeMap<usize, (Vec<&MoveItem>, JsonArr)> = BTreeMap::new();
+        let mut cross: BTreeMap<(usize, usize), Vec<&MoveItem>> = BTreeMap::new();
+        for mv in moves {
+            let sh = self.assignment[mv.src_w];
+            let dh = self.assignment[mv.dest_w];
+            if sh == dh {
+                let entry = local
+                    .entry(sh)
+                    .or_insert_with(|| (Vec::new(), JsonArr::new()));
+                entry.0.push(mv);
+                let items = std::mem::take(&mut entry.1);
+                entry.1 = items.raw(
+                    &JsonObj::new()
+                        .u64("wi", mv.src_w as u64)
+                        .u64("wo", mv.dest_w as u64)
+                        .u64("bi", mv.bi as u64)
+                        .u64("bj", mv.bj as u64)
+                        .build(),
+                );
+            } else {
+                cross.entry((sh, dh)).or_default().push(mv);
+            }
+        }
+        let mut payload = 0u64;
+        let mut free = 0u64;
+        for (host, (items, arr)) in local {
+            let cmd = JsonObj::new()
+                .str("t", "copy")
+                .u64("rid_in", src.rid())
+                .u64("rid_out", dest.rid())
+                .str("tr", tr_name)
+                .raw("items", &arr.build())
+                .build();
+            let reply = self.request(host, &cmd)?;
+            let bytes = wire::field_arr(&reply, "bytes").map_err(ClusterError::Protocol)?;
+            if bytes.len() != items.len() {
+                return Err(ClusterError::Protocol("copy reply length mismatch".into()));
+            }
+            for (mv, b) in items.iter().zip(bytes) {
+                let b = b
+                    .as_u64()
+                    .ok_or_else(|| ClusterError::Protocol("bad copy byte count".into()))?;
+                if mv.metered {
+                    payload += b;
+                } else {
+                    free += b;
+                }
+            }
+        }
+        for ((sh, dh), items) in cross {
+            let coords: Vec<(usize, usize, usize, usize)> = items
+                .iter()
+                .map(|mv| (mv.src_w, mv.dest_w, mv.bi, mv.bj))
+                .collect();
+            let bytes = self.relay(src.rid(), dest.rid(), transform, sh, dh, &coords)?;
+            for (mv, b) in items.iter().zip(bytes) {
+                if mv.metered {
+                    payload += b;
+                } else {
+                    free += b;
+                }
+            }
+        }
+        self.seal_check(op, dest)?;
+        self.known.insert(dest.rid());
+        self.stats.payload_bytes += payload;
+        self.stats.free_bytes += free;
+        Ok(payload)
+    }
+
+    fn run_mm(
+        &mut self,
+        op: &'static str,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        out: &DistMatrix,
+    ) -> Result<()> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(a)?;
+        self.ensure_resident(b)?;
+        let kb = a.meta().col_blocks;
+        for (host, ws) in self.hosts_with_ws() {
+            let mut tasks = JsonArr::new();
+            let mut any = false;
+            for &w in &ws {
+                for &(bi, bj) in out.worker_blocks(w).keys() {
+                    any = true;
+                    tasks = tasks.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .build(),
+                    );
+                }
+            }
+            if !any {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "mm")
+                .u64("rid_a", a.rid())
+                .u64("rid_b", b.rid())
+                .u64("rid_out", out.rid())
+                .u64("kb", kb as u64)
+                .u64("rows", out.rows() as u64)
+                .u64("cols", out.cols() as u64)
+                .u64("block", out.block_size() as u64)
+                .raw("tasks", &tasks.build())
+                .build();
+            self.expect_ok(host, &cmd)?;
+        }
+        self.seal_check(op, out)?;
+        self.known.insert(out.rid());
+        Ok(())
+    }
+
+    fn run_cpmm(
+        &mut self,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        out: &DistMatrix,
+        partials: &[PartialDesc],
+    ) -> Result<u64> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(a)?;
+        self.ensure_resident(b)?;
+        let stage = fresh_rid();
+        let n = out.workers();
+        let kb = a.meta().col_blocks;
+
+        // Phase 1: partial products where the k-slices live.
+        let mut worker_descs: Vec<PartialDesc> = Vec::new();
+        for (host, ws) in self.hosts_with_ws() {
+            let mut ws_arr = JsonArr::new();
+            for &w in &ws {
+                ws_arr = ws_arr.u64(w as u64);
+            }
+            let cmd = JsonObj::new()
+                .str("t", "cpmm1")
+                .u64("rid_a", a.rid())
+                .u64("rid_b", b.rid())
+                .u64("stage", stage)
+                .u64("n", n as u64)
+                .u64("kb", kb as u64)
+                .u64("rows", out.rows() as u64)
+                .u64("cols", out.cols() as u64)
+                .u64("block", out.block_size() as u64)
+                .raw("ws", &ws_arr.build())
+                .build();
+            let reply = self.request(host, &cmd)?;
+            for d in wire::field_arr(&reply, "descs").map_err(ClusterError::Protocol)? {
+                let src_w = wire::field_usize(d, "w").map_err(ClusterError::Protocol)?;
+                let bi = wire::field_usize(d, "bi").map_err(ClusterError::Protocol)?;
+                let bj = wire::field_usize(d, "bj").map_err(ClusterError::Protocol)?;
+                let bytes = wire::field_u64(d, "b").map_err(ClusterError::Protocol)?;
+                let dest_w = out
+                    .owner_of(bi, bj)
+                    .ok_or_else(|| ClusterError::Protocol("cpmm partial outside grid".into()))?;
+                worker_descs.push(PartialDesc {
+                    bi,
+                    bj,
+                    src_w,
+                    dest_w,
+                    bytes,
+                });
+            }
+        }
+        let mut want: Vec<PartialDesc> = partials.to_vec();
+        want.sort_unstable();
+        worker_descs.sort_unstable();
+        if want != worker_descs {
+            return Err(ClusterError::TransportConformance {
+                op: "cpmm",
+                detail: format!(
+                    "partial sets diverged: oracle {} partials, workers {}",
+                    want.len(),
+                    worker_descs.len()
+                ),
+            });
+        }
+
+        // Relay cross-host partials, preserving their source identity
+        // (the phase-2 combine is keyed by ascending source worker).
+        let mut relays: BTreeMap<(usize, usize), Vec<RelayItem>> = BTreeMap::new();
+        for p in partials {
+            let sh = self.assignment[p.src_w];
+            let dh = self.assignment[p.dest_w];
+            if sh != dh {
+                relays
+                    .entry((sh, dh))
+                    .or_default()
+                    .push((p.src_w, p.src_w, p.bi, p.bj));
+            }
+        }
+        for ((sh, dh), items) in relays {
+            self.relay(stage, stage, TileTransform::None, sh, dh, &items)?;
+        }
+
+        // Phase 2: combine at the owners, ascending source order.
+        let mut srcs_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for p in partials {
+            srcs_of.entry((p.bi, p.bj)).or_default().push(p.src_w);
+        }
+        for v in srcs_of.values_mut() {
+            v.sort_unstable();
+        }
+        for (host, ws) in self.hosts_with_ws() {
+            let mut tasks = JsonArr::new();
+            let mut any = false;
+            for &w in &ws {
+                for &(bi, bj) in out.worker_blocks(w).keys() {
+                    any = true;
+                    let mut srcs = JsonArr::new();
+                    if let Some(list) = srcs_of.get(&(bi, bj)) {
+                        for &s in list {
+                            srcs = srcs.u64(s as u64);
+                        }
+                    }
+                    tasks = tasks.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .raw("srcs", &srcs.build())
+                            .build(),
+                    );
+                }
+            }
+            if !any {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "cpmm2")
+                .u64("stage", stage)
+                .u64("rid_out", out.rid())
+                .u64("rows", out.rows() as u64)
+                .u64("cols", out.cols() as u64)
+                .u64("block", out.block_size() as u64)
+                .raw("tasks", &tasks.build())
+                .build();
+            self.expect_ok(host, &cmd)?;
+        }
+        self.seal_check("cpmm", out)?;
+        // Retire the staging shards; they are dead weight after combine.
+        let free_cmd = JsonObj::new()
+            .str("t", "free")
+            .u64("stage", stage)
+            .u64("rid", stage);
+        let free_cmd = free_cmd.build();
+        for (host, _) in self.hosts_with_ws() {
+            self.expect_ok(host, &free_cmd)?;
+        }
+        self.known.insert(out.rid());
+        let payload: u64 = partials
+            .iter()
+            .filter(|p| p.src_w != p.dest_w)
+            .map(|p| p.bytes)
+            .sum();
+        self.stats.payload_bytes += payload;
+        Ok(payload)
+    }
+
+    fn run_cell(
+        &mut self,
+        op: CellOp,
+        a: &DistMatrix,
+        b: &DistMatrix,
+        out: &DistMatrix,
+    ) -> Result<()> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(a)?;
+        self.ensure_resident(b)?;
+        for (host, ws) in self.hosts_with_ws() {
+            let mut tasks = JsonArr::new();
+            let mut any = false;
+            for &w in &ws {
+                for &(bi, bj) in out.worker_blocks(w).keys() {
+                    any = true;
+                    tasks = tasks.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .build(),
+                    );
+                }
+            }
+            if !any {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "cell")
+                .str("op", op.name())
+                .u64("rid_a", a.rid())
+                .u64("rid_b", b.rid())
+                .u64("rid_out", out.rid())
+                .raw("tasks", &tasks.build())
+                .build();
+            self.expect_ok(host, &cmd)?;
+        }
+        self.seal_check("cellwise", out)?;
+        self.known.insert(out.rid());
+        Ok(())
+    }
+
+    fn run_fused(
+        &mut self,
+        prog: &[FusedOp],
+        leaves: &[&DistMatrix],
+        out: &DistMatrix,
+    ) -> Result<()> {
+        self.op_tick();
+        self.stats.ops += 1;
+        for leaf in leaves {
+            self.ensure_resident(leaf)?;
+        }
+        let mut rids = JsonArr::new();
+        for leaf in leaves {
+            rids = rids.u64(leaf.rid());
+        }
+        let rids = rids.build();
+        let prog_json = wire::encode_prog(prog);
+        for (host, ws) in self.hosts_with_ws() {
+            let mut tasks = JsonArr::new();
+            let mut any = false;
+            for &w in &ws {
+                for &(bi, bj) in out.worker_blocks(w).keys() {
+                    any = true;
+                    tasks = tasks.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .build(),
+                    );
+                }
+            }
+            if !any {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "fused")
+                .raw("rids", &rids)
+                .raw("prog", &prog_json)
+                .u64("rid_out", out.rid())
+                .raw("tasks", &tasks.build())
+                .build();
+            self.expect_ok(host, &cmd)?;
+        }
+        self.seal_check("fused", out)?;
+        self.known.insert(out.rid());
+        Ok(())
+    }
+
+    fn run_unary(&mut self, op: UnaryTileOp, src: &DistMatrix, out: &DistMatrix) -> Result<()> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(src)?;
+        for (host, ws) in self.hosts_with_ws() {
+            let mut tasks = JsonArr::new();
+            let mut any = false;
+            for &w in &ws {
+                for &(bi, bj) in out.worker_blocks(w).keys() {
+                    any = true;
+                    tasks = tasks.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .build(),
+                    );
+                }
+            }
+            if !any {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "unary")
+                .str("op", op.name())
+                .str("c", &wire::hex_f64(op.constant()))
+                .u64("rid_in", src.rid())
+                .u64("rid_out", out.rid())
+                .raw("tasks", &tasks.build())
+                .build();
+            self.expect_ok(host, &cmd)?;
+        }
+        self.seal_check("map", out)?;
+        self.known.insert(out.rid());
+        Ok(())
+    }
+
+    fn run_reduce(&mut self, kind: ReduceKind, m: &DistMatrix, partials: &[f64]) -> Result<u64> {
+        self.op_tick();
+        self.stats.ops += 1;
+        self.ensure_resident(m)?;
+        let kind_name = match kind {
+            ReduceKind::Sum => "sum",
+            ReduceKind::Norm2 => "norm2",
+        };
+        // Broadcast values are fully replicated: only worker 0's fold
+        // enters the total, so only it is conformance-checked.
+        let broadcast = m.scheme() == PartitionScheme::Broadcast;
+        for (host, ws) in self.hosts_with_ws() {
+            let check: Vec<usize> = if broadcast {
+                ws.iter().copied().filter(|&w| w == 0).collect()
+            } else {
+                ws
+            };
+            if check.is_empty() {
+                continue;
+            }
+            let mut ws_arr = JsonArr::new();
+            for &w in &check {
+                ws_arr = ws_arr.u64(w as u64);
+            }
+            let cmd = JsonObj::new()
+                .str("t", "reduce")
+                .str("kind", kind_name)
+                .u64("rid", m.rid())
+                .raw("ws", &ws_arr.build())
+                .build();
+            let reply = self.request(host, &cmd)?;
+            for part in wire::field_arr(&reply, "parts").map_err(ClusterError::Protocol)? {
+                let w = wire::field_usize(part, "w").map_err(ClusterError::Protocol)?;
+                let x = wire::field_str(part, "x")
+                    .ok()
+                    .and_then(wire::parse_hex_f64)
+                    .ok_or_else(|| ClusterError::Protocol("bad reduce partial".into()))?;
+                let want = partials.get(w).copied().ok_or_else(|| {
+                    ClusterError::Protocol(format!("reduce partial for unknown worker {w}"))
+                })?;
+                if x.to_bits() != want.to_bits() {
+                    return Err(ClusterError::TransportConformance {
+                        op: "reduce",
+                        detail: format!("worker {w} partial {x:e} != oracle {want:e} (bitwise)"),
+                    });
+                }
+            }
+        }
+        Ok(8 * m.workers() as u64)
+    }
+
+    fn gather(&mut self, m: &DistMatrix) -> Result<Option<DistMatrix>> {
+        self.ensure_resident(m)?;
+        let broadcast = m.scheme() == PartitionScheme::Broadcast;
+        let mut placed: Vec<(Option<usize>, usize, usize, Arc<Block>)> = Vec::new();
+        for (host, ws) in self.hosts_with_ws() {
+            let mut items = JsonArr::new();
+            let mut count = 0usize;
+            for &w in &ws {
+                if broadcast && w != 0 {
+                    continue;
+                }
+                for &(bi, bj) in m.worker_blocks(w).keys() {
+                    count += 1;
+                    items = items.raw(
+                        &JsonObj::new()
+                            .u64("w", w as u64)
+                            .u64("bi", bi as u64)
+                            .u64("bj", bj as u64)
+                            .build(),
+                    );
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let cmd = JsonObj::new()
+                .str("t", "collect")
+                .u64("rid", m.rid())
+                .raw("items", &items.build())
+                .build();
+            let reply = self.request(host, &cmd)?;
+            for t in wire::field_arr(&reply, "tiles").map_err(ClusterError::Protocol)? {
+                let (w, bi, bj, block) = wire::decode_tile(t).map_err(ClusterError::Protocol)?;
+                placed.push((Some(w), bi, bj, Arc::new(block)));
+            }
+        }
+        // Hash placement validates "every tile exactly once, anywhere",
+        // which is precisely what a physical gather guarantees (for
+        // Broadcast, worker 0's replica stands for the value).
+        let gathered = DistMatrix::from_placed_tiles(
+            m.rows(),
+            m.cols(),
+            m.block_size(),
+            PartitionScheme::Hash,
+            m.workers(),
+            placed,
+        )?;
+        Ok(Some(gathered))
+    }
+
+    fn poll_liveness(&mut self) -> Vec<usize> {
+        let liveness = Duration::from_millis(self.opts.liveness_timeout_ms);
+        let mut newly = Vec::new();
+        for host in 0..self.conns.len() {
+            if self.reported.contains(&host) {
+                continue;
+            }
+            let conn = &mut self.conns[host];
+            if conn.alive {
+                if matches!(conn.child.try_wait(), Ok(Some(_))) {
+                    Self::mark_dead(conn);
+                } else {
+                    // Drain buffered heartbeats without blocking.
+                    conn.stream.set_nonblocking(true).ok();
+                    loop {
+                        match conn.reader.next(&mut conn.stream) {
+                            Ok(Some(text)) => {
+                                self.stats.frames += 1;
+                                self.stats.frame_bytes += text.len() as u64 + 4;
+                                let is_hb = Json::parse(&text)
+                                    .ok()
+                                    .map(|j| j.get("t").and_then(Json::as_str) == Some("hb"))
+                                    .unwrap_or(false);
+                                if is_hb {
+                                    conn.last_hb = Instant::now();
+                                    self.stats.heartbeats += 1;
+                                } else {
+                                    // An unsolicited non-heartbeat frame
+                                    // means the stream is not in a state
+                                    // we can reason about.
+                                    Self::mark_dead(conn);
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                Self::mark_dead(conn);
+                                break;
+                            }
+                        }
+                    }
+                    conn.stream.set_nonblocking(false).ok();
+                    conn.stream
+                        .set_read_timeout(Some(Duration::from_millis(250)))
+                        .ok();
+                    if conn.alive && conn.last_hb.elapsed() > liveness {
+                        Self::mark_dead(conn);
+                    }
+                }
+            }
+            if !conn.alive {
+                self.reported.insert(host);
+                newly.push(host);
+            }
+        }
+        newly
+    }
+
+    fn host_down(&mut self, host: usize) {
+        self.reported.insert(host);
+        if let Some(conn) = self.conns.get_mut(host) {
+            Self::mark_dead(conn);
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    fn debug_kill_host(&mut self, host: usize) -> bool {
+        match self.conns.get_mut(host) {
+            Some(conn) => conn.child.kill().is_ok(),
+            None => false,
+        }
+    }
+
+    fn shutdown(&mut self) -> Result<()> {
+        if self.shut {
+            return Ok(());
+        }
+        self.shut = true;
+        let mut leaked = Vec::new();
+        let shutdown_cmd = JsonObj::new().str("t", "shutdown").build();
+        for host in 0..self.conns.len() {
+            if self.conns[host].alive {
+                // Best-effort goodbye; a host dying here is not a leak.
+                match self.request(host, &shutdown_cmd) {
+                    Ok(reply) if reply.get("t").and_then(Json::as_str) == Some("bye") => {}
+                    _ => {}
+                }
+                let conn = &mut self.conns[host];
+                conn.alive = false;
+                let deadline = Instant::now() + Duration::from_secs(5);
+                loop {
+                    match conn.child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        _ => {
+                            conn.child.kill().ok();
+                            conn.child.wait().ok();
+                            leaked.push(host);
+                            break;
+                        }
+                    }
+                }
+            } else {
+                // Already-dead hosts were reaped by mark_dead.
+                self.conns[host].child.try_wait().ok();
+            }
+        }
+        if leaked.is_empty() {
+            Ok(())
+        } else {
+            Err(ClusterError::Protocol(format!(
+                "worker processes leaked past shutdown and were killed: hosts {leaked:?}"
+            )))
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        for conn in &mut self.conns {
+            conn.child.kill().ok();
+            conn.child.wait().ok();
+        }
+    }
+}

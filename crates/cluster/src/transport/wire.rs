@@ -1,0 +1,435 @@
+//! Wire representation of tiles, plus the canonical checksum both ends
+//! use to prove shard equality.
+//!
+//! Tiles travel as JSON objects inside the length-prefixed frames of
+//! [`crate::transport::frame`]. `f64` payloads are shipped as fixed-width
+//! hex renderings of their IEEE-754 bit patterns (16 hex chars per
+//! value), not as decimal numbers: the conformance contract is *bit*
+//! equality, so the codec must be exact and representation-preserving —
+//! a sparse tile decodes back to the same `CscBlock` arrays, a dense tile
+//! to the same `DenseBlock`, and `actual_bytes()` round-trips.
+//!
+//! Dense tile:  `{"w":0,"bi":1,"bj":2,"k":"d","r":8,"c":8,"d":"<hex…>"}`
+//! Sparse tile: `{"w":0,"bi":1,"bj":2,"k":"s","r":8,"c":8,
+//!                "p":[col_ptrs…],"i":[row_indices…],"v":"<hex…>"}`
+//!
+//! The shard checksum is FNV-1a-64 over a canonical binary encoding:
+//! tiles sorted by `(bi, bj)`, each contributing its coordinates and a
+//! tagged body (`0` dense → LE value bits; `1` sparse → col_ptr u32s,
+//! row_index u32s, value bits). The coordinator computes it from the
+//! simulator oracle's shard, the worker from its store, and any
+//! difference — value bits, representation, or tile set — changes the
+//! sum.
+
+use dmac_matrix::{Block, CscBlock, DenseBlock};
+
+use crate::json::{JsonArr, JsonObj};
+use crate::jsonin::Json;
+
+/// FNV-1a 64-bit streaming hasher (dependency-free, stable across
+/// platforms and runs — unlike `DefaultHasher`).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Standard FNV-1a offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Absorb a `u32` (little-endian).
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Render f64 slices as concatenated 16-hex-char bit patterns.
+pub fn hex_f64s(vals: &[f64]) -> String {
+    let mut s = String::with_capacity(vals.len() * 16);
+    for v in vals {
+        use std::fmt::Write as _;
+        let _ = write!(s, "{:016x}", v.to_bits());
+    }
+    s
+}
+
+/// Parse a concatenated-hex f64 string produced by [`hex_f64s`].
+pub fn parse_hex_f64s(s: &str) -> Option<Vec<f64>> {
+    if !s.len().is_multiple_of(16) || !s.is_ascii() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 16);
+    for chunk in s.as_bytes().chunks(16) {
+        let txt = std::str::from_utf8(chunk).ok()?;
+        let bits = u64::from_str_radix(txt, 16).ok()?;
+        out.push(f64::from_bits(bits));
+    }
+    Some(out)
+}
+
+/// Render one `f64` as its 16-hex-char bit pattern.
+pub fn hex_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parse a single 16-hex-char f64 bit pattern.
+pub fn parse_hex_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+/// Render a `u64` as 16 hex chars (checksums travel this way — JSON
+/// numbers only carry 53 bits exactly).
+pub fn hex_u64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parse a 16-hex-char `u64`.
+pub fn parse_hex_u64(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Encode one placed tile as a JSON object string.
+pub fn encode_tile(w: usize, bi: usize, bj: usize, tile: &Block) -> String {
+    let base = JsonObj::new()
+        .u64("w", w as u64)
+        .u64("bi", bi as u64)
+        .u64("bj", bj as u64);
+    match tile {
+        Block::Dense(d) => base
+            .str("k", "d")
+            .u64("r", d.rows() as u64)
+            .u64("c", d.cols() as u64)
+            .str("d", &hex_f64s(d.data()))
+            .build(),
+        Block::Sparse(s) => {
+            let mut ptrs = JsonArr::new();
+            for &p in s.col_ptrs() {
+                ptrs = ptrs.u64(u64::from(p));
+            }
+            let mut idx = JsonArr::new();
+            for &i in s.row_indices() {
+                idx = idx.u64(u64::from(i));
+            }
+            base.str("k", "s")
+                .u64("r", s.rows() as u64)
+                .u64("c", s.cols() as u64)
+                .raw("p", &ptrs.build())
+                .raw("i", &idx.build())
+                .str("v", &hex_f64s(s.values()))
+                .build()
+        }
+    }
+}
+
+/// Required `u64` member of a protocol object.
+pub fn field_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("frame missing integer '{key}'"))
+}
+
+/// Required string member of a protocol object.
+pub fn field_str<'j>(j: &'j Json, key: &str) -> Result<&'j str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("frame missing string '{key}'"))
+}
+
+/// Required array member of a protocol object.
+pub fn field_arr<'j>(j: &'j Json, key: &str) -> Result<&'j [Json], String> {
+    j.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("frame missing array '{key}'"))
+}
+
+/// Required `usize` list member (logical worker ids, k indices …).
+pub fn field_usize_arr(j: &Json, key: &str) -> Result<Vec<usize>, String> {
+    let arr = field_arr(j, key)?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        out.push(
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("frame array '{key}' holds a non-integer"))?,
+        );
+    }
+    Ok(out)
+}
+
+fn u32_arr(j: &Json, key: &str) -> Result<Vec<u32>, String> {
+    let arr = j
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("tile missing array '{key}'"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let n = v
+            .as_u64()
+            .filter(|&n| n <= u64::from(u32::MAX))
+            .ok_or_else(|| format!("tile array '{key}' holds a non-u32"))?;
+        out.push(n as u32);
+    }
+    Ok(out)
+}
+
+/// Required `usize` member of a protocol object.
+pub fn field_usize(j: &Json, key: &str) -> Result<usize, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("tile missing integer '{key}'"))
+}
+
+/// Decode a tile object produced by [`encode_tile`]. Returns the
+/// placement `(w, bi, bj)` and the reconstructed block; sparse invariants
+/// are re-validated on the way in, so a corrupted frame cannot smuggle a
+/// malformed CSC structure into a store.
+pub fn decode_tile(j: &Json) -> Result<(usize, usize, usize, Block), String> {
+    let w = field_usize(j, "w")?;
+    let bi = field_usize(j, "bi")?;
+    let bj = field_usize(j, "bj")?;
+    let rows = field_usize(j, "r")?;
+    let cols = field_usize(j, "c")?;
+    let kind = j
+        .get("k")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "tile missing kind 'k'".to_string())?;
+    let tile = match kind {
+        "d" => {
+            let hex = j
+                .get("d")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "dense tile missing 'd'".to_string())?;
+            let data = parse_hex_f64s(hex)
+                .ok_or_else(|| "dense tile payload is not valid hex".to_string())?;
+            let d = DenseBlock::from_vec(rows, cols, data)
+                .map_err(|e| format!("dense tile malformed: {e}"))?;
+            Block::Dense(d)
+        }
+        "s" => {
+            let ptrs = u32_arr(j, "p")?;
+            let idx = u32_arr(j, "i")?;
+            let hex = j
+                .get("v")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "sparse tile missing 'v'".to_string())?;
+            let vals = parse_hex_f64s(hex)
+                .ok_or_else(|| "sparse tile payload is not valid hex".to_string())?;
+            let s = CscBlock::from_csc(rows, cols, ptrs, idx, vals)
+                .map_err(|e| format!("sparse tile malformed: {e}"))?;
+            Block::Sparse(s)
+        }
+        other => return Err(format!("unknown tile kind '{other}'")),
+    };
+    Ok((w, bi, bj, tile))
+}
+
+/// Encode a fused cell-wise program as a JSON array. Scalar constants
+/// travel as hex bit patterns so the worker evaluates with the exact
+/// operand.
+pub fn encode_prog(prog: &[dmac_matrix::FusedOp]) -> String {
+    use dmac_matrix::FusedOp;
+    let mut arr = JsonArr::new();
+    for op in prog {
+        let obj = match op {
+            FusedOp::Leaf(i) => JsonObj::new().str("o", "leaf").u64("i", *i as u64),
+            FusedOp::Add => JsonObj::new().str("o", "add"),
+            FusedOp::Sub => JsonObj::new().str("o", "sub"),
+            FusedOp::CellMul => JsonObj::new().str("o", "cmul"),
+            FusedOp::CellDiv => JsonObj::new().str("o", "cdiv"),
+            FusedOp::Scale(c) => JsonObj::new().str("o", "scale").str("c", &hex_f64(*c)),
+            FusedOp::AddScalar(c) => JsonObj::new().str("o", "adds").str("c", &hex_f64(*c)),
+        };
+        arr = arr.raw(&obj.build());
+    }
+    arr.build()
+}
+
+/// Decode a program encoded by [`encode_prog`].
+pub fn decode_prog(arr: &[Json]) -> Result<Vec<dmac_matrix::FusedOp>, String> {
+    use dmac_matrix::FusedOp;
+    let mut out = Vec::with_capacity(arr.len());
+    for j in arr {
+        let name = field_str(j, "o")?;
+        let constant = || -> Result<f64, String> {
+            parse_hex_f64(field_str(j, "c")?).ok_or_else(|| "bad scalar constant".to_string())
+        };
+        out.push(match name {
+            "leaf" => FusedOp::Leaf(field_usize(j, "i")?),
+            "add" => FusedOp::Add,
+            "sub" => FusedOp::Sub,
+            "cmul" => FusedOp::CellMul,
+            "cdiv" => FusedOp::CellDiv,
+            "scale" => FusedOp::Scale(constant()?),
+            "adds" => FusedOp::AddScalar(constant()?),
+            other => return Err(format!("unknown fused op '{other}'")),
+        });
+    }
+    Ok(out)
+}
+
+/// Absorb one tile's canonical binary encoding into a hasher: tag byte,
+/// dims, then the representation-specific body.
+pub fn hash_tile(h: &mut Fnv64, tile: &Block) {
+    match tile {
+        Block::Dense(d) => {
+            h.update(&[0u8]);
+            h.update_u32(d.rows() as u32);
+            h.update_u32(d.cols() as u32);
+            for v in d.data() {
+                h.update(&v.to_bits().to_le_bytes());
+            }
+        }
+        Block::Sparse(s) => {
+            h.update(&[1u8]);
+            h.update_u32(s.rows() as u32);
+            h.update_u32(s.cols() as u32);
+            for &p in s.col_ptrs() {
+                h.update_u32(p);
+            }
+            for &i in s.row_indices() {
+                h.update_u32(i);
+            }
+            for v in s.values() {
+                h.update(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Checksum one logical worker's shard: tiles sorted by `(bi, bj)`, each
+/// contributing its coordinates and canonical body. An empty shard hashes
+/// to the FNV offset basis — a legitimate value (non-owning workers hold
+/// nothing).
+pub fn shard_checksum<'t>(tiles: impl IntoIterator<Item = ((usize, usize), &'t Block)>) -> u64 {
+    let mut sorted: Vec<((usize, usize), &Block)> = tiles.into_iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut h = Fnv64::new();
+    for ((bi, bj), tile) in sorted {
+        h.update_u32(bi as u32);
+        h.update_u32(bj as u32);
+        hash_tile(&mut h, tile);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_fixture() -> Block {
+        // 3x2: col0 holds (0, 1.5) and (2, -0.25); col1 holds (1, 1e-300)
+        Block::Sparse(
+            CscBlock::from_csc(3, 2, vec![0, 2, 3], vec![0, 2, 1], vec![1.5, -0.25, 1e-300])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn dense_tile_round_trips_bit_exact() {
+        let vals = vec![0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 3.0];
+        let tile = Block::Dense(DenseBlock::from_vec(2, 2, vals.clone()).unwrap());
+        let enc = encode_tile(3, 1, 2, &tile);
+        let j = Json::parse(&enc).unwrap();
+        let (w, bi, bj, back) = decode_tile(&j).unwrap();
+        assert_eq!((w, bi, bj), (3, 1, 2));
+        let Block::Dense(d) = &back else {
+            panic!("kind changed");
+        };
+        let bits: Vec<u64> = d.data().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want);
+        assert_eq!(back.actual_bytes(), tile.actual_bytes());
+    }
+
+    #[test]
+    fn sparse_tile_round_trips_representation() {
+        let tile = sparse_fixture();
+        let enc = encode_tile(0, 5, 7, &tile);
+        let (_, _, _, back) = decode_tile(&Json::parse(&enc).unwrap()).unwrap();
+        let (Block::Sparse(a), Block::Sparse(b)) = (&tile, &back) else {
+            panic!("representation changed");
+        };
+        assert_eq!(a.col_ptrs(), b.col_ptrs());
+        assert_eq!(a.row_indices(), b.row_indices());
+        let av: Vec<u64> = a.values().iter().map(|v| v.to_bits()).collect();
+        let bv: Vec<u64> = b.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(av, bv);
+        let mut ha = Fnv64::new();
+        hash_tile(&mut ha, &tile);
+        let mut hb = Fnv64::new();
+        hash_tile(&mut hb, &back);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        // bad CSC: col_ptr does not end at nnz
+        let bad =
+            r#"{"w":0,"bi":0,"bj":0,"k":"s","r":2,"c":1,"p":[0,2],"i":[0],"v":"3ff0000000000000"}"#;
+        assert!(decode_tile(&Json::parse(bad).unwrap()).is_err());
+        // wrong dense payload length
+        let bad = r#"{"w":0,"bi":0,"bj":0,"k":"d","r":2,"c":2,"d":"3ff0000000000000"}"#;
+        assert!(decode_tile(&Json::parse(bad).unwrap()).is_err());
+        // odd hex length
+        let bad = r#"{"w":0,"bi":0,"bj":0,"k":"d","r":1,"c":1,"d":"3ff00000000000"}"#;
+        assert!(decode_tile(&Json::parse(bad).unwrap()).is_err());
+        // unknown kind
+        let bad = r#"{"w":0,"bi":0,"bj":0,"k":"x","r":1,"c":1}"#;
+        assert!(decode_tile(&Json::parse(bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn checksum_is_order_insensitive_but_content_sensitive() {
+        let t1 = Block::Dense(DenseBlock::from_vec(1, 1, vec![1.0]).unwrap());
+        let t2 = Block::Dense(DenseBlock::from_vec(1, 1, vec![2.0]).unwrap());
+        let a = shard_checksum([((0, 0), &t1), ((0, 1), &t2)]);
+        let b = shard_checksum([((0, 1), &t2), ((0, 0), &t1)]);
+        assert_eq!(a, b);
+        let c = shard_checksum([((0, 0), &t2), ((0, 1), &t1)]);
+        assert_ne!(a, c);
+        // dense vs sparse representation of the same values differ
+        let sp = Block::Sparse(CscBlock::from_dense(
+            &DenseBlock::from_vec(1, 1, vec![1.0]).unwrap(),
+        ));
+        assert_ne!(
+            shard_checksum([((0, 0), &t1)]),
+            shard_checksum([((0, 0), &sp)])
+        );
+        assert_eq!(shard_checksum(std::iter::empty()), Fnv64::new().finish());
+    }
+
+    #[test]
+    fn hex_helpers_round_trip() {
+        let v = -0.1f64;
+        assert_eq!(parse_hex_f64(&hex_f64(v)).unwrap().to_bits(), v.to_bits());
+        assert_eq!(parse_hex_u64(&hex_u64(u64::MAX)).unwrap(), u64::MAX);
+        assert!(parse_hex_u64("xyz").is_none());
+        assert!(parse_hex_f64s("123").is_none());
+    }
+}

@@ -1,0 +1,487 @@
+//! The `dmac-workerd` worker daemon: one OS process per physical host of
+//! a [`crate::transport::socket::SocketTransport`] cluster.
+//!
+//! A worker is deliberately dumb. It holds tile shards keyed by
+//! `(rid, logical worker)`, executes the kernel commands the coordinator
+//! dispatches — using the *same* shared kernels as the in-process oracle
+//! ([`crate::kernels`]), so results are bit-identical by construction —
+//! and proves its state on demand with canonical shard checksums
+//! ([`crate::transport::wire::shard_checksum`]). All placement, metering
+//! and conformance intelligence stays in the coordinator.
+//!
+//! ## Protocol
+//!
+//! Length-prefixed JSON frames ([`crate::transport::frame`]). On
+//! connect the worker sends `{"t":"hello","host":H,"pid":P}`, then
+//! answers each command frame with exactly one reply frame. A detached
+//! thread writes `{"t":"hb","host":H}` every `heartbeat_ms` through the
+//! same (mutex-shared) stream; the coordinator tolerates heartbeats
+//! interleaved ahead of a reply. Errors are reported as
+//! `{"t":"err","msg":…}` replies — the worker survives bad commands; it
+//! exits when the coordinator closes the connection, sends `shutdown`,
+//! or the stream desyncs.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dmac_matrix::exec::ResultBufferPool;
+use dmac_matrix::{Block, DenseBlock};
+
+use crate::cluster::{CellOp, ReduceKind};
+use crate::dist::GridMeta;
+use crate::json::{JsonArr, JsonObj};
+use crate::jsonin::Json;
+use crate::kernels;
+use crate::transport::frame::{read_frame, write_frame};
+use crate::transport::wire;
+use crate::transport::{TileTransform, UnaryTileOp};
+
+/// Launch parameters for a worker daemon (mirrors the CLI flags).
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator address to connect back to (`host:port`).
+    pub connect: String,
+    /// This worker's physical host id.
+    pub host_id: usize,
+    /// Heartbeat period in milliseconds.
+    pub heartbeat_ms: u64,
+}
+
+/// Shard store: `(rid, logical worker)` → sorted tile map. `BTreeMap`
+/// gives the deterministic `(bi, bj)` iteration order the reduction and
+/// checksum contracts require.
+type Store = HashMap<(u64, usize), BTreeMap<(usize, usize), Block>>;
+
+struct Worker {
+    store: Store,
+    pool: ResultBufferPool,
+    host: usize,
+}
+
+/// Run the worker daemon until the coordinator disconnects. Returns an
+/// error string suitable for an exit diagnostic.
+pub fn run_worker(opts: &WorkerOptions) -> Result<(), String> {
+    let stream =
+        TcpStream::connect(&opts.connect).map_err(|e| format!("connect {}: {e}", opts.connect))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| format!("clone stream: {e}"))?;
+    let writer = Arc::new(Mutex::new(stream));
+
+    let hello = JsonObj::new()
+        .str("t", "hello")
+        .u64("host", opts.host_id as u64)
+        .u64("pid", u64::from(std::process::id()))
+        .build();
+    send(&writer, &hello)?;
+
+    // Heartbeat thread: beats until the socket dies, even while the main
+    // thread is deep in a kernel — liveness is about the process, not
+    // about command latency.
+    {
+        let writer = Arc::clone(&writer);
+        let period = Duration::from_millis(opts.heartbeat_ms.max(1));
+        let hb = JsonObj::new()
+            .str("t", "hb")
+            .u64("host", opts.host_id as u64)
+            .build();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            let Ok(mut w) = writer.lock() else { return };
+            if write_frame(&mut *w, &hb).is_err() {
+                return;
+            }
+        });
+    }
+
+    let mut worker = Worker {
+        store: Store::new(),
+        pool: ResultBufferPool::new(4),
+        host: opts.host_id,
+    };
+
+    loop {
+        let text = match read_frame(&mut reader) {
+            Ok(Some(t)) => t,
+            Ok(None) => return Ok(()), // coordinator closed cleanly
+            Err(e) => return Err(format!("read frame: {e}")),
+        };
+        let cmd = match Json::parse(&text) {
+            Ok(j) => j,
+            Err(e) => {
+                let reply = JsonObj::new()
+                    .str("t", "err")
+                    .str("msg", &format!("unparseable command: {e}"))
+                    .build();
+                send(&writer, &reply)?;
+                continue;
+            }
+        };
+        if cmd.get("t").and_then(Json::as_str) == Some("shutdown") {
+            send(&writer, &JsonObj::new().str("t", "bye").build())?;
+            return Ok(());
+        }
+        let reply = match worker.dispatch(&cmd) {
+            Ok(r) => r,
+            Err(msg) => JsonObj::new().str("t", "err").str("msg", &msg).build(),
+        };
+        send(&writer, &reply)?;
+    }
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, frame: &str) -> Result<(), String> {
+    let mut w = writer.lock().map_err(|_| "writer poisoned".to_string())?;
+    write_frame(&mut *w, frame).map_err(|e| format!("write frame: {e}"))
+}
+
+const OK: &str = r#"{"t":"ok"}"#;
+
+/// `(w, bi, bj)` task triple from a task object.
+fn task_triple(j: &Json) -> Result<(usize, usize, usize), String> {
+    Ok((
+        wire::field_usize(j, "w")?,
+        wire::field_usize(j, "bi")?,
+        wire::field_usize(j, "bj")?,
+    ))
+}
+
+fn meta_of(cmd: &Json) -> Result<GridMeta, String> {
+    Ok(GridMeta::new(
+        wire::field_usize(cmd, "rows")?,
+        wire::field_usize(cmd, "cols")?,
+        wire::field_usize(cmd, "block")?,
+    ))
+}
+
+impl Worker {
+    fn shard(&self, rid: u64, w: usize) -> Option<&BTreeMap<(usize, usize), Block>> {
+        self.store.get(&(rid, w))
+    }
+
+    fn tile(&self, rid: u64, w: usize, bi: usize, bj: usize) -> Result<&Block, String> {
+        self.shard(rid, w)
+            .and_then(|s| s.get(&(bi, bj)))
+            .ok_or_else(|| {
+                format!(
+                    "missing tile rid={rid} w={w} ({bi},{bj}) on host {}",
+                    self.host
+                )
+            })
+    }
+
+    fn dispatch(&mut self, cmd: &Json) -> Result<String, String> {
+        match wire::field_str(cmd, "t")? {
+            "install" => self.install(cmd),
+            "copy" => self.copy(cmd),
+            "collect" => self.collect(cmd),
+            "seal" => self.seal(cmd),
+            "mm" => self.mm(cmd),
+            "cell" => self.cell(cmd),
+            "fused" => self.fused(cmd),
+            "unary" => self.unary(cmd),
+            "cpmm1" => self.cpmm1(cmd),
+            "cpmm2" => self.cpmm2(cmd),
+            "reduce" => self.reduce(cmd),
+            "free" => self.free(cmd),
+            other => Err(format!("unknown command '{other}'")),
+        }
+    }
+
+    fn install(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid = wire::field_u64(cmd, "rid")?;
+        for t in wire::field_arr(cmd, "tiles")? {
+            let (w, bi, bj, block) = wire::decode_tile(t)?;
+            self.store
+                .entry((rid, w))
+                .or_default()
+                .insert((bi, bj), block);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn copy(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid_in = wire::field_u64(cmd, "rid_in")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let tr = match wire::field_str(cmd, "tr")? {
+            "none" => TileTransform::None,
+            "transpose" => TileTransform::Transpose,
+            other => return Err(format!("unknown transform '{other}'")),
+        };
+        let items = wire::field_arr(cmd, "items")?;
+        let mut copied: Vec<(usize, (usize, usize), Block, u64)> = Vec::with_capacity(items.len());
+        for item in items {
+            let wi = wire::field_usize(item, "wi")?;
+            let wo = wire::field_usize(item, "wo")?;
+            let bi = wire::field_usize(item, "bi")?;
+            let bj = wire::field_usize(item, "bj")?;
+            let src = self.tile(rid_in, wi, bi, bj)?;
+            copied.push((
+                wo,
+                tr.dest_key(bi, bj),
+                tr.apply(src),
+                src.actual_bytes() as u64,
+            ));
+        }
+        let mut bytes = JsonArr::new();
+        for (wo, key, block, b) in copied {
+            self.store
+                .entry((rid_out, wo))
+                .or_default()
+                .insert(key, block);
+            bytes = bytes.u64(b);
+        }
+        Ok(JsonObj::new()
+            .str("t", "copied")
+            .raw("bytes", &bytes.build())
+            .build())
+    }
+
+    fn collect(&self, cmd: &Json) -> Result<String, String> {
+        let rid = wire::field_u64(cmd, "rid")?;
+        let mut tiles = JsonArr::new();
+        for item in wire::field_arr(cmd, "items")? {
+            let (w, bi, bj) = task_triple(item)?;
+            let t = self.tile(rid, w, bi, bj)?;
+            tiles = tiles.raw(&wire::encode_tile(w, bi, bj, t));
+        }
+        Ok(JsonObj::new()
+            .str("t", "tiles")
+            .raw("tiles", &tiles.build())
+            .build())
+    }
+
+    fn seal(&self, cmd: &Json) -> Result<String, String> {
+        let rid = wire::field_u64(cmd, "rid")?;
+        let mut shards = JsonArr::new();
+        for w in wire::field_usize_arr(cmd, "ws")? {
+            let (n, sum) = match self.shard(rid, w) {
+                Some(s) => (
+                    s.len(),
+                    wire::shard_checksum(s.iter().map(|(&k, t)| (k, t))),
+                ),
+                // A worker that owns nothing of this value legitimately
+                // reports the empty shard.
+                None => (0, wire::shard_checksum(std::iter::empty())),
+            };
+            shards = shards.raw(
+                &JsonObj::new()
+                    .u64("w", w as u64)
+                    .u64("n", n as u64)
+                    .str("x", &wire::hex_u64(sum))
+                    .build(),
+            );
+        }
+        Ok(JsonObj::new()
+            .str("t", "sealed")
+            .raw("shards", &shards.build())
+            .build())
+    }
+
+    fn mm(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid_a = wire::field_u64(cmd, "rid_a")?;
+        let rid_b = wire::field_u64(cmd, "rid_b")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let kb = wire::field_usize(cmd, "kb")?;
+        let meta = meta_of(cmd)?;
+        for task in wire::field_arr(cmd, "tasks")? {
+            let (w, bi, bj) = task_triple(task)?;
+            let mut acc = DenseBlock::zeros(meta.block_rows_of(bi), meta.block_cols_of(bj));
+            let r = kernels::mm_accumulate(
+                |k| self.shard(rid_a, w).and_then(|s| s.get(&(bi, k))),
+                |k| self.shard(rid_b, w).and_then(|s| s.get(&(k, bj))),
+                0..kb,
+                &mut acc,
+            );
+            if let Err(k) = r {
+                return Err(format!(
+                    "missing input tile for result ({bi},{bj}) at k={k} on worker {w}"
+                ));
+            }
+            let tile = kernels::compact_dense(acc);
+            self.store
+                .entry((rid_out, w))
+                .or_default()
+                .insert((bi, bj), tile);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn cell(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid_a = wire::field_u64(cmd, "rid_a")?;
+        let rid_b = wire::field_u64(cmd, "rid_b")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let op = match wire::field_str(cmd, "op")? {
+            "add" => CellOp::Add,
+            "sub" => CellOp::Sub,
+            "cell_mul" => CellOp::Mul,
+            "cell_div" => CellOp::Div,
+            other => return Err(format!("unknown cell op '{other}'")),
+        };
+        for task in wire::field_arr(cmd, "tasks")? {
+            let (w, bi, bj) = task_triple(task)?;
+            let a = self.tile(rid_a, w, bi, bj)?;
+            let b = self.tile(rid_b, w, bi, bj)?;
+            let out = op.apply(a, b).map_err(|e| e.to_string())?;
+            self.store
+                .entry((rid_out, w))
+                .or_default()
+                .insert((bi, bj), out);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn fused(&mut self, cmd: &Json) -> Result<String, String> {
+        let rids = wire::field_usize_arr(cmd, "rids")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let prog = wire::decode_prog(wire::field_arr(cmd, "prog")?)?;
+        for task in wire::field_arr(cmd, "tasks")? {
+            let (w, bi, bj) = task_triple(task)?;
+            let mut tiles: Vec<&Block> = Vec::with_capacity(rids.len());
+            for &rid in &rids {
+                tiles.push(self.tile(rid as u64, w, bi, bj)?);
+            }
+            let out = dmac_matrix::eval_fused_block(&prog, &tiles, &self.pool)
+                .map_err(|e| e.to_string())?;
+            self.store
+                .entry((rid_out, w))
+                .or_default()
+                .insert((bi, bj), out);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn unary(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid_in = wire::field_u64(cmd, "rid_in")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let c = wire::parse_hex_f64(wire::field_str(cmd, "c")?)
+            .ok_or_else(|| "bad unary constant".to_string())?;
+        let op = match wire::field_str(cmd, "op")? {
+            "scale" => UnaryTileOp::Scale(c),
+            "add_scalar" => UnaryTileOp::AddScalar(c),
+            other => return Err(format!("unknown unary op '{other}'")),
+        };
+        for task in wire::field_arr(cmd, "tasks")? {
+            let (w, bi, bj) = task_triple(task)?;
+            let out = op.apply(self.tile(rid_in, w, bi, bj)?);
+            self.store
+                .entry((rid_out, w))
+                .or_default()
+                .insert((bi, bj), out);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn cpmm1(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid_a = wire::field_u64(cmd, "rid_a")?;
+        let rid_b = wire::field_u64(cmd, "rid_b")?;
+        let stage = wire::field_u64(cmd, "stage")?;
+        let n = wire::field_usize(cmd, "n")?;
+        let kb = wire::field_usize(cmd, "kb")?;
+        let meta = meta_of(cmd)?;
+        let mut descs = JsonArr::new();
+        for w in wire::field_usize_arr(cmd, "ws")? {
+            let my_ks: Vec<usize> = (0..kb).filter(|&k| k % n == w).collect();
+            for bi in 0..meta.row_blocks {
+                for bj in 0..meta.col_blocks {
+                    let mut acc = DenseBlock::zeros(meta.block_rows_of(bi), meta.block_cols_of(bj));
+                    let touched = kernels::mm_accumulate(
+                        |k| self.shard(rid_a, w).and_then(|s| s.get(&(bi, k))),
+                        |k| self.shard(rid_b, w).and_then(|s| s.get(&(k, bj))),
+                        my_ks.iter().copied(),
+                        &mut acc,
+                    )
+                    .map_err(|k| format!("cpmm: missing tile at k={k} on worker {w}"))?;
+                    if touched {
+                        descs = descs.raw(
+                            &JsonObj::new()
+                                .u64("w", w as u64)
+                                .u64("bi", bi as u64)
+                                .u64("bj", bj as u64)
+                                .u64("b", acc.actual_bytes() as u64)
+                                .build(),
+                        );
+                        self.store
+                            .entry((stage, w))
+                            .or_default()
+                            .insert((bi, bj), Block::Dense(acc));
+                    }
+                }
+            }
+        }
+        Ok(JsonObj::new()
+            .str("t", "partials")
+            .raw("descs", &descs.build())
+            .build())
+    }
+
+    fn cpmm2(&mut self, cmd: &Json) -> Result<String, String> {
+        let stage = wire::field_u64(cmd, "stage")?;
+        let rid_out = wire::field_u64(cmd, "rid_out")?;
+        let meta = meta_of(cmd)?;
+        for task in wire::field_arr(cmd, "tasks")? {
+            let (w, bi, bj) = task_triple(task)?;
+            let srcs = wire::field_usize_arr(task, "srcs")?;
+            let tile = if srcs.is_empty() {
+                Block::zeros(meta.block_rows_of(bi), meta.block_cols_of(bj))
+            } else {
+                let first = match self.tile(stage, srcs[0], bi, bj)? {
+                    Block::Dense(d) => d.clone(),
+                    Block::Sparse(_) => {
+                        return Err("cpmm partial is not dense".to_string());
+                    }
+                };
+                let mut acc = first;
+                for &src in &srcs[1..] {
+                    match self.tile(stage, src, bi, bj)? {
+                        Block::Dense(d) => acc.add_assign(d).map_err(|e| e.to_string())?,
+                        Block::Sparse(_) => {
+                            return Err("cpmm partial is not dense".to_string());
+                        }
+                    }
+                }
+                // Same materialisation rule as the oracle's CPMM phase 2.
+                Block::Dense(acc).compact()
+            };
+            self.store
+                .entry((rid_out, w))
+                .or_default()
+                .insert((bi, bj), tile);
+        }
+        Ok(OK.to_string())
+    }
+
+    fn reduce(&self, cmd: &Json) -> Result<String, String> {
+        let rid = wire::field_u64(cmd, "rid")?;
+        let kind = match wire::field_str(cmd, "kind")? {
+            "sum" => ReduceKind::Sum,
+            "norm2" => ReduceKind::Norm2,
+            other => return Err(format!("unknown reduce kind '{other}'")),
+        };
+        let mut parts = JsonArr::new();
+        for w in wire::field_usize_arr(cmd, "ws")? {
+            let partial = match self.shard(rid, w) {
+                Some(s) => kernels::reduce_shard(kind, s.values()),
+                None => 0.0,
+            };
+            parts = parts.raw(
+                &JsonObj::new()
+                    .u64("w", w as u64)
+                    .str("x", &wire::hex_f64(partial))
+                    .build(),
+            );
+        }
+        Ok(JsonObj::new()
+            .str("t", "reduced")
+            .raw("parts", &parts.build())
+            .build())
+    }
+
+    fn free(&mut self, cmd: &Json) -> Result<String, String> {
+        let rid = wire::field_u64(cmd, "rid")?;
+        self.store.retain(|&(r, _), _| r != rid);
+        Ok(OK.to_string())
+    }
+}

@@ -37,7 +37,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use dmac_cluster::cluster::{CellOp, ReduceKind};
-use dmac_cluster::{Cluster, ClusterError, CommStats, DistMatrix, PartitionScheme, SimClock};
+use dmac_cluster::{
+    Cluster, ClusterError, CommStats, DistMatrix, PartitionScheme, SimClock, UnaryTileOp,
+};
 use dmac_lang::{BinOp, MatrixId, MatrixOrigin, OpKind, Program, ReduceOp, ScalarId, UnaryOp};
 use dmac_matrix::BlockedMatrix;
 
@@ -145,6 +147,7 @@ impl ExecReport {
                     .u64("predicted_bytes", self.trace.predicted_total())
                     .u64("actual_bytes", self.trace.actual_total())
                     .u64("wire_bytes", self.trace.wire_total())
+                    .u64("transport_bytes", self.trace.transport_total())
                     .u64("recovery_wire_bytes", self.trace.recovery_wire_total())
                     .u64("spills", self.trace.spill.spills)
                     .u64("spill_bytes", self.trace.spill.spill_bytes)
@@ -595,6 +598,11 @@ pub fn execute(
                 .filter(|s| !s.recovery)
                 .map(|s| s.wire_bytes)
                 .sum(),
+            transport_bytes: spans
+                .iter()
+                .filter(|s| !s.recovery)
+                .map(|s| s.transport_bytes)
+                .sum(),
             recovery_wire_bytes: spans
                 .iter()
                 .filter(|s| s.recovery)
@@ -784,17 +792,13 @@ fn run_compute(
         }
         (OpKind::Unary { op, .. }, S::UnaryLocal) => {
             let m = val(inputs[0])?;
-            let out = match op {
-                UnaryOp::Scale(s) => {
-                    let c = s.eval(&scalar_env);
-                    cluster.map_tiles(&m, |b| b.scale(c))?
-                }
-                UnaryOp::AddScalar(s) => {
-                    let c = s.eval(&scalar_env);
-                    cluster.map_tiles(&m, |b| b.add_scalar(c))?
-                }
+            // The named-operator form (not a closure) keeps scalar maps
+            // mirrorable on physical transport backends.
+            let tile_op = match op {
+                UnaryOp::Scale(s) => UnaryTileOp::Scale(s.eval(&scalar_env)),
+                UnaryOp::AddScalar(s) => UnaryTileOp::AddScalar(s.eval(&scalar_env)),
             };
-            Ok(ComputeResult::Matrix(out))
+            Ok(ComputeResult::Matrix(cluster.unary(&m, tile_op)?))
         }
         (OpKind::Reduce { op, .. }, S::ReduceLocal) => {
             let m = val(inputs[0])?;

@@ -19,7 +19,10 @@
 
 use std::collections::HashMap;
 
-use dmac_cluster::{Cluster, ClusterConfig, DistMatrix, FaultPlan, NetworkModel, PartitionScheme};
+use dmac_cluster::{
+    Cluster, ClusterConfig, DistMatrix, FaultPlan, NetworkModel, PartitionScheme, SocketOptions,
+    SocketTransport,
+};
 use dmac_lang::{Expr, MatrixId, MatrixOrigin, Program};
 use dmac_matrix::BlockedMatrix;
 
@@ -45,6 +48,16 @@ pub struct SessionBuilder {
     fault_plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
     store: Option<SharedStore>,
+    transport: TransportChoice,
+}
+
+/// Which cluster communication backend a session runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransportChoice {
+    /// In-process metered simulator (the default; always available).
+    Sim,
+    /// Real `dmac-workerd` processes over local TCP sockets.
+    Socket(SocketOptions),
 }
 
 impl Default for SessionBuilder {
@@ -60,6 +73,7 @@ impl Default for SessionBuilder {
             fault_plan: None,
             recovery: RecoveryPolicy::default(),
             store: None,
+            transport: TransportChoice::Sim,
         }
     }
 }
@@ -131,8 +145,27 @@ impl SessionBuilder {
         self
     }
 
-    /// Build the session.
+    /// Run the session on real `dmac-workerd` processes over local TCP
+    /// sockets instead of the in-process simulator. The simulator stays
+    /// authoritative; the socket backend mirrors every operation and the
+    /// cluster proves the two byte-equal. Launching worker processes can
+    /// fail, so sessions with this backend must be built with
+    /// [`SessionBuilder::try_build`].
+    pub fn socket_transport(mut self, opts: SocketOptions) -> Self {
+        self.transport = TransportChoice::Socket(opts);
+        self
+    }
+
+    /// Build the session, panicking if the transport backend fails to
+    /// launch. Infallible for the default simulator backend; sessions
+    /// using [`SessionBuilder::socket_transport`] should prefer
+    /// [`SessionBuilder::try_build`].
     pub fn build(self) -> Session {
+        self.try_build().expect("transport launch failed")
+    }
+
+    /// Build the session, surfacing transport launch failures.
+    pub fn try_build(self) -> Result<Session> {
         let (workers, mut planner) = match self.system {
             SystemKind::Dmac => (self.workers, self.planner.unwrap_or_default()),
             SystemKind::SystemMlS => (self.workers, PlannerConfig::systemml_s()),
@@ -143,11 +176,18 @@ impl SessionBuilder {
         // The fusion threshold is measured in blocks, so the planner
         // needs the session's block size to translate matrix shapes.
         planner.fusion_block = self.block_size;
-        let mut cluster = Cluster::new(ClusterConfig {
+        let config = ClusterConfig {
             workers,
             local_threads: self.local_threads,
             network: self.network,
-        });
+        };
+        let mut cluster = match self.transport {
+            TransportChoice::Sim => Cluster::new(config),
+            TransportChoice::Socket(opts) => {
+                let transport = SocketTransport::launch(workers, opts)?;
+                Cluster::with_transport(config, Box::new(transport))
+            }
+        };
         let env = self.store.unwrap_or_default();
         if let Some(plan) = self.fault_plan {
             // Durability crash points live in the store's disk tier;
@@ -155,7 +195,7 @@ impl SessionBuilder {
             env.arm_crashes(&plan);
             cluster.set_fault_plan(plan);
         }
-        Session {
+        Ok(Session {
             cluster,
             planner,
             system: self.system,
@@ -166,7 +206,7 @@ impl SessionBuilder {
             last_values: HashMap::new(),
             last_scalars: HashMap::new(),
             last_report: None,
-        }
+        })
     }
 }
 
@@ -209,6 +249,24 @@ impl Session {
     /// Access the underlying cluster (meters, failure injection).
     pub fn cluster_mut(&mut self) -> &mut Cluster {
         &mut self.cluster
+    }
+
+    /// Name of the cluster communication backend (`"sim"` or `"socket"`).
+    pub fn transport_name(&self) -> &'static str {
+        self.cluster.transport_name()
+    }
+
+    /// Whether the backend runs real worker processes.
+    pub fn transport_is_physical(&self) -> bool {
+        self.cluster.transport_is_physical()
+    }
+
+    /// Cleanly stop the transport backend. On the socket backend this
+    /// asks every worker process to exit and reaps it, erroring if any
+    /// child had to be killed. The simulator backend is a no-op.
+    pub fn shutdown_transport(&mut self) -> Result<()> {
+        self.cluster.shutdown_transport()?;
+        Ok(())
     }
 
     /// Bind a local matrix under `name`, reblocking to the session's block
@@ -447,6 +505,30 @@ impl Session {
         })?;
         let m = d.to_blocked()?;
         Ok(if e.transposed { m.transpose() } else { m })
+    }
+
+    /// A matrix output of the last run, gathered **from the physical
+    /// workers** instead of the in-process oracle. `Ok(None)` on the
+    /// simulator backend (there is no second copy to gather). On the
+    /// socket backend the returned matrix is reassembled purely from
+    /// tile bytes shipped back by `dmac-workerd` processes, so comparing
+    /// it bit-for-bit against [`Session::value`] proves the real cluster
+    /// holds exactly the state the oracle says it should.
+    pub fn value_physical(&mut self, e: Expr) -> Result<Option<BlockedMatrix>> {
+        let d = self
+            .last_values
+            .get(&e.id)
+            .ok_or_else(|| {
+                CoreError::NoValue(format!("matrix {} is not an output of the last run", e.id))
+            })?
+            .clone();
+        match self.cluster.gather_physical(&d)? {
+            None => Ok(None),
+            Some(g) => {
+                let m = g.to_blocked()?;
+                Ok(Some(if e.transposed { m.transpose() } else { m }))
+            }
+        }
     }
 
     /// Evaluate a scalar expression against the last run's reduction

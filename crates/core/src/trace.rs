@@ -52,6 +52,11 @@ pub struct StepTrace {
     pub actual_bytes: u64,
     /// Measured steady-state wire bytes (what the transport shipped).
     pub wire_bytes: u64,
+    /// Physical payload bytes the transport backend receipted for the
+    /// step's steady-state spans. Conformance-asserted equal to the
+    /// metered wire bytes of every mirrored primitive, so on a real
+    /// backend this confirms each wire byte physically crossed a socket.
+    pub transport_bytes: u64,
     /// Wire bytes attributed to recovery while this step was in flight
     /// (failed-attempt partial work, lineage replay, source refetch).
     pub recovery_wire_bytes: u64,
@@ -231,6 +236,11 @@ impl Trace {
     /// Total wire bytes attributed to recovery.
     pub fn recovery_wire_total(&self) -> u64 {
         self.steps.iter().map(|s| s.recovery_wire_bytes).sum()
+    }
+
+    /// Total physical transport payload bytes (steady state).
+    pub fn transport_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.transport_bytes).sum()
     }
 
     /// Bytes sent per worker, summed over steady-state spans.

@@ -4,7 +4,7 @@
 //! dmac-served [--addr HOST:PORT] [--port-file PATH] [--pool N]
 //!             [--queue N] [--workers N] [--local-threads N]
 //!             [--block N] [--seed N] [--store-cap BYTES]
-//!             [--plan-cache N] [--data-dir PATH]
+//!             [--plan-cache N] [--data-dir PATH] [--real-cluster]
 //! ```
 //!
 //! Binds (port 0 picks a free port), optionally writes the actual
@@ -17,7 +17,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dmac-served [--addr HOST:PORT] [--port-file PATH] [--pool N] [--queue N]\n\
          \x20                 [--workers N] [--local-threads N] [--block N] [--seed N]\n\
-         \x20                 [--store-cap BYTES] [--plan-cache N] [--data-dir PATH]"
+         \x20                 [--store-cap BYTES] [--plan-cache N] [--data-dir PATH]\n\
+         \x20                 [--real-cluster]"
     );
     std::process::exit(2)
 }
@@ -50,6 +51,9 @@ fn main() {
             "--store-cap" => cfg.store_capacity = Some(take_num(&args, &mut i)),
             "--plan-cache" => cfg.plan_cache_cap = take_num(&args, &mut i),
             "--data-dir" => cfg.data_dir = Some(take(&args, &mut i)),
+            // Each session runs on real dmac-workerd processes instead
+            // of the in-process simulator (see ServerConfig).
+            "--real-cluster" => cfg.real_cluster = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }

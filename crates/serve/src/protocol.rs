@@ -14,51 +14,14 @@
 //! too with shortest-round-trip formatting, but hex makes the
 //! intent unmissable and parsing trivial.
 
-use std::io::{self, Read, Write};
-
 use crate::jsonin::Json;
 use dmac_core::json::{arr_of, JsonArr, JsonObj};
 
-/// Hard cap on frame size (64 MiB): a corrupt length prefix must not
-/// look like a 4 GiB allocation.
-pub const MAX_FRAME: u32 = 64 << 20;
-
-/// Write one frame.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
-    let bytes = payload.as_bytes();
-    if bytes.len() as u64 > MAX_FRAME as u64 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
-        ));
-    }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
-    w.flush()
-}
-
-/// Read one frame. `Ok(None)` means the peer closed the connection
-/// cleanly at a frame boundary.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
-    let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let n = u32::from_be_bytes(len);
-    if n > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {n} exceeds MAX_FRAME"),
-        ));
-    }
-    let mut buf = vec![0u8; n as usize];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf)
-        .map(Some)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8"))
-}
+// The frame codec moved to `dmac_cluster::transport::frame` so the
+// coordinator ↔ dmac-workerd transport can share it; re-exported here
+// so existing call sites (and external users of this module) see the
+// same items at the same paths.
+pub use dmac_cluster::transport::frame::{read_frame, write_frame, MAX_FRAME};
 
 /// A client → server request.
 #[derive(Debug, Clone, PartialEq)]

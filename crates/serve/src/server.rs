@@ -49,6 +49,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use dmac_analyze::{lint_script, Diagnostic};
+use dmac_cluster::SocketOptions;
 use dmac_core::json::{arr_of, JsonArr, JsonObj};
 use dmac_core::{CoreError, Session, SharedStore};
 use dmac_lang::normalize::fnv1a;
@@ -65,6 +66,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Simulated cluster workers per session.
     pub workers: usize,
+    /// Run each session's cluster on real `dmac-workerd` processes over
+    /// local TCP sockets instead of the in-process simulator. Results
+    /// are proven byte-identical either way; this trades session-build
+    /// latency (process launch) for a live conformance check on every
+    /// operation.
+    pub real_cluster: bool,
     /// Local compute threads per session's cluster.
     pub local_threads: usize,
     /// Block size for every session.
@@ -94,6 +101,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
+            real_cluster: false,
             local_threads: 2,
             block_size: 16,
             seed: 7,
@@ -182,19 +190,25 @@ struct State {
 const RECENT_CAP: usize = 64;
 
 impl State {
-    fn session(&self, id: &str) -> Arc<Mutex<Session>> {
+    fn session(&self, id: &str) -> Result<Arc<Mutex<Session>>, CoreError> {
         let mut g = self.sessions.lock().unwrap();
-        Arc::clone(g.entry(id.to_string()).or_insert_with(|| {
-            Arc::new(Mutex::new(
-                Session::builder()
-                    .workers(self.cfg.workers)
-                    .local_threads(self.cfg.local_threads)
-                    .block_size(self.cfg.block_size)
-                    .seed(self.cfg.seed)
-                    .store(self.store.clone())
-                    .build(),
-            ))
-        }))
+        if let Some(s) = g.get(id) {
+            return Ok(Arc::clone(s));
+        }
+        let mut b = Session::builder()
+            .workers(self.cfg.workers)
+            .local_threads(self.cfg.local_threads)
+            .block_size(self.cfg.block_size)
+            .seed(self.cfg.seed)
+            .store(self.store.clone());
+        if self.cfg.real_cluster {
+            b = b.socket_transport(SocketOptions::default());
+        }
+        // Launching worker processes can fail; surface it as this
+        // request's error instead of poisoning the session map.
+        let s = Arc::new(Mutex::new(b.try_build()?));
+        g.insert(id.to_string(), Arc::clone(&s));
+        Ok(s)
     }
 
     fn push_recent(&self, entry: String) {
@@ -489,7 +503,13 @@ fn execute_job(state: &State, job: &Job) {
         }
     }
 
-    let session = state.session(&job.session);
+    let session = match state.session(&job.session) {
+        Ok(s) => s,
+        Err(e) => {
+            finish_err(state, job, fp, &e);
+            return;
+        }
+    };
     let mut sess = session.lock().unwrap();
 
     let key = cache_key(&job.program, sess.shared_store());
@@ -645,17 +665,19 @@ fn connection_loop(mut reader: TcpStream, out: Arc<Mutex<TcpStream>>, state: Arc
                     (Some(_), true) => {
                         protocol::encode_error(code::LINT, &lint_summary(&report.diagnostics))
                     }
-                    (Some(parsed), false) => {
-                        let sess = state.session(&session);
-                        let sess = sess.lock().unwrap();
-                        match sess.explain(&parsed.program) {
-                            // Warnings and infos ride along with the plan.
-                            Ok(text) => {
-                                protocol::encode_explain(&text, &diag_json(&report.diagnostics))
+                    (Some(parsed), false) => match state.session(&session) {
+                        Err(e) => protocol::encode_error(err_code(&e), &e.to_string()),
+                        Ok(sess) => {
+                            let sess = sess.lock().unwrap();
+                            match sess.explain(&parsed.program) {
+                                // Warnings and infos ride along with the plan.
+                                Ok(text) => {
+                                    protocol::encode_explain(&text, &diag_json(&report.diagnostics))
+                                }
+                                Err(e) => protocol::encode_error(err_code(&e), &e.to_string()),
                             }
-                            Err(e) => protocol::encode_error(err_code(&e), &e.to_string()),
                         }
-                    }
+                    },
                 };
                 send(&out, &resp);
             }

@@ -31,6 +31,14 @@ cargo run --release -q -p dmac-bench --bin dmac-lint > /dev/null
 echo "==> fault-recovery smoke (seeded mid-run kill, GNMF)"
 cargo run --release -q -p dmac-bench --bin faults > /dev/null
 
+echo "==> real-cluster smoke (4 dmac-workerd processes, GNMF + PageRank)"
+# Launches 4 real worker processes over local TCP (port 0), runs GNMF
+# and PageRank on them, and requires every result bit-identical to the
+# simulator oracle and every step's socket payload byte-equal to the
+# metered wire bytes. Exits non-zero on divergence, unclean shutdown,
+# or leaked worker processes.
+cargo run --release -q -p dmac-bench --bin cluster_smoke > /dev/null
+
 echo "==> deterministic failure schedule (fixed seed, twice)"
 cargo test -q --test failure_injection fault_schedule_and_results_are_seed_deterministic
 

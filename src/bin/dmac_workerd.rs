@@ -1,0 +1,49 @@
+//! `dmac-workerd` — worker daemon for the real multi-process cluster.
+//!
+//! Spawned by the coordinator (one per physical host), connects back to
+//! the given address, and serves kernel commands until shut down:
+//!
+//! ```text
+//! dmac-workerd --connect 127.0.0.1:PORT --host-id H [--heartbeat-ms 100]
+//! ```
+
+use dmac::cluster::transport::workerd::{run_worker, WorkerOptions};
+
+fn usage() -> ! {
+    eprintln!("usage: dmac-workerd --connect HOST:PORT --host-id N [--heartbeat-ms MS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut connect: Option<String> = None;
+    let mut host_id: Option<usize> = None;
+    let mut heartbeat_ms: u64 = 100;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            // Identity probe: lets a launcher confirm a candidate path is
+            // really this daemon (and not e.g. a test-harness build).
+            "--probe" => {
+                println!("dmac-workerd");
+                return;
+            }
+            "--connect" => connect = Some(value()),
+            "--host-id" => host_id = value().parse().ok(),
+            "--heartbeat-ms" => heartbeat_ms = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let (Some(connect), Some(host_id)) = (connect, host_id) else {
+        usage();
+    };
+    let opts = WorkerOptions {
+        connect,
+        host_id,
+        heartbeat_ms,
+    };
+    if let Err(e) = run_worker(&opts) {
+        eprintln!("dmac-workerd[host {host_id}]: {e}");
+        std::process::exit(1);
+    }
+}

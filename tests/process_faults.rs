@@ -1,0 +1,151 @@
+//! Real process faults: a `dmac-workerd` worker is SIGKILLed mid-run —
+//! no injected [`dmac::cluster::FaultPlan`], an actual `kill(9)` of a
+//! live OS process — and the coordinator must notice **organically**
+//! (connection EOF, reaped child, or missed heartbeats), surface the
+//! same typed [`ClusterError::WorkerLost`] the simulator's fault
+//! injector produces, and let the engine's lineage recovery rebuild the
+//! lost shards on the survivors.
+//!
+//! The load-bearing claim mirrors `tests/failure_injection.rs`: results
+//! after recovering from a real process death are **bit-for-bit
+//! identical** to the healthy run, because logical workers are remapped
+//! (never renumbered) and both backends execute the same shared kernels.
+
+use dmac::apps::Gnmf;
+use dmac::cluster::{ClusterError, SocketOptions};
+use dmac::core::baselines::SystemKind;
+use dmac::core::{CoreError, Session};
+
+fn gnmf_cfg() -> Gnmf {
+    Gnmf {
+        rows: 24,
+        cols: 18,
+        sparsity: 0.4,
+        rank: 4,
+        iterations: 2,
+    }
+}
+
+fn socket_session(opts: SocketOptions, recovery_attempts: usize) -> Session {
+    Session::builder()
+        .system(SystemKind::Dmac)
+        .workers(3)
+        .local_threads(2)
+        .block_size(8)
+        .seed(7)
+        .recovery_attempts(recovery_attempts)
+        .socket_transport(opts)
+        .try_build()
+        .expect("worker processes must launch")
+}
+
+/// Run GNMF on the socket backend; returns the W/H factor bit patterns
+/// and the report.
+fn run_gnmf(opts: SocketOptions) -> (Vec<u64>, Vec<u64>, dmac::core::engine::ExecReport, Session) {
+    let cfg = gnmf_cfg();
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+    let mut s = socket_session(opts, 3);
+    let (report, h) = cfg.run(&mut s, v).unwrap();
+    let bits = |m: dmac::matrix::BlockedMatrix| -> Vec<u64> {
+        m.to_dense().data().iter().map(|x| x.to_bits()).collect()
+    };
+    let w = bits(s.value(h.w).unwrap());
+    let hh = bits(s.value(h.h).unwrap());
+    (w, hh, report, s)
+}
+
+/// SIGKILL each host at several points mid-run; every variant must
+/// recover on the survivors and reproduce the healthy run exactly.
+#[test]
+fn sigkilled_worker_recovers_bit_identically() {
+    let (w0, h0, healthy_report, mut healthy) = run_gnmf(SocketOptions::default());
+    assert!(
+        !healthy_report.recovery.any(),
+        "healthy run must not recover"
+    );
+    healthy.shutdown_transport().unwrap();
+
+    for (host, after_ops) in [(1, 3), (2, 7), (1, 11)] {
+        let opts = SocketOptions {
+            kill_host_after_ops: Some((host, after_ops)),
+            ..SocketOptions::default()
+        };
+        let (w, h, report, mut s) = run_gnmf(opts);
+        assert!(
+            report.recovery.recovery_rounds >= 1,
+            "host {host} after {after_ops} ops: a real worker died, recovery must have run"
+        );
+        assert_eq!(
+            w, w0,
+            "host {host} after {after_ops} ops: W diverged from healthy run"
+        );
+        assert_eq!(
+            h, h0,
+            "host {host} after {after_ops} ops: H diverged from healthy run"
+        );
+        // The dead process stays dead; survivors shut down cleanly.
+        s.shutdown_transport().unwrap();
+    }
+}
+
+/// With recovery disabled, a real process death surfaces through the
+/// same typed exhaustion error the simulator's injector produces — never
+/// a panic or hang. (The underlying detection is `WorkerLost`, exactly
+/// as for injected faults.)
+#[test]
+fn sigkill_without_recovery_is_typed_worker_lost() {
+    let cfg = gnmf_cfg();
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+    let opts = SocketOptions {
+        kill_host_after_ops: Some((1, 4)),
+        ..SocketOptions::default()
+    };
+    let mut s = socket_session(opts, 0);
+    let err = cfg.run(&mut s, v).unwrap_err();
+    match err {
+        CoreError::RecoveryExhausted { worker, .. } => assert_eq!(worker, 1),
+        CoreError::Cluster(ClusterError::WorkerLost(h)) => assert_eq!(h, 1),
+        other => panic!("expected a typed worker-loss error for host 1, got {other:?}"),
+    }
+    // The session (and its transport Drop) must still tear down the
+    // surviving children without leaking them past the test.
+    drop(s);
+}
+
+/// Killing a worker *between* runs is detected by the next operation's
+/// liveness poll, and the session keeps working on the survivors.
+#[test]
+fn kill_between_runs_is_detected_and_survivable() {
+    let cfg = gnmf_cfg();
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, 8, 5);
+    let mut s = socket_session(SocketOptions::default(), 3);
+    let (_, first) = cfg.run(&mut s, v.clone()).unwrap();
+    let w_before: Vec<u64> = s
+        .value(first.w)
+        .unwrap()
+        .to_dense()
+        .data()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+
+    assert!(
+        s.cluster_mut().debug_kill_host(2),
+        "host 2 must be killable"
+    );
+    let (report, second) = cfg.run(&mut s, v).unwrap();
+    assert!(
+        report.recovery.recovery_rounds >= 1,
+        "the dead host must have been noticed and recovered from"
+    );
+    let w_after: Vec<u64> = s
+        .value(second.w)
+        .unwrap()
+        .to_dense()
+        .data()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(w_before, w_after, "recovered rerun diverged");
+    s.shutdown_transport().unwrap();
+}

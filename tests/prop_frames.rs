@@ -1,0 +1,171 @@
+//! Property/fuzz tests for the shared wire layer: the length-prefixed
+//! frame codec ([`dmac::cluster::transport::frame`]) and the strict JSON
+//! decoder ([`dmac::cluster::jsonin`]) that every protocol in the
+//! workspace (serve clients, coordinator ↔ `dmac-workerd`) sits on.
+//!
+//! The contract under test: **no input — truncated, oversized, or pure
+//! garbage — may panic or hang the decoder**. Every malformed input must
+//! surface as a typed error (`io::ErrorKind` for frames, `JsonError` for
+//! JSON), and every well-formed input must round-trip bit-exactly.
+//! Cases are drawn from the in-tree [`SplitMix64`] generator with fixed
+//! seeds, so failures replay deterministically — same idiom as
+//! `tests/prop_kernels.rs`.
+
+use std::io::ErrorKind;
+
+use dmac::cluster::jsonin::Json;
+use dmac::cluster::transport::frame::{read_frame, write_frame, MAX_FRAME};
+use dmac::matrix::SplitMix64;
+
+/// A printable-ish random payload (valid UTF-8 by construction).
+fn payload(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| (0x20 + rng.below(0x5f) as u8) as char)
+        .collect()
+}
+
+/// Drain a byte buffer through `read_frame` until EOF or error. Returns
+/// the decoded frames and the terminal outcome. Reading from a slice
+/// cannot block, and every call consumes input or terminates, so this
+/// provably cannot hang.
+fn drain(bytes: &[u8]) -> (Vec<String>, Option<ErrorKind>) {
+    let mut r = bytes;
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e.kind())),
+        }
+    }
+}
+
+/// Well-formed frame streams decode back to the exact payload sequence.
+#[test]
+fn round_trip_random_frame_streams() {
+    let mut rng = SplitMix64::new(0xF4A3_0001);
+    for _ in 0..200 {
+        let n = rng.below(8);
+        let payloads: Vec<String> = (0..n).map(|_| payload(&mut rng, 300)).collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let (frames, err) = drain(&buf);
+        assert_eq!(err, None, "clean stream must end at a frame boundary");
+        assert_eq!(frames, payloads);
+    }
+}
+
+/// Truncating a valid stream at *any* byte offset yields a prefix of the
+/// original payloads followed by clean EOF (cut exactly at a boundary)
+/// or a typed `UnexpectedEof` — never a panic, never garbage frames.
+#[test]
+fn truncation_at_every_offset_is_typed() {
+    let mut rng = SplitMix64::new(0xF4A3_0002);
+    let payloads: Vec<String> = (0..4).map(|_| payload(&mut rng, 40)).collect();
+    let mut buf = Vec::new();
+    for p in &payloads {
+        write_frame(&mut buf, p).unwrap();
+    }
+    for cut in 0..buf.len() {
+        let (frames, err) = drain(&buf[..cut]);
+        assert!(
+            frames.len() <= payloads.len(),
+            "cut {cut}: more frames out than in"
+        );
+        for (a, b) in frames.iter().zip(payloads.iter()) {
+            assert_eq!(a, b, "cut {cut}: decoded frame diverged");
+        }
+        match err {
+            None => {} // cut landed exactly on a frame boundary
+            Some(k) => assert_eq!(k, ErrorKind::UnexpectedEof, "cut {cut}"),
+        }
+    }
+}
+
+/// A length prefix past `MAX_FRAME` is rejected as `InvalidData` before
+/// any allocation, whatever follows it.
+#[test]
+fn oversized_length_prefix_is_rejected() {
+    let mut rng = SplitMix64::new(0xF4A3_0003);
+    for _ in 0..200 {
+        let n = (MAX_FRAME as u64 + 1 + rng.below(u32::MAX as usize) as u64).min(u32::MAX as u64);
+        let mut buf = (n as u32).to_be_bytes().to_vec();
+        let tail = rng.below(64);
+        buf.extend(std::iter::repeat_n(0u8, tail));
+        let (frames, err) = drain(&buf);
+        assert!(frames.is_empty());
+        assert_eq!(err, Some(ErrorKind::InvalidData));
+    }
+}
+
+/// Non-UTF-8 payload bytes are a typed `InvalidData`, not a panic.
+#[test]
+fn non_utf8_payloads_are_rejected() {
+    let mut rng = SplitMix64::new(0xF4A3_0004);
+    for _ in 0..200 {
+        let len = 1 + rng.below(32);
+        let mut body: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        // Force at least one invalid byte so the case never degenerates.
+        let at = rng.below(len);
+        body[at] = 0xFF;
+        let mut buf = (len as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        let (_, err) = drain(&buf);
+        assert!(
+            matches!(err, Some(ErrorKind::InvalidData | ErrorKind::UnexpectedEof)),
+            "got {err:?}"
+        );
+    }
+}
+
+/// Pure byte soup: whatever the stream, the decoder terminates with
+/// frames + a typed outcome. (Random 4-byte prefixes are almost always
+/// oversized or truncated; the loop also covers small-length accidents.)
+#[test]
+fn garbage_streams_never_panic() {
+    let mut rng = SplitMix64::new(0xF4A3_0005);
+    for _ in 0..500 {
+        let len = rng.below(257);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let (_, err) = drain(&bytes);
+        if let Some(k) = err {
+            assert!(
+                matches!(k, ErrorKind::InvalidData | ErrorKind::UnexpectedEof),
+                "got {k:?}"
+            );
+        }
+    }
+}
+
+/// The strict JSON decoder never panics on arbitrary printable input,
+/// and anything it accepts it accepts deterministically.
+#[test]
+fn json_decoder_survives_garbage() {
+    let mut rng = SplitMix64::new(0xF4A3_0006);
+    for _ in 0..500 {
+        let s = payload(&mut rng, 200);
+        let a = Json::parse(&s).is_ok();
+        let b = Json::parse(&s).is_ok();
+        assert_eq!(a, b);
+    }
+}
+
+/// Mutating one byte of a well-formed worker command either still parses
+/// (the mutation hit a value) or fails with a typed `JsonError` — the
+/// decoder itself must never panic on near-miss protocol frames.
+#[test]
+fn mutated_commands_fail_typed() {
+    let base = r#"{"t":"install","rid":"00000000000000ff","tiles":["0_1_x"],"n":3}"#;
+    let mut rng = SplitMix64::new(0xF4A3_0007);
+    for _ in 0..500 {
+        let mut bytes = base.as_bytes().to_vec();
+        let at = rng.below(bytes.len());
+        bytes[at] = 0x20 + rng.below(0x5f) as u8;
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = Json::parse(&s); // Ok or Err(JsonError) — both fine; a panic fails the test
+        }
+    }
+}

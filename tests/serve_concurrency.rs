@@ -52,6 +52,35 @@ fn concurrent_clients_match_serial_session_bit_for_bit() {
     server.wait();
 }
 
+/// `--real-cluster`: every tenant session runs on real `dmac-workerd`
+/// processes, and results are still byte-identical to the serial
+/// single-`Session` (simulator) replay inside `run_smoke`.
+#[test]
+fn real_cluster_server_matches_serial_session_bit_for_bit() {
+    let server = Server::start(ServerConfig {
+        pool: 2,
+        real_cluster: true,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let cfg = SmokeConfig {
+        addr: server.addr().to_string(),
+        clients: 2,
+        repeats: 2,
+        min_hit_rate: 0.5,
+        shutdown_at_end: true,
+        ..SmokeConfig::default()
+    };
+    let report = run_smoke(&cfg);
+    assert!(
+        report.ok(),
+        "smoke failures:\n{}",
+        report.failures.join("\n")
+    );
+    assert_eq!(report.completed, 2 * 2 * 2);
+    server.wait();
+}
+
 #[test]
 fn server_traces_equal_a_local_session_run() {
     let server = test_server(2);
