@@ -1,0 +1,216 @@
+//! Transport data-plane benchmark: the binary peer-to-peer pipeline vs
+//! the legacy hex-JSON coordinator star, on **4 real `dmac-workerd`
+//! processes**.
+//!
+//! GNMF and PageRank each run three times — once on the in-process
+//! simulator for the oracle bits, once per socket data plane:
+//!
+//! * **baseline** — hex-JSON tiles, every cross-host tile relayed
+//!   through the coordinator, one blocking round-trip per command (the
+//!   wire format this repo shipped before the binary data plane);
+//! * **binary+p2p** — `DMB1` binary tile frames, direct worker-to-worker
+//!   tile pushes driven by coordinator routing plans, and pipelined
+//!   per-stage dispatch (the defaults).
+//!
+//! Results land in `BENCH_transport.json`. The run exits non-zero (and
+//! fails `scripts/verify.sh`) if, for either app:
+//!
+//! * the binary+p2p plane ships **more than 60%** of the baseline's
+//!   total wire bytes (the headline claim is a ≥40% cut),
+//! * any tile byte crosses the coordinator relay in p2p mode
+//!   (`relay_bytes != 0`), or
+//! * either socket run differs from the simulator by a single bit.
+
+use dmac_apps::{Gnmf, PageRank};
+use dmac_bench::{fmt_bytes, fmt_sec, header, timed};
+use dmac_cluster::{SocketOptions, TransportStats};
+use dmac_core::json::JsonObj;
+use dmac_core::Session;
+use dmac_matrix::BlockedMatrix;
+
+const WORKERS: usize = 4;
+const BLOCK: usize = 16;
+
+fn session(socket: Option<SocketOptions>) -> Session {
+    let b = Session::builder()
+        .workers(WORKERS)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .seed(11);
+    match socket {
+        Some(opts) => b
+            .socket_transport(opts)
+            .try_build()
+            .expect("4 dmac-workerd processes must launch"),
+        None => b.build(),
+    }
+}
+
+fn bits(m: BlockedMatrix) -> Vec<u64> {
+    m.to_dense().data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn baseline_opts() -> SocketOptions {
+    SocketOptions {
+        binary: false,
+        peer_exchange: false,
+        pipeline: false,
+        ..SocketOptions::default()
+    }
+}
+
+struct ConfigRun {
+    stats: TransportStats,
+    wall: f64,
+}
+
+impl ConfigRun {
+    /// Total bytes on all links: coordinator frames + peer-link frames.
+    fn wire_total(&self) -> u64 {
+        self.stats.frame_bytes + self.stats.peer_bytes
+    }
+
+    fn json(&self) -> String {
+        JsonObj::new()
+            .u64("wire_bytes", self.wire_total())
+            .u64("frame_bytes", self.stats.frame_bytes)
+            .u64("peer_bytes", self.stats.peer_bytes)
+            .u64("relay_bytes", self.stats.relay_bytes)
+            .u64("rounds", self.stats.rounds)
+            .f64("wall_sec", self.wall)
+            .build()
+    }
+}
+
+/// Run one app on one socket data plane, checking bits against the
+/// simulator oracle.
+fn run_config(
+    name: &str,
+    opts: SocketOptions,
+    run: &dyn Fn(&mut Session) -> Vec<u64>,
+    want: &[u64],
+    failures: &mut Vec<String>,
+) -> ConfigRun {
+    let mut s = session(Some(opts));
+    let (got, wall) = timed(|| run(&mut s));
+    if got != want {
+        failures.push(format!("{name}: socket result diverged from simulator"));
+    }
+    let stats = s.transport_stats();
+    if let Err(e) = s.shutdown_transport() {
+        failures.push(format!("{name}: workers leaked past shutdown: {e}"));
+    }
+    ConfigRun { stats, wall }
+}
+
+/// Benchmark one app across both data planes and apply the gates.
+fn bench_app(
+    name: &str,
+    run: &dyn Fn(&mut Session) -> Vec<u64>,
+    failures: &mut Vec<String>,
+) -> String {
+    let mut sim = session(None);
+    let want = run(&mut sim);
+
+    let base = run_config(
+        &format!("{name} baseline"),
+        baseline_opts(),
+        run,
+        &want,
+        failures,
+    );
+    let fast = run_config(
+        &format!("{name} binary+p2p"),
+        SocketOptions::default(),
+        run,
+        &want,
+        failures,
+    );
+
+    let ratio = fast.wire_total() as f64 / base.wire_total() as f64;
+    if ratio > 0.6 {
+        failures.push(format!(
+            "{name}: binary+p2p ships {:.0}% of baseline wire bytes (gate: <=60%)",
+            ratio * 100.0
+        ));
+    }
+    if fast.stats.relay_bytes != 0 {
+        failures.push(format!(
+            "{name}: {} tile bytes crossed the coordinator relay in p2p mode",
+            fast.stats.relay_bytes
+        ));
+    }
+    println!(
+        "{name:9} baseline {:>9} in {:>7}   binary+p2p {:>9} in {:>7}   ({:.0}% of baseline bytes, {} vs {} rounds)",
+        fmt_bytes(base.wire_total()),
+        fmt_sec(base.wall),
+        fmt_bytes(fast.wire_total()),
+        fmt_sec(fast.wall),
+        ratio * 100.0,
+        fast.stats.rounds,
+        base.stats.rounds,
+    );
+
+    JsonObj::new()
+        .raw("baseline", &base.json())
+        .raw("binary_p2p", &fast.json())
+        .f64("wire_ratio", ratio)
+        .build()
+}
+
+fn main() {
+    header("Transport data plane — binary+p2p vs hex-JSON star, 4 real workers");
+    let mut failures = Vec::new();
+
+    let gnmf = Gnmf {
+        rows: 96,
+        cols: 64,
+        sparsity: 0.1,
+        rank: 8,
+        iterations: 3,
+    };
+    let v = dmac_data::uniform_sparse(gnmf.rows, gnmf.cols, gnmf.sparsity, BLOCK, 5);
+    let gnmf_json = bench_app(
+        "gnmf",
+        &|s| {
+            let (_, h) = gnmf.run(s, v.clone()).expect("gnmf run");
+            bits(s.value(h.w).unwrap())
+        },
+        &mut failures,
+    );
+
+    let nodes = 96;
+    let g = dmac_data::powerlaw_graph(nodes, 900, BLOCK, 5);
+    let pagerank = PageRank {
+        nodes,
+        link_sparsity: 900.0 / (nodes as f64 * nodes as f64),
+        damping: 0.85,
+        iterations: 4,
+    };
+    let pagerank_json = bench_app(
+        "pagerank",
+        &|s| {
+            let (_, h) = pagerank.run(s, &g).expect("pagerank run");
+            bits(s.value(h.rank).unwrap())
+        },
+        &mut failures,
+    );
+
+    let mut json = JsonObj::new()
+        .u64("workers", WORKERS as u64)
+        .u64("block", BLOCK as u64)
+        .raw("gnmf", &gnmf_json)
+        .raw("pagerank", &pagerank_json)
+        .build();
+    json.push('\n');
+    std::fs::write("BENCH_transport.json", &json).expect("write BENCH_transport.json");
+    println!("\nwrote BENCH_transport.json");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("transport bench: OK (>=40% wire-byte cut, zero relay bytes in p2p, bit-exact)");
+}

@@ -39,6 +39,7 @@
 //! stale shard on a surviving worker can never be confused for the
 //! replayed one.
 
+pub mod binfmt;
 pub mod frame;
 pub mod socket;
 pub mod wire;
@@ -171,6 +172,18 @@ pub struct TransportStats {
     pub heartbeats: u64,
     /// Primitives mirrored.
     pub ops: u64,
+    /// Tile payload bytes that transited the coordinator while relaying
+    /// cross-host moves (one inbound + one outbound leg per tile). Stays
+    /// 0 when direct worker-to-worker exchange is on — the bench gate
+    /// for the peer-to-peer data plane.
+    pub relay_bytes: u64,
+    /// Framed bytes pushed over direct worker-to-worker links, as
+    /// rolled up from per-edge receipts in `xferred` replies.
+    pub peer_bytes: u64,
+    /// Coordinator dispatch round-trips (one per write-all-then-read
+    /// exchange). With pipelining a whole stage costs one round; without
+    /// it, one per command.
+    pub rounds: u64,
 }
 
 /// A physical execution backend mirroring the in-process oracle.

@@ -5,12 +5,31 @@
 //!
 //! The coordinator binds `127.0.0.1:0` (the OS assigns the port), spawns
 //! one worker process per physical host, and each worker connects back
-//! and introduces itself with a `hello` frame — a star topology, no
-//! worker-to-worker links. Cross-host tile movement is relayed through
-//! the coordinator (`collect` from the source host, `install` to the
-//! destination), which keeps the failure model tractable: a SIGKILLed
-//! worker can never wedge a peer mid-transfer, only its own coordinator
-//! connection, which is exactly where liveness is watched.
+//! and introduces itself with a `hello` frame advertising its peer
+//! listen address and codec support. After membership the coordinator
+//! negotiates the data plane with a `mode` command: the binary `DMB1`
+//! tile codec ([`super::binfmt`]) when every worker (and
+//! [`SocketOptions::binary`]) allows it, hex-JSON otherwise; and the
+//! peer address table for direct worker-to-worker exchange.
+//!
+//! Control traffic is a star — every command and reply crosses the
+//! coordinator — but with [`SocketOptions::peer_exchange`] on, *tile
+//! payload* for cross-host moves does not: the coordinator sends the
+//! source host an `xfer` routing plan and the worker pushes tiles
+//! straight to the destination's peer listener, rolling per-item byte
+//! receipts and per-edge frame stats up in its `xferred` reply. The
+//! coordinator's relay path (`collect` + `install`, metered as
+//! [`TransportStats::relay_bytes`]) remains as the negotiated fallback.
+//!
+//! ## Pipelined dispatch
+//!
+//! With [`SocketOptions::pipeline`] on, all commands of a stage are
+//! written to all hosts before any reply is read — a stage costs one
+//! round-trip ([`TransportStats::rounds`]) instead of `hosts ×
+//! primitives`. Every command carries a per-connection sequence number
+//! `"q"` which the worker echoes in its reply; after an aborted stage
+//! (worker loss mid-exchange) the coordinator discards stale-`q`
+//! replies, so the connection re-synchronises without draining logic.
 //!
 //! ## Liveness
 //!
@@ -21,17 +40,23 @@
 //! `liveness_timeout_ms` — and surfaces it as
 //! [`ClusterError::WorkerLost`], the same error injected faults produce,
 //! so the engine's lineage-recovery path handles real process death
-//! with no new code.
+//! with no new code. A worker whose peer push fails reports `peerfail`
+//! naming the dead destination, which the coordinator folds into the
+//! same path.
 //!
 //! ## Metering and conformance
 //!
 //! Payload is metered per *logical* move (a tile whose logical owner
 //! changes is charged even when both workers share a host — matching the
-//! simulator's logical ledger), from the byte sizes workers report.
-//! After every mirrored primitive the destination value is *sealed*:
-//! each host reports canonical per-shard checksums
+//! simulator's logical ledger), from the byte sizes workers report —
+//! identically for relayed, peer-pushed, and local-copy tiles, so
+//! `transport_bytes == wire_bytes` conformance is invariant under
+//! topology and codec. After every mirrored primitive the destination
+//! value is *sealed*: each host reports canonical per-shard checksums
 //! ([`wire::shard_checksum`]) that must equal the oracle's, so state
-//! divergence is caught at the primitive that caused it.
+//! divergence is caught at the primitive that caused it. Seals are only
+//! issued after every copy/xfer receipt of the stage is in hand, so all
+//! peer installs happen-before the seal.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{self, Read};
@@ -49,7 +74,8 @@ use crate::error::{ClusterError, Result};
 use crate::json::{JsonArr, JsonObj};
 use crate::jsonin::Json;
 use crate::partition::PartitionScheme;
-use crate::transport::frame::{write_frame, MAX_FRAME};
+use crate::transport::binfmt;
+use crate::transport::frame::{framed_len, write_frame_bytes, MAX_FRAME};
 use crate::transport::wire;
 use crate::transport::{
     MoveItem, PartialDesc, TileTransform, Transport, TransportStats, UnaryTileOp,
@@ -66,10 +92,28 @@ pub struct SocketOptions {
     pub heartbeat_ms: u64,
     /// A host with no heartbeat for this long is declared dead.
     pub liveness_timeout_ms: u64,
+    /// Negotiate the binary `DMB1` tile codec (on by default). Off, or
+    /// with any worker not advertising support, tiles travel as
+    /// hex-in-JSON — the PR-7 wire format.
+    pub binary: bool,
+    /// Route cross-host tile moves directly worker-to-worker via `xfer`
+    /// plans (on by default). Off, they relay through the coordinator.
+    pub peer_exchange: bool,
+    /// Write all commands of a stage before reading any reply (on by
+    /// default). Off, every command is its own blocking round-trip.
+    pub pipeline: bool,
     /// Test hook: SIGKILL host `.0`'s process when the `.1`-th mirrored
     /// primitive begins, *without* marking it dead — detection must flow
     /// through the organic liveness machinery.
     pub kill_host_after_ops: Option<(usize, u64)>,
+    /// Test hook: SIGKILL host `.0` right after the write phase of the
+    /// `.1`-th pipelined exchange — mid-stage, commands written, no
+    /// reply read.
+    pub kill_host_mid_stage: Option<(usize, u64)>,
+    /// Test hook: SIGKILL host `.0` right after the write phase of the
+    /// `.1`-th exchange that carries `xfer` routing plans — while peer
+    /// pushes toward (or from) it are in flight.
+    pub kill_host_mid_xfer: Option<(usize, u64)>,
 }
 
 impl Default for SocketOptions {
@@ -77,7 +121,12 @@ impl Default for SocketOptions {
         SocketOptions {
             heartbeat_ms: 100,
             liveness_timeout_ms: 2000,
+            binary: true,
+            peer_exchange: true,
+            pipeline: true,
             kill_host_after_ops: None,
+            kill_host_mid_stage: None,
+            kill_host_mid_xfer: None,
         }
     }
 }
@@ -91,10 +140,10 @@ struct FrameReader {
 }
 
 impl FrameReader {
-    /// `Ok(Some(frame))` when a complete frame is available, `Ok(None)`
+    /// `Ok(Some(payload))` when a complete frame is available, `Ok(None)`
     /// when the read timed out at whatever boundary, `Err` when the
     /// connection closed or broke.
-    fn next(&mut self, stream: &mut TcpStream) -> io::Result<Option<String>> {
+    fn next(&mut self, stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
         loop {
             if self.buf.len() >= 4 {
                 let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
@@ -107,10 +156,7 @@ impl FrameReader {
                 }
                 if self.buf.len() >= 4 + len {
                     let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
-                    let text = String::from_utf8(body).map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidData, "frame is not UTF-8")
-                    })?;
-                    return Ok(Some(text));
+                    return Ok(Some(body));
                 }
             }
             let mut tmp = [0u8; 64 * 1024];
@@ -141,6 +187,47 @@ struct Conn {
     child: Child,
     last_hb: Instant,
     alive: bool,
+    /// Next sequence number to stamp on an outgoing command.
+    seq: u64,
+    /// Peer listener address advertised in the hello.
+    peer: String,
+    /// Whether the worker advertised binary codec support.
+    bin: bool,
+}
+
+/// One outgoing command, sequence number still to be stamped.
+enum Outgoing {
+    /// A JSON control command.
+    Json(JsonObj),
+    /// A binary message: JSON header + bulk body.
+    Bin(JsonObj, Vec<u8>),
+}
+
+/// One worker reply: parsed header, plus the raw body for binary
+/// messages (tile sections, mostly `collect` replies).
+struct Reply {
+    head: Json,
+    body: Option<Vec<u8>>,
+}
+
+impl Reply {
+    fn kind(&self) -> Option<&str> {
+        self.head.get("t").and_then(Json::as_str)
+    }
+}
+
+/// Decode the tiles of a `collect` reply, either codec.
+fn reply_tiles(reply: &Reply) -> std::result::Result<Vec<(usize, usize, usize, Block)>, String> {
+    match &reply.body {
+        Some(body) => binfmt::decode_tiles(body),
+        None => {
+            let mut out = Vec::new();
+            for t in wire::field_arr(&reply.head, "tiles")? {
+                out.push(wire::decode_tile(t)?);
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// Locate the `dmac-workerd` binary: `DMAC_WORKERD` env override, then
@@ -225,7 +312,13 @@ pub struct SocketTransport {
     known: HashSet<u64>,
     stats: TransportStats,
     opts: SocketOptions,
+    /// Negotiated at membership: binary tile codec on every link.
+    bin: bool,
     ops_done: u64,
+    /// Pipelined exchanges completed (for the mid-stage kill hook).
+    stages_done: u64,
+    /// Exchanges carrying `xfer` plans completed (mid-xfer kill hook).
+    xfers_done: u64,
     /// Hosts whose death has already been surfaced (via poll or
     /// [`Transport::host_down`]); never reported again.
     reported: HashSet<usize>,
@@ -234,8 +327,8 @@ pub struct SocketTransport {
 
 impl SocketTransport {
     /// Spawn `workers` worker processes and complete membership: bind
-    /// port 0, launch children pointed back at the assigned port, and
-    /// wait for every `hello`.
+    /// port 0, launch children pointed back at the assigned port, wait
+    /// for every `hello`, then negotiate the data plane (`mode`).
     pub fn launch(workers: usize, opts: SocketOptions) -> Result<SocketTransport> {
         let bin = locate_workerd()?;
         let listener = TcpListener::bind("127.0.0.1:0")
@@ -278,8 +371,9 @@ impl SocketTransport {
             }
         };
 
+        type Slot = (TcpStream, FrameReader, String, bool);
         let deadline = Instant::now() + Duration::from_secs(15);
-        let mut slots: Vec<Option<(TcpStream, FrameReader)>> = (0..workers).map(|_| None).collect();
+        let mut slots: Vec<Option<Slot>> = (0..workers).map(|_| None).collect();
         let mut accepted = 0usize;
         while accepted < workers {
             if Instant::now() > deadline {
@@ -327,48 +421,86 @@ impl SocketTransport {
                     }
                 }
             };
-            let host = Json::parse(&hello)
+            let parsed = std::str::from_utf8(&hello)
                 .ok()
-                .filter(|j| j.get("t").and_then(Json::as_str) == Some("hello"))
+                .and_then(|t| Json::parse(t).ok())
+                .filter(|j| j.get("t").and_then(Json::as_str) == Some("hello"));
+            let host = parsed
+                .as_ref()
                 .and_then(|j| j.get("host").and_then(Json::as_u64))
                 .map(|h| h as usize);
             match host {
                 Some(h) if h < workers && slots[h].is_none() => {
-                    slots[h] = Some((stream, reader));
+                    let j = parsed.expect("host implies parsed");
+                    let peer = j
+                        .get("peer")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    let bin_ok = j.get("bin").and_then(Json::as_u64).unwrap_or(0) != 0;
+                    slots[h] = Some((stream, reader, peer, bin_ok));
                     accepted += 1;
                 }
                 _ => {
                     kill_all(&mut children);
-                    return Err(ClusterError::Protocol(format!("bad hello frame: {hello}")));
+                    return Err(ClusterError::Protocol(format!(
+                        "bad hello frame: {}",
+                        String::from_utf8_lossy(&hello)
+                    )));
                 }
             }
         }
 
         let now = Instant::now();
-        let conns = slots
+        let conns: Vec<Conn> = slots
             .into_iter()
             .zip(children.iter_mut())
             .map(|(slot, child)| {
-                let (stream, reader) = slot.expect("all slots filled");
+                let (stream, reader, peer, bin_ok) = slot.expect("all slots filled");
                 Conn {
                     stream,
                     reader,
                     child: child.take().expect("child present"),
                     last_hb: now,
                     alive: true,
+                    seq: 0,
+                    peer,
+                    bin: bin_ok,
                 }
             })
             .collect();
-        Ok(SocketTransport {
+        // Binary tiles only when the coordinator wants them AND every
+        // worker advertised support — otherwise the whole cluster falls
+        // back to hex-JSON, keeping the codec uniform per session.
+        let negotiated_bin = opts.binary && conns.iter().all(|c| c.bin);
+        let mut me = SocketTransport {
             conns,
             assignment: (0..workers).collect(),
             known: HashSet::new(),
             stats: TransportStats::default(),
             opts,
+            bin: negotiated_bin,
             ops_done: 0,
+            stages_done: 0,
+            xfers_done: 0,
             reported: HashSet::new(),
             shut: false,
-        })
+        };
+        let mut peers = JsonArr::new();
+        for h in 0..workers {
+            peers = peers.str(&me.conns[h].peer.clone());
+        }
+        let peers = peers.build();
+        for host in 0..workers {
+            let cmd = JsonObj::new()
+                .str("t", "mode")
+                .u64("bin", u64::from(negotiated_bin))
+                .u64("p2p", u64::from(opts.peer_exchange))
+                .raw("peers", &peers)
+                .u64("timeout_ms", opts.liveness_timeout_ms);
+            me.expect_ok(host, Outgoing::Json(cmd))?;
+        }
+        Ok(me)
     }
 
     fn mark_dead(conn: &mut Conn) {
@@ -377,72 +509,204 @@ impl SocketTransport {
         conn.child.wait().ok();
     }
 
-    /// Send one command and wait for its reply, tolerating interleaved
-    /// heartbeats and watching the liveness deadline.
-    fn request(&mut self, host: usize, cmd: &str) -> Result<Json> {
-        let liveness = Duration::from_millis(self.opts.liveness_timeout_ms);
+    /// Stamp the next sequence number, frame (JSON or binary), write,
+    /// and account — the send half of a round-trip.
+    fn send_cmd(&mut self, host: usize, cmd: Outgoing) -> Result<u64> {
         let stats = &mut self.stats;
         let conn = &mut self.conns[host];
         if !conn.alive {
             return Err(ClusterError::WorkerLost(host));
         }
-        if write_frame(&mut conn.stream, cmd).is_err() {
+        let seq = conn.seq;
+        conn.seq += 1;
+        let payload: Vec<u8> = match cmd {
+            Outgoing::Json(obj) => obj.u64("q", seq).build().into_bytes(),
+            Outgoing::Bin(obj, body) => binfmt::encode(&obj.u64("q", seq).build(), &body),
+        };
+        stats.frames += 1;
+        stats.frame_bytes += framed_len(payload.len());
+        if write_frame_bytes(&mut conn.stream, &payload).is_err() {
             Self::mark_dead(conn);
             return Err(ClusterError::WorkerLost(host));
         }
-        stats.frames += 1;
-        stats.frame_bytes += cmd.len() as u64 + 4;
-        loop {
-            match conn.reader.next(&mut conn.stream) {
-                Ok(Some(text)) => {
-                    stats.frames += 1;
-                    stats.frame_bytes += text.len() as u64 + 4;
-                    let Ok(j) = Json::parse(&text) else {
-                        Self::mark_dead(conn);
-                        return Err(ClusterError::Protocol(format!(
-                            "unparseable reply from host {host}"
-                        )));
-                    };
-                    match j.get("t").and_then(Json::as_str) {
-                        Some("hb") => {
+        Ok(seq)
+    }
+
+    /// Receive the reply carrying sequence number `want` from `host`,
+    /// tolerating interleaved heartbeats, discarding stale replies from
+    /// aborted stages, and watching the liveness deadline.
+    fn recv_reply(&mut self, host: usize, want: u64) -> Result<Reply> {
+        let liveness = Duration::from_millis(self.opts.liveness_timeout_ms);
+        let reply = 'outer: {
+            let stats = &mut self.stats;
+            let conn = &mut self.conns[host];
+            if !conn.alive {
+                return Err(ClusterError::WorkerLost(host));
+            }
+            loop {
+                match conn.reader.next(&mut conn.stream) {
+                    Ok(Some(raw)) => {
+                        stats.frames += 1;
+                        stats.frame_bytes += framed_len(raw.len());
+                        let reply = if binfmt::is_binary(&raw) {
+                            let parsed = binfmt::decode(&raw)
+                                .ok()
+                                .and_then(|(h, b)| Json::parse(h).ok().map(|j| (j, b.to_vec())));
+                            match parsed {
+                                Some((head, body)) => Reply {
+                                    head,
+                                    body: Some(body),
+                                },
+                                None => {
+                                    Self::mark_dead(conn);
+                                    return Err(ClusterError::Protocol(format!(
+                                        "corrupt binary reply from host {host}"
+                                    )));
+                                }
+                            }
+                        } else {
+                            let parsed = std::str::from_utf8(&raw)
+                                .ok()
+                                .and_then(|t| Json::parse(t).ok());
+                            match parsed {
+                                Some(head) => Reply { head, body: None },
+                                None => {
+                                    Self::mark_dead(conn);
+                                    return Err(ClusterError::Protocol(format!(
+                                        "unparseable reply from host {host}"
+                                    )));
+                                }
+                            }
+                        };
+                        if reply.kind() == Some("hb") {
                             conn.last_hb = Instant::now();
                             stats.heartbeats += 1;
+                            continue;
                         }
-                        Some("err") => {
-                            let msg = j
-                                .get("msg")
-                                .and_then(Json::as_str)
-                                .unwrap_or("unknown")
-                                .to_string();
-                            return Err(ClusterError::Protocol(format!("host {host}: {msg}")));
+                        match reply.head.get("q").and_then(Json::as_u64) {
+                            // A stale reply from an exchange aborted by
+                            // worker loss: discard; the connection
+                            // re-synchronises by sequence number.
+                            Some(q) if q < want => continue,
+                            Some(q) if q == want => break 'outer reply,
+                            _ => {
+                                Self::mark_dead(conn);
+                                return Err(ClusterError::Protocol(format!(
+                                    "host {host} desynchronised (bad reply sequence)"
+                                )));
+                            }
                         }
-                        _ => return Ok(j),
                     }
-                }
-                Ok(None) => {
-                    if matches!(conn.child.try_wait(), Ok(Some(_)))
-                        || conn.last_hb.elapsed() > liveness
-                    {
+                    Ok(None) => {
+                        if matches!(conn.child.try_wait(), Ok(Some(_)))
+                            || conn.last_hb.elapsed() > liveness
+                        {
+                            Self::mark_dead(conn);
+                            return Err(ClusterError::WorkerLost(host));
+                        }
+                    }
+                    Err(_) => {
                         Self::mark_dead(conn);
                         return Err(ClusterError::WorkerLost(host));
                     }
                 }
-                Err(_) => {
+            }
+        };
+        match reply.kind() {
+            Some("err") => {
+                let msg = reply
+                    .head
+                    .get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                Err(ClusterError::Protocol(format!("host {host}: {msg}")))
+            }
+            // A worker's peer push failed: the *destination* host is the
+            // casualty. Fold it into the normal worker-loss path.
+            Some("peerfail") => {
+                let h = wire::field_usize(&reply.head, "host").map_err(ClusterError::Protocol)?;
+                if let Some(conn) = self.conns.get_mut(h) {
                     Self::mark_dead(conn);
-                    return Err(ClusterError::WorkerLost(host));
+                }
+                Err(ClusterError::WorkerLost(h))
+            }
+            _ => Ok(reply),
+        }
+    }
+
+    /// One blocking round-trip (used for membership, shutdown, and the
+    /// star relay fallback).
+    fn request(&mut self, host: usize, cmd: Outgoing) -> Result<Reply> {
+        let seq = self.send_cmd(host, cmd)?;
+        self.stats.rounds += 1;
+        self.recv_reply(host, seq)
+    }
+
+    /// Dispatch a whole stage: write every command to every host, then
+    /// collect the replies in order — one round-trip for the stage. With
+    /// pipelining disabled, degrades to sequential round-trips. Replies
+    /// are returned in command order.
+    fn exchange(
+        &mut self,
+        label: &'static str,
+        cmds: Vec<(usize, Outgoing)>,
+    ) -> Result<Vec<Reply>> {
+        if cmds.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.opts.pipeline {
+            let mut replies = Vec::with_capacity(cmds.len());
+            for (host, cmd) in cmds {
+                replies.push(self.request(host, cmd)?);
+            }
+            return Ok(replies);
+        }
+        let mut pending = Vec::with_capacity(cmds.len());
+        for (host, cmd) in cmds {
+            let seq = self.send_cmd(host, cmd)?;
+            pending.push((host, seq));
+        }
+        self.stage_hooks(label);
+        let mut replies = Vec::with_capacity(pending.len());
+        for (host, seq) in pending {
+            replies.push(self.recv_reply(host, seq)?);
+        }
+        self.stats.rounds += 1;
+        Ok(replies)
+    }
+
+    /// Fire the mid-stage / mid-xfer SIGKILL test hooks: the exchange's
+    /// frames are written, no reply has been read.
+    fn stage_hooks(&mut self, label: &'static str) {
+        self.stages_done += 1;
+        if let Some((h, at)) = self.opts.kill_host_mid_stage {
+            if self.stages_done == at && h < self.conns.len() {
+                self.conns[h].child.kill().ok();
+            }
+        }
+        if label == "xfer" {
+            self.xfers_done += 1;
+            if let Some((h, at)) = self.opts.kill_host_mid_xfer {
+                if self.xfers_done == at && h < self.conns.len() {
+                    self.conns[h].child.kill().ok();
                 }
             }
         }
     }
 
-    fn expect_ok(&mut self, host: usize, cmd: &str) -> Result<()> {
-        let reply = self.request(host, cmd)?;
-        match reply.get("t").and_then(Json::as_str) {
+    fn check_ok(&self, host: usize, reply: &Reply) -> Result<()> {
+        match reply.kind() {
             Some("ok") => Ok(()),
             other => Err(ClusterError::Protocol(format!(
                 "host {host}: expected ok, got {other:?}"
             ))),
         }
+    }
+
+    fn expect_ok(&mut self, host: usize, cmd: Outgoing) -> Result<()> {
+        let reply = self.request(host, cmd)?;
+        self.check_ok(host, &reply)
     }
 
     /// Count one mirrored primitive; fire the SIGKILL test hook when its
@@ -467,85 +731,137 @@ impl SocketTransport {
         map.into_iter().collect()
     }
 
-    /// Ship a batch of encoded tiles to a host as one or more `install`
-    /// frames (split to respect the frame ceiling).
-    fn install_tiles(&mut self, host: usize, rid: u64, tiles: &[String]) -> Result<()> {
+    /// Chunk a batch of placed tiles into `install` commands respecting
+    /// the frame ceiling, in the negotiated codec.
+    fn install_cmds(&self, rid: u64, tiles: &[(usize, usize, usize, &Block)]) -> Vec<Outgoing> {
         let budget = (MAX_FRAME / 2) as usize;
-        let mut batch: Vec<&String> = Vec::new();
-        let mut size = 0usize;
-        let flush = |me: &mut Self, batch: &mut Vec<&String>| -> Result<()> {
-            if batch.is_empty() {
-                return Ok(());
+        let mut cmds = Vec::new();
+        if self.bin {
+            let mut body = vec![0u8; 4];
+            let mut count = 0u32;
+            for &(w, bi, bj, tile) in tiles {
+                let len = binfmt::tile_wire_len(tile);
+                if count > 0 && body.len() + len > budget {
+                    body[..4].copy_from_slice(&count.to_le_bytes());
+                    cmds.push(Outgoing::Bin(
+                        JsonObj::new().str("t", "install").u64("rid", rid),
+                        std::mem::replace(&mut body, vec![0u8; 4]),
+                    ));
+                    count = 0;
+                }
+                binfmt::push_tile(&mut body, w, bi, bj, tile);
+                count += 1;
             }
-            let mut arr = JsonArr::new();
-            for t in batch.iter() {
-                arr = arr.raw(t);
+            if count > 0 {
+                body[..4].copy_from_slice(&count.to_le_bytes());
+                cmds.push(Outgoing::Bin(
+                    JsonObj::new().str("t", "install").u64("rid", rid),
+                    body,
+                ));
             }
-            let cmd = JsonObj::new()
-                .str("t", "install")
-                .u64("rid", rid)
-                .raw("tiles", &arr.build())
-                .build();
-            batch.clear();
-            me.expect_ok(host, &cmd)
-        };
-        for t in tiles {
-            if size + t.len() > budget && !batch.is_empty() {
-                flush(self, &mut batch)?;
-                size = 0;
+        } else {
+            let mut batch = JsonArr::new();
+            let mut size = 0usize;
+            let mut any = false;
+            for &(w, bi, bj, tile) in tiles {
+                let enc = wire::encode_tile(w, bi, bj, tile);
+                if any && size + enc.len() > budget {
+                    cmds.push(Outgoing::Json(
+                        JsonObj::new()
+                            .str("t", "install")
+                            .u64("rid", rid)
+                            .raw("tiles", &std::mem::take(&mut batch).build()),
+                    ));
+                    size = 0;
+                }
+                size += enc.len();
+                any = true;
+                batch = batch.raw(&enc);
             }
-            size += t.len();
-            batch.push(t);
+            if any {
+                cmds.push(Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "install")
+                        .u64("rid", rid)
+                        .raw("tiles", &batch.build()),
+                ));
+            }
         }
-        flush(self, &mut batch)
+        cmds
     }
 
-    /// Verify a value's physical shards against the oracle, host by host.
-    fn seal_check(&mut self, op: &'static str, value: &DistMatrix) -> Result<()> {
-        for (host, ws) in self.hosts_with_ws() {
-            let mut ws_arr = JsonArr::new();
-            for &w in &ws {
-                ws_arr = ws_arr.u64(w as u64);
-            }
-            let cmd = JsonObj::new()
+    /// The `seal` command proving one value's shards on a host.
+    fn seal_cmd(rid: u64, ws: &[usize]) -> Outgoing {
+        let mut ws_arr = JsonArr::new();
+        for &w in ws {
+            ws_arr = ws_arr.u64(w as u64);
+        }
+        Outgoing::Json(
+            JsonObj::new()
                 .str("t", "seal")
-                .u64("rid", value.rid())
-                .raw("ws", &ws_arr.build())
-                .build();
-            let reply = self.request(host, &cmd)?;
-            let shards = wire::field_arr(&reply, "shards").map_err(ClusterError::Protocol)?;
-            for shard in shards {
-                let w = wire::field_usize(shard, "w").map_err(ClusterError::Protocol)?;
-                let n = wire::field_usize(shard, "n").map_err(ClusterError::Protocol)?;
-                let x = wire::field_str(shard, "x")
-                    .ok()
-                    .and_then(wire::parse_hex_u64)
-                    .ok_or_else(|| ClusterError::Protocol("bad seal checksum".into()))?;
-                if w >= value.workers() {
-                    return Err(ClusterError::Protocol(format!(
-                        "seal for unknown worker {w}"
-                    )));
-                }
-                let oracle = value.worker_blocks(w);
-                let oracle_sum = wire::shard_checksum(oracle.iter().map(|(&k, t)| (k, &**t)));
-                if n != oracle.len() || x != oracle_sum {
-                    return Err(ClusterError::TransportConformance {
-                        op,
-                        detail: format!(
-                            "shard of worker {w} on host {host} diverged \
-                             ({n} tiles, checksum {x:016x}; oracle {} tiles, {oracle_sum:016x})",
-                            oracle.len()
-                        ),
-                    });
-                }
+                .u64("rid", rid)
+                .raw("ws", &ws_arr.build()),
+        )
+    }
+
+    /// Validate one host's `sealed` reply against the oracle's shards.
+    fn check_seal(
+        &self,
+        op: &'static str,
+        value: &DistMatrix,
+        host: usize,
+        reply: &Reply,
+    ) -> Result<()> {
+        let shards = wire::field_arr(&reply.head, "shards").map_err(ClusterError::Protocol)?;
+        for shard in shards {
+            let w = wire::field_usize(shard, "w").map_err(ClusterError::Protocol)?;
+            let n = wire::field_usize(shard, "n").map_err(ClusterError::Protocol)?;
+            let x = wire::field_str(shard, "x")
+                .ok()
+                .and_then(wire::parse_hex_u64)
+                .ok_or_else(|| ClusterError::Protocol("bad seal checksum".into()))?;
+            if w >= value.workers() {
+                return Err(ClusterError::Protocol(format!(
+                    "seal for unknown worker {w}"
+                )));
             }
+            let oracle = value.worker_blocks(w);
+            let oracle_sum = wire::shard_checksum(oracle.iter().map(|(&k, t)| (k, &**t)));
+            if n != oracle.len() || x != oracle_sum {
+                return Err(ClusterError::TransportConformance {
+                    op,
+                    detail: format!(
+                        "shard of worker {w} on host {host} diverged \
+                         ({n} tiles, checksum {x:016x}; oracle {} tiles, {oracle_sum:016x})",
+                        oracle.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify a value's physical shards against the oracle — one
+    /// pipelined exchange across all hosts.
+    fn seal_check(&mut self, op: &'static str, value: &DistMatrix) -> Result<()> {
+        let hosts = self.hosts_with_ws();
+        let cmds = hosts
+            .iter()
+            .map(|(host, ws)| (*host, Self::seal_cmd(value.rid(), ws)))
+            .collect();
+        let replies = self.exchange("seal", cmds)?;
+        for ((host, _), reply) in hosts.iter().zip(&replies) {
+            self.check_seal(op, value, *host, reply)?;
         }
         Ok(())
     }
 
     /// Relay tiles of `rid` between hosts through the coordinator:
     /// `collect` from the source, re-key/transform, `install` at the
-    /// destination. Returns the decoded source-tile sizes, in item order.
+    /// destination. Returns the decoded source-tile sizes, in item
+    /// order. This is the star fallback (`peer_exchange: false`); the
+    /// relayed tile payload is metered as `relay_bytes`, one inbound and
+    /// one outbound leg per tile.
     fn relay(
         &mut self,
         rid_in: u64,
@@ -568,10 +884,9 @@ impl SocketTransport {
         let cmd = JsonObj::new()
             .str("t", "collect")
             .u64("rid", rid_in)
-            .raw("items", &item_arr.build())
-            .build();
-        let reply = self.request(src_host, &cmd)?;
-        let tiles = wire::field_arr(&reply, "tiles").map_err(ClusterError::Protocol)?;
+            .raw("items", &item_arr.build());
+        let reply = self.request(src_host, Outgoing::Json(cmd))?;
+        let tiles = reply_tiles(&reply).map_err(ClusterError::Protocol)?;
         if tiles.len() != items.len() {
             return Err(ClusterError::Protocol(format!(
                 "collect returned {} tiles for {} items",
@@ -580,9 +895,8 @@ impl SocketTransport {
             )));
         }
         let mut bytes = Vec::with_capacity(items.len());
-        let mut encoded = Vec::with_capacity(items.len());
-        for (t, &(_, dest_w, bi, bj)) in tiles.iter().zip(items) {
-            let (_, tbi, tbj, block) = wire::decode_tile(t).map_err(ClusterError::Protocol)?;
+        let mut moved: Vec<(usize, usize, usize, Block)> = Vec::with_capacity(items.len());
+        for ((_, tbi, tbj, block), &(_, dest_w, bi, bj)) in tiles.into_iter().zip(items) {
             if (tbi, tbj) != (bi, bj) {
                 return Err(ClusterError::Protocol(
                     "collect returned tiles out of order".into(),
@@ -590,9 +904,39 @@ impl SocketTransport {
             }
             bytes.push(block.actual_bytes() as u64);
             let (di, dj) = transform.dest_key(bi, bj);
-            encoded.push(wire::encode_tile(dest_w, di, dj, &transform.apply(&block)));
+            moved.push((dest_w, di, dj, transform.apply(&block)));
         }
-        self.install_tiles(dest_host, rid_out, &encoded)?;
+        self.stats.relay_bytes += 2 * bytes.iter().sum::<u64>();
+        let refs: Vec<(usize, usize, usize, &Block)> = moved
+            .iter()
+            .map(|(w, bi, bj, t)| (*w, *bi, *bj, t))
+            .collect();
+        let cmds = self.install_cmds(rid_out, &refs);
+        for cmd in cmds {
+            self.expect_ok(dest_host, cmd)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Roll an `xferred` reply's per-edge receipts into the stats and
+    /// return the per-item source-byte receipts.
+    fn take_xferred(&mut self, host: usize, reply: &Reply) -> Result<Vec<u64>> {
+        if reply.kind() != Some("xferred") {
+            return Err(ClusterError::Protocol(format!(
+                "host {host}: expected xferred, got {:?}",
+                reply.kind()
+            )));
+        }
+        for edge in wire::field_arr(&reply.head, "edges").map_err(ClusterError::Protocol)? {
+            self.stats.peer_bytes += wire::field_u64(edge, "b").map_err(ClusterError::Protocol)?;
+        }
+        let mut bytes = Vec::new();
+        for b in wire::field_arr(&reply.head, "bytes").map_err(ClusterError::Protocol)? {
+            bytes.push(
+                b.as_u64()
+                    .ok_or_else(|| ClusterError::Protocol("bad xfer byte count".into()))?,
+            );
+        }
         Ok(bytes)
     }
 }
@@ -621,20 +965,31 @@ impl Transport for SocketTransport {
         if self.known.contains(&m.rid()) {
             return Ok(());
         }
-        let mut per_host: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut per_host: BTreeMap<usize, Vec<(usize, usize, usize, &Block)>> = BTreeMap::new();
         let mut bytes = 0u64;
         for w in 0..m.workers() {
             let host = self.assignment[w];
             for (&(bi, bj), tile) in m.worker_blocks(w) {
                 bytes += tile.actual_bytes() as u64;
-                per_host
-                    .entry(host)
-                    .or_default()
-                    .push(wire::encode_tile(w, bi, bj, tile));
+                per_host.entry(host).or_default().push((w, bi, bj, tile));
             }
         }
-        for (host, tiles) in per_host {
-            self.install_tiles(host, m.rid(), &tiles)?;
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        for (host, tiles) in &per_host {
+            for cmd in self.install_cmds(m.rid(), tiles) {
+                cmds.push((*host, cmd));
+            }
+        }
+        let replies = self.exchange("install", cmds)?;
+        for reply in &replies {
+            // Hosts answer in command order; an err would have surfaced
+            // in recv already, this guards against type confusion.
+            if reply.kind() != Some("ok") {
+                return Err(ClusterError::Protocol(format!(
+                    "install: expected ok, got {:?}",
+                    reply.kind()
+                )));
+            }
         }
         self.known.insert(m.rid());
         self.stats.install_bytes += bytes;
@@ -656,10 +1011,12 @@ impl Transport for SocketTransport {
             TileTransform::None => "none",
             TileTransform::Transpose => "transpose",
         };
-        // Same-host moves run as worker-local copies; cross-host moves
-        // are relayed. Either way the *logical* metering below is
-        // identical to the oracle's.
+        // Same-host moves run as worker-local copies. Cross-host moves
+        // are pushed worker-to-worker via `xfer` routing plans (or
+        // relayed through the coordinator in star fallback). Either way
+        // the *logical* metering below is identical to the oracle's.
         let mut local: BTreeMap<usize, (Vec<&MoveItem>, JsonArr)> = BTreeMap::new();
+        let mut xfer: BTreeMap<usize, (Vec<&MoveItem>, JsonArr)> = BTreeMap::new();
         let mut cross: BTreeMap<(usize, usize), Vec<&MoveItem>> = BTreeMap::new();
         for mv in moves {
             let sh = self.assignment[mv.src_w];
@@ -678,49 +1035,109 @@ impl Transport for SocketTransport {
                         .u64("bj", mv.bj as u64)
                         .build(),
                 );
+            } else if self.opts.peer_exchange {
+                let entry = xfer
+                    .entry(sh)
+                    .or_insert_with(|| (Vec::new(), JsonArr::new()));
+                entry.0.push(mv);
+                let items = std::mem::take(&mut entry.1);
+                entry.1 = items.raw(
+                    &JsonObj::new()
+                        .u64("wi", mv.src_w as u64)
+                        .u64("wo", mv.dest_w as u64)
+                        .u64("bi", mv.bi as u64)
+                        .u64("bj", mv.bj as u64)
+                        .u64("dh", dh as u64)
+                        .build(),
+                );
             } else {
                 cross.entry((sh, dh)).or_default().push(mv);
             }
         }
         let mut payload = 0u64;
         let mut free = 0u64;
-        for (host, (items, arr)) in local {
-            let cmd = JsonObj::new()
-                .str("t", "copy")
-                .u64("rid_in", src.rid())
-                .u64("rid_out", dest.rid())
-                .str("tr", tr_name)
-                .raw("items", &arr.build())
-                .build();
-            let reply = self.request(host, &cmd)?;
-            let bytes = wire::field_arr(&reply, "bytes").map_err(ClusterError::Protocol)?;
+        let mut tally = |items: &[&MoveItem], bytes: &[u64]| -> Result<()> {
             if bytes.len() != items.len() {
-                return Err(ClusterError::Protocol("copy reply length mismatch".into()));
+                return Err(ClusterError::Protocol(
+                    "move receipt length mismatch".into(),
+                ));
             }
-            for (mv, b) in items.iter().zip(bytes) {
-                let b = b
-                    .as_u64()
-                    .ok_or_else(|| ClusterError::Protocol("bad copy byte count".into()))?;
+            for (mv, &b) in items.iter().zip(bytes) {
                 if mv.metered {
                     payload += b;
                 } else {
                     free += b;
                 }
             }
+            Ok(())
+        };
+        // One exchange carries every local copy and every routing plan;
+        // by the time the replies are in, all peer pushes are acked.
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut order: Vec<Vec<&MoveItem>> = Vec::new();
+        let mut kinds: Vec<&'static str> = Vec::new();
+        for (host, (items, arr)) in local {
+            cmds.push((
+                host,
+                Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "copy")
+                        .u64("rid_in", src.rid())
+                        .u64("rid_out", dest.rid())
+                        .str("tr", tr_name)
+                        .raw("items", &arr.build()),
+                ),
+            ));
+            order.push(items);
+            kinds.push("copied");
         }
+        let label = if xfer.is_empty() { "move" } else { "xfer" };
+        for (host, (items, arr)) in xfer {
+            cmds.push((
+                host,
+                Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "xfer")
+                        .u64("rid_in", src.rid())
+                        .u64("rid_out", dest.rid())
+                        .str("tr", tr_name)
+                        .raw("items", &arr.build()),
+                ),
+            ));
+            order.push(items);
+            kinds.push("xferred");
+        }
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange(label, cmds)?;
+        for (((host, reply), items), kind) in hosts.iter().zip(&replies).zip(&order).zip(&kinds) {
+            let bytes: Vec<u64> = if *kind == "xferred" {
+                self.take_xferred(*host, reply)?
+            } else {
+                if reply.kind() != Some("copied") {
+                    return Err(ClusterError::Protocol(format!(
+                        "host {host}: expected copied, got {:?}",
+                        reply.kind()
+                    )));
+                }
+                let mut v = Vec::new();
+                for b in wire::field_arr(&reply.head, "bytes").map_err(ClusterError::Protocol)? {
+                    v.push(
+                        b.as_u64()
+                            .ok_or_else(|| ClusterError::Protocol("bad copy byte count".into()))?,
+                    );
+                }
+                v
+            };
+            tally(items, &bytes)?;
+        }
+        // Star fallback for cross-host moves.
         for ((sh, dh), items) in cross {
-            let coords: Vec<(usize, usize, usize, usize)> = items
+            let coords: Vec<RelayItem> = items
                 .iter()
                 .map(|mv| (mv.src_w, mv.dest_w, mv.bi, mv.bj))
                 .collect();
             let bytes = self.relay(src.rid(), dest.rid(), transform, sh, dh, &coords)?;
-            for (mv, b) in items.iter().zip(bytes) {
-                if mv.metered {
-                    payload += b;
-                } else {
-                    free += b;
-                }
-            }
+            tally(&items, &bytes)?;
         }
         self.seal_check(op, dest)?;
         self.known.insert(dest.rid());
@@ -741,6 +1158,11 @@ impl Transport for SocketTransport {
         self.ensure_resident(a)?;
         self.ensure_resident(b)?;
         let kb = a.meta().col_blocks;
+        // One exchange: each host gets its task list (if any) chained
+        // with its seal — the worker runs them in order, so op + proof
+        // cost a single round-trip for the whole stage.
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut seals: Vec<Option<usize>> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let mut tasks = JsonArr::new();
             let mut any = false;
@@ -756,23 +1178,35 @@ impl Transport for SocketTransport {
                     );
                 }
             }
-            if !any {
-                continue;
+            if any {
+                cmds.push((
+                    host,
+                    Outgoing::Json(
+                        JsonObj::new()
+                            .str("t", "mm")
+                            .u64("rid_a", a.rid())
+                            .u64("rid_b", b.rid())
+                            .u64("rid_out", out.rid())
+                            .u64("kb", kb as u64)
+                            .u64("rows", out.rows() as u64)
+                            .u64("cols", out.cols() as u64)
+                            .u64("block", out.block_size() as u64)
+                            .raw("tasks", &tasks.build()),
+                    ),
+                ));
+                seals.push(None);
             }
-            let cmd = JsonObj::new()
-                .str("t", "mm")
-                .u64("rid_a", a.rid())
-                .u64("rid_b", b.rid())
-                .u64("rid_out", out.rid())
-                .u64("kb", kb as u64)
-                .u64("rows", out.rows() as u64)
-                .u64("cols", out.cols() as u64)
-                .u64("block", out.block_size() as u64)
-                .raw("tasks", &tasks.build())
-                .build();
-            self.expect_ok(host, &cmd)?;
+            cmds.push((host, Self::seal_cmd(out.rid(), &ws)));
+            seals.push(Some(host));
         }
-        self.seal_check(op, out)?;
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange(op, cmds)?;
+        for ((host, reply), seal) in hosts.iter().zip(&replies).zip(&seals) {
+            match seal {
+                None => self.check_ok(*host, reply)?,
+                Some(h) => self.check_seal(op, out, *h, reply)?,
+            }
+        }
         self.known.insert(out.rid());
         Ok(())
     }
@@ -792,27 +1226,35 @@ impl Transport for SocketTransport {
         let n = out.workers();
         let kb = a.meta().col_blocks;
 
-        // Phase 1: partial products where the k-slices live.
-        let mut worker_descs: Vec<PartialDesc> = Vec::new();
-        for (host, ws) in self.hosts_with_ws() {
+        // Phase 1 (one round): partial products where the k-slices live.
+        let hosts_ws = self.hosts_with_ws();
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        for (host, ws) in &hosts_ws {
             let mut ws_arr = JsonArr::new();
-            for &w in &ws {
+            for &w in ws {
                 ws_arr = ws_arr.u64(w as u64);
             }
-            let cmd = JsonObj::new()
-                .str("t", "cpmm1")
-                .u64("rid_a", a.rid())
-                .u64("rid_b", b.rid())
-                .u64("stage", stage)
-                .u64("n", n as u64)
-                .u64("kb", kb as u64)
-                .u64("rows", out.rows() as u64)
-                .u64("cols", out.cols() as u64)
-                .u64("block", out.block_size() as u64)
-                .raw("ws", &ws_arr.build())
-                .build();
-            let reply = self.request(host, &cmd)?;
-            for d in wire::field_arr(&reply, "descs").map_err(ClusterError::Protocol)? {
+            cmds.push((
+                *host,
+                Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "cpmm1")
+                        .u64("rid_a", a.rid())
+                        .u64("rid_b", b.rid())
+                        .u64("stage", stage)
+                        .u64("n", n as u64)
+                        .u64("kb", kb as u64)
+                        .u64("rows", out.rows() as u64)
+                        .u64("cols", out.cols() as u64)
+                        .u64("block", out.block_size() as u64)
+                        .raw("ws", &ws_arr.build()),
+                ),
+            ));
+        }
+        let replies = self.exchange("cpmm1", cmds)?;
+        let mut worker_descs: Vec<PartialDesc> = Vec::new();
+        for reply in &replies {
+            for d in wire::field_arr(&reply.head, "descs").map_err(ClusterError::Protocol)? {
                 let src_w = wire::field_usize(d, "w").map_err(ClusterError::Protocol)?;
                 let bi = wire::field_usize(d, "bi").map_err(ClusterError::Protocol)?;
                 let bj = wire::field_usize(d, "bj").map_err(ClusterError::Protocol)?;
@@ -843,24 +1285,69 @@ impl Transport for SocketTransport {
             });
         }
 
-        // Relay cross-host partials, preserving their source identity
-        // (the phase-2 combine is keyed by ascending source worker).
-        let mut relays: BTreeMap<(usize, usize), Vec<RelayItem>> = BTreeMap::new();
-        for p in partials {
-            let sh = self.assignment[p.src_w];
-            let dh = self.assignment[p.dest_w];
-            if sh != dh {
-                relays
-                    .entry((sh, dh))
-                    .or_default()
-                    .push((p.src_w, p.src_w, p.bi, p.bj));
+        // Shuffle cross-host partials to the output owners, preserving
+        // their source identity (the phase-2 combine is keyed by
+        // ascending source worker): one `xfer` round peer-to-peer, or
+        // relays in star fallback.
+        if self.opts.peer_exchange {
+            let mut per_src: BTreeMap<usize, JsonArr> = BTreeMap::new();
+            for p in partials {
+                let sh = self.assignment[p.src_w];
+                let dh = self.assignment[p.dest_w];
+                if sh != dh {
+                    let arr = per_src.entry(sh).or_default();
+                    let taken = std::mem::take(arr);
+                    *arr = taken.raw(
+                        &JsonObj::new()
+                            .u64("wi", p.src_w as u64)
+                            .u64("wo", p.src_w as u64)
+                            .u64("bi", p.bi as u64)
+                            .u64("bj", p.bj as u64)
+                            .u64("dh", dh as u64)
+                            .build(),
+                    );
+                }
+            }
+            let cmds: Vec<(usize, Outgoing)> = per_src
+                .into_iter()
+                .map(|(host, arr)| {
+                    (
+                        host,
+                        Outgoing::Json(
+                            JsonObj::new()
+                                .str("t", "xfer")
+                                .u64("rid_in", stage)
+                                .u64("rid_out", stage)
+                                .str("tr", "none")
+                                .raw("items", &arr.build()),
+                        ),
+                    )
+                })
+                .collect();
+            let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+            let replies = self.exchange("xfer", cmds)?;
+            for (host, reply) in hosts.iter().zip(&replies) {
+                self.take_xferred(*host, reply)?;
+            }
+        } else {
+            let mut relays: BTreeMap<(usize, usize), Vec<RelayItem>> = BTreeMap::new();
+            for p in partials {
+                let sh = self.assignment[p.src_w];
+                let dh = self.assignment[p.dest_w];
+                if sh != dh {
+                    relays
+                        .entry((sh, dh))
+                        .or_default()
+                        .push((p.src_w, p.src_w, p.bi, p.bj));
+                }
+            }
+            for ((sh, dh), items) in relays {
+                self.relay(stage, stage, TileTransform::None, sh, dh, &items)?;
             }
         }
-        for ((sh, dh), items) in relays {
-            self.relay(stage, stage, TileTransform::None, sh, dh, &items)?;
-        }
 
-        // Phase 2: combine at the owners, ascending source order.
+        // Phase 2 (one round): combine at the owners in ascending source
+        // order, retire the staging shards, seal — chained per host.
         let mut srcs_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
         for p in partials {
             srcs_of.entry((p.bi, p.bj)).or_default().push(p.src_w);
@@ -868,10 +1355,12 @@ impl Transport for SocketTransport {
         for v in srcs_of.values_mut() {
             v.sort_unstable();
         }
-        for (host, ws) in self.hosts_with_ws() {
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut seals: Vec<Option<usize>> = Vec::new();
+        for (host, ws) in &hosts_ws {
             let mut tasks = JsonArr::new();
             let mut any = false;
-            for &w in &ws {
+            for &w in ws {
                 for &(bi, bj) in out.worker_blocks(w).keys() {
                     any = true;
                     let mut srcs = JsonArr::new();
@@ -890,29 +1379,37 @@ impl Transport for SocketTransport {
                     );
                 }
             }
-            if !any {
-                continue;
+            if any {
+                cmds.push((
+                    *host,
+                    Outgoing::Json(
+                        JsonObj::new()
+                            .str("t", "cpmm2")
+                            .u64("stage", stage)
+                            .u64("rid_out", out.rid())
+                            .u64("rows", out.rows() as u64)
+                            .u64("cols", out.cols() as u64)
+                            .u64("block", out.block_size() as u64)
+                            .raw("tasks", &tasks.build()),
+                    ),
+                ));
+                seals.push(None);
             }
-            let cmd = JsonObj::new()
-                .str("t", "cpmm2")
-                .u64("stage", stage)
-                .u64("rid_out", out.rid())
-                .u64("rows", out.rows() as u64)
-                .u64("cols", out.cols() as u64)
-                .u64("block", out.block_size() as u64)
-                .raw("tasks", &tasks.build())
-                .build();
-            self.expect_ok(host, &cmd)?;
+            cmds.push((
+                *host,
+                Outgoing::Json(JsonObj::new().str("t", "free").u64("rid", stage)),
+            ));
+            seals.push(None);
+            cmds.push((*host, Self::seal_cmd(out.rid(), ws)));
+            seals.push(Some(*host));
         }
-        self.seal_check("cpmm", out)?;
-        // Retire the staging shards; they are dead weight after combine.
-        let free_cmd = JsonObj::new()
-            .str("t", "free")
-            .u64("stage", stage)
-            .u64("rid", stage);
-        let free_cmd = free_cmd.build();
-        for (host, _) in self.hosts_with_ws() {
-            self.expect_ok(host, &free_cmd)?;
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange("cpmm2", cmds)?;
+        for ((host, reply), seal) in hosts.iter().zip(&replies).zip(&seals) {
+            match seal {
+                None => self.check_ok(*host, reply)?,
+                Some(h) => self.check_seal("cpmm", out, *h, reply)?,
+            }
         }
         self.known.insert(out.rid());
         let payload: u64 = partials
@@ -935,6 +1432,8 @@ impl Transport for SocketTransport {
         self.stats.ops += 1;
         self.ensure_resident(a)?;
         self.ensure_resident(b)?;
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut seals: Vec<Option<usize>> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let mut tasks = JsonArr::new();
             let mut any = false;
@@ -950,20 +1449,32 @@ impl Transport for SocketTransport {
                     );
                 }
             }
-            if !any {
-                continue;
+            if any {
+                cmds.push((
+                    host,
+                    Outgoing::Json(
+                        JsonObj::new()
+                            .str("t", "cell")
+                            .str("op", op.name())
+                            .u64("rid_a", a.rid())
+                            .u64("rid_b", b.rid())
+                            .u64("rid_out", out.rid())
+                            .raw("tasks", &tasks.build()),
+                    ),
+                ));
+                seals.push(None);
             }
-            let cmd = JsonObj::new()
-                .str("t", "cell")
-                .str("op", op.name())
-                .u64("rid_a", a.rid())
-                .u64("rid_b", b.rid())
-                .u64("rid_out", out.rid())
-                .raw("tasks", &tasks.build())
-                .build();
-            self.expect_ok(host, &cmd)?;
+            cmds.push((host, Self::seal_cmd(out.rid(), &ws)));
+            seals.push(Some(host));
         }
-        self.seal_check("cellwise", out)?;
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange("cell", cmds)?;
+        for ((host, reply), seal) in hosts.iter().zip(&replies).zip(&seals) {
+            match seal {
+                None => self.check_ok(*host, reply)?,
+                Some(h) => self.check_seal("cellwise", out, *h, reply)?,
+            }
+        }
         self.known.insert(out.rid());
         Ok(())
     }
@@ -984,7 +1495,16 @@ impl Transport for SocketTransport {
             rids = rids.u64(leaf.rid());
         }
         let rids = rids.build();
-        let prog_json = wire::encode_prog(prog);
+        // Binary mode ships the scalar constants as a raw f64 body
+        // section referenced by slot index; JSON fallback inlines hex.
+        let (prog_json, consts) = if self.bin {
+            let (p, c) = wire::encode_prog_indexed(prog);
+            (p, Some(c))
+        } else {
+            (wire::encode_prog(prog), None)
+        };
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut seals: Vec<Option<usize>> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let mut tasks = JsonArr::new();
             let mut any = false;
@@ -1000,19 +1520,31 @@ impl Transport for SocketTransport {
                     );
                 }
             }
-            if !any {
-                continue;
+            if any {
+                let head = JsonObj::new()
+                    .str("t", "fused")
+                    .raw("rids", &rids)
+                    .raw("prog", &prog_json)
+                    .u64("rid_out", out.rid())
+                    .raw("tasks", &tasks.build());
+                let cmd = match &consts {
+                    Some(c) if !c.is_empty() => Outgoing::Bin(head, binfmt::encode_f64s(c)),
+                    _ => Outgoing::Json(head),
+                };
+                cmds.push((host, cmd));
+                seals.push(None);
             }
-            let cmd = JsonObj::new()
-                .str("t", "fused")
-                .raw("rids", &rids)
-                .raw("prog", &prog_json)
-                .u64("rid_out", out.rid())
-                .raw("tasks", &tasks.build())
-                .build();
-            self.expect_ok(host, &cmd)?;
+            cmds.push((host, Self::seal_cmd(out.rid(), &ws)));
+            seals.push(Some(host));
         }
-        self.seal_check("fused", out)?;
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange("fused", cmds)?;
+        for ((host, reply), seal) in hosts.iter().zip(&replies).zip(&seals) {
+            match seal {
+                None => self.check_ok(*host, reply)?,
+                Some(h) => self.check_seal("fused", out, *h, reply)?,
+            }
+        }
         self.known.insert(out.rid());
         Ok(())
     }
@@ -1021,6 +1553,8 @@ impl Transport for SocketTransport {
         self.op_tick();
         self.stats.ops += 1;
         self.ensure_resident(src)?;
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
+        let mut seals: Vec<Option<usize>> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let mut tasks = JsonArr::new();
             let mut any = false;
@@ -1036,20 +1570,32 @@ impl Transport for SocketTransport {
                     );
                 }
             }
-            if !any {
-                continue;
+            if any {
+                cmds.push((
+                    host,
+                    Outgoing::Json(
+                        JsonObj::new()
+                            .str("t", "unary")
+                            .str("op", op.name())
+                            .str("c", &wire::hex_f64(op.constant()))
+                            .u64("rid_in", src.rid())
+                            .u64("rid_out", out.rid())
+                            .raw("tasks", &tasks.build()),
+                    ),
+                ));
+                seals.push(None);
             }
-            let cmd = JsonObj::new()
-                .str("t", "unary")
-                .str("op", op.name())
-                .str("c", &wire::hex_f64(op.constant()))
-                .u64("rid_in", src.rid())
-                .u64("rid_out", out.rid())
-                .raw("tasks", &tasks.build())
-                .build();
-            self.expect_ok(host, &cmd)?;
+            cmds.push((host, Self::seal_cmd(out.rid(), &ws)));
+            seals.push(Some(host));
         }
-        self.seal_check("map", out)?;
+        let hosts: Vec<usize> = cmds.iter().map(|(h, _)| *h).collect();
+        let replies = self.exchange("unary", cmds)?;
+        for ((host, reply), seal) in hosts.iter().zip(&replies).zip(&seals) {
+            match seal {
+                None => self.check_ok(*host, reply)?,
+                Some(h) => self.check_seal("map", out, *h, reply)?,
+            }
+        }
         self.known.insert(out.rid());
         Ok(())
     }
@@ -1065,6 +1611,7 @@ impl Transport for SocketTransport {
         // Broadcast values are fully replicated: only worker 0's fold
         // enters the total, so only it is conformance-checked.
         let broadcast = m.scheme() == PartitionScheme::Broadcast;
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let check: Vec<usize> = if broadcast {
                 ws.iter().copied().filter(|&w| w == 0).collect()
@@ -1078,14 +1625,20 @@ impl Transport for SocketTransport {
             for &w in &check {
                 ws_arr = ws_arr.u64(w as u64);
             }
-            let cmd = JsonObj::new()
-                .str("t", "reduce")
-                .str("kind", kind_name)
-                .u64("rid", m.rid())
-                .raw("ws", &ws_arr.build())
-                .build();
-            let reply = self.request(host, &cmd)?;
-            for part in wire::field_arr(&reply, "parts").map_err(ClusterError::Protocol)? {
+            cmds.push((
+                host,
+                Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "reduce")
+                        .str("kind", kind_name)
+                        .u64("rid", m.rid())
+                        .raw("ws", &ws_arr.build()),
+                ),
+            ));
+        }
+        let replies = self.exchange("reduce", cmds)?;
+        for reply in &replies {
+            for part in wire::field_arr(&reply.head, "parts").map_err(ClusterError::Protocol)? {
                 let w = wire::field_usize(part, "w").map_err(ClusterError::Protocol)?;
                 let x = wire::field_str(part, "x")
                     .ok()
@@ -1108,7 +1661,7 @@ impl Transport for SocketTransport {
     fn gather(&mut self, m: &DistMatrix) -> Result<Option<DistMatrix>> {
         self.ensure_resident(m)?;
         let broadcast = m.scheme() == PartitionScheme::Broadcast;
-        let mut placed: Vec<(Option<usize>, usize, usize, Arc<Block>)> = Vec::new();
+        let mut cmds: Vec<(usize, Outgoing)> = Vec::new();
         for (host, ws) in self.hosts_with_ws() {
             let mut items = JsonArr::new();
             let mut count = 0usize;
@@ -1130,14 +1683,20 @@ impl Transport for SocketTransport {
             if count == 0 {
                 continue;
             }
-            let cmd = JsonObj::new()
-                .str("t", "collect")
-                .u64("rid", m.rid())
-                .raw("items", &items.build())
-                .build();
-            let reply = self.request(host, &cmd)?;
-            for t in wire::field_arr(&reply, "tiles").map_err(ClusterError::Protocol)? {
-                let (w, bi, bj, block) = wire::decode_tile(t).map_err(ClusterError::Protocol)?;
+            cmds.push((
+                host,
+                Outgoing::Json(
+                    JsonObj::new()
+                        .str("t", "collect")
+                        .u64("rid", m.rid())
+                        .raw("items", &items.build()),
+                ),
+            ));
+        }
+        let replies = self.exchange("gather", cmds)?;
+        let mut placed: Vec<(Option<usize>, usize, usize, Arc<Block>)> = Vec::new();
+        for reply in &replies {
+            for (w, bi, bj, block) in reply_tiles(reply).map_err(ClusterError::Protocol)? {
                 placed.push((Some(w), bi, bj, Arc::new(block)));
             }
         }
@@ -1171,22 +1730,35 @@ impl Transport for SocketTransport {
                     conn.stream.set_nonblocking(true).ok();
                     loop {
                         match conn.reader.next(&mut conn.stream) {
-                            Ok(Some(text)) => {
+                            Ok(Some(raw)) => {
                                 self.stats.frames += 1;
-                                self.stats.frame_bytes += text.len() as u64 + 4;
-                                let is_hb = Json::parse(&text)
-                                    .ok()
-                                    .map(|j| j.get("t").and_then(Json::as_str) == Some("hb"))
-                                    .unwrap_or(false);
-                                if is_hb {
-                                    conn.last_hb = Instant::now();
-                                    self.stats.heartbeats += 1;
+                                self.stats.frame_bytes += framed_len(raw.len());
+                                let head = if binfmt::is_binary(&raw) {
+                                    binfmt::decode(&raw)
+                                        .ok()
+                                        .and_then(|(h, _)| Json::parse(h).ok())
                                 } else {
-                                    // An unsolicited non-heartbeat frame
-                                    // means the stream is not in a state
-                                    // we can reason about.
-                                    Self::mark_dead(conn);
-                                    break;
+                                    std::str::from_utf8(&raw)
+                                        .ok()
+                                        .and_then(|t| Json::parse(t).ok())
+                                };
+                                match head {
+                                    Some(j) if j.get("t").and_then(Json::as_str) == Some("hb") => {
+                                        conn.last_hb = Instant::now();
+                                        self.stats.heartbeats += 1;
+                                    }
+                                    // A sequence-tagged reply nobody is
+                                    // awaiting: leftover from an exchange
+                                    // aborted by another host's death.
+                                    // Discard; the stream stays coherent.
+                                    Some(j) if j.get("q").and_then(Json::as_u64).is_some() => {}
+                                    // An unsolicited frame that is
+                                    // neither means the stream is not in
+                                    // a state we can reason about.
+                                    _ => {
+                                        Self::mark_dead(conn);
+                                        break;
+                                    }
                                 }
                             }
                             Ok(None) => break,
@@ -1237,12 +1809,11 @@ impl Transport for SocketTransport {
         }
         self.shut = true;
         let mut leaked = Vec::new();
-        let shutdown_cmd = JsonObj::new().str("t", "shutdown").build();
         for host in 0..self.conns.len() {
             if self.conns[host].alive {
                 // Best-effort goodbye; a host dying here is not a leak.
-                match self.request(host, &shutdown_cmd) {
-                    Ok(reply) if reply.get("t").and_then(Json::as_str) == Some("bye") => {}
+                match self.request(host, Outgoing::Json(JsonObj::new().str("t", "shutdown"))) {
+                    Ok(reply) if reply.kind() == Some("bye") => {}
                     _ => {}
                 }
                 let conn = &mut self.conns[host];

@@ -72,15 +72,30 @@ pub fn hex_f64s(vals: &[f64]) -> String {
     s
 }
 
-/// Parse a concatenated-hex f64 string produced by [`hex_f64s`].
+/// Hex digit value, or `None` for any other byte.
+fn nibble(b: u8) -> Option<u64> {
+    match b {
+        b'0'..=b'9' => Some(u64::from(b - b'0')),
+        b'a'..=b'f' => Some(u64::from(b - b'a' + 10)),
+        b'A'..=b'F' => Some(u64::from(b - b'A' + 10)),
+        _ => None,
+    }
+}
+
+/// Parse a concatenated-hex f64 string produced by [`hex_f64s`],
+/// decoding nibbles directly — no per-chunk UTF-8 re-validation, no
+/// integer-parser round trip. Bit patterns are preserved exactly
+/// (NaN payloads, signed zeros).
 pub fn parse_hex_f64s(s: &str) -> Option<Vec<f64>> {
-    if !s.len().is_multiple_of(16) || !s.is_ascii() {
+    if !s.len().is_multiple_of(16) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 16);
-    for chunk in s.as_bytes().chunks(16) {
-        let txt = std::str::from_utf8(chunk).ok()?;
-        let bits = u64::from_str_radix(txt, 16).ok()?;
+    for chunk in s.as_bytes().chunks_exact(16) {
+        let mut bits = 0u64;
+        for &b in chunk {
+            bits = (bits << 4) | nibble(b)?;
+        }
         out.push(f64::from_bits(bits));
     }
     Some(out)
@@ -293,6 +308,67 @@ pub fn decode_prog(arr: &[Json]) -> Result<Vec<dmac_matrix::FusedOp>, String> {
     Ok(out)
 }
 
+/// Encode a fused program for binary mode: scalar constants are pulled
+/// out into a slot vector (shipped as a raw little-endian f64 body
+/// section) and ops reference them by index (`{"o":"scale","ci":0}`).
+pub fn encode_prog_indexed(prog: &[dmac_matrix::FusedOp]) -> (String, Vec<f64>) {
+    use dmac_matrix::FusedOp;
+    let mut consts = Vec::new();
+    let slot = |c: f64, consts: &mut Vec<f64>| -> u64 {
+        consts.push(c);
+        (consts.len() - 1) as u64
+    };
+    let mut arr = JsonArr::new();
+    for op in prog {
+        let obj = match op {
+            FusedOp::Leaf(i) => JsonObj::new().str("o", "leaf").u64("i", *i as u64),
+            FusedOp::Add => JsonObj::new().str("o", "add"),
+            FusedOp::Sub => JsonObj::new().str("o", "sub"),
+            FusedOp::CellMul => JsonObj::new().str("o", "cmul"),
+            FusedOp::CellDiv => JsonObj::new().str("o", "cdiv"),
+            FusedOp::Scale(c) => JsonObj::new()
+                .str("o", "scale")
+                .u64("ci", slot(*c, &mut consts)),
+            FusedOp::AddScalar(c) => JsonObj::new()
+                .str("o", "adds")
+                .u64("ci", slot(*c, &mut consts)),
+        };
+        arr = arr.raw(&obj.build());
+    }
+    (arr.build(), consts)
+}
+
+/// Decode a program encoded by [`encode_prog_indexed`], resolving
+/// constant slots against the message body's f64 section.
+pub fn decode_prog_indexed(
+    arr: &[Json],
+    consts: &[f64],
+) -> Result<Vec<dmac_matrix::FusedOp>, String> {
+    use dmac_matrix::FusedOp;
+    let mut out = Vec::with_capacity(arr.len());
+    for j in arr {
+        let name = field_str(j, "o")?;
+        let constant = || -> Result<f64, String> {
+            let ci = field_usize(j, "ci")?;
+            consts
+                .get(ci)
+                .copied()
+                .ok_or_else(|| format!("constant slot {ci} out of range"))
+        };
+        out.push(match name {
+            "leaf" => FusedOp::Leaf(field_usize(j, "i")?),
+            "add" => FusedOp::Add,
+            "sub" => FusedOp::Sub,
+            "cmul" => FusedOp::CellMul,
+            "cdiv" => FusedOp::CellDiv,
+            "scale" => FusedOp::Scale(constant()?),
+            "adds" => FusedOp::AddScalar(constant()?),
+            other => return Err(format!("unknown fused op '{other}'")),
+        });
+    }
+    Ok(out)
+}
+
 /// Absorb one tile's canonical binary encoding into a hasher: tag byte,
 /// dims, then the representation-specific body.
 pub fn hash_tile(h: &mut Fnv64, tile: &Block) {
@@ -431,5 +507,65 @@ mod tests {
         assert_eq!(parse_hex_u64(&hex_u64(u64::MAX)).unwrap(), u64::MAX);
         assert!(parse_hex_u64("xyz").is_none());
         assert!(parse_hex_f64s("123").is_none());
+    }
+
+    #[test]
+    fn hex_f64s_round_trip_nan_payloads_and_zero_signs() {
+        let vals = vec![
+            f64::from_bits(0x7ff8_0000_0000_0001), // quiet NaN, low payload bit set
+            f64::from_bits(0x7ff0_0000_0000_0001), // signalling NaN
+            f64::from_bits(0xfff8_dead_beef_0000), // negative NaN with payload
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+        ];
+        let enc = hex_f64s(&vals);
+        let back = parse_hex_f64s(&enc).unwrap();
+        let bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = vals.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, want, "bit patterns must survive the hex round trip");
+    }
+
+    #[test]
+    fn indexed_prog_round_trips_constants_bit_exactly() {
+        use dmac_matrix::FusedOp;
+        let prog = vec![
+            FusedOp::Leaf(0),
+            FusedOp::Scale(-0.0),
+            FusedOp::Leaf(1),
+            FusedOp::AddScalar(f64::from_bits(0x7ff8_0000_0000_0001)),
+            FusedOp::Add,
+        ];
+        let (arr_json, consts) = encode_prog_indexed(&prog);
+        assert_eq!(consts.len(), 2);
+        let parsed = Json::parse(&arr_json).unwrap();
+        let back = decode_prog_indexed(parsed.as_arr().unwrap(), &consts).unwrap();
+        for (a, b) in prog.iter().zip(&back) {
+            match (a, b) {
+                (FusedOp::Scale(x), FusedOp::Scale(y))
+                | (FusedOp::AddScalar(x), FusedOp::AddScalar(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+        // A slot index past the constants section is a typed error.
+        assert!(decode_prog_indexed(parsed.as_arr().unwrap(), &consts[..1]).is_err());
+    }
+
+    #[test]
+    fn hex_f64s_parser_accepts_both_cases_rejects_non_hex() {
+        // Uppercase renderings decode to the same bits.
+        let v = f64::from_bits(0xabcd_ef01_2345_6789);
+        let upper = hex_f64s(&[v]).to_ascii_uppercase();
+        assert_eq!(parse_hex_f64s(&upper).unwrap()[0].to_bits(), v.to_bits());
+        // Any non-hex byte anywhere fails, including multi-byte UTF-8
+        // that keeps the length a multiple of 16.
+        assert!(parse_hex_f64s("3ff000000000000g").is_none());
+        assert!(parse_hex_f64s("3ff0000000000é0").is_none());
+        assert!(parse_hex_f64s(&" ".repeat(16)).is_none());
     }
 }

@@ -261,6 +261,12 @@ impl Session {
         self.cluster.transport_is_physical()
     }
 
+    /// The transport backend's cumulative wire counters (frames, payload
+    /// bytes, relay/peer bytes, dispatch rounds).
+    pub fn transport_stats(&self) -> dmac_cluster::TransportStats {
+        self.cluster.transport_stats()
+    }
+
     /// Cleanly stop the transport backend. On the socket backend this
     /// asks every worker process to exit and reaps it, erroring if any
     /// child had to be killed. The simulator backend is a no-op.

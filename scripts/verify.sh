@@ -39,6 +39,13 @@ echo "==> real-cluster smoke (4 dmac-workerd processes, GNMF + PageRank)"
 # or leaked worker processes.
 cargo run --release -q -p dmac-bench --bin cluster_smoke > /dev/null
 
+echo "==> transport data-plane benchmark (binary+p2p vs hex-JSON star, writes BENCH_transport.json)"
+# Exits non-zero if the binary peer-to-peer data plane ships more than
+# 60% of the hex-JSON star baseline's wire bytes (the claim is a >=40%
+# cut), if any tile byte crosses the coordinator relay in p2p mode, or
+# if either socket run diverges from the simulator by a single bit.
+cargo run --release -q -p dmac-bench --bin transport > /dev/null
+
 echo "==> deterministic failure schedule (fixed seed, twice)"
 cargo test -q --test failure_injection fault_schedule_and_results_are_seed_deterministic
 

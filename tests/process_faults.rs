@@ -88,6 +88,60 @@ fn sigkilled_worker_recovers_bit_identically() {
     }
 }
 
+/// SIGKILL a worker right after a pipelined stage's commands have been
+/// written but before any reply is read — the coordinator is
+/// mid-exchange with frames in flight. Detection must still be organic
+/// (EOF / reaped child), the per-connection sequence numbers must
+/// re-synchronise past the aborted stage's stale replies, and recovery
+/// must reproduce the healthy run bit-for-bit.
+#[test]
+fn sigkill_mid_pipelined_stage_recovers_bit_identically() {
+    let (w0, h0, healthy_report, mut healthy) = run_gnmf(SocketOptions::default());
+    assert!(!healthy_report.recovery.any());
+    healthy.shutdown_transport().unwrap();
+
+    for (host, stage) in [(1, 5), (2, 12)] {
+        let opts = SocketOptions {
+            kill_host_mid_stage: Some((host, stage)),
+            ..SocketOptions::default()
+        };
+        let (w, h, report, mut s) = run_gnmf(opts);
+        assert!(
+            report.recovery.recovery_rounds >= 1,
+            "host {host} killed mid-stage {stage}: recovery must have run"
+        );
+        assert_eq!(w, w0, "host {host} mid-stage {stage}: W diverged");
+        assert_eq!(h, h0, "host {host} mid-stage {stage}: H diverged");
+        s.shutdown_transport().unwrap();
+    }
+}
+
+/// SIGKILL a worker right after `xfer` routing plans go out — direct
+/// worker-to-worker pushes toward (or from) the dead process are in
+/// flight. The surviving source's `peerfail` report (or the dead
+/// worker's silence) must fold into the same organic `WorkerLost` path,
+/// and lineage recovery must reproduce the healthy run bit-for-bit.
+#[test]
+fn sigkill_mid_peer_transfer_recovers_bit_identically() {
+    let (w0, h0, _, mut healthy) = run_gnmf(SocketOptions::default());
+    healthy.shutdown_transport().unwrap();
+
+    for (host, xfer) in [(1, 1), (2, 2)] {
+        let opts = SocketOptions {
+            kill_host_mid_xfer: Some((host, xfer)),
+            ..SocketOptions::default()
+        };
+        let (w, h, report, mut s) = run_gnmf(opts);
+        assert!(
+            report.recovery.recovery_rounds >= 1,
+            "host {host} killed mid-xfer {xfer}: recovery must have run"
+        );
+        assert_eq!(w, w0, "host {host} mid-xfer {xfer}: W diverged");
+        assert_eq!(h, h0, "host {host} mid-xfer {xfer}: H diverged");
+        s.shutdown_transport().unwrap();
+    }
+}
+
 /// With recovery disabled, a real process death surfaces through the
 /// same typed exhaustion error the simulator's injector produces — never
 /// a panic or hang. (The underlying detection is `WorkerLost`, exactly

@@ -14,8 +14,9 @@
 use std::io::ErrorKind;
 
 use dmac::cluster::jsonin::Json;
+use dmac::cluster::transport::binfmt;
 use dmac::cluster::transport::frame::{read_frame, write_frame, MAX_FRAME};
-use dmac::matrix::SplitMix64;
+use dmac::matrix::{Block, CscBlock, DenseBlock, SplitMix64};
 
 /// A printable-ish random payload (valid UTF-8 by construction).
 fn payload(rng: &mut SplitMix64, max_len: usize) -> String {
@@ -151,6 +152,131 @@ fn json_decoder_survives_garbage() {
         let b = Json::parse(&s).is_ok();
         assert_eq!(a, b);
     }
+}
+
+/// A random tile: arbitrary f64 bit patterns (incl. NaN/inf territory),
+/// dense or CSC at random.
+fn random_tile(rng: &mut SplitMix64) -> Block {
+    let rows = 1 + rng.below(6);
+    let cols = 1 + rng.below(6);
+    let dense = DenseBlock::from_fn(rows, cols, |_, _| {
+        if rng.below(3) == 0 {
+            0.0
+        } else {
+            f64::from_bits(rng.next_u64())
+        }
+    });
+    if rng.below(2) == 0 {
+        Block::Dense(dense)
+    } else {
+        Block::Sparse(CscBlock::from_dense(&dense))
+    }
+}
+
+/// The binary `DMB1` codec: random tile batches round-trip exactly, and
+/// decoded tiles re-encode to the byte-identical section — the encoding
+/// is canonical, so decode∘encode is the identity on bytes too.
+#[test]
+fn binary_tile_messages_round_trip_canonically() {
+    let mut rng = SplitMix64::new(0xF4A3_0008);
+    for _ in 0..100 {
+        let n = rng.below(5);
+        let tiles: Vec<(usize, usize, usize, Block)> = (0..n)
+            .map(|_| {
+                (
+                    rng.below(4),
+                    rng.below(6),
+                    rng.below(6),
+                    random_tile(&mut rng),
+                )
+            })
+            .collect();
+        let body = binfmt::encode_tiles(tiles.iter().map(|(w, bi, bj, t)| (*w, *bi, *bj, t)));
+        let header = format!(r#"{{"t":"push","rid":{}}}"#, rng.next_u64() >> 32);
+        let msg = binfmt::encode(&header, &body);
+        assert!(binfmt::is_binary(&msg));
+        let (h, b) = binfmt::decode(&msg).expect("clean message must decode");
+        assert_eq!(h, header);
+        let decoded = binfmt::decode_tiles(b).expect("clean tile section must decode");
+        assert_eq!(decoded.len(), tiles.len());
+        let re = binfmt::encode_tiles(decoded.iter().map(|(w, bi, bj, t)| (*w, *bi, *bj, t)));
+        assert_eq!(re, body, "decode then encode must be byte-identical");
+    }
+}
+
+/// Truncating a binary message (or a bare tile section) at *any* byte
+/// offset is a typed decode error — the structural length checks and the
+/// trailing-checksum placement make every proper prefix invalid.
+#[test]
+fn binary_truncation_at_every_offset_is_rejected() {
+    let mut rng = SplitMix64::new(0xF4A3_0009);
+    let tiles: Vec<(usize, usize, usize, Block)> = (0..3)
+        .map(|i| (i, i + 1, i + 2, random_tile(&mut rng)))
+        .collect();
+    let body = binfmt::encode_tiles(tiles.iter().map(|(w, bi, bj, t)| (*w, *bi, *bj, t)));
+    let msg = binfmt::encode(r#"{"t":"push","rid":9}"#, &body);
+    for cut in 0..msg.len() {
+        assert!(
+            binfmt::decode(&msg[..cut]).is_err(),
+            "cut at {cut} must not decode"
+        );
+    }
+    for cut in 0..body.len() {
+        assert!(
+            binfmt::decode_tiles(&body[..cut]).is_err(),
+            "tile section cut at {cut} must not decode"
+        );
+    }
+}
+
+/// Flipping any single bit of a binary message is caught — by the magic
+/// check, a structural length check, or the FNV-1a trailer — never
+/// silently accepted, never a panic.
+#[test]
+fn binary_bit_flips_never_decode() {
+    let mut rng = SplitMix64::new(0xF4A3_000A);
+    let tiles: Vec<(usize, usize, usize, Block)> =
+        (0..2).map(|i| (i, i, i, random_tile(&mut rng))).collect();
+    let body = binfmt::encode_tiles(tiles.iter().map(|(w, bi, bj, t)| (*w, *bi, *bj, t)));
+    let msg = binfmt::encode(r#"{"t":"install","rid":3}"#, &body);
+    for at in 0..msg.len() {
+        for bit in [0x01u8, 0x80u8] {
+            let mut m = msg.clone();
+            m[at] ^= bit;
+            assert!(
+                binfmt::decode(&m).is_err(),
+                "flip of bit {bit:#04x} at byte {at} must not decode"
+            );
+        }
+    }
+}
+
+/// Oversized counts — a tile count or element count far past the actual
+/// body — fail *before* any proportional allocation, whatever random
+/// garbage follows.
+#[test]
+fn binary_oversize_counts_fail_before_allocation() {
+    let mut rng = SplitMix64::new(0xF4A3_000B);
+    for _ in 0..100 {
+        // Huge tile count over a tiny body.
+        let count = (1u64 << 31) as u32 + rng.below(1 << 20) as u32;
+        let mut body = count.to_le_bytes().to_vec();
+        let tail = rng.below(64);
+        body.extend((0..tail).map(|_| rng.next_u64() as u8));
+        assert!(binfmt::decode_tiles(&body).is_err());
+    }
+    // A dense tile whose element count promises gigabytes the body
+    // doesn't have.
+    let mut body = 1u32.to_le_bytes().to_vec();
+    for field in [0u32, 0, 0] {
+        body.extend(field.to_le_bytes()); // w, bi, bj
+    }
+    body.push(0); // dense
+    body.extend(4u32.to_le_bytes()); // rows
+    body.extend(4u32.to_le_bytes()); // cols
+    body.extend(0x3FFF_FFFFu32.to_le_bytes()); // element count
+    body.extend([0u8; 16]);
+    assert!(binfmt::decode_tiles(&body).is_err());
 }
 
 /// Mutating one byte of a well-formed worker command either still parses

@@ -155,6 +155,97 @@ fn gnmf_is_byte_exact_on_sockets() {
     });
 }
 
+/// The conformance contract is invariant under the data-plane
+/// configuration matrix — codec (binary `DMB1` vs hex-JSON) × topology
+/// (peer-to-peer vs coordinator star) × dispatch (pipelined vs
+/// sequential) — and the transport counters prove each configuration
+/// actually engaged: peer exchange moves tile payload off the
+/// coordinator entirely, star mode never opens a worker-to-worker link,
+/// and the binary codec ships strictly fewer wire bytes for the same
+/// work.
+#[test]
+fn gnmf_is_byte_exact_across_dataplane_configs() {
+    let cfg = Gnmf {
+        rows: 24,
+        cols: 18,
+        sparsity: 0.4,
+        rank: 4,
+        iterations: 2,
+    };
+    let v = dmac::data::uniform_sparse(cfg.rows, cfg.cols, cfg.sparsity, BLOCK, 5);
+
+    let mut sim = sim_session();
+    let (_, sim_h) = cfg.run(&mut sim, v.clone()).unwrap();
+    let w0 = bits(&sim.value(sim_h.w).unwrap());
+    let h0 = bits(&sim.value(sim_h.h).unwrap());
+
+    let mut wire_totals = std::collections::HashMap::new();
+    for (binary, p2p, pipeline) in [
+        (true, true, true),    // the default data plane
+        (true, false, true),   // binary tiles relayed through the coordinator
+        (false, true, true),   // hex-JSON tiles over peer links
+        (false, false, false), // the legacy wire format, sequential star
+    ] {
+        let label = format!("binary={binary} p2p={p2p} pipeline={pipeline}");
+        let opts = SocketOptions {
+            binary,
+            peer_exchange: p2p,
+            pipeline,
+            ..SocketOptions::default()
+        };
+        let mut s = Session::builder()
+            .system(SystemKind::Dmac)
+            .workers(WORKERS)
+            .local_threads(2)
+            .block_size(BLOCK)
+            .seed(7)
+            .socket_transport(opts)
+            .try_build()
+            .expect("worker processes must launch");
+        let (report, h) = cfg.run(&mut s, v.clone()).unwrap();
+        for st in &report.trace.steps {
+            assert_eq!(
+                st.transport_bytes, st.wire_bytes,
+                "{label}: step {} ({}) wire accounting diverged",
+                st.step, st.kind
+            );
+        }
+        assert_eq!(bits(&s.value(h.w).unwrap()), w0, "{label}: W diverged");
+        assert_eq!(bits(&s.value(h.h).unwrap()), h0, "{label}: H diverged");
+        let stats = s.transport_stats();
+        if p2p {
+            assert_eq!(
+                stats.relay_bytes, 0,
+                "{label}: peer exchange must bypass the coordinator relay"
+            );
+            assert!(
+                stats.peer_bytes > 0,
+                "{label}: cross-host moves must ride peer links"
+            );
+        } else {
+            assert!(
+                stats.relay_bytes > 0,
+                "{label}: star mode must relay through the coordinator"
+            );
+            assert_eq!(
+                stats.peer_bytes, 0,
+                "{label}: star mode must not open peer links"
+            );
+        }
+        wire_totals.insert((binary, p2p), stats.frame_bytes + stats.peer_bytes);
+        s.shutdown_transport().unwrap();
+    }
+    for p2p in [true, false] {
+        assert!(
+            wire_totals[&(true, p2p)] < wire_totals[&(false, p2p)],
+            "binary codec must ship fewer wire bytes than hex-JSON \
+             (p2p={p2p}: {} vs {})",
+            wire_totals[&(true, p2p)],
+            wire_totals[&(false, p2p)],
+        );
+    }
+}
+
 #[test]
 fn pagerank_is_byte_exact_on_sockets() {
     let nodes = 48;
