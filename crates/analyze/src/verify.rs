@@ -17,7 +17,14 @@
 //!   leftover flexible nodes, every program operator planned exactly
 //!   once, outputs bound with the right handedness;
 //! * the §5.2 **stage invariant**: stages are separated only by
-//!   partition/broadcast (or CPMM-shuffle) boundaries.
+//!   partition/broadcast (or CPMM-shuffle) boundaries;
+//! * the **sparsity estimator**: every profile's shape and hard nnz cap
+//!   (V14), byte-exact agreement between the planner's propagated
+//!   profiles and a re-derivation of the estimator rules implemented
+//!   here from the documented contract — deliberately *not* calling
+//!   `dmac-stats` (V15), per-step predicted-nnz consistency (V16), and
+//!   the dense anchor: all-dense sources must reproduce the worst-case
+//!   Table-2 byte sizes exactly (V17).
 //!
 //! Installed behind `dmac_core::verifyhook`, the verifier runs on every
 //! debug-build `Session::{plan, prepare, run}`, so any drift between the
@@ -30,7 +37,8 @@ use dmac_core::plan::{FusedInstr, Plan, PlanStep};
 use dmac_core::planner::{Planned, PlannerConfig};
 use dmac_core::stage;
 use dmac_core::strategy::{candidates, OutScheme, Strategy};
-use dmac_lang::{BinOp, MatrixId, OpKind, Program};
+use dmac_core::SparsityProfile;
+use dmac_lang::{BinOp, MatrixId, MatrixOrigin, OpKind, Program, ScalarExpr, UnaryOp};
 
 /// What the verifier concluded (returned on success for reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +89,295 @@ impl DepType {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sparsity-estimator re-derivation (V14–V17).
+//
+// The formulas below are written from the *documented contract* in
+// `dmac-stats`' crate docs, not by calling its code: same pinned f64
+// operation order, independent implementation. Agreement is asserted
+// byte-exactly (`f64::to_bits`), so any drift in either side trips V15.
+// ---------------------------------------------------------------------
+
+/// The verifier's own profile record (mirrors the published contract).
+#[derive(Debug, Clone, PartialEq)]
+struct NnzProfile {
+    rows: usize,
+    cols: usize,
+    nnz: u64,
+    row: Vec<f64>,
+    col: Vec<f64>,
+}
+
+/// Strip count along one dimension (matches the block layer: at least 1).
+fn strips(len: usize, block: usize) -> usize {
+    len.div_ceil(block.max(1)).max(1)
+}
+
+/// Length of strip `i`.
+fn strip(len: usize, block: usize, i: usize) -> usize {
+    (len - i * block).min(block)
+}
+
+impl NnzProfile {
+    fn dense(rows: usize, cols: usize, block: usize) -> NnzProfile {
+        NnzProfile {
+            rows,
+            cols,
+            nnz: rows as u64 * cols as u64,
+            row: (0..strips(rows, block))
+                .map(|i| (strip(rows, block, i) * cols) as f64)
+                .collect(),
+            col: (0..strips(cols, block))
+                .map(|j| (rows * strip(cols, block, j)) as f64)
+                .collect(),
+        }
+    }
+
+    fn flipped(&self) -> NnzProfile {
+        NnzProfile {
+            rows: self.cols,
+            cols: self.rows,
+            nnz: self.nnz,
+            row: self.col.clone(),
+            col: self.row.clone(),
+        }
+    }
+}
+
+/// Add/Sub: union bound, saturating at matrix and per-strip capacity.
+fn rederive_sum(a: &NnzProfile, b: &NnzProfile, block: usize) -> NnzProfile {
+    let (rows, cols) = (a.rows, a.cols);
+    NnzProfile {
+        rows,
+        cols,
+        nnz: a.nnz.saturating_add(b.nnz).min(rows as u64 * cols as u64),
+        row: (0..a.row.len())
+            .map(|i| {
+                let cap = (strip(rows, block, i) * cols) as f64;
+                (a.row[i] + b.row[i]).min(cap)
+            })
+            .collect(),
+        col: (0..a.col.len())
+            .map(|j| {
+                let cap = (rows * strip(cols, block, j)) as f64;
+                (a.col[j] + b.col[j]).min(cap)
+            })
+            .collect(),
+    }
+}
+
+/// CellMul/CellDiv: intersection bound, element-wise min.
+fn rederive_min(a: &NnzProfile, b: &NnzProfile) -> NnzProfile {
+    NnzProfile {
+        rows: a.rows,
+        cols: a.cols,
+        nnz: a.nnz.min(b.nnz),
+        row: (0..a.row.len()).map(|i| a.row[i].min(b.row[i])).collect(),
+        col: (0..a.col.len()).map(|j| a.col[j].min(b.col[j])).collect(),
+    }
+}
+
+/// MatMul: the MatFast expectation under independence, with the pinned
+/// f64 operation order of the documented contract.
+// Index loops are deliberate: the re-derivation must not share code
+// *shape* with dmac-stats' iterator implementation, only its arithmetic.
+#[allow(clippy::needless_range_loop)]
+fn rederive_matmul(a: &NnzProfile, b: &NnzProfile, block: usize) -> NnzProfile {
+    let (m, n, p) = (a.rows, a.cols, b.cols);
+    let mut row = vec![0.0f64; strips(m, block)];
+    let mut col = vec![0.0f64; strips(p, block)];
+    let mut total = 0.0f64;
+    for i in 0..row.len() {
+        let r_i = strip(m, block, i);
+        let d_a = if r_i * n > 0 {
+            a.row[i] / (r_i * n) as f64
+        } else {
+            0.0
+        };
+        for j in 0..col.len() {
+            let c_j = strip(p, block, j);
+            let d_b = if n * c_j > 0 {
+                b.col[j] / (n * c_j) as f64
+            } else {
+                0.0
+            };
+            let d = (d_a * d_b).clamp(0.0, 1.0);
+            let p_ij = 1.0 - (1.0 - d).powi(n as i32);
+            let e_ij = (r_i * c_j) as f64 * p_ij;
+            row[i] += e_ij;
+            col[j] += e_ij;
+            total += e_ij;
+        }
+    }
+    NnzProfile {
+        rows: m,
+        cols: p,
+        nnz: (total.ceil() as u64).min(m as u64 * p as u64),
+        row,
+        col,
+    }
+}
+
+/// The densifying-unary condition (a non-zero constant `add_scalar`).
+fn rederive_densifies(op: &UnaryOp) -> bool {
+    match op {
+        UnaryOp::AddScalar(ScalarExpr::Const(v)) => *v != 0.0,
+        UnaryOp::AddScalar(_) => true,
+        UnaryOp::Scale(_) => false,
+    }
+}
+
+/// V14: every claimed profile has the declared shape, strip vectors of
+/// the right length at the planning blocking, finite non-negative strip
+/// masses, and respects the hard cap `nnz ≤ rows·cols`.
+fn check_profile_shapes(
+    program: &Program,
+    profiles: &[SparsityProfile],
+    block: usize,
+) -> Result<(), String> {
+    if profiles.len() != program.matrices().len() {
+        return Err(format!(
+            "V14: {} profiles for {} declared matrices",
+            profiles.len(),
+            program.matrices().len()
+        ));
+    }
+    for (decl, p) in program.matrices().iter().zip(profiles) {
+        let m = decl.id;
+        if (p.rows, p.cols) != (decl.stats.rows, decl.stats.cols) {
+            return Err(format!(
+                "V14: profile of matrix {m} is {}x{}, declared {}x{}",
+                p.rows, p.cols, decl.stats.rows, decl.stats.cols
+            ));
+        }
+        if p.block != block {
+            return Err(format!(
+                "V14: profile of matrix {m} uses blocking {} instead of {block}",
+                p.block
+            ));
+        }
+        if p.row_nnz.len() != strips(p.rows, block) || p.col_nnz.len() != strips(p.cols, block) {
+            return Err(format!(
+                "V14: profile of matrix {m} has {}x{} strip vectors, expected {}x{}",
+                p.row_nnz.len(),
+                p.col_nnz.len(),
+                strips(p.rows, block),
+                strips(p.cols, block)
+            ));
+        }
+        if p.nnz > p.rows as u64 * p.cols as u64 {
+            return Err(format!(
+                "V14: profile of matrix {m} claims {} non-zeros in a {}x{} matrix",
+                p.nnz, p.rows, p.cols
+            ));
+        }
+        if let Some(v) = p
+            .row_nnz
+            .iter()
+            .chain(&p.col_nnz)
+            .find(|v| !v.is_finite() || **v < 0.0)
+        {
+            return Err(format!(
+                "V14: profile of matrix {m} has an invalid strip mass {v}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Re-derive every operator-produced (and `Random`) profile from the
+/// estimator contract. `Load` sources are data-dependent measurements
+/// the verifier cannot reproduce, so they are taken as given — V14
+/// bounds them — and everything downstream is recomputed from them.
+fn rederive_profiles(
+    program: &Program,
+    claimed: &[SparsityProfile],
+    block: usize,
+) -> Result<Vec<NnzProfile>, String> {
+    let mut out: Vec<NnzProfile> = Vec::with_capacity(claimed.len());
+    for decl in program.matrices() {
+        let p = match decl.origin {
+            MatrixOrigin::Load => {
+                let c = &claimed[decl.id as usize];
+                NnzProfile {
+                    rows: c.rows,
+                    cols: c.cols,
+                    nnz: c.nnz,
+                    row: c.row_nnz.clone(),
+                    col: c.col_nnz.clone(),
+                }
+            }
+            MatrixOrigin::Random => NnzProfile::dense(decl.stats.rows, decl.stats.cols, block),
+            MatrixOrigin::Op(i) => {
+                let op = program
+                    .ops()
+                    .get(i)
+                    .ok_or_else(|| format!("V15: matrix {} from unknown operator {i}", decl.id))?;
+                let arg = |r: &dmac_lang::MatrixRef| -> NnzProfile {
+                    let p = &out[r.id as usize];
+                    if r.transposed {
+                        p.flipped()
+                    } else {
+                        p.clone()
+                    }
+                };
+                match &op.kind {
+                    OpKind::Binary { op, lhs, rhs } => {
+                        let (a, b) = (arg(lhs), arg(rhs));
+                        match op {
+                            BinOp::MatMul => rederive_matmul(&a, &b, block),
+                            BinOp::Add | BinOp::Sub => rederive_sum(&a, &b, block),
+                            BinOp::CellMul | BinOp::CellDiv => rederive_min(&a, &b),
+                        }
+                    }
+                    OpKind::Unary { op, input } => {
+                        let a = arg(input);
+                        if rederive_densifies(op) {
+                            NnzProfile::dense(a.rows, a.cols, block)
+                        } else {
+                            a
+                        }
+                    }
+                    OpKind::Reduce { .. } => NnzProfile {
+                        rows: decl.stats.rows,
+                        cols: decl.stats.cols,
+                        nnz: 0,
+                        row: vec![0.0; strips(decl.stats.rows, block)],
+                        col: vec![0.0; strips(decl.stats.cols, block)],
+                    },
+                }
+            }
+        };
+        out.push(p);
+    }
+    Ok(out)
+}
+
+/// V15: the planner's propagated profiles agree with the re-derivation
+/// byte-exactly (`f64::to_bits` on every strip mass).
+fn check_profile_agreement(
+    rederived: &[NnzProfile],
+    claimed: &[SparsityProfile],
+) -> Result<(), String> {
+    for (m, (r, c)) in rederived.iter().zip(claimed).enumerate() {
+        if r.nnz != c.nnz {
+            return Err(format!(
+                "V15: matrix {m} profile claims nnz {} but re-derivation gives {}",
+                c.nnz, r.nnz
+            ));
+        }
+        let bits_eq = |x: &[f64], y: &[f64]| {
+            x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+        };
+        if !bits_eq(&r.row, &c.row_nnz) || !bits_eq(&r.col, &c.col_nnz) {
+            return Err(format!(
+                "V15: matrix {m} strip vectors diverge from the re-derived estimator"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Verify every invariant of a planner-produced [`Planned`]. Returns a
 /// summary on success and a message naming the violated invariant (`Vxx`)
 /// and step on failure.
@@ -90,11 +387,16 @@ pub fn verify_planned(
     cfg: &PlannerConfig,
     workers: usize,
 ) -> Result<VerifySummary, String> {
+    let block = cfg.fusion_block.max(1);
+    check_profile_shapes(program, &planned.profiles, block)?;
+    let profiles = rederive_profiles(program, &planned.profiles, block)?;
+    check_profile_agreement(&profiles, &planned.profiles)?;
     let v = Verifier {
         program,
         plan: &planned.plan,
         cfg,
         workers: workers as u64,
+        profiles,
     };
     v.run(planned.estimated_comm)
 }
@@ -104,19 +406,32 @@ struct Verifier<'a> {
     plan: &'a Plan,
     cfg: &'a PlannerConfig,
     workers: u64,
+    /// The re-derived estimator profiles (already proven byte-equal to
+    /// the planner's own, V15).
+    profiles: Vec<NnzProfile>,
 }
 
 impl<'a> Verifier<'a> {
-    /// `|A|` — worst-case bytes of a program matrix, recomputed from the
-    /// declared stats (8 bytes per estimated non-zero; transposition
-    /// invariant). Deliberately not `dmac_core::cost`.
+    /// `|A|` — bytes of a program matrix, recomputed along a path
+    /// deliberately separate from `dmac_core::cost`: 8 bytes per
+    /// re-derived predicted non-zero under `density_adaptive`, else the
+    /// worst-case static estimate from the declared stats (both
+    /// transposition invariant).
     fn size(&self, m: MatrixId) -> Result<u64, String> {
         let d = self
             .program
             .decl(m)
             .map_err(|e| format!("V01: plan references unknown matrix {m}: {e}"))?;
-        let s = d.stats;
-        Ok((s.rows as f64 * s.cols as f64 * s.sparsity * 8.0).ceil() as u64)
+        if self.cfg.density_adaptive {
+            let p = self
+                .profiles
+                .get(m as usize)
+                .ok_or_else(|| format!("V14: no profile for matrix {m}"))?;
+            Ok(8 * p.nnz)
+        } else {
+            let s = d.stats;
+            Ok((s.rows as f64 * s.cols as f64 * s.sparsity * 8.0).ceil() as u64)
+        }
     }
 
     fn run(&self, estimated_comm: u64) -> Result<VerifySummary, String> {
@@ -126,6 +441,8 @@ impl<'a> Verifier<'a> {
         self.check_op_coverage()?;
         self.check_outputs()?;
         let stages = self.check_stages()?;
+        self.check_step_nnz()?;
+        self.check_dense_anchor()?;
 
         // V02: totals. The per-step predictions must tile the planner's
         // own estimate, and our independent recomputation must agree with
@@ -635,6 +952,73 @@ impl<'a> Verifier<'a> {
             .map_err(|i| format!("V13: stage invariant violated at step {i}"))?;
         Ok(stages.count)
     }
+
+    /// V16: the plan's per-step predicted nnz is exactly the re-derived
+    /// profile nnz of each step's output matrix (0 for steps without a
+    /// matrix output).
+    fn check_step_nnz(&self) -> Result<(), String> {
+        if self.plan.predicted_nnz.len() != self.plan.steps.len() {
+            return Err(format!(
+                "V16: {} predicted-nnz entries for {} steps",
+                self.plan.predicted_nnz.len(),
+                self.plan.steps.len()
+            ));
+        }
+        for (i, step) in self.plan.steps.iter().enumerate() {
+            let expect = match step.out_node() {
+                Some(n) => {
+                    let m = self.plan.nodes[n].matrix;
+                    self.profiles
+                        .get(m as usize)
+                        .ok_or_else(|| format!("V16: step {i} outputs unprofiled matrix {m}"))?
+                        .nnz
+                }
+                None => 0,
+            };
+            let claimed = self.plan.predicted_nnz[i];
+            if claimed != expect {
+                return Err(format!(
+                    "V16: step {i} claims predicted nnz {claimed}, profile says {expect}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// V17: the dense anchor — when every source profile is fully dense,
+    /// the estimator must reproduce the worst-case static byte sizes
+    /// exactly for *every* matrix (the `density = 1.0` special case of
+    /// Table 2).
+    fn check_dense_anchor(&self) -> Result<(), String> {
+        let all_dense_sources = self.program.matrices().iter().all(|d| {
+            matches!(d.origin, MatrixOrigin::Op(_)) || {
+                let p = &self.profiles[d.id as usize];
+                p.nnz == d.stats.rows as u64 * d.stats.cols as u64
+            }
+        });
+        if !all_dense_sources {
+            return Ok(());
+        }
+        for d in self.program.matrices() {
+            // Scalar-producing reductions have no matrix profile mass.
+            if let MatrixOrigin::Op(i) = d.origin {
+                if matches!(self.program.ops()[i].kind, OpKind::Reduce { .. }) {
+                    continue;
+                }
+            }
+            let s = d.stats;
+            let static_bytes = (s.rows as f64 * s.cols as f64 * s.sparsity * 8.0).ceil() as u64;
+            let nnz_bytes = 8 * self.profiles[d.id as usize].nnz;
+            if nnz_bytes != static_bytes {
+                return Err(format!(
+                    "V17: dense sources, but matrix {} prices {nnz_bytes} nnz-bytes \
+                     against {static_bytes} static bytes",
+                    d.id
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -782,6 +1166,90 @@ mod tests {
         planned.plan.outputs.clear();
         let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
         assert!(err.contains("V12"), "{err}");
+    }
+
+    #[test]
+    fn tampered_profile_cap_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        // Claim more non-zeros than the matrix has cells: the hard cap
+        // (V14) must trip before anything downstream prices it.
+        planned.profiles[0].nnz = u64::MAX;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V14"), "{err}");
+    }
+
+    #[test]
+    fn tampered_profile_propagation_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        // W is a random source: the verifier re-derives it as dense, so
+        // shrinking the claimed profile diverges from the re-derivation.
+        let w = p
+            .matrices()
+            .iter()
+            .find(|d| matches!(d.origin, MatrixOrigin::Random))
+            .unwrap()
+            .id as usize;
+        planned.profiles[w].nnz -= 1;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V15"), "{err}");
+    }
+
+    #[test]
+    fn tampered_strip_vector_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        let op_out = p
+            .matrices()
+            .iter()
+            .find(|d| matches!(d.origin, MatrixOrigin::Op(_)))
+            .unwrap()
+            .id as usize;
+        planned.profiles[op_out].row_nnz[0] += 0.5;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V15"), "{err}");
+    }
+
+    #[test]
+    fn tampered_step_nnz_is_caught() {
+        let p = gnmf_h();
+        let cfg = PlannerConfig::default();
+        let mut planned = plan_program(&p, &cfg, 4, &Map::new()).unwrap();
+        let idx = planned
+            .plan
+            .steps
+            .iter()
+            .position(|s| s.out_node().is_some())
+            .unwrap();
+        planned.plan.predicted_nnz[idx] += 1;
+        let err = verify_planned(&p, &planned, &cfg, 4).unwrap_err();
+        assert!(err.contains("V16"), "{err}");
+    }
+
+    #[test]
+    fn dense_fixture_prices_identically_under_both_flavours() {
+        // The dense anchor, end to end: with all-dense sources the
+        // nnz-costed plan and the worst-case plan are the same plan with
+        // the same estimate (V17 holds inside both verifications).
+        let mut p = Program::new();
+        let a = p.load("A", 512, 256, 1.0);
+        let b = p.load("B", 256, 128, 1.0);
+        let c = p.matmul(a, b).unwrap();
+        p.output(c);
+        let adaptive = PlannerConfig::default();
+        let fixed = PlannerConfig {
+            density_adaptive: false,
+            ..PlannerConfig::default()
+        };
+        let pa = plan_program(&p, &adaptive, 4, &Map::new()).unwrap();
+        let pf = plan_program(&p, &fixed, 4, &Map::new()).unwrap();
+        verify_planned(&p, &pa, &adaptive, 4).unwrap();
+        verify_planned(&p, &pf, &fixed, 4).unwrap();
+        assert_eq!(pa.estimated_comm, pf.estimated_comm);
     }
 
     #[test]

@@ -303,6 +303,7 @@ impl Cluster {
             pool_reused: p1.reused.saturating_sub(st.pool0.reused),
             pool_allocated: p1.allocated.saturating_sub(st.pool0.allocated),
             recovery: false,
+            out_nnz: 0,
         });
     }
 
@@ -513,6 +514,7 @@ impl Cluster {
             pool_reused: 0,
             pool_allocated: 0,
             recovery: true,
+            out_nnz: 0,
         });
         Ok(())
     }
@@ -576,6 +578,7 @@ impl Cluster {
         if m.scheme() == target {
             // No event: the requirement is already satisfied (cost 0).
             self.span_close(st, "partition", format!("{label} (noop)"), 0, 0, None, 0);
+            self.tracer.annotate_last_nnz(m.nnz() as u64);
             return Ok(m.clone());
         }
         if m.scheme() == PartitionScheme::Broadcast {
@@ -596,6 +599,7 @@ impl Cluster {
                 self.transport
                     .move_tiles("partition", m, &out, TileTransform::None, &moves)?;
             self.mirror_receipt("partition", 0, payload)?;
+            self.tracer.annotate_last_nnz(out.nnz() as u64);
             return Ok(out);
         }
         let n = self.config.workers;
@@ -636,6 +640,7 @@ impl Cluster {
             self.transport
                 .move_tiles("partition", m, &out, TileTransform::None, &moves)?;
         self.mirror_receipt("partition", moved, payload)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -646,6 +651,7 @@ impl Cluster {
         let st = self.span_open();
         if m.scheme() == PartitionScheme::Broadcast {
             self.span_close(st, "broadcast", format!("{label} (noop)"), 0, 0, None, 0);
+            self.tracer.annotate_last_nnz(m.nnz() as u64);
             return Ok(m.clone());
         }
         let n = self.config.workers;
@@ -690,6 +696,7 @@ impl Cluster {
             self.transport
                 .move_tiles("broadcast", m, &out, TileTransform::None, &moves)?;
         self.mirror_receipt("broadcast", moved, payload)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -748,6 +755,7 @@ impl Cluster {
             self.transport
                 .move_tiles("transpose", m, &out, TileTransform::Transpose, &moves)?;
         self.mirror_receipt("transpose", 0, payload)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -763,6 +771,7 @@ impl Cluster {
             .transport
             .move_tiles("extract", m, &out, TileTransform::None, &moves)?;
         self.mirror_receipt("extract", 0, payload)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -780,6 +789,7 @@ impl Cluster {
         self.span_close(st, "rmm1", String::new(), 0, 0, None, blocks);
         self.transport.run_mm("rmm1", a, b, &out)?;
         self.mirror_receipt("rmm1", 0, 0)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -795,6 +805,7 @@ impl Cluster {
         self.span_close(st, "rmm2", String::new(), 0, 0, None, blocks);
         self.transport.run_mm("rmm2", a, b, &out)?;
         self.mirror_receipt("rmm2", 0, 0)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -1045,6 +1056,7 @@ impl Cluster {
         let out = DistMatrix::from_parts(out_meta, out_scheme, stores);
         let payload = self.transport.run_cpmm(a, b, &out, &descs)?;
         self.mirror_receipt("cpmm", moved, payload)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -1104,6 +1116,7 @@ impl Cluster {
         let out = DistMatrix::from_parts(*a.meta(), a.scheme(), stores);
         self.transport.run_cell(op, a, b, &out)?;
         self.mirror_receipt(op.name(), 0, 0)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -1186,6 +1199,7 @@ impl Cluster {
         let out = DistMatrix::from_parts(*first.meta(), first.scheme(), stores);
         self.transport.run_fused(prog, leaves, &out)?;
         self.mirror_receipt("fused", 0, 0)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 
@@ -1226,7 +1240,9 @@ impl Cluster {
         self.charge_compute_workers(&secs);
         let blocks = stores.iter().map(HashMap::len).sum();
         self.span_close(st, "map", String::new(), 0, 0, None, blocks);
-        Ok(DistMatrix::from_parts(*m.meta(), m.scheme(), stores))
+        let out = DistMatrix::from_parts(*m.meta(), m.scheme(), stores);
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
+        Ok(out)
     }
 
     /// Unary per-tile scalar operator ([`UnaryTileOp`]): the mirrorable
@@ -1259,6 +1275,7 @@ impl Cluster {
         let out = DistMatrix::from_parts(*m.meta(), m.scheme(), stores);
         self.transport.run_unary(op, m, &out)?;
         self.mirror_receipt("map", 0, 0)?;
+        self.tracer.annotate_last_nnz(out.nnz() as u64);
         Ok(out)
     }
 

@@ -70,6 +70,10 @@ pub struct OpSpan {
     /// source refetch, or a partially-executed attempt that was rolled
     /// back), not steady-state execution.
     pub recovery: bool,
+    /// Observed non-zero count of the matrix this primitive produced
+    /// (deduplicated across replicas), stamped after the span closes.
+    /// `0` for primitives without a matrix output (reductions).
+    pub out_nnz: u64,
 }
 
 impl OpSpan {
@@ -122,6 +126,17 @@ impl TraceBuffer {
     pub fn annotate_last_transport(&mut self, bytes: u64) {
         if let Some(s) = self.spans.last_mut() {
             s.transport_bytes = bytes;
+        }
+    }
+
+    /// Stamp the most recently recorded span with the observed nnz of
+    /// its output matrix. Like [`Self::annotate_last_transport`], the
+    /// cluster counts the output *after* closing the span (the result
+    /// tiles exist only then), so the annotation targets the span just
+    /// recorded.
+    pub fn annotate_last_nnz(&mut self, nnz: u64) {
+        if let Some(s) = self.spans.last_mut() {
+            s.out_nnz = nnz;
         }
     }
 
@@ -207,6 +222,17 @@ mod tests {
         t.mark_recovery_from(1);
         let flags: Vec<bool> = t.spans().iter().map(|s| s.recovery).collect();
         assert_eq!(flags, vec![false, true, true]);
+    }
+
+    #[test]
+    fn nnz_annotation_targets_last_span() {
+        let mut t = TraceBuffer::new();
+        t.annotate_last_nnz(99); // no spans yet: a no-op
+        t.record(span("partition", 10));
+        t.record(span("rmm1", 0));
+        t.annotate_last_nnz(42);
+        assert_eq!(t.spans()[0].out_nnz, 0);
+        assert_eq!(t.spans()[1].out_nnz, 42);
     }
 
     #[test]

@@ -149,11 +149,24 @@ impl ExecReport {
                     .u64("wire_bytes", self.trace.wire_total())
                     .u64("transport_bytes", self.trace.transport_total())
                     .u64("recovery_wire_bytes", self.trace.recovery_wire_total())
+                    .u64("predicted_nnz", self.trace.predicted_nnz_total())
+                    .u64("observed_nnz", self.trace.observed_nnz_total())
                     .u64("spills", self.trace.spill.spills)
                     .u64("spill_bytes", self.trace.spill.spill_bytes)
                     .u64("loads", self.trace.spill.loads)
                     .u64("load_bytes", self.trace.spill.load_bytes)
                     .build(),
+            )
+            .raw(
+                "step_nnz",
+                &arr_of(self.trace.steps.iter().map(|s| {
+                    JsonObj::new()
+                        .u64("step", s.step as u64)
+                        .u64("predicted_nnz", s.predicted_nnz)
+                        .u64("observed_nnz", s.observed_nnz)
+                        .str("density_class", s.density_class)
+                        .build()
+                })),
             )
             .raw(
                 "pool",
@@ -581,6 +594,20 @@ pub fn execute(
         // replays of earlier steps included, flagged).
         let spans = cluster.spans()[span_from..].to_vec();
         let (kind, label) = step_identity(plan, program, step);
+        // nnz channel: the estimator's prediction next to what the step
+        // actually materialised (read before liveness releases the value).
+        let (predicted_nnz, observed_nnz, density_class) = match step.out_node() {
+            Some(out) => {
+                let predicted = plan.step_predicted_nnz(step_idx);
+                let observed = values[out].as_ref().map(|m| m.nnz() as u64).unwrap_or(0);
+                let decl = program.decl(plan.nodes[out].matrix)?;
+                let class =
+                    crate::DensityClass::classify(predicted, decl.stats.rows, decl.stats.cols)
+                        .as_str();
+                (predicted, observed, class)
+            }
+            None => (0, 0, ""),
+        };
         step_traces.push(StepTrace {
             step: step_idx,
             stage,
@@ -608,6 +635,9 @@ pub fn execute(
                 .filter(|s| s.recovery)
                 .map(|s| s.wire_bytes)
                 .sum(),
+            predicted_nnz,
+            observed_nnz,
+            density_class,
             sim_start_sec: sim_start,
             sim_end_sec: cluster.clock().total_sec(),
             spans,
@@ -817,6 +847,26 @@ fn run_compute(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exec_report_json_carries_the_nnz_channel() {
+        let mut p = dmac_lang::Program::new();
+        let a = p.load("A", 8, 8, 1.0);
+        let b = p.add(a, a).unwrap();
+        p.output(b);
+        let mut s = crate::Session::builder().workers(2).block_size(4).build();
+        let m = dmac_matrix::BlockedMatrix::from_fn(8, 8, 4, |i, j| (i + j) as f64).unwrap();
+        s.bind("A", m).unwrap();
+        let json = s.run(&p).unwrap().to_json();
+        for needle in [
+            "\"predicted_nnz\":",
+            "\"observed_nnz\":",
+            "\"step_nnz\":[",
+            "\"density_class\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
 
     #[test]
     fn random_cell_is_deterministic_and_uniform_ish() {

@@ -50,6 +50,7 @@ pub mod event;
 pub mod json;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod recovery;
 pub mod session;
 pub mod stage;
@@ -59,6 +60,7 @@ pub mod trace;
 pub mod verifyhook;
 
 pub use disk::{CompactionReport, DiskTier, Manifest, ManifestEntry};
+pub use dmac_stats::{DensityClass, SparsityProfile};
 pub use error::{CoreError, Result};
 pub use recovery::{RecoveryPolicy, RecoveryStats};
 pub use session::Session;

@@ -208,6 +208,11 @@ pub struct Plan {
     /// and `N·|AB|` for a CPMM compute step's output event. Kept parallel
     /// to `steps`; absent entries (plans built by hand in tests) read as 0.
     pub predicted: Vec<u64>,
+    /// `predicted_nnz[i]` is the estimator's predicted non-zero count of
+    /// the matrix `steps[i]` defines (0 for scalar/output-less steps).
+    /// Stamped by the planner's post-pass; parallel to `steps`, absent
+    /// entries read as 0.
+    pub predicted_nnz: Vec<u64>,
 }
 
 impl Plan {
@@ -247,6 +252,12 @@ impl Plan {
     /// for planner-built plans.
     pub fn predicted_total(&self) -> u64 {
         self.predicted.iter().sum()
+    }
+
+    /// The estimator's predicted output nnz for `steps[i]` (0 when the
+    /// step defines no node or the plan was built without profiles).
+    pub fn step_predicted_nnz(&self, i: usize) -> u64 {
+        self.predicted_nnz.get(i).copied().unwrap_or(0)
     }
 
     /// Finalise: any still-flexible CPMM output defaults to Row.

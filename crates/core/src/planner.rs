@@ -29,6 +29,7 @@ use std::collections::HashMap;
 
 use dmac_cluster::PartitionScheme;
 use dmac_lang::{MatrixId, MatrixOrigin, MatrixRef, Program};
+use dmac_stats::SparsityProfile;
 
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
@@ -63,6 +64,12 @@ pub struct PlannerConfig {
     /// the threshold. [`crate::session::SessionBuilder::build`] overwrites
     /// this with the session's block size.
     pub fusion_block: usize,
+    /// Cost acquisitions from predicted-nnz bytes (`8 · nnz` of the
+    /// propagated [`SparsityProfile`]) instead of the static worst-case
+    /// `est_bytes`. Dense inputs are the `density = 1.0` special case and
+    /// price identically; sparse inputs stop being costed as dense.
+    /// Profiles are propagated either way — this only gates the pricing.
+    pub density_adaptive: bool,
 }
 
 impl Default for PlannerConfig {
@@ -76,6 +83,7 @@ impl Default for PlannerConfig {
             fuse_cellwise: true,
             fusion_min_blocks: 32,
             fusion_block: 256,
+            density_adaptive: true,
         }
     }
 }
@@ -93,6 +101,7 @@ impl PlannerConfig {
             fuse_cellwise: false,
             fusion_min_blocks: 32,
             fusion_block: 256,
+            density_adaptive: true,
         }
     }
 }
@@ -115,8 +124,13 @@ pub struct Planned {
     /// The generated execution plan.
     pub plan: Plan,
     /// The planner's estimated total communication (cost-model units:
-    /// worst-case bytes).
+    /// worst-case bytes, or predicted-nnz bytes under
+    /// [`PlannerConfig::density_adaptive`]).
     pub estimated_comm: u64,
+    /// Propagated sparsity profile per declared matrix (indexed by
+    /// [`MatrixId`]); the basis of the nnz-costed pricing and of the
+    /// per-step predicted nnz recorded into the plan.
+    pub profiles: Vec<SparsityProfile>,
 }
 
 /// How a free (non-communication) acquisition would be realised.
@@ -151,6 +165,19 @@ pub fn plan_program(
     plan_with_forced(program, cfg, workers, initial_schemes, None)
 }
 
+/// Like [`plan_program`], but with measured [`SparsityProfile`]s for
+/// source matrices. Missing sources fall back to a uniform spread of the
+/// static estimate, so an empty map reproduces [`plan_program`] exactly.
+pub fn plan_program_profiled(
+    program: &Program,
+    cfg: &PlannerConfig,
+    workers: usize,
+    initial_schemes: &HashMap<MatrixId, PartitionScheme>,
+    sources: &HashMap<MatrixId, SparsityProfile>,
+) -> Result<Planned> {
+    plan_with_forced_profiled(program, cfg, workers, initial_schemes, sources, None)
+}
+
 /// Like [`plan_program`], but with the strategy of selected operators
 /// *forced* (`forced[op_index] = candidate index` in
 /// [`crate::strategy::candidates`] order). Used by the exhaustive oracle
@@ -162,7 +189,31 @@ pub fn plan_with_forced(
     initial_schemes: &HashMap<MatrixId, PartitionScheme>,
     forced: Option<&HashMap<usize, usize>>,
 ) -> Result<Planned> {
+    plan_with_forced_profiled(
+        program,
+        cfg,
+        workers,
+        initial_schemes,
+        &HashMap::new(),
+        forced,
+    )
+}
+
+/// The full planning entry point: measured source profiles *and* forced
+/// strategies. Every other entry point delegates here.
+pub fn plan_with_forced_profiled(
+    program: &Program,
+    cfg: &PlannerConfig,
+    workers: usize,
+    initial_schemes: &HashMap<MatrixId, PartitionScheme>,
+    sources: &HashMap<MatrixId, SparsityProfile>,
+    forced: Option<&HashMap<usize, usize>>,
+) -> Result<Planned> {
     program.validate()?;
+    // Propagate profiles in the session's blocking (the session overwrites
+    // `fusion_block` with its block size). Propagation always runs — the
+    // `density_adaptive` switch only gates whether pricing reads it.
+    let profiles = dmac_stats::propagate(program, sources, cfg.fusion_block.max(1));
     let mut p = Planner {
         program,
         cfg: *cfg,
@@ -172,6 +223,7 @@ pub fn plan_with_forced(
         input_records: Vec::new(),
         estimated_comm: 0,
         forced: forced.cloned().unwrap_or_default(),
+        profiles,
     };
     p.seed_sources(initial_schemes);
     for &op_idx in &program.planner_order(cfg.multiplication_first) {
@@ -182,9 +234,22 @@ pub fn plan_with_forced(
     if cfg.fuse_cellwise {
         fuse_cellwise_steps(program, &mut p.plan, cfg);
     }
+    // Post-pass: stamp the predicted output nnz onto every step that
+    // defines a node (survives the fusion rebuild because it runs after).
+    p.plan.predicted_nnz = p
+        .plan
+        .steps
+        .iter()
+        .map(|s| {
+            s.out_node()
+                .map(|n| p.profiles[p.plan.nodes[n].matrix as usize].nnz)
+                .unwrap_or(0)
+        })
+        .collect();
     Ok(Planned {
         plan: p.plan,
         estimated_comm: p.estimated_comm,
+        profiles: p.profiles,
     })
 }
 
@@ -462,6 +527,8 @@ struct Planner<'a> {
     estimated_comm: u64,
     /// Forced strategy choices (op index -> candidate index).
     forced: HashMap<usize, usize>,
+    /// Propagated sparsity profile per matrix id.
+    profiles: Vec<SparsityProfile>,
 }
 
 impl<'a> Planner<'a> {
@@ -479,12 +546,23 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// `|A|` of matrix `id` in cost-model bytes: predicted-nnz bytes
+    /// when density-adaptive, the static worst case otherwise. For dense
+    /// profiles the two are identical (`density = 1.0` special case).
+    fn bytes_of_matrix(&self, id: MatrixId) -> u64 {
+        if self.cfg.density_adaptive {
+            self.profiles[id as usize].predicted_bytes()
+        } else {
+            self.program
+                .decl(id)
+                .map(|d| d.stats.est_bytes())
+                .unwrap_or(0)
+        }
+    }
+
     fn size_of(&self, r: &MatrixRef) -> u64 {
         // |A| is invariant under transposition.
-        self.program
-            .decl(r.id)
-            .map(|d| d.stats.est_bytes())
-            .unwrap_or(0)
+        self.bytes_of_matrix(r.id)
     }
 
     fn register(&mut self, node: NodeId) {
@@ -767,11 +845,7 @@ impl<'a> Planner<'a> {
             PartitionScheme::Broadcast,
             false,
         );
-        let size = self
-            .program
-            .decl(src_node.matrix)
-            .map(|d| d.stats.est_bytes())
-            .unwrap_or(0);
+        let size = self.bytes_of_matrix(src_node.matrix);
         let replacement = vec![
             PlanStep::Broadcast { src, out: b, phase },
             PlanStep::Extract { src: b, out, phase },
@@ -851,11 +925,7 @@ impl<'a> Planner<'a> {
         let cands = candidates(&kind, self.cfg.allow_cpmm);
         debug_assert!(!cands.is_empty());
 
-        let out_bytes = op
-            .out_matrix
-            .and_then(|m| self.program.decl(m).ok())
-            .map(|d| d.stats.est_bytes())
-            .unwrap_or(0);
+        let out_bytes = op.out_matrix.map(|m| self.bytes_of_matrix(m)).unwrap_or(0);
 
         // Equation 1: argmin over candidates (or the forced choice).
         let mut priced: Vec<(u64, &Candidate)> = Vec::with_capacity(cands.len());
@@ -968,10 +1038,7 @@ impl<'a> Planner<'a> {
         // The compute step's predicted bytes are its output event's cost
         // (N·|AB| for CPMM, 0 otherwise) — mirrors the `estimated_comm`
         // increment the caller already applied.
-        let out_bytes = out_matrix
-            .and_then(|m| self.program.decl(m).ok())
-            .map(|d| d.stats.est_bytes())
-            .unwrap_or(0);
+        let out_bytes = out_matrix.map(|m| self.bytes_of_matrix(m)).unwrap_or(0);
         let predicted = self.cost.output_cost(cand.strategy, out_bytes);
         self.plan.push_step(
             PlanStep::Compute {

@@ -1,0 +1,60 @@
+//! Bridging sparsity profiles onto cluster-resident matrices.
+//!
+//! [`SparsityProfile::measure`] works on a local [`BlockedMatrix`];
+//! session inputs live as [`DistMatrix`] shards (possibly replicated by
+//! a broadcast scheme), so this module measures profiles directly from
+//! the distributed representation, deduplicating tiles by grid
+//! coordinate.
+
+use std::collections::HashSet;
+
+use dmac_cluster::dist::DistMatrix;
+use dmac_stats::SparsityProfile;
+
+/// Measure the exact sparsity profile of a distributed matrix. Tiles
+/// replicated across workers (broadcast schemes) are counted once.
+pub fn measure_dist(m: &DistMatrix) -> SparsityProfile {
+    let mut p = SparsityProfile::empty(m.rows(), m.cols(), m.block_size());
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    for w in 0..m.workers() {
+        for (&(bi, bj), block) in m.worker_blocks(w) {
+            if !seen.insert((bi, bj)) {
+                continue;
+            }
+            let n = block.nnz() as u64;
+            p.nnz += n;
+            p.row_nnz[bi] += n as f64;
+            p.col_nnz[bj] += n as f64;
+        }
+    }
+    p.nnz = p.nnz.min(m.rows() as u64 * m.cols() as u64);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmac_cluster::partition::PartitionScheme;
+    use dmac_matrix::BlockedMatrix;
+
+    #[test]
+    fn dist_measure_matches_local_measure_and_dedups_broadcast() {
+        let m = BlockedMatrix::from_fn(20, 12, 4, |i, j| {
+            if (i + j) % 3 == 0 {
+                (i * 12 + j) as f64
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let local = SparsityProfile::measure(&m);
+        for scheme in [
+            PartitionScheme::Row,
+            PartitionScheme::Broadcast,
+            PartitionScheme::Hash,
+        ] {
+            let d = DistMatrix::from_blocked(&m, scheme, 4);
+            assert_eq!(measure_dist(&d), local, "scheme {scheme:?}");
+        }
+    }
+}

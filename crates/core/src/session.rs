@@ -26,11 +26,13 @@ use dmac_cluster::{
 use dmac_lang::{Expr, MatrixId, MatrixOrigin, Program};
 use dmac_matrix::BlockedMatrix;
 
+use dmac_stats::{DensityClass, SparsityProfile};
+
 use crate::baselines::SystemKind;
 use crate::engine::{self, ExecReport};
 use crate::error::{CoreError, Result};
 use crate::plan::Plan;
-use crate::planner::{plan_program, PlannerConfig};
+use crate::planner::{plan_program_profiled, PlannerConfig};
 use crate::recovery::RecoveryPolicy;
 use crate::stage;
 use crate::store::SharedStore;
@@ -349,6 +351,35 @@ impl Session {
         Ok((bindings, initial))
     }
 
+    /// Measured sparsity profiles of a run's load bindings (the
+    /// "computed at load" half of the statistics subsystem): every bound
+    /// input gets an exact per-block-strip nnz census, which the
+    /// estimator then propagates through the whole program.
+    fn measured_profiles(
+        bindings: &HashMap<MatrixId, DistMatrix>,
+    ) -> HashMap<MatrixId, SparsityProfile> {
+        bindings
+            .iter()
+            .map(|(&mid, d)| (mid, crate::profile::measure_dist(d)))
+            .collect()
+    }
+
+    /// Best-effort source profiles for planning without execution
+    /// (`plan_only` / `prepare` / `explain`): measure whatever is
+    /// *resident* in the store right now. Spilled or unbound inputs fall
+    /// back to the declaration's uniform sparsity inside the estimator.
+    fn peeked_profiles(&self, program: &Program) -> HashMap<MatrixId, SparsityProfile> {
+        let mut out = HashMap::new();
+        for decl in program.matrices() {
+            if matches!(decl.origin, MatrixOrigin::Load) {
+                if let Some(d) = self.env.peek(&decl.name) {
+                    out.insert(decl.id, crate::profile::measure_dist(&d));
+                }
+            }
+        }
+        out
+    }
+
     /// Initial schemes for planning: bound load inputs keep their cached
     /// scheme, everything else is assumed Hash-placed. Planning needs no
     /// data, so unbound loads are fine here (unlike [`Session::run`]).
@@ -383,7 +414,14 @@ impl Session {
     /// plan's invariants before it is returned.
     pub fn plan_only(&self, program: &Program) -> Result<Plan> {
         let initial = self.initial_schemes(program);
-        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        let sources = self.peeked_profiles(program);
+        let planned = plan_program_profiled(
+            program,
+            &self.planner,
+            self.cluster.workers(),
+            &initial,
+            &sources,
+        )?;
         crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
         Ok(planned.plan)
     }
@@ -394,7 +432,14 @@ impl Session {
     /// scheme, `run_prepared` rejects it (re-`prepare` instead).
     pub fn prepare(&self, program: &Program) -> Result<PreparedProgram> {
         let initial = self.initial_schemes(program);
-        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        let sources = self.peeked_profiles(program);
+        let planned = plan_program_profiled(
+            program,
+            &self.planner,
+            self.cluster.workers(),
+            &initial,
+            &sources,
+        )?;
         crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
         Ok(PreparedProgram {
             program: program.clone(),
@@ -442,13 +487,15 @@ impl Session {
         Ok(report)
     }
 
-    /// EXPLAIN: render the plan and its stage schedule.
+    /// EXPLAIN: render the plan, its stage schedule, and the estimator's
+    /// per-step predicted output nnz / density class.
     pub fn explain(&self, program: &Program) -> Result<String> {
         let plan = self.plan_only(program)?;
         Ok(format!(
-            "{}\n{}",
+            "{}\n{}{}",
             plan.explain(program),
-            stage::explain_stages(&plan, program)
+            stage::explain_stages(&plan, program),
+            explain_sparsity(&plan, program)
         ))
     }
 
@@ -456,7 +503,14 @@ impl Session {
     pub fn run(&mut self, program: &Program) -> Result<ExecReport> {
         let spill0 = self.env.spill_traffic();
         let (bindings, initial) = self.resolve_inputs(program)?;
-        let planned = plan_program(program, &self.planner, self.cluster.workers(), &initial)?;
+        let sources = Self::measured_profiles(&bindings);
+        let planned = plan_program_profiled(
+            program,
+            &self.planner,
+            self.cluster.workers(),
+            &initial,
+            &sources,
+        )?;
         crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
         let (report, outputs) = engine::execute(
             &mut self.cluster,
@@ -559,6 +613,30 @@ impl Session {
     pub fn last_trace(&self) -> Option<&crate::trace::Trace> {
         self.last_report.as_ref().map(|r| &r.trace)
     }
+}
+
+/// Render the estimator's view of a plan: predicted output nnz and
+/// density class for every matrix-producing step.
+fn explain_sparsity(plan: &Plan, program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("sparsity (predicted):\n");
+    for (i, step) in plan.steps.iter().enumerate() {
+        let Some(out) = step.out_node() else { continue };
+        let nnz = plan.step_predicted_nnz(i);
+        let Ok(decl) = program.decl(plan.nodes[out].matrix) else {
+            continue;
+        };
+        let class = DensityClass::classify(nnz, decl.stats.rows, decl.stats.cols);
+        let _ = writeln!(
+            s,
+            "  step {:>3}: nnz={} class={} [{}]",
+            i,
+            nnz,
+            class.as_str(),
+            plan.node_label(program, out)
+        );
+    }
+    s
 }
 
 /// A program planned once for repeated execution (see

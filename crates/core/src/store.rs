@@ -74,6 +74,11 @@ struct Entry {
     /// Logical timestamp of the last touch (monotonic counter, not wall
     /// time — wall time would make eviction order nondeterministic).
     last_used: u64,
+    /// `(rows, cols, nnz)` captured at insert so density classification
+    /// (plan-cache keys, profiled planning) works without touching tiles
+    /// or disk. `None` for entries recovered as stubs from a snapshot —
+    /// their density is unknown until first reload.
+    dims_nnz: Option<(usize, usize, u64)>,
 }
 
 impl Entry {
@@ -302,6 +307,7 @@ impl SharedStore {
     /// fails.
     pub fn insert(&self, name: &str, m: DistMatrix) -> Result<Vec<String>> {
         let bytes = m.logical_bytes();
+        let dims_nnz = Some((m.rows(), m.cols(), m.nnz() as u64));
         let mut g = self.lock();
         g.tick += 1;
         let tick = g.tick;
@@ -321,6 +327,7 @@ impl SharedStore {
                 bytes,
                 pins,
                 last_used: tick,
+                dims_nnz,
             },
         );
         g.enforce_capacity()
@@ -348,6 +355,7 @@ impl SharedStore {
                 g.load_bytes += plen;
                 let e = g.entries.get_mut(name).expect("stub present");
                 e.payload = Payload::Resident(m.clone());
+                e.dims_nnz = Some((m.rows(), m.cols(), m.nnz() as u64));
                 let bytes = e.bytes;
                 g.bytes += bytes;
                 // Reloading may displace colder entries. An over-commit
@@ -384,6 +392,29 @@ impl SharedStore {
             Payload::Resident(m) => m.scheme(),
             Payload::Spilled { scheme, .. } => *scheme,
         })
+    }
+
+    /// Density class of an entry, from the `(rows, cols, nnz)` captured
+    /// at insert. `None` when the entry is absent *or* was recovered as
+    /// a snapshot stub whose density is not yet known — plan-cache keys
+    /// render that as `?`, exactly like an unknown scheme.
+    pub fn density_of(&self, name: &str) -> Option<dmac_stats::DensityClass> {
+        self.lock()
+            .entries
+            .get(name)?
+            .dims_nnz
+            .map(|(r, c, nnz)| dmac_stats::DensityClass::classify(nnz, r, c))
+    }
+
+    /// A resident entry's matrix without bumping the LRU clock or
+    /// reloading spilled tiles. Used by planning paths (profile
+    /// measurement, explain) that must not perturb eviction or spill
+    /// counters; `None` for absent *and* spilled entries.
+    pub fn peek(&self, name: &str) -> Option<DistMatrix> {
+        match &self.lock().entries.get(name)?.payload {
+            Payload::Resident(m) => Some(m.clone()),
+            Payload::Spilled { .. } => None,
+        }
     }
 
     /// Remove an entry, releasing its blocks eagerly. Returns whether it
@@ -562,6 +593,7 @@ impl SharedStore {
                     bytes: e.logical_bytes,
                     pins: 0,
                     last_used: tick,
+                    dims_nnz: None,
                 },
             );
             names.push(e.name.clone());

@@ -60,6 +60,16 @@ pub struct StepTrace {
     /// Wire bytes attributed to recovery while this step was in flight
     /// (failed-attempt partial work, lineage replay, source refetch).
     pub recovery_wire_bytes: u64,
+    /// The estimator's predicted non-zero count for the step's output
+    /// matrix (0 for steps without a matrix output).
+    pub predicted_nnz: u64,
+    /// Observed non-zero count of the materialised output (0 for steps
+    /// without a matrix output).
+    pub observed_nnz: u64,
+    /// Density class of the *predicted* output profile (`"empty"`,
+    /// `"sparse"`, `"medium"`, `"dense"`; empty string when the step has
+    /// no matrix output).
+    pub density_class: &'static str,
     /// Simulated clock when the step started.
     pub sim_start_sec: f64,
     /// Simulated clock when the step completed.
@@ -325,13 +335,23 @@ impl Trace {
         s
     }
 
+    /// Total predicted output non-zeros over all steps.
+    pub fn predicted_nnz_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.predicted_nnz).sum()
+    }
+
+    /// Total observed output non-zeros over all steps.
+    pub fn observed_nnz_total(&self) -> u64 {
+        self.steps.iter().map(|s| s.observed_nnz).sum()
+    }
+
     /// Human-readable conformance table (bench bins, debugging).
     pub fn conformance_table(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  label",
-            "step", "stage", "kind", "predicted", "actual", "wire"
+            "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14} {:>12} {:>12} {:<7} label",
+            "step", "stage", "kind", "predicted", "actual", "wire", "pred_nnz", "obs_nnz", "class"
         );
         for t in &self.steps {
             let mark = if t.actual_bytes > t.predicted_bytes {
@@ -341,13 +361,20 @@ impl Trace {
             };
             let _ = writeln!(
                 s,
-                "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14}  {}{}",
+                "{:>4} {:>5} {:<12} {:>14} {:>14} {:>14} {:>12} {:>12} {:<7} {}{}",
                 t.step,
                 t.stage,
                 t.kind,
                 t.predicted_bytes,
                 t.actual_bytes,
                 t.wire_bytes,
+                t.predicted_nnz,
+                t.observed_nnz,
+                if t.density_class.is_empty() {
+                    "-"
+                } else {
+                    t.density_class
+                },
                 t.label,
                 mark
             );
@@ -390,7 +417,8 @@ impl Trace {
                     "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
                      \"pid\":1,\"tid\":{},\"args\":{{\"step\":{},\"phase\":{},\
                      \"predicted_bytes\":{},\"actual_bytes\":{},\"wire_bytes\":{},\
-                     \"recovery_wire_bytes\":{}}}}}",
+                     \"recovery_wire_bytes\":{},\"predicted_nnz\":{},\"observed_nnz\":{},\
+                     \"density_class\":{}}}}}",
                     json_str(&format!("{} {}", t.kind, t.label)),
                     json_str(&t.kind),
                     ts,
@@ -402,6 +430,9 @@ impl Trace {
                     t.actual_bytes,
                     t.wire_bytes,
                     t.recovery_wire_bytes,
+                    t.predicted_nnz,
+                    t.observed_nnz,
+                    json_str(t.density_class),
                 ),
             );
             for span in &t.spans {
@@ -574,6 +605,31 @@ mod tests {
         assert!(j.contains("\"workers\":4"));
         // one step event per step + one span event
         assert_eq!(j.matches("\"ph\":\"X\"").count(), 4);
+    }
+
+    #[test]
+    fn nnz_channel_totals_and_rendering() {
+        let mut t = sample();
+        t.steps[0].predicted_nnz = 120;
+        t.steps[0].observed_nnz = 100;
+        t.steps[0].density_class = "sparse";
+        t.steps[2].predicted_nnz = 50;
+        t.steps[2].observed_nnz = 50;
+        t.steps[2].density_class = "dense";
+        assert_eq!(t.predicted_nnz_total(), 170);
+        assert_eq!(t.observed_nnz_total(), 150);
+        let table = t.conformance_table();
+        assert!(table.contains("pred_nnz"), "{table}");
+        assert!(table.contains("sparse"), "{table}");
+        let j = t.to_chrome_json();
+        assert!(j.contains("\"predicted_nnz\":120"), "{j}");
+        assert!(j.contains("\"observed_nnz\":100"), "{j}");
+        assert!(j.contains("\"density_class\":\"dense\""), "{j}");
+        // golden_summary format must not change with the nnz channel.
+        assert!(t
+            .golden_summary()
+            .starts_with("workers=4 stages=2 steps=3\n"));
+        assert!(!t.golden_summary().contains("nnz"));
     }
 
     #[test]

@@ -16,10 +16,14 @@
 //!   the four graphs of Table 3 at a configurable scale.
 //! * [`row_normalize`] — turn an adjacency matrix into the row-stochastic
 //!   link matrix PageRank needs.
+//! * [`load_with_profile`] — pair a generated matrix with its measured
+//!   [`SparsityProfile`], the statistics record the planner's estimator
+//!   starts from.
 
 #![forbid(unsafe_code)]
 
 use dmac_matrix::{BlockedMatrix, Result, SplitMix64};
+use dmac_stats::SparsityProfile;
 
 /// A named graph preset mirroring Table 3 of the paper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,6 +176,15 @@ pub fn row_normalize(adj: &BlockedMatrix) -> Result<BlockedMatrix> {
     BlockedMatrix::from_triplets(adj.rows(), adj.cols(), adj.block_size(), trips)
 }
 
+/// Measure a freshly generated (or loaded) matrix's sparsity statistics:
+/// exact nnz plus per-block-row/-column nnz vectors. Datasets enter the
+/// system through this census — the planner's estimator propagates these
+/// measured profiles instead of trusting declared sparsity.
+pub fn load_with_profile(m: BlockedMatrix) -> (BlockedMatrix, SparsityProfile) {
+    let profile = SparsityProfile::measure(&m);
+    (m, profile)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +258,25 @@ mod tests {
         let real_degree = LIVEJOURNAL.real_edges as f64 / LIVEJOURNAL.real_nodes as f64;
         assert!((degree - real_degree).abs() < 0.1);
         assert_eq!(TABLE3_GRAPHS.len(), 4);
+    }
+
+    #[test]
+    fn load_with_profile_measures_exactly() {
+        let g = powerlaw_graph(100, 800, 32, 5);
+        let nnz = g.nnz() as u64;
+        let (m, profile) = load_with_profile(g);
+        assert_eq!(profile.nnz, nnz);
+        assert_eq!(profile.rows, 100);
+        assert_eq!(profile.cols, 100);
+        assert_eq!(profile.block, 32);
+        assert_eq!(profile.row_nnz.len(), 4);
+        assert!((profile.row_nnz.iter().sum::<f64>() - nnz as f64).abs() < 1e-9);
+        assert_eq!(m.nnz() as u64, nnz);
+        // Dense input → dense class, full census.
+        let d = dense_random(16, 16, 8, 1);
+        let (_, p) = load_with_profile(d);
+        assert_eq!(p.class(), dmac_stats::DensityClass::Dense);
+        assert_eq!(p.nnz, 256);
     }
 
     #[test]

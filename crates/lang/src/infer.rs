@@ -53,6 +53,22 @@ impl MatrixStats {
     pub fn shape(self) -> (usize, usize) {
         (self.rows, self.cols)
     }
+
+    /// Hard cap on the number of non-zero cells: `rows · cols`. Every
+    /// sparsity estimator (static or profile-propagated) is bounded by
+    /// this; the runtime asserts observed nnz never exceeds it.
+    pub fn nnz_cap(self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// Estimated non-zero count implied by the static sparsity:
+    /// `ceil(rows · cols · sparsity)`, capped at [`Self::nnz_cap`].
+    /// `dmac-stats` uses this as the uniform fallback total when no
+    /// measured profile exists, keeping `8 · est_nnz == est_bytes`
+    /// exactly for dense stats.
+    pub fn est_nnz(self) -> u64 {
+        ((self.rows as f64 * self.cols as f64 * self.sparsity).ceil() as u64).min(self.nnz_cap())
+    }
 }
 
 /// Infer the output stats of a binary operator; checks shapes.
@@ -151,6 +167,16 @@ mod tests {
         let t = a.transposed();
         assert_eq!(t.shape(), (1000, 1000));
         assert_eq!(t.est_bytes(), a.est_bytes());
+    }
+
+    #[test]
+    fn est_nnz_matches_est_bytes() {
+        let a = MatrixStats::new(1000, 1000, 0.01);
+        assert_eq!(a.est_nnz(), 10_000);
+        assert_eq!(a.nnz_cap(), 1_000_000);
+        let d = MatrixStats::new(37, 19, 1.0);
+        assert_eq!(8 * d.est_nnz(), d.est_bytes());
+        assert_eq!(d.est_nnz(), d.nnz_cap());
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! The key is [`dmac_lang::Program::fingerprint`] (a hash of the
 //! normalized AST — whitespace, comments and intermediate/random
 //! variable names don't matter; shapes, ops, sparsities and load/store
-//! names do) **plus the current partition scheme of every `load`
-//! input**. The scheme component is what the paper's dependency
-//! exploitation demands: after a run caches an improved placement for a
-//! load input (say Hash → Row), the old plan is wrong for the new
-//! layout, so the composite key changes and the next submission
-//! re-plans — a deliberate miss, counted as such.
+//! names do) **plus the current partition scheme and density class of
+//! every `load` input**. The scheme component is what the paper's
+//! dependency exploitation demands: after a run caches an improved
+//! placement for a load input (say Hash → Row), the old plan is wrong
+//! for the new layout, so the composite key changes and the next
+//! submission re-plans — a deliberate miss, counted as such. The
+//! density-class component does the same for the nnz-aware planner: a
+//! plan costed against a dense input must not be reused when the same
+//! name is re-bound to a sparse matrix of the same shape (the strategy
+//! crossover may have moved).
 //!
 //! Values are `Arc<PreparedProgram>`: prepared plans are bound to
 //! scheme assumptions, not to a session, so any session sharing the
@@ -22,9 +26,11 @@ use dmac_core::SharedStore;
 use dmac_lang::program::MatrixOrigin;
 use dmac_lang::Program;
 
-/// Composite cache key for `program` given the load-input schemes
-/// currently in `store`. Unbound loads key as `?` — they will fail at
-/// execution, but the key must still be stable.
+/// Composite cache key for `program` given the load-input schemes and
+/// density classes currently in `store`. Unbound loads (and entries
+/// whose density is unknown, e.g. disk stubs after a restart) key the
+/// missing component as `?` — they may fail or re-plan at execution,
+/// but the key must still be stable.
 pub fn cache_key(program: &Program, store: &SharedStore) -> String {
     let mut loads: Vec<String> = program
         .matrices()
@@ -35,7 +41,8 @@ pub fn cache_key(program: &Program, store: &SharedStore) -> String {
                 .scheme_of(&d.name)
                 .map(|s| s.to_string())
                 .unwrap_or_else(|| "?".into());
-            format!("{}={}", d.name, scheme)
+            let class = store.density_of(&d.name).map(|c| c.as_str()).unwrap_or("?");
+            format!("{}={}:{}", d.name, scheme, class)
         })
         .collect();
     loads.sort();
@@ -198,6 +205,35 @@ mod tests {
         if store.scheme_of("A") != Some(dmac_cluster::PartitionScheme::Hash) {
             assert_ne!(k_hash, cache_key(&p, &store));
         }
+    }
+
+    #[test]
+    fn density_class_changes_change_the_key() {
+        let store = SharedStore::new();
+        let p = program("A = load(A, 16, 16, 1.0)\nB = A + A\noutput(B)\n");
+        let mut sess = Session::builder()
+            .workers(2)
+            .block_size(8)
+            .store(store.clone())
+            .build();
+        // Dense binding.
+        let dense = dmac_matrix::BlockedMatrix::from_fn(16, 16, 8, |_, _| 1.0).unwrap();
+        sess.bind("A", dense).unwrap();
+        let k_dense = cache_key(&p, &store);
+        assert!(k_dense.contains("A=h:dense"), "{k_dense}");
+        // Re-bind the same name, same shape, same scheme — but sparse.
+        let sparse = dmac_matrix::BlockedMatrix::from_fn(16, 16, 8, |i, j| {
+            if i == 0 && j == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        sess.bind("A", sparse).unwrap();
+        let k_sparse = cache_key(&p, &store);
+        assert_ne!(k_dense, k_sparse);
+        assert!(k_sparse.contains("A=h:sparse"), "{k_sparse}");
     }
 
     #[test]

@@ -61,6 +61,12 @@ echo "==> fusion benchmark (GNMF + PageRank fused vs unfused, writes BENCH_fusio
 # or if the fusion_min_blocks threshold fails to skip the tiny workload.
 cargo run --release -q -p dmac-bench --bin fusion > /dev/null
 
+echo "==> density sweep benchmark (PageRank powerlaw, nnz-costed vs dense-costed, writes BENCH_density.json)"
+# Exits non-zero if the nnz-costed planner fails to cut metered wire
+# bytes by >=30% versus the density-blind Table-2 pricing at the
+# sparsest setting, or if any setting's outputs diverge by a single bit.
+cargo run --release -q -p dmac-bench --bin density > /dev/null
+
 echo "==> durability crash matrix (checkpoint/recover at every injected crash point)"
 # Deterministic crashes at all 8 snapshot/compaction/recovery boundaries
 # for GNMF and PageRank; recovered runs must be bit-for-bit identical.

@@ -17,6 +17,8 @@
 //! * [`analyze`] — static analysis: program lints over the DSL AST and an
 //!   independent plan-invariant verifier that re-derives Table-2 dependency
 //!   types and per-step communication from scratch.
+//! * [`stats`] — sparsity statistics: measured [`stats::SparsityProfile`]s
+//!   and the MatFast-style nnz estimator the planner prices against.
 //! * [`data`] — synthetic dataset generators standing in for the paper's
 //!   Netflix and graph datasets.
 //! * [`apps`] — the five evaluated applications: GNMF, PageRank, linear
@@ -61,6 +63,7 @@ pub use dmac_data as data;
 pub use dmac_lang as lang;
 pub use dmac_matrix as matrix;
 pub use dmac_serve as serve;
+pub use dmac_stats as stats;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

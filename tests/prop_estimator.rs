@@ -1,0 +1,280 @@
+//! Property test for the sparsity estimator: across random programs and
+//! random input densities, the propagated [`SparsityProfile`]s must be
+//! *sound* in the sense each operator's semantics promises.
+//!
+//! * Every predicted nnz respects the hard cap `rows·cols` (matmul's
+//!   expected-value estimate included — it is clamped, never inflated).
+//! * For programs built only from cell-wise and unary operators, the
+//!   prediction is a true **upper bound**: `+`/`-` cannot create a
+//!   non-zero where both inputs are zero, `*`/`/` cannot where either is,
+//!   and unaries at most preserve the pattern (scaling by a dynamic
+//!   scalar may zero everything). Matmul's estimate is probabilistic, so
+//!   those programs assert only the cap.
+//! * Corners: all-zero inputs must predict exactly 0 through any
+//!   zero-preserving pipeline; all-dense cell-wise sums must predict
+//!   exactly the cap.
+//!
+//! Randomness comes from the in-tree [`SplitMix64`] with fixed seeds
+//! (`tests/prop_planner.rs` style), so failures are reproducible by case
+//! index.
+
+use std::collections::HashMap;
+
+use dmac::core::planner::{plan_program_profiled, PlannerConfig};
+use dmac::core::{Session, SparsityProfile};
+use dmac::lang::{Expr, MatrixId, Program};
+use dmac::matrix::{BlockedMatrix, SplitMix64};
+
+const BLOCK: usize = 4;
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+const DIMS: [usize; 3] = [6, 10, 14];
+
+struct OpPick {
+    kind: u8,
+    a: usize,
+    b: usize,
+    t1: bool,
+    t2: bool,
+}
+
+fn op_picks(rng: &mut SplitMix64, min: usize, max: usize) -> Vec<OpPick> {
+    let count = rng.range_inclusive(min, max);
+    (0..count)
+        .map(|_| OpPick {
+            kind: rng.below(7) as u8,
+            a: rng.below(64),
+            b: rng.below(64),
+            t1: rng.chance(0.5),
+            t2: rng.chance(0.5),
+        })
+        .collect()
+}
+
+/// Build a valid straight-line program from random picks; `allow_matmul`
+/// false restricts the draw to cell-wise/unary ops so the upper-bound
+/// semantics apply. Returns the program and whether a matmul made it in.
+fn build_program(picks: &[OpPick], allow_matmul: bool) -> (Program, bool) {
+    let mut p = Program::new();
+    let mut exprs: Vec<Expr> = vec![
+        p.load("A", DIMS[0], DIMS[1], 0.6),
+        p.load("B", DIMS[1], DIMS[2], 0.6),
+        p.load("C", DIMS[0], DIMS[1], 0.6),
+    ];
+    let mut has_matmul = false;
+    for pick in picks {
+        let a = exprs[pick.a % exprs.len()];
+        let b = exprs[pick.b % exprs.len()];
+        let ea = if pick.t1 { a.t() } else { a };
+        let eb = if pick.t2 { b.t() } else { b };
+        let sa = p.stats_of(ea).unwrap();
+        let sb = p.stats_of(eb).unwrap();
+        let out = match pick.kind {
+            0 if allow_matmul && sa.cols == sb.rows => {
+                let e = p.matmul(ea, eb).ok();
+                has_matmul |= e.is_some();
+                e
+            }
+            1 if sa.shape() == sb.shape() => p.add(ea, eb).ok(),
+            2 if sa.shape() == sb.shape() => p.sub(ea, eb).ok(),
+            3 if sa.shape() == sb.shape() => p.cell_mul(ea, eb).ok(),
+            4 if sa.shape() == sb.shape() => p.cell_div(ea, eb).ok(),
+            5 => p.scale_const(ea, 0.5).ok(),
+            6 => {
+                let s = p.sum(ea).unwrap();
+                p.scale(eb, s.clone() / (s + dmac::lang::ScalarExpr::c(1.0)))
+                    .ok()
+            }
+            _ => None,
+        };
+        if let Some(e) = out {
+            exprs.push(e);
+        }
+    }
+    let last = *exprs.last().unwrap();
+    p.output(last);
+    (p, has_matmul)
+}
+
+/// Random bindings at a density drawn per matrix (including exact 0 and 1).
+fn bindings(rng: &mut SplitMix64) -> HashMap<String, BlockedMatrix> {
+    let shapes = [
+        ("A", DIMS[0], DIMS[1]),
+        ("B", DIMS[1], DIMS[2]),
+        ("C", DIMS[0], DIMS[1]),
+    ];
+    shapes
+        .iter()
+        .map(|&(name, r, c)| {
+            let m = match rng.below(4) {
+                0 => BlockedMatrix::zeros(r, c, BLOCK).unwrap(),
+                1 => dmac::data::dense_random(r, c, BLOCK, rng.next_u64()),
+                _ => {
+                    let d = [0.1, 0.3, 0.6][rng.below(3)];
+                    dmac::data::uniform_sparse(r, c, d, BLOCK, rng.next_u64())
+                }
+            };
+            (name.to_string(), m)
+        })
+        .collect()
+}
+
+fn sources(
+    p: &Program,
+    binds: &HashMap<String, BlockedMatrix>,
+) -> HashMap<MatrixId, SparsityProfile> {
+    p.matrices()
+        .iter()
+        .filter_map(|d| {
+            binds
+                .get(&d.name)
+                .map(|m| (d.id, SparsityProfile::measure(m)))
+        })
+        .collect()
+}
+
+fn cfg() -> PlannerConfig {
+    PlannerConfig {
+        fusion_block: BLOCK,
+        ..PlannerConfig::default()
+    }
+}
+
+/// Run the program and return per-step (predicted, observed) for every
+/// step that materialises a matrix.
+fn run_and_collect(
+    program: &Program,
+    binds: &HashMap<String, BlockedMatrix>,
+    workers: usize,
+) -> Vec<(u64, u64)> {
+    let mut s = Session::builder()
+        .workers(workers)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .build();
+    for (name, m) in binds {
+        s.bind(name, m.clone()).unwrap();
+    }
+    let report = s.run(program).unwrap();
+    report
+        .trace
+        .steps
+        .iter()
+        .filter(|st| !st.density_class.is_empty())
+        .map(|st| (st.predicted_nnz, st.observed_nnz))
+        .collect()
+}
+
+/// Every propagated profile respects the `rows·cols` cap and carries
+/// finite, non-negative strip vectors — matmul programs included.
+#[test]
+fn predictions_never_exceed_the_hard_cap() {
+    let mut rng = SplitMix64::new(SEED ^ 0xE57);
+    for case in 0..48 {
+        let picks = op_picks(&mut rng, 1, 11);
+        let (program, _) = build_program(&picks, true);
+        let binds = bindings(&mut rng);
+        let src = sources(&program, &binds);
+        let planned = plan_program_profiled(&program, &cfg(), 4, &HashMap::new(), &src).unwrap();
+        for decl in program.matrices() {
+            let prof = &planned.profiles[decl.id as usize];
+            let cap = (decl.stats.rows as u64) * (decl.stats.cols as u64);
+            assert!(
+                prof.nnz <= cap,
+                "case {case}: {} predicts {} > cap {cap}",
+                decl.name,
+                prof.nnz
+            );
+            assert!(
+                prof.row_nnz
+                    .iter()
+                    .chain(&prof.col_nnz)
+                    .all(|v| v.is_finite() && *v >= 0.0),
+                "case {case}: {} has a non-finite or negative strip",
+                decl.name
+            );
+        }
+    }
+}
+
+/// For matmul-free programs the prediction upper-bounds the observation
+/// on every executed step.
+#[test]
+fn cellwise_predictions_upper_bound_observations() {
+    let mut rng = SplitMix64::new(SEED ^ 0xB0B);
+    for case in 0..32 {
+        let picks = op_picks(&mut rng, 1, 11);
+        let (program, has_matmul) = build_program(&picks, false);
+        assert!(!has_matmul);
+        let binds = bindings(&mut rng);
+        let workers = rng.range_inclusive(1, 4);
+        for (step, (predicted, observed)) in run_and_collect(&program, &binds, workers)
+            .iter()
+            .enumerate()
+        {
+            assert!(
+                observed <= predicted,
+                "case {case} step {step}: observed {observed} > predicted {predicted}"
+            );
+        }
+    }
+}
+
+/// All-zero inputs flow through zero-preserving pipelines as exact zeros:
+/// predicted and observed nnz are both 0 on every step.
+#[test]
+fn zero_inputs_predict_exactly_zero() {
+    let mut rng = SplitMix64::new(SEED ^ 0x2E0);
+    for case in 0..8 {
+        let picks = op_picks(&mut rng, 1, 9);
+        let (program, _) = build_program(&picks, true);
+        let binds: HashMap<String, BlockedMatrix> = [
+            ("A", DIMS[0], DIMS[1]),
+            ("B", DIMS[1], DIMS[2]),
+            ("C", DIMS[0], DIMS[1]),
+        ]
+        .iter()
+        .map(|&(n, r, c)| (n.to_string(), BlockedMatrix::zeros(r, c, BLOCK).unwrap()))
+        .collect();
+        for (step, (predicted, observed)) in run_and_collect(&program, &binds, 3).iter().enumerate()
+        {
+            assert_eq!(
+                (*predicted, *observed),
+                (0, 0),
+                "case {case} step {step}: zero inputs must stay zero"
+            );
+        }
+    }
+}
+
+/// A dense + dense cell-wise sum predicts exactly the cap, and dense
+/// inputs keep every prediction at or above the observation even through
+/// matmuls (a product of fully dense operands is at worst fully dense).
+#[test]
+fn dense_corner_is_exact() {
+    let mut p = Program::new();
+    let a = p.load("A", DIMS[0], DIMS[1], 1.0);
+    let b = p.load("B", DIMS[0], DIMS[1], 1.0);
+    let s = p.add(a, b).unwrap();
+    let g = p.matmul(s, s.t()).unwrap();
+    p.output(g);
+    let binds: HashMap<String, BlockedMatrix> = ["A", "B"]
+        .iter()
+        .map(|&n| {
+            (
+                n.to_string(),
+                dmac::data::dense_random(DIMS[0], DIMS[1], BLOCK, 7),
+            )
+        })
+        .collect();
+    let src = sources(&p, &binds);
+    let planned = plan_program_profiled(&p, &cfg(), 4, &HashMap::new(), &src).unwrap();
+    let sum_decl = p.matrices().iter().find(|d| d.id == s.id).unwrap();
+    let cap = (sum_decl.stats.rows * sum_decl.stats.cols) as u64;
+    assert_eq!(planned.profiles[sum_decl.id as usize].nnz, cap);
+    for (step, (predicted, observed)) in run_and_collect(&p, &binds, 4).iter().enumerate() {
+        assert!(
+            observed <= predicted,
+            "step {step}: dense corner observed {observed} > predicted {predicted}"
+        );
+    }
+}

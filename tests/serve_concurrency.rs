@@ -286,6 +286,62 @@ fn submissions_after_shutdown_are_rejected() {
     server.wait();
 }
 
+/// The plan-cache key must include input *density class*, not just
+/// scheme: a plan costed for a dense `Dx` must not be reused after the
+/// same name, same shape, same scheme is re-stored with different
+/// sparsity (the matmul strategy crossover may have moved).
+#[test]
+fn plan_cache_misses_when_input_density_class_changes() {
+    let server = test_server(1);
+    let mut cli = Client::connect(server.addr()).expect("connect");
+
+    // Dense producer and its structurally identical all-zero twin:
+    // Add vs Sub plan identically, so the stored Dx keeps the same
+    // scheme either way — only the density class flips (dense ↔ empty).
+    let dense_producer = "Ax = random(Ax, 32, 32)\nDx = Ax + Ax\nstore(Dx)\n";
+    let zero_producer = "Ax = random(Ax, 32, 32)\nDx = Ax - Ax\nstore(Dx)\n";
+    let consumer = "Dx = load(Dx, 32, 32, 1.0)\nFx = Dx + Dx\noutput(Fx)\n";
+
+    cli.submit("den", dense_producer, None).expect("produce");
+    let first = cli.submit("den", consumer, None).expect("consume");
+    assert!(!first.plan_cached, "first consumption must plan");
+
+    // Reach the steady state where the consumer's key stops moving
+    // (the first run may promote Dx's cached placement once).
+    let mut steady = false;
+    for _ in 0..3 {
+        if cli
+            .submit("den", consumer, None)
+            .expect("consume")
+            .plan_cached
+        {
+            steady = true;
+            break;
+        }
+    }
+    assert!(steady, "consumer plan should become cacheable");
+
+    // Overwrite Dx with the all-zero twin: same shape, same scheme,
+    // density class dense → empty. The cached dense-costed plan must
+    // NOT be reused.
+    cli.submit("den", zero_producer, None)
+        .expect("re-produce zero");
+    let sparse = cli.submit("den", consumer, None).expect("consume zero");
+    assert!(
+        !sparse.plan_cached,
+        "dense-cached plan must not be reused for an empty input"
+    );
+
+    // Restoring the dense value restores the original key → cache hit.
+    cli.submit("den", dense_producer, None)
+        .expect("re-produce dense");
+    let back = cli.submit("den", consumer, None).expect("consume dense");
+    assert!(back.plan_cached, "original dense key must hit again");
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
 #[test]
 fn explain_matches_local_explain() {
     let server = test_server(1);
@@ -303,6 +359,10 @@ fn explain_matches_local_explain() {
     let program = parse_script(&script).unwrap().program;
     let local = sess.explain(&program).expect("local explain");
     assert_eq!(remote, local);
+    assert!(
+        remote.contains("sparsity (predicted):"),
+        "explain must surface the predicted-sparsity channel:\n{remote}"
+    );
 
     cli.shutdown().expect("shutdown");
     server.wait();
