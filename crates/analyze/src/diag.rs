@@ -57,6 +57,14 @@ pub mod code {
     /// The same operator over the same inputs recurs across unrolled
     /// loop iterations — a hoisting candidate.
     pub const LOOP_INVARIANT: &str = "I201";
+    /// A cell-wise/unary intermediate stays resident across phase
+    /// (checkpoint) boundaries although recomputing it locally from its
+    /// inputs would cost fewer bytes than holding it.
+    pub const RESIDENT_RECOMPUTABLE: &str = "W105";
+    /// One of the program's three longest live ranges, with its
+    /// byte-weight: where early frees help least and memory pressure
+    /// concentrates.
+    pub const LONG_LIVE_RANGE: &str = "I202";
 }
 
 /// One analyzer finding.

@@ -11,13 +11,15 @@
 //!   algorithms). No spans, same program-level lints.
 //!
 //! Program-level lints: dead stores (W101), unused intermediates (W102),
-//! redundant transposes (W103), trivial identities (W104), loop-invariant
-//! candidates (I201), and missing outputs (E004).
+//! redundant transposes (W103), trivial identities (W104), intermediates
+//! held across phase boundaries that are cheaper to recompute (W105),
+//! loop-invariant candidates (I201), the top-3 longest live ranges with
+//! their byte-weights (I202), and missing outputs (E004).
 
 use std::collections::{BTreeMap, HashSet};
 
 use dmac_lang::{
-    parse_script, LangError, MatrixId, OpKind, Operator, ParseError, ParsedScript, Program,
+    parse_script, BinOp, LangError, MatrixId, OpKind, Operator, ParseError, ParsedScript, Program,
     ScalarId, Span, UnaryOp,
 };
 
@@ -214,6 +216,93 @@ fn lint_ops(program: &Program, spans: Option<&[Option<Span>]>) -> Vec<Diagnostic
         }
     }
 
+    // W105: a cell-wise/unary result held resident across phase
+    // (checkpoint) boundaries although one local recomputation pass over
+    // its inputs moves fewer bytes than keeping it alive. Matmul and
+    // reduction results are exempt — recomputing those re-runs
+    // communication, which Table 2 prices far above residency.
+    for (idx, op) in program.ops().iter().enumerate() {
+        let Some(m) = op.out_matrix else { continue };
+        let recomputable = match &op.kind {
+            OpKind::Binary { op: b, .. } => !matches!(b, BinOp::MatMul),
+            OpKind::Unary { .. } => true,
+            OpKind::Reduce { .. } => false,
+        };
+        if !recomputable {
+            continue;
+        }
+        let spanned = program
+            .ops()
+            .iter()
+            .skip(idx + 1)
+            .filter(|q| q.kind.inputs().iter().any(|r| r.id == m))
+            .map(|q| q.phase.saturating_sub(op.phase))
+            .max()
+            .unwrap_or(0);
+        if spanned == 0 {
+            continue;
+        }
+        let Ok(decl) = program.decl(m) else { continue };
+        let resident = decl.stats.est_bytes() * spanned as u64;
+        let recompute: u64 = op
+            .kind
+            .inputs()
+            .iter()
+            .filter_map(|r| program.decl(r.id).ok())
+            .map(|d| d.stats.est_bytes())
+            .sum();
+        if resident > recompute {
+            diags.push(Diagnostic::new(
+                Severity::Warning,
+                code::RESIDENT_RECOMPUTABLE,
+                span_of(spans, idx),
+                format!(
+                    "result '{}' of operator {idx} stays resident across {spanned} phase \
+                     boundary(ies) (~{resident} bytes held) but one local recomputation \
+                     from its inputs reads only ~{recompute} bytes; recompute it past the \
+                     checkpoint instead of holding it",
+                    decl.name
+                ),
+            ));
+        }
+    }
+
+    // I202: the three longest-held intermediates, weighted by their
+    // estimated resident bytes — where memory pressure concentrates and
+    // spliced frees help least. Only ranges spanning at least two
+    // intervening operators are interesting.
+    let mut ranges: Vec<(usize, u64, usize, String)> = Vec::new();
+    for (idx, op) in program.ops().iter().enumerate() {
+        let Some(m) = op.out_matrix else { continue };
+        let last = program
+            .ops()
+            .iter()
+            .enumerate()
+            .skip(idx + 1)
+            .filter(|(_, q)| q.kind.inputs().iter().any(|r| r.id == m))
+            .map(|(q, _)| q)
+            .max();
+        let Some(last) = last else { continue };
+        let span_ops = last - idx;
+        if span_ops < 2 {
+            continue;
+        }
+        let Ok(decl) = program.decl(m) else { continue };
+        ranges.push((span_ops, decl.stats.est_bytes(), idx, decl.name.clone()));
+    }
+    ranges.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+    for (span_ops, bytes, idx, name) in ranges.into_iter().take(3) {
+        diags.push(Diagnostic::new(
+            Severity::Info,
+            code::LONG_LIVE_RANGE,
+            span_of(spans, idx),
+            format!(
+                "result '{name}' of operator {idx} is live across {span_ops} operators \
+                 (~{bytes} bytes resident) — one of the program's 3 longest live ranges"
+            ),
+        ));
+    }
+
     // I201: loop-invariant candidates — the same operator body over the
     // same inputs in two or more distinct unrolled phases means its
     // inputs never changed across iterations.
@@ -361,7 +450,18 @@ mod tests {
         let src = "V = load(V, 20, 10, 1.0)\nX = random(X, 10, 10)\n\
                    for (i in 0:2) {\n  G = V.t %*% V\n  X = X %*% G\n}\noutput(X)\n";
         let r = lint_script(src);
-        assert_eq!(codes(&r), vec![code::LOOP_INVARIANT], "{:?}", r.diagnostics);
+        // The hoisting candidate, plus long-live-range observations for
+        // the loop-carried accumulator chain.
+        assert_eq!(
+            codes(&r),
+            vec![
+                code::LOOP_INVARIANT,
+                code::LONG_LIVE_RANGE,
+                code::LONG_LIVE_RANGE
+            ],
+            "{:?}",
+            r.diagnostics
+        );
         assert_eq!(r.diagnostics[0].severity, Severity::Info);
         assert!(r.diagnostics[0].message.contains("3 unrolled"));
         // An accumulation whose inputs change every iteration must not
@@ -375,12 +475,65 @@ mod tests {
         let gnmf_h = "V = load(V, 100, 80, 0.1)\nW = random(W, 100, 8)\nH = random(H, 8, 80)\n\
                       for (i in 0:2) {\n  H = H * (W.t %*% V) / (W.t %*% W %*% H)\n}\nstore(H)\n";
         let r = lint_script(gnmf_h);
-        assert_eq!(
-            codes(&r),
-            vec![code::LOOP_INVARIANT, code::LOOP_INVARIANT],
+        let hoists = codes(&r)
+            .iter()
+            .filter(|&&c| c == code::LOOP_INVARIANT)
+            .count();
+        assert_eq!(hoists, 2, "{:?}", r.diagnostics);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn resident_recomputable_fires_across_phases() {
+        // B is a unary result computed before the loop and read in the
+        // final unrolled iteration: it stays resident across two phase
+        // boundaries (2× its bytes) although recomputing it re-reads A
+        // once (1× its bytes).
+        let src = "A = load(A, 64, 64, 1.0)\nB = A * 2.0\nX = random(X, 64, 64)\n\
+                   for (i in 0:2) {\n  X = X %*% A\n}\nY = X + B\noutput(Y)\n";
+        let r = lint_script(src);
+        assert!(
+            codes(&r).contains(&code::RESIDENT_RECOMPUTABLE),
             "{:?}",
             r.diagnostics
         );
+        let d = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == code::RESIDENT_RECOMPUTABLE)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("recompute"), "{}", d.message);
+        // Held only to the *next* phase, a binary cell-wise result is
+        // cheaper to keep than to recompute: no warning.
+        let near = "A = load(A, 64, 64, 1.0)\nX = random(X, 64, 64)\n\
+                    for (i in 0:1) {\n  X = (X + A) %*% A\n}\noutput(X)\n";
+        let r = lint_script(near);
+        assert!(
+            !codes(&r).contains(&code::RESIDENT_RECOMPUTABLE),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn long_live_ranges_report_top_three() {
+        // A chain of accumulators whose early results stay live to the
+        // end: more than three qualifying ranges, only three reported,
+        // longest first.
+        let src = "A = load(A, 16, 16, 1.0)\nB = A + A\nC = A * A\nD = A + C\nE = A * C\n\
+                   F = B + C\nG = B + E\nH = D + F\nI = G + H\noutput(I)\n";
+        let r = lint_script(src);
+        let infos: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == code::LONG_LIVE_RANGE)
+            .collect();
+        assert_eq!(infos.len(), 3, "{:?}", r.diagnostics);
+        for d in &infos {
+            assert_eq!(d.severity, Severity::Info);
+            assert!(d.message.contains("bytes resident"), "{}", d.message);
+        }
     }
 
     #[test]

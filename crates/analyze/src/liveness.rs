@@ -1,0 +1,324 @@
+//! Independent liveness / memory-certificate verification (V18–V21).
+//!
+//! Re-derives, along a code path deliberately separate from
+//! `dmac_core::liveness`, everything the planner's liveness pass claims
+//! about a plan:
+//!
+//! * **V18** — no step reads a node after its `free` step: the spliced
+//!   releases really do sit at or after every intermediate's last use.
+//! * **V19** — release discipline: no double frees, kept nodes (program
+//!   outputs, cached input placements) are never freed, and — when free
+//!   splicing is enabled — every dead intermediate is freed *exactly
+//!   once*, anchored no earlier than its last reader (or its producer,
+//!   if it is never read).
+//! * **V20** — the plan's [`MemoryCertificate`] dominates an independent
+//!   re-derivation of the per-step resident-byte bound and is internally
+//!   consistent (`peak` is the maximum of `per_step`, attained at
+//!   `argmax`).
+//! * **V21** ([`check_observed`]) — the engine's measured per-step
+//!   resident bytes never exceed the certified bound. Hooked behind
+//!   `dmac_core::verifyhook::install_run_verifier`, so every debug-build
+//!   run re-checks its own trace.
+//!
+//! The re-derivation walks the plan *forward*, materialising per-node
+//! live intervals, instead of the planner's backward last-use scan; the
+//! byte formulas are restated here from the storage contract (dense cap
+//! `8·r·c`; CSC payload-plus-column-pointer bound for sparse-class
+//! nodes) rather than shared with `dmac_core::liveness::node_price`.
+
+use dmac_core::plan::{MemoryCertificate, Plan, PlanStep};
+use dmac_core::planner::{Planned, PlannerConfig};
+use dmac_core::trace::Trace;
+use dmac_lang::{BinOp, MatrixOrigin, OpKind, Program, UnaryOp};
+
+/// Can this node materialise CSC-sparse tiles, or is it bounded by the
+/// dense cap? Mirrors (independently) the forward class pass in
+/// `dmac_core::liveness::storage_classes`.
+fn sparse_class(program: &Program, plan: &Plan) -> Vec<bool> {
+    let mut sparse = vec![false; plan.nodes.len()];
+    for &(node, mid) in &plan.sources {
+        sparse[node] = program
+            .decl(mid)
+            .map(|d| matches!(d.origin, MatrixOrigin::Load) && d.stats.sparsity < 1.0)
+            .unwrap_or(false);
+    }
+    for step in &plan.steps {
+        let Some(out) = step.out_node() else { continue };
+        sparse[out] = match step {
+            PlanStep::Partition { src, .. }
+            | PlanStep::Broadcast { src, .. }
+            | PlanStep::Transpose { src, .. }
+            | PlanStep::Extract { src, .. }
+            | PlanStep::Reference { src, .. } => sparse[*src],
+            PlanStep::Compute { op, inputs, .. } => match &program.ops()[*op].kind {
+                OpKind::Binary { op: b, .. } => {
+                    matches!(b, BinOp::Add | BinOp::Sub | BinOp::CellMul)
+                        && inputs.iter().all(|&n| sparse[n])
+                }
+                OpKind::Unary { op: u, .. } => matches!(u, UnaryOp::Scale(_)) && sparse[inputs[0]],
+                OpKind::Reduce { .. } => false,
+            },
+            PlanStep::FusedCellWise { .. } => false,
+            PlanStep::Free { .. } => unreachable!("free defines no node"),
+        };
+    }
+    sparse
+}
+
+/// Strip count along one dimension (at least 1, matching the blocking).
+fn strips(len: usize, block: usize) -> usize {
+    len.div_ceil(block.max(1)).max(1)
+}
+
+/// Re-derived upper bound on one node's materialised bytes.
+fn rederive_price(
+    program: &Program,
+    plan: &Plan,
+    planned: &Planned,
+    cfg: &PlannerConfig,
+    sparse: &[bool],
+    node: usize,
+) -> u64 {
+    let n = &plan.nodes[node];
+    let Ok(decl) = program.decl(n.matrix) else {
+        return 0;
+    };
+    let (r, c) = if n.transposed {
+        (decl.stats.cols, decl.stats.rows)
+    } else {
+        (decl.stats.rows, decl.stats.cols)
+    };
+    let cells = r as u64 * c as u64;
+    if !sparse[node] {
+        return 8 * cells;
+    }
+    let block = cfg.fusion_block.max(1);
+    let (br, bc) = (strips(r, block) as u64, strips(c, block) as u64);
+    let overhead = 4 * (br * c as u64 + br * bc);
+    let payload = if cfg.density_adaptive {
+        let nnz = planned
+            .profiles
+            .get(n.matrix as usize)
+            .map(|p| p.nnz)
+            .unwrap_or(cells);
+        (16 * nnz).min(12 * cells)
+    } else {
+        12 * cells
+    };
+    payload + overhead
+}
+
+/// Nodes the engine retains to the end of the run: program outputs plus,
+/// per bound (`load`-origin) source, the first untransposed Row/Column
+/// materialisation of that matrix (the session's cached placement).
+fn rederive_keep(program: &Program, plan: &Plan) -> Vec<bool> {
+    let mut keep = vec![false; plan.nodes.len()];
+    for (node, _, _) in &plan.outputs {
+        keep[*node] = true;
+    }
+    for &(_, mid) in &plan.sources {
+        if !program
+            .decl(mid)
+            .map(|d| matches!(d.origin, MatrixOrigin::Load))
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        if let Some(n) = plan
+            .nodes
+            .iter()
+            .position(|n| n.matrix == mid && !n.transposed && n.scheme.is_rc())
+        {
+            keep[n] = true;
+        }
+    }
+    keep
+}
+
+/// V18 + V19: the liveness discipline of the spliced frees.
+fn check_frees(program: &Program, plan: &Plan, cfg: &PlannerConfig) -> Result<(), String> {
+    let keep = rederive_keep(program, plan);
+    let n_nodes = plan.nodes.len();
+    let mut defined_at = vec![None::<usize>; n_nodes]; // None for sources
+    let mut source = vec![false; n_nodes];
+    for &(node, _) in &plan.sources {
+        source[node] = true;
+    }
+    let mut freed_at = vec![None::<usize>; n_nodes];
+    let mut last_read = vec![None::<usize>; n_nodes];
+    for (i, step) in plan.steps.iter().enumerate() {
+        match step {
+            PlanStep::Free { node, .. } => {
+                let n = *node;
+                if n >= n_nodes {
+                    return Err(format!("V19: step {i} frees missing node {n}"));
+                }
+                if let Some(f) = freed_at[n] {
+                    return Err(format!("V19: node {n} freed at step {i} and at step {f}"));
+                }
+                if keep[n] {
+                    return Err(format!(
+                        "V19: step {i} frees kept node {n} ({})",
+                        plan.node_label(program, n)
+                    ));
+                }
+                if !source[n] && defined_at[n].is_none() {
+                    return Err(format!("V19: step {i} frees undefined node {n}"));
+                }
+                freed_at[n] = Some(i);
+            }
+            _ => {
+                for r in step.in_nodes() {
+                    if let Some(f) = freed_at.get(r).copied().flatten() {
+                        return Err(format!(
+                            "V18: step {i} reads node {r} after its free at step {f}"
+                        ));
+                    }
+                    last_read[r] = Some(i);
+                }
+                if let Some(out) = step.out_node() {
+                    if let Some(f) = freed_at[out] {
+                        return Err(format!(
+                            "V18: step {i} defines node {out} after its free at step {f}"
+                        ));
+                    }
+                    defined_at[out] = Some(i);
+                }
+            }
+        }
+    }
+    if cfg.splice_frees {
+        // Completeness: every dead intermediate freed exactly once, no
+        // earlier than its anchor (last reader, else producer). Unused
+        // sources have no anchor step and legitimately stay resident.
+        for n in 0..n_nodes {
+            if keep[n] || (!source[n] && defined_at[n].is_none()) {
+                continue;
+            }
+            let anchor = match (last_read[n], defined_at[n]) {
+                (Some(r), _) => r,
+                (None, Some(d)) => d,
+                (None, None) => continue,
+            };
+            match freed_at[n] {
+                None => {
+                    return Err(format!(
+                        "V19: dead node {n} ({}) is never freed (last use at step {anchor})",
+                        plan.node_label(program, n)
+                    ));
+                }
+                Some(f) if f < anchor => {
+                    return Err(format!(
+                        "V19: node {n} freed at step {f}, before its last use at step {anchor}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// V20: the stored certificate dominates the re-derived per-step bound
+/// and is internally consistent.
+fn check_certificate(
+    program: &Program,
+    planned: &Planned,
+    cfg: &PlannerConfig,
+) -> Result<(), String> {
+    let plan = &planned.plan;
+    let cert = &planned.certificate;
+    if cert.per_step.len() != plan.steps.len() {
+        return Err(format!(
+            "V20: certificate has {} entries for {} steps",
+            cert.per_step.len(),
+            plan.steps.len()
+        ));
+    }
+    let sparse = sparse_class(program, plan);
+    let price = |n: usize| rederive_price(program, plan, planned, cfg, &sparse, n);
+    let mut live = vec![false; plan.nodes.len()];
+    let mut resident = 0u64;
+    for &(node, _) in &plan.sources {
+        if !live[node] {
+            live[node] = true;
+            resident += price(node);
+        }
+    }
+    for (i, step) in plan.steps.iter().enumerate() {
+        match step {
+            PlanStep::Free { node, .. } => {
+                if live[*node] {
+                    live[*node] = false;
+                    resident -= price(*node);
+                }
+            }
+            _ => {
+                if let Some(out) = step.out_node() {
+                    if !live[out] {
+                        live[out] = true;
+                        resident += price(out);
+                    }
+                }
+            }
+        }
+        if cert.per_step[i] < resident {
+            return Err(format!(
+                "V20: certificate understates step {i}: certified {} bytes, independent \
+                 re-derivation gives {resident}",
+                cert.per_step[i]
+            ));
+        }
+    }
+    let max = cert.per_step.iter().copied().max().unwrap_or(0);
+    if cert.peak != max {
+        return Err(format!(
+            "V20: certificate peak {} does not match its per-step maximum {max}",
+            cert.peak
+        ));
+    }
+    if !cert.per_step.is_empty() {
+        match cert.per_step.get(cert.argmax) {
+            Some(&v) if v == cert.peak => {}
+            _ => {
+                return Err(format!(
+                    "V20: certificate argmax {} does not attain the peak {}",
+                    cert.argmax, cert.peak
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// V18–V20 over a planned program: free-splicing discipline and
+/// certificate soundness. Called from [`crate::verify_planned`].
+pub fn check_liveness(
+    program: &Program,
+    planned: &Planned,
+    cfg: &PlannerConfig,
+) -> Result<(), String> {
+    check_frees(program, &planned.plan, cfg)?;
+    check_certificate(program, planned, cfg)
+}
+
+/// V21: the engine's measured per-step resident bytes never exceed the
+/// certified bound.
+pub fn check_observed(certificate: &MemoryCertificate, trace: &Trace) -> Result<(), String> {
+    if certificate.per_step.len() != trace.steps.len() {
+        return Err(format!(
+            "V21: certificate covers {} steps but the trace recorded {}",
+            certificate.per_step.len(),
+            trace.steps.len()
+        ));
+    }
+    for (i, (s, &bound)) in trace.steps.iter().zip(&certificate.per_step).enumerate() {
+        if s.resident_bytes > bound {
+            return Err(format!(
+                "V21: step {i} ({}) observed {} resident bytes, certified at most {bound}",
+                s.label, s.resident_bytes
+            ));
+        }
+    }
+    Ok(())
+}

@@ -398,7 +398,9 @@ pub fn verify_planned(
         workers: workers as u64,
         profiles,
     };
-    v.run(planned.estimated_comm)
+    let summary = v.run(planned.estimated_comm)?;
+    crate::liveness::check_liveness(program, planned, cfg)?;
+    Ok(summary)
 }
 
 struct Verifier<'a> {
@@ -558,6 +560,8 @@ impl<'a> Verifier<'a> {
                     self.check_fused(i, ops, prog, inputs, *out)?;
                     0
                 }
+                // Frees are local releases: no communication, no cost.
+                PlanStep::Free { .. } => 0,
             };
             let predicted = self.plan.predicted_bytes(i);
             if predicted != expect {

@@ -14,7 +14,7 @@
 //!    for inspection, not gated.
 //!
 //! Both traces are exported as chrome://tracing JSON under
-//! `target/traces/` (open in chrome://tracing or https://ui.perfetto.dev).
+//! `target/traces/` (open in chrome://tracing or <https://ui.perfetto.dev>).
 
 use dmac_apps::{Gnmf, PageRank};
 use dmac_bench::{fmt_bytes, header, write_trace};

@@ -775,6 +775,20 @@ impl Cluster {
         Ok(out)
     }
 
+    /// The `free` plan step: release a dead intermediate's physical
+    /// shards on the transport. Local and communication-free; it draws
+    /// no fault (so seeded fault sequences are unperturbed by liveness
+    /// splicing) and meters nothing — the returned receipt is the
+    /// physical bytes the backend reclaimed.
+    pub fn free(&mut self, m: &DistMatrix) -> Result<u64> {
+        let st = self.span_open();
+        let blocks = m.tile_count();
+        self.span_close(st, "free", String::new(), 0, 0, None, blocks);
+        let released = self.transport.free_value(m)?;
+        self.mirror_receipt("free", 0, 0)?;
+        Ok(released)
+    }
+
     /// RMM1 (Figure 2): `A(b) × B(c) → AB(c)`. No communication during
     /// execution — each worker multiplies the full `A` against its own
     /// block-columns of `B`.

@@ -164,6 +164,9 @@ pub struct TransportStats {
     /// Unmetered copy bytes (rehash claims, local transposes, extracts,
     /// same-host shuffle legs).
     pub free_bytes: u64,
+    /// Physical bytes reclaimed by explicit value frees (plan `free`
+    /// steps releasing a dead intermediate's shards).
+    pub released_bytes: u64,
     /// Protocol frames exchanged (socket backend; 0 in-process).
     pub frames: u64,
     /// Total framed bytes on the wire, envelope included.
@@ -274,6 +277,12 @@ pub trait Transport: std::fmt::Debug + Send + Sync {
     /// folded in sorted key order); physical backends must reproduce
     /// them bit for bit. Returns the wire bytes metered (`8·N`).
     fn run_reduce(&mut self, kind: ReduceKind, m: &DistMatrix, partials: &[f64]) -> Result<u64>;
+
+    /// Release `m`'s shards on the physical workers: the mirror of the
+    /// engine dropping its oracle handle at a plan `free` step. Returns
+    /// the physical bytes reclaimed (0 if the rid was never installed).
+    /// Freeing is idempotent — a second call on the same rid is a no-op.
+    fn free_value(&mut self, m: &DistMatrix) -> Result<u64>;
 
     /// Gather `m`'s tiles from the *physical* stores into a fresh value,
     /// bypassing the oracle — the end-to-end proof that worker state
@@ -445,6 +454,21 @@ impl Transport for SimTransport {
             });
         }
         Ok(8 * n)
+    }
+
+    fn free_value(&mut self, m: &DistMatrix) -> Result<u64> {
+        if !self.known.remove(&m.rid()) {
+            return Ok(0);
+        }
+        self.stats.ops += 1;
+        let mut bytes = 0u64;
+        for w in 0..m.workers() {
+            for tile in m.worker_blocks(w).values() {
+                bytes += tile.actual_bytes() as u64;
+            }
+        }
+        self.stats.released_bytes += bytes;
+        Ok(bytes)
     }
 
     fn gather(&mut self, _m: &DistMatrix) -> Result<Option<DistMatrix>> {

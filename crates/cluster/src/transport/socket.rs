@@ -1658,6 +1658,47 @@ impl Transport for SocketTransport {
         Ok(8 * m.workers() as u64)
     }
 
+    fn free_value(&mut self, m: &DistMatrix) -> Result<u64> {
+        if !self.known.remove(&m.rid()) {
+            return Ok(0);
+        }
+        self.op_tick();
+        self.stats.ops += 1;
+        // Every host holding a shard of the rid drops all of them; the
+        // byte receipt is computed from the oracle's tiles, which are
+        // what `install`/seal proved resident in the first place.
+        let mut hosts: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        let mut bytes = 0u64;
+        for w in 0..m.workers() {
+            let shards = m.worker_blocks(w);
+            if !shards.is_empty() {
+                hosts.insert(self.assignment[w]);
+                for tile in shards.values() {
+                    bytes += tile.actual_bytes() as u64;
+                }
+            }
+        }
+        let cmds: Vec<(usize, Outgoing)> = hosts
+            .into_iter()
+            .map(|h| {
+                (
+                    h,
+                    Outgoing::Json(JsonObj::new().str("t", "free").u64("rid", m.rid())),
+                )
+            })
+            .collect();
+        for reply in self.exchange("free", cmds)? {
+            if reply.kind() != Some("ok") {
+                return Err(ClusterError::Protocol(format!(
+                    "free: expected ok, got {:?}",
+                    reply.kind()
+                )));
+            }
+        }
+        self.stats.released_bytes += bytes;
+        Ok(bytes)
+    }
+
     fn gather(&mut self, m: &DistMatrix) -> Result<Option<DistMatrix>> {
         self.ensure_resident(m)?;
         let broadcast = m.scheme() == PartitionScheme::Broadcast;

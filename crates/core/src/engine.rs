@@ -155,6 +155,7 @@ impl ExecReport {
                     .u64("spill_bytes", self.trace.spill.spill_bytes)
                     .u64("loads", self.trace.spill.loads)
                     .u64("load_bytes", self.trace.spill.load_bytes)
+                    .u64("peak_resident_bytes", self.trace.peak_resident())
                     .build(),
             )
             .raw(
@@ -165,6 +166,7 @@ impl ExecReport {
                         .u64("predicted_nnz", s.predicted_nnz)
                         .u64("observed_nnz", s.observed_nnz)
                         .str("density_class", s.density_class)
+                        .u64("resident_bytes", s.resident_bytes)
                         .build()
                 })),
             )
@@ -320,6 +322,26 @@ pub(crate) fn exec_step(
         PlanStep::Reference { src, out, .. } => {
             values[*out] = Some(take(values, *src)?);
         }
+        PlanStep::Free { node, .. } => {
+            // Release the node's value. The transport is only told to drop
+            // shards when no other live node aliases the same distributed
+            // value (Reference steps clone the handle) and the value is not
+            // a durable binding the session still owns. `take` first makes
+            // the step idempotent under post-failure re-execution.
+            if let Some(m) = values[*node].take() {
+                let rid = m.rid();
+                let aliased = values
+                    .iter()
+                    .any(|v| v.as_ref().is_some_and(|x| x.rid() == rid));
+                let bound_source = ctx
+                    .sources
+                    .get(node)
+                    .is_some_and(|mid| ctx.bindings.contains_key(mid));
+                if !aliased && !bound_source {
+                    cluster.free(&m)?;
+                }
+            }
+        }
         PlanStep::Compute {
             op,
             strategy,
@@ -456,6 +478,7 @@ pub fn execute(
     seed: u64,
     planner_estimate: u64,
     policy: &RecoveryPolicy,
+    store: Option<&crate::store::SharedStore>,
 ) -> Result<(ExecReport, RunOutputs)> {
     cluster.reset_meters();
     let wall_start = Instant::now();
@@ -486,9 +509,12 @@ pub fn execute(
         values[node] = Some(seed_source(cluster, &ctx, node, mid, false)?);
     }
 
-    // Liveness: drop intermediate values once their last consumer has
-    // executed (Spark-style unpersist). Without this the working set of an
-    // unrolled iterative program grows linearly in the iteration count.
+    // Liveness is the *plan's* job: the planner splices explicit `Free`
+    // steps at each intermediate's last use (see `crate::liveness`), so
+    // the engine releases exactly what the certificate says, when it says.
+    // `last_use`/`keep` are still derived here for recovery, which must
+    // re-drop values lineage replay resurrects (a node's last use includes
+    // its own `Free` step, so the two mechanisms compose).
     let mut last_use = vec![usize::MAX; plan.nodes.len()];
     for (i, step) in plan.steps.iter().enumerate() {
         for n in step.in_nodes() {
@@ -516,6 +542,10 @@ pub fn execute(
     let mut stats = RecoveryStats::default();
     let mut attempts_left = policy.max_attempts;
     let mut current_stage = usize::MAX;
+    // Resident metering: logical bytes per distributed value, cached by
+    // rid so each value is priced once per run.
+    let mut rid_bytes: HashMap<u64, u64> = HashMap::new();
+    let mut last_pressure = 0u64;
 
     for (step_idx, step) in plan.steps.iter().enumerate() {
         let stage = stages.step_stage[step_idx];
@@ -608,6 +638,34 @@ pub fn execute(
             }
             None => (0, 0, ""),
         };
+        // Meter residency after the step (and any release it performed):
+        // logical bytes of all live values, each distributed value counted
+        // once however many nodes alias it. The certificate prices nodes
+        // individually, so it dominates this by construction (V21).
+        let resident_bytes = {
+            let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+            let mut sum = 0u64;
+            for v in values.iter().flatten() {
+                if seen.insert(v.rid()) {
+                    sum += *rid_bytes
+                        .entry(v.rid())
+                        .or_insert_with(|| v.logical_bytes());
+                }
+            }
+            sum
+        };
+        // Charge the footprint against the shared store's byte budget so
+        // a capacity-bounded store displaces cold entries *during* the
+        // run instead of over-committing RAM. Early `Free` steps lower
+        // this curve, which is exactly how the liveness pass converts a
+        // certified peak into fewer spills (the session zeroes the
+        // pressure once the run's values are released).
+        if let Some(store) = store {
+            if resident_bytes != last_pressure {
+                last_pressure = resident_bytes;
+                store.set_external_pressure(resident_bytes)?;
+            }
+        }
         step_traces.push(StepTrace {
             step: step_idx,
             stage,
@@ -638,17 +696,11 @@ pub fn execute(
             predicted_nnz,
             observed_nnz,
             density_class,
+            resident_bytes,
             sim_start_sec: sim_start,
             sim_end_sec: cluster.clock().total_sec(),
             spans,
         });
-
-        // Release values whose last consumer just ran.
-        for n in step.in_nodes() {
-            if last_use[n] == step_idx && !keep[n] {
-                values[n] = None;
-            }
-        }
 
         // Attribute the deltas to the step's phase.
         let phase = step.phase();
@@ -738,6 +790,7 @@ fn step_identity(plan: &Plan, program: &Program, step: &PlanStep) -> (String, St
             };
             (strategy.name(), label)
         }
+        PlanStep::Free { node, .. } => ("free".into(), plan.node_label(program, *node)),
         PlanStep::FusedCellWise { ops, out, .. } => (
             format!("Fused({})", ops.len()),
             plan.node_label(program, *out),

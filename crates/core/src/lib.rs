@@ -17,6 +17,9 @@
 //!   `extract`) of §4.2.1.
 //! * [`planner`] — Algorithm 1 with Heuristic 1 (Pull-Up Broadcast) and
 //!   Heuristic 2 (Re-assignment).
+//! * [`liveness`] — static live-range analysis over the finished plan:
+//!   explicit `free` steps at each intermediate's last use and the
+//!   [`plan::MemoryCertificate`] bounding per-step resident bytes.
 //! * [`stage`] — the traverse-based stage scheduler of §5.2: the plan is
 //!   split into un-interleaved stages whose boundaries are exactly the
 //!   communication operators.
@@ -48,6 +51,7 @@ pub mod engine;
 pub mod error;
 pub mod event;
 pub mod json;
+pub mod liveness;
 pub mod plan;
 pub mod planner;
 pub mod profile;

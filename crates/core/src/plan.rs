@@ -96,6 +96,17 @@ pub enum PlanStep {
         /// Phase tag (iteration number).
         phase: usize,
     },
+    /// `free`: release a node whose last use has passed. Spliced by the
+    /// planner's liveness pass immediately after the final reader of a
+    /// non-output intermediate, so the executor can drop the value (and
+    /// the transports their shards) instead of waiting for phase end or
+    /// LRU displacement. Purely local — never communication.
+    Free {
+        /// The node being released.
+        node: NodeId,
+        /// Phase tag inherited from the last reader.
+        phase: usize,
+    },
     /// A maximal group of scheme-aligned cell-wise operators collapsed
     /// into one single-pass step: the post-order `prog` is evaluated per
     /// block over the `inputs` leaves, materialising only the final
@@ -147,6 +158,7 @@ impl PlanStep {
             | PlanStep::Extract { phase, .. }
             | PlanStep::Reference { phase, .. }
             | PlanStep::Compute { phase, .. }
+            | PlanStep::Free { phase, .. }
             | PlanStep::FusedCellWise { phase, .. } => *phase,
         }
     }
@@ -171,6 +183,7 @@ impl PlanStep {
             | PlanStep::Extract { out, .. }
             | PlanStep::Reference { out, .. } => Some(*out),
             PlanStep::Compute { out, .. } => *out,
+            PlanStep::Free { .. } => None,
             PlanStep::FusedCellWise { out, .. } => Some(*out),
         }
     }
@@ -186,6 +199,40 @@ impl PlanStep {
             PlanStep::Compute { inputs, .. } | PlanStep::FusedCellWise { inputs, .. } => {
                 inputs.clone()
             }
+            PlanStep::Free { node, .. } => vec![*node],
+        }
+    }
+}
+
+/// A step-indexed upper bound on resident bytes, produced by the
+/// planner's liveness pass and re-derived independently by the verifier
+/// (invariant V20). `per_step[i]` bounds the bytes of all plan nodes
+/// live *after* `steps[i]` has executed and its frees have taken effect;
+/// the engine's metered [`crate::trace::StepTrace::resident_bytes`] must
+/// never exceed it (invariant V21).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryCertificate {
+    /// Per-step resident-byte bounds, parallel to [`Plan::steps`].
+    pub per_step: Vec<u64>,
+    /// Maximum of `per_step` (0 for empty plans).
+    pub peak: u64,
+    /// Index attaining the peak (first, if tied; 0 for empty plans).
+    pub argmax: usize,
+}
+
+impl MemoryCertificate {
+    /// Build a certificate from per-step bounds, computing peak/argmax.
+    pub fn from_per_step(per_step: Vec<u64>) -> MemoryCertificate {
+        let (argmax, peak) = per_step
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, &b)| (i, b))
+            .unwrap_or((0, 0));
+        MemoryCertificate {
+            per_step,
+            peak,
+            argmax,
         }
     }
 }
@@ -318,11 +365,20 @@ impl Plan {
                 PlanStep::Extract { .. } => ("color=blue, style=dashed", "extract".to_string()),
                 PlanStep::Reference { .. } => ("color=blue, style=dashed", "reference".to_string()),
                 PlanStep::Compute { strategy, .. } => ("color=black", strategy.name()),
+                PlanStep::Free { .. } => ("color=gray, style=dotted", "free".to_string()),
                 PlanStep::FusedCellWise { ops, .. } => {
                     ("color=black, penwidth=2", format!("Fused({})", ops.len()))
                 }
             };
             match step {
+                PlanStep::Free { node, .. } => {
+                    // Frees render as a dotted self-edge sink so the
+                    // release point is visible without adding nodes.
+                    let id = format!("f{op_counter}");
+                    op_counter += 1;
+                    let _ = writeln!(s, "  {id} [shape=point];");
+                    let _ = writeln!(s, "  n{node} -> {id} [label=\"{label}\", {style}];");
+                }
                 PlanStep::FusedCellWise { inputs, out, .. } => {
                     for input in inputs {
                         let _ = writeln!(s, "  n{input} -> n{out} [label=\"{label}\", {style}];");
@@ -426,6 +482,9 @@ impl Plan {
                         ins.join(", "),
                         out_s
                     )
+                }
+                PlanStep::Free { node, .. } => {
+                    format!("free        {}", self.node_label(program, *node))
                 }
                 PlanStep::FusedCellWise {
                     ops, inputs, out, ..

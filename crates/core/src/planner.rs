@@ -33,7 +33,7 @@ use dmac_stats::SparsityProfile;
 
 use crate::cost::CostModel;
 use crate::error::{CoreError, Result};
-use crate::plan::{NodeId, Plan, PlanStep};
+use crate::plan::{MemoryCertificate, NodeId, Plan, PlanStep};
 use crate::strategy::{candidates, Candidate, OutScheme};
 
 /// Planner knobs. Defaults reproduce full DMac; the ablation benches and
@@ -70,6 +70,12 @@ pub struct PlannerConfig {
     /// price identically; sparse inputs stop being costed as dense.
     /// Profiles are propagated either way — this only gates the pricing.
     pub density_adaptive: bool,
+    /// Splice explicit [`PlanStep::Free`] steps at each intermediate's
+    /// last use (see [`crate::liveness`]), so the executor releases
+    /// values early instead of retaining every intermediate to run end.
+    /// Never changes results or communication; `false` is the
+    /// retain-to-end baseline the memory bench compares against.
+    pub splice_frees: bool,
 }
 
 impl Default for PlannerConfig {
@@ -84,6 +90,7 @@ impl Default for PlannerConfig {
             fusion_min_blocks: 32,
             fusion_block: 256,
             density_adaptive: true,
+            splice_frees: true,
         }
     }
 }
@@ -102,6 +109,7 @@ impl PlannerConfig {
             fusion_min_blocks: 32,
             fusion_block: 256,
             density_adaptive: true,
+            splice_frees: true,
         }
     }
 }
@@ -131,6 +139,11 @@ pub struct Planned {
     /// [`MatrixId`]); the basis of the nnz-costed pricing and of the
     /// per-step predicted nnz recorded into the plan.
     pub profiles: Vec<SparsityProfile>,
+    /// Step-indexed upper bound on resident bytes (see
+    /// [`crate::liveness::certificate`]): the admission-time memory
+    /// contract the verifier re-derives (V20) and the engine's metering
+    /// must stay under (V21).
+    pub certificate: MemoryCertificate,
 }
 
 /// How a free (non-communication) acquisition would be realised.
@@ -234,6 +247,12 @@ pub fn plan_with_forced_profiled(
     if cfg.fuse_cellwise {
         fuse_cellwise_steps(program, &mut p.plan, cfg);
     }
+    // Liveness post-pass: release each non-kept intermediate right after
+    // its last reader. Runs after fusion so frees anchor to the steps
+    // that actually execute.
+    if cfg.splice_frees {
+        crate::liveness::splice_frees(program, &mut p.plan);
+    }
     // Post-pass: stamp the predicted output nnz onto every step that
     // defines a node (survives the fusion rebuild because it runs after).
     p.plan.predicted_nnz = p
@@ -246,10 +265,18 @@ pub fn plan_with_forced_profiled(
                 .unwrap_or(0)
         })
         .collect();
+    let certificate = crate::liveness::certificate(
+        program,
+        &p.plan,
+        &p.profiles,
+        cfg.density_adaptive,
+        cfg.fusion_block.max(1),
+    );
     Ok(Planned {
         plan: p.plan,
         estimated_comm: p.estimated_comm,
         profiles: p.profiles,
+        certificate,
     })
 }
 

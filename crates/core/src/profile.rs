@@ -1,6 +1,6 @@
 //! Bridging sparsity profiles onto cluster-resident matrices.
 //!
-//! [`SparsityProfile::measure`] works on a local [`BlockedMatrix`];
+//! [`SparsityProfile::measure`] works on a local `BlockedMatrix`;
 //! session inputs live as [`DistMatrix`] shards (possibly replicated by
 //! a broadcast scheme), so this module measures profiles directly from
 //! the distributed representation, deduplicating tiles by grid

@@ -120,7 +120,14 @@ pub(crate) fn recover(
     // single place that decides whether a value is intact).
     let mut replayed_stages: HashSet<usize> = HashSet::new();
     let mut need: Vec<usize> = (0..values.len()).filter(|&n| values[n].is_some()).collect();
-    need.extend(ctx.plan.steps[resume_step].in_nodes());
+    // A resumed `free` step only drops its operand — rebuilding it through
+    // lineage would replay work just to throw the value away.
+    if !matches!(
+        ctx.plan.steps[resume_step],
+        crate::plan::PlanStep::Free { .. }
+    ) {
+        need.extend(ctx.plan.steps[resume_step].in_nodes());
+    }
     for node in need {
         ensure(
             cluster,

@@ -470,7 +470,7 @@ impl Session {
                 )));
             }
         }
-        let (report, outputs) = engine::execute(
+        let result = engine::execute(
             &mut self.cluster,
             &prep.program,
             &prep.planned.plan,
@@ -479,23 +479,44 @@ impl Session {
             self.seed,
             prep.planned.estimated_comm,
             &self.recovery,
-        )?;
+            Some(&self.env),
+        );
+        // The run is over (successfully or not): its values are released,
+        // so the store no longer carries their pressure.
+        let _ = self.env.set_external_pressure(0);
+        let (report, outputs) = result?;
         let mut report = report;
+        crate::verifyhook::check_run(&prep.planned.certificate, &report.trace)?;
         self.absorb_outputs(&prep.program, outputs)?;
         report.trace.spill = self.env.spill_traffic().since(&spill0);
         self.last_report = Some(report.clone());
         Ok(report)
     }
 
-    /// EXPLAIN: render the plan, its stage schedule, and the estimator's
-    /// per-step predicted output nnz / density class.
+    /// EXPLAIN: render the plan, its stage schedule, the estimator's
+    /// per-step predicted output nnz / density class, and the liveness
+    /// pass's memory certificate.
     pub fn explain(&self, program: &Program) -> Result<String> {
-        let plan = self.plan_only(program)?;
+        let initial = self.initial_schemes(program);
+        let sources = self.peeked_profiles(program);
+        let planned = plan_program_profiled(
+            program,
+            &self.planner,
+            self.cluster.workers(),
+            &initial,
+            &sources,
+        )?;
+        crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
+        let plan = &planned.plan;
+        let cert = &planned.certificate;
         Ok(format!(
-            "{}\n{}{}",
+            "{}\n{}{}memory: certified peak {} bytes at step {} over {} steps\n",
             plan.explain(program),
-            stage::explain_stages(&plan, program),
-            explain_sparsity(&plan, program)
+            stage::explain_stages(plan, program),
+            explain_sparsity(plan, program),
+            cert.peak,
+            cert.argmax,
+            plan.steps.len(),
         ))
     }
 
@@ -512,7 +533,7 @@ impl Session {
             &sources,
         )?;
         crate::verifyhook::check(program, &planned, &self.planner, self.cluster.workers())?;
-        let (report, outputs) = engine::execute(
+        let result = engine::execute(
             &mut self.cluster,
             program,
             &planned.plan,
@@ -521,8 +542,14 @@ impl Session {
             self.seed,
             planned.estimated_comm,
             &self.recovery,
-        )?;
+            Some(&self.env),
+        );
+        // The run is over (successfully or not): its values are released,
+        // so the store no longer carries their pressure.
+        let _ = self.env.set_external_pressure(0);
+        let (report, outputs) = result?;
         let mut report = report;
+        crate::verifyhook::check_run(&planned.certificate, &report.trace)?;
         self.absorb_outputs(program, outputs)?;
         report.trace.spill = self.env.spill_traffic().since(&spill0);
         self.last_report = Some(report.clone());
@@ -657,6 +684,12 @@ impl PreparedProgram {
     /// The planner's communication estimate.
     pub fn estimated_comm(&self) -> u64 {
         self.planned.estimated_comm
+    }
+
+    /// The liveness pass's memory certificate: the step-indexed upper
+    /// bound on resident bytes this plan is guaranteed to respect.
+    pub fn certificate(&self) -> &crate::plan::MemoryCertificate {
+        &self.planned.certificate
     }
 }
 

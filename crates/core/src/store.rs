@@ -131,6 +131,12 @@ pub struct StoreStats {
     pub over_commits: u64,
     /// Snapshot manifests published by this store.
     pub snapshots: u64,
+    /// Bytes of engine-resident intermediates currently charged against
+    /// the budget (see [`SharedStore::set_external_pressure`]).
+    pub external_pressure: u64,
+    /// High-water mark of `bytes + external_pressure` over the store's
+    /// lifetime — a driver's observed peak RAM footprint.
+    pub peak_footprint: u64,
 }
 
 #[derive(Debug, Default)]
@@ -144,6 +150,12 @@ struct Inner {
     tick: u64,
     capacity: Option<u64>,
     bytes: u64,
+    /// Engine-reported transport-resident bytes, charged against the
+    /// budget alongside stored entries (0 outside a run).
+    external_pressure: u64,
+    /// High-water mark of `bytes + external_pressure` over the store's
+    /// lifetime.
+    peak_footprint: u64,
     inserts: u64,
     replaced: u64,
     evictions: u64,
@@ -198,18 +210,27 @@ impl Inner {
         Ok(())
     }
 
-    /// Displace unpinned LRU entries until resident bytes fit the
-    /// budget: spill when a disk tier is attached, evict otherwise.
-    /// Returns the displaced names in order. When only pinned entries
-    /// remain and the budget is still exceeded, fails with
-    /// [`CoreError::StoreOverCommit`] (and counts it) instead of
-    /// overshooting silently.
+    /// Displace unpinned LRU entries until resident bytes — plus the
+    /// engine's reported transport-resident pressure — fit the budget:
+    /// spill when a disk tier is attached, evict otherwise. Returns the
+    /// displaced names in order.
+    ///
+    /// When only pinned entries remain, the outcome depends on who is
+    /// overshooting: stored bytes alone beyond the budget fail with
+    /// [`CoreError::StoreOverCommit`] (and count it); external pressure
+    /// alone is not the store's data to shed, so displacement just stops
+    /// — the admission-time certificate gate is the layer responsible
+    /// for refusing plans whose peak cannot fit.
     fn enforce_capacity(&mut self) -> Result<Vec<String>> {
+        // High-water mark of the combined footprint (every mutation that
+        // can grow it funnels through here, bounded or not) — what the
+        // memory bench reports as a driver's observed peak RAM.
+        self.peak_footprint = self.peak_footprint.max(self.bytes + self.external_pressure);
         let Some(cap) = self.capacity else {
             return Ok(Vec::new());
         };
         let mut displaced = Vec::new();
-        while self.bytes > cap {
+        while self.bytes + self.external_pressure > cap {
             // Deterministic victim: smallest (last_used, name) among
             // unpinned resident entries.
             let victim = self
@@ -221,6 +242,9 @@ impl Inner {
                 })
                 .map(|(n, _)| n.clone());
             let Some(name) = victim else {
+                if self.bytes <= cap {
+                    break;
+                }
                 self.over_commits += 1;
                 return Err(CoreError::StoreOverCommit {
                     resident: self.bytes,
@@ -608,6 +632,29 @@ impl SharedStore {
         self.lock().last_snapshot
     }
 
+    /// Report the engine's current transport-resident bytes so the byte
+    /// budget covers the *whole* footprint, not just stored entries.
+    /// The engine calls this after every plan step with the residency it
+    /// just metered (the same number the memory certificate bounds, so
+    /// the certified peak predicts exactly the pressure applied here);
+    /// cold unpinned entries are displaced — spilled with a disk tier,
+    /// evicted without one — until `stored + pressure` fits. Early
+    /// `Free` steps lower the pressure curve, which is what turns the
+    /// liveness pass into fewer spills under a tight budget. Returns the
+    /// displaced names. Unbounded stores record the pressure but never
+    /// displace.
+    ///
+    /// # Errors
+    /// [`CoreError::StoreOverCommit`] only when *stored pinned* bytes
+    /// alone exceed the budget; pressure that nothing left unpinned can
+    /// offset is tolerated (the admission gate is responsible for
+    /// refusing such plans up front). Disk-tier failures propagate.
+    pub fn set_external_pressure(&self, bytes: u64) -> Result<Vec<String>> {
+        let mut g = self.lock();
+        g.external_pressure = bytes;
+        g.enforce_capacity()
+    }
+
     /// Cumulative RAM↔disk traffic counters, as the trace's spill
     /// channel type (sessions diff two snapshots to attribute a run's
     /// share — see [`crate::trace::SpillTraffic::since`]).
@@ -647,6 +694,8 @@ impl SharedStore {
             load_failures: g.load_failures,
             over_commits: g.over_commits,
             snapshots: g.snapshots,
+            external_pressure: g.external_pressure,
+            peak_footprint: g.peak_footprint,
         }
     }
 
@@ -734,6 +783,47 @@ mod tests {
         s.unpin(&["A".to_string()]);
         let evicted = s.insert("C", dist(8, 8)).unwrap();
         assert!(evicted.contains(&"A".to_string()), "{evicted:?}");
+    }
+
+    #[test]
+    fn external_pressure_displaces_cold_entries_within_the_budget() {
+        let one = dist(8, 8).logical_bytes();
+        let s = SharedStore::with_capacity_and_disk(3 * one, temp_dir("pressure")).unwrap();
+        s.insert("A", dist(8, 8)).unwrap();
+        s.insert("B", dist(8, 8)).unwrap();
+        // Touch A so B is the coldest entry when pressure arrives.
+        let _ = s.get("A");
+        let displaced = s.set_external_pressure(2 * one).unwrap();
+        assert_eq!(displaced, vec!["B".to_string()]);
+        assert!(s.is_spilled("B") && !s.is_spilled("A"));
+        assert_eq!(s.stats().external_pressure, 2 * one);
+        // The high-water mark saw stored + pressure before displacement.
+        assert_eq!(s.stats().peak_footprint, 4 * one);
+        // Pressure released: nothing else moves, and B reloads on demand.
+        assert!(s.set_external_pressure(0).unwrap().is_empty());
+        assert_eq!(s.get("B").unwrap().rows(), 8);
+        assert_eq!(s.stats().loads, 1);
+    }
+
+    #[test]
+    fn pressure_alone_never_over_commits() {
+        let one = dist(8, 8).logical_bytes();
+        // Memory-only store, one pinned entry: pressure beyond the budget
+        // has no victim left, but it is not the store's data overshooting
+        // — displacement stops instead of erroring (the admission gate
+        // upstream refuses plans whose peak cannot fit).
+        let s = SharedStore::with_capacity(2 * one);
+        s.insert("A", dist(8, 8)).unwrap();
+        s.pin(&["A".to_string()]);
+        assert!(s.set_external_pressure(10 * one).unwrap().is_empty());
+        assert!(s.contains("A"));
+        assert_eq!(s.stats().over_commits, 0);
+        // Stored pinned bytes overshooting on their own still error:
+        // replacing A with a 4× matrix inherits the pin, and 4·one > cap
+        // regardless of pressure.
+        let err = s.insert("A", dist(16, 16)).unwrap_err();
+        assert!(matches!(err, CoreError::StoreOverCommit { .. }), "{err}");
+        assert_eq!(s.stats().over_commits, 1);
     }
 
     #[test]

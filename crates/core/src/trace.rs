@@ -70,6 +70,11 @@ pub struct StepTrace {
     /// `"sparse"`, `"medium"`, `"dense"`; empty string when the step has
     /// no matrix output).
     pub density_class: &'static str,
+    /// Logical bytes of all values resident after this step executed
+    /// (each distributed value counted once across aliasing nodes).
+    /// Verified against the plan's memory certificate: invariant V21
+    /// requires `resident_bytes ≤ certificate.per_step[step]`.
+    pub resident_bytes: u64,
     /// Simulated clock when the step started.
     pub sim_start_sec: f64,
     /// Simulated clock when the step completed.
@@ -345,6 +350,15 @@ impl Trace {
         self.steps.iter().map(|s| s.observed_nnz).sum()
     }
 
+    /// Peak of the per-step resident-byte meter (0 for empty traces).
+    pub fn peak_resident(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.resident_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Human-readable conformance table (bench bins, debugging).
     pub fn conformance_table(&self) -> String {
         let mut s = String::new();
@@ -418,7 +432,7 @@ impl Trace {
                      \"pid\":1,\"tid\":{},\"args\":{{\"step\":{},\"phase\":{},\
                      \"predicted_bytes\":{},\"actual_bytes\":{},\"wire_bytes\":{},\
                      \"recovery_wire_bytes\":{},\"predicted_nnz\":{},\"observed_nnz\":{},\
-                     \"density_class\":{}}}}}",
+                     \"density_class\":{},\"resident_bytes\":{}}}}}",
                     json_str(&format!("{} {}", t.kind, t.label)),
                     json_str(&t.kind),
                     ts,
@@ -433,6 +447,7 @@ impl Trace {
                     t.predicted_nnz,
                     t.observed_nnz,
                     json_str(t.density_class),
+                    t.resident_bytes,
                 ),
             );
             for span in &t.spans {

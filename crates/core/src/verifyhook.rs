@@ -16,13 +16,21 @@ use std::sync::OnceLock;
 use dmac_lang::Program;
 
 use crate::error::CoreError;
+use crate::plan::MemoryCertificate;
 use crate::planner::{Planned, PlannerConfig};
+use crate::trace::Trace;
 
 /// An independent verifier: inspects a planned program and returns a
 /// human-readable description of the first violated invariant, if any.
 pub type PlanVerifier = fn(&Program, &Planned, &PlannerConfig, usize) -> Result<(), String>;
 
+/// A post-run verifier: checks an execution trace against the plan's
+/// memory certificate (invariant V21 — observed resident bytes never
+/// exceed the certified bound).
+pub type RunVerifier = fn(&MemoryCertificate, &Trace) -> Result<(), String>;
+
 static PLAN_VERIFIER: OnceLock<PlanVerifier> = OnceLock::new();
+static RUN_VERIFIER: OnceLock<RunVerifier> = OnceLock::new();
 
 /// Install the process-wide plan verifier. The first installation wins;
 /// later calls are no-ops (the verifier is stateless, so racing installs
@@ -46,6 +54,24 @@ pub(crate) fn check(
     if let Some(f) = PLAN_VERIFIER.get() {
         f(program, planned, cfg, workers)
             .map_err(|m| CoreError::Planner(format!("plan verifier: {m}")))?;
+    }
+    Ok(())
+}
+
+/// Install the process-wide post-run verifier. First installation wins.
+pub fn install_run_verifier(f: RunVerifier) {
+    let _ = RUN_VERIFIER.set(f);
+}
+
+/// Run the installed post-run verifier (debug builds only). A violation
+/// surfaces as [`CoreError::Engine`]: the run's observed residency broke
+/// the certified bound, so the result is suspect.
+pub(crate) fn check_run(certificate: &MemoryCertificate, trace: &Trace) -> Result<(), CoreError> {
+    if !cfg!(debug_assertions) {
+        return Ok(());
+    }
+    if let Some(f) = RUN_VERIFIER.get() {
+        f(certificate, trace).map_err(|m| CoreError::Engine(format!("run verifier: {m}")))?;
     }
     Ok(())
 }

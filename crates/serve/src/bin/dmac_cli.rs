@@ -208,6 +208,10 @@ fn main() {
 }
 
 /// Lint locally via `dmac-analyze`; returns false on error diagnostics.
+///
+/// The exit verdict comes from [`dmac_serve::protocol::lint_exit_ok`]
+/// over the *printed* diagnostics, so `--json` and rendered output can
+/// never disagree about the process exit code.
 fn lint_local(script: &str, json_out: bool) -> bool {
     let report = dmac_analyze::lint_script(script);
     if json_out {
@@ -221,10 +225,13 @@ fn lint_local(script: &str, json_out: bool) -> bool {
             println!("lint: clean");
         }
     }
-    !report.has_errors()
+    dmac_serve::protocol::lint_exit_ok(report.diagnostics.iter().map(|d| d.severity.name()))
 }
 
-/// Lint through a running server; returns the server's `ok` verdict.
+/// Lint through a running server. The exit verdict is the stricter of
+/// the server's `ok` field and the shared severity scan over the
+/// diagnostics actually received — same derivation as [`lint_local`],
+/// identical in `--json` and rendered mode.
 fn lint_remote(cli: &mut Client, script: &str, json_out: bool) -> bool {
     let (ok, diags) = cli.lint(script).unwrap_or_else(|e| fail(e));
     if json_out {
@@ -238,7 +245,7 @@ fn lint_remote(cli: &mut Client, script: &str, json_out: bool) -> bool {
             println!("lint: clean");
         }
     }
-    ok
+    ok && dmac_serve::protocol::lint_exit_ok(diags.iter().map(|d| d.severity.as_str()))
 }
 
 /// Re-encode a wire diagnostic as one JSON object.

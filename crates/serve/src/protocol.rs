@@ -155,6 +155,19 @@ pub mod code {
     /// Script was rejected at admission by the static analyzer
     /// (error-severity diagnostics beyond plain parse failures).
     pub const LINT: &str = "lint";
+    /// The plan's certified peak resident bytes exceed the shared
+    /// store's byte budget — the program was rejected before execution
+    /// instead of over-committing the store mid-run.
+    pub const MEMORY: &str = "memory";
+}
+
+/// Exit verdict for `dmac-cli lint`, shared by the rendered and
+/// `--json` output paths (and by local vs. remote linting): derived
+/// from the severities of the diagnostics actually emitted, so the
+/// process exit code can never disagree with the printed output.
+/// Returns `true` when no diagnostic has error severity.
+pub fn lint_exit_ok<'a, I: IntoIterator<Item = &'a str>>(severities: I) -> bool {
+    severities.into_iter().all(|s| s != "error")
 }
 
 /// A diagnostic as decoded from the wire (the JSON shape of
@@ -274,6 +287,10 @@ pub struct ProgramResult {
     pub golden_fnv: u64,
     /// Simulated seconds (deterministic, unlike wall time).
     pub sim_sec: f64,
+    /// The plan's certified peak resident bytes (the memory
+    /// certificate's admission bound). `None` when talking to a server
+    /// that predates the field.
+    pub certified_peak: Option<u64>,
     /// Full [`dmac_core::engine::ExecReport::to_json`] document.
     pub report: Json,
 }
@@ -314,6 +331,7 @@ impl Response {
                     .get("sim_sec")
                     .and_then(Json::as_f64)
                     .ok_or("missing sim_sec")?,
+                certified_peak: v.get("certified_peak").and_then(Json::as_u64),
                 report: v.get("report").cloned().unwrap_or(Json::Null),
             })),
             "explain" => Ok(Response::Explain {
@@ -377,6 +395,7 @@ pub fn encode_result(
     stored: &[String],
     golden_fnv: u64,
     sim_sec: f64,
+    certified_peak: u64,
     report_json: &str,
 ) -> String {
     let mut names = JsonArr::new();
@@ -390,6 +409,7 @@ pub fn encode_result(
         .raw("stored", &names.build())
         .str("golden_fnv", &format!("{golden_fnv:016x}"))
         .f64("sim_sec", sim_sec)
+        .u64("certified_peak", certified_peak)
         .raw("report", report_json)
         .build()
 }
@@ -491,7 +511,7 @@ mod tests {
 
     #[test]
     fn result_response_round_trips_bits_exactly() {
-        let enc = encode_result(7, true, &["H".into()], 0xdead_beef, 1.5, "{\"x\":1}");
+        let enc = encode_result(7, true, &["H".into()], 0xdead_beef, 1.5, 4096, "{\"x\":1}");
         match Response::from_json(&enc).unwrap() {
             Response::Result(r) => {
                 assert_eq!(r.request_id, 7);
@@ -499,7 +519,16 @@ mod tests {
                 assert_eq!(r.stored, vec!["H".to_string()]);
                 assert_eq!(r.golden_fnv, 0xdead_beef);
                 assert_eq!(r.sim_sec, 1.5);
+                assert_eq!(r.certified_peak, Some(4096));
             }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Results from servers that predate the certificate field still
+        // decode, with the peak absent.
+        let legacy = "{\"type\":\"result\",\"request_id\":1,\"plan_cached\":false,\
+                      \"golden_fnv\":\"00000000000000aa\",\"sim_sec\":0.5}";
+        match Response::from_json(legacy).unwrap() {
+            Response::Result(r) => assert_eq!(r.certified_peak, None),
             other => panic!("wrong response: {other:?}"),
         }
 
@@ -552,6 +581,13 @@ mod tests {
             Response::Explain { diagnostics, .. } => assert!(diagnostics.is_empty()),
             other => panic!("wrong response: {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_exit_verdict_depends_only_on_severities() {
+        assert!(lint_exit_ok([]));
+        assert!(lint_exit_ok(["warning", "info"]));
+        assert!(!lint_exit_ok(["warning", "error", "info"]));
     }
 
     #[test]

@@ -153,6 +153,7 @@ struct Counters {
     rejected_conflict: u64,
     rejected_deadline: u64,
     rejected_shutdown: u64,
+    rejected_memory: u64,
 }
 
 /// Startup-recovery facts and runtime durability counters, reported by
@@ -486,6 +487,39 @@ fn recent_entry(id: u64, session: &str, fp: u64, plan_cached: bool, outcome: &st
         .build()
 }
 
+/// `Some((peak, capacity))` when the prepared plan's memory certificate
+/// breaks a bounded store's byte budget; `None` on unbounded stores or
+/// plans that fit.
+fn over_budget(state: &State, prep: &dmac_core::session::PreparedProgram) -> Option<(u64, u64)> {
+    let cap = state.cfg.store_capacity?;
+    let peak = prep.certificate().peak;
+    (peak > cap).then_some((peak, cap))
+}
+
+/// Typed memory rejection (mirrors the deadline reject path).
+fn reject_memory(state: &State, job: &Job, fp: u64, plan_cached: bool, peak: u64, cap: u64) {
+    state.store.release_writes(job.id);
+    state.counters.lock().unwrap().rejected_memory += 1;
+    state.push_recent(recent_entry(
+        job.id,
+        &job.session,
+        fp,
+        plan_cached,
+        "memory",
+    ));
+    send(
+        &job.out,
+        &protocol::encode_error(
+            code::MEMORY,
+            &format!(
+                "request {}: certified peak resident {peak} bytes exceeds \
+                 the store's {cap}-byte budget",
+                job.id
+            ),
+        ),
+    );
+}
+
 fn execute_job(state: &State, job: &Job) {
     let fp = job.program.fingerprint();
     if let Some(deadline) = job.deadline {
@@ -517,7 +551,7 @@ fn execute_job(state: &State, job: &Job) {
     let mut sess = session.lock().unwrap();
 
     let key = cache_key(&job.program, sess.shared_store());
-    let (prep, mut plan_cached) = match state.cache.lookup(&key) {
+    let (mut prep, mut plan_cached) = match state.cache.lookup(&key) {
         Some(p) => (p, true),
         None => match sess.prepare(&job.program) {
             Ok(p) => {
@@ -534,6 +568,17 @@ fn execute_job(state: &State, job: &Job) {
         },
     };
 
+    // Admission-time memory gate: with a bounded store, a plan whose
+    // certified peak resident bytes exceed the byte budget is rejected
+    // *before* execution — what used to surface mid-run as a
+    // `StoreOverCommit` fault is now a typed `memory` diagnostic
+    // carrying the certified peak and the budget it breaks.
+    if let Some((peak, cap)) = over_budget(state, &prep) {
+        drop(sess);
+        reject_memory(state, job, fp, plan_cached, peak, cap);
+        return;
+    }
+
     let report = match sess.run_prepared(&prep) {
         Ok(r) => r,
         Err(CoreError::Planner(msg)) if plan_cached && msg.contains("stale") => {
@@ -545,10 +590,16 @@ fn execute_job(state: &State, job: &Job) {
             plan_cached = false;
             match sess.prepare(&job.program) {
                 Ok(p) => {
-                    let p = Arc::new(p);
-                    state.cache.insert(key, Arc::clone(&p));
+                    prep = Arc::new(p);
+                    state.cache.insert(key, Arc::clone(&prep));
                     persist_script(state, fp, &job.script);
-                    match sess.run_prepared(&p) {
+                    // The re-plan may certify a different peak; re-gate.
+                    if let Some((peak, cap)) = over_budget(state, &prep) {
+                        drop(sess);
+                        reject_memory(state, job, fp, false, peak, cap);
+                        return;
+                    }
+                    match sess.run_prepared(&prep) {
                         Ok(r) => r,
                         Err(e) => {
                             drop(sess);
@@ -592,6 +643,7 @@ fn execute_job(state: &State, job: &Job) {
             &job.store_names,
             golden,
             report.sim.total_sec(),
+            prep.certificate().peak,
             &report_json,
         ),
     );
@@ -855,6 +907,7 @@ fn stats_json(state: &State) -> String {
         .u64("rejected_conflict", c.rejected_conflict)
         .u64("rejected_deadline", c.rejected_deadline)
         .u64("rejected_shutdown", c.rejected_shutdown)
+        .u64("rejected_memory", c.rejected_memory)
         .build();
     let plan_cache = JsonObj::new()
         .u64("hits", cache.hits)

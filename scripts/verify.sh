@@ -20,6 +20,9 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> cargo doc (no deps, deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> static analysis gate (lints + independent plan verification)"
 # dmac-lint lints every shipped .dmac script and every crates/apps
 # program, then re-verifies each planner output (5 planner configs +
@@ -79,6 +82,13 @@ echo "==> spill benchmark (halved RAM budget + snapshot resume, writes BENCH_spi
 # entries), if snapshot resume is not cheaper than full lineage replay,
 # or if either path changes a single output bit.
 cargo run --release -q -p dmac-bench --bin spill > /dev/null
+
+echo "==> memory benchmark (liveness certificates + early frees under halved RAM, writes BENCH_memory.json)"
+# Exits non-zero if any run's measured residency exceeds its plan's
+# certified peak, if early frees fail to cut the observed peak by >=25%
+# under half the keep-all baseline's RAM, if spilled bytes are not
+# strictly reduced, or if any output differs by a single bit.
+cargo run --release -q -p dmac-bench --bin memory > /dev/null
 
 echo "==> dmac-serve smoke (server + 8 concurrent dmac-cli clients)"
 # Starts dmac-served on a free port, then dmac-cli smoke runs 8 client

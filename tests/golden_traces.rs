@@ -26,51 +26,53 @@ fn session() -> Session {
 // Pinned against the default planner: these workloads sit *under* the
 // `fusion_min_blocks` threshold, so cell-wise chains stay unfused here
 // (Cell(*) steps, not Fused(2) — see tests/fusion_equivalence.rs for the
-// fused path). The trailing `spill:` line is the third trace channel:
+// fused path). `free` entries are the liveness pass's spliced releases
+// (`PlannerConfig::splice_frees`): each intermediate dies right after its
+// last consumer. The trailing `spill:` line is the third trace channel:
 // durable-tier traffic, zero for these purely in-memory runs. The `pred`
 // totals are nnz-costed (`PlannerConfig::density_adaptive`): on these
 // sparse inputs the stages that acquire the link / V matrices predict
 // fewer bytes than the worst-case Table-2 numbers; dense stages are
 // byte-identical to the static formula.
 const PAGERANK_GOLDEN: &str = "\
-workers=4 stages=4 steps=19
-stage  1: pred=1960 actual=3004 wire=1980 [broadcast,partition,RMM1,Unary]
+workers=4 stages=4 steps=39
+stage  1: pred=1960 actual=3004 wire=1980 [broadcast,free,partition,free,RMM1,free,Unary,free]
 stage  0: pred=0 actual=0 wire=0 [Unary]
-stage  1: pred=256 actual=256 wire=0 [partition,Cell(c)]
-stage  2: pred=1024 actual=1024 wire=768 [broadcast,RMM1,Unary]
+stage  1: pred=256 actual=256 wire=0 [partition,free,Cell(c),free,free]
+stage  2: pred=1024 actual=1024 wire=768 [broadcast,free,RMM1,free,Unary,free]
 stage  0: pred=0 actual=0 wire=0 [Unary]
-stage  1: pred=256 actual=256 wire=0 [partition]
-stage  2: pred=0 actual=0 wire=0 [Cell(c)]
-stage  3: pred=1024 actual=1024 wire=768 [broadcast,RMM1,Unary]
-stage  0: pred=0 actual=0 wire=0 [Unary]
-stage  1: pred=256 actual=256 wire=0 [partition]
-stage  3: pred=0 actual=0 wire=0 [Cell(c)]
+stage  1: pred=256 actual=256 wire=0 [partition,free]
+stage  2: pred=0 actual=0 wire=0 [Cell(c),free,free]
+stage  3: pred=1024 actual=1024 wire=768 [broadcast,free,RMM1,free,Unary,free]
+stage  0: pred=0 actual=0 wire=0 [Unary,free]
+stage  1: pred=256 actual=256 wire=0 [partition,free]
+stage  3: pred=0 actual=0 wire=0 [Cell(c),free,free]
 spill: spills=0 spill_bytes=0 loads=0 load_bytes=0
 ";
 
 const GNMF_GOLDEN: &str = "\
-workers=4 stages=9 steps=37
-stage  0: pred=0 actual=0 wire=0 [transpose]
-stage  1: pred=6272 actual=8736 wire=5880 [partition,partition]
+workers=4 stages=9 steps=74
+stage  0: pred=0 actual=0 wire=0 [transpose,free]
+stage  1: pred=6272 actual=8736 wire=5880 [partition,free,partition,free]
 stage  2: pred=8192 actual=8192 wire=6144 [CPMM]
 stage  1: pred=0 actual=0 wire=0 [transpose]
-stage  2: pred=2048 actual=2048 wire=1536 [CPMM]
-stage  3: pred=2048 actual=2048 wire=1536 [broadcast]
-stage  1: pred=2048 actual=2048 wire=0 [partition]
-stage  3: pred=0 actual=0 wire=0 [RMM1]
-stage  2: pred=0 actual=0 wire=0 [Cell(c)]
-stage  3: pred=0 actual=0 wire=0 [Cell(c),transpose]
-stage  4: pred=8192 actual=8192 wire=6144 [broadcast,RMM2,transpose,extract,RMM1]
-stage  5: pred=2048 actual=2048 wire=1536 [broadcast,RMM2]
-stage  4: pred=0 actual=0 wire=0 [Cell(r)]
-stage  5: pred=0 actual=0 wire=0 [Cell(r),transpose]
-stage  6: pred=10240 actual=10240 wire=7680 [CPMM,CPMM,RMM2]
-stage  4: pred=0 actual=0 wire=0 [transpose]
-stage  6: pred=0 actual=0 wire=0 [Cell(r),Cell(r),transpose]
-stage  7: pred=8192 actual=8192 wire=6144 [broadcast,RMM2,transpose,RMM1]
-stage  8: pred=2048 actual=2048 wire=1536 [broadcast,RMM2]
-stage  7: pred=0 actual=0 wire=0 [Cell(r)]
-stage  8: pred=0 actual=0 wire=0 [Cell(r)]
+stage  2: pred=2048 actual=2048 wire=1536 [CPMM,free]
+stage  3: pred=2048 actual=2048 wire=1536 [broadcast,free]
+stage  1: pred=2048 actual=2048 wire=0 [partition,free]
+stage  3: pred=0 actual=0 wire=0 [RMM1,free]
+stage  2: pred=0 actual=0 wire=0 [Cell(c),free,free]
+stage  3: pred=0 actual=0 wire=0 [Cell(c),free,free,transpose,free]
+stage  4: pred=8192 actual=8192 wire=6144 [broadcast,free,RMM2,transpose,extract,free,RMM1]
+stage  5: pred=2048 actual=2048 wire=1536 [broadcast,free,RMM2,free]
+stage  4: pred=0 actual=0 wire=0 [Cell(r),free,free]
+stage  5: pred=0 actual=0 wire=0 [Cell(r),free,free,transpose]
+stage  6: pred=10240 actual=10240 wire=7680 [CPMM,CPMM,free,RMM2,free,free]
+stage  4: pred=0 actual=0 wire=0 [transpose,free]
+stage  6: pred=0 actual=0 wire=0 [Cell(r),free,free,Cell(r),free,free,transpose]
+stage  7: pred=8192 actual=8192 wire=6144 [broadcast,RMM2,transpose,free,RMM1,free,free]
+stage  8: pred=2048 actual=2048 wire=1536 [broadcast,free,RMM2,free]
+stage  7: pred=0 actual=0 wire=0 [Cell(r),free,free]
+stage  8: pred=0 actual=0 wire=0 [Cell(r),free,free]
 spill: spills=0 spill_bytes=0 loads=0 load_bytes=0
 ";
 

@@ -1,0 +1,399 @@
+//! Plan-level liveness end-to-end: every application's plan carries a
+//! memory certificate that (a) the independent analyzer re-derivation
+//! accepts (V18–V20), (b) the engine's measured per-step residency
+//! never exceeds (V21), and (c) splicing early frees does not change a
+//! single output bit — across {dense, sparse} inputs, {fusion on, off}
+//! and both transports (in-process simulator and real `dmac-workerd`
+//! processes over sockets).
+//!
+//! The tamper tests at the bottom forge each violation class and assert
+//! the verifier names it: a read after a free (V18), a dropped or
+//! doubled free (V19), an understated certificate (V20), and inflated
+//! resident metering (V21).
+
+use std::collections::HashMap;
+
+use dmac::analyze;
+use dmac::apps::{
+    CollaborativeFiltering, Gnmf, LinearRegression, PageRank, SvdLanczos, TriangleCount,
+};
+use dmac::cluster::SocketOptions;
+use dmac::core::plan::PlanStep;
+use dmac::core::planner::{plan_program_profiled, PlannerConfig};
+use dmac::core::Session;
+use dmac::lang::{Expr, MatrixOrigin, Program};
+use dmac::matrix::BlockedMatrix;
+
+const BLOCK: usize = 8;
+const WORKERS: usize = 2;
+const SEED: u64 = 13;
+
+/// One application instance: its program and the load bindings it needs.
+struct Case {
+    name: &'static str,
+    program: Program,
+    bindings: Vec<(String, BlockedMatrix)>,
+}
+
+/// The six applications at test scale. `sparsity < 1.0` builds the
+/// sparse variant (sparse-class load inputs, CSC-bounded certificate
+/// prices); `1.0` the dense one.
+fn cases(sparsity: f64) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    let gnmf = Gnmf {
+        rows: 24,
+        cols: 20,
+        sparsity,
+        rank: 6,
+        iterations: 2,
+    };
+    let mut p = Program::new();
+    gnmf.build(&mut p).unwrap();
+    out.push(Case {
+        name: "gnmf",
+        program: p,
+        bindings: vec![(
+            "V".into(),
+            dmac::data::uniform_sparse(24, 20, sparsity, BLOCK, 31),
+        )],
+    });
+
+    let nodes = 24;
+    let pr = PageRank {
+        nodes,
+        link_sparsity: sparsity,
+        damping: 0.85,
+        iterations: 3,
+    };
+    let mut p = Program::new();
+    pr.build(&mut p).unwrap();
+    let adj = dmac::data::uniform_sparse(nodes, nodes, sparsity, BLOCK, 32);
+    let link = dmac::data::row_normalize(&adj).unwrap();
+    let d = BlockedMatrix::from_fn(1, nodes, BLOCK, |_, _| 1.0 / nodes as f64).unwrap();
+    out.push(Case {
+        name: "pagerank",
+        program: p,
+        bindings: vec![("link".into(), link), ("D".into(), d)],
+    });
+
+    let cf = CollaborativeFiltering {
+        items: 20,
+        users: 24,
+        sparsity,
+    };
+    let mut p = Program::new();
+    cf.build(&mut p).unwrap();
+    out.push(Case {
+        name: "cf",
+        program: p,
+        bindings: vec![(
+            "R".into(),
+            dmac::data::uniform_sparse(20, 24, sparsity, BLOCK, 33),
+        )],
+    });
+
+    let lr = LinearRegression {
+        rows: 24,
+        features: 12,
+        sparsity,
+        lambda: 1e-6,
+        iterations: 2,
+    };
+    let mut p = Program::new();
+    lr.build(&mut p).unwrap();
+    out.push(Case {
+        name: "linreg",
+        program: p,
+        bindings: vec![
+            (
+                "V".into(),
+                dmac::data::uniform_sparse(24, 12, sparsity, BLOCK, 34),
+            ),
+            ("y".into(), dmac::data::dense_random(24, 1, BLOCK, 35)),
+        ],
+    });
+
+    let svd = SvdLanczos {
+        rows: 16,
+        cols: 10,
+        sparsity,
+        rank: 3,
+    };
+    let mut p = Program::new();
+    svd.build(&mut p).unwrap();
+    out.push(Case {
+        name: "svd",
+        program: p,
+        bindings: vec![(
+            "V".into(),
+            dmac::data::uniform_sparse(16, 10, sparsity, BLOCK, 36),
+        )],
+    });
+
+    let tri = TriangleCount {
+        nodes: 20,
+        sparsity,
+    };
+    let mut p = Program::new();
+    tri.build(&mut p).unwrap();
+    let adj = dmac::data::uniform_sparse(20, 20, sparsity, BLOCK, 37);
+    out.push(Case {
+        name: "triangles",
+        program: p,
+        bindings: vec![("A".into(), TriangleCount::symmetrise(&adj).unwrap())],
+    });
+
+    out
+}
+
+fn planner(fuse: bool, splice: bool) -> PlannerConfig {
+    PlannerConfig {
+        fuse_cellwise: fuse,
+        splice_frees: splice,
+        ..PlannerConfig::default()
+    }
+}
+
+/// Run one case on one configuration; returns every program output's
+/// exact bit pattern, keyed by output position.
+fn run_case(case: &Case, cfg: PlannerConfig, socket: bool) -> Vec<Vec<u64>> {
+    let splice = cfg.splice_frees;
+    let mut b = Session::builder()
+        .workers(WORKERS)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .seed(SEED)
+        .planner(cfg);
+    if socket {
+        b = b.socket_transport(SocketOptions::default());
+    }
+    let mut sess = b
+        .try_build()
+        .unwrap_or_else(|e| panic!("{}: launch: {e}", case.name));
+    for (name, m) in &case.bindings {
+        sess.bind(name, m.clone()).unwrap();
+    }
+
+    // prepare() runs the installed plan verifier (V01–V20) in debug
+    // builds; run_prepared() additionally re-checks the trace (V21).
+    let prep = sess
+        .prepare(&case.program)
+        .unwrap_or_else(|e| panic!("{}: prepare: {e}", case.name));
+    let frees = prep
+        .plan()
+        .steps
+        .iter()
+        .filter(|s| matches!(s, PlanStep::Free { .. }))
+        .count();
+    if splice {
+        assert!(frees > 0, "{}: splicing produced no free steps", case.name);
+    } else {
+        assert_eq!(frees, 0, "{}: frees spliced while disabled", case.name);
+    }
+
+    let report = sess
+        .run_prepared(&prep)
+        .unwrap_or_else(|e| panic!("{}: run: {e}", case.name));
+
+    // Explicit V21 on top of the hook, plus the peak inequality the
+    // certificate exists to guarantee.
+    analyze::check_observed(prep.certificate(), &report.trace)
+        .unwrap_or_else(|e| panic!("{}: {e}", case.name));
+    let observed = report.trace.peak_resident();
+    let certified = prep.certificate().peak;
+    assert!(
+        observed <= certified,
+        "{}: observed peak {observed} exceeds certified {certified}",
+        case.name
+    );
+    assert!(certified > 0, "{}: empty certificate", case.name);
+
+    let outs = case
+        .program
+        .outputs()
+        .iter()
+        .map(|(mr, _)| {
+            let e = Expr {
+                id: mr.id,
+                transposed: mr.transposed,
+            };
+            sess.value(e)
+                .unwrap()
+                .to_dense()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+    if socket {
+        sess.shutdown_transport().unwrap();
+    }
+    outs
+}
+
+/// The simulator half of the matrix: every app × fusion on/off, frees
+/// spliced, must verify V18–V21 and stay bit-identical to the same plan
+/// with splicing disabled.
+fn sim_matrix(sparsity: f64) {
+    analyze::install_session_verifier();
+    for case in &cases(sparsity) {
+        for fuse in [true, false] {
+            let freed = run_case(case, planner(fuse, true), false);
+            let resident = run_case(case, planner(fuse, false), false);
+            assert_eq!(
+                freed, resident,
+                "{} (fuse={fuse}): early frees changed an output bit",
+                case.name
+            );
+        }
+    }
+}
+
+/// The socket half: real worker processes, frees spliced. Outputs must
+/// match the simulator's no-free baseline bit for bit, which transitively
+/// proves free-splicing is inert across transports too.
+fn socket_matrix(sparsity: f64) {
+    analyze::install_session_verifier();
+    for case in &cases(sparsity) {
+        for fuse in [true, false] {
+            let socket = run_case(case, planner(fuse, true), true);
+            let baseline = run_case(case, planner(fuse, false), false);
+            assert_eq!(
+                socket, baseline,
+                "{} (fuse={fuse}): socket run with frees diverges from the no-free simulator run",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn certificates_hold_for_all_apps_dense_sim() {
+    sim_matrix(1.0);
+}
+
+#[test]
+fn certificates_hold_for_all_apps_sparse_sim() {
+    sim_matrix(0.25);
+}
+
+#[test]
+fn certificates_hold_for_all_apps_dense_socket() {
+    socket_matrix(1.0);
+}
+
+#[test]
+fn certificates_hold_for_all_apps_sparse_socket() {
+    socket_matrix(0.25);
+}
+
+// ---------------------------------------------------------------------
+// Tamper tests: forge each violation and assert the verifier names it.
+// ---------------------------------------------------------------------
+
+/// A small random-input program with several dead intermediates, planned
+/// directly (no session) so the `Planned` can be mutated.
+fn tamper_subject() -> (Program, dmac::core::planner::Planned, PlannerConfig) {
+    let mut p = Program::new();
+    let a = p.random("A", 16, 16);
+    let b = p.matmul(a, a).unwrap();
+    let c = p.add(b, a).unwrap();
+    let d = p.cell_mul(c, c).unwrap();
+    p.store(d, "D");
+
+    let cfg = PlannerConfig::default();
+    let mut initial = HashMap::new();
+    for decl in p.matrices() {
+        if matches!(decl.origin, MatrixOrigin::Load | MatrixOrigin::Random) {
+            initial.insert(decl.id, dmac::cluster::PartitionScheme::Hash);
+        }
+    }
+    let planned = plan_program_profiled(&p, &cfg, WORKERS, &initial, &HashMap::new()).unwrap();
+    analyze::check_liveness(&p, &planned, &cfg).expect("untampered plan must verify");
+    (p, planned, cfg)
+}
+
+#[test]
+fn forged_read_after_free_is_caught_as_v18() {
+    let (p, mut planned, cfg) = tamper_subject();
+    // Find a free whose predecessor reads the node it releases, and swap
+    // the two steps: the read now happens after the free.
+    let idx = planned
+        .plan
+        .steps
+        .iter()
+        .enumerate()
+        .position(|(i, s)| match s {
+            PlanStep::Free { node, .. } if i > 0 => {
+                planned.plan.steps[i - 1].in_nodes().contains(node)
+            }
+            _ => false,
+        })
+        .expect("some free must follow its last reader directly");
+    planned.plan.steps.swap(idx - 1, idx);
+    let err = analyze::check_liveness(&p, &planned, &cfg).unwrap_err();
+    assert!(err.contains("V18"), "{err}");
+}
+
+#[test]
+fn dropped_free_is_caught_as_v19() {
+    let (p, mut planned, cfg) = tamper_subject();
+    let idx = planned
+        .plan
+        .steps
+        .iter()
+        .position(|s| matches!(s, PlanStep::Free { .. }))
+        .expect("plan has frees");
+    planned.plan.steps.remove(idx);
+    planned.certificate.per_step.remove(idx);
+    let err = analyze::check_liveness(&p, &planned, &cfg).unwrap_err();
+    assert!(err.contains("V19"), "{err}");
+}
+
+#[test]
+fn doubled_free_is_caught_as_v19() {
+    let (p, mut planned, cfg) = tamper_subject();
+    let idx = planned
+        .plan
+        .steps
+        .iter()
+        .position(|s| matches!(s, PlanStep::Free { .. }))
+        .expect("plan has frees");
+    let dup = planned.plan.steps[idx].clone();
+    planned.plan.steps.insert(idx + 1, dup);
+    let bound = planned.certificate.per_step[idx];
+    planned.certificate.per_step.insert(idx + 1, bound);
+    let err = analyze::check_liveness(&p, &planned, &cfg).unwrap_err();
+    assert!(err.contains("V19"), "{err}");
+}
+
+#[test]
+fn understated_certificate_is_caught_as_v20() {
+    let (p, mut planned, cfg) = tamper_subject();
+    for b in &mut planned.certificate.per_step {
+        *b = b.saturating_sub(1);
+    }
+    planned.certificate.peak = planned.certificate.peak.saturating_sub(1);
+    let err = analyze::check_liveness(&p, &planned, &cfg).unwrap_err();
+    assert!(err.contains("V20"), "{err}");
+}
+
+#[test]
+fn overstated_resident_metering_is_caught_as_v21() {
+    analyze::install_session_verifier();
+    let (p, _, _) = tamper_subject();
+    let mut sess = Session::builder()
+        .workers(WORKERS)
+        .local_threads(2)
+        .block_size(BLOCK)
+        .seed(SEED)
+        .build();
+    let prep = sess.prepare(&p).unwrap();
+    let mut report = sess.run_prepared(&prep).unwrap();
+    analyze::check_observed(prep.certificate(), &report.trace).expect("honest trace verifies");
+    report.trace.steps[0].resident_bytes = prep.certificate().per_step[0] + 1;
+    let err = analyze::check_observed(prep.certificate(), &report.trace).unwrap_err();
+    assert!(err.contains("V21"), "{err}");
+}

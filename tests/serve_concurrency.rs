@@ -342,6 +342,185 @@ fn plan_cache_misses_when_input_density_class_changes() {
     server.wait();
 }
 
+/// Exhaustive model check of the write-claim state machine: all 90
+/// interleavings of three conflicting writers' {claim, release} event
+/// pairs, each replayed against both the real `SharedStore` and a
+/// one-variable reference model. Every schedule must agree with the
+/// model (a claim succeeds iff no other writer holds the name), and
+/// every schedule must leave the name claimable afterwards.
+#[test]
+fn claim_state_machine_agrees_with_model_under_all_interleavings() {
+    // Build every ordering of 6 events where each job's claim precedes
+    // its release: 6! / 2^3 = 90 schedules.
+    fn extend(progress: [u8; 3], seq: &mut Vec<(usize, bool)>, out: &mut Vec<Vec<(usize, bool)>>) {
+        if progress == [2, 2, 2] {
+            out.push(seq.clone());
+            return;
+        }
+        for j in 0..3 {
+            if progress[j] < 2 {
+                let mut next = progress;
+                next[j] += 1;
+                seq.push((j, progress[j] == 1));
+                extend(next, seq, out);
+                seq.pop();
+            }
+        }
+    }
+    let mut schedules = Vec::new();
+    extend([0; 3], &mut Vec::new(), &mut schedules);
+    assert_eq!(schedules.len(), 90);
+
+    let name = vec!["X".to_string()];
+    for schedule in &schedules {
+        let store = SharedStore::new();
+        let mut holder: Option<usize> = None;
+        for &(job, is_release) in schedule {
+            if is_release {
+                store.release_writes(job as u64);
+                if holder == Some(job) {
+                    holder = None;
+                }
+            } else {
+                let got = store.claim_writes(&name, job as u64).is_ok();
+                let model = holder.is_none();
+                assert_eq!(got, model, "schedule {schedule:?}, job {job}");
+                if got {
+                    holder = Some(job);
+                }
+            }
+        }
+        // Every schedule drains its claims completely.
+        store
+            .claim_writes(&name, 99)
+            .unwrap_or_else(|e| panic!("schedule {schedule:?} leaked a claim: {e}"));
+    }
+}
+
+/// Three pipelined writers to one store name: exactly one wins, the two
+/// losers get typed `conflict` rejections, and the winner's trace is
+/// bit-identical to a serial single-`Session` replay of the script.
+#[test]
+fn three_conflicting_writers_serialize_or_reject() {
+    let server = test_server(1);
+
+    // Park the single executor behind a burst so the first writer's
+    // claim is still held when the other two are admitted.
+    let mut burst = TcpStream::connect(server.addr()).expect("connect");
+    for i in 0..4 {
+        let req = Request::Submit {
+            session: "burst".into(),
+            script: unique_script(300 + i),
+            deadline_ms: None,
+        };
+        write_frame(&mut burst, &req.to_json()).unwrap();
+    }
+
+    let script = "Xr = random(Xr, 24, 24)\nYr = Xr %*% Xr\nstore(Yr)\n";
+    let mut pipelined = TcpStream::connect(server.addr()).expect("connect");
+    for session in ["w1", "w2", "w3"] {
+        let req = Request::Submit {
+            session: session.into(),
+            script: script.into(),
+            deadline_ms: None,
+        };
+        write_frame(&mut pipelined, &req.to_json()).unwrap();
+    }
+
+    let mut oks = Vec::new();
+    let mut conflicts = 0;
+    for _ in 0..3 {
+        let payload = read_frame(&mut pipelined).unwrap().expect("response");
+        match Response::from_json(&payload).unwrap() {
+            Response::Result(r) => oks.push(r.golden_fnv),
+            Response::Error { code: c, .. } => {
+                assert_eq!(c, code::CONFLICT);
+                conflicts += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(oks.len(), 1, "exactly one writer must win");
+    assert_eq!(conflicts, 2);
+
+    // The winner must be bit-identical to a serial replay.
+    let defaults = ServerConfig::default();
+    let mut sess = Session::builder()
+        .workers(defaults.workers)
+        .local_threads(defaults.local_threads)
+        .block_size(defaults.block_size)
+        .seed(defaults.seed)
+        .store(SharedStore::new())
+        .build();
+    let program = parse_script(script).unwrap().program;
+    let local = sess.run(&program).expect("serial replay");
+    assert_eq!(oks[0], fnv1a(&local.trace.golden_summary()));
+
+    for _ in 0..4 {
+        read_frame(&mut burst).unwrap().expect("burst response");
+    }
+    // With the claim released, a later writer to the same name succeeds
+    // and reproduces the same trace digest.
+    let mut cli = Client::connect(server.addr()).expect("connect");
+    let again = cli.submit("w4", script, None).expect("post-drain submit");
+    assert_eq!(again.golden_fnv, oks[0]);
+
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
+/// Admission-time memory gating: against a store whose byte budget no
+/// GNMF plan can fit, the submit is rejected with the typed `memory`
+/// code before anything executes, and the rejection is counted in
+/// stats. An unbounded server runs the same script and reports its
+/// certified peak in the result.
+#[test]
+fn memory_gate_rejects_oversized_plans_at_admission() {
+    let server = Server::start(ServerConfig {
+        pool: 1,
+        store_capacity: Some(1024),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut cli = Client::connect(server.addr()).expect("connect");
+
+    match cli.submit("gated", &gnmf_script(0), None) {
+        Err(dmac::serve::ClientError::Server { code: c, message }) => {
+            assert_eq!(c, "memory");
+            assert!(
+                message.contains("certified peak") && message.contains("1024"),
+                "{message}"
+            );
+        }
+        other => panic!("expected a memory rejection, got {other:?}"),
+    }
+
+    let stats = cli.stats().expect("stats");
+    let rejected = stats
+        .get("counters")
+        .and_then(|c| c.get("rejected_memory"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(rejected, Some(1));
+    // Nothing executed: no completions, no exec errors.
+    let completed = stats
+        .get("counters")
+        .and_then(|c| c.get("completed"))
+        .and_then(|v| v.as_u64());
+    assert_eq!(completed, Some(0));
+    cli.shutdown().expect("shutdown");
+    server.wait();
+
+    // The same script on an unbounded server executes and carries its
+    // certified peak on the wire.
+    let server = test_server(1);
+    let mut cli = Client::connect(server.addr()).expect("connect");
+    let res = cli.submit("free", &gnmf_script(0), None).expect("submit");
+    let peak = res.certified_peak.expect("result carries certified peak");
+    assert!(peak > 1024, "GNMF peak {peak} should dwarf the tiny budget");
+    cli.shutdown().expect("shutdown");
+    server.wait();
+}
+
 #[test]
 fn explain_matches_local_explain() {
     let server = test_server(1);
